@@ -1,0 +1,90 @@
+// Ablation A1 — greedy one-bundle-at-a-time vs exhaustive joint search.
+// The paper (§4.3) chooses greedy: "a simple form of greedy
+// optimization that will not necessarily produce a globally optimal
+// value, but it is simple and easy to implement." This bench quantifies
+// the tradeoff: objective quality vs candidate evaluations and decision
+// wall time, as database clients accumulate.
+#include <chrono>
+#include <cstdio>
+
+#include "apps/db_app.h"
+#include "apps/scenarios.h"
+#include "common/strings.h"
+#include "core/controller.h"
+
+namespace {
+
+using namespace harmony;
+using namespace harmony::apps;
+
+struct RunResult {
+  double objective = 0;
+  uint64_t candidates = 0;
+  double wall_ms = 0;
+  bool ok = true;
+};
+
+RunResult run_mode(core::OptimizerConfig::Mode mode, int clients) {
+  core::ControllerConfig config;
+  config.optimizer.mode = mode;
+  core::Controller controller(config);
+  RunResult result;
+  if (!controller.add_nodes_script(db_cluster_script(clients)).ok() ||
+      !controller.finalize_cluster().ok()) {
+    result.ok = false;
+    return result;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 1; i <= clients; ++i) {
+    DbClientConfig client;
+    client.client_host = str_format("sp2-%02d", i - 1);
+    client.instance = i;
+    auto id = controller.register_script(db_client_bundle_script(client));
+    if (!id.ok()) {
+      result.ok = false;
+      return result;
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.candidates = controller.optimizer().candidates_evaluated();
+  auto objective = controller.objective_value();
+  result.objective = objective.ok() ? objective.value() : -1;
+  return result;
+}
+
+int run() {
+  std::printf("=== Ablation A1: greedy vs exhaustive option search ===\n");
+  std::printf("scenario: N database clients arriving on an N-client cluster; "
+              "objective = mean predicted completion time\n\n");
+  std::printf("clients   greedy_obj  exhaust_obj  gap%%   greedy_cands  "
+              "exhaust_cands   greedy_ms  exhaust_ms\n");
+  bool greedy_ever_worse = false;
+  bool ok = true;
+  for (int clients : {1, 2, 3, 4, 5, 6}) {
+    auto greedy = run_mode(core::OptimizerConfig::Mode::kGreedy, clients);
+    auto exhaustive =
+        run_mode(core::OptimizerConfig::Mode::kExhaustive, clients);
+    ok = ok && greedy.ok && exhaustive.ok;
+    double gap = exhaustive.objective > 0
+                     ? 100.0 * (greedy.objective - exhaustive.objective) /
+                           exhaustive.objective
+                     : 0;
+    if (gap > 1e-6) greedy_ever_worse = true;
+    std::printf("%7d   %10.3f  %11.3f  %5.1f  %12llu  %13llu  %10.2f  %10.2f\n",
+                clients, greedy.objective, exhaustive.objective, gap,
+                static_cast<unsigned long long>(greedy.candidates),
+                static_cast<unsigned long long>(exhaustive.candidates),
+                greedy.wall_ms, exhaustive.wall_ms);
+  }
+  std::printf("\nsummary: greedy matches the exhaustive optimum on this "
+              "workload: %s\n", greedy_ever_worse ? "no (gap above)" : "yes");
+  std::printf("exhaustive candidate count grows as 2^N (joint space); greedy "
+              "grows linearly per pass.\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,95 @@
+// Microbenchmarks of the simulation substrate: event engine throughput,
+// processor-sharing CPU model, max-min network model, and the database
+// engine's query pipeline. Establishes that the simulator — not the
+// modeled system — is never the experiment bottleneck.
+#include <benchmark/benchmark.h>
+
+#include "cluster/topology.h"
+#include "db/engine.h"
+#include "sim/cpu.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+
+namespace {
+
+using namespace harmony;
+
+void BM_EngineScheduleAndRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::SimEngine engine;
+    long long sum = 0;
+    for (int i = 0; i < events; ++i) {
+      engine.schedule((i * 37) % 101, [&sum, i] { sum += i; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EngineScheduleAndRun)->Arg(1000)->Arg(10000);
+
+void BM_CpuProcessorSharing(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  cluster::Topology topo;
+  (void)topo.add_node("n", 1.0, 64).value();
+  for (auto _ : state) {
+    sim::SimEngine engine;
+    sim::CpuModel cpu(&engine, &topo);
+    int completed = 0;
+    for (int i = 0; i < tasks; ++i) {
+      cpu.submit(0, 1.0 + (i % 7) * 0.25, [&completed] { ++completed; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_CpuProcessorSharing)->Arg(100)->Arg(1000);
+
+void BM_NetworkMaxMinFairness(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  cluster::Topology topo;
+  for (int i = 0; i < 8; ++i) {
+    (void)topo.add_node("n" + std::to_string(i), 1.0, 64).value();
+  }
+  for (int i = 0; i < 8; ++i) {
+    for (int j = i + 1; j < 8; ++j) {
+      auto linked = topo.add_link(i, j, 320, 0.05);
+      HARMONY_ASSERT(linked.ok());
+    }
+  }
+  for (auto _ : state) {
+    sim::SimEngine engine;
+    sim::NetworkModel net(&engine, &topo);
+    int completed = 0;
+    for (int i = 0; i < flows; ++i) {
+      auto flow = net.transfer(i % 8, (i + 3) % 8, 1.0 + (i % 5),
+                               [&completed] { ++completed; });
+      HARMONY_ASSERT(flow.ok());
+    }
+    engine.run();
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_NetworkMaxMinFairness)->Arg(16)->Arg(128);
+
+void BM_DbBenchmarkQuery(benchmark::State& state) {
+  db::DbEngine engine(static_cast<size_t>(state.range(0)), 42);
+  int bucket = 0;
+  for (auto _ : state) {
+    db::BenchmarkQuery query;
+    query.left_ten_percent = bucket % 10;
+    query.right_ten_percent = (bucket + 3) % 10;
+    ++bucket;
+    auto profile = engine.execute(query, db::Placement::kQueryShipping);
+    benchmark::DoNotOptimize(profile.work.result_rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DbBenchmarkQuery)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

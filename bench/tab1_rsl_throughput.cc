@@ -1,0 +1,172 @@
+// Table 1 validation + RSL microbenchmarks. Table 1 lists the primary
+// RSL tags (harmonyBundle, node, link, communication, performance,
+// granularity, variable, harmonyNode, speed); this binary first proves
+// each tag parses AND acts semantically, then measures the cost of the
+// operations the paper argues are cheap enough ("updates in Harmony are
+// on the order of seconds not micro-seconds"): bundle parsing,
+// expression evaluation, and interpreter scripts.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "rsl/expr.h"
+#include "rsl/interp.h"
+#include "rsl/rsl.h"
+#include "rsl/spec.h"
+
+namespace {
+
+using namespace harmony;
+using namespace harmony::rsl;
+
+const char* kFullBundle = R"(harmonyBundle DBclient:1 where {
+  {QS
+    {node server {hostname harmony.cs.umd.edu} {seconds 42} {memory 20}}
+    {node client {hostname *} {os linux} {seconds 1} {memory 2}}
+    {link client server 10}}
+  {DS
+    {node server {hostname harmony.cs.umd.edu} {seconds 1} {memory 20}}
+    {node client {hostname *} {os linux} {memory >=17} {seconds 9}}
+    {link client server {61 - (client.memory > 24 ? 24 : client.memory)}}
+    {communication {0.5 * workerNodes * workerNodes}}
+    {variable workerNodes {1 2 4 8}}
+    {performance {{1 1250} {2 640} {4 340} {8 255}}}
+    {granularity 10}
+    {friction 5}}
+})";
+
+const char* kNodeAd =
+    "harmonyNode sp2-01 {speed 1.25} {memory 256} {os aix} "
+    "{link sp2-02 320 0.05}";
+
+// --- Table 1 tag validation (runs once before the benchmarks) ----------
+
+bool validate_table1() {
+  bool ok = true;
+  auto expect = [&](bool cond, const char* tag) {
+    std::printf("  %-14s %s\n", tag, cond ? "OK" : "FAILED");
+    ok = ok && cond;
+  };
+
+  RslHost host;
+  BundleSpec bundle;
+  NodeAd node_ad;
+  host.on_bundle([&](const BundleSpec& b) {
+    bundle = b;
+    return Status::Ok();
+  });
+  host.on_node([&](const NodeAd& n) {
+    node_ad = n;
+    return Status::Ok();
+  });
+  Interp interp;
+  host.register_with(interp);
+  bool parsed = interp.eval(kFullBundle).ok() && interp.eval(kNodeAd).ok();
+  std::printf("Table 1 tag validation:\n");
+  expect(parsed, "(parse)");
+  expect(bundle.application == "DBclient" && bundle.options.size() == 2,
+         "harmonyBundle");
+  const OptionSpec* ds = bundle.find_option("DS");
+  expect(ds != nullptr && ds->nodes.size() == 2 &&
+             ds->nodes[1].memory.op == Constraint::Op::kGe,
+         "node");
+  expect(ds != nullptr && ds->links.size() == 1 &&
+             !ds->links[0].megabytes.is_constant(),
+         "link");
+  expect(ds != nullptr && !ds->communication.empty(), "communication");
+  expect(ds != nullptr && ds->performance_points.size() == 4, "performance");
+  expect(ds != nullptr && ds->granularity_s == 10, "granularity");
+  expect(ds != nullptr && ds->variables.size() == 1 &&
+             ds->variables[0].values.size() == 4,
+         "variable");
+  expect(node_ad.name == "sp2-01" && node_ad.links.size() == 1, "harmonyNode");
+  expect(node_ad.speed == 1.25, "speed");
+  std::printf("\n");
+  return ok;
+}
+
+// --- microbenchmarks -----------------------------------------------------
+
+void BM_ParseBundle(benchmark::State& state) {
+  RslHost host;
+  size_t options = 0;
+  host.on_bundle([&](const BundleSpec& b) {
+    options += b.options.size();
+    return Status::Ok();
+  });
+  for (auto _ : state) {
+    Interp interp;
+    host.register_with(interp);
+    auto r = interp.eval(kFullBundle);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParseBundle);
+
+void BM_ParseNodeAd(benchmark::State& state) {
+  RslHost host;
+  for (auto _ : state) {
+    Interp interp;
+    host.register_with(interp);
+    auto r = interp.eval(kNodeAd);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_ParseNodeAd);
+
+void BM_ExprPaperBandwidth(benchmark::State& state) {
+  ExprContext ctx;
+  ctx.name_lookup = [](const std::string& name, double* out) {
+    if (name != "client.memory") return false;
+    *out = 32;
+    return true;
+  };
+  for (auto _ : state) {
+    auto r = expr_eval_number(
+        "61 - (client.memory > 24 ? 24 : client.memory)", ctx);
+    benchmark::DoNotOptimize(r.value());
+  }
+}
+BENCHMARK(BM_ExprPaperBandwidth);
+
+void BM_ExprArithmetic(benchmark::State& state) {
+  ExprContext ctx;
+  for (auto _ : state) {
+    auto r = expr_eval_number("0.5 * 8 * 8 + sqrt(1200.0 / 4) - min(3, 7)",
+                              ctx);
+    benchmark::DoNotOptimize(r.value());
+  }
+}
+BENCHMARK(BM_ExprArithmetic);
+
+void BM_InterpPerformanceScript(benchmark::State& state) {
+  Interp interp;
+  auto defined = interp.eval(
+      "proc model {w} {return [expr {1200.0 / $w + 0.5 * $w * $w}]}");
+  HARMONY_ASSERT(defined.ok());
+  for (auto _ : state) {
+    auto r = interp.eval("model 8");
+    benchmark::DoNotOptimize(r.value());
+  }
+}
+BENCHMARK(BM_InterpPerformanceScript);
+
+void BM_InterpLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    Interp interp;
+    auto r = interp.eval(
+        "set sum 0\nfor {set i 0} {$i < 100} {incr i} {incr sum $i}\nset sum");
+    benchmark::DoNotOptimize(r.value());
+  }
+}
+BENCHMARK(BM_InterpLoop);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!validate_table1()) return 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

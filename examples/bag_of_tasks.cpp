@@ -1,0 +1,70 @@
+// Variable parallelism under Harmony: a bag-of-tasks application
+// stretches and shrinks as other jobs come and go (paper §3.4 and
+// Figure 4). Shows the granularity mechanism: the app only applies a
+// new worker count at iteration boundaries.
+//
+// Build & run:  ./build/examples/bag_of_tasks
+#include <cstdio>
+
+#include "apps/bag_app.h"
+#include "apps/scenarios.h"
+#include "apps/simple_app.h"
+
+using namespace harmony;
+using namespace harmony::apps;
+
+int main() {
+  std::printf("Active Harmony bag-of-tasks demo (paper §3.4, Figure 4)\n");
+  std::printf("------------------------------------------------------\n");
+
+  SimHarness harness;
+  if (!harness.controller().add_nodes_script(worker_cluster_script(8)).ok() ||
+      !harness.finalize().ok()) {
+    std::fprintf(stderr, "cluster setup failed\n");
+    return 1;
+  }
+  auto& sim = harness.engine();
+
+  BagConfig bag_config;
+  bag_config.seed = 3;
+  BagApp bag(harness.context(), bag_config);
+  if (!bag.start().ok()) {
+    std::fprintf(stderr, "bag registration failed\n");
+    return 1;
+  }
+  std::printf("[t=%6.0f] bag app starts with %d workers\n", sim.now(),
+              bag.current_workers());
+
+  SimpleConfig rigid_config;
+  rigid_config.workers = 3;
+  rigid_config.max_iterations = 2;
+  SimpleApp rigid(harness.context(), rigid_config);
+  sim.schedule(300, [&] {
+    if (rigid.start().ok()) {
+      std::printf("[t=%6.0f] rigid 3-node job arrives; Harmony tells the bag "
+                  "app to shrink\n", sim.now());
+    }
+  });
+
+  // Report at iteration boundaries via the workers metric.
+  sim.run_until(3000);
+  bag.stop();
+  sim.run_until(4000);
+
+  std::printf("\nbag worker-count timeline (changes only):\n");
+  const auto* workers = harness.metrics().find("bag.1.workers");
+  for (const auto& sample : workers->samples()) {
+    std::printf("  t=%7.1f  ->  %2.0f workers\n", sample.time, sample.value);
+  }
+  std::printf("\nbag iteration times:\n");
+  const auto* iterations = harness.metrics().find("bag.1.iteration_time");
+  for (const auto& sample : iterations->samples()) {
+    std::printf("  finished t=%7.1f  took %6.1f s\n", sample.time,
+                sample.value);
+  }
+  std::printf("\nnote how iterations slow while the rigid job holds 3 nodes "
+              "(bag on 5) and recover once it leaves (bag back on 8),\n"
+              "with every change taking effect only at an iteration boundary "
+              "— the paper's granularity mechanism.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// The policy console: inspect and steer a live Harmony system from TCL
+// — "much of the matching and policy description is currently
+// implemented directly in TCL" (§3.1). Runs a scripted session against
+// a populated controller; pass a script file to run your own, or `-` to
+// read from stdin.
+//
+//   ./build/examples/policy_console            # the canned tour
+//   echo 'harmonyNodes' | ./build/examples/policy_console -
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "apps/db_app.h"
+#include "apps/scenarios.h"
+#include "core/console.h"
+#include "core/controller.h"
+#include "rsl/interp.h"
+
+using namespace harmony;
+
+namespace {
+
+const char* kTour = R"(
+puts "== live instances =="
+foreach app [harmonyInstances] { puts "  $app" }
+
+puts "== predictions =="
+foreach row [harmonyPredict] {
+  puts "  [lindex $row 0]: [lindex $row 1] s"
+}
+puts "objective: [harmonyObjective]"
+
+puts "== cluster =="
+foreach row [harmonyNodes] {
+  puts "  [lindex $row 0]: speed [lindex $row 1], [lindex $row 2] MB free, [lindex $row 3] tasks"
+}
+
+puts "== manual steering =="
+set victim [lindex [harmonyInstances] 0]
+puts "forcing $victim onto data shipping..."
+harmonySetOption $victim where DS
+puts "  option now: [harmonyOption $victim where]"
+puts "  objective now: [harmonyObjective]"
+
+puts "== a policy proc: keep the objective under a budget =="
+proc enforceBudget {budget} {
+  if {[harmonyObjective] <= $budget} { return "within budget" }
+  harmonyReevaluate
+  return "reoptimized -> [harmonyObjective]"
+}
+puts "  [enforceBudget 10]"
+puts "  final option: [harmonyOption $victim where]"
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::Controller controller;
+  if (!controller.add_nodes_script(apps::db_cluster_script(3)).ok() ||
+      !controller.finalize_cluster().ok()) {
+    std::fprintf(stderr, "cluster setup failed\n");
+    return 1;
+  }
+  // Populate: two database clients (query shipping wins at this load).
+  for (int i = 1; i <= 2; ++i) {
+    apps::DbClientConfig config;
+    config.client_host = str_format("sp2-%02d", i - 1);
+    config.instance = i;
+    auto id = controller.register_script(db_client_bundle_script(config));
+    if (!id.ok()) {
+      std::fprintf(stderr, "registration failed: %s\n",
+                   id.error().to_string().c_str());
+      return 1;
+    }
+  }
+
+  std::string script;
+  if (argc > 1) {
+    if (std::string(argv[1]) == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      script = buffer.str();
+    } else {
+      std::ifstream file(argv[1]);
+      if (!file) {
+        std::fprintf(stderr, "cannot read %s\n", argv[1]);
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      script = buffer.str();
+    }
+  } else {
+    script = kTour;
+  }
+
+  rsl::Interp interp;
+  core::register_console(interp, controller);
+  auto result = interp.eval(script);
+  std::fputs(interp.output().c_str(), stdout);
+  if (!result.ok()) {
+    std::fprintf(stderr, "script error: %s\n",
+                 result.error().to_string().c_str());
+    return 1;
+  }
+  if (!result.value().empty()) {
+    std::printf("=> %s\n", result.value().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: the smallest complete Active Harmony program.
+//
+//  1. Stand up a controller and describe the cluster (harmonyNode).
+//  2. Register an application that exports a tuning bundle with two
+//     mutually exclusive options (harmonyBundle).
+//  3. Read back the option Harmony chose and the resources it granted.
+//  4. Watch Harmony reconfigure the application when a competitor
+//     arrives.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "client/client.h"
+#include "core/controller.h"
+
+using namespace harmony;
+
+int main() {
+  // --- 1. the cluster: two workstations and a server ----------------------
+  core::Controller controller;
+  auto cluster = controller.add_nodes_script(R"(
+harmonyNode ws1 {speed 1.0} {memory 128} {os linux} {link server 100 0.2}
+harmonyNode ws2 {speed 1.0} {memory 32}  {os linux} {link server 100 0.2}
+harmonyNode server {speed 2.0} {memory 512} {os linux}
+)");
+  if (!cluster.ok() || !controller.finalize_cluster().ok()) {
+    std::fprintf(stderr, "cluster setup failed\n");
+    return 1;
+  }
+
+  // --- 2. a harmonized application ----------------------------------------
+  // Two ways to run: remotely on the fast server (cheap at home, loads
+  // the shared machine) or locally (heavier, but private).
+  client::InProcTransport transport(&controller);
+  client::HarmonyClient app(&transport);
+  (void)app.startup("quickstart");
+  (void)app.bundle_setup(R"(
+harmonyBundle Quickstart:1 placement {
+  {remote
+    {node exec {hostname server} {seconds 30} {memory 64}}
+    {node home {hostname ws*} {seconds 1} {memory 8}}
+    {link home exec 5}}
+  {local
+    {node exec {hostname ws*} {seconds 90} {memory 64}}
+    {node home {hostname ws*} {seconds 1} {memory 8}}
+    {link home exec 0.5}}
+}
+)");
+  const std::string* placement = app.add_variable("placement", "unset");
+  if (!app.wait_for_update().ok()) {
+    std::fprintf(stderr, "registration failed\n");
+    return 1;
+  }
+  app.poll_updates();
+
+  std::printf("Harmony chose:      %s\n", placement->c_str());
+  std::printf("execution host:     %s\n", app.var("placement.exec.node").c_str());
+  std::printf("granted memory:     %s MB\n",
+              app.var("placement.exec.memory").c_str());
+  auto predicted = controller.predictions();
+  if (predicted.ok() && !predicted.value().empty()) {
+    std::printf("predicted runtime:  %.2f s\n", predicted.value()[0].second);
+  }
+
+  // --- 3. a competitor arrives; Harmony rebalances --------------------------
+  std::printf("\nthree competing jobs land on the server...\n");
+  std::vector<core::InstanceId> rivals;
+  for (int i = 0; i < 3; ++i) {
+    auto rival = controller.register_script(
+        "harmonyBundle Rival:" + std::to_string(i + 1) +
+        " r {{only {node n {hostname server} {seconds 200} {memory 64}}}}");
+    if (rival.ok()) rivals.push_back(rival.value());
+  }
+  app.poll_updates();
+  std::printf("Harmony now says:   %s  (exec on %s)\n", placement->c_str(),
+              app.var("placement.exec.node").c_str());
+
+  for (auto id : rivals) (void)controller.unregister(id);
+  app.poll_updates();
+  std::printf("rivals done:        %s  (exec on %s)\n", placement->c_str(),
+              app.var("placement.exec.node").c_str());
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Multi-process Harmony, as in the paper's prototype (Figure 6): "a
+// Harmony process [that] is a server listening on a well-known port"
+// and application processes that connect over TCP, export bundles, and
+// poll their Harmony variables.
+//
+// Run with no arguments and it orchestrates everything itself: forks a
+// server process, then three database-client processes that join one
+// after another; the third arrival flips everyone from query shipping
+// to data shipping.
+//
+//   ./build/examples/socket_demo            # the orchestrated demo
+//   ./build/examples/socket_demo server P   # just the server on port P
+//   ./build/examples/socket_demo client P N # one client process
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "client/client.h"
+#include "common/strings.h"
+#include "core/controller.h"
+#include "net/server.h"
+#include "net/tcp_transport.h"
+
+using namespace harmony;
+
+namespace {
+
+constexpr uint16_t kDefaultPort = 18223;
+
+std::string client_bundle(int instance) {
+  return str_format(
+      "harmonyBundle DBclient:%d where {\n"
+      "  {QS {node server {hostname server} {seconds 18} {memory 20}}\n"
+      "      {node client {hostname ws%d} {seconds 0.1} {memory 2}}\n"
+      "      {link client server 0.05}}\n"
+      "  {DS {node server {hostname server} {seconds 2} {memory 20}}\n"
+      "      {node client {hostname ws%d} {memory >=17} {seconds 16.2}}\n"
+      "      {link client server 2.5}}\n"
+      "}\n",
+      instance, instance, instance);
+}
+
+int run_server(uint16_t port) {
+  core::Controller controller;
+  std::string cluster;
+  for (int i = 1; i <= 3; ++i) {
+    cluster += str_format(
+        "harmonyNode ws%d {speed 1.0} {memory 64} {link server 320 0.05}\n",
+        i);
+  }
+  cluster += "harmonyNode server {speed 2.25} {memory 512}\n";
+  if (!controller.add_nodes_script(cluster).ok() ||
+      !controller.finalize_cluster().ok()) {
+    std::fprintf(stderr, "[server] cluster setup failed\n");
+    return 1;
+  }
+  net::HarmonyTcpServer server(&controller, port);
+  auto bound = server.start();
+  if (!bound.ok()) {
+    std::fprintf(stderr, "[server] %s\n", bound.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("[server] harmony listening on port %u\n", bound.value());
+  std::fflush(stdout);
+  // Serve until clients have come and gone (idle exit keeps the demo
+  // self-terminating).
+  server.run(/*until_idle_ms=*/4000);
+  std::printf("[server] idle, shutting down; %llu reconfigurations total\n",
+              static_cast<unsigned long long>(controller.reconfigurations()));
+  return 0;
+}
+
+int run_client(uint16_t port, int instance) {
+  net::TcpTransport transport;
+  // The server may still be starting; retry briefly.
+  Status connected(ErrorCode::kTransport, "never tried");
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    connected = transport.connect("localhost", port);
+    if (connected.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (!connected.ok()) {
+    std::fprintf(stderr, "[client %d] cannot reach harmony: %s\n", instance,
+                 connected.to_string().c_str());
+    return 1;
+  }
+  client::HarmonyClient client(&transport);
+  (void)client.startup(str_format("DBclient-%d", instance));
+  (void)client.bundle_setup(client_bundle(instance));
+  const std::string* placement = client.add_variable("where", "QS");
+  if (!client.wait_for_update().ok()) {
+    std::fprintf(stderr, "[client %d] registration failed\n", instance);
+    return 1;
+  }
+  (void)transport.pump();
+  client.poll_updates();
+  std::printf("[client %d] joined; harmony says: run %s\n", instance,
+              placement->c_str());
+  std::fflush(stdout);
+
+  // Simulated query loop: between "queries" the client polls its
+  // variables, the natural reconfiguration point.
+  std::string last = *placement;
+  for (int query = 0; query < 30; ++query) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    (void)transport.pump();
+    client.poll_updates();
+    if (*placement != last) {
+      std::printf("[client %d] reconfigured: %s -> %s\n", instance,
+                  last.c_str(), placement->c_str());
+      std::fflush(stdout);
+      last = *placement;
+    }
+  }
+  std::printf("[client %d] done (final placement %s)\n", instance,
+              placement->c_str());
+  (void)client.end();
+  return 0;
+}
+
+int orchestrate(const char* self) {
+  uint16_t port = kDefaultPort;
+  std::printf("forking 1 harmony server + 3 client processes...\n\n");
+  std::fflush(stdout);
+  std::vector<pid_t> children;
+  pid_t server = fork();
+  if (server == 0) {
+    execl(self, self, "server", std::to_string(port).c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  children.push_back(server);
+  for (int i = 1; i <= 3; ++i) {
+    // Staggered arrivals; the third one triggers the switch.
+    std::this_thread::sleep_for(std::chrono::milliseconds(800));
+    pid_t child = fork();
+    if (child == 0) {
+      execl(self, self, "client", std::to_string(port).c_str(),
+            std::to_string(i).c_str(), static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    children.push_back(child);
+  }
+  int failures = 0;
+  for (pid_t child : children) {
+    int status = 0;
+    waitpid(child, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++failures;
+  }
+  std::printf("\ndemo complete (%d process failures)\n", failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "server") {
+    return run_server(static_cast<uint16_t>(std::atoi(argv[2])));
+  }
+  if (argc >= 4 && std::string(argv[1]) == "client") {
+    return run_client(static_cast<uint16_t>(std::atoi(argv[2])),
+                      std::atoi(argv[3]));
+  }
+  return orchestrate(argv[0]);
+}

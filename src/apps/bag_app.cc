@@ -1,0 +1,162 @@
+#include "apps/bag_app.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace harmony::apps {
+
+std::string bag_bundle_script(const BagConfig& config) {
+  // Performance points follow the app's own scaling law
+  // t(w) = sequential + parallel / w, evaluated at each worker count —
+  // the piecewise-linear model of §3.4.
+  std::string points;
+  auto workers = split_whitespace(config.workers);
+  for (const auto& w : workers) {
+    double count = 1;
+    (void)parse_double(w, &count);
+    points += str_format("{%s %g} ", w.c_str(),
+                         config.sequential_ref_s +
+                             config.parallel_ref_s / count);
+  }
+  double total = config.sequential_ref_s + config.parallel_ref_s;
+  return str_format(
+      "harmonyBundle Bag:%d parallelism {\n"
+      "  {var\n"
+      "    {variable workerNodes {%s}}\n"
+      "    {node worker {seconds {%g / workerNodes}} {memory 16}\n"
+      "          {replicate {workerNodes}}}\n"
+      "    {communication {%g * workerNodes}}\n"
+      "    {performance {%s}}\n"
+      "    {granularity %g}}\n"
+      "}\n",
+      config.instance, config.workers.c_str(), total,
+      config.task_message_mb * 2 * config.tasks_per_iteration, points.c_str(),
+      config.granularity_s);
+}
+
+BagApp::BagApp(SimContext ctx, BagConfig config)
+    : ctx_(ctx),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      metric_name_(str_format("bag.%d.iteration_time", config_.instance)) {
+  transport_ = std::make_unique<client::InProcTransport>(ctx_.controller);
+  client_ = std::make_unique<client::HarmonyClient>(transport_.get());
+}
+
+Status BagApp::start() {
+  auto status = client_->startup(str_format("Bag-%d", config_.instance));
+  if (!status.ok()) return status;
+  status = client_->bundle_setup(bag_bundle_script(config_));
+  if (!status.ok()) return status;
+  client_->add_variable("workerNodes", "1");
+  client_->add_variable("parallelism.worker.nodes", "");
+  status = client_->wait_for_update();
+  if (!status.ok()) return status;
+  status = refresh_workers();
+  if (!status.ok()) return status;
+  begin_iteration();
+  return Status::Ok();
+}
+
+void BagApp::stop() { stop_requested_ = true; }
+
+Status BagApp::refresh_workers() {
+  client_->poll_updates();
+  auto hosts = client_->var_list("parallelism.worker.nodes");
+  if (hosts.empty()) {
+    return Status(ErrorCode::kNotFound, "no workers assigned");
+  }
+  std::vector<cluster::NodeId> nodes;
+  for (const auto& host : hosts) {
+    auto node = ctx_.node_of(host);
+    if (!node.ok()) return Status(node.error().code, node.error().message);
+    nodes.push_back(node.value());
+  }
+  if (nodes.size() != worker_nodes_.size()) {
+    HLOG_INFO("bag_app") << metric_name_ << " now on " << nodes.size()
+                         << " workers at t=" << ctx_.now();
+    ctx_.metrics->record(str_format("bag.%d.workers", config_.instance),
+                         ctx_.now(), static_cast<double>(nodes.size()));
+  }
+  worker_nodes_ = std::move(nodes);
+  return Status::Ok();
+}
+
+void BagApp::begin_iteration() {
+  if (stop_requested_ ||
+      (config_.max_iterations > 0 &&
+       iterations_completed_ >= config_.max_iterations)) {
+    finished_ = true;
+    if (client_->registered()) {
+      auto status = client_->end();
+      if (!status.ok()) {
+        HLOG_WARN("bag_app") << "harmony_end failed: " << status.to_string();
+      }
+    }
+    return;
+  }
+  iteration_started_ = ctx_.now();
+  // Fill the task pool with perturbed task sizes summing to
+  // parallel_ref_s on average.
+  task_pool_.clear();
+  double mean_task =
+      config_.parallel_ref_s / static_cast<double>(config_.tasks_per_iteration);
+  for (int i = 0; i < config_.tasks_per_iteration; ++i) {
+    double jitter = 1.0 + config_.task_jitter * (2.0 * rng_.next_double() - 1.0);
+    task_pool_.push_back(mean_task * jitter);
+  }
+  // Sequential master phase on worker 0.
+  ctx_.cpu->submit(worker_nodes_[0], config_.sequential_ref_s,
+                   [this] { run_parallel_phase(); });
+}
+
+void BagApp::run_parallel_phase() {
+  tasks_outstanding_ = 0;
+  for (size_t w = 0; w < worker_nodes_.size(); ++w) {
+    worker_pull(w);
+  }
+}
+
+void BagApp::worker_pull(size_t worker_index) {
+  if (task_pool_.empty()) {
+    if (tasks_outstanding_ == 0) end_iteration();
+    return;
+  }
+  double work = task_pool_.back();
+  task_pool_.pop_back();
+  ++tasks_outstanding_;
+  cluster::NodeId master = worker_nodes_[0];
+  cluster::NodeId worker = worker_nodes_[worker_index % worker_nodes_.size()];
+  // Fetch the task from the master, compute, return the result, pull
+  // again.
+  auto fetch = ctx_.net->transfer(master, worker, config_.task_message_mb,
+                                  [this, worker_index, worker, master, work] {
+    ctx_.cpu->submit(worker, work, [this, worker_index, worker, master] {
+      auto ret = ctx_.net->transfer(worker, master, config_.task_message_mb,
+                                    [this, worker_index] {
+        --tasks_outstanding_;
+        worker_pull(worker_index);
+      });
+      HARMONY_ASSERT(ret.ok());
+    });
+  });
+  HARMONY_ASSERT(fetch.ok());
+}
+
+void BagApp::end_iteration() {
+  ++iterations_completed_;
+  ctx_.metrics->record(metric_name_, ctx_.now(),
+                       ctx_.now() - iteration_started_);
+  // Natural reconfiguration point: re-read Harmony's worker assignment.
+  auto status = refresh_workers();
+  if (!status.ok()) {
+    HLOG_WARN("bag_app") << "worker refresh failed: " << status.to_string();
+    finished_ = true;
+    return;
+  }
+  begin_iteration();
+}
+
+}  // namespace harmony::apps

@@ -1,0 +1,74 @@
+// The "Bag" application of §3.4: an iterative bag-of-tasks computation.
+// Each iteration has a sequential master phase followed by a pool of
+// unevenly-sized tasks that idle workers pull, compute, and return —
+// "relatively crude load-balancing on arbitrarily-shaped tasks". The
+// worker count is a Harmony variable; the app re-reads it at the end of
+// each iteration (its natural reconfiguration granularity, like the
+// paper's outer-loop HPF example).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/sim_context.h"
+#include "client/client.h"
+#include "common/rng.h"
+
+namespace harmony::apps {
+
+struct BagConfig {
+  int instance = 1;
+  uint64_t seed = 2;
+  // Per-iteration work: sequential master phase + task pool.
+  double sequential_ref_s = 100.0;
+  double parallel_ref_s = 1000.0;
+  int tasks_per_iteration = 100;
+  double task_jitter = 0.3;      // task sizes vary +-30%
+  double task_message_mb = 0.05; // fetch + return messages
+  std::string workers = "1 2 3 4 5 6 7 8";
+  double granularity_s = 0.0;
+  int max_iterations = 0;  // 0 = run until stop()
+};
+
+// Figure 2(b)-style bundle whose performance points match what this
+// app measurably does: t(w) ~= sequential + parallel/w.
+std::string bag_bundle_script(const BagConfig& config);
+
+class BagApp {
+ public:
+  BagApp(SimContext ctx, BagConfig config);
+
+  Status start();
+  // Finishes the current iteration, then deregisters.
+  void stop();
+  bool finished() const { return finished_; }
+
+  int iterations_completed() const { return iterations_completed_; }
+  int current_workers() const { return static_cast<int>(worker_nodes_.size()); }
+  const std::string& metric_name() const { return metric_name_; }
+  core::InstanceId instance_id() const { return client_->instance_id(); }
+
+ private:
+  void begin_iteration();
+  void run_parallel_phase();
+  void worker_pull(size_t worker_index);
+  void end_iteration();
+  Status refresh_workers();
+
+  SimContext ctx_;
+  BagConfig config_;
+  std::unique_ptr<client::InProcTransport> transport_;
+  std::unique_ptr<client::HarmonyClient> client_;
+  Rng rng_;
+  std::vector<cluster::NodeId> worker_nodes_;
+  std::vector<double> task_pool_;  // remaining task sizes (ref seconds)
+  int tasks_outstanding_ = 0;
+  double iteration_started_ = 0;
+  int iterations_completed_ = 0;
+  bool stop_requested_ = false;
+  bool finished_ = false;
+  std::string metric_name_;
+};
+
+}  // namespace harmony::apps

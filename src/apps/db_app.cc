@@ -1,0 +1,157 @@
+#include "apps/db_app.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace harmony::apps {
+
+std::string db_client_bundle_script(const DbClientConfig& config) {
+  // Amounts are the application's own estimates of total per-query
+  // resource use, as §3.5 prescribes: QS concentrates CPU at the
+  // server and ships only results; DS runs the join at the client and
+  // ships selected buckets, less whatever its cache (sized by the
+  // memory Harmony grants) retains. The DS link expression is the
+  // paper's memory-parameterized bandwidth, in its intended decreasing
+  // form (see DESIGN.md on the OCR fix): two 2.1 MB buckets scale down
+  // linearly as the cache approaches 10 buckets' worth (42 MB).
+  return str_format(
+      "harmonyBundle DBclient:%d where {\n"
+      "  {QS\n"
+      "    {node server {hostname %s} {seconds 18} {memory 20}}\n"
+      "    {node client {hostname %s} {seconds 0.1} {memory 2}}\n"
+      "    {link client server 0.05}}\n"
+      "  {DS\n"
+      "    {node server {hostname %s} {seconds 2} {memory 20}}\n"
+      "    {node client {hostname %s} {memory >=17} {seconds 16.2}}\n"
+      "    {link client server {4.2 * (1 - (client.memory > 42 ? 42 : "
+      "client.memory) / 42)}}}\n"
+      "}\n",
+      config.instance, config.server_host.c_str(), config.client_host.c_str(),
+      config.server_host.c_str(), config.client_host.c_str());
+}
+
+DbClientApp::DbClientApp(SimContext ctx, db::DbEngine* engine,
+                         DbClientConfig config)
+    : ctx_(ctx),
+      engine_(engine),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      metric_name_(str_format("db.client%d.response", config_.instance)) {
+  transport_ = std::make_unique<client::InProcTransport>(ctx_.controller);
+  client_ = std::make_unique<client::HarmonyClient>(transport_.get());
+}
+
+Status DbClientApp::start() {
+  auto status = client_->startup(
+      str_format("DBclient-%d", config_.instance));
+  if (!status.ok()) return status;
+  status = client_->bundle_setup(db_client_bundle_script(config_));
+  if (!status.ok()) return status;
+  client_->add_variable("where", "QS");
+  client_->add_variable("where.client.memory", "17");
+  status = client_->wait_for_update();
+  if (!status.ok()) return status;
+
+  auto client_node = ctx_.node_of(config_.client_host);
+  auto server_node = ctx_.node_of(config_.server_host);
+  if (!client_node.ok() || !server_node.ok()) {
+    return Status(ErrorCode::kNotFound, "client or server host unknown");
+  }
+  client_node_ = client_node.value();
+  server_node_ = server_node.value();
+
+  poll_configuration();
+  issue_query();
+  return Status::Ok();
+}
+
+void DbClientApp::stop() {
+  stop_requested_ = true;
+  if (!query_in_flight_ && client_->registered()) {
+    auto status = client_->end();
+    if (!status.ok()) {
+      HLOG_WARN("db_app") << metric_name_
+                          << " harmony_end failed: " << status.to_string();
+    }
+  }
+}
+
+void DbClientApp::poll_configuration() {
+  client_->poll_updates();
+  db::Placement next = client_->var("where") == "DS"
+                           ? db::Placement::kDataShipping
+                           : db::Placement::kQueryShipping;
+  if (next != placement_) {
+    HLOG_INFO("db_app") << metric_name_ << " reconfigured to "
+                        << db::placement_name(next) << " at t=" << ctx_.now();
+    ctx_.metrics->record(
+        str_format("db.client%d.placement", config_.instance), ctx_.now(),
+        next == db::Placement::kDataShipping ? 1.0 : 0.0);
+    placement_ = next;
+  }
+  // Harmony may have granted a different amount of client memory; the
+  // cache resizes (evicting if shrunk) — the paper's memory<->bandwidth
+  // tradeoff in action.
+  double memory = client_->var_number("where.client.memory", 17.0);
+  if (memory != cache_.capacity_mb()) cache_.resize(memory);
+}
+
+void DbClientApp::issue_query() {
+  if (stop_requested_) {
+    stop();
+    return;
+  }
+  query_in_flight_ = true;
+  const double started_at = ctx_.now();
+
+  db::BenchmarkQuery query;
+  query.left_ten_percent = static_cast<int32_t>(rng_.next_below(10));
+  query.right_ten_percent = static_cast<int32_t>(rng_.next_below(10));
+
+  // Stage 1: the query message travels client -> server.
+  auto request = ctx_.net->transfer(
+      client_node_, server_node_, config_.request_mb, [this, query,
+                                                       started_at] {
+        // Stage 2: really execute to learn this query's work profile.
+        db::BucketCache* cache = placement_ == db::Placement::kDataShipping
+                                     ? &cache_
+                                     : nullptr;
+        db::ExecutionProfile profile =
+            engine_->execute(query, placement_, cache, config_.costs);
+        // Stage 3: server CPU.
+        ctx_.cpu->submit(server_node_, profile.server_cpu_s, [this, profile,
+                                                              started_at] {
+          // Stage 4: results / buckets travel server -> client.
+          auto response = ctx_.net->transfer(
+              server_node_, client_node_, profile.transfer_mb,
+              [this, profile, started_at] {
+                // Stage 5: client CPU (parse + any client-side join).
+                ctx_.cpu->submit(client_node_, profile.client_cpu_s,
+                                 [this, started_at] {
+                                   finish_query(started_at);
+                                 });
+              });
+          HARMONY_ASSERT_MSG(response.ok(), "server->client disconnected");
+        });
+      });
+  HARMONY_ASSERT_MSG(request.ok(), "client->server disconnected");
+}
+
+void DbClientApp::finish_query(double started_at) {
+  query_in_flight_ = false;
+  ++queries_completed_;
+  ctx_.metrics->record(metric_name_, ctx_.now(), ctx_.now() - started_at);
+  // Natural phase boundary: poll Harmony before the next query.
+  poll_configuration();
+  if (stop_requested_) {
+    stop();
+    return;
+  }
+  if (config_.think_time_s > 0) {
+    ctx_.engine->schedule(config_.think_time_s, [this] { issue_query(); });
+  } else {
+    issue_query();
+  }
+}
+
+}  // namespace harmony::apps

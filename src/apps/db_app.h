@@ -1,0 +1,75 @@
+// The harmonized client-server database of §6: clients issue randomly
+// perturbed Wisconsin join queries in a closed loop; each query really
+// executes in the DbEngine, and its measured work is charged to the
+// simulated cluster (server/client CPU tasks, server->client
+// transfers). Between queries — the natural reconfiguration point the
+// paper describes — the client polls its Harmony variables and switches
+// between query shipping and data shipping.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apps/sim_context.h"
+#include "client/client.h"
+#include "common/rng.h"
+#include "db/engine.h"
+
+namespace harmony::apps {
+
+struct DbClientConfig {
+  std::string client_host;       // where this client runs
+  std::string server_host = "server";
+  int instance = 1;              // application-supplied instance hint
+  uint64_t seed = 1;
+  double think_time_s = 0.0;     // delay between queries
+  double request_mb = 0.01;      // client -> server query message
+  db::CostModel costs;           // work -> reference-seconds calibration
+};
+
+// The Figure 3 bundle with amounts matching what the simulated client
+// actually does (measured from DbEngine work counters at 100k rows).
+std::string db_client_bundle_script(const DbClientConfig& config);
+
+class DbClientApp {
+ public:
+  DbClientApp(SimContext ctx, db::DbEngine* engine, DbClientConfig config);
+
+  // Registers with Harmony and starts the query loop.
+  Status start();
+  // Finish the current query, then harmony_end (releases resources and
+  // triggers controller re-evaluation).
+  void stop();
+  bool stopped() const { return stop_requested_ && !query_in_flight_; }
+
+  const std::string& metric_name() const { return metric_name_; }
+  uint64_t queries_completed() const { return queries_completed_; }
+  db::Placement current_placement() const { return placement_; }
+  const db::BucketCache& cache() const { return cache_; }
+  core::InstanceId instance_id() const { return client_->instance_id(); }
+
+ private:
+  void poll_configuration();
+  void issue_query();
+  void finish_query(double started_at);
+
+  SimContext ctx_;
+  db::DbEngine* engine_;
+  DbClientConfig config_;
+  // Transport must outlive the client: the client's destructor calls
+  // harmony_end() through it.
+  std::unique_ptr<client::InProcTransport> transport_;
+  std::unique_ptr<client::HarmonyClient> client_;
+  Rng rng_;
+  db::BucketCache cache_{17.0};
+  db::Placement placement_ = db::Placement::kQueryShipping;
+  cluster::NodeId client_node_ = cluster::kInvalidNode;
+  cluster::NodeId server_node_ = cluster::kInvalidNode;
+  std::string metric_name_;
+  uint64_t queries_completed_ = 0;
+  bool stop_requested_ = false;
+  bool query_in_flight_ = false;
+};
+
+}  // namespace harmony::apps

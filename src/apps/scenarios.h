@@ -1,0 +1,52 @@
+// Cluster scripts for the paper's experiment scenarios (harmonyNode
+// advertisements, Table 1 syntax).
+#pragma once
+
+#include <string>
+
+#include "common/strings.h"
+
+namespace harmony::apps {
+
+// n client nodes "sp2-XX" plus a database server host. The server is
+// modeled a bit beefier than the clients (speed 2.25 vs 1.0 relative to
+// the 400 MHz PII reference), which places the QS->DS crossover at
+// three clients as in Figure 7. 320 Mbps full switch, as on the
+// paper's SP-2.
+inline std::string db_cluster_script(int clients,
+                                     double server_speed = 2.25,
+                                     double mbps = 320) {
+  std::string script;
+  for (int i = 0; i < clients; ++i) {
+    script += str_format("harmonyNode sp2-%02d {speed 1.0} {memory 64} {os aix}", i);
+    for (int j = 0; j < i; ++j) {
+      script += str_format(" {link sp2-%02d %g 0.05}", j, mbps);
+    }
+    script += "\n";
+  }
+  script += str_format("harmonyNode server {speed %g} {memory 512} {os aix}",
+                       server_speed);
+  for (int i = 0; i < clients; ++i) {
+    script += str_format(" {link sp2-%02d %g 0.05}", i, mbps);
+  }
+  script += "\n";
+  return script;
+}
+
+// n identical worker nodes on a full switch (the Figure 4 testbed: an
+// 8-processor SP-2 partition).
+inline std::string worker_cluster_script(int workers, double memory_mb = 64,
+                                         double mbps = 320) {
+  std::string script;
+  for (int i = 0; i < workers; ++i) {
+    script += str_format("harmonyNode sp2-%02d {speed 1.0} {memory %g} {os aix}",
+                         i, memory_mb);
+    for (int j = 0; j < i; ++j) {
+      script += str_format(" {link sp2-%02d %g 0.05}", j, mbps);
+    }
+    script += "\n";
+  }
+  return script;
+}
+
+}  // namespace harmony::apps

@@ -1,0 +1,70 @@
+// Shared wiring for simulated harnessed applications: the virtual-time
+// engine, CPU and network models over the controller's topology, and
+// the controller itself. Everything runs single-threaded on the event
+// loop, exactly like the paper's event-driven prototype.
+#pragma once
+
+#include "core/controller.h"
+#include "metric/metric.h"
+#include "sim/cpu.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+
+namespace harmony::apps {
+
+struct SimContext {
+  sim::SimEngine* engine = nullptr;
+  sim::CpuModel* cpu = nullptr;
+  sim::NetworkModel* net = nullptr;
+  core::Controller* controller = nullptr;
+  metric::MetricRegistry* metrics = nullptr;
+
+  double now() const { return engine->now(); }
+  const cluster::Topology& topology() const {
+    return controller->topology();
+  }
+  Result<cluster::NodeId> node_of(const std::string& hostname) const {
+    return topology().find_by_hostname(hostname);
+  }
+};
+
+// Builds the standard harness: controller clocked by the sim engine and
+// CPU/network models over its finalized topology.
+class SimHarness {
+ public:
+  explicit SimHarness(core::ControllerConfig config = {})
+      : controller_(std::move(config)) {}
+
+  // Call after the cluster scripts are loaded into controller().
+  Status finalize() {
+    auto status = controller_.finalize_cluster();
+    if (!status.ok()) return status;
+    controller_.set_time_source([this] { return engine_.now(); });
+    cpu_ = std::make_unique<sim::CpuModel>(&engine_, &controller_.topology());
+    net_ = std::make_unique<sim::NetworkModel>(&engine_,
+                                               &controller_.topology());
+    return Status::Ok();
+  }
+
+  core::Controller& controller() { return controller_; }
+  sim::SimEngine& engine() { return engine_; }
+  metric::MetricRegistry& metrics() { return controller_.metrics(); }
+
+  SimContext context() {
+    SimContext ctx;
+    ctx.engine = &engine_;
+    ctx.cpu = cpu_.get();
+    ctx.net = net_.get();
+    ctx.controller = &controller_;
+    ctx.metrics = &controller_.metrics();
+    return ctx;
+  }
+
+ private:
+  sim::SimEngine engine_;
+  core::Controller controller_;
+  std::unique_ptr<sim::CpuModel> cpu_;
+  std::unique_ptr<sim::NetworkModel> net_;
+};
+
+}  // namespace harmony::apps

@@ -1,0 +1,109 @@
+#include "apps/simple_app.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace harmony::apps {
+
+std::string simple_bundle_script(const SimpleConfig& config) {
+  return str_format(
+      "harmonyBundle Simple:%d config {\n"
+      "  {fixed\n"
+      "    {node worker {seconds %g} {memory %g} {replicate %d}}\n"
+      "    {communication %g}}\n"
+      "}\n",
+      config.instance, config.seconds_per_worker, config.memory_mb,
+      config.workers, config.exchange_mb);
+}
+
+SimpleApp::SimpleApp(SimContext ctx, SimpleConfig config)
+    : ctx_(ctx),
+      config_(std::move(config)),
+      metric_name_(str_format("simple.%d.iteration_time", config_.instance)) {
+  transport_ = std::make_unique<client::InProcTransport>(ctx_.controller);
+  client_ = std::make_unique<client::HarmonyClient>(transport_.get());
+}
+
+Status SimpleApp::start() {
+  auto status = client_->startup(str_format("Simple-%d", config_.instance));
+  if (!status.ok()) return status;
+  status = client_->bundle_setup(simple_bundle_script(config_));
+  if (!status.ok()) return status;
+  client_->add_variable("config.worker.nodes", "");
+  status = client_->wait_for_update();
+  if (!status.ok()) return status;
+  client_->poll_updates();
+  for (const auto& host : client_->var_list("config.worker.nodes")) {
+    auto node = ctx_.node_of(host);
+    if (!node.ok()) return Status(node.error().code, node.error().message);
+    worker_nodes_.push_back(node.value());
+  }
+  if (static_cast<int>(worker_nodes_.size()) != config_.workers) {
+    return Status(ErrorCode::kNoMatch, "did not receive requested workers");
+  }
+  begin_iteration();
+  return Status::Ok();
+}
+
+void SimpleApp::stop() { stop_requested_ = true; }
+
+void SimpleApp::begin_iteration() {
+  // The job is rigid in *width* but can migrate: at each iteration
+  // boundary it re-reads the node assignment Harmony last pushed.
+  if (client_->poll_updates()) {
+    std::vector<cluster::NodeId> nodes;
+    for (const auto& host : client_->var_list("config.worker.nodes")) {
+      auto node = ctx_.node_of(host);
+      if (node.ok()) nodes.push_back(node.value());
+    }
+    if (nodes.size() == worker_nodes_.size() && nodes != worker_nodes_) {
+      HLOG_INFO("simple_app") << metric_name_ << " migrated at t="
+                              << ctx_.now();
+      worker_nodes_ = std::move(nodes);
+    }
+  }
+  if (stop_requested_ ||
+      (config_.max_iterations > 0 &&
+       iterations_completed_ >= config_.max_iterations)) {
+    finished_ = true;
+    if (client_->registered()) {
+      auto status = client_->end();
+      if (!status.ok()) {
+        HLOG_WARN("simple_app") << "harmony_end failed: "
+                                << status.to_string();
+      }
+    }
+    return;
+  }
+  iteration_started_ = ctx_.now();
+  workers_remaining_ = static_cast<int>(worker_nodes_.size());
+  for (cluster::NodeId node : worker_nodes_) {
+    ctx_.cpu->submit(node, config_.seconds_per_worker,
+                     [this] { worker_done(); });
+  }
+}
+
+void SimpleApp::worker_done() {
+  if (--workers_remaining_ > 0) return;
+  // Barrier reached; all-pairs exchange, modeled as one bulk transfer
+  // between the first pair (the bottleneck path on a full switch).
+  if (worker_nodes_.size() >= 2 && config_.exchange_mb > 0) {
+    auto transfer =
+        ctx_.net->transfer(worker_nodes_[0], worker_nodes_[1],
+                           config_.exchange_mb, [this] {
+                             ++iterations_completed_;
+                             ctx_.metrics->record(
+                                 metric_name_, ctx_.now(),
+                                 ctx_.now() - iteration_started_);
+                             begin_iteration();
+                           });
+    HARMONY_ASSERT(transfer.ok());
+    return;
+  }
+  ++iterations_completed_;
+  ctx_.metrics->record(metric_name_, ctx_.now(),
+                       ctx_.now() - iteration_started_);
+  begin_iteration();
+}
+
+}  // namespace harmony::apps

@@ -1,0 +1,56 @@
+// The "Simple" application of §3.3: a generic rigid parallel job on a
+// fixed number of dedicated workers. Each iteration runs the same
+// per-worker computation with a small all-pairs exchange; the node
+// count never changes (there is exactly one option in its bundle), so
+// it serves as the inflexible tenant in the Figure 4 scenario.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/sim_context.h"
+#include "client/client.h"
+
+namespace harmony::apps {
+
+struct SimpleConfig {
+  int instance = 1;
+  int workers = 4;              // the paper's example uses four
+  double seconds_per_worker = 300.0;
+  double memory_mb = 32.0;
+  double exchange_mb = 10.0;    // all-pairs per iteration, total
+  int max_iterations = 0;       // 0 = run until stop()
+};
+
+std::string simple_bundle_script(const SimpleConfig& config);
+
+class SimpleApp {
+ public:
+  SimpleApp(SimContext ctx, SimpleConfig config);
+
+  Status start();
+  void stop();
+  bool finished() const { return finished_; }
+  int iterations_completed() const { return iterations_completed_; }
+  const std::vector<cluster::NodeId>& nodes() const { return worker_nodes_; }
+  core::InstanceId instance_id() const { return client_->instance_id(); }
+
+ private:
+  void begin_iteration();
+  void worker_done();
+
+  SimContext ctx_;
+  SimpleConfig config_;
+  std::unique_ptr<client::InProcTransport> transport_;
+  std::unique_ptr<client::HarmonyClient> client_;
+  std::vector<cluster::NodeId> worker_nodes_;
+  int workers_remaining_ = 0;
+  double iteration_started_ = 0;
+  int iterations_completed_ = 0;
+  bool stop_requested_ = false;
+  bool finished_ = false;
+  std::string metric_name_;
+};
+
+}  // namespace harmony::apps

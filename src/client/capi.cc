@@ -1,0 +1,160 @@
+#include "client/capi.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "client/client.h"
+#include "common/strings.h"
+#include "core/controller.h"
+
+namespace {
+
+using harmony::client::HarmonyClient;
+using harmony::client::InProcTransport;
+using harmony::client::Transport;
+
+struct TypedSlot {
+  int type = HARMONY_VAR_STRING;
+  long int_value = 0;
+  double real_value = 0;
+  char string_value[256] = {0};
+  const std::string* source = nullptr;  // client-library storage
+
+  void refresh() {
+    if (source == nullptr) return;
+    switch (type) {
+      case HARMONY_VAR_INT: {
+        long long v = 0;
+        double d = 0;
+        if (harmony::parse_int64(*source, &v)) {
+          int_value = static_cast<long>(v);
+        } else if (harmony::parse_double(*source, &d)) {
+          int_value = static_cast<long>(d);
+        }
+        break;
+      }
+      case HARMONY_VAR_REAL: {
+        double v = 0;
+        if (harmony::parse_double(*source, &v)) real_value = v;
+        break;
+      }
+      default: {
+        std::snprintf(string_value, sizeof(string_value), "%s",
+                      source->c_str());
+        break;
+      }
+    }
+  }
+
+  void* address() {
+    switch (type) {
+      case HARMONY_VAR_INT: return &int_value;
+      case HARMONY_VAR_REAL: return &real_value;
+      default: return string_value;
+    }
+  }
+};
+
+struct ShimState {
+  std::unique_ptr<InProcTransport> owned_transport;
+  Transport* transport = nullptr;
+  std::unique_ptr<HarmonyClient> client;
+  std::map<std::string, std::unique_ptr<TypedSlot>> slots;
+  std::string last_error;
+};
+
+ShimState& shim() {
+  static ShimState state;
+  return state;
+}
+
+int fail(const std::string& message) {
+  shim().last_error = message;
+  return -1;
+}
+
+int check(const harmony::Status& status) {
+  if (status.ok()) {
+    shim().last_error.clear();
+    return 0;
+  }
+  return fail(status.to_string());
+}
+
+}  // namespace
+
+void harmony_connect_local(harmony::core::Controller* controller) {
+  auto& s = shim();
+  s.owned_transport = std::make_unique<InProcTransport>(controller);
+  s.transport = s.owned_transport.get();
+  s.client.reset();
+  s.slots.clear();
+  s.last_error.clear();
+}
+
+void harmony_connect_transport(harmony::client::Transport* transport) {
+  auto& s = shim();
+  s.owned_transport.reset();
+  s.transport = transport;
+  s.client.reset();
+  s.slots.clear();
+  s.last_error.clear();
+}
+
+int harmony_startup(const char* unique_id, int use_interrupts) {
+  auto& s = shim();
+  if (s.transport == nullptr) {
+    return fail("not connected: call harmony_connect_local first");
+  }
+  if (s.client != nullptr) return fail("harmony_startup already called");
+  s.client = std::make_unique<HarmonyClient>(s.transport);
+  return check(s.client->startup(unique_id ? unique_id : "",
+                                 use_interrupts != 0));
+}
+
+int harmony_bundle_setup(const char* bundle_definition) {
+  auto& s = shim();
+  if (s.client == nullptr) return fail("call harmony_startup first");
+  return check(s.client->bundle_setup(bundle_definition ? bundle_definition
+                                                        : ""));
+}
+
+void* harmony_add_variable(const char* name, const char* default_value,
+                           int var_type) {
+  auto& s = shim();
+  if (s.client == nullptr || name == nullptr) {
+    fail("call harmony_startup first");
+    return nullptr;
+  }
+  const std::string* storage =
+      s.client->add_variable(name, default_value ? default_value : "");
+  auto& slot = s.slots[name];
+  if (slot == nullptr) slot = std::make_unique<TypedSlot>();
+  slot->type = var_type;
+  slot->source = storage;
+  slot->refresh();
+  s.last_error.clear();
+  return slot->address();
+}
+
+int harmony_wait_for_update(void) {
+  auto& s = shim();
+  if (s.client == nullptr) return fail("call harmony_startup first");
+  auto status = s.client->wait_for_update();
+  if (!status.ok()) return check(status);
+  for (auto& [name, slot] : s.slots) slot->refresh();
+  s.last_error.clear();
+  return 0;
+}
+
+int harmony_end(void) {
+  auto& s = shim();
+  if (s.client == nullptr) return fail("call harmony_startup first");
+  auto status = s.client->end();
+  s.client.reset();
+  s.slots.clear();
+  return check(status);
+}
+
+const char* harmony_last_error(void) { return shim().last_error.c_str(); }

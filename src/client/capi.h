@@ -1,0 +1,40 @@
+// C-style shim with the literal signatures of the paper's Figure 5.
+// A process binds to a Harmony server (in-process controller or a TCP
+// transport) with harmony_connect_*, then uses the Figure 5 calls.
+// Returned variable pointers stay valid until harmony_end(); typed
+// values refresh at each harmony_wait_for_update().
+#pragma once
+
+#include <string>
+
+namespace harmony::core {
+class Controller;
+}
+namespace harmony::client {
+class Transport;
+}
+
+enum HarmonyVarType {
+  HARMONY_VAR_INT = 0,
+  HARMONY_VAR_REAL = 1,
+  HARMONY_VAR_STRING = 2,
+};
+
+// Binds the shim to an in-process controller (tests, simulator).
+void harmony_connect_local(harmony::core::Controller* controller);
+// Binds to an arbitrary transport (e.g. net::TcpTransport).
+void harmony_connect_transport(harmony::client::Transport* transport);
+
+// Figure 5 API. All calls return 0 on success, -1 on failure.
+int harmony_startup(const char* unique_id, int use_interrupts);
+int harmony_bundle_setup(const char* bundle_definition);
+// Returns a pointer to the variable's storage: long* for INT, double*
+// for REAL, const char* (NUL-terminated, refreshed in place) for STRING.
+void* harmony_add_variable(const char* name, const char* default_value,
+                           int var_type);
+int harmony_wait_for_update(void);
+int harmony_end(void);
+
+// Last error message for diagnostics (empty when the last call
+// succeeded).
+const char* harmony_last_error(void);

@@ -1,0 +1,147 @@
+#include "client/client.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "rsl/value.h"
+
+namespace harmony::client {
+
+HarmonyClient::HarmonyClient(Transport* transport) : transport_(transport) {
+  HARMONY_ASSERT(transport != nullptr);
+}
+
+HarmonyClient::~HarmonyClient() {
+  if (registered_ && !ended_) {
+    auto status = end();
+    if (!status.ok()) {
+      HLOG_WARN("client") << "harmony_end on destruction failed: "
+                          << status.to_string();
+    }
+  }
+}
+
+Status HarmonyClient::startup(const std::string& unique_id,
+                              bool use_interrupts) {
+  if (!unique_id_.empty()) {
+    return Status(ErrorCode::kAlreadyExists, "startup already called");
+  }
+  if (unique_id.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "unique id must not be empty");
+  }
+  use_interrupts_ = use_interrupts;
+  unique_id_ = unique_id;
+  return Status::Ok();
+}
+
+Status HarmonyClient::bundle_setup(const std::string& bundle_definition) {
+  if (unique_id_.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "call startup first");
+  }
+  if (registered_) {
+    return Status(ErrorCode::kClosed, "bundles already committed");
+  }
+  bundle_scripts_.push_back(bundle_definition);
+  return Status::Ok();
+}
+
+const std::string* HarmonyClient::add_variable(const std::string& name,
+                                               std::string default_value) {
+  auto& slot = variables_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<std::string>(std::move(default_value));
+  } else {
+    *slot = std::move(default_value);
+  }
+  return slot.get();
+}
+
+Status HarmonyClient::commit() {
+  if (registered_) return Status::Ok();
+  if (bundle_scripts_.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "no bundles to register");
+  }
+  std::string script;
+  for (const auto& bundle : bundle_scripts_) {
+    script += bundle;
+    script += "\n";
+  }
+  auto id = transport_->register_app(script);
+  if (!id.ok()) return Status(id.error().code, id.error().message);
+  instance_id_ = id.value();
+  registered_ = true;
+  auto subscribed = transport_->subscribe(
+      instance_id_, [this](const std::string& name, const std::string& value) {
+        if (use_interrupts_) {
+          // Interrupt mode: apply immediately and fire the handler.
+          apply_update(name, value);
+          if (interrupt_handler_) interrupt_handler_(name, value);
+        } else {
+          pending_.emplace_back(name, value);
+        }
+      });
+  if (!subscribed.ok()) return subscribed;
+  return Status::Ok();
+}
+
+void HarmonyClient::apply_update(const std::string& name,
+                                 const std::string& value) {
+  auto it = variables_.find(name);
+  if (it == variables_.end()) {
+    // Undeclared variables are still tracked so late add_variable calls
+    // see the latest value.
+    variables_[name] = std::make_unique<std::string>(value);
+  } else {
+    *it->second = value;
+  }
+}
+
+bool HarmonyClient::poll_updates() {
+  bool changed = false;
+  for (auto& [name, value] : pending_) {
+    auto it = variables_.find(name);
+    if (it == variables_.end() || *it->second != value) changed = true;
+    apply_update(name, value);
+  }
+  pending_.clear();
+  return changed;
+}
+
+Status HarmonyClient::wait_for_update() {
+  auto committed = commit();
+  if (!committed.ok()) return committed;
+  poll_updates();
+  return Status::Ok();
+}
+
+Status HarmonyClient::end() {
+  if (!registered_) return Status(ErrorCode::kClosed, "not registered");
+  if (ended_) return Status(ErrorCode::kClosed, "already ended");
+  ended_ = true;
+  return transport_->unregister(instance_id_);
+}
+
+std::string HarmonyClient::var(const std::string& name) const {
+  auto it = variables_.find(name);
+  return it == variables_.end() ? std::string() : *it->second;
+}
+
+double HarmonyClient::var_number(const std::string& name,
+                                 double fallback) const {
+  double out = 0;
+  if (parse_double(var(name), &out)) return out;
+  return fallback;
+}
+
+std::vector<std::string> HarmonyClient::var_list(const std::string& name) const {
+  auto parsed = rsl::list_parse(var(name));
+  return parsed.ok() ? parsed.value() : std::vector<std::string>{};
+}
+
+Result<std::string> HarmonyClient::fetch(const std::string& name) {
+  if (!registered_) {
+    return Err<std::string>(ErrorCode::kClosed, "not registered");
+  }
+  return transport_->get_variable(instance_id_, name);
+}
+
+}  // namespace harmony::client

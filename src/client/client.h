@@ -1,0 +1,100 @@
+// Client runtime library — the C++ face of the paper's Figure 5 API:
+//
+//   harmony_startup(<unique id>, <use interrupts>)
+//   harmony_bundle_setup("<bundle definition>")
+//   harmony_add_variable("name", <default>, <type>)
+//   harmony_wait_for_update()
+//   harmony_end()
+//
+// Variable updates from the Harmony process are buffered and applied at
+// poll_updates() — the polling discipline §5 describes: applications
+// re-read Harmony variables at natural phase boundaries (end of a
+// query, end of an outer iteration) and reconfigure themselves.
+// A C-style shim with the literal Figure 5 signatures is in capi.h.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/transport.h"
+#include "common/result.h"
+
+namespace harmony::client {
+
+class HarmonyClient {
+ public:
+  explicit HarmonyClient(Transport* transport);
+  ~HarmonyClient();
+  HarmonyClient(const HarmonyClient&) = delete;
+  HarmonyClient& operator=(const HarmonyClient&) = delete;
+
+  // harmony_startup: names the application; must precede bundle_setup.
+  Status startup(const std::string& unique_id, bool use_interrupts = false);
+  // harmony_bundle_setup: accumulates harmonyBundle definitions. The
+  // whole set registers as one application instance at commit().
+  Status bundle_setup(const std::string& bundle_definition);
+  // harmony_add_variable: declares a variable the application will
+  // poll. Returns stable storage for its current value.
+  const std::string* add_variable(const std::string& name,
+                                  std::string default_value);
+  // Sends the accumulated bundles to Harmony and subscribes for
+  // updates. Implied by the first poll_updates()/wait_for_update().
+  Status commit();
+
+  // Applies buffered updates to declared variables; returns true if any
+  // variable changed. (The polling half of harmony_wait_for_update.)
+  bool poll_updates();
+
+  // Interrupt mode (harmony_startup's <use interrupts>): when enabled,
+  // updates are applied the moment they arrive and the callback fires —
+  // the prototype's "I/O event handler function is called when the
+  // Harmony process sends variable updates". Without a callback set,
+  // interrupt mode still applies updates eagerly.
+  using InterruptHandler = std::function<void(const std::string& name,
+                                              const std::string& value)>;
+  void set_interrupt_handler(InterruptHandler handler) {
+    interrupt_handler_ = std::move(handler);
+  }
+  bool use_interrupts() const { return use_interrupts_; }
+  // harmony_wait_for_update: commits if needed, then applies buffered
+  // updates; with an in-process controller updates are already pushed,
+  // so this is poll_updates() plus registration.
+  Status wait_for_update();
+
+  // harmony_end.
+  Status end();
+
+  bool registered() const { return registered_; }
+  core::InstanceId instance_id() const { return instance_id_; }
+
+  // Typed variable reads (current applied value).
+  std::string var(const std::string& name) const;
+  double var_number(const std::string& name, double fallback = 0.0) const;
+  // Whole-list variable helper ("<bundle>.<role>.nodes").
+  std::vector<std::string> var_list(const std::string& name) const;
+
+  // Pull a value straight from the server's namespace (bypasses the
+  // variable registry).
+  Result<std::string> fetch(const std::string& name);
+
+ private:
+  void apply_update(const std::string& name, const std::string& value);
+
+  Transport* transport_;
+  std::string unique_id_;
+  std::vector<std::string> bundle_scripts_;
+  bool registered_ = false;
+  bool ended_ = false;
+  bool use_interrupts_ = false;
+  InterruptHandler interrupt_handler_;
+  core::InstanceId instance_id_ = 0;
+
+  // Declared variables: applied values (stable addresses for the
+  // Figure 5 pointer contract) and the pending-update buffer.
+  std::map<std::string, std::unique_ptr<std::string>> variables_;
+  std::vector<std::pair<std::string, std::string>> pending_;
+};
+
+}  // namespace harmony::client

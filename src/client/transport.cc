@@ -1,0 +1,25 @@
+#include "client/transport.h"
+
+#include "core/controller.h"
+
+namespace harmony::client {
+
+Result<core::InstanceId> InProcTransport::register_app(
+    const std::string& script) {
+  return controller_->register_script(script);
+}
+
+Status InProcTransport::unregister(core::InstanceId id) {
+  return controller_->unregister(id);
+}
+
+Status InProcTransport::subscribe(core::InstanceId id, UpdateHandler handler) {
+  return controller_->subscribe(id, std::move(handler));
+}
+
+Result<std::string> InProcTransport::get_variable(core::InstanceId id,
+                                                  const std::string& name) {
+  return controller_->get_variable(id, name);
+}
+
+}  // namespace harmony::client

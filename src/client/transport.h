@@ -1,0 +1,55 @@
+// Transport abstraction between the client runtime library and the
+// Harmony server: the prototype connects over a well-known TCP port
+// (net/tcp_transport); tests and the simulator link the controller in
+// process (InProcTransport).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "core/state.h"
+
+namespace harmony::client {
+
+class Transport {
+ public:
+  using UpdateHandler = std::function<void(const std::string& name,
+                                           const std::string& value)>;
+  virtual ~Transport() = default;
+
+  // Registers an application (a script of harmonyBundle commands);
+  // returns the Harmony-assigned instance id.
+  virtual Result<core::InstanceId> register_app(const std::string& script) = 0;
+  virtual Status unregister(core::InstanceId id) = 0;
+  // Installs the update push channel for an instance.
+  virtual Status subscribe(core::InstanceId id, UpdateHandler handler) = 0;
+  // Pull-style variable read.
+  virtual Result<std::string> get_variable(core::InstanceId id,
+                                           const std::string& name) = 0;
+};
+
+}  // namespace harmony::client
+
+namespace harmony::core {
+class Controller;
+}
+
+namespace harmony::client {
+
+class InProcTransport : public Transport {
+ public:
+  explicit InProcTransport(core::Controller* controller)
+      : controller_(controller) {}
+
+  Result<core::InstanceId> register_app(const std::string& script) override;
+  Status unregister(core::InstanceId id) override;
+  Status subscribe(core::InstanceId id, UpdateHandler handler) override;
+  Result<std::string> get_variable(core::InstanceId id,
+                                   const std::string& name) override;
+
+ private:
+  core::Controller* controller_;
+};
+
+}  // namespace harmony::client

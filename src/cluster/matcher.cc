@@ -1,0 +1,211 @@
+#include "cluster/matcher.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace harmony::cluster {
+
+const char* match_policy_name(MatchPolicy policy) {
+  switch (policy) {
+    case MatchPolicy::kFirstFit: return "first-fit";
+    case MatchPolicy::kBestFit: return "best-fit";
+    case MatchPolicy::kWorstFit: return "worst-fit";
+  }
+  return "unknown";
+}
+
+NodeId Allocation::find(const std::string& role, int index) const {
+  for (const auto& entry : entries) {
+    if (entry.requirement.role == role && entry.requirement.index == index) {
+      return entry.node;
+    }
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeId> Allocation::nodes_for(const std::string& role) const {
+  std::vector<std::pair<int, NodeId>> hits;
+  for (const auto& entry : entries) {
+    if (entry.requirement.role == role) {
+      hits.emplace_back(entry.requirement.index, entry.node);
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  std::vector<NodeId> nodes;
+  nodes.reserve(hits.size());
+  for (const auto& [index, node] : hits) nodes.push_back(node);
+  return nodes;
+}
+
+bool Allocation::same_placement(const Allocation& other) const {
+  if (entries.size() != other.entries.size()) return false;
+  for (const auto& entry : entries) {
+    if (other.find(entry.requirement.role, entry.requirement.index) !=
+        entry.node) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Backtracking placement. Clusters are small (the paper's testbed was an
+// SP-2 partition), so exhaustive backtracking with policy-ordered
+// candidates is affordable and strictly more capable than pure greedy:
+// it still *prefers* the policy's choice but can recover from dead ends.
+class Search {
+ public:
+  Search(const std::vector<NodeRequirement>& requirements,
+         const std::vector<LinkRequirement>& links, ResourcePool& pool,
+         MatchPolicy policy)
+      : requirements_(requirements),
+        links_(links),
+        pool_(pool),
+        policy_(policy),
+        placed_(requirements.size(), kInvalidNode) {}
+
+  bool run() { return place(0); }
+
+  Allocation take_allocation() {
+    Allocation allocation;
+    for (size_t i = 0; i < requirements_.size(); ++i) {
+      allocation.entries.push_back({requirements_[i], placed_[i]});
+    }
+    return allocation;
+  }
+
+ private:
+  bool node_admissible(const NodeRequirement& req, const NodeInfo& node) const {
+    if (!glob_match(req.hostname_glob, node.hostname)) return false;
+    if (!req.os.empty() && node.os != req.os) return false;
+    return true;
+  }
+
+  bool links_satisfied(size_t placed_index) const {
+    const Topology& topo = pool_.topology();
+    for (const auto& link : links_) {
+      if (link.from >= placed_.size() || link.to >= placed_.size()) continue;
+      NodeId a = placed_[link.from];
+      NodeId b = placed_[link.to];
+      if (a == kInvalidNode || b == kInvalidNode) continue;
+      // Only re-check constraints involving the node just placed.
+      if (link.from != placed_index && link.to != placed_index) continue;
+      if (!topo.connected(a, b)) return false;
+      if (link.min_bandwidth_mbps > 0 &&
+          topo.path_bandwidth(a, b) < link.min_bandwidth_mbps) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool role_conflict(size_t req_index, NodeId candidate) const {
+    const auto& req = requirements_[req_index];
+    for (size_t i = 0; i < req_index; ++i) {
+      if (requirements_[i].role == req.role && placed_[i] == candidate) {
+        return true;  // replicas of a role need distinct nodes
+      }
+    }
+    return false;
+  }
+
+  std::vector<NodeId> candidates(const NodeRequirement& req) const {
+    std::vector<NodeId> out;
+    for (const auto& node : pool_.topology().nodes()) {
+      if (!pool_.is_online(node.id)) continue;
+      if (!node_admissible(req, node)) continue;
+      if (pool_.available_memory(node.id) + 1e-9 < req.memory_mb) continue;
+      out.push_back(node.id);
+    }
+    // Least-loaded first; the policy breaks ties.
+    switch (policy_) {
+      case MatchPolicy::kFirstFit:
+        std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+          return pool_.effective_load(a) < pool_.effective_load(b);
+        });
+        break;  // ties stay in topology order
+      case MatchPolicy::kBestFit:
+        std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+          if (pool_.effective_load(a) != pool_.effective_load(b)) {
+            return pool_.effective_load(a) < pool_.effective_load(b);
+          }
+          return pool_.available_memory(a) < pool_.available_memory(b);
+        });
+        break;
+      case MatchPolicy::kWorstFit:
+        std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+          if (pool_.effective_load(a) != pool_.effective_load(b)) {
+            return pool_.effective_load(a) < pool_.effective_load(b);
+          }
+          return pool_.available_memory(a) > pool_.available_memory(b);
+        });
+        break;
+    }
+    return out;
+  }
+
+  bool place(size_t index) {
+    if (index == requirements_.size()) return true;
+    const auto& req = requirements_[index];
+    for (NodeId candidate : candidates(req)) {
+      if (role_conflict(index, candidate)) continue;
+      if (!pool_.reserve_memory(candidate, req.memory_mb).ok()) continue;
+      pool_.add_process(candidate);
+      placed_[index] = candidate;
+      if (links_satisfied(index) && place(index + 1)) return true;
+      placed_[index] = kInvalidNode;
+      auto removed = pool_.remove_process(candidate);
+      HARMONY_ASSERT(removed.ok());
+      auto status = pool_.release_memory(candidate, req.memory_mb);
+      HARMONY_ASSERT(status.ok());
+    }
+    return false;
+  }
+
+  const std::vector<NodeRequirement>& requirements_;
+  const std::vector<LinkRequirement>& links_;
+  ResourcePool& pool_;
+  MatchPolicy policy_;
+  std::vector<NodeId> placed_;
+};
+
+}  // namespace
+
+Result<Allocation> Matcher::match(
+    const std::vector<NodeRequirement>& requirements,
+    const std::vector<LinkRequirement>& links, ResourcePool& pool) const {
+  for (const auto& link : links) {
+    if (link.from >= requirements.size() || link.to >= requirements.size()) {
+      return Err<Allocation>(ErrorCode::kInvalidArgument,
+                             "link requirement references missing node");
+    }
+  }
+  for (const auto& req : requirements) {
+    if (req.memory_mb < 0) {
+      return Err<Allocation>(ErrorCode::kInvalidArgument,
+                             "negative memory requirement for role " + req.role);
+    }
+  }
+  Search search(requirements, links, pool, policy_);
+  if (!search.run()) {
+    return Err<Allocation>(
+        ErrorCode::kNoMatch,
+        str_format("no placement for %zu requirements under %s",
+                   requirements.size(), match_policy_name(policy_)));
+  }
+  return search.take_allocation();
+}
+
+Status Matcher::release(const Allocation& allocation, ResourcePool& pool) {
+  for (const auto& entry : allocation.entries) {
+    auto status = pool.release_memory(entry.node, entry.requirement.memory_mb);
+    if (!status.ok()) return status;
+    status = pool.remove_process(entry.node);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+}  // namespace harmony::cluster

@@ -1,0 +1,138 @@
+#include "cluster/pool.h"
+
+#include "common/assert.h"
+#include "common/strings.h"
+
+namespace harmony::cluster {
+
+ResourcePool::ResourcePool(const Topology* topology) : topology_(topology) {
+  HARMONY_ASSERT(topology != nullptr);
+  reserved_memory_.assign(topology->node_count(), 0.0);
+  processes_.assign(topology->node_count(), 0);
+  external_load_.assign(topology->node_count(), 0);
+  online_.assign(topology->node_count(), true);
+}
+
+void ResourcePool::set_external_load(NodeId node, int tasks) {
+  HARMONY_ASSERT(node < external_load_.size());
+  HARMONY_ASSERT(tasks >= 0);
+  external_load_[node] = tasks;
+}
+
+int ResourcePool::external_load(NodeId node) const {
+  HARMONY_ASSERT(node < external_load_.size());
+  return external_load_[node];
+}
+
+void ResourcePool::set_online(NodeId node, bool online) {
+  HARMONY_ASSERT(node < online_.size());
+  online_[node] = online;
+}
+
+bool ResourcePool::is_online(NodeId node) const {
+  HARMONY_ASSERT(node < online_.size());
+  return online_[node];
+}
+
+size_t ResourcePool::online_count() const {
+  size_t count = 0;
+  for (bool online : online_) {
+    if (online) ++count;
+  }
+  return count;
+}
+
+double ResourcePool::total_memory(NodeId node) const {
+  return topology_->node(node).memory_mb;
+}
+
+double ResourcePool::available_memory(NodeId node) const {
+  HARMONY_ASSERT(node < reserved_memory_.size());
+  return topology_->node(node).memory_mb - reserved_memory_[node];
+}
+
+Status ResourcePool::reserve_memory(NodeId node, double mb) {
+  if (node >= reserved_memory_.size()) {
+    return Status(ErrorCode::kNotFound, "no such node");
+  }
+  if (mb < 0) {
+    return Status(ErrorCode::kInvalidArgument, "negative reservation");
+  }
+  if (available_memory(node) + 1e-9 < mb) {
+    return Status(ErrorCode::kCapacity,
+                  str_format("node %s: %.1f MB requested, %.1f MB available",
+                             topology_->node(node).hostname.c_str(), mb,
+                             available_memory(node)));
+  }
+  reserved_memory_[node] += mb;
+  return Status::Ok();
+}
+
+Status ResourcePool::release_memory(NodeId node, double mb) {
+  if (node >= reserved_memory_.size()) {
+    return Status(ErrorCode::kNotFound, "no such node");
+  }
+  if (mb < 0) {
+    return Status(ErrorCode::kInvalidArgument, "negative release");
+  }
+  if (reserved_memory_[node] + 1e-9 < mb) {
+    return Status(ErrorCode::kCapacity, "releasing more memory than reserved");
+  }
+  reserved_memory_[node] -= mb;
+  if (reserved_memory_[node] < 0) reserved_memory_[node] = 0;  // absorb epsilon
+  return Status::Ok();
+}
+
+int ResourcePool::process_count(NodeId node) const {
+  HARMONY_ASSERT(node < processes_.size());
+  return processes_[node];
+}
+
+void ResourcePool::add_process(NodeId node) {
+  HARMONY_ASSERT(node < processes_.size());
+  ++processes_[node];
+}
+
+Status ResourcePool::remove_process(NodeId node) {
+  if (node >= processes_.size()) {
+    return Status(ErrorCode::kNotFound, "no such node");
+  }
+  if (processes_[node] == 0) {
+    return Status(ErrorCode::kCapacity, "no process to remove");
+  }
+  --processes_[node];
+  return Status::Ok();
+}
+
+int ResourcePool::total_processes() const {
+  int total = 0;
+  for (int count : processes_) total += count;
+  return total;
+}
+
+bool ResourcePool::invariants_hold() const {
+  for (NodeId id = 0; id < reserved_memory_.size(); ++id) {
+    if (reserved_memory_[id] < -1e-9) return false;
+    if (reserved_memory_[id] > topology_->node(id).memory_mb + 1e-9) {
+      return false;
+    }
+    if (processes_[id] < 0) return false;
+  }
+  return true;
+}
+
+Status MemoryReservation::reserve(NodeId node, double mb) {
+  auto status = pool_->reserve_memory(node, mb);
+  if (status.ok()) held_.emplace_back(node, mb);
+  return status;
+}
+
+void MemoryReservation::rollback() {
+  for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+    auto status = pool_->release_memory(it->first, it->second);
+    HARMONY_ASSERT_MSG(status.ok(), "rollback release failed");
+  }
+  held_.clear();
+}
+
+}  // namespace harmony::cluster

@@ -1,0 +1,92 @@
+// Resource accounting over a Topology. The paper (§4.1): "As nodes and
+// links are matched, we decrease the available resources based on the
+// application's RSL entries." Memory is reserved exclusively; CPU is
+// time-shared, so the pool tracks per-node load (number of resident
+// processes) which the performance models use for contention scaling.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/result.h"
+
+namespace harmony::cluster {
+
+class ResourcePool {
+ public:
+  explicit ResourcePool(const Topology* topology);
+
+  const Topology& topology() const { return *topology_; }
+
+  // --- memory ---------------------------------------------------------------
+  double total_memory(NodeId node) const;
+  double available_memory(NodeId node) const;
+  Status reserve_memory(NodeId node, double mb);
+  Status release_memory(NodeId node, double mb);
+
+  // --- CPU load ---------------------------------------------------------------
+  // Number of processes resident on the node; the default performance
+  // model scales CPU time by this (processor sharing).
+  int process_count(NodeId node) const;
+  void add_process(NodeId node);
+  Status remove_process(NodeId node);
+
+  // Sum of processes across the cluster (diagnostics).
+  int total_processes() const;
+
+  // --- external load -------------------------------------------------------
+  // Load from work outside Harmony's control (§4.3: "changes out of
+  // Harmony's control (such as network traffic due to other
+  // applications)"), as observed through the metric interface. It
+  // contributes to contention estimates and to the matcher's
+  // least-loaded ordering, but reserves nothing.
+  void set_external_load(NodeId node, int tasks);
+  int external_load(NodeId node) const;
+  // process_count + external load: the contention the models see.
+  int effective_load(NodeId node) const {
+    return process_count(node) + external_load(node);
+  }
+
+  // --- availability ------------------------------------------------------
+  // Nodes can leave and rejoin the pool at runtime ("the addition or
+  // deletion of nodes" the paper's abstract calls out). An offline node
+  // is never matched; existing reservations are the controller's job to
+  // migrate.
+  void set_online(NodeId node, bool online);
+  bool is_online(NodeId node) const;
+  size_t online_count() const;
+
+  // Invariant check: no node over-committed, no negative counters.
+  // Used by property tests and debug assertions.
+  bool invariants_hold() const;
+
+ private:
+  const Topology* topology_;
+  std::vector<double> reserved_memory_;
+  std::vector<int> processes_;
+  std::vector<int> external_load_;
+  std::vector<bool> online_;
+};
+
+// RAII reservation of memory on a set of nodes. Releases on destruction
+// unless committed. Keeps the matcher exception-safe: a partially
+// completed match rolls back automatically.
+class MemoryReservation {
+ public:
+  explicit MemoryReservation(ResourcePool* pool) : pool_(pool) {}
+  ~MemoryReservation() { rollback(); }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  Status reserve(NodeId node, double mb);
+  // Keeps the reservations; the caller owns releasing them later.
+  void commit() { held_.clear(); }
+  void rollback();
+
+ private:
+  ResourcePool* pool_;
+  std::vector<std::pair<NodeId, double>> held_;
+};
+
+}  // namespace harmony::cluster

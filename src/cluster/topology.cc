@@ -1,0 +1,148 @@
+#include "cluster/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.h"
+#include "common/strings.h"
+
+namespace harmony::cluster {
+
+Result<NodeId> Topology::add_node(std::string hostname, double speed,
+                                  double memory_mb, std::string os) {
+  if (hostname.empty()) {
+    return Err<NodeId>(ErrorCode::kInvalidArgument, "hostname must not be empty");
+  }
+  if (speed <= 0) {
+    return Err<NodeId>(ErrorCode::kInvalidArgument,
+                       "node speed must be positive: " + hostname);
+  }
+  if (memory_mb < 0) {
+    return Err<NodeId>(ErrorCode::kInvalidArgument,
+                       "node memory must be non-negative: " + hostname);
+  }
+  if (by_hostname_.count(hostname)) {
+    return Err<NodeId>(ErrorCode::kAlreadyExists,
+                       "duplicate hostname: " + hostname);
+  }
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  by_hostname_[hostname] = id;
+  nodes_.push_back(NodeInfo{id, std::move(hostname), std::move(os), speed,
+                            memory_mb});
+  adjacency_.emplace_back();
+  return id;
+}
+
+Status Topology::add_link(NodeId a, NodeId b, double bandwidth_mbps,
+                          double latency_ms) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    return Status(ErrorCode::kNotFound, "link endpoint does not exist");
+  }
+  if (a == b) {
+    return Status(ErrorCode::kInvalidArgument, "self-links are implicit");
+  }
+  if (bandwidth_mbps <= 0) {
+    return Status(ErrorCode::kInvalidArgument, "bandwidth must be positive");
+  }
+  if (latency_ms < 0) {
+    return Status(ErrorCode::kInvalidArgument, "latency must be non-negative");
+  }
+  // Replace an existing link in place.
+  for (size_t idx : adjacency_[a]) {
+    LinkInfo& l = links_[idx];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      l.bandwidth_mbps = bandwidth_mbps;
+      l.latency_ms = latency_ms;
+      return Status::Ok();
+    }
+  }
+  links_.push_back(LinkInfo{a, b, bandwidth_mbps, latency_ms});
+  adjacency_[a].push_back(links_.size() - 1);
+  adjacency_[b].push_back(links_.size() - 1);
+  return Status::Ok();
+}
+
+const NodeInfo& Topology::node(NodeId id) const {
+  HARMONY_ASSERT(id < nodes_.size());
+  return nodes_[id];
+}
+
+Result<NodeId> Topology::find_by_hostname(const std::string& hostname) const {
+  auto it = by_hostname_.find(hostname);
+  if (it == by_hostname_.end()) {
+    return Err<NodeId>(ErrorCode::kNotFound, "no such host: " + hostname);
+  }
+  return it->second;
+}
+
+const LinkInfo* Topology::link(NodeId a, NodeId b) const {
+  if (a >= nodes_.size() || b >= nodes_.size()) return nullptr;
+  for (size_t idx : adjacency_[a]) {
+    const LinkInfo& l = links_[idx];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return &l;
+  }
+  return nullptr;
+}
+
+double Topology::path_bandwidth(NodeId a, NodeId b) const {
+  if (a == b) return std::numeric_limits<double>::infinity();
+  return widest_path(a, b).bandwidth;
+}
+
+double Topology::path_latency(NodeId a, NodeId b) const {
+  if (a == b) return 0.0;
+  return widest_path(a, b).latency;
+}
+
+std::vector<size_t> Topology::path_links(NodeId a, NodeId b) const {
+  if (a == b) return {};
+  return widest_path(a, b).links;
+}
+
+// Dijkstra variant maximizing the bottleneck bandwidth; ties broken by
+// lower total latency.
+Topology::PathResult Topology::widest_path(NodeId a, NodeId b) const {
+  if (a >= nodes_.size() || b >= nodes_.size()) return {};
+  std::vector<double> best_bw(nodes_.size(), 0.0);
+  std::vector<double> best_lat(nodes_.size(),
+                               std::numeric_limits<double>::infinity());
+  std::vector<size_t> via_link(nodes_.size(), SIZE_MAX);
+  std::vector<NodeId> via_node(nodes_.size(), kInvalidNode);
+  using Entry = std::tuple<double, double, NodeId>;  // -bw, lat, node
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  best_bw[a] = std::numeric_limits<double>::infinity();
+  best_lat[a] = 0.0;
+  queue.emplace(-best_bw[a], 0.0, a);
+  while (!queue.empty()) {
+    auto [neg_bw, lat, u] = queue.top();
+    queue.pop();
+    double bw = -neg_bw;
+    if (bw < best_bw[u] || (bw == best_bw[u] && lat > best_lat[u])) continue;
+    if (u == b) break;
+    for (size_t idx : adjacency_[u]) {
+      const LinkInfo& l = links_[idx];
+      NodeId v = l.a == u ? l.b : l.a;
+      double nbw = std::min(bw, l.bandwidth_mbps);
+      double nlat = lat + l.latency_ms;
+      if (nbw > best_bw[v] || (nbw == best_bw[v] && nlat < best_lat[v])) {
+        best_bw[v] = nbw;
+        best_lat[v] = nlat;
+        via_link[v] = idx;
+        via_node[v] = u;
+        queue.emplace(-nbw, nlat, v);
+      }
+    }
+  }
+  if (best_bw[b] == 0.0) return {};
+  PathResult result;
+  result.bandwidth = best_bw[b];
+  result.latency = best_lat[b];
+  for (NodeId cur = b; cur != a; cur = via_node[cur]) {
+    HARMONY_ASSERT(via_link[cur] != SIZE_MAX);
+    result.links.push_back(via_link[cur]);
+  }
+  std::reverse(result.links.begin(), result.links.end());
+  return result;
+}
+
+}  // namespace harmony::cluster

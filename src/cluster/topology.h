@@ -1,0 +1,83 @@
+// Cluster model: nodes with a speed scaling factor relative to the
+// paper's reference machine (a 400 MHz Pentium II), memory, an OS tag,
+// and links with bandwidth/latency. The topology graph answers
+// widest-path bandwidth queries between any two nodes, which the
+// matcher and the simulator's network model both use.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace harmony::cluster {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+struct NodeInfo {
+  NodeId id = kInvalidNode;
+  std::string hostname;
+  std::string os;
+  double speed = 1.0;      // relative to the 400 MHz PII reference machine
+  double memory_mb = 0.0;  // physical memory
+};
+
+struct LinkInfo {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double bandwidth_mbps = 0.0;
+  double latency_ms = 0.0;
+};
+
+class Topology {
+ public:
+  // Hostname must be unique; returns the new node's id.
+  Result<NodeId> add_node(std::string hostname, double speed, double memory_mb,
+                          std::string os = "");
+  // Undirected; replaces any existing a<->b link.
+  Status add_link(NodeId a, NodeId b, double bandwidth_mbps,
+                  double latency_ms = 0.0);
+
+  size_t node_count() const { return nodes_.size(); }
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  const NodeInfo& node(NodeId id) const;
+  Result<NodeId> find_by_hostname(const std::string& hostname) const;
+
+  // The direct link between a and b, or nullptr if none.
+  const LinkInfo* link(NodeId a, NodeId b) const;
+  const std::vector<LinkInfo>& links() const { return links_; }
+
+  // Bandwidth of the widest path a->b (bottleneck bandwidth), 0 if
+  // disconnected. a == b yields +infinity (local communication).
+  double path_bandwidth(NodeId a, NodeId b) const;
+  // Total latency along the widest path (sum of per-hop latencies).
+  double path_latency(NodeId a, NodeId b) const;
+  bool connected(NodeId a, NodeId b) const {
+    return a == b || path_bandwidth(a, b) > 0.0;
+  }
+
+  // Link indices (into links()) along the widest path a->b, in order.
+  // Empty when a == b or disconnected. The network simulator routes
+  // flows along this path.
+  std::vector<size_t> path_links(NodeId a, NodeId b) const;
+
+ private:
+  struct PathResult {
+    double bandwidth = 0.0;
+    double latency = 0.0;
+    std::vector<size_t> links;  // hop link indices, in order
+  };
+  PathResult widest_path(NodeId a, NodeId b) const;
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<LinkInfo> links_;
+  std::unordered_map<std::string, NodeId> by_hostname_;
+  // adjacency: node -> list of link indices
+  std::vector<std::vector<size_t>> adjacency_;
+};
+
+}  // namespace harmony::cluster

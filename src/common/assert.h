@@ -1,0 +1,28 @@
+// Internal invariant checking. HARMONY_ASSERT fires in all build types:
+// a violated invariant in the controller or simulator means any further
+// results are meaningless, so we fail fast rather than compile it out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace harmony {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "HARMONY_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace harmony
+
+#define HARMONY_ASSERT(expr)                                          \
+  do {                                                                \
+    if (!(expr)) ::harmony::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define HARMONY_ASSERT_MSG(expr, msg)                                 \
+  do {                                                                \
+    if (!(expr)) ::harmony::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

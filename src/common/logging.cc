@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace harmony {
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+std::mutex g_log_mutex;
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& tag,
+                 const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (sim_time_) {
+    std::fprintf(stderr, "[%s] [t=%.3f] %s: %s\n", level_name(level),
+                 sim_time_(), tag.c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), tag.c_str(),
+                 message.c_str());
+  }
+}
+
+}  // namespace harmony

@@ -1,0 +1,69 @@
+// Minimal leveled logger. Experiments run on a virtual clock, so log
+// lines carry an optional simulated timestamp set by the caller via
+// set_sim_time_source().
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace harmony {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // When set, every line is prefixed with "[t=<seconds>]".
+  void set_sim_time_source(std::function<double()> source) {
+    sim_time_ = std::move(source);
+  }
+  void clear_sim_time_source() { sim_time_ = nullptr; }
+
+  void log(LogLevel level, const std::string& tag, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<double()> sim_time_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : level_(level), tag_(tag) {}
+  ~LogLine() { Logger::instance().log(level_, tag_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace harmony
+
+#define HLOG(severity, tag)                                          \
+  if (static_cast<int>(::harmony::LogLevel::severity) <              \
+      static_cast<int>(::harmony::Logger::instance().level()))       \
+    ;                                                                \
+  else                                                               \
+    ::harmony::detail::LogLine(::harmony::LogLevel::severity, tag)
+
+#define HLOG_DEBUG(tag) HLOG(kDebug, tag)
+#define HLOG_INFO(tag) HLOG(kInfo, tag)
+#define HLOG_WARN(tag) HLOG(kWarn, tag)
+#define HLOG_ERROR(tag) HLOG(kError, tag)

@@ -1,0 +1,125 @@
+// Result<T>: value-or-error return type for recoverable failures
+// (parse errors, failed resource matches, transport errors). Programming
+// errors use HARMONY_ASSERT instead. Modeled on std::expected, which is
+// not available in C++20/libstdc++ 12.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/assert.h"
+
+namespace harmony {
+
+enum class ErrorCode {
+  kOk = 0,
+  kParseError,       // RSL / expression syntax error
+  kEvalError,        // RSL runtime error (unknown command, bad arity...)
+  kNotFound,         // name lookup failed
+  kAlreadyExists,    // duplicate registration
+  kNoMatch,          // resource matcher could not satisfy requirements
+  kCapacity,         // resource accounting would go negative
+  kInvalidArgument,  // caller passed a malformed value
+  kTransport,        // socket / framing failure
+  kProtocol,         // malformed wire message
+  kClosed,           // operation on a shut-down component
+  kTimeout,
+};
+
+const char* error_code_name(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kOk;
+  std::string message;
+
+  std::string to_string() const {
+    std::string s = error_code_name(code);
+    if (!message.empty()) {
+      s += ": ";
+      s += message;
+    }
+    return s;
+  }
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kEvalError: return "eval_error";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kNoMatch: return "no_match";
+    case ErrorCode::kCapacity: return "capacity";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kTransport: return "transport";
+    case ErrorCode::kProtocol: return "protocol";
+    case ErrorCode::kClosed: return "closed";
+    case ErrorCode::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    HARMONY_ASSERT_MSG(ok(), error().to_string().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    HARMONY_ASSERT_MSG(ok(), error().to_string().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    HARMONY_ASSERT_MSG(ok(), error().to_string().c_str());
+    return std::move(std::get<T>(data_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(data_) : std::move(fallback); }
+
+  const Error& error() const {
+    HARMONY_ASSERT(!ok());
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT
+  Status(ErrorCode code, std::string message)
+      : error_{code, std::move(message)} {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return error_.code == ErrorCode::kOk; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { return error_; }
+  std::string to_string() const { return ok() ? "ok" : error_.to_string(); }
+
+ private:
+  Error error_;
+};
+
+template <typename T>
+Result<T> Err(ErrorCode code, std::string message) {
+  return Result<T>(Error{code, std::move(message)});
+}
+
+}  // namespace harmony

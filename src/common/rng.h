@@ -1,0 +1,120 @@
+// Deterministic random number generation for reproducible experiments.
+// SplitMix64 seeds Xoshiro256**; both are public-domain algorithms
+// (Blackman & Vigna). std::mt19937 is avoided because its stream is not
+// guaranteed identical across standard-library implementations for the
+// distribution adaptors we need.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace harmony {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9BULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's method.
+  uint64_t next_below(uint64_t bound) {
+    HARMONY_ASSERT(bound > 0);
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  long long next_int(long long lo, long long hi) {
+    HARMONY_ASSERT(lo <= hi);
+    return lo + static_cast<long long>(
+                    next_below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Standard normal via Marsaglia polar method (deterministic given the
+  // stream position).
+  double next_normal() {
+    while (true) {
+      double u = next_double(-1.0, 1.0);
+      double v = next_double(-1.0, 1.0);
+      double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) {
+        return u * __builtin_sqrt(-2.0 * __builtin_log(s) / s);
+      }
+    }
+  }
+
+  double next_normal(double mean, double stddev) {
+    return mean + stddev * next_normal();
+  }
+
+  // Exponential with the given rate (events per unit time).
+  double next_exponential(double rate) {
+    HARMONY_ASSERT(rate > 0);
+    double u = 1.0 - next_double();  // in (0, 1]
+    return -__builtin_log(u) / rate;
+  }
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+  // Derives an independent child stream; used to give each simulated
+  // client its own stream so adding clients never perturbs others.
+  Rng fork() { return Rng(next_u64() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace harmony

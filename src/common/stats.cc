@@ -1,0 +1,61 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace harmony {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  HARMONY_ASSERT(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  if (q <= 0.0) return samples.front();
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  return samples[rank - 1];
+}
+
+double piecewise_linear(const std::vector<std::pair<double, double>>& points,
+                        double x) {
+  HARMONY_ASSERT(!points.empty());
+  if (x <= points.front().first) return points.front().second;
+  if (x >= points.back().first) return points.back().second;
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (x <= points[i].first) {
+      const auto& [x0, y0] = points[i - 1];
+      const auto& [x1, y1] = points[i];
+      if (x1 == x0) return y1;
+      double t = (x - x0) / (x1 - x0);
+      return y0 + t * (y1 - y0);
+    }
+  }
+  return points.back().second;
+}
+
+}  // namespace harmony

@@ -1,0 +1,43 @@
+// Small statistics helpers used by the metric interface and the
+// experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace harmony {
+
+// Streaming mean / variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance; 0 when count < 2
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Percentile over a sample set (nearest-rank on a sorted copy).
+// q in [0, 1]; returns 0 on an empty sample.
+double percentile(std::vector<double> samples, double q);
+
+// Linear interpolation over (x, y) breakpoints, clamped at both ends.
+// Breakpoints must be sorted by x. This is the paper's "piecewise linear
+// curve based on the supplied values" used by the `performance` tag.
+double piecewise_linear(const std::vector<std::pair<double, double>>& points,
+                        double x);
+
+}  // namespace harmony

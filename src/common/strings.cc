@@ -1,0 +1,180 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace harmony {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_whitespace(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+bool parse_double(std::string_view text, double* out) {
+  std::string buf(trim(text));
+  if (buf.empty()) return false;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_int64(std::string_view text, long long* out) {
+  std::string buf(trim(text));
+  if (buf.empty()) return false;
+  char* end = nullptr;
+  long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = value;
+  return true;
+}
+
+std::string format_number(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    return str_format("%lld", static_cast<long long>(value));
+  }
+  std::string out = str_format("%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    std::string candidate = str_format("%.*g", prec, value);
+    double parsed = 0;
+    if (parse_double(candidate, &parsed) && parsed == value) return candidate;
+  }
+  return out;
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  size_t p = 0, t = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && pattern[p] == '*') {
+      star_p = ++p;
+      star_t = t;
+      continue;
+    }
+    bool matched = false;
+    if (p < pattern.size()) {
+      if (pattern[p] == '?') {
+        matched = true;
+        ++p;
+        ++t;
+      } else if (pattern[p] == '[') {
+        size_t close = pattern.find(']', p + 1);
+        if (close != std::string_view::npos) {
+          bool in_class = false;
+          bool negate = pattern[p + 1] == '^' || pattern[p + 1] == '!';
+          size_t i = p + (negate ? 2 : 1);
+          while (i < close) {
+            if (i + 2 < close + 1 && pattern[i + 1] == '-' && i + 2 < close) {
+              if (text[t] >= pattern[i] && text[t] <= pattern[i + 2]) {
+                in_class = true;
+              }
+              i += 3;
+            } else {
+              if (text[t] == pattern[i]) in_class = true;
+              ++i;
+            }
+          }
+          if (in_class != negate) {
+            matched = true;
+            p = close + 1;
+            ++t;
+          }
+        } else if (pattern[p] == text[t]) {  // unterminated '[': literal
+          matched = true;
+          ++p;
+          ++t;
+        }
+      } else if (pattern[p] == '\\' && p + 1 < pattern.size()) {
+        if (pattern[p + 1] == text[t]) {
+          matched = true;
+          p += 2;
+          ++t;
+        }
+      } else if (pattern[p] == text[t]) {
+        matched = true;
+        ++p;
+        ++t;
+      }
+    }
+    if (!matched) {
+      if (star_p == std::string_view::npos) return false;
+      p = star_p;
+      t = ++star_t;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace harmony

@@ -1,0 +1,40 @@
+// String helpers shared across the RSL parser, namespace code, and wire
+// protocol. Kept deliberately small; no locale dependence.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harmony {
+
+// Splits on a single character; empty fields are preserved
+// ("a..b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Splits on runs of ASCII whitespace; no empty fields.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+std::string_view trim(std::string_view text);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// printf-style formatting into std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Parses a complete string as a number; returns false on trailing junk.
+bool parse_double(std::string_view text, double* out);
+bool parse_int64(std::string_view text, long long* out);
+
+// Formats a double the way TCL does: integral values print without a
+// decimal point ("42"), others with shortest round-trip precision.
+std::string format_number(double value);
+
+// Glob matching with '*', '?' and '[a-z]' character classes. Used for
+// TCL `string match` and for hostname patterns in RSL node requirements
+// (e.g. {hostname *}).
+bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace harmony

@@ -1,0 +1,99 @@
+#include "core/binding.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace harmony::core {
+
+rsl::ExprContext choice_context(const OptionChoice& choice,
+                                const rsl::ExprContext& names) {
+  rsl::ExprContext ctx;
+  // Copy the choice variables: the context may outlive the caller frame.
+  auto variables = choice.variables;
+  ctx.name_lookup = [variables, names](const std::string& name, double* out) {
+    auto it = variables.find(name);
+    if (it != variables.end()) {
+      *out = it->second;
+      return true;
+    }
+    return names.name_lookup ? names.name_lookup(name, out) : false;
+  };
+  ctx.var_lookup = [variables, names](const std::string& name,
+                                      std::string* out) {
+    auto it = variables.find(name);
+    if (it != variables.end()) {
+      *out = format_number(it->second);
+      return true;
+    }
+    return names.var_lookup ? names.var_lookup(name, out) : false;
+  };
+  ctx.cmd_eval = names.cmd_eval;
+  return ctx;
+}
+
+Result<BoundOption> bind_option(const rsl::OptionSpec& option,
+                                const OptionChoice& choice,
+                                const rsl::ExprContext& names) {
+  rsl::ExprContext ctx = choice_context(choice, names);
+  BoundOption bound;
+
+  // role -> index of replica 0 in node_requirements (link endpoints).
+  std::map<std::string, size_t> role_anchor;
+
+  for (const auto& node : option.nodes) {
+    double replicas = 1.0;
+    if (!node.replicate.empty()) {
+      auto value = node.replicate.eval(ctx);
+      if (!value.ok()) {
+        return Err<BoundOption>(value.error().code,
+                                "replicate for role " + node.role + ": " +
+                                    value.error().message);
+      }
+      replicas = value.value();
+    }
+    if (replicas < 1 || replicas != std::floor(replicas) || replicas > 4096) {
+      return Err<BoundOption>(
+          ErrorCode::kInvalidArgument,
+          str_format("role %s: replicate must be a positive integer, got %g",
+                     node.role.c_str(), replicas));
+    }
+    role_anchor.emplace(node.role, bound.node_requirements.size());
+    // Open-ended (">=") memory constraints receive the choice's grant
+    // multiplier: Harmony may hand out more than the minimum when that
+    // buys something (§3.5's memory-for-bandwidth trade).
+    double memory = node.memory.minimum();
+    if (node.memory.op == rsl::Constraint::Op::kGe &&
+        choice.memory_grant > 1.0) {
+      memory *= choice.memory_grant;
+    }
+    for (int i = 0; i < static_cast<int>(replicas); ++i) {
+      cluster::NodeRequirement req;
+      req.role = node.role;
+      req.index = i;
+      req.hostname_glob = node.hostname;
+      req.os = node.os;
+      req.memory_mb = memory;
+      bound.node_requirements.push_back(std::move(req));
+    }
+  }
+
+  for (const auto& link : option.links) {
+    auto from = role_anchor.find(link.from);
+    auto to = role_anchor.find(link.to);
+    if (from == role_anchor.end() || to == role_anchor.end()) {
+      return Err<BoundOption>(
+          ErrorCode::kInvalidArgument,
+          "link references unknown role: " + link.from + "-" + link.to);
+    }
+    cluster::LinkRequirement req;
+    req.from = from->second;
+    req.to = to->second;
+    req.min_bandwidth_mbps = 0.0;  // amounts are totals, not rates
+    bound.link_requirements.push_back(req);
+    bound.link_specs.push_back(&link);
+  }
+  return bound;
+}
+
+}  // namespace harmony::core

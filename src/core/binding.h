@@ -1,0 +1,37 @@
+// Instantiates an option spec under a concrete choice: evaluates
+// replicate counts and memory minimums into matcher requirements and
+// maps link endpoints to requirement indices. Resource *amounts*
+// (seconds, megabytes) are not evaluated here — they may depend on the
+// resulting allocation (e.g. client.memory) and are computed by the
+// predictor afterwards.
+#pragma once
+
+#include <vector>
+
+#include "cluster/matcher.h"
+#include "core/state.h"
+#include "rsl/expr.h"
+#include "rsl/spec.h"
+
+namespace harmony::core {
+
+struct BoundOption {
+  std::vector<cluster::NodeRequirement> node_requirements;
+  std::vector<cluster::LinkRequirement> link_requirements;
+  // Parallel to link_requirements: the spec link it came from.
+  std::vector<const rsl::LinkReq*> link_specs;
+};
+
+// `names` resolves expression identifiers that are not choice variables
+// (typically a Namespace-backed context). Choice variables take
+// precedence and are available both bare and as $vars.
+Result<BoundOption> bind_option(const rsl::OptionSpec& option,
+                                const OptionChoice& choice,
+                                const rsl::ExprContext& names);
+
+// Expression context layering choice variables over `names`; also used
+// by the predictor when evaluating seconds / megabytes expressions.
+rsl::ExprContext choice_context(const OptionChoice& choice,
+                                const rsl::ExprContext& names);
+
+}  // namespace harmony::core

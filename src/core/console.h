@@ -1,0 +1,31 @@
+// Policy console: controller introspection and steering commands
+// registered into a TCL interpreter. The paper (§3.1) notes that "much
+// of the matching and policy description is currently implemented
+// directly in TCL"; this is that surface — operators and policy scripts
+// can inspect the system and steer it from the same language the RSL
+// uses.
+//
+// Commands:
+//   harmonyInstances                      -> list of "App.id" names
+//   harmonyBundles <App.id>               -> bundle names of an instance
+//   harmonyOption <App.id> <bundle>       -> current option (+variables)
+//   harmonySetOption <App.id> <bundle> <option> ?var value ...?
+//   harmonyPredict                        -> {App.id seconds} pairs
+//   harmonyObjective                      -> current objective value
+//   harmonyReevaluate                     -> run an adaptation pass
+//   harmonyNodes                          -> {host speed mem_free load} rows
+//   harmonyNodeState <host> online|offline   runtime node add/delete
+//   harmonyExternalLoad <host> <tasks>       report outside load (§4.3)
+//   harmonyName <path>                    -> read any namespace entry
+#pragma once
+
+#include "core/controller.h"
+#include "rsl/interp.h"
+
+namespace harmony::core {
+
+// Registers the console commands. The controller must outlive the
+// interpreter registration.
+void register_console(rsl::Interp& interp, Controller& controller);
+
+}  // namespace harmony::core

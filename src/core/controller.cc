@@ -1,0 +1,429 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace harmony::core {
+
+namespace {
+
+// Controller-built paths are valid by construction; a failure here is a
+// programming error, not a recoverable condition.
+void must_set(Namespace& names, const std::string& path, double value) {
+  auto status = names.set(path, value);
+  HARMONY_ASSERT_MSG(status.ok(), path.c_str());
+}
+
+void must_set_string(Namespace& names, const std::string& path,
+                     const std::string& value) {
+  auto status = names.set_string(path, value);
+  HARMONY_ASSERT_MSG(status.ok(), path.c_str());
+}
+
+}  // namespace
+
+Controller::Controller(ControllerConfig config) : config_(std::move(config)) {
+  objective_ = make_objective(config_.objective);
+  HARMONY_ASSERT_MSG(objective_ != nullptr, "unknown objective name");
+  predictor_ = Predictor(config_.local_bandwidth_mbps);
+  predictor_.set_comm_occupancy(config_.comm_occupancy_s_per_mb);
+  optimizer_ = std::make_unique<Optimizer>(&predictor_, objective_.get(),
+                                           config_.optimizer);
+}
+
+double Controller::now() const {
+  return time_source_ ? time_source_() : 0.0;
+}
+
+Status Controller::add_node(const rsl::NodeAd& ad) {
+  if (cluster_finalized()) {
+    return Status(ErrorCode::kClosed, "cluster is finalized");
+  }
+  auto id = state_.topology.add_node(ad.name, ad.speed, ad.memory_mb, ad.os);
+  if (!id.ok()) return Status(id.error().code, id.error().message);
+  for (const auto& link : ad.links) {
+    pending_links_.push_back(
+        {ad.name, link.peer, link.bandwidth_mbps, link.latency_ms});
+  }
+  must_set(names_, "cluster." + ad.name + ".speed", ad.speed);
+  must_set(names_, "cluster." + ad.name + ".memory", ad.memory_mb);
+  return Status::Ok();
+}
+
+Status Controller::add_nodes_script(const std::string& rsl_script) {
+  rsl::RslHost host;
+  host.on_node([this](const rsl::NodeAd& ad) { return add_node(ad); });
+  return host.eval_script(rsl_script);
+}
+
+Status Controller::link_hosts(const std::string& host_a,
+                              const std::string& host_b,
+                              double bandwidth_mbps, double latency_ms) {
+  if (cluster_finalized()) {
+    return Status(ErrorCode::kClosed, "cluster is finalized");
+  }
+  pending_links_.push_back({host_a, host_b, bandwidth_mbps, latency_ms});
+  return Status::Ok();
+}
+
+Status Controller::finalize_cluster() {
+  if (cluster_finalized()) return Status::Ok();
+  for (const auto& link : pending_links_) {
+    auto a = state_.topology.find_by_hostname(link.from);
+    auto b = state_.topology.find_by_hostname(link.to);
+    if (!a.ok() || !b.ok()) {
+      return Status(ErrorCode::kNotFound,
+                    "link references unknown host: " + link.from + "<->" +
+                        link.to);
+    }
+    auto status = state_.topology.add_link(a.value(), b.value(),
+                                           link.bandwidth_mbps,
+                                           link.latency_ms);
+    if (!status.ok()) return status;
+  }
+  pending_links_.clear();
+  if (state_.topology.node_count() == 0) {
+    return Status(ErrorCode::kInvalidArgument, "cluster has no nodes");
+  }
+  state_.init_pool();
+  optimizer_->set_names(names_context());
+  return Status::Ok();
+}
+
+Result<InstanceId> Controller::register_application(
+    const std::vector<rsl::BundleSpec>& bundles) {
+  if (bundles.empty()) {
+    return Err<InstanceId>(ErrorCode::kInvalidArgument,
+                           "application has no bundles");
+  }
+  for (size_t i = 1; i < bundles.size(); ++i) {
+    if (bundles[i].application != bundles[0].application) {
+      return Err<InstanceId>(ErrorCode::kInvalidArgument,
+                             "bundles belong to different applications");
+    }
+  }
+  auto finalized = finalize_cluster();
+  if (!finalized.ok()) {
+    return Err<InstanceId>(finalized.error().code, finalized.error().message);
+  }
+
+  InstanceState instance;
+  instance.id = next_instance_id_++;
+  instance.application = bundles[0].application;
+  instance.arrival_time = now();
+  for (const auto& spec : bundles) {
+    if (instance.find_bundle(spec.bundle) != nullptr) {
+      return Err<InstanceId>(ErrorCode::kAlreadyExists,
+                             "duplicate bundle: " + spec.bundle);
+    }
+    BundleState bundle;
+    bundle.spec = spec;
+    instance.bundles.push_back(std::move(bundle));
+  }
+  state_.instances.push_back(std::move(instance));
+  InstanceId id = state_.instances.back().id;
+
+  auto decisions = optimizer_->on_arrival(state_, id, now());
+  if (!decisions.ok()) {
+    // Arrival failed (no feasible configuration): withdraw the instance.
+    state_.instances.pop_back();
+    return Err<InstanceId>(decisions.error().code, decisions.error().message);
+  }
+  apply_decisions(decisions.value());
+  HLOG_INFO("controller") << "registered " << bundles[0].application << "."
+                          << id;
+  return id;
+}
+
+Result<InstanceId> Controller::register_script(const std::string& rsl_script) {
+  std::vector<rsl::BundleSpec> bundles;
+  rsl::RslHost host;
+  host.on_bundle([&bundles](const rsl::BundleSpec& bundle) {
+    bundles.push_back(bundle);
+    return Status::Ok();
+  });
+  auto status = host.eval_script(rsl_script);
+  if (!status.ok()) {
+    return Err<InstanceId>(status.error().code, status.error().message);
+  }
+  return register_application(bundles);
+}
+
+Status Controller::unregister(InstanceId id) {
+  auto it = std::find_if(state_.instances.begin(), state_.instances.end(),
+                         [id](const InstanceState& i) { return i.id == id; });
+  if (it == state_.instances.end()) {
+    return Status(ErrorCode::kNotFound, "no such instance");
+  }
+  for (auto& bundle : it->bundles) {
+    if (bundle.configured) {
+      auto released = cluster::Matcher::release(bundle.allocation,
+                                                *state_.pool);
+      HARMONY_ASSERT(released.ok());
+    }
+  }
+  names_.erase(it->path());
+  subscribers_.erase(id);
+  pending_vars_.erase(id);
+  state_.instances.erase(it);
+  HLOG_INFO("controller") << "unregistered instance " << id;
+  // "harmony_end(): the application is about to terminate and Harmony
+  // should re-evaluate the application's resources."
+  auto decisions = optimizer_->reevaluate(state_, now());
+  if (!decisions.ok()) {
+    return Status(decisions.error().code, decisions.error().message);
+  }
+  apply_decisions(decisions.value());
+  return Status::Ok();
+}
+
+Status Controller::reevaluate() {
+  if (!cluster_finalized()) {
+    return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
+  }
+  auto decisions = optimizer_->reevaluate(state_, now());
+  if (!decisions.ok()) {
+    return Status(decisions.error().code, decisions.error().message);
+  }
+  apply_decisions(decisions.value());
+  return Status::Ok();
+}
+
+Status Controller::set_option(InstanceId id, const std::string& bundle,
+                              const OptionChoice& choice) {
+  if (!cluster_finalized()) {
+    return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
+  }
+  auto decision = optimizer_->apply_choice(state_, id, bundle, choice, now());
+  if (!decision.ok()) {
+    return Status(decision.error().code, decision.error().message);
+  }
+  apply_decisions({decision.value()});
+  return Status::Ok();
+}
+
+Status Controller::set_node_online(const std::string& hostname, bool online) {
+  if (!cluster_finalized()) {
+    return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
+  }
+  auto node = state_.topology.find_by_hostname(hostname);
+  if (!node.ok()) return Status(node.error().code, node.error().message);
+  if (state_.pool->is_online(node.value()) == online) return Status::Ok();
+  state_.pool->set_online(node.value(), online);
+  metrics_.record("cluster." + hostname + ".online", now(), online ? 1 : 0);
+  HLOG_INFO("controller") << hostname << (online ? " joined" : " left")
+                          << " the cluster";
+
+  std::vector<Decision> decisions;
+  if (!online) {
+    // Displace everything placed on the departed node.
+    for (auto& instance : state_.instances) {
+      for (auto& bundle : instance.bundles) {
+        if (!bundle.configured) continue;
+        bool uses = false;
+        for (const auto& entry : bundle.allocation.entries) {
+          if (entry.node == node.value()) uses = true;
+        }
+        if (!uses) continue;
+        auto released =
+            cluster::Matcher::release(bundle.allocation, *state_.pool);
+        HARMONY_ASSERT(released.ok());
+        bundle.configured = false;
+        bundle.allocation = {};
+        decisions.push_back(
+            Decision{instance.id, bundle.spec.bundle, OptionChoice{}, true});
+      }
+    }
+  }
+  // Re-optimize everyone: displaced bundles find new homes (or stay
+  // unconfigured), survivors adapt to the new capacity.
+  auto reoptimized = optimizer_->reevaluate(state_, now());
+  if (!reoptimized.ok()) {
+    return Status(reoptimized.error().code, reoptimized.error().message);
+  }
+  // A displaced bundle that found a home appears in both lists; keep
+  // the re-optimization verdict in that case.
+  for (auto& displaced : decisions) {
+    bool superseded = false;
+    for (const auto& decision : reoptimized.value()) {
+      if (decision.instance == displaced.instance &&
+          decision.bundle == displaced.bundle && decision.changed) {
+        superseded = true;
+      }
+    }
+    if (!superseded) reoptimized.value().push_back(displaced);
+  }
+  apply_decisions(reoptimized.value());
+  return Status::Ok();
+}
+
+Status Controller::report_external_load(const std::string& hostname,
+                                        int concurrent_tasks) {
+  if (!cluster_finalized()) {
+    return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
+  }
+  if (concurrent_tasks < 0) {
+    return Status(ErrorCode::kInvalidArgument, "load must be non-negative");
+  }
+  auto node = state_.topology.find_by_hostname(hostname);
+  if (!node.ok()) return Status(node.error().code, node.error().message);
+  if (state_.pool->external_load(node.value()) == concurrent_tasks) {
+    return Status::Ok();
+  }
+  state_.pool->set_external_load(node.value(), concurrent_tasks);
+  metrics_.record("cluster." + hostname + ".external_load", now(),
+                  concurrent_tasks);
+  HLOG_INFO("controller") << hostname << " external load -> "
+                          << concurrent_tasks;
+  auto decisions = optimizer_->reevaluate(state_, now());
+  if (!decisions.ok()) {
+    return Status(decisions.error().code, decisions.error().message);
+  }
+  apply_decisions(decisions.value());
+  return Status::Ok();
+}
+
+Status Controller::subscribe(InstanceId id, UpdateHandler handler) {
+  if (state_.find_instance(id) == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such instance");
+  }
+  subscribers_[id] = std::move(handler);
+  // Send the instance its current configuration immediately so late
+  // subscribers do not miss the arrival decision.
+  const InstanceState* instance = state_.find_instance(id);
+  std::vector<Decision> synthetic;
+  for (const auto& bundle : instance->bundles) {
+    if (bundle.configured) {
+      synthetic.push_back(
+          Decision{id, bundle.spec.bundle, bundle.choice, true});
+    }
+  }
+  queue_updates(*instance, synthetic);
+  if (config_.auto_flush) flush_pending_vars();
+  return Status::Ok();
+}
+
+void Controller::flush_pending_vars() {
+  // Deterministic delivery order: instance id, then queue order.
+  for (auto& [id, updates] : pending_vars_) {
+    auto handler = subscribers_.find(id);
+    if (handler == subscribers_.end()) continue;
+    for (const auto& [name, value] : updates) handler->second(name, value);
+    updates.clear();
+  }
+}
+
+Result<std::string> Controller::get_variable(InstanceId id,
+                                             const std::string& name) const {
+  const InstanceState* instance = state_.find_instance(id);
+  if (instance == nullptr) {
+    return Err<std::string>(ErrorCode::kNotFound, "no such instance");
+  }
+  return names_.get_string(instance->path() + "." + name);
+}
+
+Result<double> Controller::objective_value() const {
+  return optimizer_->objective_value(state_);
+}
+
+Result<std::vector<std::pair<InstanceId, double>>> Controller::predictions()
+    const {
+  return optimizer_->predict_all(state_);
+}
+
+const BundleState* Controller::bundle_state(InstanceId id,
+                                            const std::string& bundle) const {
+  const InstanceState* instance = state_.find_instance(id);
+  if (instance == nullptr) return nullptr;
+  return instance->find_bundle(bundle);
+}
+
+void Controller::publish_instance(const InstanceState& instance) {
+  const std::string root = instance.path();
+  names_.erase(root);
+  must_set(names_, root + ".arrival", instance.arrival_time);
+  for (const auto& bundle : instance.bundles) {
+    if (!bundle.configured) continue;
+    const std::string broot = root + "." + bundle.spec.bundle;
+    must_set_string(names_, broot + ".option", bundle.choice.option);
+    must_set(names_, broot + ".switched", bundle.last_switch_time);
+    for (const auto& [var, value] : bundle.choice.variables) {
+      must_set(names_, broot + "." + var, value);
+    }
+    const std::string oroot = broot + "." + bundle.choice.option;
+    std::map<std::string, int> role_counts;
+    for (const auto& entry : bundle.allocation.entries) {
+      const auto& req = entry.requirement;
+      const auto& node = state_.topology.node(entry.node);
+      ++role_counts[req.role];
+      std::string rroot = oroot + "." + req.role;
+      if (req.index > 0) rroot += str_format(".%d", req.index);
+      must_set_string(names_, rroot + ".node", node.hostname);
+      must_set(names_, rroot + ".memory", req.memory_mb);
+      must_set(names_, rroot + ".speed", node.speed);
+    }
+    for (const auto& [role, count] : role_counts) {
+      must_set(names_, oroot + "." + role + ".count", count);
+    }
+  }
+}
+
+void Controller::queue_updates(const InstanceState& instance,
+                               const std::vector<Decision>& decisions) {
+  for (const auto& decision : decisions) {
+    if (decision.instance != instance.id || !decision.changed) continue;
+    const BundleState* bundle = instance.find_bundle(decision.bundle);
+    if (bundle == nullptr) continue;
+    if (!bundle->configured) {
+      // Displaced with nowhere to go: the application learns its bundle
+      // currently has no configuration.
+      pending_vars_[instance.id].emplace_back(decision.bundle, "");
+      continue;
+    }
+    auto& queue = pending_vars_[instance.id];
+    queue.emplace_back(decision.bundle, bundle->choice.option);
+    for (const auto& [var, value] : bundle->choice.variables) {
+      queue.emplace_back(var, format_number(value));
+    }
+    std::map<std::string, std::vector<std::string>> role_hosts;
+    std::map<std::string, double> role_memory;
+    for (const auto& entry : bundle->allocation.entries) {
+      role_hosts[entry.requirement.role].push_back(
+          state_.topology.node(entry.node).hostname);
+      if (entry.requirement.index == 0) {
+        role_memory[entry.requirement.role] = entry.requirement.memory_mb;
+      }
+    }
+    for (const auto& [role, hosts] : role_hosts) {
+      queue.emplace_back(decision.bundle + "." + role + ".node", hosts[0]);
+      queue.emplace_back(decision.bundle + "." + role + ".nodes",
+                         join(hosts, " "));
+      queue.emplace_back(decision.bundle + "." + role + ".memory",
+                         format_number(role_memory[role]));
+    }
+  }
+}
+
+void Controller::apply_decisions(const std::vector<Decision>& decisions) {
+  for (const auto& instance : state_.instances) {
+    publish_instance(instance);
+    queue_updates(instance, decisions);
+  }
+  for (const auto& decision : decisions) {
+    if (decision.changed) {
+      ++reconfigurations_;
+      metrics_.record("controller.reconfigurations", now(),
+                      static_cast<double>(reconfigurations_));
+    }
+  }
+  auto objective = optimizer_->objective_value(state_);
+  if (objective.ok()) {
+    metrics_.record("controller.objective", now(), objective.value());
+  }
+  optimizer_->set_names(names_context());
+  if (config_.auto_flush) flush_pending_vars();
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,157 @@
+// The Active Harmony adaptation controller (paper §2, §5): an
+// event-driven component that accepts application bundles, matches
+// resource requirements against the cluster, chooses tuning options to
+// optimize a global objective, and pushes variable updates back to
+// applications. Updates are buffered until flush_pending_vars(), as in
+// the prototype's flushPendingVars() call.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/namespace.h"
+#include "core/objective.h"
+#include "core/optimizer.h"
+#include "core/perf_model.h"
+#include "core/state.h"
+#include "metric/metric.h"
+#include "rsl/rsl.h"
+
+namespace harmony::core {
+
+struct ControllerConfig {
+  OptimizerConfig optimizer;
+  // One of: "mean", "makespan", "throughput".
+  std::string objective = "mean";
+  double local_bandwidth_mbps = 8000.0;
+  // LogP-style endpoint CPU occupancy per transferred MB in the default
+  // performance model (§3.4); 0 = the paper's plain wire-time model.
+  double comm_occupancy_s_per_mb = 0.0;
+  // Deliver variable updates immediately after each decision instead of
+  // waiting for an explicit flush (convenient for tests; the prototype
+  // buffers until flushPendingVars()).
+  bool auto_flush = true;
+};
+
+class Controller {
+ public:
+  explicit Controller(ControllerConfig config = {});
+
+  // --- cluster setup ----------------------------------------------------
+  // Nodes and links are fixed once the first application registers.
+  Status add_node(const rsl::NodeAd& ad);
+  // Evaluates a script of harmonyNode commands.
+  Status add_nodes_script(const std::string& rsl_script);
+  Status link_hosts(const std::string& host_a, const std::string& host_b,
+                    double bandwidth_mbps, double latency_ms = 0.0);
+  // Resolves pending link ads and builds the resource pool. Idempotent;
+  // called implicitly by the first registration.
+  Status finalize_cluster();
+  bool cluster_finalized() const { return state_.pool != nullptr; }
+
+  // --- time -------------------------------------------------------------
+  // Experiments install the simulator clock; defaults to a counter that
+  // never goes backwards.
+  void set_time_source(std::function<double()> source) {
+    time_source_ = std::move(source);
+  }
+  double now() const;
+
+  // --- application lifecycle (harmony_startup / _bundle_setup / _end) ----
+  // Registers an application with the given bundles; runs the arrival
+  // optimization pass. The instance id is Harmony-assigned (the paper's
+  // "system chosen instance id").
+  Result<InstanceId> register_application(
+      const std::vector<rsl::BundleSpec>& bundles);
+  // Evaluates a script of harmonyBundle commands and registers all the
+  // bundles it defines as one application instance.
+  Result<InstanceId> register_script(const std::string& rsl_script);
+  Status unregister(InstanceId id);
+  // Periodic re-evaluation (paper §4.3: "we continue this process on a
+  // periodic basis").
+  Status reevaluate();
+  // Manual steering (the computational-steering tie-in of §7): force a
+  // bundle onto a specific option, bypassing the objective but not
+  // resource matching. The application is notified like any other
+  // reconfiguration.
+  Status set_option(InstanceId id, const std::string& bundle,
+                    const OptionChoice& choice);
+
+  // Node deletion/addition at runtime ("adapt to changes in their
+  // execution environment due to ... the addition or deletion of
+  // nodes"). Taking a node offline displaces every allocation on it and
+  // re-optimizes; bundles that no longer fit anywhere are left
+  // unconfigured (their variable is pushed as the empty string) and are
+  // retried on later passes. Bringing a node back online triggers a
+  // re-evaluation that can expand applications onto it.
+  Status set_node_online(const std::string& hostname, bool online);
+
+  // Observed load from outside Harmony's control — "changes out of
+  // Harmony's control (such as network traffic due to other
+  // applications)" (§4.3). The report feeds the contention models and
+  // the matcher's least-loaded ordering and triggers a re-evaluation,
+  // so running applications shift away from busy nodes.
+  Status report_external_load(const std::string& hostname,
+                              int concurrent_tasks);
+
+  // --- variables (harmony_add_variable / harmony_wait_for_update) --------
+  using UpdateHandler = std::function<void(const std::string& name,
+                                           const std::string& value)>;
+  Status subscribe(InstanceId id, UpdateHandler handler);
+  // Delivers buffered updates to subscribers (flushPendingVars()).
+  void flush_pending_vars();
+  // Pull-style read of a published variable ("<bundle>" -> option name,
+  // "<bundle>.<var>" -> value, "<bundle>.<role>.node" -> hostname).
+  Result<std::string> get_variable(InstanceId id,
+                                   const std::string& name) const;
+
+  // --- introspection ------------------------------------------------------
+  const cluster::Topology& topology() const { return state_.topology; }
+  const SystemState& state() const { return state_; }
+  const Namespace& names() const { return names_; }
+  metric::MetricRegistry& metrics() { return metrics_; }
+  Result<double> objective_value() const;
+  Result<std::vector<std::pair<InstanceId, double>>> predictions() const;
+  const BundleState* bundle_state(InstanceId id,
+                                  const std::string& bundle) const;
+  uint64_t reconfigurations() const { return reconfigurations_; }
+  size_t live_instances() const { return state_.instances.size(); }
+  Optimizer& optimizer() { return *optimizer_; }
+
+ private:
+  void publish_instance(const InstanceState& instance);
+  void queue_updates(const InstanceState& instance,
+                     const std::vector<Decision>& decisions);
+  void apply_decisions(const std::vector<Decision>& decisions);
+  rsl::ExprContext names_context() const {
+    return names_.expr_context("");
+  }
+
+  ControllerConfig config_;
+  SystemState state_;
+  Namespace names_;
+  metric::MetricRegistry metrics_;
+  std::unique_ptr<Objective> objective_;
+  Predictor predictor_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::function<double()> time_source_;
+  InstanceId next_instance_id_ = 1;
+  uint64_t reconfigurations_ = 0;
+
+  struct PendingLink {
+    std::string from;
+    std::string to;
+    double bandwidth_mbps;
+    double latency_ms;
+  };
+  std::vector<PendingLink> pending_links_;
+
+  std::map<InstanceId, UpdateHandler> subscribers_;
+  std::map<InstanceId, std::vector<std::pair<std::string, std::string>>>
+      pending_vars_;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,57 @@
+#include "core/objective.h"
+
+#include <algorithm>
+
+namespace harmony::core {
+
+double MeanCompletionTime::evaluate(
+    const std::vector<double>& response_times) const {
+  if (response_times.empty()) return 0.0;
+  double sum = 0.0;
+  for (double t : response_times) sum += t;
+  return sum / static_cast<double>(response_times.size());
+}
+
+double MaxCompletionTime::evaluate(
+    const std::vector<double>& response_times) const {
+  double worst = 0.0;
+  for (double t : response_times) worst = std::max(worst, t);
+  return worst;
+}
+
+double NegativeThroughput::evaluate(
+    const std::vector<double>& response_times) const {
+  double jobs_per_second = 0.0;
+  for (double t : response_times) {
+    if (t > 0) jobs_per_second += 1.0 / t;
+  }
+  return -jobs_per_second;
+}
+
+double WeightedCompletionTime::evaluate(
+    const std::vector<double>& response_times) const {
+  if (response_times.empty()) return 0.0;
+  double sum = 0.0;
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < response_times.size(); ++i) {
+    double w = i < weights_.size() ? weights_[i] : 1.0;
+    sum += w * response_times[i];
+    weight_sum += w;
+  }
+  return weight_sum > 0 ? sum / weight_sum : 0.0;
+}
+
+std::unique_ptr<Objective> make_objective(const std::string& name) {
+  if (name == "mean-completion-time" || name == "mean" || name.empty()) {
+    return std::make_unique<MeanCompletionTime>();
+  }
+  if (name == "max-completion-time" || name == "makespan") {
+    return std::make_unique<MaxCompletionTime>();
+  }
+  if (name == "throughput") {
+    return std::make_unique<NegativeThroughput>();
+  }
+  return nullptr;
+}
+
+}  // namespace harmony::core

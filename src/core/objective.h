@@ -1,0 +1,64 @@
+// Objective functions (paper §4.2): "a single variable that represents
+// the overall behavior of the system we are trying to optimize... a
+// measure of goodness for each application scaled into a common
+// currency." The default minimizes the average completion time of the
+// jobs currently in the system.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace harmony::core {
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+  virtual const char* name() const = 0;
+  // Lower is better. response_times holds one predicted time per live
+  // application instance.
+  virtual double evaluate(const std::vector<double>& response_times) const = 0;
+};
+
+// The paper's default: minimize mean completion time.
+class MeanCompletionTime : public Objective {
+ public:
+  const char* name() const override { return "mean-completion-time"; }
+  double evaluate(const std::vector<double>& response_times) const override;
+};
+
+// Makespan: minimize the slowest job (fairness-oriented alternative the
+// paper's "other objective functions" future work gestures at).
+class MaxCompletionTime : public Objective {
+ public:
+  const char* name() const override { return "max-completion-time"; }
+  double evaluate(const std::vector<double>& response_times) const override;
+};
+
+// Negative aggregate throughput (jobs per second); minimizing it
+// maximizes throughput. The paper names system throughput as the
+// default overall objective in §3.
+class NegativeThroughput : public Objective {
+ public:
+  const char* name() const override { return "throughput"; }
+  double evaluate(const std::vector<double>& response_times) const override;
+};
+
+// Weighted mean: "a measure of goodness for each application scaled
+// into a common currency". Weights are positional per instance; missing
+// weights default to 1.
+class WeightedCompletionTime : public Objective {
+ public:
+  explicit WeightedCompletionTime(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+  const char* name() const override { return "weighted-completion-time"; }
+  double evaluate(const std::vector<double>& response_times) const override;
+
+ private:
+  std::vector<double> weights_;
+};
+
+std::unique_ptr<Objective> make_objective(const std::string& name);
+
+}  // namespace harmony::core

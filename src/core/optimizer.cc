@@ -1,0 +1,453 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/binding.h"
+
+namespace harmony::core {
+
+Optimizer::Optimizer(const Predictor* predictor, const Objective* objective,
+                     OptimizerConfig config)
+    : predictor_(predictor), objective_(objective), config_(config) {
+  HARMONY_ASSERT(predictor != nullptr && objective != nullptr);
+}
+
+Result<std::vector<std::pair<InstanceId, double>>> Optimizer::predict_all(
+    const SystemState& state) const {
+  std::vector<std::pair<InstanceId, double>> out;
+  auto load = state.node_load();
+  for (const auto& instance : state.instances) {
+    double total = 0.0;
+    bool any = false;
+    for (const auto& bundle : instance.bundles) {
+      if (!bundle.configured) continue;
+      const rsl::OptionSpec* option =
+          bundle.spec.find_option(bundle.choice.option);
+      if (option == nullptr) {
+        return Err<std::vector<std::pair<InstanceId, double>>>(
+            ErrorCode::kNotFound,
+            "configured option vanished: " + bundle.choice.option);
+      }
+      PredictionInput input;
+      input.option = option;
+      input.choice = &bundle.choice;
+      input.allocation = &bundle.allocation;
+      input.topology = &state.topology;
+      input.node_load = &load;
+      input.names = names_;
+      auto predicted = predictor_->predict(input);
+      if (!predicted.ok()) {
+        return Err<std::vector<std::pair<InstanceId, double>>>(
+            predicted.error().code, predicted.error().message);
+      }
+      total += predicted.value();
+      any = true;
+    }
+    if (any) out.emplace_back(instance.id, total);
+  }
+  return out;
+}
+
+Result<double> Optimizer::objective_value(const SystemState& state) const {
+  auto predictions = predict_all(state);
+  if (!predictions.ok()) {
+    return Err<double>(predictions.error().code, predictions.error().message);
+  }
+  std::vector<double> times;
+  times.reserve(predictions.value().size());
+  for (const auto& [id, t] : predictions.value()) times.push_back(t);
+  return objective_->evaluate(times);
+}
+
+Result<cluster::Allocation> Optimizer::try_install(
+    SystemState& state, BundleState& bundle,
+    const OptionChoice& choice) const {
+  const rsl::OptionSpec* option = bundle.spec.find_option(choice.option);
+  if (option == nullptr) {
+    return Err<cluster::Allocation>(ErrorCode::kNotFound,
+                                    "no such option: " + choice.option);
+  }
+  auto bound = bind_option(*option, choice, names_);
+  if (!bound.ok()) {
+    return Err<cluster::Allocation>(bound.error().code, bound.error().message);
+  }
+  cluster::Matcher matcher(config_.match_policy);
+  return matcher.match(bound.value().node_requirements,
+                       bound.value().link_requirements, *state.pool);
+}
+
+Result<Decision> Optimizer::optimize_bundle(SystemState& state,
+                                            InstanceState& instance,
+                                            BundleState& bundle, double now,
+                                            bool require_feasible) {
+  // Granularity gate: hold the current option until its window elapses.
+  if (bundle.configured && config_.respect_granularity) {
+    const rsl::OptionSpec* current =
+        bundle.spec.find_option(bundle.choice.option);
+    if (current != nullptr && current->granularity_s > 0 &&
+        now - bundle.last_switch_time < current->granularity_s) {
+      return Decision{instance.id, bundle.spec.bundle, bundle.choice, false};
+    }
+  }
+
+  // Save and release the current configuration: candidates are matched
+  // against the pool as if this bundle held nothing.
+  const bool had_config = bundle.configured;
+  const OptionChoice previous_choice = bundle.choice;
+  const cluster::Allocation previous_allocation = bundle.allocation;
+  if (had_config) {
+    auto released = cluster::Matcher::release(bundle.allocation, *state.pool);
+    HARMONY_ASSERT_MSG(released.ok(), "releasing current allocation failed");
+    bundle.configured = false;
+    bundle.allocation = {};
+  }
+
+  struct Best {
+    OptionChoice choice;
+    double objective;
+  };
+  std::optional<Best> best;
+
+  // Expand option choices with the configured memory grant levels (only
+  // meaningful for options that declare >= memory constraints; a
+  // too-generous grant simply fails to match and is skipped).
+  std::vector<double> levels = config_.memory_grant_levels;
+  if (levels.empty()) levels = {1.0};
+  std::vector<OptionChoice> candidates;
+  for (const OptionChoice& base : enumerate_choices(bundle.spec)) {
+    bool open_ended = false;
+    if (const rsl::OptionSpec* option = bundle.spec.find_option(base.option)) {
+      for (const auto& node : option->nodes) {
+        if (node.memory.op == rsl::Constraint::Op::kGe) open_ended = true;
+      }
+    }
+    for (double level : levels) {
+      OptionChoice candidate = base;
+      candidate.memory_grant = level;
+      candidates.push_back(std::move(candidate));
+      if (!open_ended) break;  // further levels would be identical
+    }
+  }
+
+  for (const OptionChoice& candidate : candidates) {
+    auto allocation = try_install(state, bundle, candidate);
+    if (!allocation.ok()) continue;  // infeasible under current pool
+    ++candidates_evaluated_;
+    bundle.choice = candidate;
+    bundle.allocation = allocation.value();
+    bundle.configured = true;
+
+    auto predictions = predict_all(state);
+    double objective = std::numeric_limits<double>::infinity();
+    if (predictions.ok()) {
+      std::vector<double> times;
+      times.reserve(predictions.value().size());
+      for (auto& [id, t] : predictions.value()) {
+        // Frictional cost of switching away from the current option.
+        if (config_.respect_friction && had_config && id == instance.id &&
+            !(candidate == previous_choice)) {
+          const rsl::OptionSpec* opt = bundle.spec.find_option(candidate.option);
+          if (opt != nullptr) t += opt->friction_s;
+        }
+        times.push_back(t);
+      }
+      objective = objective_->evaluate(times);
+    }
+
+    if (std::isfinite(objective) && (!best || objective < best->objective)) {
+      best = Best{candidate, objective};
+    }
+
+    auto released = cluster::Matcher::release(bundle.allocation, *state.pool);
+    HARMONY_ASSERT(released.ok());
+    bundle.configured = false;
+    bundle.allocation = {};
+  }
+
+  if (!best) {
+    // Nothing feasible: restore the previous configuration if any.
+    if (had_config) {
+      auto restored = try_install(state, bundle, previous_choice);
+      HARMONY_ASSERT_MSG(restored.ok(), "restoring previous allocation failed");
+      bundle.choice = previous_choice;
+      bundle.allocation = std::move(restored).value();
+      bundle.configured = true;
+      return Decision{instance.id, bundle.spec.bundle, bundle.choice, false};
+    }
+    if (require_feasible) {
+      return Err<Decision>(ErrorCode::kNoMatch,
+                           str_format("no feasible option for %s.%s",
+                                      instance.path().c_str(),
+                                      bundle.spec.bundle.c_str()));
+    }
+    return Decision{instance.id, bundle.spec.bundle, OptionChoice{}, false};
+  }
+
+  auto allocation = try_install(state, bundle, best->choice);
+  HARMONY_ASSERT_MSG(allocation.ok(), "re-matching the winner failed");
+  bundle.choice = best->choice;
+  bundle.allocation = std::move(allocation).value();
+  bundle.configured = true;
+  // A migration (same option, different nodes) is a reconfiguration
+  // too: the application must learn its new node assignment.
+  bool changed = !had_config || !(best->choice == previous_choice) ||
+                 !bundle.allocation.same_placement(previous_allocation);
+  if (changed) bundle.last_switch_time = now;
+  HLOG_DEBUG("optimizer") << instance.path() << "." << bundle.spec.bundle
+                          << " -> " << bundle.choice.to_string()
+                          << (changed ? " (changed)" : " (kept)");
+  return Decision{instance.id, bundle.spec.bundle, bundle.choice, changed};
+}
+
+Result<Decision> Optimizer::configure_first_feasible(SystemState& state,
+                                                     InstanceState& instance,
+                                                     BundleState& bundle,
+                                                     double now) {
+  HARMONY_ASSERT(!bundle.configured);
+  for (const OptionChoice& candidate : enumerate_choices(bundle.spec)) {
+    auto allocation = try_install(state, bundle, candidate);
+    if (!allocation.ok()) continue;
+    ++candidates_evaluated_;
+    bundle.choice = candidate;
+    bundle.allocation = std::move(allocation).value();
+    bundle.configured = true;
+    bundle.last_switch_time = now;
+    return Decision{instance.id, bundle.spec.bundle, bundle.choice, true};
+  }
+  return Err<Decision>(ErrorCode::kNoMatch,
+                       str_format("no feasible option for %s.%s",
+                                  instance.path().c_str(),
+                                  bundle.spec.bundle.c_str()));
+}
+
+Result<std::vector<Decision>> Optimizer::on_arrival(SystemState& state,
+                                                    InstanceId id,
+                                                    double now) {
+  if (config_.mode == OptimizerConfig::Mode::kExhaustive) {
+    return exhaustive(state, now);
+  }
+  InstanceState* arrived = state.find_instance(id);
+  if (arrived == nullptr) {
+    return Err<std::vector<Decision>>(ErrorCode::kNotFound,
+                                      "no such instance");
+  }
+  std::vector<Decision> decisions;
+  // 1. Configure the new application's bundles, definition order.
+  for (auto& bundle : arrived->bundles) {
+    auto decision =
+        config_.initial_policy == OptimizerConfig::InitialPolicy::kFirstFeasible
+            ? configure_first_feasible(state, *arrived, bundle, now)
+            : optimize_bundle(state, *arrived, bundle, now,
+                              /*require_feasible=*/true);
+    if (!decision.ok()) {
+      return Err<std::vector<Decision>>(decision.error().code,
+                                        decision.error().message);
+    }
+    decisions.push_back(std::move(decision).value());
+  }
+  if (!config_.reevaluate_on_arrival) return decisions;
+  // 2. Re-evaluate existing applications.
+  for (auto& instance : state.instances) {
+    if (instance.id == id) continue;
+    for (auto& bundle : instance.bundles) {
+      auto decision = optimize_bundle(state, instance, bundle, now,
+                                      /*require_feasible=*/false);
+      if (!decision.ok()) {
+        return Err<std::vector<Decision>>(decision.error().code,
+                                          decision.error().message);
+      }
+      decisions.push_back(std::move(decision).value());
+    }
+  }
+  return decisions;
+}
+
+Result<std::vector<Decision>> Optimizer::reevaluate(SystemState& state,
+                                                    double now) {
+  if (config_.mode == OptimizerConfig::Mode::kExhaustive) {
+    return exhaustive(state, now);
+  }
+  std::vector<Decision> decisions;
+  for (auto& instance : state.instances) {
+    for (auto& bundle : instance.bundles) {
+      auto decision = optimize_bundle(state, instance, bundle, now,
+                                      /*require_feasible=*/false);
+      if (!decision.ok()) {
+        return Err<std::vector<Decision>>(decision.error().code,
+                                          decision.error().message);
+      }
+      decisions.push_back(std::move(decision).value());
+    }
+  }
+  return decisions;
+}
+
+Result<Decision> Optimizer::apply_choice(SystemState& state, InstanceId id,
+                                         const std::string& bundle_name,
+                                         const OptionChoice& choice,
+                                         double now) {
+  InstanceState* instance = state.find_instance(id);
+  if (instance == nullptr) {
+    return Err<Decision>(ErrorCode::kNotFound, "no such instance");
+  }
+  BundleState* bundle = instance->find_bundle(bundle_name);
+  if (bundle == nullptr) {
+    return Err<Decision>(ErrorCode::kNotFound,
+                         "no such bundle: " + bundle_name);
+  }
+  if (bundle->spec.find_option(choice.option) == nullptr) {
+    return Err<Decision>(ErrorCode::kNotFound,
+                         "no such option: " + choice.option);
+  }
+  const bool had_config = bundle->configured;
+  const OptionChoice previous = bundle->choice;
+  if (had_config) {
+    if (choice == previous) {
+      return Decision{id, bundle_name, previous, false};
+    }
+    auto released = cluster::Matcher::release(bundle->allocation, *state.pool);
+    HARMONY_ASSERT(released.ok());
+    bundle->configured = false;
+    bundle->allocation = {};
+  }
+  auto allocation = try_install(state, *bundle, choice);
+  if (!allocation.ok()) {
+    if (had_config) {
+      auto restored = try_install(state, *bundle, previous);
+      HARMONY_ASSERT_MSG(restored.ok(), "restoring previous allocation failed");
+      bundle->choice = previous;
+      bundle->allocation = std::move(restored).value();
+      bundle->configured = true;
+    }
+    return Err<Decision>(allocation.error().code, allocation.error().message);
+  }
+  bundle->choice = choice;
+  bundle->allocation = std::move(allocation).value();
+  bundle->configured = true;
+  bundle->last_switch_time = now;
+  return Decision{id, bundle_name, choice, true};
+}
+
+// Joint search over the full cartesian space of (instance, bundle)
+// choices. Exponential; exists as the quality baseline for ablation A1.
+// Memory grant levels are not expanded here — the joint space is large
+// enough already, and the greedy pass is the production path.
+Result<std::vector<Decision>> Optimizer::exhaustive(SystemState& state,
+                                                    double now) {
+  struct Slot {
+    InstanceState* instance;
+    BundleState* bundle;
+    std::vector<OptionChoice> choices;
+    OptionChoice previous;
+    bool had_config;
+  };
+  std::vector<Slot> slots;
+  size_t combinations = 1;
+  for (auto& instance : state.instances) {
+    for (auto& bundle : instance.bundles) {
+      Slot slot;
+      slot.instance = &instance;
+      slot.bundle = &bundle;
+      slot.choices = enumerate_choices(bundle.spec);
+      slot.previous = bundle.choice;
+      slot.had_config = bundle.configured;
+      if (slot.choices.empty()) continue;
+      combinations *= slot.choices.size();
+      if (combinations > config_.exhaustive_limit) {
+        return Err<std::vector<Decision>>(
+            ErrorCode::kCapacity,
+            str_format("exhaustive search space exceeds limit (%zu)",
+                       config_.exhaustive_limit));
+      }
+      slots.push_back(std::move(slot));
+    }
+  }
+
+  // Release everything; try each combination from scratch.
+  for (auto& slot : slots) {
+    if (slot.bundle->configured) {
+      auto released =
+          cluster::Matcher::release(slot.bundle->allocation, *state.pool);
+      HARMONY_ASSERT(released.ok());
+      slot.bundle->configured = false;
+      slot.bundle->allocation = {};
+    }
+  }
+
+  std::vector<size_t> index(slots.size(), 0);
+  std::optional<std::vector<size_t>> best_index;
+  double best_objective = std::numeric_limits<double>::infinity();
+
+  auto try_combination = [&]() -> bool {
+    size_t installed = 0;
+    bool feasible = true;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      auto allocation =
+          try_install(state, *slots[i].bundle, slots[i].choices[index[i]]);
+      if (!allocation.ok()) {
+        feasible = false;
+        break;
+      }
+      slots[i].bundle->choice = slots[i].choices[index[i]];
+      slots[i].bundle->allocation = std::move(allocation).value();
+      slots[i].bundle->configured = true;
+      ++installed;
+    }
+    double objective = std::numeric_limits<double>::infinity();
+    if (feasible) {
+      ++candidates_evaluated_;
+      auto predictions = predict_all(state);
+      if (predictions.ok()) {
+        std::vector<double> times;
+        for (auto& [id, t] : predictions.value()) times.push_back(t);
+        objective = objective_->evaluate(times);
+      }
+    }
+    for (size_t i = installed; i-- > 0;) {
+      auto released =
+          cluster::Matcher::release(slots[i].bundle->allocation, *state.pool);
+      HARMONY_ASSERT(released.ok());
+      slots[i].bundle->configured = false;
+      slots[i].bundle->allocation = {};
+    }
+    if (std::isfinite(objective) && objective < best_objective) {
+      best_objective = objective;
+      best_index = index;
+    }
+    // Advance the odometer.
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (++index[i] < slots[i].choices.size()) return true;
+      index[i] = 0;
+    }
+    return false;
+  };
+  if (!slots.empty()) {
+    while (try_combination()) {
+    }
+  }
+
+  if (!best_index) {
+    return Err<std::vector<Decision>>(ErrorCode::kNoMatch,
+                                      "no feasible joint configuration");
+  }
+  std::vector<Decision> decisions;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const OptionChoice& winner = slots[i].choices[(*best_index)[i]];
+    auto allocation = try_install(state, *slots[i].bundle, winner);
+    HARMONY_ASSERT_MSG(allocation.ok(), "re-matching joint winner failed");
+    slots[i].bundle->choice = winner;
+    slots[i].bundle->allocation = std::move(allocation).value();
+    slots[i].bundle->configured = true;
+    bool changed = !slots[i].had_config || !(winner == slots[i].previous);
+    if (changed) slots[i].bundle->last_switch_time = now;
+    decisions.push_back(Decision{slots[i].instance->id,
+                                 slots[i].bundle->spec.bundle, winner,
+                                 changed});
+  }
+  return decisions;
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,119 @@
+// Option selection (paper §4.3): "we optimize one bundle at a time when
+// adding new applications to the system. Bundles are evaluated in the
+// same lexical order as they were defined... After defining the initial
+// options for a new application, we re-evaluate the options for
+// existing applications." Greedy by default; an exhaustive search over
+// the joint choice space is provided as the ablation baseline.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/matcher.h"
+#include "common/result.h"
+#include "core/objective.h"
+#include "core/perf_model.h"
+#include "core/state.h"
+
+namespace harmony::core {
+
+struct OptimizerConfig {
+  enum class Mode { kGreedy, kExhaustive };
+  Mode mode = Mode::kGreedy;
+  // How a newly arrived application is configured: kOptimize evaluates
+  // every option against the objective; kFirstFeasible takes the first
+  // option (definition order) that matches resources — the
+  // application's declared default, as in the paper's §6 experiment
+  // where clients start in query shipping and a later adaptation pass
+  // reconfigures them.
+  enum class InitialPolicy { kOptimize, kFirstFeasible };
+  InitialPolicy initial_policy = InitialPolicy::kOptimize;
+  // Re-evaluate existing applications when a new one arrives (§4.3).
+  // Off, adaptation happens only at explicit/periodic reevaluate()
+  // calls, reproducing the delayed trigger visible in Figure 7.
+  bool reevaluate_on_arrival = true;
+  // Charge the option's frictional cost when a reconfiguration would
+  // change the current choice (paper §3, requirement five).
+  bool respect_friction = true;
+  // Refuse to switch a bundle before its granularity window elapses
+  // (paper §3, requirement four).
+  bool respect_granularity = true;
+  cluster::MatchPolicy match_policy = cluster::MatchPolicy::kFirstFit;
+  // Joint-combination cap for exhaustive mode.
+  size_t exhaustive_limit = 100000;
+  // Memory grant multipliers tried for options with open-ended (">=")
+  // memory constraints. {1.0} reproduces minimum-only grants; adding
+  // levels lets the optimizer trade memory for bandwidth as §3.5
+  // describes ("Harmony can then decide to allocate additional memory
+  // resources at the client").
+  std::vector<double> memory_grant_levels = {1.0};
+};
+
+struct Decision {
+  InstanceId instance = 0;
+  std::string bundle;
+  OptionChoice choice;
+  bool changed = false;  // differs from the previous configuration
+};
+
+class Optimizer {
+ public:
+  Optimizer(const Predictor* predictor, const Objective* objective,
+            OptimizerConfig config = {});
+
+  // Namespace-backed expression context for RSL amounts.
+  void set_names(rsl::ExprContext names) { names_ = std::move(names); }
+  const OptimizerConfig& config() const { return config_; }
+  void set_config(OptimizerConfig config) { config_ = config; }
+
+  // Configures a newly arrived instance's bundles (definition order),
+  // then re-evaluates every other application. Returns all applied
+  // decisions. Fails with kNoMatch when no option of some new bundle
+  // fits the remaining resources.
+  Result<std::vector<Decision>> on_arrival(SystemState& state, InstanceId id,
+                                           double now);
+
+  // One re-evaluation pass over every instance and bundle (used on
+  // departures and periodic timers).
+  Result<std::vector<Decision>> reevaluate(SystemState& state, double now);
+
+  // Manual steering: installs a specific choice for one bundle,
+  // bypassing the objective (but not resource matching). On an
+  // infeasible request the previous configuration is restored and an
+  // error returned.
+  Result<Decision> apply_choice(SystemState& state, InstanceId id,
+                                const std::string& bundle,
+                                const OptionChoice& choice, double now);
+
+  // Predicted response time per configured instance, state order.
+  Result<std::vector<std::pair<InstanceId, double>>> predict_all(
+      const SystemState& state) const;
+  // Objective under the current configuration.
+  Result<double> objective_value(const SystemState& state) const;
+
+  // Number of candidate configurations evaluated since construction
+  // (decision-latency ablation).
+  uint64_t candidates_evaluated() const { return candidates_evaluated_; }
+
+ private:
+  Result<Decision> optimize_bundle(SystemState& state, InstanceState& instance,
+                                   BundleState& bundle, double now,
+                                   bool require_feasible);
+  Result<Decision> configure_first_feasible(SystemState& state,
+                                            InstanceState& instance,
+                                            BundleState& bundle, double now);
+  Result<std::vector<Decision>> exhaustive(SystemState& state, double now);
+
+  // Installs a candidate (matching + reserving); returns the allocation.
+  Result<cluster::Allocation> try_install(SystemState& state,
+                                          BundleState& bundle,
+                                          const OptionChoice& choice) const;
+
+  const Predictor* predictor_;
+  const Objective* objective_;
+  OptimizerConfig config_;
+  rsl::ExprContext names_;
+  mutable uint64_t candidates_evaluated_ = 0;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,316 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/stats.h"
+#include "common/strings.h"
+#include "core/binding.h"
+#include "rsl/interp.h"
+
+namespace harmony::core {
+
+Predictor::Model Predictor::model_for(const rsl::OptionSpec& option) {
+  if (!option.performance_script.empty()) return Model::kScript;
+  if (!option.performance_expr.empty()) return Model::kExpr;
+  if (!option.performance_dag.empty()) return Model::kDag;
+  if (!option.performance_points.empty()) return Model::kPoints;
+  return Model::kDefault;
+}
+
+const char* Predictor::model_name(Model model) {
+  switch (model) {
+    case Model::kScript: return "script";
+    case Model::kExpr: return "expr";
+    case Model::kDag: return "critical-path";
+    case Model::kPoints: return "points";
+    case Model::kDefault: return "default";
+  }
+  return "unknown";
+}
+
+Result<double> Predictor::predict(const PredictionInput& input) const {
+  HARMONY_ASSERT(input.option && input.choice && input.allocation &&
+                 input.topology && input.node_load);
+  switch (model_for(*input.option)) {
+    case Model::kScript: return predict_script(input);
+    case Model::kExpr: return predict_expr(input);
+    case Model::kDag: return predict_dag(input);
+    case Model::kPoints: return predict_points(input);
+    case Model::kDefault: return predict_default(input);
+  }
+  return Err<double>(ErrorCode::kInvalidArgument, "unreachable");
+}
+
+// Critical-path model: the longest dependency chain through the task
+// DAG, scaled like the default model's CPU term (slowest node's
+// contention-adjusted rate).
+Result<double> Predictor::predict_dag(const PredictionInput& input) const {
+  rsl::ExprContext ctx = full_context(input);
+  const auto& dag = input.option->performance_dag;
+
+  std::map<std::string, size_t> index;
+  for (size_t i = 0; i < dag.size(); ++i) index[dag[i].name] = i;
+
+  std::vector<double> durations(dag.size());
+  for (size_t i = 0; i < dag.size(); ++i) {
+    auto seconds = dag[i].seconds.eval(ctx);
+    if (!seconds.ok()) {
+      return Err<double>(seconds.error().code,
+                         "dag task " + dag[i].name + ": " +
+                             seconds.error().message);
+    }
+    if (seconds.value() < 0) {
+      return Err<double>(ErrorCode::kInvalidArgument,
+                         "dag task " + dag[i].name + ": negative duration");
+    }
+    durations[i] = seconds.value();
+  }
+
+  // Longest finish time via DFS with cycle detection.
+  enum class Mark { kUnvisited, kInProgress, kDone };
+  std::vector<Mark> marks(dag.size(), Mark::kUnvisited);
+  std::vector<double> finish(dag.size(), 0.0);
+  std::function<Status(size_t)> visit = [&](size_t i) -> Status {
+    if (marks[i] == Mark::kDone) return Status::Ok();
+    if (marks[i] == Mark::kInProgress) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "dag cycle through task " + dag[i].name);
+    }
+    marks[i] = Mark::kInProgress;
+    double start = 0.0;
+    for (const auto& dep : dag[i].deps) {
+      auto it = index.find(dep);
+      if (it == index.end()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "dag task " + dag[i].name + ": unknown dependency " +
+                          dep);
+      }
+      auto status = visit(it->second);
+      if (!status.ok()) return status;
+      start = std::max(start, finish[it->second]);
+    }
+    finish[i] = start + durations[i];
+    marks[i] = Mark::kDone;
+    return Status::Ok();
+  };
+  double critical_path = 0.0;
+  for (size_t i = 0; i < dag.size(); ++i) {
+    auto status = visit(i);
+    if (!status.ok()) return Err<double>(status.error().code, status.error().message);
+    critical_path = std::max(critical_path, finish[i]);
+  }
+
+  // Scale reference seconds by the slowest allocated node's effective
+  // rate (co-located load / speed); dedicated fast nodes shorten the
+  // path, shared or slow ones stretch it.
+  double scale = input.allocation->entries.empty() ? 1.0 : 0.0;
+  for (const auto& entry : input.allocation->entries) {
+    double speed = input.topology->node(entry.node).speed;
+    auto it = input.node_load->find(entry.node);
+    int load = it == input.node_load->end() ? 1 : std::max(1, it->second);
+    scale = std::max(scale, static_cast<double>(load) / speed);
+  }
+  return critical_path * scale;
+}
+
+Result<double> Predictor::predict_expr(const PredictionInput& input) const {
+  rsl::ExprContext ctx = full_context(input);
+  auto value = input.option->performance_expr.eval(ctx);
+  if (!value.ok()) {
+    return Err<double>(value.error().code,
+                       "performance expr: " + value.error().message);
+  }
+  return value.value();
+}
+
+rsl::ExprContext Predictor::full_context(const PredictionInput& input) const {
+  // Layer: choice variables > role-derived names > namespace.
+  std::map<std::string, double> derived;
+  std::map<std::string, int> role_counts;
+  for (const auto& entry : input.allocation->entries) {
+    const auto& role = entry.requirement.role;
+    ++role_counts[role];
+    if (entry.requirement.index == 0) {
+      derived[role + ".memory"] = entry.requirement.memory_mb;
+      derived[role + ".speed"] = input.topology->node(entry.node).speed;
+    }
+  }
+  int total_nodes = 0;
+  for (const auto& [role, count] : role_counts) {
+    derived[role + ".count"] = count;
+    total_nodes += count;
+  }
+  derived["allocated.nodes"] = total_nodes;
+
+  rsl::ExprContext base = input.names;
+  rsl::ExprContext with_derived;
+  with_derived.name_lookup = [derived, base](const std::string& name,
+                                             double* out) {
+    auto it = derived.find(name);
+    if (it != derived.end()) {
+      *out = it->second;
+      return true;
+    }
+    return base.name_lookup ? base.name_lookup(name, out) : false;
+  };
+  with_derived.var_lookup = base.var_lookup;
+  with_derived.cmd_eval = base.cmd_eval;
+  return choice_context(*input.choice, with_derived);
+}
+
+Result<double> Predictor::predict_default(const PredictionInput& input) const {
+  rsl::ExprContext ctx = full_context(input);
+  const auto& topo = *input.topology;
+
+  // Per-replica CPU seconds by role.
+  std::map<std::string, double> role_seconds;
+  for (const auto& node : input.option->nodes) {
+    auto seconds = node.seconds.eval(ctx);
+    if (!seconds.ok()) {
+      return Err<double>(seconds.error().code,
+                         "seconds for role " + node.role + ": " +
+                             seconds.error().message);
+    }
+    role_seconds[node.role] = seconds.value();
+  }
+
+  // Network component: explicit links plus the all-pairs
+  // `communication` requirement. Computed before the CPU component so
+  // the LogP-style occupancy can charge endpoint CPUs.
+  auto transfer_seconds = [&](double megabytes, double bandwidth_mbps) {
+    if (megabytes <= 0) return 0.0;
+    if (bandwidth_mbps <= 0) return std::numeric_limits<double>::infinity();
+    return megabytes * 8.0 / bandwidth_mbps;
+  };
+  double comm = 0.0;
+  // Extra per-replica CPU seconds from protocol processing / copying,
+  // keyed by (role, replica index).
+  std::map<std::pair<std::string, int>, double> occupancy;
+  for (const auto& link : input.option->links) {
+    auto megabytes = link.megabytes.eval(ctx);
+    if (!megabytes.ok()) {
+      return Err<double>(megabytes.error().code,
+                         "link " + link.from + "-" + link.to + ": " +
+                             megabytes.error().message);
+    }
+    cluster::NodeId a = input.allocation->find(link.from, 0);
+    cluster::NodeId b = input.allocation->find(link.to, 0);
+    if (a == cluster::kInvalidNode || b == cluster::kInvalidNode) {
+      return Err<double>(ErrorCode::kInvalidArgument,
+                         "link endpoint not allocated: " + link.from + "-" +
+                             link.to);
+    }
+    double bw = a == b ? local_mbps_ : topo.path_bandwidth(a, b);
+    comm += transfer_seconds(megabytes.value(), bw);
+    if (comm_occupancy_s_per_mb_ > 0) {
+      occupancy[{link.from, 0}] += megabytes.value() * comm_occupancy_s_per_mb_;
+      occupancy[{link.to, 0}] += megabytes.value() * comm_occupancy_s_per_mb_;
+    }
+  }
+  if (!input.option->communication.empty()) {
+    auto megabytes = input.option->communication.eval(ctx);
+    if (!megabytes.ok()) {
+      return Err<double>(megabytes.error().code,
+                         "communication: " + megabytes.error().message);
+    }
+    // All-pairs traffic bound by the weakest pairwise path.
+    double min_bw = local_mbps_;
+    const auto& entries = input.allocation->entries;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      for (size_t j = i + 1; j < entries.size(); ++j) {
+        if (entries[i].node == entries[j].node) continue;
+        min_bw = std::min(min_bw,
+                          topo.path_bandwidth(entries[i].node, entries[j].node));
+      }
+    }
+    comm += transfer_seconds(megabytes.value(), min_bw);
+    if (comm_occupancy_s_per_mb_ > 0 && !entries.empty()) {
+      // "cycles on all worker processes would need to be parameterized
+      // based on the amount of communication" — every byte is sent once
+      // and received once, spread over the participants.
+      double per_entry = 2.0 * megabytes.value() * comm_occupancy_s_per_mb_ /
+                         static_cast<double>(entries.size());
+      for (const auto& entry : entries) {
+        occupancy[{entry.requirement.role, entry.requirement.index}] +=
+            per_entry;
+      }
+    }
+  }
+
+  // CPU component: slowest constituent process under processor sharing,
+  // including any communication occupancy charged to it.
+  double cpu = 0.0;
+  for (const auto& entry : input.allocation->entries) {
+    auto it = role_seconds.find(entry.requirement.role);
+    if (it == role_seconds.end()) continue;
+    double seconds = it->second;
+    auto occ = occupancy.find({entry.requirement.role, entry.requirement.index});
+    if (occ != occupancy.end()) seconds += occ->second;
+    double speed = topo.node(entry.node).speed;
+    auto load_it = input.node_load->find(entry.node);
+    int load = load_it == input.node_load->end() ? 1 : load_it->second;
+    if (load < 1) load = 1;
+    cpu = std::max(cpu, seconds / speed * load);
+  }
+  double total = cpu + comm;
+  if (!std::isfinite(total)) {
+    return Err<double>(ErrorCode::kInvalidArgument,
+                       "prediction diverged (disconnected nodes?)");
+  }
+  return total;
+}
+
+Result<double> Predictor::predict_points(const PredictionInput& input) const {
+  // The supplied curve assumes dedicated nodes. Under processor sharing
+  // a node hosting `load` planned tasks contributes 1/load of a node,
+  // so interpolate at the *effective* node count. With no co-location
+  // this reduces to the literal variable value / replica count.
+  double effective = 0.0;
+  const size_t allocated = input.allocation->entries.size();
+  for (const auto& entry : input.allocation->entries) {
+    auto it = input.node_load->find(entry.node);
+    int load = it == input.node_load->end() ? 1 : std::max(1, it->second);
+    effective += 1.0 / load;
+  }
+  double x;
+  if (input.choice->variables.size() == 1 && allocated > 0) {
+    // Scale the tuning variable by the contention factor so curves
+    // keyed on a variable (workerNodes) see effective workers.
+    x = input.choice->variables.begin()->second * (effective / allocated);
+  } else {
+    x = effective;
+  }
+  std::vector<std::pair<double, double>> points;
+  points.reserve(input.option->performance_points.size());
+  for (const auto& p : input.option->performance_points) {
+    points.emplace_back(p.x, p.y);
+  }
+  return piecewise_linear(points, x);
+}
+
+Result<double> Predictor::predict_script(const PredictionInput& input) const {
+  rsl::Interp interp;
+  rsl::ExprContext ctx = full_context(input);
+  interp.set_name_resolver(ctx.name_lookup);
+  for (const auto& [name, value] : input.choice->variables) {
+    interp.set_global(name, format_number(value));
+  }
+  interp.set_global("allocatedNodes",
+                    str_format("%zu", input.allocation->entries.size()));
+  auto result = interp.eval(input.option->performance_script);
+  if (!result.ok()) {
+    return Err<double>(result.error().code,
+                       "performance script: " + result.error().message);
+  }
+  double seconds = 0;
+  if (!parse_double(result.value(), &seconds)) {
+    return Err<double>(ErrorCode::kEvalError,
+                       "performance script returned non-numeric: \"" +
+                           result.value() + "\"");
+  }
+  return seconds;
+}
+
+}  // namespace harmony::core

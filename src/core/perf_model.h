@@ -1,0 +1,82 @@
+// Performance prediction (paper §4.2). Four models, in precedence
+// order per bundle option:
+//   1. application-supplied TCL script (`performance script {...}`),
+//   2. application-supplied expression (`performance expr {...}`) —
+//      §3's "either an expression or a function",
+//   3. piecewise-linear interpolation over supplied data points
+//      (`performance {{x y} ...}`),
+//   4. Harmony's default model: CPU seconds scaled by node speed and
+//      processor-sharing contention, plus network transfer time —
+//      "simple combinations of CPU and network requirements, suitably
+//      scaled to reflect resource contention."
+#pragma once
+
+#include <map>
+
+#include "cluster/matcher.h"
+#include "cluster/topology.h"
+#include "common/result.h"
+#include "core/state.h"
+#include "rsl/expr.h"
+#include "rsl/spec.h"
+
+namespace harmony::core {
+
+struct PredictionInput {
+  const rsl::OptionSpec* option = nullptr;
+  const OptionChoice* choice = nullptr;
+  const cluster::Allocation* allocation = nullptr;
+  const cluster::Topology* topology = nullptr;
+  // Planned tasks per node across every instance, including the
+  // candidate allocation itself.
+  const std::map<cluster::NodeId, int>* node_load = nullptr;
+  // Namespace-backed resolver for names like "client.memory"
+  // (allocation-derived names are layered on top automatically).
+  rsl::ExprContext names;
+};
+
+class Predictor {
+ public:
+  // Local (same-node) transfer rate used when communicating roles share
+  // a host; matches NetworkModel's default.
+  explicit Predictor(double local_bandwidth_mbps = 8000.0)
+      : local_mbps_(local_bandwidth_mbps) {}
+
+  // LogP-style send/receive occupancy (§3.4: "a better way of modeling
+  // communication costs is by CPU occupancy on either end (for protocol
+  // processing, copying), plus wire time"). When nonzero, the default
+  // model charges this many reference CPU seconds per megabyte to each
+  // endpoint of every transfer, on top of the wire time. Off by
+  // default, as in the paper's model.
+  void set_comm_occupancy(double seconds_per_mb) {
+    comm_occupancy_s_per_mb_ = seconds_per_mb;
+  }
+  double comm_occupancy() const { return comm_occupancy_s_per_mb_; }
+
+  // Predicted response time in seconds; lower is better.
+  Result<double> predict(const PredictionInput& input) const;
+
+  // Which model predict() would use (diagnostics / ablation bench).
+  enum class Model { kScript, kExpr, kDag, kPoints, kDefault };
+  static Model model_for(const rsl::OptionSpec& option);
+  static const char* model_name(Model model);
+
+  // The default model in isolation (ablation A3 compares it against the
+  // points model on the same input).
+  Result<double> predict_default(const PredictionInput& input) const;
+
+ private:
+  Result<double> predict_script(const PredictionInput& input) const;
+  Result<double> predict_expr(const PredictionInput& input) const;
+  Result<double> predict_dag(const PredictionInput& input) const;
+  Result<double> predict_points(const PredictionInput& input) const;
+
+  // Expression context: choice variables + role-derived names
+  // (role.memory, role.count) + namespace fallback.
+  rsl::ExprContext full_context(const PredictionInput& input) const;
+
+  double local_mbps_;
+  double comm_occupancy_s_per_mb_ = 0.0;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,99 @@
+#include "core/state.h"
+
+#include "common/strings.h"
+
+namespace harmony::core {
+
+std::string OptionChoice::to_string() const {
+  std::string out = option;
+  for (const auto& [name, value] : variables) {
+    out += str_format(" %s=%s", name.c_str(), format_number(value).c_str());
+  }
+  if (memory_grant != 1.0) {
+    out += str_format(" mem*%s", format_number(memory_grant).c_str());
+  }
+  return out;
+}
+
+std::vector<OptionChoice> enumerate_choices(const rsl::OptionSpec& option) {
+  std::vector<OptionChoice> out;
+  out.push_back(OptionChoice{option.name, {}});
+  for (const auto& variable : option.variables) {
+    std::vector<OptionChoice> expanded;
+    expanded.reserve(out.size() * variable.values.size());
+    for (const auto& base : out) {
+      for (double value : variable.values) {
+        OptionChoice next = base;
+        next.variables[variable.name] = value;
+        expanded.push_back(std::move(next));
+      }
+    }
+    out = std::move(expanded);
+  }
+  return out;
+}
+
+std::vector<OptionChoice> enumerate_choices(const rsl::BundleSpec& bundle) {
+  std::vector<OptionChoice> out;
+  for (const auto& option : bundle.options) {
+    auto choices = enumerate_choices(option);
+    out.insert(out.end(), choices.begin(), choices.end());
+  }
+  return out;
+}
+
+BundleState* InstanceState::find_bundle(const std::string& name) {
+  for (auto& bundle : bundles) {
+    if (bundle.spec.bundle == name) return &bundle;
+  }
+  return nullptr;
+}
+
+const BundleState* InstanceState::find_bundle(const std::string& name) const {
+  for (const auto& bundle : bundles) {
+    if (bundle.spec.bundle == name) return &bundle;
+  }
+  return nullptr;
+}
+
+std::string InstanceState::path() const {
+  return application + "." + str_format("%llu",
+                                        static_cast<unsigned long long>(id));
+}
+
+InstanceState* SystemState::find_instance(InstanceId id) {
+  for (auto& instance : instances) {
+    if (instance.id == id) return &instance;
+  }
+  return nullptr;
+}
+
+const InstanceState* SystemState::find_instance(InstanceId id) const {
+  for (const auto& instance : instances) {
+    if (instance.id == id) return &instance;
+  }
+  return nullptr;
+}
+
+std::map<cluster::NodeId, int> SystemState::node_load() const {
+  std::map<cluster::NodeId, int> load;
+  for (const auto& instance : instances) {
+    for (const auto& bundle : instance.bundles) {
+      if (!bundle.configured) continue;
+      for (const auto& entry : bundle.allocation.entries) {
+        ++load[entry.node];
+      }
+    }
+  }
+  // Load from outside Harmony's control, as reported through the
+  // metric interface (§4.3).
+  if (pool != nullptr) {
+    for (cluster::NodeId id = 0; id < topology.node_count(); ++id) {
+      int external = pool->external_load(id);
+      if (external > 0) load[id] += external;
+    }
+  }
+  return load;
+}
+
+}  // namespace harmony::core

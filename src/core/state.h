@@ -1,0 +1,81 @@
+// Controller-side state: application instances, their bundles, current
+// option choices and allocations. The optimizer mutates this state
+// (tentatively and finally); the controller owns it and publishes it
+// into the namespace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/matcher.h"
+#include "cluster/pool.h"
+#include "cluster/topology.h"
+#include "rsl/spec.h"
+
+namespace harmony::core {
+
+using InstanceId = uint64_t;
+
+// A concrete setting of one tuning option: the option name plus values
+// for each `variable` tag it declares (e.g. workerNodes = 4), plus the
+// memory grant factor the controller chose for open-ended (">=")
+// memory constraints — §3.5: "Harmony can then decide to allocate
+// additional memory resources at the client in order to reduce
+// bandwidth requirements."
+struct OptionChoice {
+  std::string option;
+  std::map<std::string, double> variables;
+  double memory_grant = 1.0;  // multiplier on >=-constraint minimums
+
+  bool operator==(const OptionChoice& other) const = default;
+  std::string to_string() const;
+};
+
+// Enumerates every concrete choice an option spec admits (the cartesian
+// product of its variable value lists; one entry when it has none).
+std::vector<OptionChoice> enumerate_choices(const rsl::OptionSpec& option);
+// All choices across a bundle's options, bundle definition order.
+std::vector<OptionChoice> enumerate_choices(const rsl::BundleSpec& bundle);
+
+struct BundleState {
+  rsl::BundleSpec spec;
+  OptionChoice choice;            // valid once `configured`
+  cluster::Allocation allocation;
+  double last_switch_time = -1e300;
+  bool configured = false;
+};
+
+struct InstanceState {
+  InstanceId id = 0;
+  std::string application;
+  double arrival_time = 0.0;
+  std::vector<BundleState> bundles;
+
+  BundleState* find_bundle(const std::string& name);
+  const BundleState* find_bundle(const std::string& name) const;
+  // Namespace root for this instance, e.g. "DBclient.66".
+  std::string path() const;
+};
+
+// The world the optimizer reasons about. Topology is fixed for the run;
+// the pool and instances evolve.
+struct SystemState {
+  cluster::Topology topology;
+  std::unique_ptr<cluster::ResourcePool> pool;
+  std::vector<InstanceState> instances;
+
+  void init_pool() {
+    pool = std::make_unique<cluster::ResourcePool>(&topology);
+  }
+  InstanceState* find_instance(InstanceId id);
+  const InstanceState* find_instance(InstanceId id) const;
+
+  // Planned tasks per node, derived from every configured allocation.
+  // This is the contention input to the default performance model.
+  std::map<cluster::NodeId, int> node_load() const;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,53 @@
+#include "db/bufferpool.h"
+
+#include "common/assert.h"
+
+namespace harmony::db {
+
+BufferPool::BufferPool(size_t capacity_pages, size_t tuples_per_page)
+    : capacity_(capacity_pages), tuples_per_page_(tuples_per_page) {
+  HARMONY_ASSERT(capacity_pages > 0 && tuples_per_page > 0);
+}
+
+double BufferPool::hit_rate() const {
+  uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+}
+
+bool BufferPool::touch(int table, RowId row) {
+  PageKey page = key(table, row);
+  auto it = entries_.find(page);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page);
+  entries_[page] = lru_.begin();
+  return false;
+}
+
+BufferPool::Touch BufferPool::touch_rows(int table,
+                                         const std::vector<RowId>& rows) {
+  Touch result;
+  for (RowId row : rows) {
+    if (touch(table, row)) {
+      ++result.hits;
+    } else {
+      ++result.misses;
+    }
+  }
+  return result;
+}
+
+void BufferPool::clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace harmony::db

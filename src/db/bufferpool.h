@@ -1,0 +1,59 @@
+// Page-level LRU buffer pool — the SHORE-storage-manager stand-in for
+// the server side. The paper's Figure 7 commentary attributes one
+// client's advantage to "cooperative caching effects on the server
+// since all clients are accessing the same relations": all clients
+// share this pool, so pages warmed by one client's queries make every
+// later query cheaper.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "db/tuple.h"
+
+namespace harmony::db {
+
+class BufferPool {
+ public:
+  // capacity_pages of tuples_per_page tuples each (8 KB pages of
+  // 208-byte tuples by default).
+  explicit BufferPool(size_t capacity_pages, size_t tuples_per_page = 39);
+
+  size_t capacity_pages() const { return capacity_; }
+  size_t tuples_per_page() const { return tuples_per_page_; }
+  size_t resident_pages() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double hit_rate() const;
+
+  struct Touch {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  // Touches the page holding row `row` of `table`; faults it in on a
+  // miss (evicting LRU pages).
+  bool touch(int table, RowId row);
+  // Touches every page covering the given rows; returns the aggregate.
+  Touch touch_rows(int table, const std::vector<RowId>& rows);
+
+  void clear();
+
+ private:
+  using PageKey = uint64_t;  // table << 48 | page number
+  PageKey key(int table, RowId row) const {
+    return (static_cast<uint64_t>(table) << 48) |
+           (static_cast<uint64_t>(row) / tuples_per_page_);
+  }
+
+  size_t capacity_;
+  size_t tuples_per_page_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<PageKey> lru_;  // front = most recent
+  std::unordered_map<PageKey, std::list<PageKey>::iterator> entries_;
+};
+
+}  // namespace harmony::db

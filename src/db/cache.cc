@@ -1,0 +1,45 @@
+#include "db/cache.h"
+
+namespace harmony::db {
+
+void BucketCache::resize(double capacity_mb) {
+  capacity_mb_ = capacity_mb;
+  evict_until_fits(0.0);
+}
+
+bool BucketCache::lookup_or_insert(int relation, int32_t bucket,
+                                   double bucket_mb) {
+  Key key{relation, bucket};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Move to front.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (bucket_mb > capacity_mb_) return false;  // cannot ever fit
+  evict_until_fits(bucket_mb);
+  lru_.emplace_front(key, bucket_mb);
+  entries_[key] = lru_.begin();
+  used_mb_ += bucket_mb;
+  return false;
+}
+
+void BucketCache::evict_until_fits(double needed_mb) {
+  while (!lru_.empty() && used_mb_ + needed_mb > capacity_mb_) {
+    auto& [key, mb] = lru_.back();
+    used_mb_ -= mb;
+    entries_.erase(key);
+    lru_.pop_back();
+  }
+  if (used_mb_ < 0) used_mb_ = 0;
+}
+
+void BucketCache::clear() {
+  lru_.clear();
+  entries_.clear();
+  used_mb_ = 0;
+}
+
+}  // namespace harmony::db

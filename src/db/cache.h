@@ -1,0 +1,51 @@
+// Client-side bucket cache for data shipping. The benchmark's selection
+// attribute (tenPercent) partitions each relation into ten buckets; a
+// data-shipping client caches whole buckets, so repeated queries over
+// the same values skip the transfer. This is the mechanism behind the
+// paper's memory <-> bandwidth tradeoff: "Harmony can then decide to
+// allocate additional memory resources at the client in order to reduce
+// bandwidth requirements."
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <utility>
+
+namespace harmony::db {
+
+class BucketCache {
+ public:
+  explicit BucketCache(double capacity_mb) : capacity_mb_(capacity_mb) {}
+
+  double capacity_mb() const { return capacity_mb_; }
+  double used_mb() const { return used_mb_; }
+  size_t buckets() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  // Resizing (Harmony granted different memory) evicts LRU-first until
+  // the new capacity fits.
+  void resize(double capacity_mb);
+
+  // Returns true on hit; on miss, inserts the bucket (evicting LRU
+  // entries as needed) and returns false. Buckets larger than the whole
+  // cache are never retained.
+  bool lookup_or_insert(int relation, int32_t bucket, double bucket_mb);
+
+  void clear();
+
+ private:
+  using Key = std::pair<int, int32_t>;
+  void evict_until_fits(double needed_mb);
+
+  double capacity_mb_;
+  double used_mb_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<std::pair<Key, double>> lru_;           // front = most recent
+  std::map<Key, std::list<std::pair<Key, double>>::iterator> entries_;
+};
+
+}  // namespace harmony::db

@@ -1,0 +1,95 @@
+#include "db/engine.h"
+
+#include "common/assert.h"
+#include "db/wisconsin.h"
+
+namespace harmony::db {
+
+const char* placement_name(Placement placement) {
+  switch (placement) {
+    case Placement::kQueryShipping: return "QS";
+    case Placement::kDataShipping: return "DS";
+  }
+  return "unknown";
+}
+
+DbEngine::DbEngine(size_t rows_per_relation, uint64_t seed)
+    : rows_(rows_per_relation), left_("wisc1"), right_("wisc2") {
+  HARMONY_ASSERT(rows_per_relation >= 10);
+  left_.bulk_load(generate_wisconsin(rows_per_relation, seed));
+  right_.bulk_load(generate_wisconsin(rows_per_relation, seed ^ 0x9E3779B9));
+  left_.build_index(Attr::kTenPercent);
+  left_.build_index(Attr::kUnique1);
+  right_.build_index(Attr::kTenPercent);
+  right_.build_index(Attr::kUnique1);
+}
+
+double DbEngine::bucket_mb() const {
+  return static_cast<double>(rows_ / 10) * kTupleBytes / 1e6;
+}
+
+ExecutionProfile DbEngine::execute(const BenchmarkQuery& query,
+                                   Placement placement,
+                                   BucketCache* client_cache,
+                                   const CostModel& costs) {
+  QueryResult result = run_benchmark_query(left_, right_, query);
+  const WorkCounters& w = result.work;
+
+  double select_cpu =
+      static_cast<double>(w.rows_selected_left + w.rows_selected_right) *
+      costs.select_per_row;
+
+  // Server I/O: the selections fetch base pages through the shared
+  // buffer pool (both placements read the base data at the server).
+  uint64_t page_hits = 0, page_misses = 0;
+  if (server_cache_ != nullptr) {
+    auto touched_left = server_cache_->touch_rows(
+        0, left_.select_eq(Attr::kTenPercent, query.left_ten_percent));
+    auto touched_right = server_cache_->touch_rows(
+        1, right_.select_eq(Attr::kTenPercent, query.right_ten_percent));
+    page_hits = touched_left.hits + touched_right.hits;
+    page_misses = touched_left.misses + touched_right.misses;
+    select_cpu += static_cast<double>(page_misses) * costs.io_per_page_miss;
+  }
+  double join_cpu = static_cast<double>(w.join_build_rows) * costs.build_per_row +
+                    static_cast<double>(w.join_probe_rows) * costs.probe_per_row +
+                    static_cast<double>(w.result_rows) * costs.result_per_row;
+
+  ExecutionProfile profile;
+  profile.placement = placement;
+  profile.work = w;
+  profile.page_hits = page_hits;
+  profile.page_misses = page_misses;
+
+  if (placement == Placement::kQueryShipping) {
+    profile.server_cpu_s = select_cpu + join_cpu;
+    profile.client_cpu_s = costs.parse_cost;
+    profile.transfer_mb = static_cast<double>(w.result_bytes) / 1e6;
+    return profile;
+  }
+
+  // Data shipping: server selects, client joins; selected buckets cross
+  // the wire unless cached.
+  profile.server_cpu_s = select_cpu;
+  profile.client_cpu_s = costs.parse_cost + join_cpu;
+  double shipped = 0.0;
+  auto account_bucket = [&](int relation, int32_t bucket, uint64_t rows) {
+    double mb = static_cast<double>(rows) * kTupleBytes / 1e6;
+    if (client_cache != nullptr &&
+        client_cache->lookup_or_insert(relation, bucket, mb)) {
+      ++profile.cache_hits;
+    } else {
+      if (client_cache != nullptr) ++profile.cache_misses;
+      shipped += mb;
+    }
+  };
+  account_bucket(0, query.left_ten_percent, w.rows_selected_left);
+  account_bucket(1, query.right_ten_percent, w.rows_selected_right);
+  if (client_cache == nullptr) {
+    profile.cache_misses = 2;
+  }
+  profile.transfer_mb = shipped;
+  return profile;
+}
+
+}  // namespace harmony::db

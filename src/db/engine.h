@@ -1,0 +1,87 @@
+// The hybrid client-server database of §3.5/§6: two Wisconsin relations
+// with indexes on the selection and join attributes, executing the
+// benchmark query under either placement:
+//
+//   query shipping (QS): selections and join run at the server; only
+//     result tuples cross the network.
+//   data shipping (DS): the server runs the (cheap, indexed) selections
+//     and ships the selected base tuples; the client runs the join,
+//     consulting its bucket cache to skip transfers it has seen.
+//
+// execute() really runs the operators and converts the measured work
+// counters into reference-machine CPU seconds and transfer megabytes —
+// the relative QS/DS costs are emergent, not hard-coded.
+#pragma once
+
+#include <memory>
+
+#include "db/bufferpool.h"
+#include "db/cache.h"
+#include "db/executor.h"
+#include "db/table.h"
+
+namespace harmony::db {
+
+enum class Placement { kQueryShipping, kDataShipping };
+
+const char* placement_name(Placement placement);
+
+// Per-row CPU costs in reference-machine seconds. Defaults are
+// calibrated so the full benchmark query costs ~18 reference-seconds
+// (≈9 s on the paper's server), matching Figure 7's ~10 s single-client
+// response time.
+struct CostModel {
+  double select_per_row = 1e-4;   // index select, per matching row
+  double build_per_row = 8e-4;    // hash-table build, per row
+  double probe_per_row = 8e-4;    // hash probe, per row
+  double result_per_row = 1e-5;   // result materialization, per row
+  double parse_cost = 0.1;        // client-side query parse/plan
+  // Charged at the server per buffer-pool page miss (disk fetch). Only
+  // applies when a server BufferPool is attached.
+  double io_per_page_miss = 3e-4;
+};
+
+struct ExecutionProfile {
+  Placement placement = Placement::kQueryShipping;
+  double server_cpu_s = 0;  // reference seconds at the server
+  double client_cpu_s = 0;  // reference seconds at the client
+  double transfer_mb = 0;   // bytes shipped server -> client
+  uint64_t cache_hits = 0;  // DS only
+  uint64_t cache_misses = 0;
+  uint64_t page_hits = 0;    // server buffer pool, when attached
+  uint64_t page_misses = 0;  // (cold pages cost io_per_page_miss each)
+  WorkCounters work;
+};
+
+class DbEngine {
+ public:
+  // Builds both relations (paper: 100,000 tuples each) with indexes on
+  // tenPercent (selection) and unique1 (join).
+  DbEngine(size_t rows_per_relation, uint64_t seed);
+
+  const Table& left() const { return left_; }
+  const Table& right() const { return right_; }
+  size_t rows_per_relation() const { return rows_; }
+  // Size of one tenPercent bucket in MB (rows/10 tuples).
+  double bucket_mb() const;
+
+  // Executes the query under the given placement. For data shipping,
+  // client_cache (optional) models the client's bucket cache.
+  ExecutionProfile execute(const BenchmarkQuery& query, Placement placement,
+                           BucketCache* client_cache = nullptr,
+                           const CostModel& costs = CostModel());
+
+  // Attaches a server-side page buffer pool, shared by every client
+  // using this engine (the paper's cooperative caching). Pass nullptr
+  // to detach. The pool must outlive the engine's use of it.
+  void set_server_cache(BufferPool* pool) { server_cache_ = pool; }
+  const BufferPool* server_cache() const { return server_cache_; }
+
+ private:
+  size_t rows_;
+  Table left_;
+  Table right_;
+  BufferPool* server_cache_ = nullptr;
+};
+
+}  // namespace harmony::db

@@ -1,0 +1,69 @@
+#include "db/executor.h"
+
+#include <unordered_map>
+
+namespace harmony::db {
+
+WorkCounters& WorkCounters::operator+=(const WorkCounters& other) {
+  rows_selected_left += other.rows_selected_left;
+  rows_selected_right += other.rows_selected_right;
+  rows_examined += other.rows_examined;
+  join_build_rows += other.join_build_rows;
+  join_probe_rows += other.join_probe_rows;
+  result_rows += other.result_rows;
+  result_bytes += other.result_bytes;
+  return *this;
+}
+
+std::vector<JoinedRow> hash_join(const Table& left,
+                                 const std::vector<RowId>& left_rows,
+                                 const Table& right,
+                                 const std::vector<RowId>& right_rows,
+                                 Attr join_attr, WorkCounters* counters) {
+  const bool left_builds = left_rows.size() <= right_rows.size();
+  const Table& build_table = left_builds ? left : right;
+  const Table& probe_table = left_builds ? right : left;
+  const auto& build_rows = left_builds ? left_rows : right_rows;
+  const auto& probe_rows = left_builds ? right_rows : left_rows;
+
+  std::unordered_multimap<int32_t, RowId> hash;
+  hash.reserve(build_rows.size());
+  for (RowId id : build_rows) {
+    hash.emplace(attr_value(build_table.row(id), join_attr), id);
+  }
+  if (counters) counters->join_build_rows += build_rows.size();
+
+  std::vector<JoinedRow> out;
+  for (RowId probe_id : probe_rows) {
+    auto [lo, hi] =
+        hash.equal_range(attr_value(probe_table.row(probe_id), join_attr));
+    for (auto it = lo; it != hi; ++it) {
+      JoinedRow row;
+      row.left = left_builds ? it->second : probe_id;
+      row.right = left_builds ? probe_id : it->second;
+      out.push_back(row);
+    }
+  }
+  if (counters) {
+    counters->join_probe_rows += probe_rows.size();
+    counters->result_rows += out.size();
+    counters->result_bytes += out.size() * 2 * kTupleBytes;
+  }
+  return out;
+}
+
+QueryResult run_benchmark_query(const Table& left, const Table& right,
+                                const BenchmarkQuery& query) {
+  QueryResult result;
+  auto left_rows = left.select_eq(Attr::kTenPercent, query.left_ten_percent,
+                                  &result.work.rows_examined);
+  auto right_rows = right.select_eq(Attr::kTenPercent, query.right_ten_percent,
+                                    &result.work.rows_examined);
+  result.work.rows_selected_left = left_rows.size();
+  result.work.rows_selected_right = right_rows.size();
+  result.rows = hash_join(left, left_rows, right, right_rows, Attr::kUnique1,
+                          &result.work);
+  return result;
+}
+
+}  // namespace harmony::db

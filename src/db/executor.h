@@ -1,0 +1,56 @@
+// Query operators with work accounting. Every operator reports how many
+// tuples it examined/built/probed and how many result bytes it produced;
+// the simulated applications convert those counts into reference-machine
+// CPU seconds and network transfer sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/table.h"
+
+namespace harmony::db {
+
+struct WorkCounters {
+  uint64_t rows_selected_left = 0;   // index-select output, relation 1
+  uint64_t rows_selected_right = 0;  // index-select output, relation 2
+  uint64_t rows_examined = 0;        // total rows touched by selections
+  uint64_t join_build_rows = 0;      // hash-table build side
+  uint64_t join_probe_rows = 0;      // probe side
+  uint64_t result_rows = 0;
+  uint64_t result_bytes = 0;
+
+  WorkCounters& operator+=(const WorkCounters& other);
+};
+
+struct JoinedRow {
+  RowId left;
+  RowId right;
+};
+
+// Hash join on an integer attribute over pre-selected row sets. Builds
+// on the smaller side. Result pairs are in deterministic (probe-side)
+// order.
+std::vector<JoinedRow> hash_join(const Table& left,
+                                 const std::vector<RowId>& left_rows,
+                                 const Table& right,
+                                 const std::vector<RowId>& right_rows,
+                                 Attr join_attr, WorkCounters* counters);
+
+// The paper's benchmark query: select tuples with
+// tenPercent == left_value / right_value from each relation (10%
+// selectivity via the index), join on unique1.
+struct BenchmarkQuery {
+  int32_t left_ten_percent = 0;
+  int32_t right_ten_percent = 0;
+};
+
+struct QueryResult {
+  std::vector<JoinedRow> rows;
+  WorkCounters work;
+};
+
+QueryResult run_benchmark_query(const Table& left, const Table& right,
+                                const BenchmarkQuery& query);
+
+}  // namespace harmony::db

@@ -1,0 +1,100 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace harmony::db {
+
+const char* attr_name(Attr attr) {
+  switch (attr) {
+    case Attr::kUnique1: return "unique1";
+    case Attr::kUnique2: return "unique2";
+    case Attr::kTen: return "ten";
+    case Attr::kOnePercent: return "onePercent";
+    case Attr::kTenPercent: return "tenPercent";
+    case Attr::kTwentyPercent: return "twentyPercent";
+  }
+  return "unknown";
+}
+
+int32_t attr_value(const WisconsinTuple& tuple, Attr attr) {
+  switch (attr) {
+    case Attr::kUnique1: return tuple.unique1;
+    case Attr::kUnique2: return tuple.unique2;
+    case Attr::kTen: return tuple.ten;
+    case Attr::kOnePercent: return tuple.one_percent;
+    case Attr::kTenPercent: return tuple.ten_percent;
+    case Attr::kTwentyPercent: return tuple.twenty_percent;
+  }
+  return 0;
+}
+
+RowId Table::insert(const WisconsinTuple& tuple) {
+  RowId id = static_cast<RowId>(rows_.size());
+  rows_.push_back(tuple);
+  for (auto& [attr, index] : indexes_) {
+    index.emplace(attr_value(tuple, static_cast<Attr>(attr)), id);
+  }
+  return id;
+}
+
+void Table::bulk_load(std::vector<WisconsinTuple> tuples) {
+  rows_ = std::move(tuples);
+  // Rebuild any existing indexes over the new contents.
+  std::vector<int> attrs;
+  for (auto& [attr, index] : indexes_) attrs.push_back(attr);
+  indexes_.clear();
+  for (int attr : attrs) build_index(static_cast<Attr>(attr));
+}
+
+const WisconsinTuple& Table::row(RowId id) const {
+  HARMONY_ASSERT(id < rows_.size());
+  return rows_[id];
+}
+
+void Table::build_index(Attr attr) {
+  auto& index = indexes_[static_cast<int>(attr)];
+  index.clear();
+  index.reserve(rows_.size());
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    index.emplace(attr_value(rows_[id], attr), id);
+  }
+}
+
+bool Table::has_index(Attr attr) const {
+  return indexes_.count(static_cast<int>(attr)) > 0;
+}
+
+std::vector<RowId> Table::select_eq(Attr attr, int32_t value,
+                                    uint64_t* rows_examined) const {
+  std::vector<RowId> out;
+  auto it = indexes_.find(static_cast<int>(attr));
+  if (it != indexes_.end()) {
+    auto [lo, hi] = it->second.equal_range(value);
+    for (auto entry = lo; entry != hi; ++entry) out.push_back(entry->second);
+    // Index scans touch only matching rows.
+    if (rows_examined) *rows_examined += out.size();
+    // Hash-bucket order is implementation-defined; sort for determinism.
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (attr_value(rows_[id], attr) == value) out.push_back(id);
+  }
+  if (rows_examined) *rows_examined += rows_.size();
+  return out;
+}
+
+std::vector<RowId> Table::scan_filter(
+    const std::function<bool(const WisconsinTuple&)>& predicate,
+    uint64_t* rows_examined) const {
+  std::vector<RowId> out;
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (predicate(rows_[id])) out.push_back(id);
+  }
+  if (rows_examined) *rows_examined += rows_.size();
+  return out;
+}
+
+}  // namespace harmony::db

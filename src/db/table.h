@@ -1,0 +1,65 @@
+// Heap table over Wisconsin tuples with integer-attribute accessors and
+// hash indexes. Tornadito (the paper's engine) sat on the SHORE storage
+// manager; this is the minimal storage substrate the experiments need:
+// stable row ids, full scans, and indexed lookups with work accounting.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "db/tuple.h"
+
+namespace harmony::db {
+
+// Integer attributes addressable by name (index keys / predicates).
+enum class Attr {
+  kUnique1,
+  kUnique2,
+  kTen,
+  kOnePercent,
+  kTenPercent,
+  kTwentyPercent,
+};
+
+const char* attr_name(Attr attr);
+int32_t attr_value(const WisconsinTuple& tuple, Attr attr);
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t row_count() const { return rows_.size(); }
+  size_t bytes() const { return rows_.size() * kTupleBytes; }
+
+  RowId insert(const WisconsinTuple& tuple);
+  void bulk_load(std::vector<WisconsinTuple> tuples);
+
+  const WisconsinTuple& row(RowId id) const;
+
+  // Builds (or rebuilds) a hash index on the attribute.
+  void build_index(Attr attr);
+  bool has_index(Attr attr) const;
+
+  // Row ids matching attr == value. Uses the index when present
+  // (counting one probe per matching row), else a full scan (counting
+  // every row examined). The examined-row count feeds the simulator's
+  // CPU cost model.
+  std::vector<RowId> select_eq(Attr attr, int32_t value,
+                               uint64_t* rows_examined = nullptr) const;
+
+  // Full-scan filter (diagnostics / non-indexed predicates).
+  std::vector<RowId> scan_filter(
+      const std::function<bool(const WisconsinTuple&)>& predicate,
+      uint64_t* rows_examined = nullptr) const;
+
+ private:
+  std::string name_;
+  std::vector<WisconsinTuple> rows_;
+  std::unordered_map<int, std::unordered_multimap<int32_t, RowId>> indexes_;
+};
+
+}  // namespace harmony::db

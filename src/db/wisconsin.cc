@@ -1,0 +1,57 @@
+#include "db/wisconsin.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace harmony::db {
+
+namespace {
+
+// The classic Wisconsin string attribute: 52 chars, first/last letters
+// cycle with the value, padded with 'x'.
+void fill_string(std::array<char, 52>* out, int32_t value, char salt) {
+  out->fill('x');
+  char head[8];
+  std::snprintf(head, sizeof(head), "%c%06d", salt, value % 1000000);
+  std::copy(head, head + 7, out->begin());
+}
+
+}  // namespace
+
+std::vector<WisconsinTuple> generate_wisconsin(size_t n, uint64_t seed) {
+  // Random permutation for unique1 via Fisher-Yates with our RNG.
+  std::vector<int32_t> permutation(n);
+  for (size_t i = 0; i < n; ++i) permutation[i] = static_cast<int32_t>(i);
+  Rng rng(seed);
+  for (size_t i = n; i > 1; --i) {
+    size_t j = rng.next_below(i);
+    std::swap(permutation[i - 1], permutation[j]);
+  }
+
+  std::vector<WisconsinTuple> tuples(n);
+  for (size_t i = 0; i < n; ++i) {
+    WisconsinTuple& t = tuples[i];
+    int32_t u1 = permutation[i];
+    t.unique1 = u1;
+    t.unique2 = static_cast<int32_t>(i);
+    t.two = u1 % 2;
+    t.four = u1 % 4;
+    t.ten = u1 % 10;
+    t.twenty = u1 % 20;
+    t.one_percent = t.unique2 % 100;
+    t.ten_percent = t.unique2 % 10;
+    t.twenty_percent = u1 % 5;
+    t.fifty_percent = u1 % 2;
+    t.unique3 = u1;
+    t.even_one_percent = t.one_percent * 2;
+    t.odd_one_percent = t.one_percent * 2 + 1;
+    fill_string(&t.stringu1, u1, 'A');
+    fill_string(&t.stringu2, t.unique2, 'B');
+    fill_string(&t.string4, u1 % 4, 'V');
+  }
+  return tuples;
+}
+
+}  // namespace harmony::db

@@ -1,0 +1,16 @@
+// Wisconsin benchmark relation generator. unique1 is a deterministic
+// pseudo-random permutation of [0, n), unique2 is sequential; derived
+// attributes follow the standard definitions.
+#pragma once
+
+#include <vector>
+
+#include "db/tuple.h"
+
+namespace harmony::db {
+
+// Generates n tuples; `seed` makes distinct relations (the paper joins
+// two instances of the same schema).
+std::vector<WisconsinTuple> generate_wisconsin(size_t n, uint64_t seed);
+
+}  // namespace harmony::db

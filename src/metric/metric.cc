@@ -1,0 +1,77 @@
+#include "metric/metric.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/strings.h"
+
+namespace harmony::metric {
+
+void TimeSeries::add(double time, double value) {
+  HARMONY_ASSERT_MSG(samples_.empty() || time >= samples_.back().time - 1e-9,
+                     "metric samples must be time-ordered");
+  samples_.push_back({time, value});
+}
+
+double TimeSeries::last_value() const {
+  HARMONY_ASSERT(!samples_.empty());
+  return samples_.back().value;
+}
+
+double TimeSeries::last_time() const {
+  HARMONY_ASSERT(!samples_.empty());
+  return samples_.back().time;
+}
+
+RunningStats TimeSeries::stats_between(double from, double to) const {
+  RunningStats stats;
+  auto lo = std::lower_bound(
+      samples_.begin(), samples_.end(), from,
+      [](const Sample& s, double t) { return s.time < t; });
+  for (auto it = lo; it != samples_.end() && it->time <= to; ++it) {
+    stats.add(it->value);
+  }
+  return stats;
+}
+
+RunningStats TimeSeries::stats_window(double window) const {
+  if (samples_.empty()) return {};
+  double to = samples_.back().time;
+  return stats_between(to - window, to);
+}
+
+double TimeSeries::mean() const {
+  RunningStats stats;
+  for (const auto& s : samples_) stats.add(s.value);
+  return stats.mean();
+}
+
+void MetricRegistry::record(const std::string& name, double time,
+                            double value) {
+  series_[name].add(time, value);
+  for (const auto& observer : observers_) observer(name, time, value);
+}
+
+const TimeSeries* MetricRegistry::find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MetricRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ts] : series_) out.push_back(name);
+  return out;
+}
+
+std::string MetricRegistry::export_csv(const std::string& name) const {
+  const TimeSeries* ts = find(name);
+  if (ts == nullptr) return "";
+  std::string out = "time,value\n";
+  for (const auto& s : ts->samples()) {
+    out += str_format("%.6f,%.6f\n", s.time, s.value);
+  }
+  return out;
+}
+
+}  // namespace harmony::metric

@@ -1,0 +1,75 @@
+// Metric interface (paper §2): "a unified way to gather data about the
+// performance of applications and their execution environment. Data
+// about system conditions and application resource requirements flow
+// into the metric interface, and on to both the adaptation controller
+// and individual applications."
+//
+// MetricRegistry stores named time series; observers (the controller,
+// experiment harnesses) subscribe to updates.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace harmony::metric {
+
+struct Sample {
+  double time = 0.0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  // Sample times must be non-decreasing (simulation time).
+  void add(double time, double value);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+  double last_value() const;
+  double last_time() const;
+
+  // Statistics over samples with time in [from, to].
+  RunningStats stats_between(double from, double to) const;
+  // Statistics over the trailing window [last_time - window, last_time].
+  RunningStats stats_window(double window) const;
+  // Mean of all samples.
+  double mean() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+class MetricRegistry {
+ public:
+  using Observer =
+      std::function<void(const std::string& name, double time, double value)>;
+
+  // Records a sample and notifies observers.
+  void record(const std::string& name, double time, double value);
+
+  bool has(const std::string& name) const { return series_.count(name) > 0; }
+  // Creates the series if absent.
+  TimeSeries& series(const std::string& name) { return series_[name]; }
+  const TimeSeries* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  void subscribe(Observer observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  // "time,value" CSV lines for one series (experiment output).
+  std::string export_csv(const std::string& name) const;
+
+  void clear() { series_.clear(); }
+
+ private:
+  std::map<std::string, TimeSeries> series_;  // ordered names() output
+  std::vector<Observer> observers_;
+};
+
+}  // namespace harmony::metric

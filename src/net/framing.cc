@@ -1,0 +1,36 @@
+#include "net/framing.h"
+
+namespace harmony::net {
+
+std::string encode_frame(std::string_view payload) {
+  HARMONY_ASSERT(payload.size() <= kMaxFrameBytes);
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((length >> 24) & 0xFF));
+  out.push_back(static_cast<char>((length >> 16) & 0xFF));
+  out.push_back(static_cast<char>((length >> 8) & 0xFF));
+  out.push_back(static_cast<char>(length & 0xFF));
+  out.append(payload);
+  return out;
+}
+
+Result<std::optional<std::string>> FrameBuffer::next_frame() {
+  if (buffer_.size() < 4) return std::optional<std::string>{};
+  uint32_t length = (static_cast<uint32_t>(static_cast<uint8_t>(buffer_[0])) << 24) |
+                    (static_cast<uint32_t>(static_cast<uint8_t>(buffer_[1])) << 16) |
+                    (static_cast<uint32_t>(static_cast<uint8_t>(buffer_[2])) << 8) |
+                    static_cast<uint32_t>(static_cast<uint8_t>(buffer_[3]));
+  if (length > kMaxFrameBytes) {
+    return Err<std::optional<std::string>>(ErrorCode::kProtocol,
+                                           "frame length exceeds limit");
+  }
+  if (buffer_.size() < 4 + static_cast<size_t>(length)) {
+    return std::optional<std::string>{};
+  }
+  std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4 + static_cast<size_t>(length));
+  return std::optional<std::string>{std::move(payload)};
+}
+
+}  // namespace harmony::net

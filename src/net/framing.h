@@ -1,0 +1,36 @@
+// Length-prefixed framing for the Harmony wire protocol: 4-byte
+// big-endian payload length followed by the payload. FrameBuffer
+// reassembles frames from arbitrary byte chunks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace harmony::net {
+
+// Frames above this are a protocol violation (sanity bound; bundle
+// scripts are kilobytes).
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+std::string encode_frame(std::string_view payload);
+
+class FrameBuffer {
+ public:
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  // Next complete frame's payload, or nullopt if more bytes are needed.
+  // Returns an error (kProtocol) on an oversized length prefix; the
+  // connection should be dropped.
+  Result<std::optional<std::string>> next_frame();
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace harmony::net

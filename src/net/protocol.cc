@@ -1,0 +1,43 @@
+#include "net/protocol.h"
+
+#include "common/strings.h"
+#include "rsl/value.h"
+
+namespace harmony::net {
+
+std::string Message::encode() const {
+  std::vector<std::string> items;
+  items.reserve(1 + args.size());
+  items.push_back(verb);
+  items.insert(items.end(), args.begin(), args.end());
+  return rsl::list_build(items);
+}
+
+Result<Message> Message::decode(const std::string& payload) {
+  auto items = rsl::list_parse(payload);
+  if (!items.ok()) {
+    return Err<Message>(ErrorCode::kProtocol,
+                        "malformed message: " + items.error().message);
+  }
+  if (items.value().empty()) {
+    return Err<Message>(ErrorCode::kProtocol, "empty message");
+  }
+  Message message;
+  message.verb = items.value()[0];
+  message.args.assign(items.value().begin() + 1, items.value().end());
+  return message;
+}
+
+Message Message::ok(std::vector<std::string> args) {
+  return Message{"OK", std::move(args)};
+}
+
+Message Message::err(ErrorCode code, const std::string& message) {
+  return Message{"ERR", {error_code_name(code), message}};
+}
+
+Message Message::update(const std::string& name, const std::string& value) {
+  return Message{"UPDATE", {name, value}};
+}
+
+}  // namespace harmony::net

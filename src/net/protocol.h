@@ -1,0 +1,36 @@
+// Harmony wire messages, encoded as TCL lists (the same value syntax
+// the RSL uses — one codec across the system):
+//
+//   client -> server:
+//     {REGISTER <script>}          register an application; script is a
+//                                  sequence of harmonyBundle commands
+//     {END <id>}                   harmony_end
+//     {GET <id> <name>}            read a published variable
+//     {REEVALUATE}                 request an adaptation pass
+//   server -> client:
+//     {OK <args...>}               success (REGISTER returns the id)
+//     {ERR <code> <message>}       failure
+//     {UPDATE <name> <value>}      pushed variable update (buffered by
+//                                  the client library until polled)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace harmony::net {
+
+struct Message {
+  std::string verb;
+  std::vector<std::string> args;
+
+  std::string encode() const;
+  static Result<Message> decode(const std::string& payload);
+
+  static Message ok(std::vector<std::string> args = {});
+  static Message err(ErrorCode code, const std::string& message);
+  static Message update(const std::string& name, const std::string& value);
+};
+
+}  // namespace harmony::net

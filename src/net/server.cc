@@ -1,0 +1,239 @@
+#include "net/server.h"
+
+#include <poll.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace harmony::net {
+
+HarmonyTcpServer::HarmonyTcpServer(core::Controller* controller,
+                                   uint16_t port)
+    : controller_(controller), port_(port) {
+  HARMONY_ASSERT(controller != nullptr);
+}
+
+HarmonyTcpServer::~HarmonyTcpServer() {
+  // Deregister everything still connected.
+  for (auto& connection : connections_) {
+    for (core::InstanceId id : connection->instances) {
+      (void)controller_->unregister(id);
+    }
+  }
+}
+
+Result<uint16_t> HarmonyTcpServer::start() {
+  auto listener = listen_on(port_);
+  if (!listener.ok()) {
+    return Err<uint16_t>(listener.error().code, listener.error().message);
+  }
+  listener_ = std::move(listener).value();
+  auto status = set_nonblocking(listener_, true);
+  if (!status.ok()) return Err<uint16_t>(status.error().code, status.error().message);
+  auto port = local_port(listener_);
+  if (!port.ok()) return port;
+  port_ = port.value();
+  HLOG_INFO("server") << "harmony listening on 127.0.0.1:" << port_;
+  return port_;
+}
+
+bool HarmonyTcpServer::run_once(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.push_back({listener_.get(), POLLIN, 0});
+  for (auto& connection : connections_) {
+    short events = POLLIN;
+    if (!connection->outbound.empty()) events |= POLLOUT;
+    fds.push_back({connection->fd.get(), events, 0});
+  }
+  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return false;
+
+  if (fds[0].revents & POLLIN) accept_new();
+  for (size_t i = 1; i < fds.size(); ++i) {
+    Connection& connection = *connections_[i - 1];
+    if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+      handle_readable(connection);
+    }
+    if (!connection.drop && (fds[i].revents & POLLOUT)) {
+      flush_writable(connection);
+    }
+  }
+  reap_dropped();
+  return true;
+}
+
+void HarmonyTcpServer::run(int until_idle_ms) {
+  int idle_ms = 0;
+  while (!stopping_) {
+    bool progress = run_once(50);
+    if (progress) {
+      idle_ms = 0;
+    } else {
+      idle_ms += 50;
+      if (until_idle_ms > 0 && idle_ms >= until_idle_ms) return;
+    }
+  }
+}
+
+void HarmonyTcpServer::accept_new() {
+  while (true) {
+    auto accepted = accept_connection(listener_);
+    if (!accepted.ok()) return;  // EAGAIN or real error; poll again later
+    auto connection = std::make_unique<Connection>();
+    connection->fd = std::move(accepted).value();
+    auto status = set_nonblocking(connection->fd, true);
+    if (!status.ok()) continue;
+    HLOG_DEBUG("server") << "accepted connection fd="
+                         << connection->fd.get();
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void HarmonyTcpServer::handle_readable(Connection& connection) {
+  char buffer[4096];
+  while (true) {
+    auto n = read_some(connection.fd, buffer, sizeof(buffer));
+    if (!n.ok()) {
+      connection.drop = true;
+      return;
+    }
+    if (n.value() == 0) break;  // drained
+    connection.inbound.feed(std::string_view(buffer, n.value()));
+  }
+  while (true) {
+    auto frame = connection.inbound.next_frame();
+    if (!frame.ok()) {
+      HLOG_WARN("server") << "protocol violation: " << frame.error().message;
+      connection.drop = true;
+      return;
+    }
+    if (!frame.value().has_value()) break;
+    auto message = Message::decode(*frame.value());
+    if (!message.ok()) {
+      send(connection, Message::err(message.error().code,
+                                    message.error().message));
+      continue;
+    }
+    dispatch(connection, message.value());
+    if (connection.drop) return;
+  }
+}
+
+void HarmonyTcpServer::dispatch(Connection& connection,
+                                const Message& message) {
+  if (message.verb == "REGISTER") {
+    if (message.args.size() != 1) {
+      send(connection, Message::err(ErrorCode::kProtocol,
+                                    "REGISTER expects one argument"));
+      return;
+    }
+    auto id = controller_->register_script(message.args[0]);
+    if (!id.ok()) {
+      send(connection, Message::err(id.error().code, id.error().message));
+      return;
+    }
+    connection.instances.push_back(id.value());
+    // Wire updates for this instance to this connection. The pointer is
+    // stable: connections are heap-allocated and subscriptions die with
+    // the instance (unregister clears them).
+    Connection* conn = &connection;
+    auto subscribed = controller_->subscribe(
+        id.value(),
+        [this, conn](const std::string& name, const std::string& value) {
+          send(*conn, Message::update(name, value));
+        });
+    if (!subscribed.ok()) {
+      send(connection,
+           Message::err(subscribed.error().code, subscribed.error().message));
+      return;
+    }
+    send(connection, Message::ok({str_format(
+                         "%llu", static_cast<unsigned long long>(id.value()))}));
+    return;
+  }
+  if (message.verb == "END" || message.verb == "GET") {
+    unsigned long long raw = 0;
+    if (message.args.empty() ||
+        sscanf(message.args[0].c_str(), "%llu", &raw) != 1) {
+      send(connection, Message::err(ErrorCode::kProtocol, "bad instance id"));
+      return;
+    }
+    core::InstanceId id = raw;
+    bool owned = std::find(connection.instances.begin(),
+                           connection.instances.end(),
+                           id) != connection.instances.end();
+    if (!owned) {
+      send(connection, Message::err(ErrorCode::kNotFound,
+                                    "instance not registered here"));
+      return;
+    }
+    if (message.verb == "END") {
+      auto status = controller_->unregister(id);
+      connection.instances.erase(std::remove(connection.instances.begin(),
+                                             connection.instances.end(), id),
+                                 connection.instances.end());
+      send(connection, status.ok()
+                           ? Message::ok()
+                           : Message::err(status.error().code,
+                                          status.error().message));
+      return;
+    }
+    if (message.args.size() != 2) {
+      send(connection, Message::err(ErrorCode::kProtocol,
+                                    "GET expects id and name"));
+      return;
+    }
+    auto value = controller_->get_variable(id, message.args[1]);
+    send(connection, value.ok() ? Message::ok({value.value()})
+                                : Message::err(value.error().code,
+                                               value.error().message));
+    return;
+  }
+  if (message.verb == "REEVALUATE") {
+    auto status = controller_->reevaluate();
+    send(connection, status.ok() ? Message::ok()
+                                 : Message::err(status.error().code,
+                                                status.error().message));
+    return;
+  }
+  send(connection,
+       Message::err(ErrorCode::kProtocol, "unknown verb: " + message.verb));
+}
+
+void HarmonyTcpServer::send(Connection& connection, const Message& message) {
+  connection.outbound += encode_frame(message.encode());
+  flush_writable(connection);
+}
+
+void HarmonyTcpServer::flush_writable(Connection& connection) {
+  while (!connection.outbound.empty()) {
+    auto n = write_some(connection.fd, connection.outbound.data(),
+                        connection.outbound.size());
+    if (!n.ok()) {
+      connection.drop = true;
+      return;
+    }
+    if (n.value() == 0) return;  // would block; poll will retry
+    connection.outbound.erase(0, n.value());
+  }
+}
+
+void HarmonyTcpServer::reap_dropped() {
+  for (auto& connection : connections_) {
+    if (!connection->drop) continue;
+    // A vanished application is an implicit harmony_end.
+    for (core::InstanceId id : connection->instances) {
+      HLOG_INFO("server") << "connection dropped; ending instance " << id;
+      (void)controller_->unregister(id);
+    }
+    connection->instances.clear();
+  }
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(),
+                     [](const auto& c) { return c->drop; }),
+      connections_.end());
+}
+
+}  // namespace harmony::net

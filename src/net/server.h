@@ -1,0 +1,64 @@
+// The Harmony process of §5: "a server that listens on a well-known
+// port and waits for connections from application processes." Single-
+// threaded poll(2) loop; every connected application gets its variable
+// updates pushed as UPDATE frames. A disconnect implies harmony_end for
+// every instance the connection registered.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/controller.h"
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "net/tcp.h"
+
+namespace harmony::net {
+
+class HarmonyTcpServer {
+ public:
+  // port 0 = pick an ephemeral port (tests).
+  HarmonyTcpServer(core::Controller* controller, uint16_t port);
+  ~HarmonyTcpServer();
+
+  Result<uint16_t> start();  // bind + listen; returns the bound port
+  uint16_t port() const { return port_; }
+
+  // Runs one poll iteration (accept / read / dispatch / write).
+  // Returns true if any progress was made.
+  bool run_once(int timeout_ms);
+  // Loops until stop() (from a dispatched handler) or `until_idle_ms`
+  // of inactivity when positive.
+  void run(int until_idle_ms = -1);
+  void stop() { stopping_ = true; }
+
+  size_t connection_count() const { return connections_.size(); }
+
+ private:
+  struct Connection {
+    Fd fd;
+    FrameBuffer inbound;
+    std::string outbound;
+    std::vector<core::InstanceId> instances;
+    bool drop = false;
+  };
+
+  void accept_new();
+  void handle_readable(Connection& connection);
+  void dispatch(Connection& connection, const Message& message);
+  void send(Connection& connection, const Message& message);
+  void flush_writable(Connection& connection);
+  void reap_dropped();
+
+  core::Controller* controller_;
+  uint16_t port_;
+  Fd listener_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  // stop() may be called from another thread (tests, signal handlers);
+  // everything else is single-threaded.
+  std::atomic<bool> stopping_ = false;
+};
+
+}  // namespace harmony::net

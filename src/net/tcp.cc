@@ -1,0 +1,152 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/strings.h"
+
+namespace harmony::net {
+
+namespace {
+
+Error errno_error(const char* what) {
+  return Error{ErrorCode::kTransport,
+               str_format("%s: %s", what, std::strerror(errno))};
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Fd> listen_on(uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Result<Fd>(errno_error("socket"));
+  int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Result<Fd>(errno_error("bind"));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Result<Fd>(errno_error("listen"));
+  }
+  return fd;
+}
+
+Result<uint16_t> local_port(const Fd& fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Err<uint16_t>(ErrorCode::kTransport, std::strerror(errno));
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<Fd> accept_connection(const Fd& listener) {
+  int fd = ::accept(listener.get(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Err<Fd>(ErrorCode::kTimeout, "no pending connection");
+    }
+    return Result<Fd>(errno_error("accept"));
+  }
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Fd(fd);
+}
+
+Result<Fd> connect_to(const std::string& host, uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Result<Fd>(errno_error("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* ip = (host == "localhost" || host.empty()) ? "127.0.0.1"
+                                                         : host.c_str();
+  if (::inet_pton(AF_INET, ip, &addr.sin_addr) != 1) {
+    return Err<Fd>(ErrorCode::kInvalidArgument, "bad address: " + host);
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Result<Fd>(errno_error("connect"));
+  }
+  int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status set_nonblocking(const Fd& fd, bool nonblocking) {
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0) return Status(errno_error("fcntl"));
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd.get(), F_SETFL, flags) != 0) {
+    return Status(errno_error("fcntl"));
+  }
+  return Status::Ok();
+}
+
+Result<size_t> read_some(const Fd& fd, char* buffer, size_t capacity) {
+  ssize_t n = ::recv(fd.get(), buffer, capacity, 0);
+  if (n > 0) return static_cast<size_t>(n);
+  if (n == 0) return Err<size_t>(ErrorCode::kClosed, "peer closed");
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return static_cast<size_t>(0);
+  }
+  return Err<size_t>(ErrorCode::kTransport, std::strerror(errno));
+}
+
+Result<size_t> write_some(const Fd& fd, const char* data, size_t length) {
+  // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
+  // not kill the process with SIGPIPE.
+  ssize_t n = ::send(fd.get(), data, length, MSG_NOSIGNAL);
+  if (n >= 0) return static_cast<size_t>(n);
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return static_cast<size_t>(0);
+  }
+  return Err<size_t>(ErrorCode::kTransport, std::strerror(errno));
+}
+
+Status write_all(const Fd& fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    auto n = write_some(fd, data.data() + sent, data.size() - sent);
+    if (!n.ok()) return Status(n.error().code, n.error().message);
+    sent += n.value();
+  }
+  return Status::Ok();
+}
+
+}  // namespace harmony::net

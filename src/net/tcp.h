@@ -1,0 +1,50 @@
+// Thin POSIX TCP helpers: RAII fd, listen/accept/connect on localhost,
+// non-blocking I/O. IPv4 only — the prototype ran on one machine's
+// loopback and a single switch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace harmony::net {
+
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds and listens on 127.0.0.1:port (port 0 = ephemeral). Returns the
+// listening fd; query the actual port with local_port().
+Result<Fd> listen_on(uint16_t port, int backlog = 16);
+Result<uint16_t> local_port(const Fd& fd);
+
+Result<Fd> accept_connection(const Fd& listener);
+Result<Fd> connect_to(const std::string& host, uint16_t port);
+
+Status set_nonblocking(const Fd& fd, bool nonblocking);
+
+// read(2)/write(2) wrappers mapping EAGAIN to 0 bytes (non-blocking).
+// A peer hangup reads as kClosed.
+Result<size_t> read_some(const Fd& fd, char* buffer, size_t capacity);
+Result<size_t> write_some(const Fd& fd, const char* data, size_t length);
+
+// Blocking write of the whole buffer (client side).
+Status write_all(const Fd& fd, const std::string& data);
+
+}  // namespace harmony::net

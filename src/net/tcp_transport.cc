@@ -1,0 +1,157 @@
+#include "net/tcp_transport.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace harmony::net {
+
+Status TcpTransport::connect(const std::string& host, uint16_t port) {
+  auto fd = connect_to(host, port);
+  if (!fd.ok()) return Status(fd.error().code, fd.error().message);
+  fd_ = std::move(fd).value();
+  return Status::Ok();
+}
+
+Result<Message> TcpTransport::read_message(bool wait) {
+  while (true) {
+    auto frame = inbound_.next_frame();
+    if (!frame.ok()) {
+      return Err<Message>(frame.error().code, frame.error().message);
+    }
+    if (frame.value().has_value()) return Message::decode(*frame.value());
+    // Need more bytes.
+    auto status = set_nonblocking(fd_, !wait);
+    if (!status.ok()) return Err<Message>(status.error().code, status.error().message);
+    char buffer[4096];
+    auto n = read_some(fd_, buffer, sizeof(buffer));
+    if (!n.ok()) return Err<Message>(n.error().code, n.error().message);
+    if (n.value() == 0) {
+      if (!wait) {
+        return Err<Message>(ErrorCode::kTimeout, "no message available");
+      }
+      continue;
+    }
+    inbound_.feed(std::string_view(buffer, n.value()));
+  }
+}
+
+void TcpTransport::dispatch_update(const Message& message) {
+  if (message.args.size() != 2) return;
+  if (handlers_.empty()) {
+    undelivered_.emplace_back(message.args[0], message.args[1]);
+    return;
+  }
+  // Updates are broadcast per connection; with several instances on one
+  // connection every handler sees the stream (names are per instance
+  // anyway, and one app per connection is the normal shape).
+  for (auto& [id, handler] : handlers_) {
+    if (handler) handler(message.args[0], message.args[1]);
+  }
+}
+
+Result<Message> TcpTransport::call(const Message& request) {
+  if (!fd_.valid()) {
+    return Err<Message>(ErrorCode::kClosed, "not connected");
+  }
+  auto nb = set_nonblocking(fd_, false);
+  if (!nb.ok()) return Err<Message>(nb.error().code, nb.error().message);
+  auto sent = write_all(fd_, encode_frame(request.encode()));
+  if (!sent.ok()) return Err<Message>(sent.error().code, sent.error().message);
+  while (true) {
+    auto message = read_message(/*wait=*/true);
+    if (!message.ok()) return message;
+    if (message.value().verb == "UPDATE") {
+      dispatch_update(message.value());
+      continue;
+    }
+    return message;
+  }
+}
+
+Result<core::InstanceId> TcpTransport::register_app(
+    const std::string& script) {
+  auto reply = call(Message{"REGISTER", {script}});
+  if (!reply.ok()) return Err<core::InstanceId>(reply.error().code, reply.error().message);
+  if (reply.value().verb != "OK" || reply.value().args.empty()) {
+    return Err<core::InstanceId>(
+        ErrorCode::kProtocol,
+        reply.value().verb == "ERR" && reply.value().args.size() == 2
+            ? reply.value().args[1]
+            : "unexpected reply");
+  }
+  unsigned long long id = 0;
+  if (std::sscanf(reply.value().args[0].c_str(), "%llu", &id) != 1) {
+    return Err<core::InstanceId>(ErrorCode::kProtocol, "bad instance id");
+  }
+  return static_cast<core::InstanceId>(id);
+}
+
+Status TcpTransport::unregister(core::InstanceId id) {
+  auto reply = call(Message{
+      "END", {str_format("%llu", static_cast<unsigned long long>(id))}});
+  if (!reply.ok()) return Status(reply.error().code, reply.error().message);
+  handlers_.erase(id);
+  if (reply.value().verb != "OK") {
+    return Status(ErrorCode::kProtocol,
+                  reply.value().args.size() == 2 ? reply.value().args[1]
+                                                 : "unexpected reply");
+  }
+  return Status::Ok();
+}
+
+Status TcpTransport::subscribe(core::InstanceId id, UpdateHandler handler) {
+  // The server wires the push channel at REGISTER; locally we only
+  // remember where to deliver — and replay anything that arrived before
+  // the handler existed (the initial configuration snapshot).
+  handlers_[id] = std::move(handler);
+  auto replay = std::move(undelivered_);
+  undelivered_.clear();
+  auto& installed = handlers_[id];
+  for (const auto& [name, value] : replay) {
+    if (installed) installed(name, value);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> TcpTransport::get_variable(core::InstanceId id,
+                                               const std::string& name) {
+  auto reply = call(Message{
+      "GET",
+      {str_format("%llu", static_cast<unsigned long long>(id)), name}});
+  if (!reply.ok()) return Err<std::string>(reply.error().code, reply.error().message);
+  if (reply.value().verb != "OK" || reply.value().args.size() != 1) {
+    return Err<std::string>(ErrorCode::kNotFound,
+                            reply.value().args.size() == 2
+                                ? reply.value().args[1]
+                                : "unexpected reply");
+  }
+  return reply.value().args[0];
+}
+
+Status TcpTransport::pump(bool wait) {
+  if (!fd_.valid()) return Status(ErrorCode::kClosed, "not connected");
+  bool first = true;
+  while (true) {
+    auto message = read_message(/*wait=*/wait && first);
+    if (!message.ok()) {
+      if (message.error().code == ErrorCode::kTimeout) return Status::Ok();
+      return Status(message.error().code, message.error().message);
+    }
+    first = false;
+    if (message.value().verb == "UPDATE") {
+      dispatch_update(message.value());
+    }
+    // Non-UPDATE frames outside a call would be a server bug; drop them.
+  }
+}
+
+Status TcpTransport::request_reevaluation() {
+  auto reply = call(Message{"REEVALUATE", {}});
+  if (!reply.ok()) return Status(reply.error().code, reply.error().message);
+  return reply.value().verb == "OK"
+             ? Status::Ok()
+             : Status(ErrorCode::kProtocol, "reevaluate failed");
+}
+
+}  // namespace harmony::net

@@ -1,0 +1,55 @@
+// Client-side transport over the Harmony TCP protocol. Synchronous
+// request/response with pushed UPDATE frames collected along the way
+// (and on explicit pump() calls), mirroring the prototype's I/O event
+// handler + buffered variables design.
+#pragma once
+
+#include <map>
+
+#include "client/transport.h"
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "net/tcp.h"
+
+namespace harmony::net {
+
+class TcpTransport : public client::Transport {
+ public:
+  TcpTransport() = default;
+
+  Status connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_.valid(); }
+
+  // client::Transport:
+  Result<core::InstanceId> register_app(const std::string& script) override;
+  Status unregister(core::InstanceId id) override;
+  Status subscribe(core::InstanceId id,
+                   UpdateHandler handler) override;
+  Result<std::string> get_variable(core::InstanceId id,
+                                   const std::string& name) override;
+
+  // Reads whatever frames are available without blocking and dispatches
+  // UPDATEs; with wait=true blocks for at least one frame. Call this
+  // from the application's polling loop.
+  Status pump(bool wait = false);
+
+  // Asks the server for an adaptation pass (demo/tooling).
+  Status request_reevaluation();
+
+ private:
+  // Sends a request and reads until OK/ERR, dispatching UPDATE frames
+  // encountered in between.
+  Result<Message> call(const Message& request);
+  Result<Message> read_message(bool wait);
+  void dispatch_update(const Message& message);
+
+  Fd fd_;
+  FrameBuffer inbound_;
+  std::map<core::InstanceId, UpdateHandler> handlers_;
+  // Updates that arrived before any handler was installed (the server
+  // pushes the initial snapshot during REGISTER, before the client
+  // library subscribes). Replayed on the first subscribe().
+  std::vector<std::pair<std::string, std::string>> undelivered_;
+};
+
+}  // namespace harmony::net

@@ -1,0 +1,718 @@
+// Builtin command set for the TCL-subset interpreter: variables,
+// control flow, lists, strings, procs. Implements the subset the RSL
+// and the paper's performance-model scripts need.
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "rsl/expr.h"
+#include "rsl/interp.h"
+#include "rsl/value.h"
+
+namespace harmony::rsl {
+
+namespace {
+
+using Args = std::vector<std::string>;
+using R = Result<std::string>;
+
+R arity_error(const std::string& cmd, const char* usage) {
+  return Err<std::string>(ErrorCode::kEvalError,
+                          "wrong # args: should be \"" + cmd + " " + usage + "\"");
+}
+
+ExprContext make_context(Interp& interp) {
+  ExprContext ctx;
+  ctx.var_lookup = [&interp](const std::string& name, std::string* out) {
+    auto v = interp.get_var(name);
+    if (!v.ok()) return false;
+    *out = v.value();
+    return true;
+  };
+  ctx.name_lookup = [&interp](const std::string& name, double* out) {
+    if (interp.name_resolver()) return interp.name_resolver()(name, out);
+    return false;
+  };
+  ctx.cmd_eval = [&interp](const std::string& script) {
+    return interp.eval(script);
+  };
+  return ctx;
+}
+
+// Evaluates a condition string as a boolean expression.
+Result<bool> eval_condition(Interp& interp, const std::string& cond) {
+  auto ctx = make_context(interp);
+  auto value = expr_eval(cond, ctx);
+  if (!value.ok()) return Err<bool>(value.error().code, value.error().message);
+  double number = 0;
+  if (parse_double(value.value(), &number)) return number != 0.0;
+  return !value.value().empty();
+}
+
+R cmd_set(Interp& interp, const Args& args) {
+  if (args.size() == 2) return interp.get_var(args[1]);
+  if (args.size() != 3) return arity_error("set", "varName ?newValue?");
+  interp.set_var(args[1], args[2]);
+  return args[2];
+}
+
+R cmd_unset(Interp& interp, const Args& args) {
+  if (args.size() != 2) return arity_error("unset", "varName");
+  interp.unset_var(args[1]);
+  return std::string();
+}
+
+R cmd_global(Interp& interp, const Args& args) {
+  // Our lookup falls through to the global frame for reads; `global`
+  // only needs to make writes global. We approximate by copying the
+  // global value into the local frame reference-style: unsupported, so
+  // we just verify the names exist or create empty globals.
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (!interp.has_var(args[i])) interp.set_global(args[i], "");
+  }
+  return std::string();
+}
+
+R cmd_incr(Interp& interp, const Args& args) {
+  if (args.size() != 2 && args.size() != 3) {
+    return arity_error("incr", "varName ?increment?");
+  }
+  long long amount = 1;
+  if (args.size() == 3 && !parse_int64(args[2], &amount)) {
+    return Err<std::string>(ErrorCode::kEvalError,
+                            "expected integer but got \"" + args[2] + "\"");
+  }
+  long long current = 0;
+  if (interp.has_var(args[1])) {
+    auto value = interp.get_var(args[1]);
+    if (!parse_int64(value.value(), &current)) {
+      return Err<std::string>(
+          ErrorCode::kEvalError,
+          "expected integer but got \"" + value.value() + "\"");
+    }
+  }
+  std::string next = str_format("%lld", current + amount);
+  interp.set_var(args[1], next);
+  return next;
+}
+
+R cmd_append(Interp& interp, const Args& args) {
+  if (args.size() < 2) return arity_error("append", "varName ?value ...?");
+  std::string value;
+  if (interp.has_var(args[1])) value = interp.get_var(args[1]).value();
+  for (size_t i = 2; i < args.size(); ++i) value += args[i];
+  interp.set_var(args[1], value);
+  return value;
+}
+
+R cmd_expr(Interp& interp, const Args& args) {
+  if (args.size() < 2) return arity_error("expr", "arg ?arg ...?");
+  std::string text;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (i > 1) text += ' ';
+    text += args[i];
+  }
+  auto ctx = make_context(interp);
+  return expr_eval(text, ctx);
+}
+
+R cmd_if(Interp& interp, const Args& args) {
+  size_t i = 1;
+  while (i < args.size()) {
+    if (i + 1 >= args.size()) return arity_error("if", "cond body ?elseif ...? ?else body?");
+    auto cond = eval_condition(interp, args[i]);
+    if (!cond.ok()) return Err<std::string>(cond.error().code, cond.error().message);
+    size_t body = i + 1;
+    if (body < args.size() && args[body] == "then") ++body;
+    if (body >= args.size()) return arity_error("if", "cond body");
+    if (cond.value()) return interp.eval(args[body]);
+    i = body + 1;
+    if (i >= args.size()) return std::string();
+    if (args[i] == "elseif") {
+      ++i;
+      continue;
+    }
+    if (args[i] == "else") {
+      if (i + 1 >= args.size()) return arity_error("if", "... else body");
+      return interp.eval(args[i + 1]);
+    }
+    return Err<std::string>(ErrorCode::kEvalError,
+                            "expected \"elseif\" or \"else\" but got \"" +
+                                args[i] + "\"");
+  }
+  return std::string();
+}
+
+constexpr int kMaxLoopIterations = 1'000'000;  // runaway-script guard
+
+R cmd_while(Interp& interp, const Args& args) {
+  if (args.size() != 3) return arity_error("while", "cond body");
+  int iterations = 0;
+  while (true) {
+    auto cond = eval_condition(interp, args[1]);
+    if (!cond.ok()) return Err<std::string>(cond.error().code, cond.error().message);
+    if (!cond.value()) break;
+    auto body = interp.eval(args[2]);
+    if (!body.ok()) return body;
+    if (interp.flow() == Interp::Flow::kBreak) {
+      interp.set_flow(Interp::Flow::kNormal);
+      break;
+    }
+    if (interp.flow() == Interp::Flow::kContinue) {
+      interp.set_flow(Interp::Flow::kNormal);
+    }
+    if (interp.flow() == Interp::Flow::kReturn) break;
+    if (++iterations > kMaxLoopIterations) {
+      return Err<std::string>(ErrorCode::kEvalError, "while: iteration limit");
+    }
+  }
+  return std::string();
+}
+
+R cmd_for(Interp& interp, const Args& args) {
+  if (args.size() != 5) return arity_error("for", "init cond next body");
+  auto init = interp.eval(args[1]);
+  if (!init.ok()) return init;
+  int iterations = 0;
+  while (true) {
+    auto cond = eval_condition(interp, args[2]);
+    if (!cond.ok()) return Err<std::string>(cond.error().code, cond.error().message);
+    if (!cond.value()) break;
+    auto body = interp.eval(args[4]);
+    if (!body.ok()) return body;
+    if (interp.flow() == Interp::Flow::kBreak) {
+      interp.set_flow(Interp::Flow::kNormal);
+      break;
+    }
+    if (interp.flow() == Interp::Flow::kContinue) {
+      interp.set_flow(Interp::Flow::kNormal);
+    }
+    if (interp.flow() == Interp::Flow::kReturn) break;
+    auto next = interp.eval(args[3]);
+    if (!next.ok()) return next;
+    if (++iterations > kMaxLoopIterations) {
+      return Err<std::string>(ErrorCode::kEvalError, "for: iteration limit");
+    }
+  }
+  return std::string();
+}
+
+R cmd_foreach(Interp& interp, const Args& args) {
+  if (args.size() != 4) return arity_error("foreach", "varName list body");
+  auto items = list_parse(args[2]);
+  if (!items.ok()) return Err<std::string>(items.error().code, items.error().message);
+  for (const auto& item : items.value()) {
+    interp.set_var(args[1], item);
+    auto body = interp.eval(args[3]);
+    if (!body.ok()) return body;
+    if (interp.flow() == Interp::Flow::kBreak) {
+      interp.set_flow(Interp::Flow::kNormal);
+      break;
+    }
+    if (interp.flow() == Interp::Flow::kContinue) {
+      interp.set_flow(Interp::Flow::kNormal);
+    }
+    if (interp.flow() == Interp::Flow::kReturn) break;
+  }
+  return std::string();
+}
+
+R cmd_break(Interp& interp, const Args& args) {
+  if (args.size() != 1) return arity_error("break", "");
+  interp.set_flow(Interp::Flow::kBreak);
+  return std::string();
+}
+
+R cmd_continue(Interp& interp, const Args& args) {
+  if (args.size() != 1) return arity_error("continue", "");
+  interp.set_flow(Interp::Flow::kContinue);
+  return std::string();
+}
+
+R cmd_return(Interp& interp, const Args& args) {
+  if (args.size() > 2) return arity_error("return", "?value?");
+  interp.set_flow(Interp::Flow::kReturn);
+  return args.size() == 2 ? args[1] : std::string();
+}
+
+R cmd_error(Interp&, const Args& args) {
+  if (args.size() != 2) return arity_error("error", "message");
+  return Err<std::string>(ErrorCode::kEvalError, args[1]);
+}
+
+R cmd_catch(Interp& interp, const Args& args) {
+  if (args.size() != 2 && args.size() != 3) {
+    return arity_error("catch", "script ?resultVarName?");
+  }
+  auto result = interp.eval(args[1]);
+  if (interp.flow() == Interp::Flow::kReturn) {
+    interp.set_flow(Interp::Flow::kNormal);
+  }
+  if (args.size() == 3) {
+    interp.set_var(args[2],
+                   result.ok() ? result.value() : result.error().message);
+  }
+  return std::string(result.ok() ? "0" : "1");
+}
+
+R cmd_proc(Interp& interp, const Args& args) {
+  if (args.size() != 4) return arity_error("proc", "name params body");
+  auto params = list_parse(args[2]);
+  if (!params.ok()) return Err<std::string>(params.error().code, params.error().message);
+  Interp::Proc proc;
+  for (size_t i = 0; i < params.value().size(); ++i) {
+    const std::string& param = params.value()[i];
+    if (param == "args" && i == params.value().size() - 1) {
+      proc.has_varargs = true;
+      continue;
+    }
+    auto parts = list_parse(param);
+    if (!parts.ok() || parts.value().empty() || parts.value().size() > 2) {
+      return Err<std::string>(ErrorCode::kEvalError,
+                              "malformed parameter: \"" + param + "\"");
+    }
+    proc.params.emplace_back(parts.value()[0], parts.value().size() == 2
+                                                   ? parts.value()[1]
+                                                   : std::string());
+  }
+  proc.body = args[3];
+  auto status = interp.define_proc(args[1], std::move(proc));
+  if (!status.ok()) return Err<std::string>(status.error().code, status.error().message);
+  return std::string();
+}
+
+R cmd_puts(Interp& interp, const Args& args) {
+  bool newline = true;
+  size_t i = 1;
+  if (i < args.size() && args[i] == "-nonewline") {
+    newline = false;
+    ++i;
+  }
+  if (i + 1 != args.size()) return arity_error("puts", "?-nonewline? string");
+  interp.append_output(args[i]);
+  if (newline) interp.append_output("\n");
+  return std::string();
+}
+
+R cmd_list(Interp&, const Args& args) {
+  std::vector<std::string> items(args.begin() + 1, args.end());
+  return list_build(items);
+}
+
+R cmd_llength(Interp&, const Args& args) {
+  if (args.size() != 2) return arity_error("llength", "list");
+  auto items = list_parse(args[1]);
+  if (!items.ok()) return Err<std::string>(items.error().code, items.error().message);
+  return str_format("%zu", items.value().size());
+}
+
+// Resolves a TCL index spec: integer, "end", or "end-N".
+Result<long long> parse_index(const std::string& spec, size_t length) {
+  long long index = 0;
+  if (spec == "end") return static_cast<long long>(length) - 1;
+  if (starts_with(spec, "end-")) {
+    long long offset = 0;
+    if (!parse_int64(spec.substr(4), &offset)) {
+      return Err<long long>(ErrorCode::kEvalError, "bad index: " + spec);
+    }
+    return static_cast<long long>(length) - 1 - offset;
+  }
+  if (!parse_int64(spec, &index)) {
+    return Err<long long>(ErrorCode::kEvalError, "bad index: " + spec);
+  }
+  return index;
+}
+
+R cmd_lindex(Interp&, const Args& args) {
+  if (args.size() != 3) return arity_error("lindex", "list index");
+  auto items = list_parse(args[1]);
+  if (!items.ok()) return Err<std::string>(items.error().code, items.error().message);
+  auto index = parse_index(args[2], items.value().size());
+  if (!index.ok()) return Err<std::string>(index.error().code, index.error().message);
+  if (index.value() < 0 ||
+      index.value() >= static_cast<long long>(items.value().size())) {
+    return std::string();
+  }
+  return items.value()[static_cast<size_t>(index.value())];
+}
+
+R cmd_lrange(Interp&, const Args& args) {
+  if (args.size() != 4) return arity_error("lrange", "list first last");
+  auto items = list_parse(args[1]);
+  if (!items.ok()) return Err<std::string>(items.error().code, items.error().message);
+  auto first = parse_index(args[2], items.value().size());
+  if (!first.ok()) return Err<std::string>(first.error().code, first.error().message);
+  auto last = parse_index(args[3], items.value().size());
+  if (!last.ok()) return Err<std::string>(last.error().code, last.error().message);
+  long long lo = std::max(0LL, first.value());
+  long long hi = std::min<long long>(
+      static_cast<long long>(items.value().size()) - 1, last.value());
+  std::vector<std::string> slice;
+  for (long long i = lo; i <= hi; ++i) {
+    slice.push_back(items.value()[static_cast<size_t>(i)]);
+  }
+  return list_build(slice);
+}
+
+R cmd_lappend(Interp& interp, const Args& args) {
+  if (args.size() < 2) return arity_error("lappend", "varName ?value ...?");
+  std::string current;
+  if (interp.has_var(args[1])) current = interp.get_var(args[1]).value();
+  auto items = list_parse(current);
+  if (!items.ok()) return Err<std::string>(items.error().code, items.error().message);
+  for (size_t i = 2; i < args.size(); ++i) items.value().push_back(args[i]);
+  std::string next = list_build(items.value());
+  interp.set_var(args[1], next);
+  return next;
+}
+
+R cmd_concat(Interp&, const Args& args) {
+  std::string out;
+  for (size_t i = 1; i < args.size(); ++i) {
+    auto trimmed = trim(args[i]);
+    if (trimmed.empty()) continue;
+    if (!out.empty()) out += ' ';
+    out.append(trimmed);
+  }
+  return out;
+}
+
+R cmd_join(Interp&, const Args& args) {
+  if (args.size() != 2 && args.size() != 3) {
+    return arity_error("join", "list ?joinString?");
+  }
+  auto items = list_parse(args[1]);
+  if (!items.ok()) return Err<std::string>(items.error().code, items.error().message);
+  std::string sep = args.size() == 3 ? args[2] : " ";
+  return join(items.value(), sep);
+}
+
+R cmd_split(Interp&, const Args& args) {
+  if (args.size() != 2 && args.size() != 3) {
+    return arity_error("split", "string ?splitChars?");
+  }
+  std::vector<std::string> parts;
+  if (args.size() == 2) {
+    parts = split_whitespace(args[1]);
+  } else if (args[2].empty()) {
+    for (char c : args[1]) parts.emplace_back(1, c);
+  } else {
+    // Split on any of the given characters.
+    std::string current;
+    for (char c : args[1]) {
+      if (args[2].find(c) != std::string::npos) {
+        parts.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    parts.push_back(current);
+  }
+  return list_build(parts);
+}
+
+R cmd_lsort(Interp&, const Args& args) {
+  size_t i = 1;
+  bool numeric = false;
+  bool decreasing = false;
+  while (i < args.size() - 1) {
+    if (args[i] == "-integer" || args[i] == "-real") numeric = true;
+    else if (args[i] == "-decreasing") decreasing = true;
+    else if (args[i] == "-increasing") decreasing = false;
+    else break;
+    ++i;
+  }
+  if (i + 1 != args.size()) {
+    return arity_error("lsort", "?-integer|-real? ?-decreasing? list");
+  }
+  auto items = list_parse(args[i]);
+  if (!items.ok()) return Err<std::string>(items.error().code, items.error().message);
+  auto& v = items.value();
+  if (numeric) {
+    std::stable_sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+      double x = 0, y = 0;
+      parse_double(a, &x);
+      parse_double(b, &y);
+      return x < y;
+    });
+  } else {
+    std::stable_sort(v.begin(), v.end());
+  }
+  if (decreasing) std::reverse(v.begin(), v.end());
+  return list_build(v);
+}
+
+R cmd_switch(Interp& interp, const Args& args) {
+  // switch ?-exact|-glob? value {pattern body pattern body ... ?default body?}
+  // or the flat form: switch value pattern body ...
+  size_t i = 1;
+  bool use_glob = false;
+  if (i < args.size() && args[i] == "-glob") {
+    use_glob = true;
+    ++i;
+  } else if (i < args.size() && args[i] == "-exact") {
+    ++i;
+  }
+  if (i >= args.size()) return arity_error("switch", "?-exact|-glob? value {pattern body ...}");
+  const std::string value = args[i++];
+  std::vector<std::string> clauses;
+  if (args.size() - i == 1) {
+    auto parsed = list_parse(args[i]);
+    if (!parsed.ok()) return Err<std::string>(parsed.error().code, parsed.error().message);
+    clauses = std::move(parsed).value();
+  } else {
+    clauses.assign(args.begin() + static_cast<long>(i), args.end());
+  }
+  if (clauses.size() % 2 != 0) {
+    return Err<std::string>(ErrorCode::kEvalError,
+                            "switch: pattern without a body");
+  }
+  for (size_t c = 0; c < clauses.size(); c += 2) {
+    const std::string& pattern = clauses[c];
+    bool matched = pattern == "default" ||
+                   (use_glob ? glob_match(pattern, value) : pattern == value);
+    if (!matched) continue;
+    // "-" chains to the next body.
+    size_t body = c + 1;
+    while (body < clauses.size() && clauses[body] == "-") body += 2;
+    if (body >= clauses.size()) {
+      return Err<std::string>(ErrorCode::kEvalError,
+                              "switch: no body after fall-through");
+    }
+    return interp.eval(clauses[body]);
+  }
+  return std::string();
+}
+
+R cmd_lsearch(Interp&, const Args& args) {
+  if (args.size() != 3) return arity_error("lsearch", "list pattern");
+  auto items = list_parse(args[1]);
+  if (!items.ok()) return Err<std::string>(items.error().code, items.error().message);
+  for (size_t i = 0; i < items.value().size(); ++i) {
+    if (glob_match(args[2], items.value()[i])) {
+      return str_format("%zu", i);
+    }
+  }
+  return std::string("-1");
+}
+
+R cmd_lreverse(Interp&, const Args& args) {
+  if (args.size() != 2) return arity_error("lreverse", "list");
+  auto items = list_parse(args[1]);
+  if (!items.ok()) return Err<std::string>(items.error().code, items.error().message);
+  std::reverse(items.value().begin(), items.value().end());
+  return list_build(items.value());
+}
+
+R cmd_string(Interp&, const Args& args) {
+  if (args.size() < 3) return arity_error("string", "subcommand arg ?arg?");
+  const std::string& sub = args[1];
+  if (sub == "length") {
+    return str_format("%zu", args[2].size());
+  }
+  if (sub == "tolower" || sub == "toupper") {
+    std::string out = args[2];
+    for (char& c : out) {
+      c = sub == "tolower" ? static_cast<char>(std::tolower(c))
+                           : static_cast<char>(std::toupper(c));
+    }
+    return out;
+  }
+  if (sub == "trim") {
+    return std::string(trim(args[2]));
+  }
+  if (sub == "index") {
+    if (args.size() != 4) return arity_error("string index", "string charIndex");
+    auto index = parse_index(args[3], args[2].size());
+    if (!index.ok()) return Err<std::string>(index.error().code, index.error().message);
+    if (index.value() < 0 ||
+        index.value() >= static_cast<long long>(args[2].size())) {
+      return std::string();
+    }
+    return std::string(1, args[2][static_cast<size_t>(index.value())]);
+  }
+  if (sub == "range") {
+    if (args.size() != 5) return arity_error("string range", "string first last");
+    auto first = parse_index(args[3], args[2].size());
+    auto last = parse_index(args[4], args[2].size());
+    if (!first.ok()) return Err<std::string>(first.error().code, first.error().message);
+    if (!last.ok()) return Err<std::string>(last.error().code, last.error().message);
+    long long lo = std::max(0LL, first.value());
+    long long hi = std::min<long long>(
+        static_cast<long long>(args[2].size()) - 1, last.value());
+    if (lo > hi) return std::string();
+    return args[2].substr(static_cast<size_t>(lo),
+                          static_cast<size_t>(hi - lo + 1));
+  }
+  if (sub == "equal") {
+    if (args.size() != 4) return arity_error("string equal", "string string");
+    return std::string(args[2] == args[3] ? "1" : "0");
+  }
+  if (sub == "compare") {
+    if (args.size() != 4) return arity_error("string compare", "string string");
+    int c = args[2].compare(args[3]);
+    return std::string(c < 0 ? "-1" : (c > 0 ? "1" : "0"));
+  }
+  if (sub == "match") {
+    if (args.size() != 4) return arity_error("string match", "pattern string");
+    return std::string(glob_match(args[2], args[3]) ? "1" : "0");
+  }
+  if (sub == "first") {
+    if (args.size() != 4) return arity_error("string first", "needle haystack");
+    size_t pos = args[3].find(args[2]);
+    return str_format("%lld",
+                      pos == std::string::npos ? -1LL : static_cast<long long>(pos));
+  }
+  if (sub == "repeat") {
+    if (args.size() != 4) return arity_error("string repeat", "string count");
+    long long count = 0;
+    if (!parse_int64(args[3], &count) || count < 0) {
+      return Err<std::string>(ErrorCode::kEvalError, "bad count: " + args[3]);
+    }
+    std::string out;
+    out.reserve(args[2].size() * static_cast<size_t>(count));
+    for (long long i = 0; i < count; ++i) out += args[2];
+    return out;
+  }
+  return Err<std::string>(ErrorCode::kEvalError,
+                          "unknown string subcommand: " + sub);
+}
+
+R cmd_info(Interp& interp, const Args& args) {
+  if (args.size() < 2) return arity_error("info", "subcommand ?arg?");
+  const std::string& sub = args[1];
+  if (sub == "exists") {
+    if (args.size() != 3) return arity_error("info exists", "varName");
+    return std::string(interp.has_var(args[2]) ? "1" : "0");
+  }
+  if (sub == "commands") {
+    auto names = interp.command_names();
+    std::sort(names.begin(), names.end());
+    return list_build(names);
+  }
+  return Err<std::string>(ErrorCode::kEvalError,
+                          "unknown info subcommand: " + sub);
+}
+
+R cmd_eval(Interp& interp, const Args& args) {
+  if (args.size() < 2) return arity_error("eval", "arg ?arg ...?");
+  std::string script;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (i > 1) script += ' ';
+    script += args[i];
+  }
+  return interp.eval(script);
+}
+
+R cmd_format(Interp&, const Args& args) {
+  if (args.size() < 2) return arity_error("format", "formatString ?arg ...?");
+  const std::string& fmt = args[1];
+  std::string out;
+  size_t arg = 2;
+  for (size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%') {
+      out.push_back(fmt[i]);
+      continue;
+    }
+    ++i;
+    if (i >= fmt.size()) break;
+    if (fmt[i] == '%') {
+      out.push_back('%');
+      continue;
+    }
+    // Collect the spec: flags, width, precision, conversion.
+    std::string spec = "%";
+    while (i < fmt.size() &&
+           (std::isdigit(static_cast<unsigned char>(fmt[i])) ||
+            fmt[i] == '.' || fmt[i] == '-' || fmt[i] == '+' ||
+            fmt[i] == ' ' || fmt[i] == '0' || fmt[i] == '#')) {
+      spec.push_back(fmt[i]);
+      ++i;
+    }
+    if (i >= fmt.size()) break;
+    char conv = fmt[i];
+    if (arg >= args.size()) {
+      return Err<std::string>(ErrorCode::kEvalError,
+                              "format: not enough arguments");
+    }
+    const std::string& value = args[arg++];
+    switch (conv) {
+      case 'd': case 'i': case 'x': case 'X': case 'o': {
+        long long number = 0;
+        double dnumber = 0;
+        if (!parse_int64(value, &number)) {
+          if (parse_double(value, &dnumber)) {
+            number = static_cast<long long>(dnumber);
+          } else {
+            return Err<std::string>(ErrorCode::kEvalError,
+                                    "format: expected integer: " + value);
+          }
+        }
+        spec += "ll";
+        spec.push_back(conv);
+        out += str_format(spec.c_str(), number);
+        break;
+      }
+      case 'f': case 'e': case 'g': case 'E': case 'G': {
+        double number = 0;
+        if (!parse_double(value, &number)) {
+          return Err<std::string>(ErrorCode::kEvalError,
+                                  "format: expected number: " + value);
+        }
+        spec.push_back(conv);
+        out += str_format(spec.c_str(), number);
+        break;
+      }
+      case 's': {
+        spec.push_back('s');
+        out += str_format(spec.c_str(), value.c_str());
+        break;
+      }
+      default:
+        return Err<std::string>(ErrorCode::kEvalError,
+                                str_format("format: bad conversion %%%c", conv));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void register_builtins(Interp& interp) {
+  interp.register_command("set", cmd_set);
+  interp.register_command("unset", cmd_unset);
+  interp.register_command("global", cmd_global);
+  interp.register_command("incr", cmd_incr);
+  interp.register_command("append", cmd_append);
+  interp.register_command("expr", cmd_expr);
+  interp.register_command("if", cmd_if);
+  interp.register_command("while", cmd_while);
+  interp.register_command("for", cmd_for);
+  interp.register_command("foreach", cmd_foreach);
+  interp.register_command("break", cmd_break);
+  interp.register_command("continue", cmd_continue);
+  interp.register_command("return", cmd_return);
+  interp.register_command("error", cmd_error);
+  interp.register_command("catch", cmd_catch);
+  interp.register_command("proc", cmd_proc);
+  interp.register_command("puts", cmd_puts);
+  interp.register_command("list", cmd_list);
+  interp.register_command("llength", cmd_llength);
+  interp.register_command("lindex", cmd_lindex);
+  interp.register_command("lrange", cmd_lrange);
+  interp.register_command("lappend", cmd_lappend);
+  interp.register_command("lsort", cmd_lsort);
+  interp.register_command("lsearch", cmd_lsearch);
+  interp.register_command("lreverse", cmd_lreverse);
+  interp.register_command("switch", cmd_switch);
+  interp.register_command("concat", cmd_concat);
+  interp.register_command("join", cmd_join);
+  interp.register_command("split", cmd_split);
+  interp.register_command("string", cmd_string);
+  interp.register_command("info", cmd_info);
+  interp.register_command("eval", cmd_eval);
+  interp.register_command("format", cmd_format);
+}
+
+}  // namespace harmony::rsl

@@ -1,0 +1,480 @@
+#include "rsl/expr.h"
+
+#include <cctype>
+#include <cmath>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace harmony::rsl {
+
+namespace {
+
+struct EValue {
+  bool is_number = true;
+  double number = 0.0;
+  std::string text;
+
+  static EValue num(double v) { return EValue{true, v, {}}; }
+  static EValue str(std::string s) { return EValue{false, 0.0, std::move(s)}; }
+
+  bool truthy() const {
+    if (is_number) return number != 0.0;
+    return !text.empty() && text != "0" && text != "false" && text != "no";
+  }
+};
+
+class ExprParser {
+ public:
+  ExprParser(std::string_view text, const ExprContext& ctx)
+      : text_(text), ctx_(ctx) {}
+
+  Result<EValue> run() {
+    auto value = parse_ternary();
+    if (!value.ok()) return value;
+    skip_space();
+    if (pos_ < text_.size()) {
+      return fail(str_format("unexpected character '%c' at offset %zu",
+                             text_[pos_], pos_));
+    }
+    return value;
+  }
+
+ private:
+  Result<EValue> fail(const std::string& message) const {
+    return Err<EValue>(ErrorCode::kEvalError,
+                       "expr \"" + std::string(text_) + "\": " + message);
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool match(std::string_view token) {
+    skip_space();
+    if (text_.substr(pos_).size() < token.size()) return false;
+    if (text_.substr(pos_, token.size()) != token) return false;
+    // Avoid matching a prefix of a longer operator (e.g. '<' in '<=',
+    // '&' in '&&', '*' in '**', '=' in '==').
+    char next = pos_ + token.size() < text_.size() ? text_[pos_ + token.size()] : '\0';
+    if ((token == "<" || token == ">") && next == '=') return false;
+    if (token == "*" && next == '*') return false;
+    if (token == "=" ) return false;  // only '==' is valid
+    if (token == "!" && next == '=') return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  bool peek_is(char c) {
+    skip_space();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Result<EValue> parse_ternary() {
+    auto cond = parse_or();
+    if (!cond.ok()) return cond;
+    skip_space();
+    if (!match("?")) return cond;
+    auto then_value = parse_ternary();
+    if (!then_value.ok()) return then_value;
+    skip_space();
+    if (!match(":")) return fail("expected ':' in ternary");
+    auto else_value = parse_ternary();
+    if (!else_value.ok()) return else_value;
+    return cond.value().truthy() ? then_value : else_value;
+  }
+
+  Result<EValue> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.ok()) return lhs;
+    while (match("||")) {
+      auto rhs = parse_and();
+      if (!rhs.ok()) return rhs;
+      lhs = EValue::num((lhs.value().truthy() || rhs.value().truthy()) ? 1 : 0);
+    }
+    return lhs;
+  }
+
+  Result<EValue> parse_and() {
+    auto lhs = parse_equality();
+    if (!lhs.ok()) return lhs;
+    while (match("&&")) {
+      auto rhs = parse_equality();
+      if (!rhs.ok()) return rhs;
+      lhs = EValue::num((lhs.value().truthy() && rhs.value().truthy()) ? 1 : 0);
+    }
+    return lhs;
+  }
+
+  Result<EValue> parse_equality() {
+    auto lhs = parse_relational();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      bool eq;
+      if (match("==") || match_word("eq")) {
+        eq = true;
+      } else if (match("!=") || match_word("ne")) {
+        eq = false;
+      } else {
+        return lhs;
+      }
+      auto rhs = parse_relational();
+      if (!rhs.ok()) return rhs;
+      bool equal;
+      const EValue& a = lhs.value();
+      const EValue& b = rhs.value();
+      if (a.is_number && b.is_number) {
+        equal = a.number == b.number;
+      } else {
+        equal = as_string(a) == as_string(b);
+      }
+      lhs = EValue::num((equal == eq) ? 1 : 0);
+    }
+  }
+
+  Result<EValue> parse_relational() {
+    auto lhs = parse_additive();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      int op;
+      if (match("<=")) op = 0;
+      else if (match(">=")) op = 1;
+      else if (match("<")) op = 2;
+      else if (match(">")) op = 3;
+      else return lhs;
+      auto rhs = parse_additive();
+      if (!rhs.ok()) return rhs;
+      auto a = to_number(lhs.value());
+      auto b = to_number(rhs.value());
+      if (!a.ok()) return Err<EValue>(a.error().code, a.error().message);
+      if (!b.ok()) return Err<EValue>(b.error().code, b.error().message);
+      bool r = false;
+      switch (op) {
+        case 0: r = a.value() <= b.value(); break;
+        case 1: r = a.value() >= b.value(); break;
+        case 2: r = a.value() < b.value(); break;
+        case 3: r = a.value() > b.value(); break;
+      }
+      lhs = EValue::num(r ? 1 : 0);
+    }
+  }
+
+  Result<EValue> parse_additive() {
+    auto lhs = parse_multiplicative();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      int op;
+      if (match("+")) op = 0;
+      else if (match("-")) op = 1;
+      else return lhs;
+      auto rhs = parse_multiplicative();
+      if (!rhs.ok()) return rhs;
+      auto a = to_number(lhs.value());
+      auto b = to_number(rhs.value());
+      if (!a.ok()) return Err<EValue>(a.error().code, a.error().message);
+      if (!b.ok()) return Err<EValue>(b.error().code, b.error().message);
+      lhs = EValue::num(op == 0 ? a.value() + b.value() : a.value() - b.value());
+    }
+  }
+
+  Result<EValue> parse_multiplicative() {
+    auto lhs = parse_unary();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      int op;
+      if (match("*")) op = 0;
+      else if (match("/")) op = 1;
+      else if (match("%")) op = 2;
+      else return lhs;
+      auto rhs = parse_unary();
+      if (!rhs.ok()) return rhs;
+      auto a = to_number(lhs.value());
+      auto b = to_number(rhs.value());
+      if (!a.ok()) return Err<EValue>(a.error().code, a.error().message);
+      if (!b.ok()) return Err<EValue>(b.error().code, b.error().message);
+      if (op != 0 && b.value() == 0.0) return fail("division by zero");
+      switch (op) {
+        case 0: lhs = EValue::num(a.value() * b.value()); break;
+        case 1: lhs = EValue::num(a.value() / b.value()); break;
+        case 2: lhs = EValue::num(std::fmod(a.value(), b.value())); break;
+      }
+    }
+  }
+
+  Result<EValue> parse_unary() {
+    skip_space();
+    if (match("!")) {
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      return EValue::num(operand.value().truthy() ? 0 : 1);
+    }
+    if (match("-")) {
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      auto n = to_number(operand.value());
+      if (!n.ok()) return Err<EValue>(n.error().code, n.error().message);
+      return EValue::num(-n.value());
+    }
+    if (match("+")) return parse_unary();
+    return parse_power();
+  }
+
+  Result<EValue> parse_power() {
+    auto base = parse_primary();
+    if (!base.ok()) return base;
+    skip_space();
+    if (pos_ + 1 < text_.size() && text_[pos_] == '*' &&
+        text_[pos_ + 1] == '*') {
+      pos_ += 2;
+      auto exp = parse_unary();  // right associative
+      if (!exp.ok()) return exp;
+      auto a = to_number(base.value());
+      auto b = to_number(exp.value());
+      if (!a.ok()) return Err<EValue>(a.error().code, a.error().message);
+      if (!b.ok()) return Err<EValue>(b.error().code, b.error().message);
+      return EValue::num(std::pow(a.value(), b.value()));
+    }
+    return base;
+  }
+
+  Result<EValue> parse_primary() {
+    skip_space();
+    if (pos_ >= text_.size()) return fail("unexpected end of expression");
+    char c = text_[pos_];
+
+    if (c == '(') {
+      ++pos_;
+      auto inner = parse_ternary();
+      if (!inner.ok()) return inner;
+      skip_space();
+      if (!match(")")) return fail("expected ')'");
+      return inner;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      return parse_number();
+    }
+
+    if (c == '"' || c == '{') return parse_string(c);
+
+    if (c == '[') {
+      if (!ctx_.cmd_eval) return fail("no command context for [..]");
+      ++pos_;
+      int depth = 1;
+      size_t start = pos_;
+      while (pos_ < text_.size() && depth > 0) {
+        if (text_[pos_] == '[') ++depth;
+        if (text_[pos_] == ']') --depth;
+        if (depth > 0) ++pos_;
+      }
+      if (depth != 0) return fail("unbalanced brackets");
+      std::string script(text_.substr(start, pos_ - start));
+      ++pos_;  // closing bracket
+      auto result = ctx_.cmd_eval(script);
+      if (!result.ok()) {
+        return Err<EValue>(result.error().code, result.error().message);
+      }
+      double number = 0;
+      if (parse_double(result.value(), &number)) return EValue::num(number);
+      return EValue::str(std::move(result).value());
+    }
+
+    if (c == '$') {
+      ++pos_;
+      std::string name = parse_identifier();
+      if (name.empty()) return fail("expected variable name after '$'");
+      if (!ctx_.var_lookup) return fail("no variable context for $" + name);
+      std::string value;
+      if (!ctx_.var_lookup(name, &value)) {
+        return fail("no such variable: " + name);
+      }
+      double number = 0;
+      if (parse_double(value, &number)) return EValue::num(number);
+      return EValue::str(std::move(value));
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name = parse_identifier();
+      skip_space();
+      if (peek_is('(')) return parse_function_call(name);
+      // Bare dotted identifier: resolve via the namespace hook, falling
+      // back to interpreter variables so `expr {x + 1}` works.
+      if (ctx_.name_lookup) {
+        double value = 0;
+        if (ctx_.name_lookup(name, &value)) return EValue::num(value);
+      }
+      if (ctx_.var_lookup) {
+        std::string value;
+        if (ctx_.var_lookup(name, &value)) {
+          double number = 0;
+          if (parse_double(value, &number)) return EValue::num(number);
+          return EValue::str(std::move(value));
+        }
+      }
+      return fail("cannot resolve identifier: " + name);
+    }
+
+    return fail(str_format("unexpected character '%c'", c));
+  }
+
+  Result<EValue> parse_number() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    double value = 0;
+    if (!parse_double(text_.substr(start, pos_ - start), &value)) {
+      return fail("malformed number");
+    }
+    return EValue::num(value);
+  }
+
+  Result<EValue> parse_string(char open) {
+    char close = open == '{' ? '}' : '"';
+    ++pos_;
+    std::string out;
+    int depth = 1;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (open == '{') {
+        if (c == '{') ++depth;
+        if (c == '}' && --depth == 0) break;
+      } else if (c == close) {
+        break;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing delimiter
+    return EValue::str(std::move(out));
+  }
+
+  std::string parse_identifier() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.' || text_[pos_] == ':')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<EValue> parse_function_call(const std::string& name) {
+    match("(");
+    std::vector<double> args;
+    skip_space();
+    if (!peek_is(')')) {
+      while (true) {
+        auto arg = parse_ternary();
+        if (!arg.ok()) return arg;
+        auto n = to_number(arg.value());
+        if (!n.ok()) return Err<EValue>(n.error().code, n.error().message);
+        args.push_back(n.value());
+        skip_space();
+        if (match(",")) continue;
+        break;
+      }
+    }
+    if (!match(")")) return fail("expected ')' after function arguments");
+    return apply_function(name, args);
+  }
+
+  Result<EValue> apply_function(const std::string& name,
+                                const std::vector<double>& args) {
+    auto arity = [&](size_t n) { return args.size() == n; };
+    if (name == "abs" && arity(1)) return EValue::num(std::fabs(args[0]));
+    if (name == "sqrt" && arity(1)) {
+      if (args[0] < 0) return fail("sqrt of negative number");
+      return EValue::num(std::sqrt(args[0]));
+    }
+    if (name == "exp" && arity(1)) return EValue::num(std::exp(args[0]));
+    if (name == "log" && arity(1)) {
+      if (args[0] <= 0) return fail("log of non-positive number");
+      return EValue::num(std::log(args[0]));
+    }
+    if (name == "log10" && arity(1)) {
+      if (args[0] <= 0) return fail("log10 of non-positive number");
+      return EValue::num(std::log10(args[0]));
+    }
+    if (name == "floor" && arity(1)) return EValue::num(std::floor(args[0]));
+    if (name == "ceil" && arity(1)) return EValue::num(std::ceil(args[0]));
+    if (name == "round" && arity(1)) return EValue::num(std::round(args[0]));
+    if (name == "int" && arity(1)) return EValue::num(std::trunc(args[0]));
+    if (name == "pow" && arity(2)) return EValue::num(std::pow(args[0], args[1]));
+    if (name == "fmod" && arity(2)) {
+      if (args[1] == 0) return fail("fmod by zero");
+      return EValue::num(std::fmod(args[0], args[1]));
+    }
+    if ((name == "min" || name == "max") && args.size() >= 1) {
+      double acc = args[0];
+      for (double a : args) acc = name == "min" ? std::min(acc, a) : std::max(acc, a);
+      return EValue::num(acc);
+    }
+    return fail("unknown function: " + name + "()");
+  }
+
+  static std::string as_string(const EValue& value) {
+    return value.is_number ? format_number(value.number) : value.text;
+  }
+
+  Result<double> to_number(const EValue& value) const {
+    if (value.is_number) return value.number;
+    double parsed = 0;
+    if (parse_double(value.text, &parsed)) return parsed;
+    return Err<double>(ErrorCode::kEvalError,
+                       "expected a number, got \"" + value.text + "\"");
+  }
+
+  bool match_word(std::string_view word) {
+    skip_space();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    size_t after = pos_ + word.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  std::string_view text_;
+  const ExprContext& ctx_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<double> expr_eval_number(std::string_view text, const ExprContext& ctx) {
+  auto value = ExprParser(text, ctx).run();
+  if (!value.ok()) return Err<double>(value.error().code, value.error().message);
+  if (!value.value().is_number) {
+    double parsed = 0;
+    if (parse_double(value.value().text, &parsed)) return parsed;
+    return Err<double>(ErrorCode::kEvalError,
+                       "expression result is not a number: \"" +
+                           value.value().text + "\"");
+  }
+  return value.value().number;
+}
+
+Result<std::string> expr_eval(std::string_view text, const ExprContext& ctx) {
+  auto value = ExprParser(text, ctx).run();
+  if (!value.ok()) {
+    return Err<std::string>(value.error().code, value.error().message);
+  }
+  if (value.value().is_number) return format_number(value.value().number);
+  return value.value().text;
+}
+
+}  // namespace harmony::rsl

@@ -1,0 +1,35 @@
+// TCL-style expression engine: arithmetic, comparisons, logical
+// operators, the ternary operator, and math functions. The RSL uses it
+// for parameterized resource requirements such as the paper's
+// data-shipping link bandwidth:
+//   44 + (client.memory > 24 ? 24 : client.memory) - 17
+// Bare dotted identifiers (client.memory) resolve through a caller-
+// provided hook backed by the Harmony namespace.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace harmony::rsl {
+
+struct ExprContext {
+  // $name lookup (interpreter variables). Returns false if unknown.
+  std::function<bool(const std::string&, std::string*)> var_lookup;
+  // Bare identifier lookup (namespace paths like "client.memory").
+  std::function<bool(const std::string&, double*)> name_lookup;
+  // [script] command substitution, usually Interp::eval. Expressions
+  // containing brackets fail to evaluate when this is unset.
+  std::function<Result<std::string>(const std::string&)> cmd_eval;
+};
+
+// Evaluates to a double; string-valued results are an error here.
+Result<double> expr_eval_number(std::string_view text, const ExprContext& ctx);
+
+// Evaluates to a TCL result string (numbers formatted TCL-style,
+// booleans as 1/0, strings verbatim).
+Result<std::string> expr_eval(std::string_view text, const ExprContext& ctx);
+
+}  // namespace harmony::rsl

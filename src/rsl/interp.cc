@@ -1,0 +1,189 @@
+#include "rsl/interp.h"
+
+#include "common/strings.h"
+#include "rsl/value.h"
+
+namespace harmony::rsl {
+
+Interp::Interp() {
+  frames_.emplace_back();  // global frame
+  register_builtins(*this);
+}
+
+void Interp::register_command(const std::string& name, CommandFn fn) {
+  commands_[name] = std::move(fn);
+}
+
+bool Interp::has_command(const std::string& name) const {
+  return commands_.count(name) > 0 || procs_.count(name) > 0;
+}
+
+std::vector<std::string> Interp::command_names() const {
+  std::vector<std::string> names;
+  names.reserve(commands_.size() + procs_.size());
+  for (const auto& [name, fn] : commands_) names.push_back(name);
+  for (const auto& [name, proc] : procs_) names.push_back(name);
+  return names;
+}
+
+void Interp::set_var(const std::string& name, std::string value) {
+  frames_.back()[name] = std::move(value);
+}
+
+void Interp::set_global(const std::string& name, std::string value) {
+  frames_.front()[name] = std::move(value);
+}
+
+Result<std::string> Interp::get_var(const std::string& name) const {
+  auto it = frames_.back().find(name);
+  if (it != frames_.back().end()) return it->second;
+  if (frames_.size() > 1) {
+    auto git = frames_.front().find(name);
+    if (git != frames_.front().end()) return git->second;
+  }
+  return Err<std::string>(ErrorCode::kNotFound,
+                          "no such variable: " + name);
+}
+
+bool Interp::has_var(const std::string& name) const {
+  if (frames_.back().count(name)) return true;
+  return frames_.size() > 1 && frames_.front().count(name) > 0;
+}
+
+void Interp::unset_var(const std::string& name) {
+  frames_.back().erase(name);
+  if (frames_.size() == 1) return;
+}
+
+Status Interp::define_proc(const std::string& name, Proc proc) {
+  procs_[name] = std::move(proc);
+  return Status::Ok();
+}
+
+const Interp::Proc* Interp::find_proc(const std::string& name) const {
+  auto it = procs_.find(name);
+  return it == procs_.end() ? nullptr : &it->second;
+}
+
+void Interp::push_frame() { frames_.emplace_back(); }
+
+void Interp::pop_frame() {
+  HARMONY_ASSERT(frames_.size() > 1);
+  frames_.pop_back();
+}
+
+Result<std::string> Interp::eval(std::string_view script) {
+  auto parsed = parse_script(script);
+  if (!parsed.ok()) {
+    return Err<std::string>(parsed.error().code, parsed.error().message);
+  }
+  std::string result;
+  for (const auto& cmd : parsed.value()) {
+    auto r = exec_command(cmd);
+    if (!r.ok()) return r;
+    result = std::move(r).value();
+    if (flow_ != Flow::kNormal) break;
+  }
+  return result;
+}
+
+Result<std::string> Interp::exec_command(const ParsedCommand& cmd) {
+  std::vector<std::string> argv;
+  argv.reserve(cmd.words.size());
+  for (const auto& word : cmd.words) {
+    auto sub = substitute_word(word);
+    if (!sub.ok()) return sub;
+    argv.push_back(std::move(sub).value());
+  }
+  if (argv.empty()) return std::string();
+  return eval_argv(argv);
+}
+
+Result<std::string> Interp::eval_argv(const std::vector<std::string>& argv) {
+  HARMONY_ASSERT(!argv.empty());
+  const std::string& name = argv[0];
+
+  if (const Proc* proc = find_proc(name)) {
+    // Bind arguments before pushing the callee frame so defaults can
+    // reference nothing (they are literals).
+    if (frames_.size() >= kMaxFrameDepth) {
+      return Err<std::string>(ErrorCode::kEvalError,
+                              "recursion limit exceeded in proc " + name);
+    }
+    const size_t given = argv.size() - 1;
+    const size_t fixed = proc->params.size();
+    if (!proc->has_varargs && given > fixed) {
+      return Err<std::string>(
+          ErrorCode::kEvalError,
+          str_format("proc %s: expected at most %zu args, got %zu",
+                     name.c_str(), fixed, given));
+    }
+    Frame frame;
+    for (size_t i = 0; i < fixed; ++i) {
+      const auto& [pname, pdefault] = proc->params[i];
+      if (i < given) {
+        frame[pname] = argv[i + 1];
+      } else if (!pdefault.empty()) {
+        frame[pname] = pdefault;
+      } else {
+        return Err<std::string>(
+            ErrorCode::kEvalError,
+            str_format("proc %s: missing argument %s", name.c_str(),
+                       pname.c_str()));
+      }
+    }
+    if (proc->has_varargs) {
+      std::vector<std::string> rest;
+      for (size_t i = fixed; i < given; ++i) rest.push_back(argv[i + 1]);
+      frame["args"] = list_build(rest);
+    }
+    // Copy the proc body: running the body may redefine the proc itself.
+    std::string body = proc->body;
+    frames_.push_back(std::move(frame));
+    auto result = eval(body);
+    pop_frame();
+    if (flow_ == Flow::kReturn) flow_ = Flow::kNormal;
+    return result;
+  }
+
+  auto it = commands_.find(name);
+  if (it == commands_.end()) {
+    return Err<std::string>(ErrorCode::kEvalError,
+                            "invalid command name: \"" + name + "\"");
+  }
+  // Copy the handler: command implementations may re-register themselves.
+  CommandFn fn = it->second;
+  return fn(*this, argv);
+}
+
+Result<std::string> Interp::substitute_word(const Word& word) {
+  if (word.kind == WordKind::kBraced) return word.literal;
+  std::string out;
+  for (const auto& seg : word.segments) {
+    switch (seg.kind) {
+      case SegKind::kLiteral:
+        out.append(seg.text);
+        break;
+      case SegKind::kVariable: {
+        auto value = get_var(seg.text);
+        if (!value.ok()) {
+          return Err<std::string>(
+              value.error().code,
+              str_format("line %d: %s", word.line,
+                         value.error().message.c_str()));
+        }
+        out.append(value.value());
+        break;
+      }
+      case SegKind::kCommand: {
+        auto value = eval(seg.text);
+        if (!value.ok()) return value;
+        out.append(value.value());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace harmony::rsl

@@ -1,0 +1,98 @@
+// TCL-subset interpreter. Executes scripts parsed by parser.h with
+// variable frames, user-defined procs, and a pluggable command table.
+// This is the execution substrate for the Harmony RSL: bundle
+// specifications, performance-model scripts, and controller policy
+// snippets all run here.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "rsl/parser.h"
+
+namespace harmony::rsl {
+
+class Interp {
+ public:
+  using CommandFn =
+      std::function<Result<std::string>(Interp&, const std::vector<std::string>&)>;
+
+  Interp();
+
+  // --- script evaluation ------------------------------------------------
+  Result<std::string> eval(std::string_view script);
+  // Invokes a command directly with already-substituted arguments
+  // (argv[0] is the command name).
+  Result<std::string> eval_argv(const std::vector<std::string>& argv);
+
+  // --- command table ------------------------------------------------------
+  void register_command(const std::string& name, CommandFn fn);
+  bool has_command(const std::string& name) const;
+  std::vector<std::string> command_names() const;
+
+  // --- variables ----------------------------------------------------------
+  void set_var(const std::string& name, std::string value);
+  void set_global(const std::string& name, std::string value);
+  Result<std::string> get_var(const std::string& name) const;
+  bool has_var(const std::string& name) const;
+  void unset_var(const std::string& name);
+
+  // Resolver consulted by `expr` for bare dotted identifiers (e.g.
+  // "client.memory") that are not interpreter variables. The controller
+  // installs a namespace-backed resolver here.
+  using NameResolver = std::function<bool(const std::string&, double*)>;
+  void set_name_resolver(NameResolver resolver) {
+    name_resolver_ = std::move(resolver);
+  }
+  const NameResolver& name_resolver() const { return name_resolver_; }
+
+  // --- control flow (used by builtins) -------------------------------------
+  enum class Flow { kNormal, kReturn, kBreak, kContinue };
+  Flow flow() const { return flow_; }
+  void set_flow(Flow flow) { flow_ = flow; }
+
+  // --- captured `puts` output ----------------------------------------------
+  const std::string& output() const { return output_; }
+  void clear_output() { output_.clear(); }
+  void append_output(std::string_view text) { output_.append(text); }
+
+  // --- proc support ---------------------------------------------------------
+  struct Proc {
+    std::vector<std::pair<std::string, std::string>> params;  // name, default
+    bool has_varargs = false;  // trailing "args" parameter
+    std::string body;
+  };
+  Status define_proc(const std::string& name, Proc proc);
+  const Proc* find_proc(const std::string& name) const;
+
+  void push_frame();
+  void pop_frame();
+  size_t frame_depth() const { return frames_.size(); }
+
+  // Recursion guard: scripts from applications are untrusted; a runaway
+  // recursion should be an error, not a stack overflow.
+  static constexpr size_t kMaxFrameDepth = 256;
+
+ private:
+  Result<std::string> exec_command(const ParsedCommand& cmd);
+  Result<std::string> substitute_word(const Word& word);
+
+  using Frame = std::unordered_map<std::string, std::string>;
+  std::vector<Frame> frames_;  // frames_[0] is the global frame
+  std::unordered_map<std::string, CommandFn> commands_;
+  std::unordered_map<std::string, Proc> procs_;
+  NameResolver name_resolver_;
+  Flow flow_ = Flow::kNormal;
+  std::string output_;
+};
+
+// Registers the builtin command set (set, expr, if, while, foreach, proc,
+// list operations, string operations, ...). Called by the constructor.
+void register_builtins(Interp& interp);
+
+}  // namespace harmony::rsl

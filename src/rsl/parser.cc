@@ -1,0 +1,267 @@
+#include "rsl/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace harmony::rsl {
+
+namespace {
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+bool is_var_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == ':';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<std::vector<ParsedCommand>> run() {
+    std::vector<ParsedCommand> commands;
+    while (pos_ < text_.size()) {
+      skip_command_separators();
+      if (pos_ >= text_.size()) break;
+      if (peek() == '#') {
+        skip_comment();
+        continue;
+      }
+      ParsedCommand cmd;
+      cmd.line = line_;
+      while (pos_ < text_.size() && !at_command_end()) {
+        skip_inline_space();
+        if (pos_ >= text_.size() || at_command_end()) break;
+        auto word = parse_word();
+        if (!word.ok()) return Err<std::vector<ParsedCommand>>(
+            word.error().code, word.error().message);
+        cmd.words.push_back(std::move(word).value());
+      }
+      if (!cmd.words.empty()) commands.push_back(std::move(cmd));
+    }
+    return commands;
+  }
+
+ private:
+  char peek() const { return text_[pos_]; }
+
+  void advance() {
+    if (text_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  bool at_command_end() const {
+    return text_[pos_] == '\n' || text_[pos_] == ';';
+  }
+
+  void skip_inline_space() {
+    while (pos_ < text_.size()) {
+      if (is_space(peek())) {
+        advance();
+      } else if (peek() == '\\' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '\n') {
+        advance();  // backslash-newline is a word separator
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void skip_command_separators() {
+    while (pos_ < text_.size() &&
+           (is_space(peek()) || peek() == '\n' || peek() == ';')) {
+      advance();
+    }
+  }
+
+  void skip_comment() {
+    while (pos_ < text_.size() && peek() != '\n') advance();
+  }
+
+  Error error_here(const std::string& message) const {
+    return Error{ErrorCode::kParseError,
+                 str_format("line %d: %s", line_, message.c_str())};
+  }
+
+  Result<Word> parse_word() {
+    Word word;
+    word.line = line_;
+    if (peek() == '{') return parse_braced_word();
+    if (peek() == '"') return parse_quoted_word();
+    return parse_bare_word();
+  }
+
+  Result<Word> parse_braced_word() {
+    Word word;
+    word.kind = WordKind::kBraced;
+    word.line = line_;
+    int depth = 1;
+    advance();  // opening brace
+    size_t start = pos_;
+    while (pos_ < text_.size() && depth > 0) {
+      if (peek() == '\\' && pos_ + 1 < text_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      if (peek() == '{') ++depth;
+      if (peek() == '}') --depth;
+      if (depth > 0) advance();
+    }
+    if (depth != 0) return Err<Word>(ErrorCode::kParseError,
+                                     error_here("unbalanced braces").message);
+    word.literal.assign(text_.substr(start, pos_ - start));
+    advance();  // closing brace
+    if (pos_ < text_.size() && !is_space(peek()) && !at_command_end()) {
+      return Err<Word>(ErrorCode::kParseError,
+                       error_here("extra characters after close-brace").message);
+    }
+    return word;
+  }
+
+  Result<Word> parse_quoted_word() {
+    Word word;
+    word.kind = WordKind::kSimple;
+    word.line = line_;
+    advance();  // opening quote
+    std::string literal;
+    while (pos_ < text_.size() && peek() != '"') {
+      if (auto status = consume_substitutable_char(&word, &literal, true);
+          !status.ok()) {
+        return Err<Word>(status.error().code, status.error().message);
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return Err<Word>(ErrorCode::kParseError,
+                       error_here("unterminated quote").message);
+    }
+    advance();  // closing quote
+    flush_literal(&word, &literal);
+    if (word.segments.empty()) {
+      word.segments.push_back({SegKind::kLiteral, ""});
+    }
+    return word;
+  }
+
+  Result<Word> parse_bare_word() {
+    Word word;
+    word.kind = WordKind::kSimple;
+    word.line = line_;
+    std::string literal;
+    while (pos_ < text_.size() && !is_space(peek()) && !at_command_end()) {
+      if (peek() == '\\' && pos_ + 1 < text_.size() &&
+          text_[pos_ + 1] == '\n') {
+        break;  // line continuation ends the word
+      }
+      if (auto status = consume_substitutable_char(&word, &literal, false);
+          !status.ok()) {
+        return Err<Word>(status.error().code, status.error().message);
+      }
+    }
+    flush_literal(&word, &literal);
+    if (word.segments.empty()) {
+      word.segments.push_back({SegKind::kLiteral, ""});
+    }
+    return word;
+  }
+
+  // Handles one character of a simple word: literal text, backslash
+  // escape, $variable, or [command].
+  Status consume_substitutable_char(Word* word, std::string* literal,
+                                    bool in_quotes) {
+    char c = peek();
+    if (c == '\\') {
+      advance();
+      if (pos_ >= text_.size()) {
+        literal->push_back('\\');
+        return Status::Ok();
+      }
+      char esc = peek();
+      advance();
+      switch (esc) {
+        case 'n': literal->push_back('\n'); break;
+        case 't': literal->push_back('\t'); break;
+        case 'r': literal->push_back('\r'); break;
+        case '\n': literal->push_back(' '); break;
+        default: literal->push_back(esc); break;
+      }
+      return Status::Ok();
+    }
+    if (c == '$') {
+      advance();
+      if (pos_ < text_.size() && peek() == '{') {
+        advance();
+        size_t start = pos_;
+        while (pos_ < text_.size() && peek() != '}') advance();
+        if (pos_ >= text_.size()) {
+          return Status(ErrorCode::kParseError,
+                        error_here("unterminated ${").message);
+        }
+        std::string name(text_.substr(start, pos_ - start));
+        advance();  // closing }
+        flush_literal(word, literal);
+        word->segments.push_back({SegKind::kVariable, std::move(name)});
+        return Status::Ok();
+      }
+      size_t start = pos_;
+      while (pos_ < text_.size() && is_var_char(peek())) advance();
+      if (pos_ == start) {
+        literal->push_back('$');  // lone dollar is literal
+        return Status::Ok();
+      }
+      flush_literal(word, literal);
+      word->segments.push_back(
+          {SegKind::kVariable, std::string(text_.substr(start, pos_ - start))});
+      return Status::Ok();
+    }
+    if (c == '[') {
+      advance();
+      int depth = 1;
+      size_t start = pos_;
+      while (pos_ < text_.size() && depth > 0) {
+        if (peek() == '\\' && pos_ + 1 < text_.size()) {
+          advance();
+          advance();
+          continue;
+        }
+        if (peek() == '[') ++depth;
+        if (peek() == ']') --depth;
+        if (depth > 0) advance();
+      }
+      if (depth != 0) {
+        return Status(ErrorCode::kParseError,
+                      error_here("unbalanced brackets").message);
+      }
+      flush_literal(word, literal);
+      word->segments.push_back(
+          {SegKind::kCommand, std::string(text_.substr(start, pos_ - start))});
+      advance();  // closing ]
+      return Status::Ok();
+    }
+    (void)in_quotes;
+    literal->push_back(c);
+    advance();
+    return Status::Ok();
+  }
+
+  static void flush_literal(Word* word, std::string* literal) {
+    if (!literal->empty()) {
+      word->segments.push_back({SegKind::kLiteral, std::move(*literal)});
+      literal->clear();
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<ParsedCommand>> parse_script(std::string_view script) {
+  return Parser(script).run();
+}
+
+}  // namespace harmony::rsl

@@ -1,0 +1,56 @@
+// Parses TCL-subset scripts into command sequences. Substitution ($var,
+// [command], backslash escapes) is recorded structurally here and
+// performed later by the interpreter, as in real TCL.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace harmony::rsl {
+
+enum class SegKind {
+  kLiteral,   // text copied verbatim
+  kVariable,  // $name or ${name}: text is the variable name
+  kCommand,   // [script]: text is the nested script
+};
+
+struct Segment {
+  SegKind kind;
+  std::string text;
+};
+
+enum class WordKind {
+  kBraced,  // {…}: no substitution, literal holds the body
+  kSimple,  // bare or "quoted": segments are concatenated after substitution
+};
+
+struct Word {
+  WordKind kind = WordKind::kSimple;
+  std::string literal;            // kBraced only
+  std::vector<Segment> segments;  // kSimple only
+  int line = 0;
+
+  // True when the word is a single literal segment (fast path, and used
+  // to detect commands whose arguments need no substitution).
+  bool is_literal() const {
+    return kind == WordKind::kBraced ||
+           (segments.size() == 1 && segments[0].kind == SegKind::kLiteral);
+  }
+  const std::string& literal_text() const {
+    return kind == WordKind::kBraced ? literal : segments[0].text;
+  }
+};
+
+struct ParsedCommand {
+  std::vector<Word> words;
+  int line = 0;
+};
+
+// Splits a script into commands (separated by newlines / semicolons,
+// honoring braces, quotes and [] nesting) and each command into words.
+Result<std::vector<ParsedCommand>> parse_script(std::string_view script);
+
+}  // namespace harmony::rsl

@@ -1,0 +1,58 @@
+#include "rsl/rsl.h"
+
+namespace harmony::rsl {
+
+void RslHost::register_with(Interp& interp) {
+  interp.register_command(
+      "harmonyBundle",
+      [this](Interp&, const std::vector<std::string>& argv)
+          -> Result<std::string> {
+        if (argv.size() != 4) {
+          return Err<std::string>(
+              ErrorCode::kEvalError,
+              "wrong # args: should be \"harmonyBundle app:inst bundle "
+              "{options}\"");
+        }
+        auto bundle = parse_bundle(argv[1], argv[2], argv[3]);
+        if (!bundle.ok()) {
+          return Err<std::string>(bundle.error().code, bundle.error().message);
+        }
+        if (bundle_handler_) {
+          auto status = bundle_handler_(bundle.value());
+          if (!status.ok()) {
+            return Err<std::string>(status.error().code,
+                                    status.error().message);
+          }
+        }
+        return bundle.value().application + "." + bundle.value().instance +
+               "." + bundle.value().bundle;
+      });
+
+  interp.register_command(
+      "harmonyNode",
+      [this](Interp&, const std::vector<std::string>& argv)
+          -> Result<std::string> {
+        auto ad = parse_node_ad(argv);
+        if (!ad.ok()) {
+          return Err<std::string>(ad.error().code, ad.error().message);
+        }
+        if (node_handler_) {
+          auto status = node_handler_(ad.value());
+          if (!status.ok()) {
+            return Err<std::string>(status.error().code,
+                                    status.error().message);
+          }
+        }
+        return ad.value().name;
+      });
+}
+
+Status RslHost::eval_script(std::string_view script) {
+  Interp interp;
+  register_with(interp);
+  auto result = interp.eval(script);
+  if (!result.ok()) return Status(result.error().code, result.error().message);
+  return Status::Ok();
+}
+
+}  // namespace harmony::rsl

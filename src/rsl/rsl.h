@@ -1,0 +1,35 @@
+// RslHost wires the RSL commands (harmonyBundle, harmonyNode) into an
+// interpreter and hands the parsed typed specs to the embedding
+// component (the adaptation controller, or a test).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "rsl/interp.h"
+#include "rsl/spec.h"
+
+namespace harmony::rsl {
+
+class RslHost {
+ public:
+  using BundleHandler = std::function<Status(const BundleSpec&)>;
+  using NodeHandler = std::function<Status(const NodeAd&)>;
+
+  void on_bundle(BundleHandler handler) { bundle_handler_ = std::move(handler); }
+  void on_node(NodeHandler handler) { node_handler_ = std::move(handler); }
+
+  // Registers harmonyBundle / harmonyNode with the interpreter. The host
+  // must outlive the interpreter registration.
+  void register_with(Interp& interp);
+
+  // Convenience: evaluates a whole RSL script in a fresh interpreter.
+  Status eval_script(std::string_view script);
+
+ private:
+  BundleHandler bundle_handler_;
+  NodeHandler node_handler_;
+};
+
+}  // namespace harmony::rsl

@@ -1,0 +1,146 @@
+// Typed intermediate representation of RSL specifications. The
+// `harmonyBundle` and `harmonyNode` commands parse the paper's list
+// syntax into these structures; the adaptation controller consumes them.
+//
+// Bundle syntax (Figures 2-3 of the paper):
+//   harmonyBundle App:inst bundleName {
+//     {OPT
+//       {node ROLE {hostname PAT} {os OS} {seconds EXPR} {memory CONSTR}
+//                  {replicate EXPR}}
+//       {link ROLE1 ROLE2 EXPR}
+//       {communication EXPR}
+//       {variable NAME {v1 v2 ...}}
+//       {performance {{x y} ...}}            ;# piecewise-linear points
+//       {performance script {BODY}}          ;# or a TCL model script
+//       {granularity SECONDS}
+//       {friction SECONDS}}
+//     ...
+//   }
+//
+// Node advertisement (Table 1's harmonyNode / speed tags):
+//   harmonyNode HOST {speed S} {memory MB} {os OS} {link PEER MBPS ?LAT_MS?}
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rsl/expr.h"
+
+namespace harmony::rsl {
+
+// Numeric constraint: "32" (exact requirement treated as minimum),
+// ">=17", "<=8", ">4", "<4", or "*" (any).
+struct Constraint {
+  enum class Op { kAny, kEq, kGe, kLe, kGt, kLt };
+  Op op = Op::kAny;
+  double value = 0;
+
+  static Result<Constraint> parse(std::string_view text);
+  bool satisfied_by(double x) const;
+  // Smallest amount that satisfies the constraint (used for initial
+  // allocation before the controller considers giving more).
+  double minimum() const;
+  std::string to_string() const;
+};
+
+// Unevaluated RSL expression; evaluated at decision time against the
+// controller's namespace + the option's variables.
+struct Expr {
+  std::string text;
+
+  bool empty() const { return text.empty(); }
+  bool is_constant() const;
+  // Evaluates with the given context; constants short-circuit.
+  Result<double> eval(const ExprContext& ctx) const;
+  // Convenience for expressions that must be constant.
+  Result<double> eval_constant() const;
+};
+
+struct NodeReq {
+  std::string role;           // name within the option namespace
+  std::string hostname = "*"; // glob pattern; "*" = any host
+  std::string os;             // empty = any
+  Expr seconds;               // total CPU seconds on the reference machine
+  Constraint memory;          // MB
+  Expr replicate;             // instance count (default 1)
+};
+
+struct LinkReq {
+  std::string from;
+  std::string to;
+  Expr megabytes;  // total data transferred over the life of the job
+};
+
+struct VariableSpec {
+  std::string name;
+  std::vector<double> values;  // the mutually exclusive settings
+};
+
+struct PerfPoint {
+  double x = 0;  // e.g. number of worker nodes
+  double y = 0;  // predicted response time (seconds)
+};
+
+struct OptionSpec {
+  std::string name;
+  std::vector<NodeReq> nodes;
+  std::vector<LinkReq> links;
+  Expr communication;  // total MB, all-pairs; empty when absent
+  std::vector<VariableSpec> variables;
+  std::vector<PerfPoint> performance_points;
+  std::string performance_script;  // TCL body; receives allocation vars
+  // §3: "An explicit specification might include either an expression
+  // or a function" — the expression form: {performance expr {...}}.
+  Expr performance_expr;
+  // §4.2: "we might use the critical path notion to take inter-process
+  // dependencies into account" — a task DAG whose longest path is the
+  // predicted response: {performance dag {{name seconds {deps}} ...}}.
+  // Durations may be expressions over the option's variables.
+  struct DagTask {
+    std::string name;
+    Expr seconds;
+    std::vector<std::string> deps;
+  };
+  std::vector<DagTask> performance_dag;
+  double granularity_s = 0;  // min seconds between option switches
+  double friction_s = 0;     // one-time cost of switching to this option
+};
+
+struct BundleSpec {
+  std::string application;  // "DBclient"
+  std::string instance;     // application-supplied instance hint ("1")
+  std::string bundle;       // "where"
+  std::vector<OptionSpec> options;
+
+  const OptionSpec* find_option(std::string_view name) const;
+};
+
+struct LinkAd {
+  std::string peer;
+  double bandwidth_mbps = 0;
+  double latency_ms = 0;
+};
+
+struct NodeAd {
+  std::string name;     // hostname
+  double speed = 1.0;   // relative to the 400 MHz Pentium II reference
+  double memory_mb = 0;
+  std::string os;
+  std::vector<LinkAd> links;
+};
+
+// Parses "App:inst" into application + instance (instance defaults to "0").
+Result<std::pair<std::string, std::string>> parse_app_instance(
+    std::string_view text);
+
+// Parses the body of a harmonyBundle command (the options list).
+Result<BundleSpec> parse_bundle(std::string_view app_instance,
+                                std::string_view bundle_name,
+                                std::string_view options_list);
+
+// Parses harmonyNode arguments (name + tag lists).
+Result<NodeAd> parse_node_ad(const std::vector<std::string>& argv);
+
+}  // namespace harmony::rsl

@@ -1,0 +1,160 @@
+#include "rsl/value.h"
+
+#include <cctype>
+
+namespace harmony::rsl {
+
+namespace {
+
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+// Appends the character a backslash escape denotes. Returns the number
+// of input characters consumed after the backslash.
+size_t apply_escape(std::string_view text, size_t i, std::string* out) {
+  if (i >= text.size()) {
+    out->push_back('\\');
+    return 0;
+  }
+  switch (text[i]) {
+    case 'n': out->push_back('\n'); return 1;
+    case 't': out->push_back('\t'); return 1;
+    case 'r': out->push_back('\r'); return 1;
+    case '\n': out->push_back(' '); return 1;  // line continuation
+    default: out->push_back(text[i]); return 1;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> list_parse(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (true) {
+    while (i < n && is_space(text[i])) ++i;
+    if (i >= n) return out;
+
+    std::string element;
+    if (text[i] == '{') {
+      int depth = 1;
+      ++i;
+      size_t start = i;
+      while (i < n && depth > 0) {
+        if (text[i] == '\\' && i + 1 < n) {
+          i += 2;
+          continue;
+        }
+        if (text[i] == '{') ++depth;
+        if (text[i] == '}') --depth;
+        ++i;
+      }
+      if (depth != 0) {
+        return Err<std::vector<std::string>>(ErrorCode::kParseError,
+                                             "unbalanced braces in list");
+      }
+      element.assign(text.substr(start, i - 1 - start));
+      if (i < n && !is_space(text[i])) {
+        return Err<std::vector<std::string>>(
+            ErrorCode::kParseError, "junk after closing brace in list");
+      }
+    } else if (text[i] == '"') {
+      ++i;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\\') {
+          ++i;
+          i += apply_escape(text, i, &element);
+        } else {
+          element.push_back(text[i]);
+          ++i;
+        }
+      }
+      if (i >= n) {
+        return Err<std::vector<std::string>>(ErrorCode::kParseError,
+                                             "unterminated quote in list");
+      }
+      ++i;  // closing quote
+      if (i < n && !is_space(text[i])) {
+        return Err<std::vector<std::string>>(
+            ErrorCode::kParseError, "junk after closing quote in list");
+      }
+    } else {
+      while (i < n && !is_space(text[i])) {
+        if (text[i] == '\\') {
+          ++i;
+          i += apply_escape(text, i, &element);
+        } else {
+          element.push_back(text[i]);
+          ++i;
+        }
+      }
+    }
+    out.push_back(std::move(element));
+  }
+}
+
+bool braces_balanced(std::string_view text) {
+  int depth = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}') {
+      --depth;
+      if (depth < 0) return false;
+    }
+  }
+  return depth == 0;
+}
+
+std::string element_quote(std::string_view element) {
+  if (element.empty()) return "{}";
+  bool needs_quoting = false;
+  for (char c : element) {
+    if (is_space(c) || c == '{' || c == '}' || c == '"' || c == '\\' ||
+        c == '[' || c == ']' || c == '$' || c == ';') {
+      needs_quoting = true;
+      break;
+    }
+  }
+  if (!needs_quoting) return std::string(element);
+  // A trailing run of an odd number of backslashes would escape the
+  // closing brace; such elements must use backslash quoting instead.
+  size_t trailing_backslashes = 0;
+  for (auto it = element.rbegin(); it != element.rend() && *it == '\\'; ++it) {
+    ++trailing_backslashes;
+  }
+  if (trailing_backslashes % 2 == 0 && braces_balanced(element)) {
+    std::string out = "{";
+    out.append(element);
+    out.push_back('}');
+    return out;
+  }
+  // Fall back to backslash escaping.
+  std::string out;
+  for (char c : element) {
+    if (is_space(c) || c == '{' || c == '}' || c == '"' || c == '\\' ||
+        c == '[' || c == ']' || c == '$' || c == ';') {
+      out.push_back('\\');
+    }
+    if (c == '\n') {
+      out.pop_back();
+      out.append("\\n");
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string list_build(const std::vector<std::string>& elements) {
+  std::string out;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out.append(element_quote(elements[i]));
+  }
+  return out;
+}
+
+}  // namespace harmony::rsl

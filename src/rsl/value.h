@@ -1,0 +1,30 @@
+// TCL value model: every value is a string; lists are strings with TCL
+// quoting rules (whitespace-separated elements, braces group, backslash
+// escapes). The RSL rides on these rules, so bundle specifications from
+// the paper parse verbatim.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace harmony::rsl {
+
+// Parses a TCL list into its elements. Fails on unbalanced braces or a
+// quote not followed by a separator.
+Result<std::vector<std::string>> list_parse(std::string_view text);
+
+// Builds a TCL list from elements, brace-quoting where needed so that
+// list_parse(list_build(x)) == x.
+std::string list_build(const std::vector<std::string>& elements);
+
+// Quotes a single element for inclusion in a list.
+std::string element_quote(std::string_view element);
+
+// True if the text is a well-formed braced group (used when deciding
+// whether an element can be brace-quoted verbatim).
+bool braces_balanced(std::string_view text);
+
+}  // namespace harmony::rsl

@@ -1,0 +1,123 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace harmony::sim {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+CpuModel::CpuModel(SimEngine* engine, const cluster::Topology* topology)
+    : engine_(engine), topology_(topology) {
+  HARMONY_ASSERT(engine != nullptr && topology != nullptr);
+  nodes_.resize(topology->node_count());
+}
+
+double CpuModel::rate_per_task(cluster::NodeId node) const {
+  const auto& state = nodes_[node];
+  if (state.tasks.empty()) return 0.0;
+  return topology_->node(node).speed /
+         static_cast<double>(state.tasks.size());
+}
+
+TaskId CpuModel::submit(cluster::NodeId node, double work_ref_seconds,
+                        std::function<void()> on_done) {
+  HARMONY_ASSERT(node < nodes_.size());
+  HARMONY_ASSERT_MSG(work_ref_seconds >= 0, "negative work");
+  sync(node);
+  TaskId id = next_id_++;
+  tasks_[id] = Task{node, std::max(work_ref_seconds, 0.0), std::move(on_done)};
+  nodes_[node].tasks.push_back(id);
+  reschedule(node);
+  return id;
+}
+
+Status CpuModel::cancel(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return Status(ErrorCode::kNotFound, "no such task");
+  cluster::NodeId node = it->second.node;
+  sync(node);
+  auto& list = nodes_[node].tasks;
+  list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  tasks_.erase(it);
+  reschedule(node);
+  return Status::Ok();
+}
+
+int CpuModel::active_on(cluster::NodeId node) const {
+  HARMONY_ASSERT(node < nodes_.size());
+  return static_cast<int>(nodes_[node].tasks.size());
+}
+
+Result<double> CpuModel::remaining(TaskId id) const {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return Err<double>(ErrorCode::kNotFound, "no such task");
+  // Account for progress since the node's last sync without mutating.
+  const auto& state = nodes_[it->second.node];
+  double elapsed = engine_->now() - state.last_update;
+  double progressed = elapsed * rate_per_task(it->second.node);
+  return std::max(0.0, it->second.remaining - progressed);
+}
+
+void CpuModel::sync(cluster::NodeId node) {
+  auto& state = nodes_[node];
+  double elapsed = engine_->now() - state.last_update;
+  if (elapsed > 0 && !state.tasks.empty()) {
+    double progress = elapsed * rate_per_task(node);
+    for (TaskId id : state.tasks) {
+      auto& task = tasks_.at(id);
+      task.remaining = std::max(0.0, task.remaining - progress);
+    }
+  }
+  state.last_update = engine_->now();
+}
+
+void CpuModel::reschedule(cluster::NodeId node) {
+  auto& state = nodes_[node];
+  if (state.completion_event != 0) {
+    engine_->cancel(state.completion_event);
+    state.completion_event = 0;
+  }
+  if (state.tasks.empty()) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (TaskId id : state.tasks) {
+    min_remaining = std::min(min_remaining, tasks_.at(id).remaining);
+  }
+  double rate = rate_per_task(node);
+  HARMONY_ASSERT(rate > 0);
+  double delay = min_remaining / rate;
+  state.completion_event =
+      engine_->schedule(delay, [this, node] { complete(node); });
+}
+
+void CpuModel::complete(cluster::NodeId node) {
+  auto& state = nodes_[node];
+  state.completion_event = 0;
+  sync(node);
+  // Collect every task that is done (simultaneous completions fire in
+  // submission order).
+  std::vector<TaskId> done;
+  for (TaskId id : state.tasks) {
+    if (tasks_.at(id).remaining <= kEps) done.push_back(id);
+  }
+  for (TaskId id : done) {
+    auto& list = state.tasks;
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  }
+  // Detach callbacks before invoking: a callback may submit new work.
+  std::vector<std::function<void()>> callbacks;
+  for (TaskId id : done) {
+    callbacks.push_back(std::move(tasks_.at(id).on_done));
+    tasks_.erase(id);
+  }
+  reschedule(node);
+  for (auto& fn : callbacks) {
+    if (fn) fn();
+  }
+}
+
+}  // namespace harmony::sim

@@ -1,0 +1,62 @@
+// Processor-sharing CPU model. Each task carries work measured in
+// seconds on the paper's reference machine (400 MHz Pentium II); a node
+// with speed s and k resident tasks advances each task at rate s/k.
+// This is the contention behaviour behind the paper's Figure 7: query
+// response time roughly doubles when a second client shares the server.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/result.h"
+#include "sim/engine.h"
+
+namespace harmony::sim {
+
+using TaskId = uint64_t;
+
+class CpuModel {
+ public:
+  CpuModel(SimEngine* engine, const cluster::Topology* topology);
+
+  // Submits work to a node; on_done fires at completion time.
+  TaskId submit(cluster::NodeId node, double work_ref_seconds,
+                std::function<void()> on_done);
+  // Cancels a task; its callback never fires.
+  Status cancel(TaskId id);
+
+  int active_on(cluster::NodeId node) const;
+  int active_total() const { return static_cast<int>(tasks_.size()); }
+  // Remaining reference-seconds of work (tests / diagnostics).
+  Result<double> remaining(TaskId id) const;
+
+ private:
+  struct Task {
+    cluster::NodeId node;
+    double remaining;  // reference seconds
+    std::function<void()> on_done;
+  };
+  struct NodeState {
+    std::vector<TaskId> tasks;
+    double last_update = 0.0;
+    EventId completion_event = 0;
+  };
+
+  double rate_per_task(cluster::NodeId node) const;
+  // Advances remaining work on the node to now().
+  void sync(cluster::NodeId node);
+  // Schedules the node's next task completion.
+  void reschedule(cluster::NodeId node);
+  void complete(cluster::NodeId node);
+
+  SimEngine* engine_;
+  const cluster::Topology* topology_;
+  std::unordered_map<TaskId, Task> tasks_;
+  std::vector<NodeState> nodes_;
+  TaskId next_id_ = 1;
+};
+
+}  // namespace harmony::sim

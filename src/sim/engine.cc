@@ -1,0 +1,62 @@
+#include "sim/engine.h"
+
+#include "common/assert.h"
+
+namespace harmony::sim {
+
+EventId SimEngine::schedule(double delay, EventFn fn) {
+  HARMONY_ASSERT_MSG(delay >= 0, "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId SimEngine::schedule_at(double time, EventFn fn) {
+  HARMONY_ASSERT_MSG(time >= now_ - 1e-12, "cannot schedule into the past");
+  if (time < now_) time = now_;  // absorb rounding epsilon
+  EventId id = next_id_++;
+  handlers_[id] = std::move(fn);
+  queue_.push(Scheduled{time, next_seq_++, id});
+  return id;
+}
+
+void SimEngine::cancel(EventId id) { handlers_.erase(id); }
+
+bool SimEngine::step() {
+  while (!queue_.empty()) {
+    Scheduled entry = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    EventFn fn = std::move(it->second);
+    handlers_.erase(it);
+    HARMONY_ASSERT(entry.time >= now_ - 1e-12);
+    now_ = entry.time > now_ ? entry.time : now_;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void SimEngine::run_until(double until) {
+  HARMONY_ASSERT(until >= now_);
+  while (!queue_.empty()) {
+    // Skip cancelled entries without advancing time.
+    Scheduled entry = queue_.top();
+    if (handlers_.find(entry.id) == handlers_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.time > until) break;
+    step();
+  }
+  now_ = until;
+}
+
+void SimEngine::run() {
+  while (step()) {
+  }
+}
+
+size_t SimEngine::pending() const { return handlers_.size(); }
+
+}  // namespace harmony::sim

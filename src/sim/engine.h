@@ -1,0 +1,61 @@
+// Deterministic discrete-event simulation engine. All experiments run
+// on virtual time so figures regenerate bit-identically on any machine.
+// Events at equal times fire in schedule order (stable sequence number
+// tie-break).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "common/result.h"
+
+namespace harmony::sim {
+
+using EventId = uint64_t;
+using EventFn = std::function<void()>;
+
+class SimEngine {
+ public:
+  double now() const { return now_; }
+
+  // Schedules fn at now() + delay (delay >= 0). Returns an id usable
+  // with cancel().
+  EventId schedule(double delay, EventFn fn);
+  EventId schedule_at(double time, EventFn fn);
+
+  // Cancelling an already-fired or unknown event is a no-op.
+  void cancel(EventId id);
+
+  // Runs the next event; returns false when the queue is empty.
+  bool step();
+  // Runs events with time <= until, then advances the clock to `until`.
+  void run_until(double until);
+  // Runs until the queue drains.
+  void run();
+
+  size_t pending() const;
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Scheduled {
+    double time;
+    uint64_t seq;
+    EventId id;
+    // Ordered as a max-heap by default; invert for earliest-first.
+    bool operator<(const Scheduled& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Scheduled> queue_;
+  std::unordered_map<EventId, EventFn> handlers_;
+};
+
+}  // namespace harmony::sim

@@ -1,0 +1,62 @@
+// Flow-level network model with max-min fair bandwidth sharing.
+// Each transfer is routed along the topology's widest path; concurrent
+// flows sharing a link split its capacity max-min fairly (progressive
+// filling). Path latency is charged once, before data starts flowing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/result.h"
+#include "sim/engine.h"
+
+namespace harmony::sim {
+
+using FlowId = uint64_t;
+
+class NetworkModel {
+ public:
+  // local_bandwidth_mbps bounds same-node "transfers" (memory copies);
+  // the default approximates a fast local bus.
+  NetworkModel(SimEngine* engine, const cluster::Topology* topology,
+               double local_bandwidth_mbps = 8000.0);
+
+  // Starts a transfer of `megabytes` from -> to; on_done fires when the
+  // last byte arrives. Fails if the nodes are disconnected.
+  Result<FlowId> transfer(cluster::NodeId from, cluster::NodeId to,
+                          double megabytes, std::function<void()> on_done);
+  Status cancel(FlowId id);
+
+  int active_flows() const { return static_cast<int>(flows_.size()); }
+  // Current fair-share rate of a flow in MB/s (tests / diagnostics).
+  Result<double> current_rate(FlowId id) const;
+
+ private:
+  struct Flow {
+    std::vector<size_t> links;  // empty for local transfers
+    double remaining_mb;
+    double rate_mbs = 0.0;  // current max-min share
+    bool started = false;   // false while the latency phase runs
+    std::function<void()> on_done;
+  };
+
+  // Advances all remaining_mb to now(), recomputes max-min rates, and
+  // schedules the next completion.
+  void update(double now);
+  void recompute_rates();
+  void schedule_next_completion();
+  void on_completion_event();
+
+  SimEngine* engine_;
+  const cluster::Topology* topology_;
+  double local_rate_mbs_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_id_ = 1;
+  double last_update_ = 0.0;
+  EventId completion_event_ = 0;
+};
+
+}  // namespace harmony::sim

@@ -1,0 +1,144 @@
+// End-to-end simulation of the Figure 4 mechanics: the bag-of-tasks app
+// resizes at iteration boundaries as Harmony's worker assignment
+// changes, and coexists with a rigid parallel job.
+#include "apps/bag_app.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+#include "apps/simple_app.h"
+
+namespace harmony::apps {
+namespace {
+
+struct BagWorld {
+  explicit BagWorld(int nodes = 8) {
+    EXPECT_TRUE(harness.controller()
+                    .add_nodes_script(worker_cluster_script(nodes))
+                    .ok());
+    EXPECT_TRUE(harness.finalize().ok());
+  }
+  SimHarness harness;
+};
+
+TEST(BagApp, AloneUsesAllEightWorkers) {
+  BagWorld world;
+  BagConfig config;
+  config.max_iterations = 3;
+  BagApp bag(world.harness.context(), config);
+  ASSERT_TRUE(bag.start().ok());
+  EXPECT_EQ(bag.current_workers(), 8);
+  world.harness.engine().run_until(1500);
+  ASSERT_TRUE(bag.finished());
+  EXPECT_EQ(bag.iterations_completed(), 3);
+  const auto* series = world.harness.metrics().find(bag.metric_name());
+  ASSERT_NE(series, nullptr);
+  // t(8) ~= 100 s sequential + 1000/8 parallel + messaging/straggle.
+  EXPECT_NEAR(series->mean(), 235, 30);
+}
+
+TEST(BagApp, FewerWorkersRunSlowerPredictably) {
+  BagWorld world(2);  // only two nodes available
+  BagConfig config;
+  config.max_iterations = 2;
+  BagApp bag(world.harness.context(), config);
+  ASSERT_TRUE(bag.start().ok());
+  EXPECT_EQ(bag.current_workers(), 2);
+  world.harness.engine().run_until(2000);
+  ASSERT_TRUE(bag.finished());
+  const auto* series = world.harness.metrics().find(bag.metric_name());
+  ASSERT_NE(series, nullptr);
+  EXPECT_NEAR(series->mean(), 600, 60) << "t(2) ~= 100 + 1000/2";
+}
+
+TEST(SimpleApp, RunsFixedIterationsOnDedicatedNodes) {
+  BagWorld world;
+  SimpleConfig config;
+  config.workers = 3;
+  config.max_iterations = 2;
+  SimpleApp simple(world.harness.context(), config);
+  ASSERT_TRUE(simple.start().ok());
+  EXPECT_EQ(simple.nodes().size(), 3u);
+  world.harness.engine().run_until(1000);
+  ASSERT_TRUE(simple.finished());
+  EXPECT_EQ(simple.iterations_completed(), 2);
+  const auto* series =
+      world.harness.metrics().find("simple.1.iteration_time");
+  ASSERT_NE(series, nullptr);
+  EXPECT_NEAR(series->mean(), 300.5, 5);
+  EXPECT_EQ(world.harness.controller().live_instances(), 0u)
+      << "finished app deregistered";
+}
+
+// The Figure 4 arc: the bag app shares the machine with a rigid job,
+// shrinking to the free nodes, and expands back when the rigid job
+// leaves — all at iteration boundaries.
+TEST(BagApp, ShrinksBesideRigidJobThenExpands) {
+  BagWorld world;
+  SimpleConfig rigid_config;
+  rigid_config.workers = 3;
+  rigid_config.max_iterations = 2;  // leaves after ~601 s
+  SimpleApp rigid(world.harness.context(), rigid_config);
+  ASSERT_TRUE(rigid.start().ok());
+
+  BagConfig bag_config;
+  BagApp bag(world.harness.context(), bag_config);
+  ASSERT_TRUE(bag.start().ok());
+  EXPECT_EQ(bag.current_workers(), 5)
+      << "five nodes (rather than six): the free set beside the rigid job";
+
+  world.harness.engine().run_until(2000);
+  ASSERT_TRUE(rigid.finished());
+  EXPECT_EQ(bag.current_workers(), 8)
+      << "after the rigid job departs, the next iteration boundary "
+         "expands the bag app";
+  bag.stop();
+  world.harness.engine().run_until(3000);
+  EXPECT_TRUE(bag.finished());
+}
+
+// Granularity gate in vivo: with a large granularity, the bag app's
+// assignment must not churn even as another job comes and goes.
+TEST(BagApp, GranularityHoldsAssignmentSteady) {
+  BagWorld world;
+  BagConfig config;
+  config.granularity_s = 100000;
+  BagApp bag(world.harness.context(), config);
+  ASSERT_TRUE(bag.start().ok());
+  EXPECT_EQ(bag.current_workers(), 8);
+
+  SimpleConfig rigid_config;
+  rigid_config.workers = 3;
+  rigid_config.memory_mb = 16;  // fits beside the bag app's 16 MB workers
+  rigid_config.max_iterations = 1;
+  SimpleApp rigid(world.harness.context(), rigid_config);
+  world.harness.engine().schedule(50, [&] { ASSERT_TRUE(rigid.start().ok()); });
+  world.harness.engine().run_until(1200);
+  EXPECT_EQ(bag.current_workers(), 8)
+      << "inside the granularity window the option must not change";
+  bag.stop();
+  world.harness.engine().run_until(3000);
+}
+
+TEST(BagApp, WorkerMetricTracksReconfiguration) {
+  BagWorld world;
+  SimpleConfig rigid_config;
+  rigid_config.workers = 3;
+  rigid_config.max_iterations = 1;
+  SimpleApp rigid(world.harness.context(), rigid_config);
+  ASSERT_TRUE(rigid.start().ok());
+  BagConfig config;
+  BagApp bag(world.harness.context(), config);
+  ASSERT_TRUE(bag.start().ok());
+  world.harness.engine().run_until(1500);
+  const auto* workers = world.harness.metrics().find("bag.1.workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_GE(workers->size(), 2u);
+  EXPECT_DOUBLE_EQ(workers->samples().front().value, 5.0);
+  EXPECT_DOUBLE_EQ(workers->last_value(), 8.0);
+  bag.stop();
+  world.harness.engine().run_until(3000);
+}
+
+}  // namespace
+}  // namespace harmony::apps

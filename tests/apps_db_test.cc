@@ -1,0 +1,151 @@
+// End-to-end simulation of the §6 experiment mechanics: harmonized DB
+// clients execute real Wisconsin queries on the simulated cluster, and
+// the controller reconfigures them from query shipping to data shipping
+// as clients accumulate.
+#include "apps/db_app.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+
+namespace harmony::apps {
+namespace {
+
+// 10k-row relations keep the test fast; decisions depend on the bundle
+// estimates, not the engine size, so the adaptation story is identical
+// to the full-scale bench.
+constexpr size_t kRows = 10000;
+
+struct DbWorld {
+  DbWorld() : engine(kRows, 42) {
+    EXPECT_TRUE(harness.controller()
+                    .add_nodes_script(db_cluster_script(3))
+                    .ok());
+    EXPECT_TRUE(harness.finalize().ok());
+  }
+
+  DbClientApp* make_client(int instance) {
+    DbClientConfig config;
+    config.client_host = str_format("sp2-%02d", instance - 1);
+    config.instance = instance;
+    config.seed = 1000 + instance;
+    clients.push_back(
+        std::make_unique<DbClientApp>(harness.context(), &engine, config));
+    return clients.back().get();
+  }
+
+  SimHarness harness;
+  db::DbEngine engine;
+  std::vector<std::unique_ptr<DbClientApp>> clients;
+};
+
+TEST(DbApp, SingleClientRunsQueriesUnderQs) {
+  DbWorld world;
+  auto* client = world.make_client(1);
+  ASSERT_TRUE(client->start().ok());
+  world.harness.engine().run_until(100);
+  EXPECT_EQ(client->current_placement(), db::Placement::kQueryShipping);
+  EXPECT_GT(client->queries_completed(), 50u);
+  const auto* series = world.harness.metrics().find(client->metric_name());
+  ASSERT_NE(series, nullptr);
+  // 1.8 ref-s of server work on the speed-2.25 server ~= 0.8 s/query.
+  EXPECT_NEAR(series->mean(), 0.8, 0.25);
+  client->stop();
+}
+
+TEST(DbApp, TwoClientsDoubleResponseTime) {
+  DbWorld world;
+  auto* c1 = world.make_client(1);
+  auto* c2 = world.make_client(2);
+  ASSERT_TRUE(c1->start().ok());
+  ASSERT_TRUE(c2->start().ok());
+  world.harness.engine().run_until(100);
+  EXPECT_EQ(c1->current_placement(), db::Placement::kQueryShipping);
+  EXPECT_EQ(c2->current_placement(), db::Placement::kQueryShipping);
+  const auto* series = world.harness.metrics().find(c1->metric_name());
+  ASSERT_NE(series, nullptr);
+  EXPECT_NEAR(series->stats_window(50).mean(), 1.6, 0.4)
+      << "two clients sharing the server roughly double response time";
+}
+
+// Figure 7's arc: clients arrive, the third arrival flips everyone to
+// data shipping, and response times fall back toward the 2-client
+// level.
+TEST(DbApp, ThirdClientTriggersDataShippingSwitch) {
+  DbWorld world;
+  auto* c1 = world.make_client(1);
+  auto* c2 = world.make_client(2);
+  auto* c3 = world.make_client(3);
+  ASSERT_TRUE(c1->start().ok());
+  world.harness.engine().schedule(200, [&] { ASSERT_TRUE(c2->start().ok()); });
+  world.harness.engine().schedule(400, [&] { ASSERT_TRUE(c3->start().ok()); });
+  world.harness.engine().run_until(700);
+
+  EXPECT_EQ(c1->current_placement(), db::Placement::kDataShipping);
+  EXPECT_EQ(c2->current_placement(), db::Placement::kDataShipping);
+  EXPECT_EQ(c3->current_placement(), db::Placement::kDataShipping);
+
+  const auto* series = world.harness.metrics().find(c1->metric_name());
+  ASSERT_NE(series, nullptr);
+  double phase1 = series->stats_between(0, 200).mean();
+  double phase2 = series->stats_between(200, 400).mean();
+  double phase3_late = series->stats_between(550, 700).mean();
+  EXPECT_NEAR(phase2 / phase1, 2.0, 0.5) << "second client doubles load";
+  // After the switch, response returns to roughly the 2-client level
+  // (paper: "approximately the same as when two clients were executing").
+  EXPECT_LT(phase3_late, phase2 * 1.6);
+  EXPECT_GT(phase3_late, phase1);
+}
+
+TEST(DbApp, DataShippingCacheWarmsUp) {
+  DbWorld world;
+  // Force DS immediately by starting three clients at once.
+  std::vector<DbClientApp*> clients;
+  for (int i = 1; i <= 3; ++i) clients.push_back(world.make_client(i));
+  for (auto* client : clients) ASSERT_TRUE(client->start().ok());
+  world.harness.engine().run_until(300);
+  ASSERT_EQ(clients[0]->current_placement(), db::Placement::kDataShipping);
+  // 17 MB cache vs 20 buckets of ~0.2 MB: everything fits, so after
+  // warmup the hit rate approaches 1.
+  const auto& cache = clients[0]->cache();
+  EXPECT_GT(cache.hits(), cache.misses());
+  EXPECT_LE(cache.misses(), 20u);
+}
+
+TEST(DbApp, StopDeregistersAndSurvivorsReoptimize) {
+  DbWorld world;
+  std::vector<DbClientApp*> clients;
+  for (int i = 1; i <= 3; ++i) {
+    clients.push_back(world.make_client(i));
+    ASSERT_TRUE(clients.back()->start().ok());
+  }
+  world.harness.engine().run_until(100);
+  ASSERT_EQ(clients[0]->current_placement(), db::Placement::kDataShipping);
+  EXPECT_EQ(world.harness.controller().live_instances(), 3u);
+
+  clients[2]->stop();
+  world.harness.engine().run_until(200);
+  EXPECT_TRUE(clients[2]->stopped());
+  EXPECT_EQ(world.harness.controller().live_instances(), 2u);
+  // With two clients, query shipping wins again; survivors must have
+  // been reconfigured at their next query boundary.
+  EXPECT_EQ(clients[0]->current_placement(), db::Placement::kQueryShipping);
+  EXPECT_EQ(clients[1]->current_placement(), db::Placement::kQueryShipping);
+}
+
+TEST(DbApp, PlacementMetricRecordsSwitches) {
+  DbWorld world;
+  std::vector<DbClientApp*> clients;
+  for (int i = 1; i <= 3; ++i) {
+    clients.push_back(world.make_client(i));
+    ASSERT_TRUE(clients.back()->start().ok());
+  }
+  world.harness.engine().run_until(50);
+  const auto* placement =
+      world.harness.metrics().find("db.client1.placement");
+  ASSERT_NE(placement, nullptr);
+  EXPECT_DOUBLE_EQ(placement->last_value(), 1.0) << "1 = data shipping";
+}
+
+}  // namespace
+}  // namespace harmony::apps

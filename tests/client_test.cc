@@ -1,0 +1,192 @@
+#include "client/client.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+#include "client/capi.h"
+#include "core/controller.h"
+
+namespace harmony::client {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        controller_.add_nodes_script(apps::db_cluster_script(2)).ok());
+    ASSERT_TRUE(controller_.finalize_cluster().ok());
+    transport_ = std::make_unique<InProcTransport>(&controller_);
+  }
+  const char* kBundle =
+      "harmonyBundle Demo:1 b {\n"
+      "  {small {node n {hostname sp2-00} {seconds 5} {memory 4}}}\n"
+      "  {large {node n {hostname sp2-00} {seconds 5} {memory 48}}}\n"
+      "}\n";
+  core::Controller controller_;
+  std::unique_ptr<InProcTransport> transport_;
+};
+
+TEST_F(ClientTest, LifecycleOrderEnforced) {
+  HarmonyClient client(transport_.get());
+  EXPECT_FALSE(client.bundle_setup(kBundle).ok()) << "startup first";
+  ASSERT_TRUE(client.startup("demo").ok());
+  EXPECT_FALSE(client.startup("again").ok());
+  EXPECT_FALSE(client.commit().ok()) << "no bundles yet";
+  ASSERT_TRUE(client.bundle_setup(kBundle).ok());
+  ASSERT_TRUE(client.commit().ok());
+  EXPECT_TRUE(client.registered());
+  EXPECT_FALSE(client.bundle_setup(kBundle).ok()) << "already committed";
+  ASSERT_TRUE(client.end().ok());
+  EXPECT_FALSE(client.end().ok()) << "double end";
+}
+
+TEST_F(ClientTest, VariablesReceiveInitialConfiguration) {
+  HarmonyClient client(transport_.get());
+  ASSERT_TRUE(client.startup("demo").ok());
+  ASSERT_TRUE(client.bundle_setup(kBundle).ok());
+  const std::string* option = client.add_variable("b", "none");
+  EXPECT_EQ(*option, "none");
+  ASSERT_TRUE(client.wait_for_update().ok());
+  client.poll_updates();
+  // Both options fit; either way the variable must now hold a real one.
+  EXPECT_TRUE(*option == "small" || *option == "large") << *option;
+  EXPECT_EQ(client.var("b"), *option) << "pointer and accessor agree";
+  EXPECT_EQ(client.var("b.n.node"), "sp2-00");
+}
+
+TEST_F(ClientTest, PendingUpdatesApplyOnlyAtPoll) {
+  HarmonyClient client(transport_.get());
+  ASSERT_TRUE(client.startup("demo").ok());
+  ASSERT_TRUE(client.bundle_setup(kBundle).ok());
+  ASSERT_TRUE(client.commit().ok());
+  // Subscription delivered updates into the pending buffer; the
+  // declared variable is untouched until poll_updates().
+  const std::string* option = client.add_variable("fresh-var", "x");
+  EXPECT_EQ(*option, "x");
+  EXPECT_TRUE(client.poll_updates());
+  EXPECT_FALSE(client.poll_updates()) << "second poll sees nothing new";
+}
+
+TEST_F(ClientTest, VarHelpers) {
+  HarmonyClient client(transport_.get());
+  ASSERT_TRUE(client.startup("demo").ok());
+  ASSERT_TRUE(client.bundle_setup(kBundle).ok());
+  ASSERT_TRUE(client.wait_for_update().ok());
+  client.poll_updates();
+  EXPECT_DOUBLE_EQ(client.var_number("b.n.memory", -1), 4.0);
+  EXPECT_DOUBLE_EQ(client.var_number("no.such.var", -1), -1.0);
+  EXPECT_EQ(client.var_list("b.n.nodes"), std::vector<std::string>{"sp2-00"});
+}
+
+TEST_F(ClientTest, FetchReadsNamespace) {
+  HarmonyClient client(transport_.get());
+  ASSERT_TRUE(client.startup("demo").ok());
+  ASSERT_TRUE(client.bundle_setup(kBundle).ok());
+  EXPECT_FALSE(client.fetch("b.option").ok()) << "not registered yet";
+  ASSERT_TRUE(client.wait_for_update().ok());
+  auto value = client.fetch("b.option");
+  ASSERT_TRUE(value.ok());
+  EXPECT_TRUE(value.value() == "small" || value.value() == "large");
+}
+
+TEST_F(ClientTest, DestructorEndsRegistration) {
+  {
+    HarmonyClient client(transport_.get());
+    ASSERT_TRUE(client.startup("demo").ok());
+    ASSERT_TRUE(client.bundle_setup(kBundle).ok());
+    ASSERT_TRUE(client.commit().ok());
+    EXPECT_EQ(controller_.live_instances(), 1u);
+  }
+  EXPECT_EQ(controller_.live_instances(), 0u);
+}
+
+TEST_F(ClientTest, RegistrationFailureSurfaces) {
+  HarmonyClient client(transport_.get());
+  ASSERT_TRUE(client.startup("demo").ok());
+  ASSERT_TRUE(client
+                  .bundle_setup("harmonyBundle Huge:1 b {{o {node n "
+                                "{seconds 1} {memory 99999}}}}")
+                  .ok());
+  EXPECT_FALSE(client.commit().ok());
+  EXPECT_FALSE(client.registered());
+}
+
+TEST_F(ClientTest, InterruptModeAppliesImmediately) {
+  HarmonyClient client(transport_.get());
+  ASSERT_TRUE(client.startup("demo", /*use_interrupts=*/true).ok());
+  EXPECT_TRUE(client.use_interrupts());
+  ASSERT_TRUE(client.bundle_setup(kBundle).ok());
+  std::vector<std::string> interrupts;
+  client.set_interrupt_handler(
+      [&](const std::string& name, const std::string&) {
+        interrupts.push_back(name);
+      });
+  const std::string* option = client.add_variable("b", "none");
+  ASSERT_TRUE(client.commit().ok());
+  // No poll needed: the variable updated during commit and the handler
+  // fired, exactly like the prototype's I/O event handler.
+  EXPECT_NE(*option, "none");
+  EXPECT_FALSE(interrupts.empty());
+  EXPECT_NE(std::find(interrupts.begin(), interrupts.end(), "b"),
+            interrupts.end());
+  EXPECT_FALSE(client.poll_updates()) << "nothing left to poll";
+}
+
+TEST_F(ClientTest, PollingModeDefersWithoutPoll) {
+  HarmonyClient client(transport_.get());
+  ASSERT_TRUE(client.startup("demo", /*use_interrupts=*/false).ok());
+  ASSERT_TRUE(client.bundle_setup(kBundle).ok());
+  const std::string* option = client.add_variable("b", "none");
+  ASSERT_TRUE(client.commit().ok());
+  EXPECT_EQ(*option, "none") << "polling mode: value waits for poll_updates";
+  EXPECT_TRUE(client.poll_updates());
+  EXPECT_NE(*option, "none");
+}
+
+// --- the Figure 5 C API ------------------------------------------------------
+
+TEST_F(ClientTest, CApiFullLifecycle) {
+  harmony_connect_local(&controller_);
+  ASSERT_EQ(harmony_startup("capi-demo", 0), 0) << harmony_last_error();
+  ASSERT_EQ(harmony_bundle_setup(kBundle), 0) << harmony_last_error();
+  void* option = harmony_add_variable("b", "none", HARMONY_VAR_STRING);
+  ASSERT_NE(option, nullptr);
+  void* memory = harmony_add_variable("b.n.memory", "0", HARMONY_VAR_INT);
+  ASSERT_NE(memory, nullptr);
+  EXPECT_STREQ(static_cast<const char*>(option), "none");
+  ASSERT_EQ(harmony_wait_for_update(), 0) << harmony_last_error();
+  const char* opt = static_cast<const char*>(option);
+  EXPECT_TRUE(std::string(opt) == "small" || std::string(opt) == "large");
+  long mem = *static_cast<long*>(memory);
+  EXPECT_TRUE(mem == 4 || mem == 48) << mem;
+  EXPECT_EQ(controller_.live_instances(), 1u);
+  ASSERT_EQ(harmony_end(), 0) << harmony_last_error();
+  EXPECT_EQ(controller_.live_instances(), 0u);
+}
+
+TEST_F(ClientTest, CApiErrorsReported) {
+  harmony_connect_local(&controller_);
+  EXPECT_EQ(harmony_bundle_setup("x"), -1);
+  EXPECT_NE(std::string(harmony_last_error()).find("startup"),
+            std::string::npos);
+  ASSERT_EQ(harmony_startup("capi-err", 0), 0);
+  EXPECT_EQ(harmony_startup("twice", 0), -1);
+  EXPECT_EQ(harmony_wait_for_update(), -1) << "no bundles registered";
+  EXPECT_EQ(harmony_end(), -1);
+}
+
+TEST_F(ClientTest, CApiRealVariable) {
+  harmony_connect_local(&controller_);
+  ASSERT_EQ(harmony_startup("capi-real", 0), 0);
+  ASSERT_EQ(harmony_bundle_setup(kBundle), 0);
+  void* memory = harmony_add_variable("b.n.memory", "1.5", HARMONY_VAR_REAL);
+  ASSERT_NE(memory, nullptr);
+  EXPECT_DOUBLE_EQ(*static_cast<double*>(memory), 1.5);
+  ASSERT_EQ(harmony_wait_for_update(), 0);
+  double mem = *static_cast<double*>(memory);
+  EXPECT_TRUE(mem == 4.0 || mem == 48.0);
+  ASSERT_EQ(harmony_end(), 0);
+}
+
+}  // namespace
+}  // namespace harmony::client

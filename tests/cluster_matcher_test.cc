@@ -1,0 +1,221 @@
+#include "cluster/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace harmony::cluster {
+namespace {
+
+// 4-node cluster: two big linux nodes, one small linux, one aix server.
+class MatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(topo_.add_node("big1", 1.0, 256, "linux").ok());
+    ASSERT_TRUE(topo_.add_node("big2", 1.0, 256, "linux").ok());
+    ASSERT_TRUE(topo_.add_node("small", 1.0, 32, "linux").ok());
+    ASSERT_TRUE(topo_.add_node("server", 2.0, 512, "aix").ok());
+    // Full mesh except small<->server (only reachable through big1).
+    ASSERT_TRUE(topo_.add_link(0, 1, 100).ok());
+    ASSERT_TRUE(topo_.add_link(0, 2, 100).ok());
+    ASSERT_TRUE(topo_.add_link(0, 3, 100).ok());
+    ASSERT_TRUE(topo_.add_link(1, 3, 100).ok());
+    pool_ = std::make_unique<ResourcePool>(&topo_);
+  }
+  Topology topo_;
+  std::unique_ptr<ResourcePool> pool_;
+};
+
+TEST_F(MatcherTest, SingleRequirementFirstFit) {
+  Matcher matcher(MatchPolicy::kFirstFit);
+  auto alloc = matcher.match({{"w", 0, "*", "", 16}}, {}, *pool_);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc.value().find("w"), 0u) << "first-fit takes topology order";
+  EXPECT_DOUBLE_EQ(pool_->available_memory(0), 240);
+}
+
+TEST_F(MatcherTest, BestFitPrefersTightestNode) {
+  Matcher matcher(MatchPolicy::kBestFit);
+  auto alloc = matcher.match({{"w", 0, "*", "linux", 16}}, {}, *pool_);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc.value().find("w"), 2u) << "small (32 MB) is the tightest fit";
+}
+
+TEST_F(MatcherTest, WorstFitPrefersEmptiestNode) {
+  Matcher matcher(MatchPolicy::kWorstFit);
+  auto alloc = matcher.match({{"w", 0, "*", "", 16}}, {}, *pool_);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc.value().find("w"), 3u) << "server has 512 MB free";
+}
+
+TEST_F(MatcherTest, HostnameGlobRestricts) {
+  Matcher matcher;
+  auto alloc = matcher.match({{"s", 0, "server", "", 16}}, {}, *pool_);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc.value().find("s"), 3u);
+  auto none = matcher.match({{"s", 0, "nosuch*", "", 16}}, {}, *pool_);
+  EXPECT_FALSE(none.ok());
+  EXPECT_EQ(none.error().code, ErrorCode::kNoMatch);
+}
+
+TEST_F(MatcherTest, OsRestricts) {
+  Matcher matcher;
+  auto alloc = matcher.match({{"s", 0, "*", "aix", 16}}, {}, *pool_);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc.value().find("s"), 3u);
+}
+
+TEST_F(MatcherTest, ReplicasGetDistinctNodes) {
+  Matcher matcher;
+  std::vector<NodeRequirement> reqs;
+  for (int i = 0; i < 4; ++i) reqs.push_back({"worker", i, "*", "", 16});
+  auto alloc = matcher.match(reqs, {}, *pool_);
+  ASSERT_TRUE(alloc.ok());
+  auto nodes = alloc.value().nodes_for("worker");
+  std::set<NodeId> distinct(nodes.begin(), nodes.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST_F(MatcherTest, TooManyReplicasFail) {
+  Matcher matcher;
+  std::vector<NodeRequirement> reqs;
+  for (int i = 0; i < 5; ++i) reqs.push_back({"worker", i, "*", "", 16});
+  EXPECT_FALSE(matcher.match(reqs, {}, *pool_).ok());
+  // Failure must not leak reservations.
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_DOUBLE_EQ(pool_->available_memory(n), topo_.node(n).memory_mb);
+  }
+}
+
+TEST_F(MatcherTest, DifferentRolesMayShareANode) {
+  Matcher matcher;
+  auto alloc = matcher.match(
+      {{"client", 0, "big1", "", 64}, {"server", 0, "big1", "", 64}}, {},
+      *pool_);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc.value().find("client"), alloc.value().find("server"));
+  EXPECT_DOUBLE_EQ(pool_->available_memory(0), 128);
+}
+
+TEST_F(MatcherTest, MemoryConstraintExcludesSmallNodes) {
+  Matcher matcher;
+  auto alloc = matcher.match({{"w", 0, "*", "linux", 100}}, {}, *pool_);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_NE(alloc.value().find("w"), 2u) << "small has only 32 MB";
+}
+
+TEST_F(MatcherTest, LinkConstraintRequiresConnectivity) {
+  // Disconnect: isolated node with no links.
+  Topology topo;
+  ASSERT_TRUE(topo.add_node("x", 1, 64).ok());
+  ASSERT_TRUE(topo.add_node("y", 1, 64).ok());
+  ASSERT_TRUE(topo.add_node("z", 1, 64).ok());
+  ASSERT_TRUE(topo.add_link(0, 1, 100).ok());
+  ResourcePool pool(&topo);
+  Matcher matcher;
+  // Same role -> distinct nodes, plus a connectivity requirement:
+  // the only valid placement is the connected pair {x, y}.
+  std::vector<NodeRequirement> reqs{{"w", 0, "*", "", 8}, {"w", 1, "*", "", 8}};
+  std::vector<LinkRequirement> links{{0, 1, 0.0}};
+  auto alloc = matcher.match(reqs, links, pool);
+  ASSERT_TRUE(alloc.ok());
+  std::set<NodeId> used{alloc.value().find("w", 0), alloc.value().find("w", 1)};
+  EXPECT_TRUE(used.count(0) && used.count(1))
+      << "z is unreachable, so both must land on the connected pair";
+}
+
+TEST_F(MatcherTest, LinkBandwidthMinimumEnforced) {
+  Topology topo;
+  ASSERT_TRUE(topo.add_node("x", 1, 64).ok());
+  ASSERT_TRUE(topo.add_node("y", 1, 64).ok());
+  ASSERT_TRUE(topo.add_link(0, 1, 10).ok());
+  ResourcePool pool(&topo);
+  Matcher matcher;
+  std::vector<NodeRequirement> reqs{{"a", 0, "x", "", 8}, {"b", 0, "y", "", 8}};
+  EXPECT_TRUE(matcher.match(reqs, {{0, 1, 10.0}}, pool).ok());
+  ResourcePool fresh(&topo);
+  EXPECT_FALSE(matcher.match(reqs, {{0, 1, 11.0}}, fresh).ok());
+}
+
+TEST_F(MatcherTest, BacktrackingRecoversFromGreedyDeadEnd) {
+  // Greedy would place the flexible requirement on big1, then fail to
+  // place the big1-pinned one; backtracking must recover.
+  Matcher matcher(MatchPolicy::kFirstFit);
+  std::vector<NodeRequirement> reqs{
+      {"flex", 0, "big*", "", 200},   // fits big1 or big2
+      {"pinned", 0, "big1", "", 200}  // only fits big1
+  };
+  auto alloc = matcher.match(reqs, {}, *pool_);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc.value().find("pinned"), 0u);
+  EXPECT_EQ(alloc.value().find("flex"), 1u);
+}
+
+TEST_F(MatcherTest, ReleaseRestoresPool) {
+  Matcher matcher;
+  auto alloc = matcher.match({{"w", 0, "*", "", 64}, {"v", 0, "*", "", 64}},
+                             {}, *pool_);
+  ASSERT_TRUE(alloc.ok());
+  ASSERT_TRUE(Matcher::release(alloc.value(), *pool_).ok());
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_DOUBLE_EQ(pool_->available_memory(n), topo_.node(n).memory_mb);
+  }
+  EXPECT_TRUE(pool_->invariants_hold());
+}
+
+TEST_F(MatcherTest, InvalidInputsRejected) {
+  Matcher matcher;
+  auto bad_link = matcher.match({{"w", 0, "*", "", 8}}, {{0, 5, 0}}, *pool_);
+  ASSERT_FALSE(bad_link.ok());
+  EXPECT_EQ(bad_link.error().code, ErrorCode::kInvalidArgument);
+  auto bad_mem = matcher.match({{"w", 0, "*", "", -8}}, {}, *pool_);
+  ASSERT_FALSE(bad_mem.ok());
+  EXPECT_EQ(bad_mem.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST_F(MatcherTest, EmptyRequirementsYieldEmptyAllocation) {
+  Matcher matcher;
+  auto alloc = matcher.match({}, {}, *pool_);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_TRUE(alloc.value().empty());
+}
+
+class PolicySweep : public ::testing::TestWithParam<MatchPolicy> {};
+
+// Property: under any policy, a successful match reserves exactly the
+// requested memory and never double-books replicas.
+TEST_P(PolicySweep, MatchAccountingIsExact) {
+  Topology topo;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(topo.add_node("n" + std::to_string(i), 1.0,
+                              64.0 * (i + 1), "linux").ok());
+  }
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) {
+      ASSERT_TRUE(topo.add_link(i, j, 100).ok());
+    }
+  }
+  ResourcePool pool(&topo);
+  Matcher matcher(GetParam());
+  std::vector<NodeRequirement> reqs;
+  for (int i = 0; i < 4; ++i) reqs.push_back({"w", i, "*", "", 48});
+  auto alloc = matcher.match(reqs, {}, pool);
+  ASSERT_TRUE(alloc.ok());
+  double total_before = 0, total_after = 0;
+  for (NodeId n = 0; n < 6; ++n) {
+    total_before += topo.node(n).memory_mb;
+    total_after += pool.available_memory(n);
+  }
+  EXPECT_DOUBLE_EQ(total_before - total_after, 4 * 48.0);
+  auto nodes = alloc.value().nodes_for("w");
+  EXPECT_EQ(std::set<NodeId>(nodes.begin(), nodes.end()).size(), 4u);
+  EXPECT_TRUE(pool.invariants_hold());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicySweep,
+                         ::testing::Values(MatchPolicy::kFirstFit,
+                                           MatchPolicy::kBestFit,
+                                           MatchPolicy::kWorstFit));
+
+}  // namespace
+}  // namespace harmony::cluster

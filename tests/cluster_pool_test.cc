@@ -1,0 +1,128 @@
+#include "cluster/pool.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace harmony::cluster {
+namespace {
+
+class PoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(topo_.add_node("a", 1.0, 128).ok());
+    ASSERT_TRUE(topo_.add_node("b", 2.0, 64).ok());
+    pool_ = std::make_unique<ResourcePool>(&topo_);
+  }
+  Topology topo_;
+  std::unique_ptr<ResourcePool> pool_;
+};
+
+TEST_F(PoolTest, InitialAvailability) {
+  EXPECT_DOUBLE_EQ(pool_->total_memory(0), 128);
+  EXPECT_DOUBLE_EQ(pool_->available_memory(0), 128);
+  EXPECT_EQ(pool_->process_count(0), 0);
+  EXPECT_TRUE(pool_->invariants_hold());
+}
+
+TEST_F(PoolTest, ReserveAndRelease) {
+  ASSERT_TRUE(pool_->reserve_memory(0, 100).ok());
+  EXPECT_DOUBLE_EQ(pool_->available_memory(0), 28);
+  ASSERT_TRUE(pool_->reserve_memory(0, 28).ok());
+  EXPECT_NEAR(pool_->available_memory(0), 0, 1e-9);
+  ASSERT_TRUE(pool_->release_memory(0, 128).ok());
+  EXPECT_DOUBLE_EQ(pool_->available_memory(0), 128);
+}
+
+TEST_F(PoolTest, OverReserveFails) {
+  EXPECT_FALSE(pool_->reserve_memory(0, 129).ok());
+  ASSERT_TRUE(pool_->reserve_memory(0, 100).ok());
+  auto status = pool_->reserve_memory(0, 29);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kCapacity);
+  EXPECT_TRUE(pool_->invariants_hold());
+}
+
+TEST_F(PoolTest, OverReleaseFails) {
+  ASSERT_TRUE(pool_->reserve_memory(0, 10).ok());
+  EXPECT_FALSE(pool_->release_memory(0, 11).ok());
+  EXPECT_TRUE(pool_->release_memory(0, 10).ok());
+}
+
+TEST_F(PoolTest, BadArgumentsRejected) {
+  EXPECT_FALSE(pool_->reserve_memory(9, 1).ok());
+  EXPECT_FALSE(pool_->reserve_memory(0, -1).ok());
+  EXPECT_FALSE(pool_->release_memory(9, 1).ok());
+  EXPECT_FALSE(pool_->release_memory(0, -1).ok());
+  EXPECT_FALSE(pool_->remove_process(9).ok());
+}
+
+TEST_F(PoolTest, ProcessCounting) {
+  pool_->add_process(0);
+  pool_->add_process(0);
+  pool_->add_process(1);
+  EXPECT_EQ(pool_->process_count(0), 2);
+  EXPECT_EQ(pool_->process_count(1), 1);
+  EXPECT_EQ(pool_->total_processes(), 3);
+  ASSERT_TRUE(pool_->remove_process(0).ok());
+  EXPECT_EQ(pool_->process_count(0), 1);
+  ASSERT_TRUE(pool_->remove_process(1).ok());
+  EXPECT_FALSE(pool_->remove_process(1).ok()) << "count must not go negative";
+  EXPECT_TRUE(pool_->invariants_hold());
+}
+
+TEST_F(PoolTest, ReservationRollsBackOnDestruction) {
+  {
+    MemoryReservation res(pool_.get());
+    ASSERT_TRUE(res.reserve(0, 50).ok());
+    ASSERT_TRUE(res.reserve(1, 30).ok());
+    EXPECT_DOUBLE_EQ(pool_->available_memory(0), 78);
+    // no commit — destructor rolls back
+  }
+  EXPECT_DOUBLE_EQ(pool_->available_memory(0), 128);
+  EXPECT_DOUBLE_EQ(pool_->available_memory(1), 64);
+}
+
+TEST_F(PoolTest, ReservationCommitKeepsMemory) {
+  {
+    MemoryReservation res(pool_.get());
+    ASSERT_TRUE(res.reserve(0, 50).ok());
+    res.commit();
+  }
+  EXPECT_DOUBLE_EQ(pool_->available_memory(0), 78);
+}
+
+TEST_F(PoolTest, ReservationPartialFailureLeavesEarlierHolds) {
+  MemoryReservation res(pool_.get());
+  ASSERT_TRUE(res.reserve(0, 100).ok());
+  EXPECT_FALSE(res.reserve(1, 100).ok()) << "b only has 64";
+  res.rollback();
+  EXPECT_DOUBLE_EQ(pool_->available_memory(0), 128);
+}
+
+// Property: any interleaving of balanced reserve/release keeps invariants.
+TEST_F(PoolTest, RandomizedBalancedOperationsKeepInvariants) {
+  Rng rng(2024);
+  std::vector<std::pair<NodeId, double>> held;
+  for (int step = 0; step < 5000; ++step) {
+    bool do_reserve = held.empty() || rng.next_bool(0.55);
+    if (do_reserve) {
+      NodeId node = static_cast<NodeId>(rng.next_below(2));
+      double mb = rng.next_double(0.0, 80.0);
+      if (pool_->reserve_memory(node, mb).ok()) held.emplace_back(node, mb);
+    } else {
+      size_t pick = rng.next_below(held.size());
+      ASSERT_TRUE(pool_->release_memory(held[pick].first, held[pick].second).ok());
+      held.erase(held.begin() + static_cast<long>(pick));
+    }
+    ASSERT_TRUE(pool_->invariants_hold()) << "step " << step;
+  }
+  for (auto& [node, mb] : held) {
+    ASSERT_TRUE(pool_->release_memory(node, mb).ok());
+  }
+  EXPECT_NEAR(pool_->available_memory(0), 128, 1e-6);
+  EXPECT_NEAR(pool_->available_memory(1), 64, 1e-6);
+}
+
+}  // namespace
+}  // namespace harmony::cluster

@@ -1,0 +1,152 @@
+#include "cluster/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace harmony::cluster {
+namespace {
+
+Topology make_line() {
+  // a --100-- b --40-- c
+  Topology topo;
+  (void)topo.add_node("a", 1.0, 128).value();
+  (void)topo.add_node("b", 1.0, 128).value();
+  (void)topo.add_node("c", 1.0, 128).value();
+  EXPECT_TRUE(topo.add_link(0, 1, 100, 1.0).ok());
+  EXPECT_TRUE(topo.add_link(1, 2, 40, 2.0).ok());
+  return topo;
+}
+
+TEST(Topology, AddNodeAssignsSequentialIds) {
+  Topology topo;
+  EXPECT_EQ(topo.add_node("x", 1.0, 64).value(), 0u);
+  EXPECT_EQ(topo.add_node("y", 2.0, 32).value(), 1u);
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.node(1).hostname, "y");
+  EXPECT_DOUBLE_EQ(topo.node(1).speed, 2.0);
+}
+
+TEST(Topology, RejectsBadNodes) {
+  Topology topo;
+  EXPECT_FALSE(topo.add_node("", 1.0, 64).ok());
+  EXPECT_FALSE(topo.add_node("x", 0.0, 64).ok());
+  EXPECT_FALSE(topo.add_node("x", -1.0, 64).ok());
+  EXPECT_FALSE(topo.add_node("x", 1.0, -5).ok());
+  ASSERT_TRUE(topo.add_node("x", 1.0, 64).ok());
+  EXPECT_FALSE(topo.add_node("x", 1.0, 64).ok()) << "duplicate hostname";
+}
+
+TEST(Topology, FindByHostname) {
+  Topology topo = make_line();
+  EXPECT_EQ(topo.find_by_hostname("b").value(), 1u);
+  EXPECT_FALSE(topo.find_by_hostname("nope").ok());
+}
+
+TEST(Topology, RejectsBadLinks) {
+  Topology topo = make_line();
+  EXPECT_FALSE(topo.add_link(0, 9, 10).ok());
+  EXPECT_FALSE(topo.add_link(0, 0, 10).ok());
+  EXPECT_FALSE(topo.add_link(0, 1, 0).ok());
+  EXPECT_FALSE(topo.add_link(0, 1, -5).ok());
+  EXPECT_FALSE(topo.add_link(0, 1, 10, -1).ok());
+}
+
+TEST(Topology, LinkLookupIsSymmetric) {
+  Topology topo = make_line();
+  const LinkInfo* ab = topo.link(0, 1);
+  const LinkInfo* ba = topo.link(1, 0);
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab, ba);
+  EXPECT_DOUBLE_EQ(ab->bandwidth_mbps, 100);
+  EXPECT_EQ(topo.link(0, 2), nullptr) << "no direct a-c link";
+}
+
+TEST(Topology, AddLinkReplacesExisting) {
+  Topology topo = make_line();
+  ASSERT_TRUE(topo.add_link(0, 1, 55, 3.0).ok());
+  EXPECT_DOUBLE_EQ(topo.link(0, 1)->bandwidth_mbps, 55);
+  EXPECT_EQ(topo.links().size(), 2u) << "replaced, not appended";
+}
+
+TEST(Topology, PathBandwidthIsBottleneck) {
+  Topology topo = make_line();
+  EXPECT_DOUBLE_EQ(topo.path_bandwidth(0, 2), 40.0);
+  EXPECT_DOUBLE_EQ(topo.path_bandwidth(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(topo.path_latency(0, 2), 3.0);
+}
+
+TEST(Topology, SelfPathIsInfinite) {
+  Topology topo = make_line();
+  EXPECT_TRUE(std::isinf(topo.path_bandwidth(1, 1)));
+  EXPECT_DOUBLE_EQ(topo.path_latency(1, 1), 0.0);
+  EXPECT_TRUE(topo.connected(1, 1));
+}
+
+TEST(Topology, DisconnectedNodes) {
+  Topology topo;
+  (void)topo.add_node("a", 1, 64).value();
+  (void)topo.add_node("b", 1, 64).value();
+  EXPECT_DOUBLE_EQ(topo.path_bandwidth(0, 1), 0.0);
+  EXPECT_FALSE(topo.connected(0, 1));
+  EXPECT_TRUE(topo.path_links(0, 1).empty());
+}
+
+TEST(Topology, WidestPathPrefersHigherBottleneck) {
+  // a-b direct 10; a-c-b via 100/100: widest path must go around.
+  Topology topo;
+  (void)topo.add_node("a", 1, 64).value();
+  (void)topo.add_node("b", 1, 64).value();
+  (void)topo.add_node("c", 1, 64).value();
+  ASSERT_TRUE(topo.add_link(0, 1, 10, 0.1).ok());
+  ASSERT_TRUE(topo.add_link(0, 2, 100, 1.0).ok());
+  ASSERT_TRUE(topo.add_link(2, 1, 100, 1.0).ok());
+  EXPECT_DOUBLE_EQ(topo.path_bandwidth(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(topo.path_latency(0, 1), 2.0);
+  EXPECT_EQ(topo.path_links(0, 1).size(), 2u);
+}
+
+TEST(Topology, EqualBandwidthPrefersLowerLatency) {
+  // Two 100-wide paths; one with lower total latency.
+  Topology topo;
+  for (const char* name : {"a", "b", "c", "d"}) {
+    (void)topo.add_node(name, 1, 64).value();
+  }
+  ASSERT_TRUE(topo.add_link(0, 2, 100, 5.0).ok());  // a-c
+  ASSERT_TRUE(topo.add_link(2, 1, 100, 5.0).ok());  // c-b  (total 10)
+  ASSERT_TRUE(topo.add_link(0, 3, 100, 1.0).ok());  // a-d
+  ASSERT_TRUE(topo.add_link(3, 1, 100, 1.0).ok());  // d-b  (total 2)
+  EXPECT_DOUBLE_EQ(topo.path_latency(0, 1), 2.0);
+}
+
+TEST(Topology, PathLinksConnectEndpoints) {
+  Topology topo = make_line();
+  auto path = topo.path_links(0, 2);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(topo.links()[path[0]].a, 0u);
+  EXPECT_EQ(topo.links()[path[1]].b, 2u);
+}
+
+// An SP-2-like full switch: every pair connected at the same bandwidth.
+TEST(Topology, FullSwitchAllPairsEqual) {
+  Topology topo;
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(topo.add_node("sp2-" + std::to_string(i), 1.0, 256).ok());
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      ASSERT_TRUE(topo.add_link(i, j, 320, 0.05).ok());
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(topo.path_bandwidth(i, j), 320.0);
+      EXPECT_EQ(topo.path_links(i, j).size(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harmony::cluster

@@ -1,0 +1,67 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace harmony {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Err<int>(ErrorCode::kNotFound, "missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "missing");
+  EXPECT_EQ(r.error().to_string(), "not_found: missing");
+}
+
+TEST(Result, ValueOrFallsBack) {
+  Result<int> ok(1);
+  Result<int> err = Err<int>(ErrorCode::kTimeout, "late");
+  EXPECT_EQ(ok.value_or(9), 1);
+  EXPECT_EQ(err.value_or(9), 9);
+}
+
+TEST(Result, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("harmony"));
+  EXPECT_EQ(r->size(), 7u);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, CarriesError) {
+  Status s(ErrorCode::kCapacity, "over-allocated");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kCapacity);
+  EXPECT_EQ(s.to_string(), "capacity: over-allocated");
+}
+
+TEST(ErrorCodeNames, AllDistinctAndStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kParseError), "parse_error");
+  EXPECT_STREQ(error_code_name(ErrorCode::kEvalError), "eval_error");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNoMatch), "no_match");
+  EXPECT_STREQ(error_code_name(ErrorCode::kTransport), "transport");
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,136 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace harmony {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(99);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversSmallRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(11);
+  std::set<long long> seen;
+  for (int i = 0; i < 500; ++i) {
+    long long v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalHasRoughlyUnitMoments) {
+  Rng rng(42);
+  double sum = 0, sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.next_normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialHasExpectedMean) {
+  Rng rng(43);
+  double sum = 0;
+  const int n = 50000;
+  const double rate = 2.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.next_exponential(rate);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(123);
+  Rng child = parent.fork();
+  // Child stream is not a suffix/copy of the parent stream.
+  Rng parent2(123);
+  parent2.fork();
+  EXPECT_EQ(parent.next_u64(), parent2.next_u64())
+      << "forking must leave the parent stream deterministic";
+  uint64_t c = child.next_u64();
+  uint64_t p = parent.next_u64();
+  EXPECT_NE(c, p);
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng rng(1);
+  uint64_t first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(1);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+class RngBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundSweep, UniformityChiSquaredLoose) {
+  const uint64_t bound = GetParam();
+  Rng rng(bound * 2654435761ULL + 1);
+  std::vector<int> counts(bound, 0);
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    ++counts[rng.next_below(bound)];
+  }
+  // Loose uniformity check: every bucket within 30% of expectation.
+  double expected = static_cast<double>(samples) / static_cast<double>(bound);
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_GT(counts[b], expected * 0.7) << "bucket " << b;
+    EXPECT_LT(counts[b], expected * 1.3) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,108 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace harmony {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, ResetClearsEverything) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> v{15, 20, 35, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 15);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.30), 20);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.40), 20);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.50), 35);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 50);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({50, 15, 40, 20, 35}, 0.5), 35);
+}
+
+TEST(PiecewiseLinear, InterpolatesBetweenPoints) {
+  std::vector<std::pair<double, double>> pts{{1, 10}, {2, 20}, {4, 40}};
+  EXPECT_DOUBLE_EQ(piecewise_linear(pts, 1.5), 15.0);
+  EXPECT_DOUBLE_EQ(piecewise_linear(pts, 3.0), 30.0);
+  EXPECT_DOUBLE_EQ(piecewise_linear(pts, 2.0), 20.0);
+}
+
+TEST(PiecewiseLinear, ClampsAtEnds) {
+  std::vector<std::pair<double, double>> pts{{1, 10}, {4, 40}};
+  EXPECT_DOUBLE_EQ(piecewise_linear(pts, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(piecewise_linear(pts, 100.0), 40.0);
+}
+
+TEST(PiecewiseLinear, SinglePointIsConstant) {
+  std::vector<std::pair<double, double>> pts{{3, 7}};
+  EXPECT_DOUBLE_EQ(piecewise_linear(pts, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(piecewise_linear(pts, 3.0), 7.0);
+  EXPECT_DOUBLE_EQ(piecewise_linear(pts, 9.0), 7.0);
+}
+
+// The paper's Bag speedup curve: interpolation must be monotone
+// decreasing for a decreasing point set.
+TEST(PiecewiseLinear, MonotoneOnBagCurve) {
+  std::vector<std::pair<double, double>> pts{
+      {1, 1250}, {2, 640}, {4, 340}, {5, 290}, {6, 270}, {7, 260}, {8, 255}};
+  double prev = piecewise_linear(pts, 1.0);
+  for (double x = 1.1; x <= 8.0; x += 0.1) {
+    double y = piecewise_linear(pts, x);
+    EXPECT_LE(y, prev + 1e-9) << "x=" << x;
+    prev = y;
+  }
+}
+
+}  // namespace
+}  // namespace harmony

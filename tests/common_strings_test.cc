@@ -1,0 +1,116 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  EXPECT_EQ(split("a.b.c", '.'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a..c", '.'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(".", '.'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  EXPECT_EQ(split_whitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_whitespace("   ").empty());
+  EXPECT_TRUE(split_whitespace("").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"alpha", "beta", "gamma"};
+  EXPECT_EQ(join(parts, "."), "alpha.beta.gamma");
+  EXPECT_EQ(split(join(parts, "."), '.'), parts);
+  EXPECT_EQ(join({}, "."), "");
+  EXPECT_EQ(join({"solo"}, "."), "solo");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("harmony.cs.umd.edu", "harmony"));
+  EXPECT_FALSE(starts_with("ha", "harmony"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(str_format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(str_format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(str_format("empty%s", ""), "empty");
+}
+
+TEST(ParseDouble, AcceptsCompleteNumbersOnly) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(parse_double("  -2e3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_FALSE(parse_double("3.5x", &v));
+  EXPECT_FALSE(parse_double("", &v));
+  EXPECT_FALSE(parse_double("abc", &v));
+}
+
+TEST(ParseInt64, AcceptsCompleteIntegersOnly) {
+  long long v = 0;
+  EXPECT_TRUE(parse_int64("-17", &v));
+  EXPECT_EQ(v, -17);
+  EXPECT_FALSE(parse_int64("17.5", &v));
+  EXPECT_FALSE(parse_int64("x", &v));
+}
+
+TEST(FormatNumber, IntegralValuesPrintWithoutPoint) {
+  EXPECT_EQ(format_number(42.0), "42");
+  EXPECT_EQ(format_number(-3.0), "-3");
+  EXPECT_EQ(format_number(0.0), "0");
+}
+
+TEST(FormatNumber, FractionsRoundTrip) {
+  for (double v : {0.5, 3.14159, -0.001, 1.0 / 3.0, 1e-10}) {
+    double parsed = 0;
+    ASSERT_TRUE(parse_double(format_number(v), &parsed)) << v;
+    EXPECT_DOUBLE_EQ(parsed, v);
+  }
+}
+
+struct GlobCase {
+  const char* pattern;
+  const char* text;
+  bool match;
+};
+
+class GlobMatchTest : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobMatchTest, Matches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(glob_match(c.pattern, c.text), c.match)
+      << c.pattern << " vs " << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, GlobMatchTest,
+    ::testing::Values(
+        GlobCase{"*", "", true}, GlobCase{"*", "anything", true},
+        GlobCase{"", "", true}, GlobCase{"", "x", false},
+        GlobCase{"abc", "abc", true}, GlobCase{"abc", "abd", false},
+        GlobCase{"a*c", "abc", true}, GlobCase{"a*c", "ac", true},
+        GlobCase{"a*c", "abcd", false}, GlobCase{"a?c", "abc", true},
+        GlobCase{"a?c", "ac", false},
+        GlobCase{"harmony.*", "harmony.cs.umd.edu", true},
+        GlobCase{"*.umd.edu", "harmony.cs.umd.edu", true},
+        GlobCase{"*.mit.edu", "harmony.cs.umd.edu", false},
+        GlobCase{"sp2-[0-9][0-9]", "sp2-07", true},
+        GlobCase{"sp2-[0-9][0-9]", "sp2-ab", false},
+        GlobCase{"node*", "node", true},
+        GlobCase{"*node", "supernode", true},
+        GlobCase{"a**b", "a-x-b", true}));
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,133 @@
+#include "core/namespace.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::core {
+namespace {
+
+TEST(Namespace, SetAndGetNumbers) {
+  Namespace ns;
+  ASSERT_TRUE(ns.set("DBclient.66.where.DS.client.memory", 24).ok());
+  auto v = ns.get("DBclient.66.where.DS.client.memory");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v.value(), 24);
+  EXPECT_FALSE(ns.get("DBclient.66.where.QS.client.memory").ok());
+}
+
+TEST(Namespace, SetAndGetStrings) {
+  Namespace ns;
+  ASSERT_TRUE(ns.set_string("DBclient.66.where.option", "DS").ok());
+  EXPECT_EQ(ns.get_string("DBclient.66.where.option").value(), "DS");
+}
+
+TEST(Namespace, NumbersReadableAsStrings) {
+  Namespace ns;
+  ASSERT_TRUE(ns.set("x.y", 4).ok());
+  EXPECT_EQ(ns.get_string("x.y").value(), "4");
+}
+
+TEST(Namespace, SetOverwritesAcrossTypes) {
+  Namespace ns;
+  ASSERT_TRUE(ns.set("k", 1).ok());
+  ASSERT_TRUE(ns.set_string("k", "text").ok());
+  EXPECT_FALSE(ns.get("k").ok());
+  EXPECT_EQ(ns.get_string("k").value(), "text");
+  ASSERT_TRUE(ns.set("k", 2).ok());
+  EXPECT_DOUBLE_EQ(ns.get("k").value(), 2);
+}
+
+TEST(Namespace, MalformedPathsRejected) {
+  Namespace ns;
+  EXPECT_FALSE(ns.set("", 1).ok());
+  EXPECT_FALSE(ns.set(".leading", 1).ok());
+  EXPECT_FALSE(ns.set("trailing.", 1).ok());
+  EXPECT_FALSE(ns.set("double..dot", 1).ok());
+}
+
+TEST(Namespace, EraseSubtree) {
+  Namespace ns;
+  ASSERT_TRUE(ns.set("app.1.b.x", 1).ok());
+  ASSERT_TRUE(ns.set("app.1.b.y", 2).ok());
+  ASSERT_TRUE(ns.set_string("app.1.opt", "QS").ok());
+  ASSERT_TRUE(ns.set("app.10.b.x", 3).ok());
+  ns.erase("app.1");
+  EXPECT_FALSE(ns.has("app.1.b.x"));
+  EXPECT_FALSE(ns.has("app.1.opt"));
+  EXPECT_TRUE(ns.has("app.10.b.x")) << "app.10 is not a child of app.1";
+}
+
+TEST(Namespace, EraseExactLeaf) {
+  Namespace ns;
+  ASSERT_TRUE(ns.set("a.b", 1).ok());
+  ASSERT_TRUE(ns.set("a.bc", 2).ok());
+  ns.erase("a.b");
+  EXPECT_FALSE(ns.has("a.b"));
+  EXPECT_TRUE(ns.has("a.bc"));
+}
+
+TEST(Namespace, EraseAbsentIsNoop) {
+  Namespace ns;
+  ns.erase("ghost");
+  EXPECT_EQ(ns.size(), 0u);
+}
+
+TEST(Namespace, ListChildren) {
+  Namespace ns;
+  ASSERT_TRUE(ns.set("DBclient.66.where.DS.client.memory", 24).ok());
+  ASSERT_TRUE(ns.set("DBclient.66.where.DS.server.memory", 20).ok());
+  ASSERT_TRUE(ns.set_string("DBclient.66.where.option", "DS").ok());
+  ASSERT_TRUE(ns.set("Bag.2.parallelism.workerNodes", 4).ok());
+  EXPECT_EQ(ns.list(""), (std::vector<std::string>{"Bag", "DBclient"}));
+  EXPECT_EQ(ns.list("DBclient.66.where.DS"),
+            (std::vector<std::string>{"client", "server"}));
+  EXPECT_EQ(ns.list("DBclient.66.where"),
+            (std::vector<std::string>{"DS", "option"}));
+  EXPECT_TRUE(ns.list("nothing.here").empty());
+}
+
+TEST(Namespace, Leaves) {
+  Namespace ns;
+  ASSERT_TRUE(ns.set("a.x", 1).ok());
+  ASSERT_TRUE(ns.set("a.y", 2).ok());
+  ASSERT_TRUE(ns.set("b", 3).ok());
+  EXPECT_EQ(ns.leaves("a"), (std::vector<std::string>{"a.x", "a.y"}));
+  EXPECT_EQ(ns.leaves().size(), 3u);
+}
+
+TEST(Namespace, ExprContextResolvesAbsolute) {
+  Namespace ns;
+  ASSERT_TRUE(ns.set("Bag.2.parallelism.workerNodes", 4).ok());
+  auto ctx = ns.expr_context();
+  double out = 0;
+  ASSERT_TRUE(ctx.name_lookup("Bag.2.parallelism.workerNodes", &out));
+  EXPECT_DOUBLE_EQ(out, 4);
+  EXPECT_FALSE(ctx.name_lookup("missing.name", &out));
+}
+
+TEST(Namespace, ExprContextResolvesRelativeToBase) {
+  // The paper's example: within option DS of bundle where of
+  // DBclient.66, "client.memory" names the allocated client memory.
+  Namespace ns;
+  ASSERT_TRUE(ns.set("DBclient.66.where.DS.client.memory", 24).ok());
+  auto ctx = ns.expr_context("DBclient.66.where.DS");
+  double out = 0;
+  ASSERT_TRUE(ctx.name_lookup("client.memory", &out));
+  EXPECT_DOUBLE_EQ(out, 24);
+  // Absolute fallback still works under a base.
+  ASSERT_TRUE(ns.set("global.knob", 7).ok());
+  ASSERT_TRUE(ctx.name_lookup("global.knob", &out));
+  EXPECT_DOUBLE_EQ(out, 7);
+}
+
+TEST(Namespace, ExprContextEvaluatesPaperExpression) {
+  Namespace ns;
+  ASSERT_TRUE(ns.set("DBclient.66.where.DS.client.memory", 32).ok());
+  auto ctx = ns.expr_context("DBclient.66.where.DS");
+  auto result = rsl::expr_eval_number(
+      "61 - (client.memory > 24 ? 24 : client.memory)", ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value(), 37.0);
+}
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,62 @@
+#include "core/objective.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::core {
+namespace {
+
+TEST(MeanCompletionTime, Basics) {
+  MeanCompletionTime objective;
+  EXPECT_STREQ(objective.name(), "mean-completion-time");
+  EXPECT_DOUBLE_EQ(objective.evaluate({}), 0.0);
+  EXPECT_DOUBLE_EQ(objective.evaluate({10}), 10.0);
+  EXPECT_DOUBLE_EQ(objective.evaluate({10, 20, 30}), 20.0);
+}
+
+TEST(MaxCompletionTime, Basics) {
+  MaxCompletionTime objective;
+  EXPECT_DOUBLE_EQ(objective.evaluate({}), 0.0);
+  EXPECT_DOUBLE_EQ(objective.evaluate({10, 30, 20}), 30.0);
+}
+
+TEST(NegativeThroughput, LowerIsMoreThroughput) {
+  NegativeThroughput objective;
+  EXPECT_DOUBLE_EQ(objective.evaluate({}), 0.0);
+  EXPECT_DOUBLE_EQ(objective.evaluate({2, 2}), -1.0);
+  // Two fast jobs beat one fast and one slow.
+  EXPECT_LT(objective.evaluate({2, 2}), objective.evaluate({2, 10}));
+  // Zero-time jobs don't divide by zero.
+  EXPECT_DOUBLE_EQ(objective.evaluate({0.0, 4.0}), -0.25);
+}
+
+TEST(WeightedCompletionTime, WeightsApply) {
+  WeightedCompletionTime objective({3, 1});
+  EXPECT_DOUBLE_EQ(objective.evaluate({10, 20}), (30.0 + 20.0) / 4.0);
+  // Missing weights default to 1.
+  EXPECT_DOUBLE_EQ(objective.evaluate({10, 20, 30}), (30 + 20 + 30) / 5.0);
+  EXPECT_DOUBLE_EQ(objective.evaluate({}), 0.0);
+}
+
+TEST(MakeObjective, Factory) {
+  EXPECT_NE(make_objective("mean"), nullptr);
+  EXPECT_NE(make_objective("mean-completion-time"), nullptr);
+  EXPECT_NE(make_objective(""), nullptr);
+  EXPECT_NE(make_objective("makespan"), nullptr);
+  EXPECT_NE(make_objective("throughput"), nullptr);
+  EXPECT_EQ(make_objective("nonsense"), nullptr);
+}
+
+// The decision property the paper relies on: under mean completion
+// time, equal partitions beat skewed ones on a concave speedup curve.
+TEST(MeanCompletionTime, PrefersEqualPartitionsOnConcaveCurve) {
+  MeanCompletionTime objective;
+  // Bag curve values at 4+4 vs 6+2 vs 7+1 workers.
+  double equal = objective.evaluate({340, 340});
+  double skewed = objective.evaluate({270, 640});
+  double extreme = objective.evaluate({260, 1250});
+  EXPECT_LT(equal, skewed);
+  EXPECT_LT(skewed, extreme);
+}
+
+}  // namespace
+}  // namespace harmony::core

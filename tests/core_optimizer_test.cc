@@ -1,0 +1,97 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "test_scenarios.h"
+
+namespace harmony::core {
+namespace {
+
+using harmony::testing::db_client_bundle;
+using harmony::testing::sp2_cluster_script;
+
+TEST(Optimizer, CountsCandidateEvaluations) {
+  Controller controller;
+  ASSERT_TRUE(controller.add_nodes_script(sp2_cluster_script(2)).ok());
+  ASSERT_TRUE(controller.finalize_cluster().ok());
+  EXPECT_EQ(controller.optimizer().candidates_evaluated(), 0u);
+  ASSERT_TRUE(controller.register_script(db_client_bundle("sp2-00", 1)).ok());
+  // Two options (QS, DS), both feasible.
+  EXPECT_EQ(controller.optimizer().candidates_evaluated(), 2u);
+}
+
+TEST(Optimizer, ReevaluateOnEmptySystemIsNoop) {
+  Controller controller;
+  ASSERT_TRUE(controller.add_nodes_script(sp2_cluster_script(1)).ok());
+  ASSERT_TRUE(controller.finalize_cluster().ok());
+  ASSERT_TRUE(controller.reevaluate().ok());
+  EXPECT_EQ(controller.reconfigurations(), 0u);
+}
+
+TEST(Optimizer, StableReevaluationDoesNotThrash) {
+  Controller controller;
+  ASSERT_TRUE(controller.add_nodes_script(sp2_cluster_script(4)).ok());
+  ASSERT_TRUE(controller.finalize_cluster().ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(controller
+                    .register_script(
+                        db_client_bundle(str_format("sp2-%02d", i), i + 1))
+                    .ok());
+  }
+  uint64_t before = controller.reconfigurations();
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(controller.reevaluate().ok());
+  }
+  EXPECT_EQ(controller.reconfigurations(), before)
+      << "re-evaluating an already-optimal system must change nothing";
+}
+
+TEST(Optimizer, ObjectiveNeverWorsensAcrossReevaluation) {
+  Controller controller;
+  ASSERT_TRUE(controller.add_nodes_script(sp2_cluster_script(4)).ok());
+  ASSERT_TRUE(controller.finalize_cluster().ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(controller
+                    .register_script(
+                        db_client_bundle(str_format("sp2-%02d", i), i + 1))
+                    .ok());
+  }
+  auto before = controller.objective_value();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(controller.reevaluate().ok());
+  auto after = controller.objective_value();
+  ASSERT_TRUE(after.ok());
+  EXPECT_LE(after.value(), before.value() + 1e-9);
+}
+
+TEST(Optimizer, ExhaustiveRespectsComboLimit) {
+  ControllerConfig config;
+  config.optimizer.mode = OptimizerConfig::Mode::kExhaustive;
+  config.optimizer.exhaustive_limit = 1;  // anything with >1 combo fails
+  Controller controller(config);
+  ASSERT_TRUE(controller.add_nodes_script(sp2_cluster_script(2)).ok());
+  ASSERT_TRUE(controller.finalize_cluster().ok());
+  auto r = controller.register_script(db_client_bundle("sp2-00", 1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kCapacity);
+}
+
+TEST(Optimizer, MatchPolicyConfigurable) {
+  for (auto policy : {cluster::MatchPolicy::kFirstFit,
+                      cluster::MatchPolicy::kBestFit,
+                      cluster::MatchPolicy::kWorstFit}) {
+    ControllerConfig config;
+    config.optimizer.match_policy = policy;
+    Controller controller(config);
+    ASSERT_TRUE(controller.add_nodes_script(sp2_cluster_script(4)).ok());
+    ASSERT_TRUE(controller.finalize_cluster().ok());
+    auto id = controller.register_script(db_client_bundle("sp2-00", 1));
+    ASSERT_TRUE(id.ok()) << match_policy_name(policy);
+    EXPECT_EQ(controller.bundle_state(id.value(), "where")->choice.option,
+              "QS");
+  }
+}
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,409 @@
+#include "core/perf_model.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::core {
+namespace {
+
+rsl::BundleSpec parse(const std::string& options) {
+  auto r = rsl::parse_bundle("App", "b", options);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  return r.value();
+}
+
+struct Fixture {
+  cluster::Topology topo;
+  std::map<cluster::NodeId, int> load;
+  rsl::BundleSpec bundle;
+  OptionChoice choice;
+  cluster::Allocation allocation;
+
+  Fixture() {
+    // server (speed 2), client0/client1 (speed 1); 100 Mbps links.
+    EXPECT_TRUE(topo.add_node("server", 2.0, 512).ok());
+    EXPECT_TRUE(topo.add_node("client0", 1.0, 64).ok());
+    EXPECT_TRUE(topo.add_node("client1", 1.0, 64).ok());
+    EXPECT_TRUE(topo.add_link(0, 1, 100).ok());
+    EXPECT_TRUE(topo.add_link(0, 2, 100).ok());
+  }
+
+  PredictionInput input() const {
+    PredictionInput in;
+    in.option = &bundle.options[0];
+    in.choice = &choice;
+    in.allocation = &allocation;
+    in.topology = &topo;
+    in.node_load = &load;
+    return in;
+  }
+};
+
+TEST(PredictorModelSelection, Precedence) {
+  auto def = parse("{o {node n {seconds 1}}}");
+  EXPECT_EQ(Predictor::model_for(def.options[0]), Predictor::Model::kDefault);
+  auto pts = parse("{o {node n {seconds 1}} {performance {{1 10} {2 5}}}}");
+  EXPECT_EQ(Predictor::model_for(pts.options[0]), Predictor::Model::kPoints);
+  auto script = parse("{o {node n {seconds 1}} {performance script {return 5}} "
+                      "{performance {{1 10} {2 5}}}}");
+  EXPECT_EQ(Predictor::model_for(script.options[0]), Predictor::Model::kScript);
+}
+
+TEST(DefaultModel, CpuOnlySingleNode) {
+  Fixture f;
+  f.bundle = parse("{QS {node server {hostname server} {seconds 9} {memory 20}}}");
+  f.choice = {"QS", {}};
+  f.allocation.entries.push_back({{"server", 0, "server", "", 20}, 0});
+  f.load[0] = 1;
+  Predictor predictor;
+  auto t = predictor.predict(f.input());
+  ASSERT_TRUE(t.ok()) << (t.ok() ? "" : t.error().message);
+  EXPECT_DOUBLE_EQ(t.value(), 4.5) << "9 ref-seconds on a speed-2 node";
+}
+
+TEST(DefaultModel, ContentionScalesCpu) {
+  Fixture f;
+  f.bundle = parse("{QS {node server {hostname server} {seconds 9} {memory 20}}}");
+  f.choice = {"QS", {}};
+  f.allocation.entries.push_back({{"server", 0, "server", "", 20}, 0});
+  f.load[0] = 3;  // three co-located jobs
+  Predictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 13.5);
+}
+
+TEST(DefaultModel, CpuIsMaxAcrossRolesPlusLinkTime) {
+  Fixture f;
+  f.bundle = parse(
+      "{QS {node server {hostname server} {seconds 9} {memory 20}}"
+      " {node client {seconds 1} {memory 2}}"
+      " {link client server 10}}");
+  f.choice = {"QS", {}};
+  f.allocation.entries.push_back({{"server", 0, "server", "", 20}, 0});
+  f.allocation.entries.push_back({{"client", 0, "*", "", 2}, 1});
+  f.load[0] = 1;
+  f.load[1] = 1;
+  Predictor predictor;
+  // cpu = max(9/2, 1/1) = 4.5; link = 10 MB * 8 / 100 Mbps = 0.8 s.
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 5.3);
+}
+
+TEST(DefaultModel, SameNodeLinkUsesLocalRate) {
+  Fixture f;
+  f.bundle = parse(
+      "{o {node a {seconds 1} {memory 1}} {node b {seconds 1} {memory 1}}"
+      " {link a b 100}}");
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"a", 0, "*", "", 1}, 1});
+  f.allocation.entries.push_back({{"b", 0, "*", "", 1}, 1});
+  f.load[1] = 2;
+  Predictor predictor(8000.0);
+  // cpu = 1 * 2 (load 2) = 2; link local: 100 MB * 8 / 8000 = 0.1 s.
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 2.1);
+}
+
+TEST(DefaultModel, CommunicationUsesWeakestPair) {
+  Fixture f;
+  f.bundle = parse(
+      "{o {node w {seconds 4} {memory 1} {replicate 2}} {communication 50}}");
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"w", 0, "*", "", 1}, 1});
+  f.allocation.entries.push_back({{"w", 1, "*", "", 1}, 2});
+  f.load[1] = f.load[2] = 1;
+  Predictor predictor;
+  // client0-client1 widest path via server: bottleneck 100 Mbps.
+  // cpu = 4; comm = 50 * 8 / 100 = 4.
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 8.0);
+}
+
+TEST(DefaultModel, ExpressionSecondsUseChoiceVariables) {
+  Fixture f;
+  f.bundle = parse(
+      "{var {variable workerNodes {2}} "
+      "{node worker {seconds {1200.0 / workerNodes}} {memory 16} "
+      "{replicate {workerNodes}}}}");
+  f.choice = {"var", {{"workerNodes", 2}}};
+  f.allocation.entries.push_back({{"worker", 0, "*", "", 16}, 1});
+  f.allocation.entries.push_back({{"worker", 1, "*", "", 16}, 2});
+  f.load[1] = f.load[2] = 1;
+  Predictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict_default(f.input()).value(), 600.0);
+}
+
+TEST(DefaultModel, RoleMemoryResolvesFromAllocation) {
+  // The paper's memory-parameterized DS bandwidth: more client memory,
+  // less data shipped.
+  Fixture f;
+  f.bundle = parse(
+      "{DS {node server {hostname server} {seconds 1} {memory 20}}"
+      " {node client {memory >=17} {seconds 9}}"
+      " {link client server {61 - (client.memory > 24 ? 24 : client.memory)}}}");
+  f.choice = {"DS", {}};
+  Predictor predictor;
+
+  f.allocation.entries.push_back({{"server", 0, "server", "", 20}, 0});
+  f.allocation.entries.push_back({{"client", 0, "*", "", 17}, 1});
+  f.load[0] = f.load[1] = 1;
+  // cpu = max(1/2, 9) = 9; link = (61-17)*8/100 = 3.52.
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 12.52);
+
+  f.allocation.entries[1].requirement.memory_mb = 32;  // generous grant
+  // link = (61-24)*8/100 = 2.96.
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 11.96);
+}
+
+TEST(PointsModel, InterpolatesAtVariableValue) {
+  Fixture f;
+  f.bundle = parse(
+      "{var {variable workerNodes {4}} {node w {seconds 1} {replicate "
+      "{workerNodes}}} {performance {{1 1250} {2 640} {4 340} {8 255}}}}");
+  f.choice = {"var", {{"workerNodes", 4}}};
+  for (int i = 0; i < 4; ++i) {
+    f.allocation.entries.push_back({{"w", i, "*", "", 0}, 0});
+  }
+  // Dedicated nodes.
+  f.load[0] = 1;
+  Predictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 340.0);
+}
+
+TEST(PointsModel, ContentionReducesEffectiveNodes) {
+  Fixture f;
+  f.bundle = parse(
+      "{var {variable workerNodes {8}} {node w {seconds 1} {replicate "
+      "{workerNodes}}} {performance {{1 1250} {2 640} {4 340} {8 255}}}}");
+  f.choice = {"var", {{"workerNodes", 8}}};
+  for (int i = 0; i < 8; ++i) {
+    cluster::NodeId node = i % 3;
+    f.allocation.entries.push_back({{"w", i, "*", "", 0}, node});
+    f.load[node] = 2;  // every hosting node shared with another job
+  }
+  Predictor predictor;
+  // effective = 8 * (1/2) = 4 -> interpolate at workerNodes * 0.5 = 4.
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 340.0);
+}
+
+TEST(DefaultModel, LogPOccupancyChargesEndpointCpus) {
+  // §3.4's refinement: protocol processing consumes endpoint cycles.
+  Fixture f;
+  f.bundle = parse(
+      "{o {node a {hostname client0} {seconds 1} {memory 1}}"
+      " {node b {hostname client1} {seconds 1} {memory 1}}"
+      " {link a b 100}}");
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"a", 0, "client0", "", 1}, 1});
+  f.allocation.entries.push_back({{"b", 0, "client1", "", 1}, 2});
+  f.load[1] = f.load[2] = 1;
+  Predictor plain;
+  // cpu = 1; wire = 100 MB * 8 / 100 Mbps = 8 s.
+  EXPECT_DOUBLE_EQ(plain.predict(f.input()).value(), 9.0);
+  Predictor logp;
+  logp.set_comm_occupancy(0.05);  // 50 ms of CPU per MB at each end
+  // each endpoint gains 100 * 0.05 = 5 s of CPU: cpu = 6, total 14.
+  EXPECT_DOUBLE_EQ(logp.predict(f.input()).value(), 14.0);
+}
+
+TEST(DefaultModel, LogPOccupancySpreadsAllPairsTraffic) {
+  Fixture f;
+  f.bundle = parse(
+      "{o {node w {seconds 4} {memory 1} {replicate 2}} {communication 50}}");
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"w", 0, "*", "", 1}, 1});
+  f.allocation.entries.push_back({{"w", 1, "*", "", 1}, 2});
+  f.load[1] = f.load[2] = 1;
+  Predictor logp;
+  logp.set_comm_occupancy(0.02);
+  // wire: 50*8/100 = 4; occupancy per worker: 2*50*0.02/2 = 1 -> cpu 5.
+  EXPECT_DOUBLE_EQ(logp.predict(f.input()).value(), 9.0);
+}
+
+// --- critical-path model (§4.2's inter-process dependency citation) ----------
+
+TEST(DagModel, DiamondCriticalPath) {
+  Fixture f;
+  // setup -> {left 10s, right 4s} -> merge 2s: critical path 1+10+2 = 13.
+  f.bundle = parse(
+      "{o {node n {hostname client0} {seconds 1}} {performance dag {"
+      "{setup 1} "
+      "{left 10 {setup}} "
+      "{right 4 {setup}} "
+      "{merge 2 {left right}}}}}");
+  EXPECT_EQ(Predictor::model_for(f.bundle.options[0]), Predictor::Model::kDag);
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"n", 0, "client0", "", 0}, 1});
+  f.load[1] = 1;
+  Predictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 13.0);
+}
+
+TEST(DagModel, IndependentRootsTakeTheLongest) {
+  Fixture f;
+  f.bundle = parse(
+      "{o {node n {hostname client0} {seconds 1}} {performance dag {"
+      "{a 5} {b 9} {c 3}}}}");
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"n", 0, "client0", "", 0}, 1});
+  f.load[1] = 1;
+  Predictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 9.0);
+}
+
+TEST(DagModel, DurationsMayBeExpressions) {
+  Fixture f;
+  f.bundle = parse(
+      "{var {variable workerNodes {4}} {node w {seconds 1} {replicate "
+      "{workerNodes}}} {performance dag {"
+      "{scatter 10} "
+      "{compute {1200.0 / workerNodes} {scatter}} "
+      "{gather 10 {compute}}}}}");
+  f.choice = {"var", {{"workerNodes", 4}}};
+  for (int i = 0; i < 4; ++i) {
+    f.allocation.entries.push_back({{"w", i, "*", "", 0}, 1});
+  }
+  f.load[1] = 1;
+  Predictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 320.0);
+}
+
+TEST(DagModel, ContentionAndSpeedScaleThePath) {
+  Fixture f;
+  f.bundle = parse(
+      "{o {node n {hostname server} {seconds 1}} "
+      "{performance dag {{work 10}}}}");
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"n", 0, "server", "", 0}, 0});
+  Predictor predictor;
+  f.load[0] = 1;  // dedicated speed-2 server: twice as fast
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 5.0);
+  f.load[0] = 4;  // four co-located tasks
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 20.0);
+}
+
+TEST(DagModel, CycleIsAnError) {
+  Fixture f;
+  f.bundle = parse(
+      "{o {node n {seconds 1}} {performance dag {"
+      "{a 1 {b}} {b 1 {a}}}}}");
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"n", 0, "*", "", 0}, 0});
+  f.load[0] = 1;
+  Predictor predictor;
+  auto r = predictor.predict(f.input());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("cycle"), std::string::npos);
+}
+
+TEST(DagModel, UnknownDependencyIsAnError) {
+  Fixture f;
+  f.bundle = parse(
+      "{o {node n {seconds 1}} {performance dag {{a 1 {ghost}}}}}");
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"n", 0, "*", "", 0}, 0});
+  f.load[0] = 1;
+  Predictor predictor;
+  auto r = predictor.predict(f.input());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("ghost"), std::string::npos);
+}
+
+TEST(DagModel, ParseRejections) {
+  EXPECT_FALSE(rsl::parse_bundle("A", "b",
+                                 "{o {performance dag {}}}").ok());
+  EXPECT_FALSE(rsl::parse_bundle("A", "b",
+                                 "{o {performance dag {{a}}}}").ok());
+  EXPECT_FALSE(rsl::parse_bundle(
+                   "A", "b", "{o {performance dag {{a 1} {a 2}}}}").ok())
+      << "duplicate task names";
+}
+
+TEST(ScriptModel, EvaluatesWithVariables) {
+  Fixture f;
+  f.bundle = parse(
+      "{var {variable workerNodes {4}} {node w {seconds 1} {replicate "
+      "{workerNodes}}} {performance script {expr {1200.0 / $workerNodes + "
+      "0.5 * $workerNodes * $workerNodes}}}}");
+  f.choice = {"var", {{"workerNodes", 4}}};
+  for (int i = 0; i < 4; ++i) {
+    f.allocation.entries.push_back({{"w", i, "*", "", 0}, 0});
+  }
+  f.load[0] = 1;
+  Predictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 308.0);
+}
+
+TEST(ExprModel, EvaluatesWithVariablesAndAllocation) {
+  // The §3 "explicit expression" form of the performance tag.
+  Fixture f;
+  f.bundle = parse(
+      "{var {variable workerNodes {4}} {node w {seconds 1} {replicate "
+      "{workerNodes}}} {performance expr {1200.0 / workerNodes + "
+      "0.5 * workerNodes * workerNodes}}}");
+  EXPECT_EQ(Predictor::model_for(f.bundle.options[0]),
+            Predictor::Model::kExpr);
+  f.choice = {"var", {{"workerNodes", 4}}};
+  for (int i = 0; i < 4; ++i) {
+    f.allocation.entries.push_back({{"w", i, "*", "", 0}, 0});
+  }
+  f.load[0] = 1;
+  Predictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 308.0);
+}
+
+TEST(ExprModel, CanReferenceAllocationDerivedNames) {
+  Fixture f;
+  f.bundle = parse(
+      "{o {node client {memory 32} {seconds 1}} "
+      "{performance expr {100 - client.memory}}}");
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"client", 0, "*", "", 32}, 1});
+  f.load[1] = 1;
+  Predictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 68.0);
+}
+
+TEST(ExprModel, ScriptTakesPrecedenceOverExpr) {
+  Fixture f;
+  f.bundle = parse(
+      "{o {node n {seconds 1}} {performance expr {111}} "
+      "{performance script {return 222}}}");
+  EXPECT_EQ(Predictor::model_for(f.bundle.options[0]),
+            Predictor::Model::kScript);
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"n", 0, "*", "", 0}, 0});
+  f.load[0] = 1;
+  Predictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.predict(f.input()).value(), 222.0);
+}
+
+TEST(ExprModel, BadExpressionIsError) {
+  Fixture f;
+  f.bundle = parse("{o {node n {seconds 1}} {performance expr {1 +}}}");
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"n", 0, "*", "", 0}, 0});
+  f.load[0] = 1;
+  Predictor predictor;
+  EXPECT_FALSE(predictor.predict(f.input()).ok());
+}
+
+TEST(ScriptModel, NonNumericResultIsError) {
+  Fixture f;
+  f.bundle = parse("{o {node n {seconds 1}} {performance script {return abc}}}");
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"n", 0, "*", "", 0}, 0});
+  f.load[0] = 1;
+  Predictor predictor;
+  EXPECT_FALSE(predictor.predict(f.input()).ok());
+}
+
+TEST(DefaultModel, BadExpressionSurfacesError) {
+  Fixture f;
+  f.bundle = parse("{o {node n {seconds {undefined.name + 1}}}}");
+  f.choice = {"o", {}};
+  f.allocation.entries.push_back({{"n", 0, "*", "", 0}, 0});
+  f.load[0] = 1;
+  Predictor predictor;
+  auto r = predictor.predict(f.input());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("undefined.name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmony::core

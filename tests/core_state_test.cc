@@ -1,0 +1,196 @@
+#include "core/state.h"
+
+#include <gtest/gtest.h>
+
+#include "core/binding.h"
+
+namespace harmony::core {
+namespace {
+
+rsl::BundleSpec parse(const std::string& app, const std::string& bundle,
+                      const std::string& options) {
+  auto r = rsl::parse_bundle(app, bundle, options);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  return r.value();
+}
+
+TEST(OptionChoice, EqualityAndToString) {
+  OptionChoice a{"QS", {}};
+  OptionChoice b{"QS", {}};
+  OptionChoice c{"DS", {}};
+  OptionChoice d{"QS", {{"workerNodes", 4}}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  EXPECT_EQ(d.to_string(), "QS workerNodes=4");
+}
+
+TEST(EnumerateChoices, OptionWithoutVariables) {
+  auto bundle = parse("A", "b", "{QS {node s {seconds 1}}} {DS {node s {seconds 2}}}");
+  auto choices = enumerate_choices(bundle);
+  ASSERT_EQ(choices.size(), 2u);
+  EXPECT_EQ(choices[0].option, "QS");
+  EXPECT_EQ(choices[1].option, "DS");
+  EXPECT_TRUE(choices[0].variables.empty());
+}
+
+TEST(EnumerateChoices, VariableExpansion) {
+  auto bundle = parse("Bag", "p",
+                      "{var {variable workerNodes {1 2 4 8}} "
+                      "{node w {seconds 1}}}");
+  auto choices = enumerate_choices(bundle);
+  ASSERT_EQ(choices.size(), 4u);
+  EXPECT_DOUBLE_EQ(choices[0].variables.at("workerNodes"), 1);
+  EXPECT_DOUBLE_EQ(choices[3].variables.at("workerNodes"), 8);
+}
+
+TEST(EnumerateChoices, CartesianProductOfVariables) {
+  auto bundle = parse("A", "b",
+                      "{opt {variable x {1 2}} {variable y {10 20 30}} "
+                      "{node n {seconds 1}}}");
+  auto choices = enumerate_choices(bundle);
+  ASSERT_EQ(choices.size(), 6u);
+  // Definition-order nesting: x varies slowest.
+  EXPECT_DOUBLE_EQ(choices[0].variables.at("x"), 1);
+  EXPECT_DOUBLE_EQ(choices[0].variables.at("y"), 10);
+  EXPECT_DOUBLE_EQ(choices[5].variables.at("x"), 2);
+  EXPECT_DOUBLE_EQ(choices[5].variables.at("y"), 30);
+}
+
+TEST(InstanceState, FindBundleAndPath) {
+  InstanceState instance;
+  instance.id = 66;
+  instance.application = "DBclient";
+  BundleState bundle;
+  bundle.spec = parse("DBclient", "where", "{QS {node s {seconds 1}}}");
+  instance.bundles.push_back(std::move(bundle));
+  EXPECT_EQ(instance.path(), "DBclient.66");
+  EXPECT_NE(instance.find_bundle("where"), nullptr);
+  EXPECT_EQ(instance.find_bundle("nope"), nullptr);
+}
+
+TEST(SystemState, NodeLoadCountsConfiguredAllocations) {
+  SystemState state;
+  ASSERT_TRUE(state.topology.add_node("a", 1, 64).ok());
+  ASSERT_TRUE(state.topology.add_node("b", 1, 64).ok());
+  state.init_pool();
+
+  InstanceState i1;
+  i1.id = 1;
+  BundleState b1;
+  b1.spec = parse("X", "b", "{o {node n {seconds 1}}}");
+  b1.configured = true;
+  b1.allocation.entries.push_back({{"n", 0, "*", "", 8}, 0});
+  b1.allocation.entries.push_back({{"n", 1, "*", "", 8}, 1});
+  i1.bundles.push_back(b1);
+  state.instances.push_back(i1);
+
+  InstanceState i2;
+  i2.id = 2;
+  BundleState b2 = b1;
+  b2.configured = false;  // unconfigured allocations do not count
+  i2.bundles.push_back(b2);
+  state.instances.push_back(i2);
+
+  auto load = state.node_load();
+  EXPECT_EQ(load[0], 1);
+  EXPECT_EQ(load[1], 1);
+}
+
+// --- bind_option ---------------------------------------------------------
+
+TEST(BindOption, ReplicatesNodes) {
+  auto bundle = parse("Bag", "p",
+                      "{var {variable workerNodes {4}} "
+                      "{node worker {seconds {1200.0 / workerNodes}} "
+                      "{memory 16} {replicate {workerNodes}}}}");
+  OptionChoice choice{"var", {{"workerNodes", 4}}};
+  auto bound = bind_option(bundle.options[0], choice, {});
+  ASSERT_TRUE(bound.ok()) << (bound.ok() ? "" : bound.error().message);
+  ASSERT_EQ(bound.value().node_requirements.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(bound.value().node_requirements[i].role, "worker");
+    EXPECT_EQ(bound.value().node_requirements[i].index, i);
+    EXPECT_DOUBLE_EQ(bound.value().node_requirements[i].memory_mb, 16);
+  }
+}
+
+TEST(BindOption, LinksMapToRequirementIndices) {
+  auto bundle = parse("DB", "w",
+                      "{QS {node server {hostname server} {seconds 9} "
+                      "{memory 20}} {node client {seconds 1} {memory 2}} "
+                      "{link client server 10}}");
+  auto bound = bind_option(bundle.options[0], {"QS", {}}, {});
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound.value().link_requirements.size(), 1u);
+  EXPECT_EQ(bound.value().link_requirements[0].from, 1u) << "client is req 1";
+  EXPECT_EQ(bound.value().link_requirements[0].to, 0u);
+  ASSERT_EQ(bound.value().link_specs.size(), 1u);
+  EXPECT_EQ(bound.value().link_specs[0]->from, "client");
+}
+
+TEST(BindOption, MemoryConstraintUsesMinimum) {
+  auto bundle = parse("DB", "w",
+                      "{DS {node client {memory >=17} {seconds 9}}}");
+  auto bound = bind_option(bundle.options[0], {"DS", {}}, {});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(bound.value().node_requirements[0].memory_mb, 17);
+}
+
+TEST(BindOption, MemoryGrantScalesOpenEndedConstraints) {
+  auto bundle = parse("DB", "w",
+                      "{DS {node client {memory >=17} {seconds 9}}"
+                      " {node server {memory 20} {seconds 1}}}");
+  OptionChoice generous{"DS", {}};
+  generous.memory_grant = 2.0;
+  auto bound = bind_option(bundle.options[0], generous, {});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(bound.value().node_requirements[0].memory_mb, 34)
+      << ">= constraints scale with the grant";
+  EXPECT_DOUBLE_EQ(bound.value().node_requirements[1].memory_mb, 20)
+      << "exact requirements never inflate";
+}
+
+TEST(OptionChoice, MemoryGrantInEqualityAndToString) {
+  OptionChoice a{"DS", {}};
+  OptionChoice b{"DS", {}};
+  b.memory_grant = 2.0;
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(b.to_string(), "DS mem*2");
+  EXPECT_EQ(a.to_string(), "DS");
+}
+
+TEST(BindOption, RejectsBadReplicate) {
+  auto zero = parse("A", "b", "{o {node n {seconds 1} {replicate 0}}}");
+  EXPECT_FALSE(bind_option(zero.options[0], {"o", {}}, {}).ok());
+  auto frac = parse("A", "b", "{o {node n {seconds 1} {replicate 2.5}}}");
+  EXPECT_FALSE(bind_option(frac.options[0], {"o", {}}, {}).ok());
+}
+
+TEST(BindOption, RejectsLinkToUnknownRole) {
+  auto bundle = parse("A", "b",
+                      "{o {node n {seconds 1}} {link n ghost 5}}");
+  auto bound = bind_option(bundle.options[0], {"o", {}}, {});
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(ChoiceContext, VariablesShadowNames) {
+  rsl::ExprContext names;
+  names.name_lookup = [](const std::string& name, double* out) {
+    if (name != "workerNodes") return false;
+    *out = 99;
+    return true;
+  };
+  OptionChoice choice{"o", {{"workerNodes", 4}}};
+  auto ctx = choice_context(choice, names);
+  double out = 0;
+  ASSERT_TRUE(ctx.name_lookup("workerNodes", &out));
+  EXPECT_DOUBLE_EQ(out, 4) << "choice variable wins over namespace";
+  std::string str;
+  ASSERT_TRUE(ctx.var_lookup("workerNodes", &str));
+  EXPECT_EQ(str, "4") << "variables also visible as $vars";
+}
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,183 @@
+// Failure-injection / property test: a randomized storm of arrivals,
+// departures, manual steering and re-evaluations must never corrupt the
+// controller's resource accounting, namespace, or predictions — and
+// when everything departs, the cluster must be exactly as it started.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/console.h"
+#include "core/controller.h"
+#include "test_scenarios.h"
+
+namespace harmony::core {
+namespace {
+
+using harmony::testing::bag_bundle;
+using harmony::testing::db_client_bundle;
+using harmony::testing::simple_bundle;
+using harmony::testing::sp2_cluster_script;
+
+// Exact accounting invariant: the pool's reserved memory and placement
+// counts equal the sums over all configured allocations.
+void expect_accounting_exact(const Controller& controller) {
+  std::map<cluster::NodeId, double> reserved;
+  std::map<cluster::NodeId, int> placements;
+  for (const auto& instance : controller.state().instances) {
+    for (const auto& bundle : instance.bundles) {
+      if (!bundle.configured) continue;
+      for (const auto& entry : bundle.allocation.entries) {
+        reserved[entry.node] += entry.requirement.memory_mb;
+        ++placements[entry.node];
+      }
+    }
+  }
+  const auto& pool = *controller.state().pool;
+  for (const auto& node : controller.topology().nodes()) {
+    double expected_free = node.memory_mb - reserved[node.id];
+    EXPECT_NEAR(pool.available_memory(node.id), expected_free, 1e-6)
+        << node.hostname;
+    EXPECT_EQ(pool.process_count(node.id), placements[node.id])
+        << node.hostname;
+  }
+  EXPECT_TRUE(pool.invariants_hold());
+}
+
+// Every configured bundle must be visible in the namespace with a
+// valid option, and predictions must be finite.
+void expect_consistent_views(const Controller& controller) {
+  for (const auto& instance : controller.state().instances) {
+    for (const auto& bundle : instance.bundles) {
+      if (!bundle.configured) continue;
+      auto option = controller.names().get_string(
+          instance.path() + "." + bundle.spec.bundle + ".option");
+      ASSERT_TRUE(option.ok()) << instance.path();
+      EXPECT_EQ(option.value(), bundle.choice.option);
+      EXPECT_NE(bundle.spec.find_option(bundle.choice.option), nullptr);
+    }
+  }
+  auto predictions = controller.predictions();
+  ASSERT_TRUE(predictions.ok());
+  for (const auto& [id, seconds] : predictions.value()) {
+    EXPECT_TRUE(std::isfinite(seconds)) << id;
+    EXPECT_GE(seconds, 0.0) << id;
+  }
+}
+
+class StormTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StormTest, RandomLifecyclesPreserveInvariants) {
+  Controller controller;
+  ASSERT_TRUE(controller.add_nodes_script(sp2_cluster_script(6)).ok());
+  ASSERT_TRUE(controller.finalize_cluster().ok());
+  double now = 0;
+  controller.set_time_source([&now] { return now; });
+
+  Rng rng(GetParam());
+  std::vector<InstanceId> live;
+  int arrivals = 0, departures = 0, rejections = 0;
+
+  for (int step = 0; step < 300; ++step) {
+    now += rng.next_double(0.1, 30.0);
+    double dice = rng.next_double();
+    if (dice < 0.45 || live.empty()) {
+      // Arrival of a random application type.
+      std::string script;
+      switch (rng.next_below(3)) {
+        case 0:
+          script = db_client_bundle(
+              str_format("sp2-%02d", static_cast<int>(rng.next_below(6))),
+              static_cast<int>(rng.next_int(1, 99)));
+          break;
+        case 1:
+          script = bag_bundle("1 2 3 4", /*granularity=*/0);
+          break;
+        default:
+          script = simple_bundle(static_cast<int>(rng.next_int(1, 3)),
+                                 /*seconds=*/100, /*memory=*/16);
+          break;
+      }
+      auto id = controller.register_application([&] {
+        std::vector<rsl::BundleSpec> bundles;
+        rsl::RslHost host;
+        host.on_bundle([&bundles](const rsl::BundleSpec& b) {
+          bundles.push_back(b);
+          return Status::Ok();
+        });
+        EXPECT_TRUE(host.eval_script(script).ok());
+        return bundles;
+      }());
+      if (id.ok()) {
+        live.push_back(id.value());
+        ++arrivals;
+      } else {
+        EXPECT_EQ(id.error().code, ErrorCode::kNoMatch)
+            << id.error().to_string();
+        ++rejections;
+      }
+    } else if (dice < 0.75) {
+      // Departure.
+      size_t pick = rng.next_below(live.size());
+      ASSERT_TRUE(controller.unregister(live[pick]).ok());
+      live.erase(live.begin() + static_cast<long>(pick));
+      ++departures;
+    } else if (dice < 0.82) {
+      ASSERT_TRUE(controller.reevaluate().ok());
+    } else if (dice < 0.88) {
+      // Node churn: toggle a random node's availability (never let the
+      // whole cluster vanish).
+      std::string host = str_format("sp2-%02d",
+                                    static_cast<int>(rng.next_below(6)));
+      auto node = controller.topology().find_by_hostname(host).value();
+      bool online = controller.state().pool->is_online(node);
+      if (!online || controller.state().pool->online_count() > 2) {
+        ASSERT_TRUE(controller.set_node_online(host, !online).ok());
+      }
+    } else if (dice < 0.93) {
+      // External load comes and goes.
+      std::string host = str_format("sp2-%02d",
+                                    static_cast<int>(rng.next_below(6)));
+      ASSERT_TRUE(controller
+                      .report_external_load(
+                          host, static_cast<int>(rng.next_below(4)))
+                      .ok());
+    } else {
+      // Manual steering to a random declared option (may legitimately
+      // fail if resources do not fit; must never corrupt state).
+      size_t pick = rng.next_below(live.size());
+      const InstanceState* instance =
+          controller.state().find_instance(live[pick]);
+      ASSERT_NE(instance, nullptr);
+      const BundleState& bundle = instance->bundles[0];
+      auto choices = enumerate_choices(bundle.spec);
+      const OptionChoice& choice = choices[rng.next_below(choices.size())];
+      (void)controller.set_option(live[pick], bundle.spec.bundle, choice);
+    }
+    expect_accounting_exact(controller);
+    expect_consistent_views(controller);
+  }
+
+  EXPECT_GT(arrivals, 50);
+  EXPECT_GT(departures, 20);
+
+  // Drain: afterwards the cluster must be pristine.
+  for (InstanceId id : live) {
+    ASSERT_TRUE(controller.unregister(id).ok());
+  }
+  for (const auto& node : controller.topology().nodes()) {
+    EXPECT_NEAR(controller.state().pool->available_memory(node.id),
+                node.memory_mb, 1e-6);
+    EXPECT_EQ(controller.state().pool->process_count(node.id), 0);
+  }
+  EXPECT_EQ(controller.live_instances(), 0u);
+  auto final_predictions = controller.predictions();
+  ASSERT_TRUE(final_predictions.ok());
+  EXPECT_TRUE(final_predictions.value().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StormTest,
+                         ::testing::Values(1, 42, 1999, 20260707));
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,136 @@
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "db/wisconsin.h"
+
+namespace harmony::db {
+namespace {
+
+TEST(Wisconsin, TupleIs208Bytes) {
+  EXPECT_EQ(sizeof(WisconsinTuple), 208u);
+}
+
+TEST(Wisconsin, GeneratorProducesValidRelation) {
+  auto tuples = generate_wisconsin(1000, 42);
+  ASSERT_EQ(tuples.size(), 1000u);
+  std::set<int32_t> unique1;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    const auto& t = tuples[i];
+    unique1.insert(t.unique1);
+    EXPECT_EQ(t.unique2, static_cast<int32_t>(i)) << "unique2 sequential";
+    EXPECT_EQ(t.ten_percent, t.unique2 % 10);
+    EXPECT_EQ(t.one_percent, t.unique2 % 100);
+    EXPECT_EQ(t.two, t.unique1 % 2);
+    EXPECT_EQ(t.unique3, t.unique1);
+    EXPECT_EQ(t.stringu1[0], 'A');
+  }
+  EXPECT_EQ(unique1.size(), 1000u) << "unique1 is a permutation";
+  EXPECT_EQ(*unique1.begin(), 0);
+  EXPECT_EQ(*unique1.rbegin(), 999);
+}
+
+TEST(Wisconsin, DeterministicPerSeed) {
+  auto a = generate_wisconsin(100, 7);
+  auto b = generate_wisconsin(100, 7);
+  auto c = generate_wisconsin(100, 8);
+  EXPECT_EQ(a[0].unique1, b[0].unique1);
+  bool all_same = true;
+  for (size_t i = 0; i < 100; ++i) {
+    if (a[i].unique1 != c[i].unique1) all_same = false;
+  }
+  EXPECT_FALSE(all_same) << "different seeds give different permutations";
+}
+
+TEST(Wisconsin, TenPercentSelectivityHolds) {
+  auto tuples = generate_wisconsin(10000, 1);
+  size_t matching = 0;
+  for (const auto& t : tuples) {
+    if (t.ten_percent == 3) ++matching;
+  }
+  EXPECT_EQ(matching, 1000u) << "exactly 10% per bucket";
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>("wisc");
+    table_->bulk_load(generate_wisconsin(1000, 42));
+  }
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(TableTest, BulkLoadAndRowAccess) {
+  EXPECT_EQ(table_->row_count(), 1000u);
+  EXPECT_EQ(table_->bytes(), 1000u * 208u);
+  EXPECT_EQ(table_->row(5).unique2, 5);
+}
+
+TEST_F(TableTest, FullScanSelectWithoutIndex) {
+  uint64_t examined = 0;
+  auto rows = table_->select_eq(Attr::kTenPercent, 3, &examined);
+  EXPECT_EQ(rows.size(), 100u);
+  EXPECT_EQ(examined, 1000u) << "scan examines every row";
+  for (RowId id : rows) {
+    EXPECT_EQ(table_->row(id).ten_percent, 3);
+  }
+}
+
+TEST_F(TableTest, IndexedSelectExaminesOnlyMatches) {
+  table_->build_index(Attr::kTenPercent);
+  ASSERT_TRUE(table_->has_index(Attr::kTenPercent));
+  uint64_t examined = 0;
+  auto rows = table_->select_eq(Attr::kTenPercent, 3, &examined);
+  EXPECT_EQ(rows.size(), 100u);
+  EXPECT_EQ(examined, 100u) << "index touches only matching rows";
+}
+
+TEST_F(TableTest, IndexAndScanAgree) {
+  uint64_t ignored = 0;
+  auto scanned = table_->select_eq(Attr::kTenPercent, 7, &ignored);
+  table_->build_index(Attr::kTenPercent);
+  auto indexed = table_->select_eq(Attr::kTenPercent, 7, &ignored);
+  EXPECT_EQ(scanned, indexed);
+}
+
+TEST_F(TableTest, UniqueIndexFindsSingleRow) {
+  table_->build_index(Attr::kUnique1);
+  auto rows = table_->select_eq(Attr::kUnique1, 123);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(table_->row(rows[0]).unique1, 123);
+  EXPECT_TRUE(table_->select_eq(Attr::kUnique1, 99999).empty());
+}
+
+TEST_F(TableTest, InsertMaintainsIndexes) {
+  table_->build_index(Attr::kUnique1);
+  WisconsinTuple extra{};
+  extra.unique1 = 5555;
+  extra.ten_percent = 5;
+  RowId id = table_->insert(extra);
+  auto rows = table_->select_eq(Attr::kUnique1, 5555);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], id);
+}
+
+TEST_F(TableTest, ScanFilter) {
+  uint64_t examined = 0;
+  auto rows = table_->scan_filter(
+      [](const WisconsinTuple& t) { return t.unique1 < 10; }, &examined);
+  EXPECT_EQ(rows.size(), 10u);
+  EXPECT_EQ(examined, 1000u);
+}
+
+TEST(AttrHelpers, NamesAndValues) {
+  WisconsinTuple t{};
+  t.unique1 = 42;
+  t.ten_percent = 2;
+  EXPECT_STREQ(attr_name(Attr::kUnique1), "unique1");
+  EXPECT_STREQ(attr_name(Attr::kTenPercent), "tenPercent");
+  EXPECT_EQ(attr_value(t, Attr::kUnique1), 42);
+  EXPECT_EQ(attr_value(t, Attr::kTenPercent), 2);
+}
+
+}  // namespace
+}  // namespace harmony::db

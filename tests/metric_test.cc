@@ -1,0 +1,97 @@
+#include "metric/metric.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::metric {
+namespace {
+
+TEST(TimeSeries, StoresSamplesInOrder) {
+  TimeSeries ts;
+  ts.add(0.0, 1.0);
+  ts.add(1.0, 2.0);
+  ts.add(1.0, 3.0);  // equal times allowed
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.last_value(), 3.0);
+  EXPECT_DOUBLE_EQ(ts.last_time(), 1.0);
+}
+
+TEST(TimeSeries, StatsBetween) {
+  TimeSeries ts;
+  for (int i = 0; i <= 10; ++i) ts.add(i, i * 10.0);
+  auto stats = ts.stats_between(3.0, 5.0);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 40.0);
+  auto all = ts.stats_between(-100, 100);
+  EXPECT_EQ(all.count(), 11u);
+  auto none = ts.stats_between(20, 30);
+  EXPECT_EQ(none.count(), 0u);
+}
+
+TEST(TimeSeries, StatsWindowTrailing) {
+  TimeSeries ts;
+  for (int i = 0; i <= 10; ++i) ts.add(i, i * 1.0);
+  auto stats = ts.stats_window(2.0);
+  EXPECT_EQ(stats.count(), 3u);  // t = 8, 9, 10
+  EXPECT_DOUBLE_EQ(stats.mean(), 9.0);
+}
+
+TEST(TimeSeries, MeanOfAll) {
+  TimeSeries ts;
+  ts.add(0, 10);
+  ts.add(1, 20);
+  EXPECT_DOUBLE_EQ(ts.mean(), 15.0);
+  TimeSeries empty;
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+TEST(MetricRegistry, RecordAndLookup) {
+  MetricRegistry reg;
+  reg.record("app.response_time", 1.0, 9.5);
+  reg.record("app.response_time", 2.0, 10.5);
+  ASSERT_TRUE(reg.has("app.response_time"));
+  EXPECT_FALSE(reg.has("nope"));
+  EXPECT_EQ(reg.find("nope"), nullptr);
+  const TimeSeries* ts = reg.find("app.response_time");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_DOUBLE_EQ(ts->mean(), 10.0);
+}
+
+TEST(MetricRegistry, ObserversNotified) {
+  MetricRegistry reg;
+  std::vector<std::string> seen;
+  reg.subscribe([&](const std::string& name, double t, double v) {
+    seen.push_back(name + "@" + std::to_string(static_cast<int>(t)) + "=" +
+                   std::to_string(static_cast<int>(v)));
+  });
+  reg.record("x", 1, 10);
+  reg.record("y", 2, 20);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "x@1=10");
+  EXPECT_EQ(seen[1], "y@2=20");
+}
+
+TEST(MetricRegistry, NamesSorted) {
+  MetricRegistry reg;
+  reg.record("b", 0, 1);
+  reg.record("a", 0, 1);
+  reg.record("c", 0, 1);
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(MetricRegistry, CsvExport) {
+  MetricRegistry reg;
+  reg.record("m", 0.5, 1.25);
+  std::string csv = reg.export_csv("m");
+  EXPECT_NE(csv.find("time,value"), std::string::npos);
+  EXPECT_NE(csv.find("0.500000,1.250000"), std::string::npos);
+  EXPECT_EQ(reg.export_csv("absent"), "");
+}
+
+TEST(MetricRegistry, SeriesCreatesOnDemand) {
+  MetricRegistry reg;
+  reg.series("fresh").add(0, 1);
+  EXPECT_TRUE(reg.has("fresh"));
+}
+
+}  // namespace
+}  // namespace harmony::metric

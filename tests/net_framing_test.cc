@@ -1,0 +1,122 @@
+#include "net/framing.h"
+
+#include <gtest/gtest.h>
+
+#include "net/protocol.h"
+
+namespace harmony::net {
+namespace {
+
+TEST(Framing, EncodeDecodeRoundTrip) {
+  FrameBuffer buffer;
+  buffer.feed(encode_frame("hello"));
+  auto frame = buffer.next_frame();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(*frame.value(), "hello");
+  // Buffer drained.
+  auto next = buffer.next_frame();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next.value().has_value());
+  EXPECT_EQ(buffer.buffered_bytes(), 0u);
+}
+
+TEST(Framing, EmptyPayload) {
+  FrameBuffer buffer;
+  buffer.feed(encode_frame(""));
+  auto frame = buffer.next_frame();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(*frame.value(), "");
+}
+
+TEST(Framing, PartialDelivery) {
+  std::string wire = encode_frame("split across reads");
+  FrameBuffer buffer;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    buffer.feed(std::string_view(&wire[i], 1));
+    auto frame = buffer.next_frame();
+    ASSERT_TRUE(frame.ok());
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(frame.value().has_value()) << "byte " << i;
+    } else {
+      ASSERT_TRUE(frame.value().has_value());
+      EXPECT_EQ(*frame.value(), "split across reads");
+    }
+  }
+}
+
+TEST(Framing, MultipleFramesInOneChunk) {
+  FrameBuffer buffer;
+  buffer.feed(encode_frame("one") + encode_frame("two") + encode_frame("three"));
+  for (const char* expected : {"one", "two", "three"}) {
+    auto frame = buffer.next_frame();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(frame.value().has_value());
+    EXPECT_EQ(*frame.value(), expected);
+  }
+}
+
+TEST(Framing, BinaryPayloadSurvives) {
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  FrameBuffer buffer;
+  buffer.feed(encode_frame(payload));
+  auto frame = buffer.next_frame();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(*frame.value(), payload);
+}
+
+TEST(Framing, OversizedLengthIsProtocolError) {
+  FrameBuffer buffer;
+  buffer.feed(std::string("\xFF\xFF\xFF\xFF", 4));
+  auto frame = buffer.next_frame();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.error().code, ErrorCode::kProtocol);
+}
+
+TEST(Protocol, MessageRoundTrip) {
+  Message message{"REGISTER", {"harmonyBundle A:1 b {...}", "second arg"}};
+  auto decoded = Message::decode(message.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().verb, "REGISTER");
+  EXPECT_EQ(decoded.value().args, message.args);
+}
+
+TEST(Protocol, ArgsWithSpecialCharacters) {
+  Message message{"UPDATE",
+                  {"where.client.nodes", "sp2-00 sp2-01 {odd host}"}};
+  auto decoded = Message::decode(message.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().args[1], "sp2-00 sp2-01 {odd host}");
+}
+
+TEST(Protocol, BundleScriptSurvivesRoundTrip) {
+  const std::string script = R"(harmonyBundle DBclient:1 where {
+  {QS {node server {hostname server} {seconds 18} {memory 20}}}
+})";
+  Message message{"REGISTER", {script}};
+  auto decoded = Message::decode(message.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().args[0], script);
+}
+
+TEST(Protocol, HelperConstructors) {
+  auto ok = Message::ok({"42"});
+  EXPECT_EQ(ok.verb, "OK");
+  auto err = Message::err(ErrorCode::kNoMatch, "nothing fits");
+  EXPECT_EQ(err.verb, "ERR");
+  EXPECT_EQ(err.args[0], "no_match");
+  auto update = Message::update("where", "DS");
+  EXPECT_EQ(update.verb, "UPDATE");
+  EXPECT_EQ(update.args, (std::vector<std::string>{"where", "DS"}));
+}
+
+TEST(Protocol, MalformedRejected) {
+  EXPECT_FALSE(Message::decode("").ok());
+  EXPECT_FALSE(Message::decode("{unbalanced").ok());
+}
+
+}  // namespace
+}  // namespace harmony::net

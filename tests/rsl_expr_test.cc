@@ -1,0 +1,188 @@
+#include "rsl/expr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace harmony::rsl {
+namespace {
+
+double eval_num(const std::string& text, const ExprContext& ctx = {}) {
+  auto r = expr_eval_number(text, ctx);
+  EXPECT_TRUE(r.ok()) << text << ": "
+                      << (r.ok() ? "" : r.error().to_string());
+  return r.ok() ? r.value() : NAN;
+}
+
+ExprContext context_with(std::map<std::string, double> names) {
+  ExprContext ctx;
+  auto table = std::make_shared<std::map<std::string, double>>(std::move(names));
+  ctx.name_lookup = [table](const std::string& name, double* out) {
+    auto it = table->find(name);
+    if (it == table->end()) return false;
+    *out = it->second;
+    return true;
+  };
+  ctx.var_lookup = [table](const std::string& name, std::string* out) {
+    auto it = table->find(name);
+    if (it == table->end()) return false;
+    *out = std::to_string(it->second);
+    return true;
+  };
+  return ctx;
+}
+
+TEST(Expr, Arithmetic) {
+  EXPECT_DOUBLE_EQ(eval_num("1 + 2 * 3"), 7.0);
+  EXPECT_DOUBLE_EQ(eval_num("(1 + 2) * 3"), 9.0);
+  EXPECT_DOUBLE_EQ(eval_num("10 / 4"), 2.5);
+  EXPECT_DOUBLE_EQ(eval_num("7 % 3"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_num("-3 + 5"), 2.0);
+  EXPECT_DOUBLE_EQ(eval_num("2 ** 10"), 1024.0);
+  EXPECT_DOUBLE_EQ(eval_num("2 ** 3 ** 2"), 512.0);  // right associative
+}
+
+TEST(Expr, Comparisons) {
+  EXPECT_DOUBLE_EQ(eval_num("3 < 4"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_num("3 > 4"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_num("4 <= 4"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_num("4 >= 5"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_num("4 == 4"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_num("4 != 4"), 0.0);
+}
+
+TEST(Expr, Logical) {
+  EXPECT_DOUBLE_EQ(eval_num("1 && 0"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_num("1 || 0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_num("!1"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_num("!0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_num("1 < 2 && 2 < 3"), 1.0);
+}
+
+TEST(Expr, Ternary) {
+  EXPECT_DOUBLE_EQ(eval_num("1 ? 10 : 20"), 10.0);
+  EXPECT_DOUBLE_EQ(eval_num("0 ? 10 : 20"), 20.0);
+  EXPECT_DOUBLE_EQ(eval_num("1 ? 0 ? 1 : 2 : 3"), 2.0);  // nested
+  EXPECT_DOUBLE_EQ(eval_num("3 > 2 ? 3 - 2 : 2 - 3"), 1.0);
+}
+
+TEST(Expr, Functions) {
+  EXPECT_DOUBLE_EQ(eval_num("abs(-4)"), 4.0);
+  EXPECT_DOUBLE_EQ(eval_num("sqrt(16)"), 4.0);
+  EXPECT_DOUBLE_EQ(eval_num("pow(2, 8)"), 256.0);
+  EXPECT_DOUBLE_EQ(eval_num("min(3, 1, 2)"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_num("max(3, 1, 2)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval_num("floor(2.7)"), 2.0);
+  EXPECT_DOUBLE_EQ(eval_num("ceil(2.1)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval_num("round(2.5)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval_num("int(2.9)"), 2.0);
+  EXPECT_NEAR(eval_num("exp(log(5))"), 5.0, 1e-12);
+}
+
+TEST(Expr, ScientificNotation) {
+  EXPECT_DOUBLE_EQ(eval_num("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(eval_num("2.5e-2"), 0.025);
+  EXPECT_DOUBLE_EQ(eval_num("1e3 + 1E2"), 1100.0);
+}
+
+TEST(Expr, NameResolution) {
+  auto ctx = context_with({{"client.memory", 32.0}, {"workerNodes", 8.0}});
+  EXPECT_DOUBLE_EQ(eval_num("client.memory * 2", ctx), 64.0);
+  EXPECT_DOUBLE_EQ(eval_num("0.5 * workerNodes * workerNodes", ctx), 32.0);
+}
+
+TEST(Expr, PaperDataShippingBandwidth) {
+  // Figure 3: link client server {44 + (client.memory > 24 ? 24 :
+  // client.memory) - 17}
+  const std::string expr =
+      "44 + (client.memory > 24 ? 24 : client.memory) - 17";
+  EXPECT_DOUBLE_EQ(eval_num(expr, context_with({{"client.memory", 17}})), 44.0);
+  EXPECT_DOUBLE_EQ(eval_num(expr, context_with({{"client.memory", 24}})), 51.0);
+  EXPECT_DOUBLE_EQ(eval_num(expr, context_with({{"client.memory", 32}})), 51.0);
+  EXPECT_DOUBLE_EQ(eval_num(expr, context_with({{"client.memory", 20}})), 47.0);
+}
+
+TEST(Expr, DollarVariables) {
+  auto ctx = context_with({{"n", 4.0}});
+  EXPECT_DOUBLE_EQ(eval_num("$n + 1", ctx), 5.0);
+  EXPECT_DOUBLE_EQ(eval_num("1200.0 / $n", ctx), 300.0);
+}
+
+TEST(Expr, StringEquality) {
+  ExprContext ctx;
+  ctx.var_lookup = [](const std::string& name, std::string* out) {
+    if (name == "os") {
+      *out = "linux";
+      return true;
+    }
+    return false;
+  };
+  EXPECT_DOUBLE_EQ(eval_num("$os eq \"linux\"", ctx), 1.0);
+  EXPECT_DOUBLE_EQ(eval_num("$os eq \"aix\"", ctx), 0.0);
+  EXPECT_DOUBLE_EQ(eval_num("$os ne \"aix\"", ctx), 1.0);
+  EXPECT_DOUBLE_EQ(eval_num("\"abc\" == \"abc\""), 1.0);
+}
+
+TEST(Expr, Errors) {
+  EXPECT_FALSE(expr_eval_number("1 +", {}).ok());
+  EXPECT_FALSE(expr_eval_number("(1 + 2", {}).ok());
+  EXPECT_FALSE(expr_eval_number("1 / 0", {}).ok());
+  EXPECT_FALSE(expr_eval_number("nosuchname + 1", {}).ok());
+  EXPECT_FALSE(expr_eval_number("nosuchfn(1)", {}).ok());
+  EXPECT_FALSE(expr_eval_number("1 ? 2", {}).ok());
+  EXPECT_FALSE(expr_eval_number("", {}).ok());
+  EXPECT_FALSE(expr_eval_number("sqrt(-1)", {}).ok());
+}
+
+TEST(Expr, UnknownVariableIsError) {
+  ExprContext ctx;
+  ctx.var_lookup = [](const std::string&, std::string*) { return false; };
+  EXPECT_FALSE(expr_eval_number("$missing", ctx).ok());
+}
+
+TEST(Expr, WhitespaceInsensitive) {
+  EXPECT_DOUBLE_EQ(eval_num("  1+2 "), 3.0);
+  EXPECT_DOUBLE_EQ(eval_num("1   +   2"), 3.0);
+  EXPECT_DOUBLE_EQ(eval_num("min( 1 , 2 )"), 1.0);
+}
+
+TEST(ExprEvalString, FormatsLikeTcl) {
+  auto r = expr_eval("1 + 1", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "2");
+  r = expr_eval("5 / 2", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "2.5");
+  r = expr_eval("\"text\"", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "text");
+}
+
+struct ExprCase {
+  const char* text;
+  double expected;
+};
+
+class ExprGolden : public ::testing::TestWithParam<ExprCase> {};
+
+TEST_P(ExprGolden, Evaluates) {
+  EXPECT_DOUBLE_EQ(eval_num(GetParam().text), GetParam().expected)
+      << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ExprGolden,
+    ::testing::Values(
+        ExprCase{"0", 0}, ExprCase{"-0", 0}, ExprCase{".5 * 4", 2},
+        ExprCase{"1 + 2 + 3 + 4", 10}, ExprCase{"100 - 10 - 5", 85},
+        ExprCase{"2 * 3 % 4", 2}, ExprCase{"1 < 2 < 3", 1},
+        ExprCase{"(1 > 2) || (3 > 2)", 1},
+        ExprCase{"!(1 && 0)", 1},
+        ExprCase{"min(max(1, 5), 3)", 3},
+        ExprCase{"abs(-2) ** 3", 8},
+        ExprCase{"-2 ** 2", -4},  // unary minus binds looser than **
+        ExprCase{"10 % 3 == 1 ? 100 : 200", 100}));
+
+}  // namespace
+}  // namespace harmony::rsl

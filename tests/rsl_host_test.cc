@@ -1,0 +1,112 @@
+#include "rsl/rsl.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::rsl {
+namespace {
+
+TEST(RslHost, BundleCallbackReceivesParsedSpec) {
+  RslHost host;
+  std::vector<BundleSpec> bundles;
+  host.on_bundle([&](const BundleSpec& bundle) {
+    bundles.push_back(bundle);
+    return Status::Ok();
+  });
+
+  Interp interp;
+  host.register_with(interp);
+  auto r = interp.eval(R"(harmonyBundle Bag:1 parallelism {
+    {var
+      {variable workerNodes {1 2 4 8}}
+      {node worker {seconds {1200.0 / workerNodes}} {memory 16}
+            {replicate {workerNodes}}}
+      {communication {0.5 * workerNodes * workerNodes}}}
+  })");
+  ASSERT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  EXPECT_EQ(r.value(), "Bag.1.parallelism");
+  ASSERT_EQ(bundles.size(), 1u);
+  EXPECT_EQ(bundles[0].application, "Bag");
+  EXPECT_EQ(bundles[0].options[0].variables[0].name, "workerNodes");
+}
+
+TEST(RslHost, NodeCallbackReceivesAd) {
+  RslHost host;
+  std::vector<NodeAd> nodes;
+  host.on_node([&](const NodeAd& ad) {
+    nodes.push_back(ad);
+    return Status::Ok();
+  });
+
+  Interp interp;
+  host.register_with(interp);
+  ASSERT_TRUE(interp
+                  .eval("harmonyNode sp2-01 {speed 1.0} {memory 128} {os aix}\n"
+                        "harmonyNode sp2-02 {speed 1.0} {memory 128} {os aix}")
+                  .ok());
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[1].name, "sp2-02");
+}
+
+TEST(RslHost, HandlerErrorPropagates) {
+  RslHost host;
+  host.on_bundle([](const BundleSpec&) {
+    return Status(ErrorCode::kAlreadyExists, "duplicate bundle");
+  });
+  Interp interp;
+  host.register_with(interp);
+  auto r = interp.eval("harmonyBundle A:1 b {{o {node n {seconds 1}}}}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kAlreadyExists);
+}
+
+TEST(RslHost, MalformedBundleIsError) {
+  RslHost host;
+  Interp interp;
+  host.register_with(interp);
+  EXPECT_FALSE(interp.eval("harmonyBundle A:1 b {{o {frobnicate}}}").ok());
+  EXPECT_FALSE(interp.eval("harmonyBundle A:1 b").ok());  // arity
+}
+
+TEST(RslHost, ScriptsCanComputeBundlesProgrammatically) {
+  // Applications generate bundles with loops — the RSL is a real
+  // language, not a config format.
+  RslHost host;
+  std::vector<BundleSpec> bundles;
+  host.on_bundle([&](const BundleSpec& bundle) {
+    bundles.push_back(bundle);
+    return Status::Ok();
+  });
+  Interp interp;
+  host.register_with(interp);
+  auto r = interp.eval(R"(
+set opts {}
+foreach n {2 4 8} {
+  lappend opts [list p$n [list node worker [list seconds [expr {600.0 / $n}]] {memory 8} [list replicate $n]]]
+}
+harmonyBundle Sweep:1 width $opts
+)");
+  ASSERT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  ASSERT_EQ(bundles.size(), 1u);
+  ASSERT_EQ(bundles[0].options.size(), 3u);
+  EXPECT_EQ(bundles[0].options[0].name, "p2");
+  EXPECT_DOUBLE_EQ(
+      bundles[0].options[2].nodes[0].replicate.eval_constant().value(), 8.0);
+  EXPECT_DOUBLE_EQ(
+      bundles[0].options[1].nodes[0].seconds.eval_constant().value(), 150.0);
+}
+
+TEST(RslHost, EvalScriptConvenience) {
+  RslHost host;
+  int count = 0;
+  host.on_node([&](const NodeAd&) {
+    ++count;
+    return Status::Ok();
+  });
+  auto status = host.eval_script("harmonyNode a {speed 2}\nharmonyNode b");
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(host.eval_script("harmonyNode").ok());
+}
+
+}  // namespace
+}  // namespace harmony::rsl

@@ -1,0 +1,321 @@
+#include "rsl/interp.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::rsl {
+namespace {
+
+std::string eval_ok(Interp& interp, const std::string& script) {
+  auto r = interp.eval(script);
+  EXPECT_TRUE(r.ok()) << script << " -> "
+                      << (r.ok() ? "" : r.error().to_string());
+  return r.ok() ? r.value() : "<error: " + r.error().to_string() + ">";
+}
+
+TEST(Interp, SetAndGet) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "set x 42"), "42");
+  EXPECT_EQ(eval_ok(interp, "set x"), "42");
+  EXPECT_EQ(eval_ok(interp, "set y $x"), "42");
+}
+
+TEST(Interp, UnknownVariableIsError) {
+  Interp interp;
+  auto r = interp.eval("set y $nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("nope"), std::string::npos);
+}
+
+TEST(Interp, UnknownCommandIsError) {
+  Interp interp;
+  auto r = interp.eval("frobnicate 1 2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("frobnicate"), std::string::npos);
+}
+
+TEST(Interp, CommandSubstitution) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "set x [expr {2 + 3}]"), "5");
+  EXPECT_EQ(eval_ok(interp, "set y a[expr {1 + 1}]b"), "a2b");
+}
+
+TEST(Interp, ExprWithVariables) {
+  Interp interp;
+  eval_ok(interp, "set n 4");
+  EXPECT_EQ(eval_ok(interp, "expr {$n * $n}"), "16");
+  EXPECT_EQ(eval_ok(interp, "expr {0.5 * $n}"), "2");
+}
+
+TEST(Interp, IfElse) {
+  Interp interp;
+  eval_ok(interp, "set x 5");
+  EXPECT_EQ(eval_ok(interp, "if {$x > 3} {set r big} else {set r small}"),
+            "big");
+  eval_ok(interp, "set x 1");
+  EXPECT_EQ(eval_ok(interp, "if {$x > 3} {set r big} else {set r small}"),
+            "small");
+}
+
+TEST(Interp, IfElseifChain) {
+  Interp interp;
+  for (auto [n, expected] : std::vector<std::pair<int, std::string>>{
+           {1, "one"}, {2, "two"}, {9, "many"}}) {
+    interp.set_var("n", std::to_string(n));
+    EXPECT_EQ(eval_ok(interp,
+                      "if {$n == 1} {set r one} elseif {$n == 2} {set r two} "
+                      "else {set r many}"),
+              expected);
+  }
+}
+
+TEST(Interp, WhileLoop) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp,
+                    "set i 0\nset sum 0\nwhile {$i < 5} {incr sum $i; incr i}\n"
+                    "set sum"),
+            "10");
+}
+
+TEST(Interp, ForLoop) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp,
+                    "set sum 0\nfor {set i 1} {$i <= 4} {incr i} "
+                    "{set sum [expr {$sum + $i * $i}]}\nset sum"),
+            "30");
+}
+
+TEST(Interp, ForeachOverList) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp,
+                    "set total 0\nforeach w {1 2 4 8} {incr total $w}\n"
+                    "set total"),
+            "15");
+}
+
+TEST(Interp, BreakAndContinue) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp,
+                    "set sum 0\nforeach x {1 2 3 4 5} {\n"
+                    "  if {$x == 2} {continue}\n"
+                    "  if {$x == 4} {break}\n"
+                    "  incr sum $x\n}\nset sum"),
+            "4");
+}
+
+TEST(Interp, ProcDefinitionAndCall) {
+  Interp interp;
+  eval_ok(interp, "proc square {x} {return [expr {$x * $x}]}");
+  EXPECT_EQ(eval_ok(interp, "square 7"), "49");
+}
+
+TEST(Interp, ProcDefaultArguments) {
+  Interp interp;
+  eval_ok(interp, "proc greet {name {greeting hello}} {return \"$greeting $name\"}");
+  EXPECT_EQ(eval_ok(interp, "greet world"), "hello world");
+  EXPECT_EQ(eval_ok(interp, "greet world hi"), "hi world");
+}
+
+TEST(Interp, ProcVarargs) {
+  Interp interp;
+  eval_ok(interp, "proc count {first args} {return [llength $args]}");
+  EXPECT_EQ(eval_ok(interp, "count a b c d"), "3");
+}
+
+TEST(Interp, ProcLocalScope) {
+  Interp interp;
+  eval_ok(interp, "set x global_value");
+  eval_ok(interp, "proc shadow {} {set x local_value; return $x}");
+  EXPECT_EQ(eval_ok(interp, "shadow"), "local_value");
+  EXPECT_EQ(eval_ok(interp, "set x"), "global_value");
+}
+
+TEST(Interp, ProcReadsGlobals) {
+  Interp interp;
+  eval_ok(interp, "set g 11");
+  eval_ok(interp, "proc readg {} {return $g}");
+  EXPECT_EQ(eval_ok(interp, "readg"), "11");
+}
+
+TEST(Interp, ProcMissingArgumentIsError) {
+  Interp interp;
+  eval_ok(interp, "proc need2 {a b} {return $a$b}");
+  EXPECT_FALSE(interp.eval("need2 onlyone").ok());
+}
+
+TEST(Interp, RecursionWorksAndIsBounded) {
+  Interp interp;
+  eval_ok(interp,
+          "proc fact {n} {if {$n <= 1} {return 1}\n"
+          "return [expr {$n * [fact [expr {$n - 1}]]}]}");
+  EXPECT_EQ(eval_ok(interp, "fact 10"), "3628800");
+  // Unbounded recursion must fail cleanly, not crash.
+  eval_ok(interp, "proc forever {} {forever}");
+  auto r = interp.eval("forever");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("recursion"), std::string::npos);
+}
+
+TEST(Interp, CatchCapturesErrors) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "catch {error boom} msg"), "1");
+  EXPECT_EQ(eval_ok(interp, "set msg"), "boom");
+  EXPECT_EQ(eval_ok(interp, "catch {set ok 1} msg"), "0");
+}
+
+TEST(Interp, PutsCapturedInOutput) {
+  Interp interp;
+  eval_ok(interp, "puts hello\nputs -nonewline wor\nputs ld");
+  EXPECT_EQ(interp.output(), "hello\nworld\n");
+}
+
+TEST(Interp, ListCommands) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "list a {b c} d"), "a {b c} d");
+  EXPECT_EQ(eval_ok(interp, "llength {a {b c} d}"), "3");
+  EXPECT_EQ(eval_ok(interp, "lindex {a b c} 1"), "b");
+  EXPECT_EQ(eval_ok(interp, "lindex {a b c} end"), "c");
+  EXPECT_EQ(eval_ok(interp, "lindex {a b c} end-1"), "b");
+  EXPECT_EQ(eval_ok(interp, "lindex {a b c} 99"), "");
+  EXPECT_EQ(eval_ok(interp, "lrange {a b c d e} 1 3"), "b c d");
+}
+
+TEST(Interp, LappendBuildsLists) {
+  Interp interp;
+  eval_ok(interp, "lappend acc one");
+  eval_ok(interp, "lappend acc {two words}");
+  EXPECT_EQ(eval_ok(interp, "set acc"), "one {two words}");
+  EXPECT_EQ(eval_ok(interp, "llength $acc"), "2");
+}
+
+TEST(Interp, LsortVariants) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "lsort {banana apple cherry}"),
+            "apple banana cherry");
+  EXPECT_EQ(eval_ok(interp, "lsort -integer {10 2 33 4}"), "2 4 10 33");
+  EXPECT_EQ(eval_ok(interp, "lsort -integer -decreasing {10 2 33 4}"),
+            "33 10 4 2");
+}
+
+TEST(Interp, StringCommands) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "string length harmony"), "7");
+  EXPECT_EQ(eval_ok(interp, "string tolower ABC"), "abc");
+  EXPECT_EQ(eval_ok(interp, "string toupper abc"), "ABC");
+  EXPECT_EQ(eval_ok(interp, "string index abcdef 2"), "c");
+  EXPECT_EQ(eval_ok(interp, "string range abcdef 1 3"), "bcd");
+  EXPECT_EQ(eval_ok(interp, "string equal a a"), "1");
+  EXPECT_EQ(eval_ok(interp, "string match {harmony.*} harmony.cs.umd.edu"), "1");
+  EXPECT_EQ(eval_ok(interp, "string trim {  x  }"), "x");
+}
+
+TEST(Interp, SplitAndJoin) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "split a.b.c ."), "a b c");
+  EXPECT_EQ(eval_ok(interp, "join {a b c} -"), "a-b-c");
+}
+
+TEST(Interp, InfoExists) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "info exists nope"), "0");
+  eval_ok(interp, "set yes 1");
+  EXPECT_EQ(eval_ok(interp, "info exists yes"), "1");
+}
+
+TEST(Interp, Format) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "format {%d quer%s in %.1f s} 3 ies 2.25"),
+            "3 queries in 2.2 s");
+  EXPECT_EQ(eval_ok(interp, "format {%05d} 42"), "00042");
+  EXPECT_EQ(eval_ok(interp, "format {100%%}"), "100%");
+}
+
+TEST(Interp, IncrDefaultsAndAmount) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "incr fresh"), "1");
+  EXPECT_EQ(eval_ok(interp, "incr fresh 10"), "11");
+  EXPECT_EQ(eval_ok(interp, "incr fresh -1"), "10");
+}
+
+TEST(Interp, EvalCommand) {
+  Interp interp;
+  eval_ok(interp, "set cmd {set inner 5}");
+  EXPECT_EQ(eval_ok(interp, "eval $cmd"), "5");
+  EXPECT_EQ(eval_ok(interp, "set inner"), "5");
+}
+
+TEST(Interp, NestedProcsComposingModels) {
+  // The shape of an application-supplied performance model script.
+  Interp interp;
+  eval_ok(interp, R"(
+proc commcost {workers} {return [expr {0.5 * $workers * $workers}]}
+proc runtime {workers} {
+  set compute [expr {1200.0 / $workers}]
+  set comm [commcost $workers]
+  return [expr {$compute + $comm}]
+}
+)");
+  EXPECT_EQ(eval_ok(interp, "runtime 1"), "1200.5");
+  EXPECT_EQ(eval_ok(interp, "runtime 4"), "308");
+  EXPECT_EQ(eval_ok(interp, "runtime 8"), "182");
+}
+
+TEST(Interp, SwitchExactAndDefault) {
+  Interp interp;
+  eval_ok(interp, "proc classify {x} {switch $x {QS {return query} DS {return data} default {return other}}}");
+  EXPECT_EQ(eval_ok(interp, "classify QS"), "query");
+  EXPECT_EQ(eval_ok(interp, "classify DS"), "data");
+  EXPECT_EQ(eval_ok(interp, "classify XX"), "other");
+}
+
+TEST(Interp, SwitchGlobAndFallThrough) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp,
+                    "switch -glob sp2-07 {server {set r s} sp2-* {set r worker} "
+                    "default {set r unknown}}"),
+            "worker");
+  // "-" chains patterns to the next body.
+  EXPECT_EQ(eval_ok(interp, "switch b {a - b {set r ab} default {set r d}}"),
+            "ab");
+}
+
+TEST(Interp, SwitchNoMatchYieldsEmpty) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "switch zz {a {set r 1} b {set r 2}}"), "");
+  EXPECT_FALSE(interp.eval("switch zz {a}").ok()) << "odd clause count";
+}
+
+TEST(Interp, Lsearch) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "lsearch {sp2-00 sp2-01 server} server"), "2");
+  EXPECT_EQ(eval_ok(interp, "lsearch {sp2-00 sp2-01 server} {sp2-*}"), "0");
+  EXPECT_EQ(eval_ok(interp, "lsearch {a b c} z"), "-1");
+}
+
+TEST(Interp, Lreverse) {
+  Interp interp;
+  EXPECT_EQ(eval_ok(interp, "lreverse {1 2 3}"), "3 2 1");
+  EXPECT_EQ(eval_ok(interp, "lreverse {{a b} c}"), "c {a b}");
+  EXPECT_EQ(eval_ok(interp, "lreverse {}"), "");
+}
+
+TEST(Interp, WhileIterationLimitStopsRunaway) {
+  Interp interp;
+  auto r = interp.eval("while {1} {set x 1}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("iteration limit"), std::string::npos);
+}
+
+TEST(Interp, RegisteredCustomCommand) {
+  Interp interp;
+  interp.register_command(
+      "double", [](Interp&, const std::vector<std::string>& argv)
+          -> Result<std::string> {
+        long long v = std::stoll(argv.at(1));
+        return std::to_string(v * 2);
+      });
+  EXPECT_EQ(eval_ok(interp, "double 21"), "42");
+  EXPECT_TRUE(interp.has_command("double"));
+}
+
+}  // namespace
+}  // namespace harmony::rsl

@@ -1,0 +1,165 @@
+#include "rsl/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::rsl {
+namespace {
+
+TEST(ParseScript, SingleCommand) {
+  auto r = parse_script("set x 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  ASSERT_EQ(r.value()[0].words.size(), 3u);
+  EXPECT_TRUE(r.value()[0].words[0].is_literal());
+  EXPECT_EQ(r.value()[0].words[0].literal_text(), "set");
+  EXPECT_EQ(r.value()[0].words[2].literal_text(), "1");
+}
+
+TEST(ParseScript, MultipleCommandsNewlineAndSemicolon) {
+  auto r = parse_script("set x 1\nset y 2; set z 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(ParseScript, CommentsSkipped) {
+  auto r = parse_script("# a comment\nset x 1\n# another");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 1u);
+}
+
+TEST(ParseScript, BracedWordIsLiteral) {
+  auto r = parse_script("set x {a $b [c]}");
+  ASSERT_TRUE(r.ok());
+  const auto& w = r.value()[0].words[2];
+  EXPECT_EQ(w.kind, WordKind::kBraced);
+  EXPECT_EQ(w.literal, "a $b [c]");
+}
+
+TEST(ParseScript, NestedBraces) {
+  auto r = parse_script("cmd {a {b {c}} d}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].words[1].literal, "a {b {c}} d");
+}
+
+TEST(ParseScript, VariableSegments) {
+  auto r = parse_script("set x a$b.c");
+  ASSERT_TRUE(r.ok());
+  const auto& w = r.value()[0].words[2];
+  ASSERT_EQ(w.segments.size(), 2u);
+  EXPECT_EQ(w.segments[0].kind, SegKind::kLiteral);
+  EXPECT_EQ(w.segments[0].text, "a");
+  EXPECT_EQ(w.segments[1].kind, SegKind::kVariable);
+  EXPECT_EQ(w.segments[1].text, "b.c");  // dots are variable chars
+}
+
+TEST(ParseScript, BracedVariableName) {
+  auto r = parse_script("set x ${weird name}");
+  ASSERT_TRUE(r.ok());
+  const auto& w = r.value()[0].words[2];
+  ASSERT_EQ(w.segments.size(), 1u);
+  EXPECT_EQ(w.segments[0].kind, SegKind::kVariable);
+  EXPECT_EQ(w.segments[0].text, "weird name");
+}
+
+TEST(ParseScript, CommandSubstitutionSegment) {
+  auto r = parse_script("set x [expr 1 + 2]");
+  ASSERT_TRUE(r.ok());
+  const auto& w = r.value()[0].words[2];
+  ASSERT_EQ(w.segments.size(), 1u);
+  EXPECT_EQ(w.segments[0].kind, SegKind::kCommand);
+  EXPECT_EQ(w.segments[0].text, "expr 1 + 2");
+}
+
+TEST(ParseScript, NestedBrackets) {
+  auto r = parse_script("set x [a [b c]]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].words[2].segments[0].text, "a [b c]");
+}
+
+TEST(ParseScript, QuotedWordsAllowSpaces) {
+  auto r = parse_script("set x \"hello world\"");
+  ASSERT_TRUE(r.ok());
+  const auto& w = r.value()[0].words[2];
+  ASSERT_EQ(w.segments.size(), 1u);
+  EXPECT_EQ(w.segments[0].text, "hello world");
+}
+
+TEST(ParseScript, QuotedWordWithSubstitution) {
+  auto r = parse_script("set x \"v=$v\"");
+  ASSERT_TRUE(r.ok());
+  const auto& w = r.value()[0].words[2];
+  ASSERT_EQ(w.segments.size(), 2u);
+  EXPECT_EQ(w.segments[0].text, "v=");
+  EXPECT_EQ(w.segments[1].kind, SegKind::kVariable);
+}
+
+TEST(ParseScript, EscapesInBareWords) {
+  auto r = parse_script("set x a\\nb");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].words[2].segments[0].text, "a\nb");
+}
+
+TEST(ParseScript, LineContinuation) {
+  auto r = parse_script("set x \\\n 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].words.size(), 3u);
+}
+
+TEST(ParseScript, MultilineBracedArgumentSpansCommands) {
+  auto r = parse_script("proc f {} {\n set a 1\n set b 2\n}\nset x 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0].words.size(), 4u);
+}
+
+TEST(ParseScript, ErrorsCarryLineNumbers) {
+  auto r = parse_script("set x 1\nset y {unclosed");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("line 2"), std::string::npos)
+      << r.error().message;
+}
+
+TEST(ParseScript, UnbalancedBracketsFail) {
+  EXPECT_FALSE(parse_script("set x [a").ok());
+}
+
+TEST(ParseScript, UnterminatedQuoteFails) {
+  EXPECT_FALSE(parse_script("set x \"abc").ok());
+}
+
+TEST(ParseScript, EmptyScript) {
+  auto r = parse_script("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+  r = parse_script("\n\n;;\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(ParseScript, DollarWithoutNameIsLiteral) {
+  auto r = parse_script("set x a$ b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].words[2].segments[0].text, "a$");
+}
+
+TEST(ParseScript, PaperBundleParsesAsOneCommand) {
+  const char* script = R"(harmonyBundle DBclient:1 where {
+  {QS
+    {node server {hostname harmony.cs.umd.edu} {seconds 42} {memory 20}}
+    {node client {hostname *} {os linux} {seconds 1} {memory 2}}
+    {link client server 10}}
+  {DS
+    {node server {hostname harmony.cs.umd.edu} {seconds 1} {memory 20}}
+    {node client {hostname *} {os linux} {memory >=17} {seconds 9}}
+    {link client server {44 + (client.memory > 24 ? 24 : client.memory) - 17}}}
+})";
+  auto r = parse_script(script);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].words.size(), 4u);
+  EXPECT_EQ(r.value()[0].words[0].literal_text(), "harmonyBundle");
+}
+
+}  // namespace
+}  // namespace harmony::rsl

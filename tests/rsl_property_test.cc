@@ -1,0 +1,202 @@
+// Property tests for the RSL substrate: randomly generated lists must
+// round-trip through the TCL list codec, and randomly generated
+// expression trees must evaluate to the value computed directly from
+// the tree (an independent reference evaluator).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "rsl/expr.h"
+#include "rsl/value.h"
+
+namespace harmony::rsl {
+namespace {
+
+// --- list round-trip ------------------------------------------------------
+
+std::string random_element(Rng& rng) {
+  static const char* const kAlphabet =
+      "abcXYZ012 \t{}[]$;\\\"autumn.:-+*/";
+  size_t length = rng.next_below(12);
+  std::string out;
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng.next_below(31)]);
+  }
+  return out;
+}
+
+class ListRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ListRoundTripProperty, RandomListsSurvive) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::string> original;
+    size_t n = rng.next_below(8);
+    for (size_t i = 0; i < n; ++i) original.push_back(random_element(rng));
+    std::string wire = list_build(original);
+    auto parsed = list_parse(wire);
+    ASSERT_TRUE(parsed.ok()) << "wire: [" << wire << "]";
+    EXPECT_EQ(parsed.value(), original) << "wire: [" << wire << "]";
+  }
+}
+
+TEST_P(ListRoundTripProperty, NestedListsSurvive) {
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Two-level nesting: a list of lists, as bundles use heavily.
+    std::vector<std::string> outer;
+    size_t n = 1 + rng.next_below(4);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<std::string> inner;
+      size_t m = rng.next_below(5);
+      for (size_t j = 0; j < m; ++j) inner.push_back(random_element(rng));
+      outer.push_back(list_build(inner));
+    }
+    auto parsed = list_parse(list_build(outer));
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed.value().size(), outer.size());
+    for (size_t i = 0; i < outer.size(); ++i) {
+      auto inner = list_parse(parsed.value()[i]);
+      auto expected = list_parse(outer[i]);
+      ASSERT_TRUE(inner.ok() && expected.ok());
+      EXPECT_EQ(inner.value(), expected.value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListRoundTripProperty,
+                         ::testing::Values(1, 7, 99, 12345));
+
+// --- expression tree vs printed-and-parsed evaluation -----------------------
+
+struct Node {
+  enum Kind { kNumber, kAdd, kSub, kMul, kDiv, kMin, kMax, kTernary } kind;
+  double number = 0;
+  std::unique_ptr<Node> a, b, c;
+};
+
+std::unique_ptr<Node> random_tree(Rng& rng, int depth) {
+  auto node = std::make_unique<Node>();
+  if (depth <= 0 || rng.next_bool(0.3)) {
+    node->kind = Node::kNumber;
+    // Small integers and halves keep evaluation exact in doubles.
+    node->number = static_cast<double>(rng.next_int(-20, 20)) / 2.0;
+    return node;
+  }
+  switch (rng.next_below(6)) {
+    case 0: node->kind = Node::kAdd; break;
+    case 1: node->kind = Node::kSub; break;
+    case 2: node->kind = Node::kMul; break;
+    case 3: node->kind = Node::kMin; break;
+    case 4: node->kind = Node::kMax; break;
+    default: node->kind = Node::kTernary; break;
+  }
+  node->a = random_tree(rng, depth - 1);
+  node->b = random_tree(rng, depth - 1);
+  if (node->kind == Node::kTernary) node->c = random_tree(rng, depth - 1);
+  return node;
+}
+
+double reference_eval(const Node& node) {
+  switch (node.kind) {
+    case Node::kNumber: return node.number;
+    case Node::kAdd: return reference_eval(*node.a) + reference_eval(*node.b);
+    case Node::kSub: return reference_eval(*node.a) - reference_eval(*node.b);
+    case Node::kMul: return reference_eval(*node.a) * reference_eval(*node.b);
+    case Node::kDiv: return reference_eval(*node.a) / reference_eval(*node.b);
+    case Node::kMin:
+      return std::min(reference_eval(*node.a), reference_eval(*node.b));
+    case Node::kMax:
+      return std::max(reference_eval(*node.a), reference_eval(*node.b));
+    case Node::kTernary:
+      return reference_eval(*node.a) != 0.0 ? reference_eval(*node.b)
+                                            : reference_eval(*node.c);
+  }
+  return 0;
+}
+
+// Prints with explicit parentheses so the only thing under test is the
+// evaluator, not precedence coincidences.
+std::string print(const Node& node) {
+  switch (node.kind) {
+    case Node::kNumber:
+      return node.number < 0
+                 ? "(0 - " + format_number(-node.number) + ")"
+                 : format_number(node.number);
+    case Node::kAdd: return "(" + print(*node.a) + " + " + print(*node.b) + ")";
+    case Node::kSub: return "(" + print(*node.a) + " - " + print(*node.b) + ")";
+    case Node::kMul: return "(" + print(*node.a) + " * " + print(*node.b) + ")";
+    case Node::kDiv: return "(" + print(*node.a) + " / " + print(*node.b) + ")";
+    case Node::kMin: return "min(" + print(*node.a) + ", " + print(*node.b) + ")";
+    case Node::kMax: return "max(" + print(*node.a) + ", " + print(*node.b) + ")";
+    case Node::kTernary:
+      return "(" + print(*node.a) + " ? " + print(*node.b) + " : " +
+             print(*node.c) + ")";
+  }
+  return "0";
+}
+
+class ExprTreeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExprTreeProperty, PrintedTreesEvaluateToReferenceValue) {
+  Rng rng(GetParam());
+  int evaluated = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    auto tree = random_tree(rng, 4);
+    double expected = reference_eval(*tree);
+    if (!std::isfinite(expected)) continue;
+    std::string text = print(*tree);
+    auto actual = expr_eval_number(text, {});
+    ASSERT_TRUE(actual.ok()) << text << ": " << actual.error().to_string();
+    EXPECT_DOUBLE_EQ(actual.value(), expected) << text;
+    ++evaluated;
+  }
+  EXPECT_GT(evaluated, 300);
+}
+
+// Also test precedence-sensitive printing without parentheses: a flat
+// chain of + - * evaluated left-to-right with standard precedence.
+TEST_P(ExprTreeProperty, FlatChainsFollowPrecedence) {
+  Rng rng(GetParam() ^ 0x5555);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t terms = 2 + rng.next_below(6);
+    std::vector<double> values;
+    std::vector<char> ops;
+    for (size_t i = 0; i < terms; ++i) {
+      values.push_back(static_cast<double>(rng.next_int(0, 9)));
+      if (i + 1 < terms) ops.push_back("+-*"[rng.next_below(3)]);
+    }
+    std::string text = format_number(values[0]);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      text += std::string(" ") + ops[i] + " " + format_number(values[i + 1]);
+    }
+    // Reference: multiplication first, then left-to-right + and -.
+    std::vector<double> terms2{values[0]};
+    std::vector<char> addsub;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i] == '*') {
+        terms2.back() *= values[i + 1];
+      } else {
+        addsub.push_back(ops[i]);
+        terms2.push_back(values[i + 1]);
+      }
+    }
+    double expected = terms2[0];
+    for (size_t i = 0; i < addsub.size(); ++i) {
+      expected = addsub[i] == '+' ? expected + terms2[i + 1]
+                                  : expected - terms2[i + 1];
+    }
+    auto actual = expr_eval_number(text, {});
+    ASSERT_TRUE(actual.ok()) << text;
+    EXPECT_DOUBLE_EQ(actual.value(), expected) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprTreeProperty,
+                         ::testing::Values(2, 17, 404, 987654));
+
+}  // namespace
+}  // namespace harmony::rsl

@@ -1,0 +1,121 @@
+#include "rsl/value.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::rsl {
+namespace {
+
+TEST(ListParse, SimpleElements) {
+  auto r = list_parse("a b c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ListParse, EmptyList) {
+  auto r = list_parse("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+  r = list_parse("   \t  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(ListParse, BracedElements) {
+  auto r = list_parse("{a b} c {d {e f}}");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 3u);
+  EXPECT_EQ(r.value()[0], "a b");
+  EXPECT_EQ(r.value()[1], "c");
+  EXPECT_EQ(r.value()[2], "d {e f}");
+}
+
+TEST(ListParse, QuotedElements) {
+  auto r = list_parse("\"a b\" c");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0], "a b");
+}
+
+TEST(ListParse, EscapedCharacters) {
+  auto r = list_parse("a\\ b c");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0], "a b");
+}
+
+TEST(ListParse, UnbalancedBracesFail) {
+  EXPECT_FALSE(list_parse("{a b").ok());
+  EXPECT_FALSE(list_parse("{a {b}").ok());
+}
+
+TEST(ListParse, JunkAfterBraceFails) {
+  EXPECT_FALSE(list_parse("{a}b").ok());
+}
+
+TEST(ListParse, UnterminatedQuoteFails) {
+  EXPECT_FALSE(list_parse("\"abc").ok());
+}
+
+TEST(ListParse, PaperBundleOption) {
+  // The QS option from Figure 3 of the paper.
+  const char* option =
+      "QS "
+      "{node server {hostname harmony.cs.umd.edu} {seconds 42} {memory 20}} "
+      "{node client {hostname *} {os linux} {seconds 1} {memory 2}} "
+      "{link client server 10}";
+  auto r = list_parse(option);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 4u);
+  EXPECT_EQ(r.value()[0], "QS");
+  EXPECT_EQ(r.value()[3], "link client server 10");
+}
+
+TEST(ListBuild, QuotesWhereNeeded) {
+  EXPECT_EQ(list_build({"a", "b c", ""}), "a {b c} {}");
+  EXPECT_EQ(list_build({}), "");
+}
+
+TEST(ListBuild, NestedStructureRoundTrips) {
+  std::vector<std::string> original{"plain", "two words", "{nested list}",
+                                    "", "tab\there", "dollar$sign"};
+  auto parsed = list_parse(list_build(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), original);
+}
+
+class ListRoundTrip : public ::testing::TestWithParam<std::vector<std::string>> {};
+
+TEST_P(ListRoundTrip, BuildThenParseIsIdentity) {
+  auto parsed = list_parse(list_build(GetParam()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ListRoundTrip,
+    ::testing::Values(
+        std::vector<std::string>{},
+        std::vector<std::string>{""},
+        std::vector<std::string>{"", "", ""},
+        std::vector<std::string>{"a"},
+        std::vector<std::string>{"with space", "with\ttab"},
+        std::vector<std::string>{"{already braced}"},
+        std::vector<std::string>{"semi;colon", "bracket[x]"},
+        std::vector<std::string>{"node server {hostname h} {memory 20}"},
+        std::vector<std::string>{"44 + (client.memory > 24 ? 24 : client.memory) - 17"}));
+
+TEST(BracesBalanced, Detects) {
+  EXPECT_TRUE(braces_balanced("{a {b} c}"));
+  EXPECT_TRUE(braces_balanced("no braces"));
+  EXPECT_FALSE(braces_balanced("{a"));
+  EXPECT_FALSE(braces_balanced("}{"));
+  EXPECT_TRUE(braces_balanced("\\{"));  // escaped brace does not count
+}
+
+TEST(ElementQuote, PlainStaysPlain) {
+  EXPECT_EQ(element_quote("plain"), "plain");
+  EXPECT_EQ(element_quote("a.b:c_d"), "a.b:c_d");
+}
+
+}  // namespace
+}  // namespace harmony::rsl

@@ -1,0 +1,162 @@
+#include "sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::sim {
+namespace {
+
+class CpuTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(topo_.add_node("ref", 1.0, 128).ok());    // reference speed
+    ASSERT_TRUE(topo_.add_node("fast", 2.0, 128).ok());   // 2x reference
+    cpu_ = std::make_unique<CpuModel>(&engine_, &topo_);
+  }
+  SimEngine engine_;
+  cluster::Topology topo_;
+  std::unique_ptr<CpuModel> cpu_;
+};
+
+TEST_F(CpuTest, SingleTaskRunsAtNodeSpeed) {
+  double done_at = -1;
+  cpu_->submit(0, 10.0, [&] { done_at = engine_.now(); });
+  engine_.run();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);
+}
+
+TEST_F(CpuTest, FastNodeFinishesSooner) {
+  double done_at = -1;
+  cpu_->submit(1, 10.0, [&] { done_at = engine_.now(); });
+  engine_.run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0) << "speed 2.0 halves wall time";
+}
+
+TEST_F(CpuTest, ProcessorSharingDoublesTime) {
+  // Two equal tasks sharing one node: both finish at 2x solo time.
+  std::vector<double> done;
+  cpu_->submit(0, 10.0, [&] { done.push_back(engine_.now()); });
+  cpu_->submit(0, 10.0, [&] { done.push_back(engine_.now()); });
+  engine_.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 20.0);
+  EXPECT_DOUBLE_EQ(done[1], 20.0);
+}
+
+TEST_F(CpuTest, ShorterTaskFinishesFirstThenRatesRecover) {
+  // Task A: 10s, task B: 2s. Shared until B done at t=4 (2s work at
+  // rate 1/2). A then has 8 remaining, solo rate: done at 4 + 8 = 12.
+  double done_a = -1, done_b = -1;
+  cpu_->submit(0, 10.0, [&] { done_a = engine_.now(); });
+  cpu_->submit(0, 2.0, [&] { done_b = engine_.now(); });
+  engine_.run();
+  EXPECT_DOUBLE_EQ(done_b, 4.0);
+  EXPECT_DOUBLE_EQ(done_a, 12.0);
+}
+
+TEST_F(CpuTest, LateArrivalSlowsExisting) {
+  // A (10s) runs alone for 5s (5 done). B (5s) arrives at t=5.
+  // Shared rate 1/2: B needs 10s -> done at 15; A needs 10s -> done at 15.
+  double done_a = -1, done_b = -1;
+  cpu_->submit(0, 10.0, [&] { done_a = engine_.now(); });
+  engine_.schedule(5.0, [&] {
+    cpu_->submit(0, 5.0, [&] { done_b = engine_.now(); });
+  });
+  engine_.run();
+  EXPECT_DOUBLE_EQ(done_a, 15.0);
+  EXPECT_DOUBLE_EQ(done_b, 15.0);
+}
+
+TEST_F(CpuTest, NodesAreIndependent) {
+  double done_a = -1, done_b = -1;
+  cpu_->submit(0, 10.0, [&] { done_a = engine_.now(); });
+  cpu_->submit(1, 10.0, [&] { done_b = engine_.now(); });
+  engine_.run();
+  EXPECT_DOUBLE_EQ(done_a, 10.0);
+  EXPECT_DOUBLE_EQ(done_b, 5.0);
+}
+
+TEST_F(CpuTest, CancelPreventsCompletion) {
+  bool fired = false;
+  TaskId id = cpu_->submit(0, 10.0, [&] { fired = true; });
+  double other_done = -1;
+  cpu_->submit(0, 10.0, [&] { other_done = engine_.now(); });
+  engine_.schedule(5.0, [&] { ASSERT_TRUE(cpu_->cancel(id).ok()); });
+  engine_.run();
+  EXPECT_FALSE(fired);
+  // Other task: 2.5 done by t=5 (shared), then solo: 5 + 7.5 = 12.5.
+  EXPECT_DOUBLE_EQ(other_done, 12.5);
+  EXPECT_FALSE(cpu_->cancel(id).ok()) << "double cancel";
+}
+
+TEST_F(CpuTest, ZeroWorkCompletesImmediately) {
+  double done_at = -1;
+  cpu_->submit(0, 0.0, [&] { done_at = engine_.now(); });
+  engine_.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+TEST_F(CpuTest, RemainingTracksProgress) {
+  TaskId id = cpu_->submit(0, 10.0, nullptr);
+  engine_.run_until(4.0);
+  EXPECT_NEAR(cpu_->remaining(id).value(), 6.0, 1e-9);
+  EXPECT_FALSE(cpu_->remaining(9999).ok());
+}
+
+TEST_F(CpuTest, ActiveCounts) {
+  cpu_->submit(0, 10.0, nullptr);
+  cpu_->submit(0, 10.0, nullptr);
+  cpu_->submit(1, 10.0, nullptr);
+  EXPECT_EQ(cpu_->active_on(0), 2);
+  EXPECT_EQ(cpu_->active_on(1), 1);
+  EXPECT_EQ(cpu_->active_total(), 3);
+  engine_.run();
+  EXPECT_EQ(cpu_->active_total(), 0);
+}
+
+TEST_F(CpuTest, CompletionCallbackCanResubmit) {
+  // A task chain: each completion submits the next, 3 deep.
+  int completed = 0;
+  std::function<void()> resubmit = [&] {
+    ++completed;
+    if (completed < 3) cpu_->submit(0, 1.0, resubmit);
+  };
+  cpu_->submit(0, 1.0, resubmit);
+  engine_.run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_DOUBLE_EQ(engine_.now(), 3.0);
+}
+
+TEST_F(CpuTest, SimultaneousCompletions) {
+  std::vector<int> order;
+  cpu_->submit(0, 10.0, [&] { order.push_back(1); });
+  cpu_->submit(0, 10.0, [&] { order.push_back(2); });
+  cpu_->submit(0, 10.0, [&] { order.push_back(3); });
+  engine_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine_.now(), 30.0);
+}
+
+// Property: total completion time of n equal tasks under processor
+// sharing equals n * solo time, regardless of n (work conservation).
+class SharingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharingSweep, WorkConservation) {
+  SimEngine engine;
+  cluster::Topology topo;
+  ASSERT_TRUE(topo.add_node("n", 1.0, 64).ok());
+  CpuModel cpu(&engine, &topo);
+  const int n = GetParam();
+  const double work = 7.0;
+  std::vector<double> done;
+  for (int i = 0; i < n; ++i) {
+    cpu.submit(0, work, [&] { done.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(done.size(), static_cast<size_t>(n));
+  for (double t : done) EXPECT_NEAR(t, n * work, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SharingSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace harmony::sim

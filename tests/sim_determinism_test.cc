@@ -1,0 +1,141 @@
+// Determinism property: the whole stack — RSL, controller, optimizer,
+// discrete-event simulator, database engine, applications — must
+// produce bit-identical traces across runs. This is what makes every
+// figure in EXPERIMENTS.md regenerable.
+#include <gtest/gtest.h>
+
+#include "apps/bag_app.h"
+#include "apps/db_app.h"
+#include "apps/scenarios.h"
+#include "apps/simple_app.h"
+
+namespace harmony::apps {
+namespace {
+
+// A condensed Figure 7 run; returns the full response-time series of
+// every client plus the decision trace.
+std::vector<metric::Sample> run_db_scenario() {
+  SimHarness harness;
+  EXPECT_TRUE(
+      harness.controller().add_nodes_script(db_cluster_script(3)).ok());
+  EXPECT_TRUE(harness.finalize().ok());
+  db::DbEngine engine(5000, 42);
+  std::vector<std::unique_ptr<DbClientApp>> clients;
+  for (int i = 1; i <= 3; ++i) {
+    DbClientConfig config;
+    config.client_host = str_format("sp2-%02d", i - 1);
+    config.instance = i;
+    config.seed = 10 + i;
+    clients.push_back(
+        std::make_unique<DbClientApp>(harness.context(), &engine, config));
+  }
+  auto& sim = harness.engine();
+  EXPECT_TRUE(clients[0]->start().ok());
+  sim.schedule(50, [&] { EXPECT_TRUE(clients[1]->start().ok()); });
+  sim.schedule(100, [&] { EXPECT_TRUE(clients[2]->start().ok()); });
+  sim.run_until(300);
+
+  std::vector<metric::Sample> trace;
+  for (int i = 1; i <= 3; ++i) {
+    const auto* series =
+        harness.metrics().find(str_format("db.client%d.response", i));
+    if (series != nullptr) {
+      trace.insert(trace.end(), series->samples().begin(),
+                   series->samples().end());
+    }
+  }
+  for (auto& client : clients) client->stop();
+  sim.run_until(400);
+  return trace;
+}
+
+std::vector<metric::Sample> run_bag_scenario() {
+  SimHarness harness;
+  EXPECT_TRUE(
+      harness.controller().add_nodes_script(worker_cluster_script(8)).ok());
+  EXPECT_TRUE(harness.finalize().ok());
+  BagConfig bag_config;
+  bag_config.seed = 77;
+  BagApp bag(harness.context(), bag_config);
+  EXPECT_TRUE(bag.start().ok());
+  SimpleConfig rigid;
+  rigid.workers = 3;
+  rigid.max_iterations = 1;
+  SimpleApp simple(harness.context(), rigid);
+  harness.engine().schedule(100, [&] { EXPECT_TRUE(simple.start().ok()); });
+  harness.engine().run_until(1500);
+  bag.stop();
+  harness.engine().run_until(2500);
+  std::vector<metric::Sample> trace;
+  for (const char* name : {"bag.1.iteration_time", "bag.1.workers"}) {
+    const auto* series = harness.metrics().find(name);
+    if (series != nullptr) {
+      trace.insert(trace.end(), series->samples().begin(),
+                   series->samples().end());
+    }
+  }
+  return trace;
+}
+
+void expect_identical(const std::vector<metric::Sample>& a,
+                      const std::vector<metric::Sample>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time) << "sample " << i;    // bit-exact
+    EXPECT_EQ(a[i].value, b[i].value) << "sample " << i;  // bit-exact
+  }
+}
+
+TEST(Determinism, DbScenarioIsBitExactAcrossRuns) {
+  auto first = run_db_scenario();
+  auto second = run_db_scenario();
+  ASSERT_GT(first.size(), 50u) << "scenario must actually run queries";
+  expect_identical(first, second);
+}
+
+TEST(Determinism, BagScenarioIsBitExactAcrossRuns) {
+  auto first = run_bag_scenario();
+  auto second = run_bag_scenario();
+  ASSERT_GE(first.size(), 5u);
+  expect_identical(first, second);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  SimHarness h1, h2;
+  for (SimHarness* h : {&h1, &h2}) {
+    ASSERT_TRUE(h->controller().add_nodes_script(db_cluster_script(1)).ok());
+    ASSERT_TRUE(h->finalize().ok());
+  }
+  db::DbEngine engine(5000, 42);
+  DbClientConfig c1, c2;
+  c1.client_host = c2.client_host = "sp2-00";
+  c1.instance = c2.instance = 1;
+  c1.seed = 1;
+  c2.seed = 2;
+  DbClientApp a1(h1.context(), &engine, c1);
+  DbClientApp a2(h2.context(), &engine, c2);
+  ASSERT_TRUE(a1.start().ok());
+  ASSERT_TRUE(a2.start().ok());
+  h1.engine().run_until(100);
+  h2.engine().run_until(100);
+  // Different query streams -> different per-query responses (the work
+  // depends on which buckets each query touches).
+  const auto* s1 = h1.metrics().find("db.client1.response");
+  const auto* s2 = h2.metrics().find("db.client1.response");
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s2, nullptr);
+  bool any_difference = s1->size() != s2->size();
+  for (size_t i = 0; !any_difference && i < s1->size(); ++i) {
+    if (s1->samples()[i].value != s2->samples()[i].value) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+  a1.stop();
+  a2.stop();
+  h1.engine().run_until(200);
+  h2.engine().run_until(200);
+}
+
+}  // namespace
+}  // namespace harmony::apps

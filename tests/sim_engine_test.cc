@@ -1,0 +1,124 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::sim {
+namespace {
+
+TEST(SimEngine, StartsAtZero) {
+  SimEngine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(SimEngine, EventsFireInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule(3.0, [&] { order.push_back(3); });
+  engine.schedule(1.0, [&] { order.push_back(1); });
+  engine.schedule(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(SimEngine, EqualTimesFireInScheduleOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimEngine, HandlersCanScheduleMore) {
+  SimEngine engine;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(engine.now());
+    if (times.size() < 3) engine.schedule(1.0, tick);
+  };
+  engine.schedule(1.0, tick);
+  engine.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(SimEngine, CancelPreventsExecution) {
+  SimEngine engine;
+  bool fired = false;
+  EventId id = engine.schedule(1.0, [&] { fired = true; });
+  engine.cancel(id);
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.events_executed(), 0u);
+}
+
+TEST(SimEngine, CancelUnknownIsNoop) {
+  SimEngine engine;
+  engine.cancel(12345);
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(SimEngine, RunUntilAdvancesClockPastLastEvent) {
+  SimEngine engine;
+  int fired = 0;
+  engine.schedule(1.0, [&] { ++fired; });
+  engine.schedule(5.0, [&] { ++fired; });
+  engine.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+  engine.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(SimEngine, RunUntilBoundaryInclusive) {
+  SimEngine engine;
+  bool fired = false;
+  engine.schedule(2.0, [&] { fired = true; });
+  engine.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimEngine, ScheduleAtAbsoluteTime) {
+  SimEngine engine;
+  double when = -1;
+  engine.schedule_at(4.5, [&] { when = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(when, 4.5);
+}
+
+TEST(SimEngine, ZeroDelayFiresImmediately) {
+  SimEngine engine;
+  engine.schedule(1.0, [&] {
+    engine.schedule(0.0, [&] { EXPECT_DOUBLE_EQ(engine.now(), 1.0); });
+  });
+  engine.run();
+  EXPECT_EQ(engine.events_executed(), 2u);
+}
+
+TEST(SimEngine, ManyEventsStressDeterminism) {
+  auto run_once = [] {
+    SimEngine engine;
+    std::vector<std::pair<double, int>> log;
+    for (int i = 0; i < 1000; ++i) {
+      double t = (i * 7919) % 101 / 10.0;
+      engine.schedule(t, [&log, t, i] { log.emplace_back(t, i); });
+    }
+    engine.run();
+    return log;
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a, b);
+  // Order is globally sorted by (time, schedule order).
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i - 1].first < a[i].first ||
+                (a[i - 1].first == a[i].first && a[i - 1].second < a[i].second));
+  }
+}
+
+}  // namespace
+}  // namespace harmony::sim

@@ -1,0 +1,169 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::sim {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // a --80Mbps-- b --40Mbps-- c   (80 Mbps = 10 MB/s, 40 Mbps = 5 MB/s)
+    ASSERT_TRUE(topo_.add_node("a", 1, 64).ok());
+    ASSERT_TRUE(topo_.add_node("b", 1, 64).ok());
+    ASSERT_TRUE(topo_.add_node("c", 1, 64).ok());
+    ASSERT_TRUE(topo_.add_link(0, 1, 80).ok());
+    ASSERT_TRUE(topo_.add_link(1, 2, 40).ok());
+    net_ = std::make_unique<NetworkModel>(&engine_, &topo_);
+  }
+  SimEngine engine_;
+  cluster::Topology topo_;
+  std::unique_ptr<NetworkModel> net_;
+};
+
+TEST_F(NetworkTest, SingleFlowAtLinkRate) {
+  double done_at = -1;
+  ASSERT_TRUE(net_->transfer(0, 1, 100.0, [&] { done_at = engine_.now(); }).ok());
+  engine_.run();
+  EXPECT_DOUBLE_EQ(done_at, 10.0) << "100 MB at 10 MB/s";
+}
+
+TEST_F(NetworkTest, MultiHopUsesBottleneck) {
+  double done_at = -1;
+  ASSERT_TRUE(net_->transfer(0, 2, 100.0, [&] { done_at = engine_.now(); }).ok());
+  engine_.run();
+  EXPECT_DOUBLE_EQ(done_at, 20.0) << "bottleneck 5 MB/s";
+}
+
+TEST_F(NetworkTest, TwoFlowsShareALink) {
+  std::vector<double> done;
+  ASSERT_TRUE(net_->transfer(0, 1, 50.0, [&] { done.push_back(engine_.now()); }).ok());
+  ASSERT_TRUE(net_->transfer(0, 1, 50.0, [&] { done.push_back(engine_.now()); }).ok());
+  engine_.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 10.0) << "each gets 5 MB/s";
+  EXPECT_DOUBLE_EQ(done[1], 10.0);
+}
+
+TEST_F(NetworkTest, MaxMinSharingAcrossDifferentPaths) {
+  // Flow 1: a->b (uses link ab). Flow 2: a->c (uses ab and bc).
+  // bc (5 MB/s) constrains flow 2 first; flow 1 then gets the rest of
+  // ab: 10 - 5 = 5 MB/s... but max-min: ab has 2 flows, fair share 5;
+  // bc has 1 flow, share 5. Most constrained is equal; flow2 frozen at
+  // 5, then flow1 gets remaining ab capacity 5.
+  FlowId f1 = net_->transfer(0, 1, 100.0, nullptr).value();
+  FlowId f2 = net_->transfer(0, 2, 100.0, nullptr).value();
+  EXPECT_DOUBLE_EQ(net_->current_rate(f1).value(), 5.0);
+  EXPECT_DOUBLE_EQ(net_->current_rate(f2).value(), 5.0);
+}
+
+TEST_F(NetworkTest, RatesRecoverAfterCompletion) {
+  // Short flow shares, finishes, long flow speeds back up.
+  double long_done = -1;
+  ASSERT_TRUE(net_->transfer(0, 1, 100.0, [&] { long_done = engine_.now(); }).ok());
+  ASSERT_TRUE(net_->transfer(0, 1, 25.0, nullptr).ok());
+  engine_.run();
+  // Shared at 5 MB/s until t=5 (short done, 25MB each transferred);
+  // long has 75 MB left at 10 MB/s: done at 5 + 7.5 = 12.5.
+  EXPECT_DOUBLE_EQ(long_done, 12.5);
+}
+
+TEST_F(NetworkTest, DisconnectedFails) {
+  cluster::Topology topo;
+  ASSERT_TRUE(topo.add_node("x", 1, 64).ok());
+  ASSERT_TRUE(topo.add_node("y", 1, 64).ok());
+  SimEngine engine;
+  NetworkModel net(&engine, &topo);
+  EXPECT_FALSE(net.transfer(0, 1, 10.0, nullptr).ok());
+}
+
+TEST_F(NetworkTest, LocalTransferUsesLocalRate) {
+  SimEngine engine;
+  NetworkModel net(&engine, &topo_, 8000.0);  // 1000 MB/s
+  double done_at = -1;
+  ASSERT_TRUE(net.transfer(1, 1, 1000.0, [&] { done_at = engine.now(); }).ok());
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 1.0);
+}
+
+TEST_F(NetworkTest, LatencyDelaysStart) {
+  cluster::Topology topo;
+  ASSERT_TRUE(topo.add_node("x", 1, 64).ok());
+  ASSERT_TRUE(topo.add_node("y", 1, 64).ok());
+  ASSERT_TRUE(topo.add_link(0, 1, 80, 500.0).ok());  // 0.5 s latency
+  SimEngine engine;
+  NetworkModel net(&engine, &topo);
+  double done_at = -1;
+  ASSERT_TRUE(net.transfer(0, 1, 10.0, [&] { done_at = engine.now(); }).ok());
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 1.5) << "0.5 s latency + 1 s transfer";
+}
+
+TEST_F(NetworkTest, CancelStopsFlow) {
+  bool fired = false;
+  FlowId id = net_->transfer(0, 1, 100.0, [&] { fired = true; }).value();
+  double other_done = -1;
+  ASSERT_TRUE(net_->transfer(0, 1, 50.0, [&] { other_done = engine_.now(); }).ok());
+  engine_.schedule(2.0, [&] { ASSERT_TRUE(net_->cancel(id).ok()); });
+  engine_.run();
+  EXPECT_FALSE(fired);
+  // Other: 10 MB done by t=2 shared, then 40 MB at 10 MB/s: t=6.
+  EXPECT_DOUBLE_EQ(other_done, 6.0);
+  EXPECT_FALSE(net_->cancel(id).ok());
+}
+
+TEST_F(NetworkTest, ZeroByteTransferCompletesImmediately) {
+  double done_at = -1;
+  ASSERT_TRUE(net_->transfer(0, 1, 0.0, [&] { done_at = engine_.now(); }).ok());
+  engine_.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+TEST_F(NetworkTest, NegativeSizeRejected) {
+  EXPECT_FALSE(net_->transfer(0, 1, -1.0, nullptr).ok());
+}
+
+TEST_F(NetworkTest, CallbackCanStartNewTransfer) {
+  // Request/response pattern: a->b then b->a.
+  double round_trip_done = -1;
+  ASSERT_TRUE(net_
+                  ->transfer(0, 1, 10.0,
+                             [&] {
+                               ASSERT_TRUE(net_
+                                               ->transfer(1, 0, 10.0,
+                                                          [&] {
+                                                            round_trip_done =
+                                                                engine_.now();
+                                                          })
+                                               .ok());
+                             })
+                  .ok());
+  engine_.run();
+  EXPECT_DOUBLE_EQ(round_trip_done, 2.0);
+}
+
+// Property: with n equal flows on one link, each finishes at n * solo
+// time (the link is work-conserving under fair sharing).
+class FlowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowSweep, FairShareWorkConservation) {
+  cluster::Topology topo;
+  ASSERT_TRUE(topo.add_node("x", 1, 64).ok());
+  ASSERT_TRUE(topo.add_node("y", 1, 64).ok());
+  ASSERT_TRUE(topo.add_link(0, 1, 80).ok());  // 10 MB/s
+  SimEngine engine;
+  NetworkModel net(&engine, &topo);
+  const int n = GetParam();
+  std::vector<double> done;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(net.transfer(0, 1, 20.0, [&] { done.push_back(engine.now()); }).ok());
+  }
+  engine.run();
+  ASSERT_EQ(done.size(), static_cast<size_t>(n));
+  for (double t : done) EXPECT_NEAR(t, n * 2.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flows, FlowSweep, ::testing::Values(1, 2, 4, 7));
+
+}  // namespace
+}  // namespace harmony::sim

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_friction.dir/abl_friction.cc.o"
+  "CMakeFiles/abl_friction.dir/abl_friction.cc.o.d"
+  "abl_friction"
+  "abl_friction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_friction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

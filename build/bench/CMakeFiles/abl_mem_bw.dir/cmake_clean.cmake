@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mem_bw.dir/abl_mem_bw.cc.o"
+  "CMakeFiles/abl_mem_bw.dir/abl_mem_bw.cc.o.d"
+  "abl_mem_bw"
+  "abl_mem_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mem_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_objective.dir/abl_objective.cc.o"
+  "CMakeFiles/abl_objective.dir/abl_objective.cc.o.d"
+  "abl_objective"
+  "abl_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

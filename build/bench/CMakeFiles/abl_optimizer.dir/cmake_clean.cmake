@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_optimizer.dir/abl_optimizer.cc.o"
+  "CMakeFiles/abl_optimizer.dir/abl_optimizer.cc.o.d"
+  "abl_optimizer"
+  "abl_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

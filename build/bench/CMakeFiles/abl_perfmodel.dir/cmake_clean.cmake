@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_perfmodel.dir/abl_perfmodel.cc.o"
+  "CMakeFiles/abl_perfmodel.dir/abl_perfmodel.cc.o.d"
+  "abl_perfmodel"
+  "abl_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

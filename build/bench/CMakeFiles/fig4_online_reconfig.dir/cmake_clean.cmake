@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_online_reconfig.dir/fig4_online_reconfig.cc.o"
+  "CMakeFiles/fig4_online_reconfig.dir/fig4_online_reconfig.cc.o.d"
+  "fig4_online_reconfig"
+  "fig4_online_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_online_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_db_adaptation.dir/fig7_db_adaptation.cc.o"
+  "CMakeFiles/fig7_db_adaptation.dir/fig7_db_adaptation.cc.o.d"
+  "fig7_db_adaptation"
+  "fig7_db_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_db_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_rsl_throughput.dir/tab1_rsl_throughput.cc.o"
+  "CMakeFiles/tab1_rsl_throughput.dir/tab1_rsl_throughput.cc.o.d"
+  "tab1_rsl_throughput"
+  "tab1_rsl_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_rsl_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

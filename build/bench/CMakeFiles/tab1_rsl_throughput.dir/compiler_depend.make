@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab1_rsl_throughput.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_adaptation.dir/db_adaptation.cpp.o"
+  "CMakeFiles/db_adaptation.dir/db_adaptation.cpp.o.d"
+  "db_adaptation"
+  "db_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_console.dir/policy_console.cpp.o"
+  "CMakeFiles/policy_console.dir/policy_console.cpp.o.d"
+  "policy_console"
+  "policy_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_demo.dir/socket_demo.cpp.o"
+  "CMakeFiles/socket_demo.dir/socket_demo.cpp.o.d"
+  "socket_demo"
+  "socket_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

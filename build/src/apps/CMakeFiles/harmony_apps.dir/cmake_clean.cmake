@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_apps.dir/bag_app.cc.o"
+  "CMakeFiles/harmony_apps.dir/bag_app.cc.o.d"
+  "CMakeFiles/harmony_apps.dir/db_app.cc.o"
+  "CMakeFiles/harmony_apps.dir/db_app.cc.o.d"
+  "CMakeFiles/harmony_apps.dir/simple_app.cc.o"
+  "CMakeFiles/harmony_apps.dir/simple_app.cc.o.d"
+  "libharmony_apps.a"
+  "libharmony_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/capi.cc" "src/client/CMakeFiles/harmony_client.dir/capi.cc.o" "gcc" "src/client/CMakeFiles/harmony_client.dir/capi.cc.o.d"
+  "/root/repo/src/client/client.cc" "src/client/CMakeFiles/harmony_client.dir/client.cc.o" "gcc" "src/client/CMakeFiles/harmony_client.dir/client.cc.o.d"
+  "/root/repo/src/client/transport.cc" "src/client/CMakeFiles/harmony_client.dir/transport.cc.o" "gcc" "src/client/CMakeFiles/harmony_client.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/harmony_rsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/harmony_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/harmony_metric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_client.dir/capi.cc.o"
+  "CMakeFiles/harmony_client.dir/capi.cc.o.d"
+  "CMakeFiles/harmony_client.dir/client.cc.o"
+  "CMakeFiles/harmony_client.dir/client.cc.o.d"
+  "CMakeFiles/harmony_client.dir/transport.cc.o"
+  "CMakeFiles/harmony_client.dir/transport.cc.o.d"
+  "libharmony_client.a"
+  "libharmony_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

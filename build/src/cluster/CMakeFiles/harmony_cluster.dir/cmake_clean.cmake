@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_cluster.dir/matcher.cc.o"
+  "CMakeFiles/harmony_cluster.dir/matcher.cc.o.d"
+  "CMakeFiles/harmony_cluster.dir/pool.cc.o"
+  "CMakeFiles/harmony_cluster.dir/pool.cc.o.d"
+  "CMakeFiles/harmony_cluster.dir/topology.cc.o"
+  "CMakeFiles/harmony_cluster.dir/topology.cc.o.d"
+  "libharmony_cluster.a"
+  "libharmony_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

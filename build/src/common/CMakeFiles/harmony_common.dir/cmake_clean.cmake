@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_common.dir/logging.cc.o"
+  "CMakeFiles/harmony_common.dir/logging.cc.o.d"
+  "CMakeFiles/harmony_common.dir/stats.cc.o"
+  "CMakeFiles/harmony_common.dir/stats.cc.o.d"
+  "CMakeFiles/harmony_common.dir/strings.cc.o"
+  "CMakeFiles/harmony_common.dir/strings.cc.o.d"
+  "libharmony_common.a"
+  "libharmony_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/binding.cc" "src/core/CMakeFiles/harmony_core.dir/binding.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/binding.cc.o.d"
+  "/root/repo/src/core/console.cc" "src/core/CMakeFiles/harmony_core.dir/console.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/console.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/harmony_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/namespace.cc" "src/core/CMakeFiles/harmony_core.dir/namespace.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/namespace.cc.o.d"
+  "/root/repo/src/core/objective.cc" "src/core/CMakeFiles/harmony_core.dir/objective.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/objective.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/harmony_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/perf_model.cc" "src/core/CMakeFiles/harmony_core.dir/perf_model.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/perf_model.cc.o.d"
+  "/root/repo/src/core/state.cc" "src/core/CMakeFiles/harmony_core.dir/state.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/harmony_rsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/harmony_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/harmony_metric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

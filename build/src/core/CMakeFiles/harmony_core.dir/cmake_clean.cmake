@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_core.dir/binding.cc.o"
+  "CMakeFiles/harmony_core.dir/binding.cc.o.d"
+  "CMakeFiles/harmony_core.dir/console.cc.o"
+  "CMakeFiles/harmony_core.dir/console.cc.o.d"
+  "CMakeFiles/harmony_core.dir/controller.cc.o"
+  "CMakeFiles/harmony_core.dir/controller.cc.o.d"
+  "CMakeFiles/harmony_core.dir/namespace.cc.o"
+  "CMakeFiles/harmony_core.dir/namespace.cc.o.d"
+  "CMakeFiles/harmony_core.dir/objective.cc.o"
+  "CMakeFiles/harmony_core.dir/objective.cc.o.d"
+  "CMakeFiles/harmony_core.dir/optimizer.cc.o"
+  "CMakeFiles/harmony_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/harmony_core.dir/perf_model.cc.o"
+  "CMakeFiles/harmony_core.dir/perf_model.cc.o.d"
+  "CMakeFiles/harmony_core.dir/state.cc.o"
+  "CMakeFiles/harmony_core.dir/state.cc.o.d"
+  "libharmony_core.a"
+  "libharmony_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/bufferpool.cc" "src/db/CMakeFiles/harmony_db.dir/bufferpool.cc.o" "gcc" "src/db/CMakeFiles/harmony_db.dir/bufferpool.cc.o.d"
+  "/root/repo/src/db/cache.cc" "src/db/CMakeFiles/harmony_db.dir/cache.cc.o" "gcc" "src/db/CMakeFiles/harmony_db.dir/cache.cc.o.d"
+  "/root/repo/src/db/engine.cc" "src/db/CMakeFiles/harmony_db.dir/engine.cc.o" "gcc" "src/db/CMakeFiles/harmony_db.dir/engine.cc.o.d"
+  "/root/repo/src/db/executor.cc" "src/db/CMakeFiles/harmony_db.dir/executor.cc.o" "gcc" "src/db/CMakeFiles/harmony_db.dir/executor.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/harmony_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/harmony_db.dir/table.cc.o.d"
+  "/root/repo/src/db/wisconsin.cc" "src/db/CMakeFiles/harmony_db.dir/wisconsin.cc.o" "gcc" "src/db/CMakeFiles/harmony_db.dir/wisconsin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_db.dir/bufferpool.cc.o"
+  "CMakeFiles/harmony_db.dir/bufferpool.cc.o.d"
+  "CMakeFiles/harmony_db.dir/cache.cc.o"
+  "CMakeFiles/harmony_db.dir/cache.cc.o.d"
+  "CMakeFiles/harmony_db.dir/engine.cc.o"
+  "CMakeFiles/harmony_db.dir/engine.cc.o.d"
+  "CMakeFiles/harmony_db.dir/executor.cc.o"
+  "CMakeFiles/harmony_db.dir/executor.cc.o.d"
+  "CMakeFiles/harmony_db.dir/table.cc.o"
+  "CMakeFiles/harmony_db.dir/table.cc.o.d"
+  "CMakeFiles/harmony_db.dir/wisconsin.cc.o"
+  "CMakeFiles/harmony_db.dir/wisconsin.cc.o.d"
+  "libharmony_db.a"
+  "libharmony_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

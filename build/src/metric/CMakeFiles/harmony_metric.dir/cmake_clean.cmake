@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_metric.dir/metric.cc.o"
+  "CMakeFiles/harmony_metric.dir/metric.cc.o.d"
+  "libharmony_metric.a"
+  "libharmony_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/framing.cc" "src/net/CMakeFiles/harmony_net.dir/framing.cc.o" "gcc" "src/net/CMakeFiles/harmony_net.dir/framing.cc.o.d"
+  "/root/repo/src/net/protocol.cc" "src/net/CMakeFiles/harmony_net.dir/protocol.cc.o" "gcc" "src/net/CMakeFiles/harmony_net.dir/protocol.cc.o.d"
+  "/root/repo/src/net/server.cc" "src/net/CMakeFiles/harmony_net.dir/server.cc.o" "gcc" "src/net/CMakeFiles/harmony_net.dir/server.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/harmony_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/harmony_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/tcp_transport.cc" "src/net/CMakeFiles/harmony_net.dir/tcp_transport.cc.o" "gcc" "src/net/CMakeFiles/harmony_net.dir/tcp_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/harmony_rsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/harmony_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/harmony_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/harmony_metric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

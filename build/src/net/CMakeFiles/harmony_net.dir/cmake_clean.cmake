@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_net.dir/framing.cc.o"
+  "CMakeFiles/harmony_net.dir/framing.cc.o.d"
+  "CMakeFiles/harmony_net.dir/protocol.cc.o"
+  "CMakeFiles/harmony_net.dir/protocol.cc.o.d"
+  "CMakeFiles/harmony_net.dir/server.cc.o"
+  "CMakeFiles/harmony_net.dir/server.cc.o.d"
+  "CMakeFiles/harmony_net.dir/tcp.cc.o"
+  "CMakeFiles/harmony_net.dir/tcp.cc.o.d"
+  "CMakeFiles/harmony_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/harmony_net.dir/tcp_transport.cc.o.d"
+  "libharmony_net.a"
+  "libharmony_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsl/builtins.cc" "src/rsl/CMakeFiles/harmony_rsl.dir/builtins.cc.o" "gcc" "src/rsl/CMakeFiles/harmony_rsl.dir/builtins.cc.o.d"
+  "/root/repo/src/rsl/expr.cc" "src/rsl/CMakeFiles/harmony_rsl.dir/expr.cc.o" "gcc" "src/rsl/CMakeFiles/harmony_rsl.dir/expr.cc.o.d"
+  "/root/repo/src/rsl/interp.cc" "src/rsl/CMakeFiles/harmony_rsl.dir/interp.cc.o" "gcc" "src/rsl/CMakeFiles/harmony_rsl.dir/interp.cc.o.d"
+  "/root/repo/src/rsl/parser.cc" "src/rsl/CMakeFiles/harmony_rsl.dir/parser.cc.o" "gcc" "src/rsl/CMakeFiles/harmony_rsl.dir/parser.cc.o.d"
+  "/root/repo/src/rsl/rsl.cc" "src/rsl/CMakeFiles/harmony_rsl.dir/rsl.cc.o" "gcc" "src/rsl/CMakeFiles/harmony_rsl.dir/rsl.cc.o.d"
+  "/root/repo/src/rsl/spec.cc" "src/rsl/CMakeFiles/harmony_rsl.dir/spec.cc.o" "gcc" "src/rsl/CMakeFiles/harmony_rsl.dir/spec.cc.o.d"
+  "/root/repo/src/rsl/value.cc" "src/rsl/CMakeFiles/harmony_rsl.dir/value.cc.o" "gcc" "src/rsl/CMakeFiles/harmony_rsl.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

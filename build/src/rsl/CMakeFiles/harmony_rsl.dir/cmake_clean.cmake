@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_rsl.dir/builtins.cc.o"
+  "CMakeFiles/harmony_rsl.dir/builtins.cc.o.d"
+  "CMakeFiles/harmony_rsl.dir/expr.cc.o"
+  "CMakeFiles/harmony_rsl.dir/expr.cc.o.d"
+  "CMakeFiles/harmony_rsl.dir/interp.cc.o"
+  "CMakeFiles/harmony_rsl.dir/interp.cc.o.d"
+  "CMakeFiles/harmony_rsl.dir/parser.cc.o"
+  "CMakeFiles/harmony_rsl.dir/parser.cc.o.d"
+  "CMakeFiles/harmony_rsl.dir/rsl.cc.o"
+  "CMakeFiles/harmony_rsl.dir/rsl.cc.o.d"
+  "CMakeFiles/harmony_rsl.dir/spec.cc.o"
+  "CMakeFiles/harmony_rsl.dir/spec.cc.o.d"
+  "CMakeFiles/harmony_rsl.dir/value.cc.o"
+  "CMakeFiles/harmony_rsl.dir/value.cc.o.d"
+  "libharmony_rsl.a"
+  "libharmony_rsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_rsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_sim.dir/cpu.cc.o"
+  "CMakeFiles/harmony_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/harmony_sim.dir/engine.cc.o"
+  "CMakeFiles/harmony_sim.dir/engine.cc.o.d"
+  "CMakeFiles/harmony_sim.dir/network.cc.o"
+  "CMakeFiles/harmony_sim.dir/network.cc.o.d"
+  "libharmony_sim.a"
+  "libharmony_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_bag_test.dir/apps_bag_test.cc.o"
+  "CMakeFiles/apps_bag_test.dir/apps_bag_test.cc.o.d"
+  "apps_bag_test"
+  "apps_bag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_bag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_external_load_test.dir/apps_external_load_test.cc.o"
+  "CMakeFiles/apps_external_load_test.dir/apps_external_load_test.cc.o.d"
+  "apps_external_load_test"
+  "apps_external_load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_external_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_topology_test.dir/cluster_topology_test.cc.o"
+  "CMakeFiles/cluster_topology_test.dir/cluster_topology_test.cc.o.d"
+  "cluster_topology_test"
+  "cluster_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

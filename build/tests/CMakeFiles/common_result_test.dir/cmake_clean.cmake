@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_result_test.dir/common_result_test.cc.o"
+  "CMakeFiles/common_result_test.dir/common_result_test.cc.o.d"
+  "common_result_test"
+  "common_result_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_console_test.dir/core_console_test.cc.o"
+  "CMakeFiles/core_console_test.dir/core_console_test.cc.o.d"
+  "core_console_test"
+  "core_console_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_console_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_namespace_test.dir/core_namespace_test.cc.o"
+  "CMakeFiles/core_namespace_test.dir/core_namespace_test.cc.o.d"
+  "core_namespace_test"
+  "core_namespace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_namespace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

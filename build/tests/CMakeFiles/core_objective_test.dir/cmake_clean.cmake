@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_objective_test.dir/core_objective_test.cc.o"
+  "CMakeFiles/core_objective_test.dir/core_objective_test.cc.o.d"
+  "core_objective_test"
+  "core_objective_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

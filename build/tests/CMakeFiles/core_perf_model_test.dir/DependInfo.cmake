@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_perf_model_test.cc" "tests/CMakeFiles/core_perf_model_test.dir/core_perf_model_test.cc.o" "gcc" "tests/CMakeFiles/core_perf_model_test.dir/core_perf_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/harmony_rsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/harmony_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/harmony_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_storm_test.dir/core_storm_test.cc.o"
+  "CMakeFiles/core_storm_test.dir/core_storm_test.cc.o.d"
+  "core_storm_test"
+  "core_storm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_storm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsl_expr_test.dir/rsl_expr_test.cc.o"
+  "CMakeFiles/rsl_expr_test.dir/rsl_expr_test.cc.o.d"
+  "rsl_expr_test"
+  "rsl_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsl_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsl_host_test.dir/rsl_host_test.cc.o"
+  "CMakeFiles/rsl_host_test.dir/rsl_host_test.cc.o.d"
+  "rsl_host_test"
+  "rsl_host_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsl_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsl_interp_test.dir/rsl_interp_test.cc.o"
+  "CMakeFiles/rsl_interp_test.dir/rsl_interp_test.cc.o.d"
+  "rsl_interp_test"
+  "rsl_interp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsl_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsl_parser_test.dir/rsl_parser_test.cc.o"
+  "CMakeFiles/rsl_parser_test.dir/rsl_parser_test.cc.o.d"
+  "rsl_parser_test"
+  "rsl_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

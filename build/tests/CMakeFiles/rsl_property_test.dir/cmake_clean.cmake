@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsl_property_test.dir/rsl_property_test.cc.o"
+  "CMakeFiles/rsl_property_test.dir/rsl_property_test.cc.o.d"
+  "rsl_property_test"
+  "rsl_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsl_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

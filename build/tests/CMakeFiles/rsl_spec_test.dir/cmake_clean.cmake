@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsl_spec_test.dir/rsl_spec_test.cc.o"
+  "CMakeFiles/rsl_spec_test.dir/rsl_spec_test.cc.o.d"
+  "rsl_spec_test"
+  "rsl_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsl_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

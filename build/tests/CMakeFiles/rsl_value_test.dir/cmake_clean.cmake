@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsl_value_test.dir/rsl_value_test.cc.o"
+  "CMakeFiles/rsl_value_test.dir/rsl_value_test.cc.o.d"
+  "rsl_value_test"
+  "rsl_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsl_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

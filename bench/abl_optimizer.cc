@@ -4,8 +4,16 @@
 // value, but it is simple and easy to implement." This bench quantifies
 // the tradeoff: objective quality vs candidate evaluations and decision
 // wall time, as database clients accumulate.
+//
+// A1b — incremental planning engine. Steady-state re-evaluation cost of
+// the dirty-set + prediction-cache path against a forced full pass, for
+// a quiet system and for localized perturbations. Results (decisions/s,
+// candidates per decision, cache hit rate) also land in
+// BENCH_optimizer.json for machine consumption.
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "apps/db_app.h"
 #include "apps/scenarios.h"
@@ -54,6 +62,117 @@ RunResult run_mode(core::OptimizerConfig::Mode mode, int clients) {
   return result;
 }
 
+// --- A1b: steady-state re-evaluation --------------------------------------
+
+struct SteadyResult {
+  double wall_ms = 0;
+  uint64_t decisions = 0;
+  uint64_t candidates = 0;
+  uint64_t predictor_calls = 0;
+  uint64_t bundles_skipped = 0;
+  double cache_hit_rate = 0;
+  bool ok = true;
+
+  double decisions_per_sec() const {
+    return wall_ms > 0 ? decisions / (wall_ms / 1000.0) : 0;
+  }
+  double candidates_per_decision() const {
+    return decisions > 0 ? static_cast<double>(candidates) / decisions : 0;
+  }
+};
+
+// Perturbation applied between re-evaluation rounds.
+enum class Scenario { kQuiet, kSpareNodeLoad, kClientNodeLoad };
+
+const char* scenario_name(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kQuiet: return "quiet";
+    case Scenario::kSpareNodeLoad: return "spare_node_load";
+    case Scenario::kClientNodeLoad: return "client_node_load";
+  }
+  return "?";
+}
+
+SteadyResult run_steady(bool incremental, Scenario scenario, int clients,
+                        int rounds) {
+  core::ControllerConfig config;
+  config.optimizer.incremental = incremental;
+  config.optimizer.memoize_predictions = incremental;
+  core::Controller controller(config);
+  SteadyResult result;
+  double t = 0;
+  controller.set_time_source([&t] { return t; });
+  // One spare worker beyond the clients, so kSpareNodeLoad can perturb
+  // a node no application can ever be placed on.
+  if (!controller.add_nodes_script(db_cluster_script(clients + 1)).ok() ||
+      !controller.finalize_cluster().ok()) {
+    result.ok = false;
+    return result;
+  }
+  for (int i = 1; i <= clients; ++i) {
+    DbClientConfig client;
+    client.client_host = str_format("sp2-%02d", i - 1);
+    client.instance = i;
+    auto id = controller.register_script(db_client_bundle_script(client));
+    if (!id.ok()) {
+      result.ok = false;
+      return result;
+    }
+    t += 10;
+  }
+  // Settle: one pass so every bundle holds its argmin configuration.
+  t += 10;
+  if (!controller.reevaluate().ok()) {
+    result.ok = false;
+    return result;
+  }
+
+  auto& optimizer = controller.optimizer();
+  const uint64_t candidates0 = optimizer.candidates_evaluated();
+  const uint64_t predictor0 = optimizer.predictor_calls();
+  const uint64_t skipped0 = optimizer.bundles_skipped();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    t += 10;
+    Status status = Status::Ok();
+    switch (scenario) {
+      case Scenario::kQuiet:
+        status = controller.reevaluate();
+        break;
+      case Scenario::kSpareNodeLoad:
+        // Flip external load on the worker nobody can run on; the
+        // re-evaluation it triggers finds no affected bundle.
+        status = controller.report_external_load(
+            str_format("sp2-%02d", clients), round % 2 ? 0 : 2);
+        break;
+      case Scenario::kClientNodeLoad:
+        // Flip load under client 1; its bundle (and everyone coupled to
+        // it through the shared server) must be re-evaluated.
+        status = controller.report_external_load("sp2-00",
+                                                 round % 2 ? 0 : 2);
+        break;
+    }
+    if (!status.ok()) {
+      result.ok = false;
+      return result;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  // One decision per (instance, bundle) per pass, skipped or not.
+  result.decisions = static_cast<uint64_t>(rounds) * clients;
+  result.candidates = optimizer.candidates_evaluated() - candidates0;
+  result.predictor_calls = optimizer.predictor_calls() - predictor0;
+  result.bundles_skipped = optimizer.bundles_skipped() - skipped0;
+  result.cache_hit_rate = optimizer.cache_stats().hit_rate();
+  return result;
+}
+
+double ratio(uint64_t full, uint64_t incremental) {
+  if (incremental == 0) return full > 0 ? 1e9 : 1.0;
+  return static_cast<double>(full) / static_cast<double>(incremental);
+}
+
 int run() {
   std::printf("=== Ablation A1: greedy vs exhaustive option search ===\n");
   std::printf("scenario: N database clients arriving on an N-client cluster; "
@@ -62,6 +181,7 @@ int run() {
               "exhaust_cands   greedy_ms  exhaust_ms\n");
   bool greedy_ever_worse = false;
   bool ok = true;
+  std::string json_a1;
   for (int clients : {1, 2, 3, 4, 5, 6}) {
     auto greedy = run_mode(core::OptimizerConfig::Mode::kGreedy, clients);
     auto exhaustive =
@@ -77,12 +197,96 @@ int run() {
                 static_cast<unsigned long long>(greedy.candidates),
                 static_cast<unsigned long long>(exhaustive.candidates),
                 greedy.wall_ms, exhaustive.wall_ms);
+    if (!json_a1.empty()) json_a1 += ",";
+    json_a1 += str_format(
+        "\n    {\"clients\": %d, \"greedy_objective\": %.6g, "
+        "\"exhaustive_objective\": %.6g, \"gap_percent\": %.3g, "
+        "\"greedy_candidates\": %llu, \"exhaustive_candidates\": %llu, "
+        "\"greedy_ms\": %.3f, \"exhaustive_ms\": %.3f}",
+        clients, greedy.objective, exhaustive.objective, gap,
+        static_cast<unsigned long long>(greedy.candidates),
+        static_cast<unsigned long long>(exhaustive.candidates),
+        greedy.wall_ms, exhaustive.wall_ms);
   }
   std::printf("\nsummary: greedy matches the exhaustive optimum on this "
               "workload: %s\n", greedy_ever_worse ? "no (gap above)" : "yes");
   std::printf("exhaustive candidate count grows as 2^N (joint space); greedy "
               "grows linearly per pass.\n");
-  return ok ? 0 : 1;
+
+  const int clients = 6;
+  const int rounds = 200;
+  std::printf("\n=== Ablation A1b: incremental planning engine ===\n");
+  std::printf("scenario: %d settled clients, %d steady-state re-evaluation "
+              "rounds per perturbation pattern\n\n", clients, rounds);
+  std::printf("%-17s %-12s %10s %12s %12s %10s %12s %10s\n", "scenario",
+              "engine", "wall_ms", "decisions/s", "cands/dec", "cands",
+              "pred_calls", "hit_rate");
+  std::string json_steady;
+  bool reduction_met = true;
+  for (Scenario scenario : {Scenario::kQuiet, Scenario::kSpareNodeLoad,
+                            Scenario::kClientNodeLoad}) {
+    auto incremental = run_steady(true, scenario, clients, rounds);
+    auto full = run_steady(false, scenario, clients, rounds);
+    ok = ok && incremental.ok && full.ok;
+    for (const auto* row : {&incremental, &full}) {
+      std::printf("%-17s %-12s %10.2f %12.0f %12.2f %10llu %12llu %10.3f\n",
+                  scenario_name(scenario),
+                  row == &incremental ? "incremental" : "full",
+                  row->wall_ms, row->decisions_per_sec(),
+                  row->candidates_per_decision(),
+                  static_cast<unsigned long long>(row->candidates),
+                  static_cast<unsigned long long>(row->predictor_calls),
+                  row->cache_hit_rate);
+    }
+    const double candidate_ratio = ratio(full.candidates,
+                                         incremental.candidates);
+    const double predictor_ratio = ratio(full.predictor_calls,
+                                         incremental.predictor_calls);
+    std::printf("%-17s reduction: %.1fx candidates, %.1fx predictor calls\n",
+                "", candidate_ratio, predictor_ratio);
+    // Acceptance: >=2x less steady-state work on candidates or
+    // predictor calls.
+    if (candidate_ratio < 2.0 && predictor_ratio < 2.0) reduction_met = false;
+    if (!json_steady.empty()) json_steady += ",";
+    auto engine_json = [](const SteadyResult& r) {
+      return str_format(
+          "{\"wall_ms\": %.3f, \"decisions\": %llu, "
+          "\"decisions_per_sec\": %.1f, \"candidates\": %llu, "
+          "\"candidates_per_decision\": %.4f, \"predictor_calls\": %llu, "
+          "\"bundles_skipped\": %llu, \"cache_hit_rate\": %.4f}",
+          r.wall_ms, static_cast<unsigned long long>(r.decisions),
+          r.decisions_per_sec(),
+          static_cast<unsigned long long>(r.candidates),
+          r.candidates_per_decision(),
+          static_cast<unsigned long long>(r.predictor_calls),
+          static_cast<unsigned long long>(r.bundles_skipped),
+          r.cache_hit_rate);
+    };
+    json_steady += str_format(
+        "\n    {\"scenario\": \"%s\", \"clients\": %d, \"rounds\": %d,\n"
+        "     \"incremental\": %s,\n"
+        "     \"full\": %s,\n"
+        "     \"candidate_reduction\": %.1f, \"predictor_reduction\": %.1f}",
+        scenario_name(scenario), clients, rounds,
+        engine_json(incremental).c_str(), engine_json(full).c_str(),
+        candidate_ratio, predictor_ratio);
+  }
+  std::printf("\nsteady-state >=2x work reduction: %s\n",
+              reduction_met ? "yes" : "NO");
+
+  FILE* out = std::fopen("BENCH_optimizer.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n  \"bench\": \"abl_optimizer\",\n"
+                 "  \"greedy_vs_exhaustive\": [%s\n  ],\n"
+                 "  \"steady_state\": [%s\n  ],\n"
+                 "  \"steady_state_reduction_met\": %s\n}\n",
+                 json_a1.c_str(), json_steady.c_str(),
+                 reduction_met ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote BENCH_optimizer.json\n");
+  }
+  return ok && reduction_met ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full verification sweep: build + ctest in the regular config, then in
+# the ASan+UBSan config. Usage: scripts/check.sh [-j N]
+set -euo pipefail
+
+jobs=$(nproc 2>/dev/null || echo 4)
+while getopts "j:" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+run_config() {
+  local name="$1" dir="$2"; shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S . "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$jobs"
+  echo "=== [$name] test ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_config default build
+run_config asan build-asan -DHARMONY_SANITIZE=ON
+
+echo "=== all configs green ==="

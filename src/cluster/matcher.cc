@@ -58,7 +58,7 @@ namespace {
 class Search {
  public:
   Search(const std::vector<NodeRequirement>& requirements,
-         const std::vector<LinkRequirement>& links, ResourcePool& pool,
+         const std::vector<LinkRequirement>& links, ResourceView& pool,
          MatchPolicy policy)
       : requirements_(requirements),
         links_(links),
@@ -166,7 +166,7 @@ class Search {
 
   const std::vector<NodeRequirement>& requirements_;
   const std::vector<LinkRequirement>& links_;
-  ResourcePool& pool_;
+  ResourceView& pool_;
   MatchPolicy policy_;
   std::vector<NodeId> placed_;
 };
@@ -175,7 +175,7 @@ class Search {
 
 Result<Allocation> Matcher::match(
     const std::vector<NodeRequirement>& requirements,
-    const std::vector<LinkRequirement>& links, ResourcePool& pool) const {
+    const std::vector<LinkRequirement>& links, ResourceView& pool) const {
   for (const auto& link : links) {
     if (link.from >= requirements.size() || link.to >= requirements.size()) {
       return Err<Allocation>(ErrorCode::kInvalidArgument,
@@ -198,7 +198,7 @@ Result<Allocation> Matcher::match(
   return search.take_allocation();
 }
 
-Status Matcher::release(const Allocation& allocation, ResourcePool& pool) {
+Status Matcher::release(const Allocation& allocation, ResourceView& pool) {
   for (const auto& entry : allocation.entries) {
     auto status = pool.release_memory(entry.node, entry.requirement.memory_mb);
     if (!status.ok()) return status;

@@ -68,10 +68,10 @@ class Matcher {
   // allows.
   Result<Allocation> match(const std::vector<NodeRequirement>& requirements,
                            const std::vector<LinkRequirement>& links,
-                           ResourcePool& pool) const;
+                           ResourceView& pool) const;
 
   // Releases the memory held by a previous successful match.
-  static Status release(const Allocation& allocation, ResourcePool& pool);
+  static Status release(const Allocation& allocation, ResourceView& pool);
 
  private:
   MatchPolicy policy_;

@@ -121,6 +121,105 @@ bool ResourcePool::invariants_hold() const {
   return true;
 }
 
+PoolOverlay::PoolOverlay(const ResourceView* base) : base_(base) {
+  HARMONY_ASSERT(base != nullptr);
+}
+
+double PoolOverlay::reserved_delta(NodeId node) const {
+  auto it = deltas_.find(node);
+  return it == deltas_.end() ? 0.0 : it->second.memory_mb;
+}
+
+double PoolOverlay::total_memory(NodeId node) const {
+  return base_->total_memory(node);
+}
+
+double PoolOverlay::available_memory(NodeId node) const {
+  return base_->available_memory(node) - reserved_delta(node);
+}
+
+void PoolOverlay::apply(NodeId node, double memory_mb, int processes) {
+  Delta& delta = deltas_[node];
+  delta.memory_mb += memory_mb;
+  delta.processes += processes;
+  log_.push_back({node, memory_mb, processes});
+}
+
+Status PoolOverlay::reserve_memory(NodeId node, double mb) {
+  if (node >= topology().node_count()) {
+    return Status(ErrorCode::kNotFound, "no such node");
+  }
+  if (mb < 0) {
+    return Status(ErrorCode::kInvalidArgument, "negative reservation");
+  }
+  if (available_memory(node) + 1e-9 < mb) {
+    return Status(ErrorCode::kCapacity,
+                  str_format("node %s: %.1f MB requested, %.1f MB available",
+                             topology().node(node).hostname.c_str(), mb,
+                             available_memory(node)));
+  }
+  apply(node, mb, 0);
+  return Status::Ok();
+}
+
+Status PoolOverlay::release_memory(NodeId node, double mb) {
+  if (node >= topology().node_count()) {
+    return Status(ErrorCode::kNotFound, "no such node");
+  }
+  if (mb < 0) {
+    return Status(ErrorCode::kInvalidArgument, "negative release");
+  }
+  // Effective reserved = base reserved + overlay delta; mirror the live
+  // pool's over-release check and epsilon absorption.
+  double reserved = (base_->total_memory(node) - base_->available_memory(node)) +
+                    reserved_delta(node);
+  if (reserved + 1e-9 < mb) {
+    return Status(ErrorCode::kCapacity, "releasing more memory than reserved");
+  }
+  double applied = -mb;
+  if (reserved - mb < 0) applied = -reserved;  // absorb epsilon
+  apply(node, applied, 0);
+  return Status::Ok();
+}
+
+int PoolOverlay::process_count(NodeId node) const {
+  auto it = deltas_.find(node);
+  return base_->process_count(node) +
+         (it == deltas_.end() ? 0 : it->second.processes);
+}
+
+void PoolOverlay::add_process(NodeId node) {
+  HARMONY_ASSERT(node < topology().node_count());
+  apply(node, 0.0, 1);
+}
+
+Status PoolOverlay::remove_process(NodeId node) {
+  if (node >= topology().node_count()) {
+    return Status(ErrorCode::kNotFound, "no such node");
+  }
+  if (process_count(node) == 0) {
+    return Status(ErrorCode::kCapacity, "no process to remove");
+  }
+  apply(node, 0.0, -1);
+  return Status::Ok();
+}
+
+void PoolOverlay::rewind(Mark mark) {
+  HARMONY_ASSERT(mark.log_size <= log_.size());
+  while (log_.size() > mark.log_size) {
+    const LogEntry& entry = log_.back();
+    Delta& delta = deltas_[entry.node];
+    delta.memory_mb -= entry.memory_mb;
+    delta.processes -= entry.processes;
+    log_.pop_back();
+  }
+}
+
+void PoolOverlay::reset() {
+  deltas_.clear();
+  log_.clear();
+}
+
 Status MemoryReservation::reserve(NodeId node, double mb) {
   auto status = pool_->reserve_memory(node, mb);
   if (status.ok()) held_.emplace_back(node, mb);

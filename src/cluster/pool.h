@@ -3,6 +3,11 @@
 // application's RSL entries." Memory is reserved exclusively; CPU is
 // time-shared, so the pool tracks per-node load (number of resident
 // processes) which the performance models use for contention scaling.
+//
+// Two implementations of the ResourceView interface exist: the live
+// ResourcePool, and PoolOverlay — a copy-on-write delta view used by
+// the planning engine to evaluate candidate placements speculatively
+// without ever mutating (and having to roll back) live state.
 #pragma once
 
 #include <unordered_map>
@@ -13,40 +18,67 @@
 
 namespace harmony::cluster {
 
-class ResourcePool {
+// What the matcher and planner need from a pool: capacity queries plus
+// reserve/release mutations. ResourcePool is the live implementation;
+// PoolOverlay layers speculative deltas over any base view.
+class ResourceView {
+ public:
+  virtual ~ResourceView() = default;
+
+  virtual const Topology& topology() const = 0;
+
+  // --- memory ---------------------------------------------------------------
+  virtual double total_memory(NodeId node) const = 0;
+  virtual double available_memory(NodeId node) const = 0;
+  virtual Status reserve_memory(NodeId node, double mb) = 0;
+  virtual Status release_memory(NodeId node, double mb) = 0;
+
+  // --- CPU load -------------------------------------------------------------
+  // Number of processes resident on the node; the default performance
+  // model scales CPU time by this (processor sharing).
+  virtual int process_count(NodeId node) const = 0;
+  virtual void add_process(NodeId node) = 0;
+  virtual Status remove_process(NodeId node) = 0;
+
+  // --- external load --------------------------------------------------------
+  // Load from work outside Harmony's control (§4.3), as observed
+  // through the metric interface. Never speculated on by overlays.
+  virtual int external_load(NodeId node) const = 0;
+  // process_count + external load: the contention the models see.
+  int effective_load(NodeId node) const {
+    return process_count(node) + external_load(node);
+  }
+
+  // --- availability ---------------------------------------------------------
+  virtual bool is_online(NodeId node) const = 0;
+};
+
+class ResourcePool final : public ResourceView {
  public:
   explicit ResourcePool(const Topology* topology);
 
-  const Topology& topology() const { return *topology_; }
+  const Topology& topology() const override { return *topology_; }
 
   // --- memory ---------------------------------------------------------------
-  double total_memory(NodeId node) const;
-  double available_memory(NodeId node) const;
-  Status reserve_memory(NodeId node, double mb);
-  Status release_memory(NodeId node, double mb);
+  double total_memory(NodeId node) const override;
+  double available_memory(NodeId node) const override;
+  Status reserve_memory(NodeId node, double mb) override;
+  Status release_memory(NodeId node, double mb) override;
 
   // --- CPU load ---------------------------------------------------------------
-  // Number of processes resident on the node; the default performance
-  // model scales CPU time by this (processor sharing).
-  int process_count(NodeId node) const;
-  void add_process(NodeId node);
-  Status remove_process(NodeId node);
+  int process_count(NodeId node) const override;
+  void add_process(NodeId node) override;
+  Status remove_process(NodeId node) override;
 
   // Sum of processes across the cluster (diagnostics).
   int total_processes() const;
 
   // --- external load -------------------------------------------------------
-  // Load from work outside Harmony's control (§4.3: "changes out of
-  // Harmony's control (such as network traffic due to other
-  // applications)"), as observed through the metric interface. It
-  // contributes to contention estimates and to the matcher's
-  // least-loaded ordering, but reserves nothing.
+  // "changes out of Harmony's control (such as network traffic due to
+  // other applications)" — contributes to contention estimates and to
+  // the matcher's least-loaded ordering, but reserves nothing.
   void set_external_load(NodeId node, int tasks);
-  int external_load(NodeId node) const;
-  // process_count + external load: the contention the models see.
-  int effective_load(NodeId node) const {
-    return process_count(node) + external_load(node);
-  }
+  int external_load(NodeId node) const override;
 
   // --- availability ------------------------------------------------------
   // Nodes can leave and rejoin the pool at runtime ("the addition or
@@ -54,7 +86,7 @@ class ResourcePool {
   // is never matched; existing reservations are the controller's job to
   // migrate.
   void set_online(NodeId node, bool online);
-  bool is_online(NodeId node) const;
+  bool is_online(NodeId node) const override;
   size_t online_count() const;
 
   // Invariant check: no node over-committed, no negative counters.
@@ -69,12 +101,72 @@ class ResourcePool {
   std::vector<bool> online_;
 };
 
+// Copy-on-write view over a base pool. Reserve/release/process changes
+// accumulate as per-node deltas (plus an undo log) without touching the
+// base; queries merge the delta with the base on the fly. The planning
+// engine builds one overlay per bundle optimization, rewinds it between
+// candidate trials, and throws it away afterwards — live state is only
+// mutated when a winning plan is committed.
+//
+// Validation (capacity checks, epsilon tolerances) mirrors ResourcePool
+// exactly so the matcher behaves identically against either view.
+class PoolOverlay final : public ResourceView {
+ public:
+  explicit PoolOverlay(const ResourceView* base);
+
+  const Topology& topology() const override { return base_->topology(); }
+
+  double total_memory(NodeId node) const override;
+  double available_memory(NodeId node) const override;
+  Status reserve_memory(NodeId node, double mb) override;
+  Status release_memory(NodeId node, double mb) override;
+
+  int process_count(NodeId node) const override;
+  void add_process(NodeId node) override;
+  Status remove_process(NodeId node) override;
+
+  int external_load(NodeId node) const override {
+    return base_->external_load(node);
+  }
+  bool is_online(NodeId node) const override { return base_->is_online(node); }
+
+  // Cheap transactional trial support: mark() snapshots the undo-log
+  // position, rewind() reverses every delta applied since. A trial is
+  //   auto m = overlay.mark(); ... speculate ...; overlay.rewind(m);
+  struct Mark {
+    size_t log_size = 0;
+  };
+  Mark mark() const { return Mark{log_.size()}; }
+  void rewind(Mark mark);
+  // Drop every delta (back to a pristine view of the base).
+  void reset();
+  // True when the overlay currently diverges from the base.
+  bool dirty() const { return !log_.empty(); }
+
+ private:
+  struct Delta {
+    double memory_mb = 0.0;  // extra reserved relative to base
+    int processes = 0;       // extra processes relative to base
+  };
+  struct LogEntry {
+    NodeId node = kInvalidNode;
+    double memory_mb = 0.0;
+    int processes = 0;
+  };
+  double reserved_delta(NodeId node) const;
+  void apply(NodeId node, double memory_mb, int processes);
+
+  const ResourceView* base_;
+  std::unordered_map<NodeId, Delta> deltas_;
+  std::vector<LogEntry> log_;
+};
+
 // RAII reservation of memory on a set of nodes. Releases on destruction
 // unless committed. Keeps the matcher exception-safe: a partially
 // completed match rolls back automatically.
 class MemoryReservation {
  public:
-  explicit MemoryReservation(ResourcePool* pool) : pool_(pool) {}
+  explicit MemoryReservation(ResourceView* pool) : pool_(pool) {}
   ~MemoryReservation() { rollback(); }
   MemoryReservation(const MemoryReservation&) = delete;
   MemoryReservation& operator=(const MemoryReservation&) = delete;
@@ -85,7 +177,7 @@ class MemoryReservation {
   void rollback();
 
  private:
-  ResourcePool* pool_;
+  ResourceView* pool_;
   std::vector<std::pair<NodeId, double>> held_;
 };
 

@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -35,6 +36,49 @@ Controller::Controller(ControllerConfig config) : config_(std::move(config)) {
 
 double Controller::now() const {
   return time_source_ ? time_source_() : 0.0;
+}
+
+Controller::EpochScope::EpochScope(Controller& controller)
+    : controller_(controller) {
+  controller_.begin_epoch();
+}
+
+Controller::EpochScope::~EpochScope() { controller_.end_epoch(); }
+
+void Controller::begin_epoch() {
+  if (epoch_depth_++ > 0) return;
+  epoch_applied_ = false;
+  epoch_wall_start_ = std::chrono::steady_clock::now();
+  epoch_candidates_start_ = optimizer_->candidates_evaluated();
+  epoch_predictor_start_ = optimizer_->predictor_calls();
+  epoch_skipped_start_ = optimizer_->bundles_skipped();
+}
+
+void Controller::end_epoch() {
+  HARMONY_ASSERT(epoch_depth_ > 0);
+  if (--epoch_depth_ > 0) return;
+  if (epoch_applied_) {
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - epoch_wall_start_)
+            .count();
+    const double t = now();
+    metrics_.record("controller.decision_latency_ms", t, latency_ms);
+    metrics_.record("optimizer.epoch_candidates", t,
+                    static_cast<double>(optimizer_->candidates_evaluated() -
+                                        epoch_candidates_start_));
+    metrics_.record("optimizer.epoch_predictor_calls", t,
+                    static_cast<double>(optimizer_->predictor_calls() -
+                                        epoch_predictor_start_));
+    metrics_.record("optimizer.epoch_bundles_skipped", t,
+                    static_cast<double>(optimizer_->bundles_skipped() -
+                                        epoch_skipped_start_));
+    metrics_.record("optimizer.cache_hit_rate", t,
+                    optimizer_->cache_stats().hit_rate());
+  }
+  // One coherent flush per external event, however many decision
+  // batches it produced.
+  if (config_.auto_flush) flush_pending_vars();
 }
 
 Status Controller::add_node(const rsl::NodeAd& ad) {
@@ -108,6 +152,7 @@ Result<InstanceId> Controller::register_application(
   if (!finalized.ok()) {
     return Err<InstanceId>(finalized.error().code, finalized.error().message);
   }
+  EpochScope epoch(*this);
 
   InstanceState instance;
   instance.id = next_instance_id_++;
@@ -157,14 +202,19 @@ Status Controller::unregister(InstanceId id) {
   if (it == state_.instances.end()) {
     return Status(ErrorCode::kNotFound, "no such instance");
   }
+  EpochScope epoch(*this);
   for (auto& bundle : it->bundles) {
     if (bundle.configured) {
       auto released = cluster::Matcher::release(bundle.allocation,
                                                 *state_.pool);
       HARMONY_ASSERT(released.ok());
+      state_.touch_allocation(bundle.allocation);
     }
   }
   names_.erase(it->path());
+  // The departed instance's names are gone; memoized predictions that
+  // read them through the live context are stale.
+  optimizer_->invalidate_predictions();
   subscribers_.erase(id);
   pending_vars_.erase(id);
   state_.instances.erase(it);
@@ -183,6 +233,7 @@ Status Controller::reevaluate() {
   if (!cluster_finalized()) {
     return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
   }
+  EpochScope epoch(*this);
   auto decisions = optimizer_->reevaluate(state_, now());
   if (!decisions.ok()) {
     return Status(decisions.error().code, decisions.error().message);
@@ -196,6 +247,7 @@ Status Controller::set_option(InstanceId id, const std::string& bundle,
   if (!cluster_finalized()) {
     return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
   }
+  EpochScope epoch(*this);
   auto decision = optimizer_->apply_choice(state_, id, bundle, choice, now());
   if (!decision.ok()) {
     return Status(decision.error().code, decision.error().message);
@@ -211,7 +263,9 @@ Status Controller::set_node_online(const std::string& hostname, bool online) {
   auto node = state_.topology.find_by_hostname(hostname);
   if (!node.ok()) return Status(node.error().code, node.error().message);
   if (state_.pool->is_online(node.value()) == online) return Status::Ok();
+  EpochScope epoch(*this);
   state_.pool->set_online(node.value(), online);
+  state_.touch_node(node.value());
   metrics_.record("cluster." + hostname + ".online", now(), online ? 1 : 0);
   HLOG_INFO("controller") << hostname << (online ? " joined" : " left")
                           << " the cluster";
@@ -230,8 +284,11 @@ Status Controller::set_node_online(const std::string& hostname, bool online) {
         auto released =
             cluster::Matcher::release(bundle.allocation, *state_.pool);
         HARMONY_ASSERT(released.ok());
+        state_.touch_allocation(bundle.allocation);
         bundle.configured = false;
         bundle.allocation = {};
+        // A displaced bundle holds no argmin configuration anymore.
+        bundle.evaluated_version = 0;
         decisions.push_back(
             Decision{instance.id, bundle.spec.bundle, OptionChoice{}, true});
       }
@@ -272,7 +329,9 @@ Status Controller::report_external_load(const std::string& hostname,
   if (state_.pool->external_load(node.value()) == concurrent_tasks) {
     return Status::Ok();
   }
+  EpochScope epoch(*this);
   state_.pool->set_external_load(node.value(), concurrent_tasks);
+  state_.touch_node(node.value());
   metrics_.record("cluster." + hostname + ".external_load", now(),
                   concurrent_tasks);
   HLOG_INFO("controller") << hostname << " external load -> "
@@ -289,6 +348,7 @@ Status Controller::subscribe(InstanceId id, UpdateHandler handler) {
   if (state_.find_instance(id) == nullptr) {
     return Status(ErrorCode::kNotFound, "no such instance");
   }
+  EpochScope epoch(*this);
   subscribers_[id] = std::move(handler);
   // Send the instance its current configuration immediately so late
   // subscribers do not miss the arrival decision.
@@ -301,7 +361,6 @@ Status Controller::subscribe(InstanceId id, UpdateHandler handler) {
     }
   }
   queue_updates(*instance, synthetic);
-  if (config_.auto_flush) flush_pending_vars();
   return Status::Ok();
 }
 
@@ -407,7 +466,16 @@ void Controller::queue_updates(const InstanceState& instance,
 }
 
 void Controller::apply_decisions(const std::vector<Decision>& decisions) {
+  epoch_applied_ = true;
+  // Republish only instances whose configuration actually changed:
+  // everyone else's namespace entries are already current, and leaving
+  // them alone is what lets the prediction cache survive quiet epochs.
+  std::unordered_set<InstanceId> republish;
+  for (const auto& decision : decisions) {
+    if (decision.changed) republish.insert(decision.instance);
+  }
   for (const auto& instance : state_.instances) {
+    if (republish.count(instance.id) == 0) continue;
     publish_instance(instance);
     queue_updates(instance, decisions);
   }
@@ -422,8 +490,10 @@ void Controller::apply_decisions(const std::vector<Decision>& decisions) {
   if (objective.ok()) {
     metrics_.record("controller.objective", now(), objective.value());
   }
-  optimizer_->set_names(names_context());
-  if (config_.auto_flush) flush_pending_vars();
+  // Namespace content changed only if something was republished; the
+  // optimizer drops its memoized predictions when handed a new context.
+  if (!republish.empty()) optimizer_->set_names(names_context());
+  // Variable delivery is deferred to the outermost epoch close.
 }
 
 }  // namespace harmony::core

@@ -6,6 +6,7 @@
 // the prototype's flushPendingVars() call.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -39,6 +40,26 @@ struct ControllerConfig {
 class Controller {
  public:
   explicit Controller(ControllerConfig config = {});
+
+  // RAII scope grouping decisions into one optimization epoch. Variable
+  // updates queued anywhere inside the outermost scope are flushed once
+  // at its close (under auto_flush), together with one coherent set of
+  // decision-path metrics (decision latency, candidates evaluated,
+  // predictor calls, cache hit rate). Every controller entry point
+  // opens one internally; callers that fan several calls into one
+  // logical event (e.g. the TCP server dispatching a REGISTER that also
+  // subscribes) can open their own so the event produces exactly one
+  // flush.
+  class EpochScope {
+   public:
+    explicit EpochScope(Controller& controller);
+    ~EpochScope();
+    EpochScope(const EpochScope&) = delete;
+    EpochScope& operator=(const EpochScope&) = delete;
+
+   private:
+    Controller& controller_;
+  };
 
   // --- cluster setup ----------------------------------------------------
   // Nodes and links are fixed once the first application registers.
@@ -126,6 +147,8 @@ class Controller {
   void queue_updates(const InstanceState& instance,
                      const std::vector<Decision>& decisions);
   void apply_decisions(const std::vector<Decision>& decisions);
+  void begin_epoch();
+  void end_epoch();
   rsl::ExprContext names_context() const {
     return names_.expr_context("");
   }
@@ -140,6 +163,14 @@ class Controller {
   std::function<double()> time_source_;
   InstanceId next_instance_id_ = 1;
   uint64_t reconfigurations_ = 0;
+
+  // --- epoch bookkeeping (see EpochScope) ---------------------------------
+  int epoch_depth_ = 0;
+  bool epoch_applied_ = false;  // decisions were applied in this epoch
+  std::chrono::steady_clock::time_point epoch_wall_start_;
+  uint64_t epoch_candidates_start_ = 0;
+  uint64_t epoch_predictor_start_ = 0;
+  uint64_t epoch_skipped_start_ = 0;
 
   struct PendingLink {
     std::string from;

@@ -19,6 +19,14 @@ class Objective {
   // Lower is better. response_times holds one predicted time per live
   // application instance.
   virtual double evaluate(const std::vector<double>& response_times) const = 0;
+  // True when the objective is a sum (up to positive scaling) of
+  // per-instance terms. For such objectives, instances whose predicted
+  // time is constant across one bundle's candidate placements shift the
+  // objective uniformly and cannot change that bundle's argmin — the
+  // incremental optimizer exploits this to skip untouched bundles.
+  // Non-separable objectives (makespan) only allow skipping when the
+  // whole system is unchanged.
+  virtual bool separable() const { return false; }
 };
 
 // The paper's default: minimize mean completion time.
@@ -26,6 +34,7 @@ class MeanCompletionTime : public Objective {
  public:
   const char* name() const override { return "mean-completion-time"; }
   double evaluate(const std::vector<double>& response_times) const override;
+  bool separable() const override { return true; }
 };
 
 // Makespan: minimize the slowest job (fairness-oriented alternative the
@@ -43,6 +52,7 @@ class NegativeThroughput : public Objective {
  public:
   const char* name() const override { return "throughput"; }
   double evaluate(const std::vector<double>& response_times) const override;
+  bool separable() const override { return true; }
 };
 
 // Weighted mean: "a measure of goodness for each application scaled
@@ -54,6 +64,7 @@ class WeightedCompletionTime : public Objective {
       : weights_(std::move(weights)) {}
   const char* name() const override { return "weighted-completion-time"; }
   double evaluate(const std::vector<double>& response_times) const override;
+  bool separable() const override { return true; }
 
  private:
   std::vector<double> weights_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -13,6 +15,48 @@ Optimizer::Optimizer(const Predictor* predictor, const Objective* objective,
                      OptimizerConfig config)
     : predictor_(predictor), objective_(objective), config_(config) {
   HARMONY_ASSERT(predictor != nullptr && objective != nullptr);
+}
+
+void Optimizer::set_names(rsl::ExprContext names) {
+  names_ = std::move(names);
+  // The context is a live view over the namespace; any install signals
+  // that the content behind it may have changed.
+  cache_.invalidate();
+}
+
+void Optimizer::set_config(OptimizerConfig config) {
+  config_ = config;
+  cache_.invalidate();
+  force_full_pass_ = true;
+}
+
+Result<double> Optimizer::predict_cached(
+    InstanceId instance, const BundleState& bundle,
+    const rsl::OptionSpec& option, const OptionChoice& choice,
+    const cluster::Allocation& allocation,
+    const std::map<cluster::NodeId, int>& load,
+    const cluster::Topology& topology) const {
+  PredictionInput input;
+  input.option = &option;
+  input.choice = &choice;
+  input.allocation = &allocation;
+  input.topology = &topology;
+  input.node_load = &load;
+  input.names = names_;
+  // Scripts may shell out through cmd_eval; never memoize them.
+  if (!config_.memoize_predictions ||
+      Predictor::model_for(option) == Predictor::Model::kScript) {
+    ++predictor_calls_;
+    return predictor_->predict(input);
+  }
+  std::string key =
+      prediction_cache_key(instance, bundle.spec.bundle, choice, allocation,
+                           load);
+  if (auto hit = cache_.lookup(key)) return *hit;
+  ++predictor_calls_;
+  auto predicted = predictor_->predict(input);
+  if (predicted.ok()) cache_.insert(key, predicted.value());
+  return predicted;
 }
 
 Result<std::vector<std::pair<InstanceId, double>>> Optimizer::predict_all(
@@ -31,14 +75,9 @@ Result<std::vector<std::pair<InstanceId, double>>> Optimizer::predict_all(
             ErrorCode::kNotFound,
             "configured option vanished: " + bundle.choice.option);
       }
-      PredictionInput input;
-      input.option = option;
-      input.choice = &bundle.choice;
-      input.allocation = &bundle.allocation;
-      input.topology = &state.topology;
-      input.node_load = &load;
-      input.names = names_;
-      auto predicted = predictor_->predict(input);
+      auto predicted =
+          predict_cached(instance.id, bundle, *option, bundle.choice,
+                         bundle.allocation, load, state.topology);
       if (!predicted.ok()) {
         return Err<std::vector<std::pair<InstanceId, double>>>(
             predicted.error().code, predicted.error().message);
@@ -62,8 +101,8 @@ Result<double> Optimizer::objective_value(const SystemState& state) const {
   return objective_->evaluate(times);
 }
 
-Result<cluster::Allocation> Optimizer::try_install(
-    SystemState& state, BundleState& bundle,
+Result<cluster::Allocation> Optimizer::try_install_on(
+    cluster::ResourceView& view, BundleState& bundle,
     const OptionChoice& choice) const {
   const rsl::OptionSpec* option = bundle.spec.find_option(choice.option);
   if (option == nullptr) {
@@ -76,7 +115,54 @@ Result<cluster::Allocation> Optimizer::try_install(
   }
   cluster::Matcher matcher(config_.match_policy);
   return matcher.match(bound.value().node_requirements,
-                       bound.value().link_requirements, *state.pool);
+                       bound.value().link_requirements, view);
+}
+
+Result<cluster::Allocation> Optimizer::try_install(
+    SystemState& state, BundleState& bundle,
+    const OptionChoice& choice) const {
+  return try_install_on(*state.pool, bundle, choice);
+}
+
+Result<double> Optimizer::plan_objective(
+    const SystemState& state, const InstanceState& instance,
+    const BundleState& bundle, const OptionChoice& candidate,
+    const cluster::Allocation& allocation, const PlanOverlay& plan,
+    const OptionChoice* previous) const {
+  auto load = plan.load_with(allocation);
+  std::vector<double> times;
+  times.reserve(state.instances.size());
+  for (const auto& other : state.instances) {
+    double total = 0.0;
+    bool any = false;
+    for (const auto& ob : other.bundles) {
+      const bool is_target = &ob == &bundle;
+      if (!is_target && !ob.configured) continue;
+      const OptionChoice& choice = is_target ? candidate : ob.choice;
+      const cluster::Allocation& alloc = is_target ? allocation : ob.allocation;
+      const rsl::OptionSpec* option = ob.spec.find_option(choice.option);
+      if (option == nullptr) {
+        return Err<double>(ErrorCode::kNotFound,
+                           "configured option vanished: " + choice.option);
+      }
+      auto predicted = predict_cached(other.id, ob, *option, choice, alloc,
+                                      load, state.topology);
+      if (!predicted.ok()) {
+        return Err<double>(predicted.error().code, predicted.error().message);
+      }
+      total += predicted.value();
+      any = true;
+    }
+    if (!any) continue;
+    // Frictional cost of switching away from the current option.
+    if (config_.respect_friction && previous != nullptr &&
+        other.id == instance.id && !(candidate == *previous)) {
+      const rsl::OptionSpec* opt = bundle.spec.find_option(candidate.option);
+      if (opt != nullptr) total += opt->friction_s;
+    }
+    times.push_back(total);
+  }
+  return objective_->evaluate(times);
 }
 
 Result<Decision> Optimizer::optimize_bundle(SystemState& state,
@@ -84,6 +170,8 @@ Result<Decision> Optimizer::optimize_bundle(SystemState& state,
                                             BundleState& bundle, double now,
                                             bool require_feasible) {
   // Granularity gate: hold the current option until its window elapses.
+  // The gate leaves evaluated_version alone — a gated bundle stays
+  // dirty, so the pass after the window expires re-evaluates it.
   if (bundle.configured && config_.respect_granularity) {
     const rsl::OptionSpec* current =
         bundle.spec.find_option(bundle.choice.option);
@@ -93,17 +181,14 @@ Result<Decision> Optimizer::optimize_bundle(SystemState& state,
     }
   }
 
-  // Save and release the current configuration: candidates are matched
-  // against the pool as if this bundle held nothing.
   const bool had_config = bundle.configured;
   const OptionChoice previous_choice = bundle.choice;
   const cluster::Allocation previous_allocation = bundle.allocation;
-  if (had_config) {
-    auto released = cluster::Matcher::release(bundle.allocation, *state.pool);
-    HARMONY_ASSERT_MSG(released.ok(), "releasing current allocation failed");
-    bundle.configured = false;
-    bundle.allocation = {};
-  }
+
+  // Candidates are matched and predicted against a speculative plan:
+  // the live pool is never mutated during the search, so an aborted or
+  // losing evaluation has nothing to roll back.
+  PlanOverlay plan(state, &bundle);
 
   struct Best {
     OptionChoice choice;
@@ -133,48 +218,43 @@ Result<Decision> Optimizer::optimize_bundle(SystemState& state,
   }
 
   for (const OptionChoice& candidate : candidates) {
-    auto allocation = try_install(state, bundle, candidate);
-    if (!allocation.ok()) continue;  // infeasible under current pool
+    auto mark = plan.pool().mark();
+    auto allocation = try_install_on(plan.pool(), bundle, candidate);
+    if (!allocation.ok()) continue;  // infeasible; matcher left no residue
     ++candidates_evaluated_;
-    bundle.choice = candidate;
-    bundle.allocation = allocation.value();
-    bundle.configured = true;
-
-    auto predictions = predict_all(state);
-    double objective = std::numeric_limits<double>::infinity();
-    if (predictions.ok()) {
-      std::vector<double> times;
-      times.reserve(predictions.value().size());
-      for (auto& [id, t] : predictions.value()) {
-        // Frictional cost of switching away from the current option.
-        if (config_.respect_friction && had_config && id == instance.id &&
-            !(candidate == previous_choice)) {
-          const rsl::OptionSpec* opt = bundle.spec.find_option(candidate.option);
-          if (opt != nullptr) t += opt->friction_s;
-        }
-        times.push_back(t);
-      }
-      objective = objective_->evaluate(times);
-    }
-
+    auto evaluated =
+        plan_objective(state, instance, bundle, candidate, allocation.value(),
+                       plan, had_config ? &previous_choice : nullptr);
+    plan.pool().rewind(mark);
+    double objective = evaluated.ok()
+                           ? evaluated.value()
+                           : std::numeric_limits<double>::infinity();
     if (std::isfinite(objective) && (!best || objective < best->objective)) {
       best = Best{candidate, objective};
     }
-
-    auto released = cluster::Matcher::release(bundle.allocation, *state.pool);
-    HARMONY_ASSERT(released.ok());
-    bundle.configured = false;
-    bundle.allocation = {};
   }
 
   if (!best) {
-    // Nothing feasible: restore the previous configuration if any.
     if (had_config) {
+      // Nothing feasible (or every candidate predicted non-finite):
+      // keep the previous configuration. Re-match it on the live pool —
+      // the matcher is deterministic, so this reproduces the historical
+      // restore path bit-for-bit, including the silent migration it can
+      // produce when a candidate trial succeeded but predictions
+      // errored.
+      auto released =
+          cluster::Matcher::release(bundle.allocation, *state.pool);
+      HARMONY_ASSERT_MSG(released.ok(), "releasing current allocation failed");
       auto restored = try_install(state, bundle, previous_choice);
       HARMONY_ASSERT_MSG(restored.ok(), "restoring previous allocation failed");
       bundle.choice = previous_choice;
       bundle.allocation = std::move(restored).value();
       bundle.configured = true;
+      if (!bundle.allocation.same_placement(previous_allocation)) {
+        state.touch_allocation(previous_allocation);
+        state.touch_allocation(bundle.allocation);
+      }
+      bundle.evaluated_version = state.version;
       return Decision{instance.id, bundle.spec.bundle, bundle.choice, false};
     }
     if (require_feasible) {
@@ -183,9 +263,21 @@ Result<Decision> Optimizer::optimize_bundle(SystemState& state,
                                       instance.path().c_str(),
                                       bundle.spec.bundle.c_str()));
     }
+    bundle.evaluated_version = state.version;
     return Decision{instance.id, bundle.spec.bundle, OptionChoice{}, false};
   }
 
+  // Commit the winner to live state: release the previous allocation
+  // and re-match the winning choice on the real pool. The matcher is
+  // deterministic and the pool-minus-this-bundle it sees is exactly the
+  // overlay state the winner was evaluated under, so the committed
+  // allocation equals the planned one.
+  if (had_config) {
+    auto released = cluster::Matcher::release(bundle.allocation, *state.pool);
+    HARMONY_ASSERT_MSG(released.ok(), "releasing current allocation failed");
+    bundle.configured = false;
+    bundle.allocation = {};
+  }
   auto allocation = try_install(state, bundle, best->choice);
   HARMONY_ASSERT_MSG(allocation.ok(), "re-matching the winner failed");
   bundle.choice = best->choice;
@@ -195,32 +287,94 @@ Result<Decision> Optimizer::optimize_bundle(SystemState& state,
   // too: the application must learn its new node assignment.
   bool changed = !had_config || !(best->choice == previous_choice) ||
                  !bundle.allocation.same_placement(previous_allocation);
-  if (changed) bundle.last_switch_time = now;
+  if (changed) {
+    bundle.last_switch_time = now;
+    state.touch_allocation(previous_allocation);
+    state.touch_allocation(bundle.allocation);
+  }
+  bundle.evaluated_version = state.version;
   HLOG_DEBUG("optimizer") << instance.path() << "." << bundle.spec.bundle
                           << " -> " << bundle.choice.to_string()
                           << (changed ? " (changed)" : " (kept)");
   return Decision{instance.id, bundle.spec.bundle, bundle.choice, changed};
 }
 
-Result<Decision> Optimizer::configure_first_feasible(SystemState& state,
-                                                     InstanceState& instance,
-                                                     BundleState& bundle,
-                                                     double now) {
-  HARMONY_ASSERT(!bundle.configured);
-  for (const OptionChoice& candidate : enumerate_choices(bundle.spec)) {
-    auto allocation = try_install(state, bundle, candidate);
-    if (!allocation.ok()) continue;
-    ++candidates_evaluated_;
-    bundle.choice = candidate;
-    bundle.allocation = std::move(allocation).value();
-    bundle.configured = true;
-    bundle.last_switch_time = now;
-    return Decision{instance.id, bundle.spec.bundle, bundle.choice, true};
+bool Optimizer::can_skip(const SystemState& state,
+                         const BundleState& bundle) const {
+  if (bundle.evaluated_version == 0) return false;
+  const uint64_t threshold = bundle.evaluated_version;
+  if (!objective_->separable()) {
+    // Non-separable objectives (makespan) couple every bundle's choice
+    // to every instance's absolute time: any change anywhere can flip
+    // the argmin. Skip only when the whole system is untouched.
+    return state.version <= threshold;
   }
-  return Err<Decision>(ErrorCode::kNoMatch,
-                       str_format("no feasible option for %s.%s",
-                                  instance.path().c_str(),
-                                  bundle.spec.bundle.c_str()));
+  // Separable objectives: untouched instances contribute a constant to
+  // every candidate's score, so the argmin is unchanged unless
+  //   (a) a node this bundle could be placed on changed (feasibility or
+  //       contention on its own candidates), or
+  //   (b) an instance sharing those nodes changed elsewhere — its time
+  //       varies across this bundle's candidates, so a shift in its
+  //       other inputs is not constant across them.
+  const auto& admissible = bundle.admissible(state.topology);
+  if (state.max_node_version(admissible) > threshold) return false;
+  std::unordered_set<cluster::NodeId> admissible_set(admissible.begin(),
+                                                     admissible.end());
+  for (const auto& other : state.instances) {
+    bool colocated = false;
+    for (const auto& ob : other.bundles) {
+      if (!ob.configured) continue;
+      for (const auto& entry : ob.allocation.entries) {
+        if (admissible_set.count(entry.node)) {
+          colocated = true;
+          break;
+        }
+      }
+      if (colocated) break;
+    }
+    if (!colocated) continue;
+    for (const auto& ob : other.bundles) {
+      if (!ob.configured) continue;
+      for (const auto& entry : ob.allocation.entries) {
+        if (entry.node < state.node_version.size() &&
+            state.node_version[entry.node] > threshold) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Decision>> Optimizer::reevaluate_pass(SystemState& state,
+                                                         double now,
+                                                         InstanceId exclude) {
+  const bool allow_skip = config_.incremental && !force_full_pass_;
+  std::vector<Decision> decisions;
+  for (auto& instance : state.instances) {
+    if (instance.id == exclude) continue;
+    for (auto& bundle : instance.bundles) {
+      if (allow_skip && can_skip(state, bundle)) {
+        ++bundles_skipped_;
+        // Report the held decision so callers see the same decision
+        // list a full pass would produce.
+        decisions.push_back(Decision{
+            instance.id, bundle.spec.bundle,
+            bundle.configured ? bundle.choice : OptionChoice{}, false});
+        continue;
+      }
+      ++bundles_evaluated_;
+      auto decision = optimize_bundle(state, instance, bundle, now,
+                                      /*require_feasible=*/false);
+      if (!decision.ok()) {
+        return Err<std::vector<Decision>>(decision.error().code,
+                                          decision.error().message);
+      }
+      decisions.push_back(std::move(decision).value());
+    }
+  }
+  force_full_pass_ = false;
+  return decisions;
 }
 
 Result<std::vector<Decision>> Optimizer::on_arrival(SystemState& state,
@@ -237,6 +391,7 @@ Result<std::vector<Decision>> Optimizer::on_arrival(SystemState& state,
   std::vector<Decision> decisions;
   // 1. Configure the new application's bundles, definition order.
   for (auto& bundle : arrived->bundles) {
+    ++bundles_evaluated_;
     auto decision =
         config_.initial_policy == OptimizerConfig::InitialPolicy::kFirstFeasible
             ? configure_first_feasible(state, *arrived, bundle, now)
@@ -250,18 +405,11 @@ Result<std::vector<Decision>> Optimizer::on_arrival(SystemState& state,
   }
   if (!config_.reevaluate_on_arrival) return decisions;
   // 2. Re-evaluate existing applications.
-  for (auto& instance : state.instances) {
-    if (instance.id == id) continue;
-    for (auto& bundle : instance.bundles) {
-      auto decision = optimize_bundle(state, instance, bundle, now,
-                                      /*require_feasible=*/false);
-      if (!decision.ok()) {
-        return Err<std::vector<Decision>>(decision.error().code,
-                                          decision.error().message);
-      }
-      decisions.push_back(std::move(decision).value());
-    }
+  auto rest = reevaluate_pass(state, now, id);
+  if (!rest.ok()) {
+    return Err<std::vector<Decision>>(rest.error().code, rest.error().message);
   }
+  decisions.insert(decisions.end(), rest.value().begin(), rest.value().end());
   return decisions;
 }
 
@@ -270,19 +418,7 @@ Result<std::vector<Decision>> Optimizer::reevaluate(SystemState& state,
   if (config_.mode == OptimizerConfig::Mode::kExhaustive) {
     return exhaustive(state, now);
   }
-  std::vector<Decision> decisions;
-  for (auto& instance : state.instances) {
-    for (auto& bundle : instance.bundles) {
-      auto decision = optimize_bundle(state, instance, bundle, now,
-                                      /*require_feasible=*/false);
-      if (!decision.ok()) {
-        return Err<std::vector<Decision>>(decision.error().code,
-                                          decision.error().message);
-      }
-      decisions.push_back(std::move(decision).value());
-    }
-  }
-  return decisions;
+  return reevaluate_pass(state, now, /*exclude=*/0);
 }
 
 Result<Decision> Optimizer::apply_choice(SystemState& state, InstanceId id,
@@ -304,6 +440,7 @@ Result<Decision> Optimizer::apply_choice(SystemState& state, InstanceId id,
   }
   const bool had_config = bundle->configured;
   const OptionChoice previous = bundle->choice;
+  const cluster::Allocation previous_allocation = bundle->allocation;
   if (had_config) {
     if (choice == previous) {
       return Decision{id, bundle_name, previous, false};
@@ -321,6 +458,10 @@ Result<Decision> Optimizer::apply_choice(SystemState& state, InstanceId id,
       bundle->choice = previous;
       bundle->allocation = std::move(restored).value();
       bundle->configured = true;
+      if (!bundle->allocation.same_placement(previous_allocation)) {
+        state.touch_allocation(previous_allocation);
+        state.touch_allocation(bundle->allocation);
+      }
     }
     return Err<Decision>(allocation.error().code, allocation.error().message);
   }
@@ -328,7 +469,36 @@ Result<Decision> Optimizer::apply_choice(SystemState& state, InstanceId id,
   bundle->allocation = std::move(allocation).value();
   bundle->configured = true;
   bundle->last_switch_time = now;
+  state.touch_allocation(previous_allocation);
+  state.touch_allocation(bundle->allocation);
+  // A steered choice is not an argmin; force re-evaluation next pass.
+  bundle->evaluated_version = 0;
   return Decision{id, bundle_name, choice, true};
+}
+
+Result<Decision> Optimizer::configure_first_feasible(SystemState& state,
+                                                     InstanceState& instance,
+                                                     BundleState& bundle,
+                                                     double now) {
+  HARMONY_ASSERT(!bundle.configured);
+  for (const OptionChoice& candidate : enumerate_choices(bundle.spec)) {
+    auto allocation = try_install(state, bundle, candidate);
+    if (!allocation.ok()) continue;
+    ++candidates_evaluated_;
+    bundle.choice = candidate;
+    bundle.allocation = std::move(allocation).value();
+    bundle.configured = true;
+    bundle.last_switch_time = now;
+    state.touch_allocation(bundle.allocation);
+    // First-feasible is not an argmin; stay dirty so the next
+    // re-evaluation pass optimizes it properly.
+    bundle.evaluated_version = 0;
+    return Decision{instance.id, bundle.spec.bundle, bundle.choice, true};
+  }
+  return Err<Decision>(ErrorCode::kNoMatch,
+                       str_format("no feasible option for %s.%s",
+                                  instance.path().c_str(),
+                                  bundle.spec.bundle.c_str()));
 }
 
 // Joint search over the full cartesian space of (instance, bundle)
@@ -443,10 +613,15 @@ Result<std::vector<Decision>> Optimizer::exhaustive(SystemState& state,
     slots[i].bundle->configured = true;
     bool changed = !slots[i].had_config || !(winner == slots[i].previous);
     if (changed) slots[i].bundle->last_switch_time = now;
+    // A joint search invalidates the greedy bookkeeping wholesale: the
+    // configurations were not produced by per-bundle argmins.
+    slots[i].bundle->evaluated_version = 0;
     decisions.push_back(Decision{slots[i].instance->id,
                                  slots[i].bundle->spec.bundle, winner,
                                  changed});
   }
+  state.touch_all();
+  force_full_pass_ = true;
   return decisions;
 }
 

@@ -4,6 +4,15 @@
 // options for a new application, we re-evaluate the options for
 // existing applications." Greedy by default; an exhaustive search over
 // the joint choice space is provided as the ablation baseline.
+//
+// The greedy path is an *incremental planning engine*: candidates are
+// evaluated against a PlanOverlay (copy-on-write view of the pool) so
+// live state is only mutated when a winning plan commits; dirty-set
+// tracking on SystemState lets re-evaluation passes skip bundles whose
+// inputs are untouched; and a PredictionCache memoizes predictor calls
+// across candidates and passes. Greedy decisions are identical to a
+// full mutate-and-rollback pass — only the work done to reach them
+// shrinks.
 #pragma once
 
 #include <optional>
@@ -47,6 +56,18 @@ struct OptimizerConfig {
   // describes ("Harmony can then decide to allocate additional memory
   // resources at the client").
   std::vector<double> memory_grant_levels = {1.0};
+  // Incremental re-evaluation: skip bundles whose feasible set and
+  // contention inputs are untouched since their last evaluation
+  // (dirty-set tracking). Decisions are provably identical to a full
+  // pass for separable objectives; non-separable objectives only skip
+  // when the whole system is unchanged. Off = re-walk everything
+  // (the differential-test baseline).
+  bool incremental = true;
+  // Memoize predictor calls keyed on their full input fingerprint. Off
+  // = recompute every prediction (the differential-test baseline; a
+  // stale or colliding cache entry would otherwise corrupt both sides
+  // of the comparison identically).
+  bool memoize_predictions = true;
 };
 
 struct Decision {
@@ -61,10 +82,16 @@ class Optimizer {
   Optimizer(const Predictor* predictor, const Objective* objective,
             OptimizerConfig config = {});
 
-  // Namespace-backed expression context for RSL amounts.
-  void set_names(rsl::ExprContext names) { names_ = std::move(names); }
+  // Namespace-backed expression context for RSL amounts. The context is
+  // a live view, so installing it also invalidates memoized
+  // predictions (namespace content may have changed).
+  void set_names(rsl::ExprContext names);
   const OptimizerConfig& config() const { return config_; }
-  void set_config(OptimizerConfig config) { config_ = config; }
+  // Reconfiguring forces the next pass to re-evaluate everything.
+  void set_config(OptimizerConfig config);
+  // Drops memoized predictions. Call when namespace content changes
+  // outside set_names (e.g. an instance's names were erased).
+  void invalidate_predictions() { cache_.invalidate(); }
 
   // Configures a newly arrived instance's bundles (definition order),
   // then re-evaluates every other application. Returns all applied
@@ -74,7 +101,9 @@ class Optimizer {
                                            double now);
 
   // One re-evaluation pass over every instance and bundle (used on
-  // departures and periodic timers).
+  // departures and periodic timers). Under incremental mode, bundles
+  // whose dirty inputs are untouched are skipped and report an
+  // unchanged decision.
   Result<std::vector<Decision>> reevaluate(SystemState& state, double now);
 
   // Manual steering: installs a specific choice for one bundle,
@@ -91,9 +120,15 @@ class Optimizer {
   // Objective under the current configuration.
   Result<double> objective_value(const SystemState& state) const;
 
-  // Number of candidate configurations evaluated since construction
-  // (decision-latency ablation).
+  // --- decision-path counters (ablation / metrics) ------------------------
+  // Candidate configurations evaluated since construction.
   uint64_t candidates_evaluated() const { return candidates_evaluated_; }
+  // Actual predictor invocations (prediction-cache misses + uncached).
+  uint64_t predictor_calls() const { return predictor_calls_; }
+  // Bundle optimizations run vs skipped by dirty-set tracking.
+  uint64_t bundles_evaluated() const { return bundles_evaluated_; }
+  uint64_t bundles_skipped() const { return bundles_skipped_; }
+  const PredictionCache::Stats& cache_stats() const { return cache_.stats(); }
 
  private:
   Result<Decision> optimize_bundle(SystemState& state, InstanceState& instance,
@@ -103,17 +138,56 @@ class Optimizer {
                                             InstanceState& instance,
                                             BundleState& bundle, double now);
   Result<std::vector<Decision>> exhaustive(SystemState& state, double now);
+  // The shared re-evaluation sweep: every bundle of every instance
+  // except `exclude`, with dirty-set skipping when allowed.
+  Result<std::vector<Decision>> reevaluate_pass(SystemState& state, double now,
+                                                InstanceId exclude);
+  // True when re-optimizing `bundle` provably reproduces its current
+  // configuration (nothing it depends on changed since its last
+  // evaluation).
+  bool can_skip(const SystemState& state, const BundleState& bundle) const;
 
-  // Installs a candidate (matching + reserving); returns the allocation.
+  // Installs a candidate (matching + reserving) against a resource
+  // view; returns the allocation.
+  Result<cluster::Allocation> try_install_on(cluster::ResourceView& view,
+                                             BundleState& bundle,
+                                             const OptionChoice& choice) const;
   Result<cluster::Allocation> try_install(SystemState& state,
                                           BundleState& bundle,
                                           const OptionChoice& choice) const;
+
+  // Objective of the whole system with `candidate` (placed as
+  // `allocation`) speculatively standing in for `bundle`, evaluated
+  // under the plan's contention view. Friction is charged against
+  // `instance` when the candidate differs from `previous` (non-null).
+  Result<double> plan_objective(const SystemState& state,
+                                const InstanceState& instance,
+                                const BundleState& bundle,
+                                const OptionChoice& candidate,
+                                const cluster::Allocation& allocation,
+                                const PlanOverlay& plan,
+                                const OptionChoice* previous) const;
+  // Memoized predictor invocation for one (instance, bundle) under the
+  // given contention map.
+  Result<double> predict_cached(InstanceId instance,
+                                const BundleState& bundle,
+                                const rsl::OptionSpec& option,
+                                const OptionChoice& choice,
+                                const cluster::Allocation& allocation,
+                                const std::map<cluster::NodeId, int>& load,
+                                const cluster::Topology& topology) const;
 
   const Predictor* predictor_;
   const Objective* objective_;
   OptimizerConfig config_;
   rsl::ExprContext names_;
+  mutable PredictionCache cache_;
   mutable uint64_t candidates_evaluated_ = 0;
+  mutable uint64_t predictor_calls_ = 0;
+  uint64_t bundles_evaluated_ = 0;
+  uint64_t bundles_skipped_ = 0;
+  // Set by set_config / exhaustive runs: the next pass must not skip.
+  bool force_full_pass_ = false;
 };
 
 }  // namespace harmony::core

@@ -290,6 +290,57 @@ Result<double> Predictor::predict_points(const PredictionInput& input) const {
   return piecewise_linear(points, x);
 }
 
+std::optional<double> PredictionCache::lookup(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void PredictionCache::insert(const std::string& key, double value) {
+  if (entries_.size() >= max_entries_) entries_.clear();  // crude bound
+  entries_[key] = value;
+}
+
+void PredictionCache::invalidate() {
+  if (entries_.empty()) return;
+  entries_.clear();
+  ++stats_.invalidations;
+}
+
+std::string prediction_cache_key(InstanceId instance,
+                                 const std::string& bundle,
+                                 const OptionChoice& choice,
+                                 const cluster::Allocation& allocation,
+                                 const std::map<cluster::NodeId, int>& load) {
+  std::string key;
+  key.reserve(64 + allocation.entries.size() * 16);
+  key += str_format("%llu", static_cast<unsigned long long>(instance));
+  key += '.';
+  key += bundle;
+  key += '|';
+  // Full-precision serialization: %.17g round-trips doubles exactly, so
+  // distinct choices can never alias to one cache entry.
+  key += choice.option;
+  for (const auto& [name, value] : choice.variables) {
+    key += str_format(";%s=%.17g", name.c_str(), value);
+  }
+  key += str_format(";m%.17g", choice.memory_grant);
+  for (const auto& entry : allocation.entries) {
+    auto it = load.find(entry.node);
+    // Models clamp absent / sub-1 loads to 1, so key on the clamped
+    // value to maximize hits without changing observable inputs.
+    int l = it == load.end() ? 1 : std::max(1, it->second);
+    key += str_format("|%s.%d@%u*%.17g:%d", entry.requirement.role.c_str(),
+                      entry.requirement.index, entry.node,
+                      entry.requirement.memory_mb, l);
+  }
+  return key;
+}
+
 Result<double> Predictor::predict_script(const PredictionInput& input) const {
   rsl::Interp interp;
   rsl::ExprContext ctx = full_context(input);

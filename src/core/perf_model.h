@@ -11,7 +11,11 @@
 //      scaled to reflect resource contention."
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
 
 #include "cluster/matcher.h"
 #include "cluster/topology.h"
@@ -78,5 +82,52 @@ class Predictor {
   double local_mbps_;
   double comm_occupancy_s_per_mb_ = 0.0;
 };
+
+// Memoized predictions for the decision path. A prediction is a pure
+// function of (option choice, allocation, per-node contention on the
+// allocated nodes) — plus whatever the option's expressions read from
+// the controller namespace, which is why the owner must invalidate()
+// whenever namespace content changes. Keys are built by
+// prediction_cache_key(); script-based models bypass the cache (they
+// may have side effects).
+class PredictionCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+    double hit_rate() const {
+      return hits + misses == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(hits + misses);
+    }
+  };
+
+  explicit PredictionCache(size_t max_entries = 1 << 20)
+      : max_entries_(max_entries) {}
+
+  std::optional<double> lookup(const std::string& key);
+  void insert(const std::string& key, double value);
+  // Drops every entry (namespace changed, predictor reconfigured, ...).
+  void invalidate();
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  size_t max_entries_;
+  std::unordered_map<std::string, double> entries_;
+  Stats stats_;
+};
+
+// Cache key for predicting one bundle of one instance: identity of the
+// (instance, bundle) pair, the candidate choice, the allocation
+// placement, and the clamped contention each allocated node would see —
+// the complete input set of every cacheable model.
+std::string prediction_cache_key(InstanceId instance,
+                                 const std::string& bundle,
+                                 const OptionChoice& choice,
+                                 const cluster::Allocation& allocation,
+                                 const std::map<cluster::NodeId, int>& load);
 
 }  // namespace harmony::core

@@ -1,5 +1,8 @@
 #include "core/state.h"
 
+#include <algorithm>
+
+#include "common/assert.h"
 #include "common/strings.h"
 
 namespace harmony::core {
@@ -73,6 +76,83 @@ const InstanceState* SystemState::find_instance(InstanceId id) const {
     if (instance.id == id) return &instance;
   }
   return nullptr;
+}
+
+const std::vector<cluster::NodeId>& BundleState::admissible(
+    const cluster::Topology& topology) const {
+  if (admissible_cached) return admissible_nodes;
+  admissible_nodes.clear();
+  for (const auto& node : topology.nodes()) {
+    bool admits = false;
+    for (const auto& option : spec.options) {
+      for (const auto& req : option.nodes) {
+        if (!glob_match(req.hostname, node.hostname)) continue;
+        if (!req.os.empty() && node.os != req.os) continue;
+        admits = true;
+        break;
+      }
+      if (admits) break;
+    }
+    if (admits) admissible_nodes.push_back(node.id);
+  }
+  admissible_cached = true;
+  return admissible_nodes;
+}
+
+void SystemState::touch_node(cluster::NodeId node) {
+  if (node >= node_version.size()) return;
+  node_version[node] = ++version;
+}
+
+void SystemState::touch_allocation(const cluster::Allocation& allocation) {
+  for (const auto& entry : allocation.entries) touch_node(entry.node);
+}
+
+void SystemState::touch_all() {
+  ++version;
+  std::fill(node_version.begin(), node_version.end(), version);
+}
+
+uint64_t SystemState::max_node_version(
+    const std::vector<cluster::NodeId>& nodes) const {
+  uint64_t max = 0;
+  for (cluster::NodeId node : nodes) {
+    if (node < node_version.size()) max = std::max(max, node_version[node]);
+  }
+  return max;
+}
+
+PlanOverlay::PlanOverlay(const SystemState& state, const BundleState* bundle)
+    : overlay_(state.pool.get()) {
+  // Base contention: every configured allocation except the bundle
+  // under optimization, mirroring SystemState::node_load()'s presence
+  // semantics (nodes appear only with a positive count).
+  for (const auto& instance : state.instances) {
+    for (const auto& other : instance.bundles) {
+      if (&other == bundle || !other.configured) continue;
+      for (const auto& entry : other.allocation.entries) {
+        ++base_load_[entry.node];
+      }
+    }
+  }
+  for (cluster::NodeId id = 0; id < state.topology.node_count(); ++id) {
+    int external = state.pool->external_load(id);
+    if (external > 0) base_load_[id] += external;
+  }
+  // Release the bundle's current allocation inside the overlay only:
+  // candidates are matched as if this bundle held nothing.
+  if (bundle != nullptr && bundle->configured) {
+    auto released = cluster::Matcher::release(bundle->allocation, overlay_);
+    HARMONY_ASSERT_MSG(released.ok(),
+                       "releasing current allocation in overlay failed");
+  }
+}
+
+std::map<cluster::NodeId, int> PlanOverlay::load_with(
+    const cluster::Allocation& candidate) const {
+  std::map<cluster::NodeId, int> load = base_load_;
+  for (const auto& entry : candidate.entries) ++load[entry.node];
+  return load;
 }
 
 std::map<cluster::NodeId, int> SystemState::node_load() const {

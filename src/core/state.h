@@ -1,7 +1,14 @@
 // Controller-side state: application instances, their bundles, current
 // option choices and allocations. The optimizer mutates this state
-// (tentatively and finally); the controller owns it and publishes it
-// into the namespace.
+// (only when committing a winning plan; candidates are evaluated on a
+// PlanOverlay); the controller owns it and publishes it into the
+// namespace.
+//
+// Dirty-set tracking: every committed mutation of live state bumps a
+// monotonically increasing version and stamps the touched nodes. Each
+// bundle remembers the version at which it was last fully evaluated;
+// the incremental optimizer skips bundles whose relevant node set is
+// untouched since then (see Optimizer::reevaluate).
 #pragma once
 
 #include <cstdint>
@@ -46,6 +53,20 @@ struct BundleState {
   cluster::Allocation allocation;
   double last_switch_time = -1e300;
   bool configured = false;
+
+  // --- incremental planning bookkeeping ----------------------------------
+  // SystemState::version at the last completed (non-granularity-gated)
+  // optimization of this bundle; 0 = never evaluated / forced dirty.
+  uint64_t evaluated_version = 0;
+  // Nodes any option of this bundle could ever be placed on (hostname
+  // glob + OS filters only; memory and online status are dynamic and
+  // tracked through node versions). Cached lazily — the topology is
+  // fixed once the cluster is finalized.
+  mutable std::vector<cluster::NodeId> admissible_nodes;
+  mutable bool admissible_cached = false;
+  // Static admissible set for this bundle on the given topology.
+  const std::vector<cluster::NodeId>& admissible(
+      const cluster::Topology& topology) const;
 };
 
 struct InstanceState {
@@ -67,15 +88,61 @@ struct SystemState {
   std::unique_ptr<cluster::ResourcePool> pool;
   std::vector<InstanceState> instances;
 
+  // --- dirty-set tracking -------------------------------------------------
+  // Bumped on every committed mutation of live state (allocation
+  // commit/release, external load report, node online flip).
+  uint64_t version = 1;
+  // Per-node last-touched version, indexed by NodeId; sized by
+  // init_pool().
+  std::vector<uint64_t> node_version;
+
   void init_pool() {
     pool = std::make_unique<cluster::ResourcePool>(&topology);
+    node_version.assign(topology.node_count(), 0);
   }
   InstanceState* find_instance(InstanceId id);
   const InstanceState* find_instance(InstanceId id) const;
 
+  // Marks a node (or every node of an allocation / the whole cluster)
+  // as changed at a fresh version.
+  void touch_node(cluster::NodeId node);
+  void touch_allocation(const cluster::Allocation& allocation);
+  void touch_all();
+  // Highest node version across a node set (0 for an empty set).
+  uint64_t max_node_version(const std::vector<cluster::NodeId>& nodes) const;
+
   // Planned tasks per node, derived from every configured allocation.
   // This is the contention input to the default performance model.
   std::map<cluster::NodeId, int> node_load() const;
+};
+
+// Speculative view for candidate evaluation: a PoolOverlay over the
+// live pool with the bundle-under-optimization's current allocation
+// released, plus the contention base load of everyone else. Candidates
+// are matched and predicted against this view; live SystemState is
+// untouched until the optimizer commits the winner (or never, when the
+// plan is discarded).
+class PlanOverlay {
+ public:
+  // `bundle` may be null (plan over the full system, releasing nothing).
+  PlanOverlay(const SystemState& state, const BundleState* bundle);
+
+  cluster::PoolOverlay& pool() { return overlay_; }
+
+  // Planned tasks per node for every configured bundle except the one
+  // under optimization, external load included — i.e. what
+  // SystemState::node_load() would report with that bundle absent.
+  const std::map<cluster::NodeId, int>& base_load() const {
+    return base_load_;
+  }
+  // base_load() plus one task per entry of `candidate` — exactly what
+  // SystemState::node_load() would report with the candidate installed.
+  std::map<cluster::NodeId, int> load_with(
+      const cluster::Allocation& candidate) const;
+
+ private:
+  cluster::PoolOverlay overlay_;
+  std::map<cluster::NodeId, int> base_load_;
 };
 
 }  // namespace harmony::core

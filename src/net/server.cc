@@ -3,6 +3,7 @@
 #include <poll.h>
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -65,14 +66,21 @@ bool HarmonyTcpServer::run_once(int timeout_ms) {
 }
 
 void HarmonyTcpServer::run(int until_idle_ms) {
-  int idle_ms = 0;
+  // Idle time is measured on a monotonic clock, not by counting poll
+  // timeouts: a poll interrupted by a signal (EINTR) returns
+  // immediately, so assuming each no-progress iteration consumed the
+  // full timeout would cut the idle window short by however often
+  // signals arrive.
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point last_progress = Clock::now();
   while (!stopping_) {
     bool progress = run_once(50);
     if (progress) {
-      idle_ms = 0;
-    } else {
-      idle_ms += 50;
-      if (until_idle_ms > 0 && idle_ms >= until_idle_ms) return;
+      last_progress = Clock::now();
+    } else if (until_idle_ms > 0) {
+      auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now() - last_progress);
+      if (idle.count() >= until_idle_ms) return;
     }
   }
 }
@@ -123,16 +131,31 @@ void HarmonyTcpServer::handle_readable(Connection& connection) {
 
 void HarmonyTcpServer::dispatch(Connection& connection,
                                 const Message& message) {
+  Message reply;
+  {
+    // One message = one optimization epoch: a REGISTER that also
+    // subscribes (or an END that cascades re-evaluations) produces a
+    // single coherent flush of variable updates and one set of
+    // decision-path metrics.
+    core::Controller::EpochScope epoch(*controller_);
+    reply = handle_message(connection, message);
+  }
+  // The epoch close above flushed pending variable updates, so UPDATE
+  // frames always precede the reply on the wire — clients that block on
+  // the reply then drain their buffer see a complete picture.
+  send(connection, reply);
+}
+
+Message HarmonyTcpServer::handle_message(Connection& connection,
+                                         const Message& message) {
   if (message.verb == "REGISTER") {
     if (message.args.size() != 1) {
-      send(connection, Message::err(ErrorCode::kProtocol,
-                                    "REGISTER expects one argument"));
-      return;
+      return Message::err(ErrorCode::kProtocol,
+                          "REGISTER expects one argument");
     }
     auto id = controller_->register_script(message.args[0]);
     if (!id.ok()) {
-      send(connection, Message::err(id.error().code, id.error().message));
-      return;
+      return Message::err(id.error().code, id.error().message);
     }
     connection.instances.push_back(id.value());
     // Wire updates for this instance to this connection. The pointer is
@@ -145,61 +168,49 @@ void HarmonyTcpServer::dispatch(Connection& connection,
           send(*conn, Message::update(name, value));
         });
     if (!subscribed.ok()) {
-      send(connection,
-           Message::err(subscribed.error().code, subscribed.error().message));
-      return;
+      return Message::err(subscribed.error().code, subscribed.error().message);
     }
-    send(connection, Message::ok({str_format(
-                         "%llu", static_cast<unsigned long long>(id.value()))}));
-    return;
+    return Message::ok(
+        {str_format("%llu", static_cast<unsigned long long>(id.value()))});
   }
   if (message.verb == "END" || message.verb == "GET") {
     unsigned long long raw = 0;
     if (message.args.empty() ||
         sscanf(message.args[0].c_str(), "%llu", &raw) != 1) {
-      send(connection, Message::err(ErrorCode::kProtocol, "bad instance id"));
-      return;
+      return Message::err(ErrorCode::kProtocol, "bad instance id");
     }
     core::InstanceId id = raw;
     bool owned = std::find(connection.instances.begin(),
                            connection.instances.end(),
                            id) != connection.instances.end();
     if (!owned) {
-      send(connection, Message::err(ErrorCode::kNotFound,
-                                    "instance not registered here"));
-      return;
+      return Message::err(ErrorCode::kNotFound,
+                          "instance not registered here");
     }
     if (message.verb == "END") {
       auto status = controller_->unregister(id);
       connection.instances.erase(std::remove(connection.instances.begin(),
                                              connection.instances.end(), id),
                                  connection.instances.end());
-      send(connection, status.ok()
-                           ? Message::ok()
-                           : Message::err(status.error().code,
-                                          status.error().message));
-      return;
+      return status.ok() ? Message::ok()
+                         : Message::err(status.error().code,
+                                        status.error().message);
     }
     if (message.args.size() != 2) {
-      send(connection, Message::err(ErrorCode::kProtocol,
-                                    "GET expects id and name"));
-      return;
+      return Message::err(ErrorCode::kProtocol, "GET expects id and name");
     }
     auto value = controller_->get_variable(id, message.args[1]);
-    send(connection, value.ok() ? Message::ok({value.value()})
-                                : Message::err(value.error().code,
-                                               value.error().message));
-    return;
+    return value.ok() ? Message::ok({value.value()})
+                      : Message::err(value.error().code,
+                                     value.error().message);
   }
   if (message.verb == "REEVALUATE") {
     auto status = controller_->reevaluate();
-    send(connection, status.ok() ? Message::ok()
-                                 : Message::err(status.error().code,
-                                                status.error().message));
-    return;
+    return status.ok() ? Message::ok()
+                       : Message::err(status.error().code,
+                                      status.error().message);
   }
-  send(connection,
-       Message::err(ErrorCode::kProtocol, "unknown verb: " + message.verb));
+  return Message::err(ErrorCode::kProtocol, "unknown verb: " + message.verb);
 }
 
 void HarmonyTcpServer::send(Connection& connection, const Message& message) {
@@ -221,6 +232,8 @@ void HarmonyTcpServer::flush_writable(Connection& connection) {
 }
 
 void HarmonyTcpServer::reap_dropped() {
+  // All implicit harmony_ends from one poll iteration share an epoch.
+  core::Controller::EpochScope epoch(*controller_);
   for (auto& connection : connections_) {
     if (!connection->drop) continue;
     // A vanished application is an implicit harmony_end.

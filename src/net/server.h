@@ -48,6 +48,7 @@ class HarmonyTcpServer {
   void accept_new();
   void handle_readable(Connection& connection);
   void dispatch(Connection& connection, const Message& message);
+  Message handle_message(Connection& connection, const Message& message);
   void send(Connection& connection, const Message& message);
   void flush_writable(Connection& connection);
   void reap_dropped();

@@ -1,0 +1,236 @@
+// Differential test for the incremental planning engine: drive two
+// controllers through the same randomized event sequence — one with
+// dirty-set skipping and prediction memoization on, one forced to
+// re-evaluate and re-predict everything — and require bit-identical
+// configurations, placements, reconfiguration counts, and objective
+// values after every event. This is the proof obligation behind
+// OptimizerConfig::incremental: skipping work must never change a
+// decision.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/controller.h"
+#include "test_scenarios.h"
+
+namespace harmony::core {
+namespace {
+
+using harmony::testing::bag_bundle;
+using harmony::testing::db_client_bundle;
+using harmony::testing::simple_bundle;
+using harmony::testing::sp2_cluster_script;
+
+constexpr int kWorkers = 6;
+
+// Serializes everything a decision can influence, at full precision.
+std::string fingerprint(const Controller& controller) {
+  std::string out;
+  for (const auto& instance : controller.state().instances) {
+    out += str_format("i%llu:%s\n",
+                      static_cast<unsigned long long>(instance.id),
+                      instance.application.c_str());
+    for (const auto& bundle : instance.bundles) {
+      out += str_format(" b=%s cfg=%d", bundle.spec.bundle.c_str(),
+                        bundle.configured ? 1 : 0);
+      if (bundle.configured) {
+        out += " choice=" + bundle.choice.option;
+        for (const auto& [name, value] : bundle.choice.variables) {
+          out += str_format(" %s=%.17g", name.c_str(), value);
+        }
+        out += str_format(" grant=%.17g switched=%.17g",
+                          bundle.choice.memory_grant,
+                          bundle.last_switch_time);
+        for (const auto& entry : bundle.allocation.entries) {
+          out += str_format(" [%s.%d@%u mem=%.17g]",
+                            entry.requirement.role.c_str(),
+                            entry.requirement.index, entry.node,
+                            entry.requirement.memory_mb);
+        }
+      }
+      out += '\n';
+    }
+  }
+  out += str_format("reconfigs=%llu\n",
+                    static_cast<unsigned long long>(
+                        controller.reconfigurations()));
+  auto objective = controller.objective_value();
+  out += objective.ok() ? str_format("objective=%.17g\n", objective.value())
+                        : ("objective_err=" + objective.error().message + "\n");
+  return out;
+}
+
+struct Harness {
+  std::shared_ptr<double> clock = std::make_shared<double>(0.0);
+  Controller incremental;
+  Controller full;
+
+  explicit Harness(const std::string& objective)
+      : incremental(make_config(objective, /*incremental=*/true)),
+        full(make_config(objective, /*incremental=*/false)) {
+    auto source = [clock = clock] { return *clock; };
+    incremental.set_time_source(source);
+    full.set_time_source(source);
+  }
+
+  void init() {
+    const std::string cluster = sp2_cluster_script(kWorkers);
+    ASSERT_TRUE(incremental.add_nodes_script(cluster).ok());
+    ASSERT_TRUE(full.add_nodes_script(cluster).ok());
+    ASSERT_TRUE(incremental.finalize_cluster().ok());
+    ASSERT_TRUE(full.finalize_cluster().ok());
+  }
+
+  static ControllerConfig make_config(const std::string& objective,
+                                      bool incremental) {
+    ControllerConfig config;
+    config.objective = objective;
+    config.optimizer.incremental = incremental;
+    config.optimizer.memoize_predictions = incremental;
+    return config;
+  }
+
+  // Runs `op` against both controllers and checks they agree on the
+  // immediate outcome and on the complete resulting state.
+  template <typename Op>
+  void step(const char* what, Op&& op) {
+    auto a = op(incremental);
+    auto b = op(full);
+    ASSERT_EQ(a.ok(), b.ok()) << what << ": outcome diverged";
+    if (!a.ok()) {
+      ASSERT_EQ(a.error().code, b.error().code) << what;
+    }
+    ASSERT_EQ(fingerprint(incremental), fingerprint(full)) << what;
+  }
+};
+
+void run_scenario(const std::string& objective, uint64_t seed, int events) {
+  SCOPED_TRACE("objective=" + objective + str_format(" seed=%llu",
+               static_cast<unsigned long long>(seed)));
+  Harness h(objective);
+  h.init();
+  if (::testing::Test::HasFatalFailure()) return;
+
+  Rng rng(seed);
+  std::vector<InstanceId> live;
+  std::vector<bool> online(kWorkers, true);
+  int next_tag = 1;
+
+  for (int i = 0; i < events; ++i) {
+    *h.clock += 1.0 + static_cast<double>(rng.next_below(50));
+    const uint64_t kind = rng.next_below(10);
+    if (kind < 3 || live.empty()) {
+      // Arrival: one of the three paper applications, random flavor.
+      std::string script;
+      const uint64_t flavor = rng.next_below(3);
+      if (flavor == 0) {
+        const int worker = static_cast<int>(rng.next_below(kWorkers));
+        script = db_client_bundle(str_format("sp2-%02d", worker), next_tag++);
+      } else if (flavor == 1) {
+        script = bag_bundle("1 2 3 4");
+      } else {
+        script = simple_bundle(1 + static_cast<int>(rng.next_below(3)), 120,
+                               24);
+      }
+      InstanceId id = 0;
+      h.step("arrival", [&](Controller& c) {
+        auto result = c.register_script(script);
+        if (result.ok()) id = result.value();
+        return result;
+      });
+      if (id != 0) live.push_back(id);
+    } else if (kind < 5) {
+      // Departure of a random live instance.
+      const size_t victim = rng.next_below(live.size());
+      const InstanceId id = live[victim];
+      live.erase(live.begin() + victim);
+      h.step("departure", [&](Controller& c) { return c.unregister(id); });
+    } else if (kind < 7) {
+      // External load report on a random host (workers or server).
+      const uint64_t pick = rng.next_below(kWorkers + 1);
+      const std::string host = pick == kWorkers
+                                   ? "server"
+                                   : str_format("sp2-%02llu",
+                                                static_cast<unsigned long long>(
+                                                    pick));
+      const int load = static_cast<int>(rng.next_below(4));
+      h.step("external_load", [&](Controller& c) {
+        return c.report_external_load(host, load);
+      });
+    } else if (kind < 8) {
+      // Toggle a random worker node (server stays up so displaced
+      // bundles have somewhere to land).
+      const int worker = static_cast<int>(rng.next_below(kWorkers));
+      online[worker] = !online[worker];
+      h.step("node_toggle", [&](Controller& c) {
+        return c.set_node_online(str_format("sp2-%02d", worker),
+                                 online[worker]);
+      });
+    } else {
+      // Periodic re-evaluation — the steady-state path where dirty-set
+      // skipping does its work.
+      h.step("reevaluate", [&](Controller& c) { return c.reevaluate(); });
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  // The comparison is only meaningful if the incremental side actually
+  // exercised both the skip path and the cache.
+  EXPECT_GT(h.incremental.optimizer().bundles_skipped(), 0u);
+  EXPECT_GT(h.incremental.optimizer().cache_stats().hits, 0u);
+  EXPECT_EQ(h.full.optimizer().bundles_skipped(), 0u);
+  EXPECT_EQ(h.full.optimizer().cache_stats().hits, 0u);
+  // And skipping must have saved real work relative to the full pass.
+  EXPECT_LT(h.incremental.optimizer().candidates_evaluated(),
+            h.full.optimizer().candidates_evaluated());
+}
+
+TEST(IncrementalDifferentialTest, MeanObjective) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    run_scenario("mean", seed, 60);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(IncrementalDifferentialTest, MakespanObjective) {
+  for (uint64_t seed : {7ull, 8ull}) {
+    run_scenario("makespan", seed, 60);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(IncrementalDifferentialTest, ThroughputObjective) {
+  run_scenario("throughput", 11, 60);
+}
+
+// A quiet system must converge to zero optimization work: after the
+// first settling pass, repeated re-evaluations touch nothing and skip
+// every bundle.
+TEST(IncrementalDifferentialTest, SteadyStateSkipsEverything) {
+  Harness h("mean");
+  h.init();
+  if (::testing::Test::HasFatalFailure()) return;
+  for (int i = 0; i < 3; ++i) {
+    *h.clock += 10;
+    auto id = h.incremental.register_script(
+        db_client_bundle(str_format("sp2-%02d", i), i + 1));
+    ASSERT_TRUE(id.ok());
+  }
+  *h.clock += 10;
+  ASSERT_TRUE(h.incremental.reevaluate().ok());  // settle
+  const uint64_t evaluated = h.incremental.optimizer().bundles_evaluated();
+  const uint64_t candidates = h.incremental.optimizer().candidates_evaluated();
+  for (int i = 0; i < 5; ++i) {
+    *h.clock += 10;
+    ASSERT_TRUE(h.incremental.reevaluate().ok());
+  }
+  EXPECT_EQ(h.incremental.optimizer().bundles_evaluated(), evaluated);
+  EXPECT_EQ(h.incremental.optimizer().candidates_evaluated(), candidates);
+}
+
+}  // namespace
+}  // namespace harmony::core

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <sys/time.h>
+
+#include <chrono>
 #include <thread>
 
 #include "apps/scenarios.h"
@@ -220,6 +224,42 @@ TEST_F(ServerTest, ReevaluateVerb) {
   auto id = transport.register_app(client_bundle(1));
   ASSERT_TRUE(id.ok());
   EXPECT_TRUE(transport.request_reevaluation().ok());
+}
+
+// Regression: run(until_idle_ms) used to count every no-progress poll
+// return as a full 50 ms of idleness. A poll interrupted by a signal
+// (EINTR) returns immediately, so under a 10 ms interval timer the old
+// accounting exited a 400 ms idle window after ~80 ms of wall time.
+// Idle time must be measured on a monotonic clock.
+TEST(ServerIdleTest, IdleWindowSurvivesSignalInterruptions) {
+  core::Controller controller;
+  HarmonyTcpServer server(&controller, 0);
+  ASSERT_TRUE(server.start().ok());
+
+  // 10 ms interval timer with a no-op handler and no SA_RESTART: every
+  // tick interrupts poll() with EINTR.
+  struct sigaction action = {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  struct sigaction previous_action;
+  ASSERT_EQ(sigaction(SIGALRM, &action, &previous_action), 0);
+  itimerval timer = {};
+  timer.it_interval.tv_usec = 10000;
+  timer.it_value.tv_usec = 10000;
+  itimerval previous_timer;
+  ASSERT_EQ(setitimer(ITIMER_REAL, &timer, &previous_timer), 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  server.run(/*until_idle_ms=*/400);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  setitimer(ITIMER_REAL, &previous_timer, nullptr);
+  sigaction(SIGALRM, &previous_action, nullptr);
+
+  EXPECT_GE(elapsed.count(), 350) << "idle window cut short by signals";
+  EXPECT_LT(elapsed.count(), 5000);
 }
 
 }  // namespace

@@ -1,0 +1,156 @@
+// RSL expression engine benchmark: bytecode VM (rsl::Program) vs the
+// per-call tree-walk evaluator, over the expression classes the
+// decision path actually evaluates (performance models, seconds /
+// megabytes amounts). The tree-walk re-parses the text on every call;
+// the VM parses once and replays a flat postfix program, so the gap is
+// the parse cost plus allocation traffic. Results land in
+// BENCH_expr.json; exits nonzero if the compiled form is not at least
+// 5x faster on the parameterized (namespace-reading) classes.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "rsl/expr.h"
+#include "rsl/program.h"
+
+namespace {
+
+using namespace harmony;
+
+rsl::ExprContext bench_context() {
+  rsl::ExprContext ctx;
+  ctx.name_lookup = [](const std::string& name, double* out) {
+    if (name == "client.memory") { *out = 33.5; return true; }
+    if (name == "server.load") { *out = 0.25; return true; }
+    if (name == "x") { *out = 3.5; return true; }
+    if (name == "y") { *out = 12.0; return true; }
+    if (name == "z") { *out = 5.0; return true; }
+    return false;
+  };
+  ctx.var_lookup = [](const std::string& name, std::string* out) {
+    if (name == "mode") { *out = "fast"; return true; }
+    if (name == "count") { *out = "8"; return true; }
+    return false;
+  };
+  return ctx;
+}
+
+struct ExprCase {
+  const char* name;
+  const char* text;
+  // Classes that read the namespace are the decision path's hot case
+  // and carry the 5x acceptance gate.
+  bool parameterized;
+};
+
+const ExprCase kCases[] = {
+    {"constant", "2 + 3 * 4 - 17 % 5", false},
+    {"paper", "44 + (client.memory > 24 ? 24 : client.memory) - 17", true},
+    {"arith_chain", "x * 2 + y / 4 - z + (x + y) * (server.load + 1)", true},
+    {"functions", "min(sqrt(x * x), max(y, 2)) + pow(2, 3) + abs(0 - x)",
+     true},
+    {"ternary_vars", "$mode eq {fast} ? x * 0.5 + $count : y * 2", true},
+};
+
+struct Measured {
+  double interpreted_eps = 0;  // evals per second
+  double compiled_eps = 0;
+  double speedup = 0;
+  bool ok = true;
+};
+
+// Wall-clocks `evals` calls of `fn`, returning evals/sec. The checksum
+// keeps the optimizer from deleting the loop.
+template <typename Fn>
+double rate(int evals, double* checksum, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < evals; ++i) *checksum += fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  return seconds > 0 ? evals / seconds : 0;
+}
+
+Measured measure(const ExprCase& c, const rsl::ExprContext& ctx) {
+  Measured out;
+  auto compiled = rsl::Program::compile(c.text);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s: does not compile: %s\n", c.name,
+                 compiled.error().message.c_str());
+    out.ok = false;
+    return out;
+  }
+  const rsl::Program& program = compiled.value();
+  // Sanity: both evaluators agree before we time anything.
+  auto vm = program.eval_number(ctx);
+  auto tree = rsl::expr_eval_number(c.text, ctx);
+  if (!vm.ok() || !tree.ok() || vm.value() != tree.value()) {
+    std::fprintf(stderr, "%s: evaluator disagreement\n", c.name);
+    out.ok = false;
+    return out;
+  }
+
+  const std::string text = c.text;
+  double checksum = 0;
+  // Warm up, then measure enough evals for a stable clock reading.
+  (void)rate(2000, &checksum, [&] { return program.eval_number(ctx).value(); });
+  (void)rate(2000, &checksum,
+             [&] { return rsl::expr_eval_number(text, ctx).value(); });
+  const int kCompiledEvals = 2000000;
+  const int kInterpretedEvals = 200000;
+  out.compiled_eps = rate(kCompiledEvals, &checksum,
+                          [&] { return program.eval_number(ctx).value(); });
+  out.interpreted_eps =
+      rate(kInterpretedEvals, &checksum,
+           [&] { return rsl::expr_eval_number(text, ctx).value(); });
+  out.speedup =
+      out.interpreted_eps > 0 ? out.compiled_eps / out.interpreted_eps : 0;
+  if (checksum == 12345.6789) std::printf(" ");  // defeat DCE
+  return out;
+}
+
+int run() {
+  std::printf("=== RSL expression engine: compiled VM vs tree-walk ===\n");
+  std::printf("per-eval cost of the decision path's expression classes; "
+              "the tree-walk re-parses every call\n\n");
+  std::printf("%-14s %16s %16s %9s  %s\n", "class", "tree_evals/s",
+              "vm_evals/s", "speedup", "expression");
+  rsl::ExprContext ctx = bench_context();
+  bool ok = true;
+  bool gate_met = true;
+  std::string json;
+  for (const auto& c : kCases) {
+    Measured m = measure(c, ctx);
+    ok = ok && m.ok;
+    if (!m.ok) continue;
+    std::printf("%-14s %16.0f %16.0f %8.1fx  %s\n", c.name, m.interpreted_eps,
+                m.compiled_eps, m.speedup, c.text);
+    if (c.parameterized && m.speedup < 5.0) gate_met = false;
+    if (!json.empty()) json += ",";
+    json += str_format(
+        "\n    {\"name\": \"%s\", \"parameterized\": %s, "
+        "\"interpreted_evals_per_sec\": %.0f, "
+        "\"compiled_evals_per_sec\": %.0f, \"speedup\": %.2f}",
+        c.name, c.parameterized ? "true" : "false", m.interpreted_eps,
+        m.compiled_eps, m.speedup);
+  }
+  std::printf("\ncompiled >=5x on parameterized expressions: %s\n",
+              gate_met ? "yes" : "NO");
+
+  FILE* out = std::fopen("BENCH_expr.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n  \"bench\": \"abl_expr\",\n"
+                 "  \"expressions\": [%s\n  ],\n"
+                 "  \"parameterized_speedup_met\": %s\n}\n",
+                 json.c_str(), gate_met ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote BENCH_expr.json\n");
+  }
+  return ok && gate_met ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -19,6 +19,7 @@
 #include "apps/scenarios.h"
 #include "common/strings.h"
 #include "core/controller.h"
+#include "rsl/program.h"
 
 namespace {
 
@@ -70,6 +71,10 @@ struct SteadyResult {
   uint64_t candidates = 0;
   uint64_t predictor_calls = 0;
   uint64_t bundles_skipped = 0;
+  // RSL expression evaluations (rsl::expr_evaluations() delta): the
+  // per-decision expression work the prediction cache and dirty-set
+  // skipping avoid.
+  uint64_t expr_evals = 0;
   double cache_hit_rate = 0;
   bool ok = true;
 
@@ -78,6 +83,9 @@ struct SteadyResult {
   }
   double candidates_per_decision() const {
     return decisions > 0 ? static_cast<double>(candidates) / decisions : 0;
+  }
+  double expr_evals_per_decision() const {
+    return decisions > 0 ? static_cast<double>(expr_evals) / decisions : 0;
   }
 };
 
@@ -131,6 +139,7 @@ SteadyResult run_steady(bool incremental, Scenario scenario, int clients,
   const uint64_t candidates0 = optimizer.candidates_evaluated();
   const uint64_t predictor0 = optimizer.predictor_calls();
   const uint64_t skipped0 = optimizer.bundles_skipped();
+  const uint64_t exprs0 = rsl::expr_evaluations();
   const auto t0 = std::chrono::steady_clock::now();
   for (int round = 0; round < rounds; ++round) {
     t += 10;
@@ -164,6 +173,7 @@ SteadyResult run_steady(bool incremental, Scenario scenario, int clients,
   result.candidates = optimizer.candidates_evaluated() - candidates0;
   result.predictor_calls = optimizer.predictor_calls() - predictor0;
   result.bundles_skipped = optimizer.bundles_skipped() - skipped0;
+  result.expr_evals = rsl::expr_evaluations() - exprs0;
   result.cache_hit_rate = optimizer.cache_stats().hit_rate();
   return result;
 }
@@ -218,9 +228,9 @@ int run() {
   std::printf("\n=== Ablation A1b: incremental planning engine ===\n");
   std::printf("scenario: %d settled clients, %d steady-state re-evaluation "
               "rounds per perturbation pattern\n\n", clients, rounds);
-  std::printf("%-17s %-12s %10s %12s %12s %10s %12s %10s\n", "scenario",
+  std::printf("%-17s %-12s %10s %12s %12s %10s %12s %10s %10s\n", "scenario",
               "engine", "wall_ms", "decisions/s", "cands/dec", "cands",
-              "pred_calls", "hit_rate");
+              "pred_calls", "exprs/dec", "hit_rate");
   std::string json_steady;
   bool reduction_met = true;
   for (Scenario scenario : {Scenario::kQuiet, Scenario::kSpareNodeLoad,
@@ -229,14 +239,15 @@ int run() {
     auto full = run_steady(false, scenario, clients, rounds);
     ok = ok && incremental.ok && full.ok;
     for (const auto* row : {&incremental, &full}) {
-      std::printf("%-17s %-12s %10.2f %12.0f %12.2f %10llu %12llu %10.3f\n",
-                  scenario_name(scenario),
-                  row == &incremental ? "incremental" : "full",
-                  row->wall_ms, row->decisions_per_sec(),
-                  row->candidates_per_decision(),
-                  static_cast<unsigned long long>(row->candidates),
-                  static_cast<unsigned long long>(row->predictor_calls),
-                  row->cache_hit_rate);
+      std::printf(
+          "%-17s %-12s %10.2f %12.0f %12.2f %10llu %12llu %10.2f %10.3f\n",
+          scenario_name(scenario),
+          row == &incremental ? "incremental" : "full",
+          row->wall_ms, row->decisions_per_sec(),
+          row->candidates_per_decision(),
+          static_cast<unsigned long long>(row->candidates),
+          static_cast<unsigned long long>(row->predictor_calls),
+          row->expr_evals_per_decision(), row->cache_hit_rate);
     }
     const double candidate_ratio = ratio(full.candidates,
                                          incremental.candidates);
@@ -253,14 +264,17 @@ int run() {
           "{\"wall_ms\": %.3f, \"decisions\": %llu, "
           "\"decisions_per_sec\": %.1f, \"candidates\": %llu, "
           "\"candidates_per_decision\": %.4f, \"predictor_calls\": %llu, "
-          "\"bundles_skipped\": %llu, \"cache_hit_rate\": %.4f}",
+          "\"bundles_skipped\": %llu, \"expr_evaluations\": %llu, "
+          "\"expr_evaluations_per_decision\": %.4f, "
+          "\"cache_hit_rate\": %.4f}",
           r.wall_ms, static_cast<unsigned long long>(r.decisions),
           r.decisions_per_sec(),
           static_cast<unsigned long long>(r.candidates),
           r.candidates_per_decision(),
           static_cast<unsigned long long>(r.predictor_calls),
           static_cast<unsigned long long>(r.bundles_skipped),
-          r.cache_hit_rate);
+          static_cast<unsigned long long>(r.expr_evals),
+          r.expr_evals_per_decision(), r.cache_hit_rate);
     };
     json_steady += str_format(
         "\n    {\"scenario\": \"%s\", \"clients\": %d, \"rounds\": %d,\n"

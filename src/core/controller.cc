@@ -212,9 +212,9 @@ Status Controller::unregister(InstanceId id) {
     }
   }
   names_.erase(it->path());
-  // The departed instance's names are gone; memoized predictions that
-  // read them through the live context are stale.
-  optimizer_->invalidate_predictions();
+  // The departed instance's names are gone, but memoized predictions
+  // survive: cache keys embed the values read through the context, so
+  // entries that depended on the erased names can no longer be hit.
   subscribers_.erase(id);
   pending_vars_.erase(id);
   state_.instances.erase(it);
@@ -331,7 +331,10 @@ Status Controller::report_external_load(const std::string& hostname,
   }
   EpochScope epoch(*this);
   state_.pool->set_external_load(node.value(), concurrent_tasks);
-  state_.touch_node(node.value());
+  // Load-only dirtiness: allocations are untouched, so bundles whose
+  // models ignore contention need not re-evaluate (can_skip consults
+  // node_load_version only for load-reading models).
+  state_.touch_node_load(node.value());
   metrics_.record("cluster." + hostname + ".external_load", now(),
                   concurrent_tasks);
   HLOG_INFO("controller") << hostname << " external load -> "
@@ -491,7 +494,8 @@ void Controller::apply_decisions(const std::vector<Decision>& decisions) {
     metrics_.record("controller.objective", now(), objective.value());
   }
   // Namespace content changed only if something was republished; the
-  // optimizer drops its memoized predictions when handed a new context.
+  // fresh context reaches the optimizer, whose memoized predictions
+  // key on the values read through it and so age out by themselves.
   if (!republish.empty()) optimizer_->set_names(names_context());
   // Variable delivery is deferred to the outermost epoch close.
 }

@@ -19,9 +19,9 @@ Optimizer::Optimizer(const Predictor* predictor, const Objective* objective,
 
 void Optimizer::set_names(rsl::ExprContext names) {
   names_ = std::move(names);
-  // The context is a live view over the namespace; any install signals
-  // that the content behind it may have changed.
-  cache_.invalidate();
+  // No invalidation: cache keys embed the value of every name a model
+  // reads through this context (prediction_cache_key), so entries
+  // built against content that since changed can no longer be hit.
 }
 
 void Optimizer::set_config(OptimizerConfig config) {
@@ -43,15 +43,21 @@ Result<double> Optimizer::predict_cached(
   input.topology = &topology;
   input.node_load = &load;
   input.names = names_;
-  // Scripts may shell out through cmd_eval; never memoize them.
-  if (!config_.memoize_predictions ||
-      Predictor::model_for(option) == Predictor::Model::kScript) {
+  if (!config_.memoize_predictions) {
+    ++predictor_calls_;
+    return predictor_->predict(input);
+  }
+  // Unknown read sets — script models (which may also shell out through
+  // cmd_eval) and expressions the compiler rejected — could observe
+  // anything; never memoize them.
+  const ModelReads reads = model_reads(option);
+  if (!reads.known) {
     ++predictor_calls_;
     return predictor_->predict(input);
   }
   std::string key =
       prediction_cache_key(instance, bundle.spec.bundle, choice, allocation,
-                           load);
+                           load, reads, names_);
   if (auto hit = cache_.lookup(key)) return *hit;
   ++predictor_calls_;
   auto predicted = predictor_->predict(input);
@@ -299,6 +305,26 @@ Result<Decision> Optimizer::optimize_bundle(SystemState& state,
   return Decision{instance.id, bundle.spec.bundle, bundle.choice, changed};
 }
 
+namespace {
+
+// Whether any candidate option of the bundle feeds per-node contention
+// into its performance model.
+bool any_candidate_reads_load(const rsl::BundleSpec& spec) {
+  for (const auto& option : spec.options) {
+    if (model_reads(option).uses_load) return true;
+  }
+  return false;
+}
+
+// Whether the bundle's *configured* option's model reads contention
+// (the model plan_objective uses for non-target bundles).
+bool configured_model_reads_load(const BundleState& bundle) {
+  const rsl::OptionSpec* option = bundle.spec.find_option(bundle.choice.option);
+  return option == nullptr || model_reads(*option).uses_load;
+}
+
+}  // namespace
+
 bool Optimizer::can_skip(const SystemState& state,
                          const BundleState& bundle) const {
   if (bundle.evaluated_version == 0) return false;
@@ -316,8 +342,16 @@ bool Optimizer::can_skip(const SystemState& state,
   //   (b) an instance sharing those nodes changed elsewhere — its time
   //       varies across this bundle's candidates, so a shift in its
   //       other inputs is not constant across them.
+  // External-load reports are tracked separately (node_load_version):
+  // they move no allocations and shift only contention-dependent
+  // predictions, so they dirty a bundle only through models whose read
+  // sets actually include the per-node load.
   const auto& admissible = bundle.admissible(state.topology);
   if (state.max_node_version(admissible) > threshold) return false;
+  if (any_candidate_reads_load(bundle.spec) &&
+      state.max_node_load_version(admissible) > threshold) {
+    return false;
+  }
   std::unordered_set<cluster::NodeId> admissible_set(admissible.begin(),
                                                      admissible.end());
   for (const auto& other : state.instances) {
@@ -335,9 +369,14 @@ bool Optimizer::can_skip(const SystemState& state,
     if (!colocated) continue;
     for (const auto& ob : other.bundles) {
       if (!ob.configured) continue;
+      const bool ob_reads_load = configured_model_reads_load(ob);
       for (const auto& entry : ob.allocation.entries) {
         if (entry.node < state.node_version.size() &&
             state.node_version[entry.node] > threshold) {
+          return false;
+        }
+        if (ob_reads_load && entry.node < state.node_load_version.size() &&
+            state.node_load_version[entry.node] > threshold) {
           return false;
         }
       }

@@ -83,14 +83,17 @@ class Optimizer {
             OptimizerConfig config = {});
 
   // Namespace-backed expression context for RSL amounts. The context is
-  // a live view, so installing it also invalidates memoized
-  // predictions (namespace content may have changed).
+  // a live view; memoized predictions survive installs because cache
+  // keys embed the value of every name a model's expressions read (see
+  // prediction_cache_key), so entries built against content that since
+  // changed simply stop hitting.
   void set_names(rsl::ExprContext names);
   const OptimizerConfig& config() const { return config_; }
   // Reconfiguring forces the next pass to re-evaluate everything.
   void set_config(OptimizerConfig config);
-  // Drops memoized predictions. Call when namespace content changes
-  // outside set_names (e.g. an instance's names were erased).
+  // Drops memoized predictions wholesale. Read-set keying makes this
+  // unnecessary for namespace churn; kept as an escape hatch for
+  // callers that change predictor-visible state behind its back.
   void invalidate_predictions() { cache_.invalidate(); }
 
   // Configures a newly arrived instance's bundles (definition order),

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "common/assert.h"
 #include "common/stats.h"
 #include "common/strings.h"
 #include "core/binding.h"
@@ -311,11 +312,55 @@ void PredictionCache::invalidate() {
   ++stats_.invalidations;
 }
 
+ModelReads model_reads(const rsl::OptionSpec& option) {
+  ModelReads reads;
+  switch (Predictor::model_for(option)) {
+    case Predictor::Model::kScript:
+      // A TCL model script can read anything it likes.
+      reads.known = false;
+      return reads;
+    case Predictor::Model::kExpr:
+      // predict_expr never consults per-node contention; its whole
+      // input beyond the choice/allocation is the expression's reads.
+      reads.uses_load = false;
+      reads.exprs.push_back(&option.performance_expr);
+      break;
+    case Predictor::Model::kDag:
+      for (const auto& task : option.performance_dag) {
+        reads.exprs.push_back(&task.seconds);
+      }
+      break;
+    case Predictor::Model::kPoints:
+      break;  // pure function of choice, allocation and load
+    case Predictor::Model::kDefault:
+      for (const auto& node : option.nodes) {
+        reads.exprs.push_back(&node.seconds);
+      }
+      for (const auto& link : option.links) {
+        reads.exprs.push_back(&link.megabytes);
+      }
+      if (!option.communication.empty()) {
+        reads.exprs.push_back(&option.communication);
+      }
+      break;
+  }
+  for (const rsl::Expr* expr : reads.exprs) {
+    if (!expr->reads_known()) {
+      reads.known = false;
+      break;
+    }
+  }
+  return reads;
+}
+
 std::string prediction_cache_key(InstanceId instance,
                                  const std::string& bundle,
                                  const OptionChoice& choice,
                                  const cluster::Allocation& allocation,
-                                 const std::map<cluster::NodeId, int>& load) {
+                                 const std::map<cluster::NodeId, int>& load,
+                                 const ModelReads& reads,
+                                 const rsl::ExprContext& names) {
+  HARMONY_ASSERT_MSG(reads.known, "unknown read sets must bypass the cache");
   std::string key;
   key.reserve(64 + allocation.entries.size() * 16);
   key += str_format("%llu", static_cast<unsigned long long>(instance));
@@ -330,13 +375,71 @@ std::string prediction_cache_key(InstanceId instance,
   }
   key += str_format(";m%.17g", choice.memory_grant);
   for (const auto& entry : allocation.entries) {
-    auto it = load.find(entry.node);
-    // Models clamp absent / sub-1 loads to 1, so key on the clamped
-    // value to maximize hits without changing observable inputs.
-    int l = it == load.end() ? 1 : std::max(1, it->second);
-    key += str_format("|%s.%d@%u*%.17g:%d", entry.requirement.role.c_str(),
+    key += str_format("|%s.%d@%u*%.17g", entry.requirement.role.c_str(),
                       entry.requirement.index, entry.node,
-                      entry.requirement.memory_mb, l);
+                      entry.requirement.memory_mb);
+    if (reads.uses_load) {
+      auto it = load.find(entry.node);
+      // Models clamp absent / sub-1 loads to 1, so key on the clamped
+      // value to maximize hits without changing observable inputs.
+      int l = it == load.end() ? 1 : std::max(1, it->second);
+      key += str_format(":%d", l);
+    }
+  }
+  // Current value of everything the model's expressions read through
+  // the namespace context. Strings are length-prefixed so values can
+  // never alias across name boundaries.
+  auto append_name = [&](const std::string& name) {
+    key += "|n:";
+    key += name;
+    key += '=';
+    double number = 0;
+    if (names.name_lookup && names.name_lookup(name, &number)) {
+      key += str_format("%.17g", number);
+      return;
+    }
+    // Bare names fall back to interpreter variables at eval time;
+    // mirror that here so a string-valued hit is still keyed.
+    std::string text;
+    if (names.var_lookup && names.var_lookup(name, &text)) {
+      key += str_format("s%zu:", text.size());
+      key += text;
+      return;
+    }
+    key += '?';
+  };
+  auto append_var = [&](const std::string& name) {
+    key += "|v:";
+    key += name;
+    key += '=';
+    std::string text;
+    if (names.var_lookup && names.var_lookup(name, &text)) {
+      key += str_format("%zu:", text.size());
+      key += text;
+    } else {
+      key += '?';
+    }
+  };
+  // Read sets are tiny; linear dedup beats hashing here.
+  std::vector<const std::string*> seen_names;
+  std::vector<const std::string*> seen_vars;
+  auto once = [](std::vector<const std::string*>& seen,
+                 const std::string& name) {
+    for (const std::string* s : seen) {
+      if (*s == name) return false;
+    }
+    seen.push_back(&name);
+    return true;
+  };
+  for (const rsl::Expr* expr : reads.exprs) {
+    const rsl::Program* program = expr->program();
+    if (program == nullptr) continue;  // empty or literal: reads nothing
+    for (const auto& name : program->names()) {
+      if (once(seen_names, name)) append_name(name);
+    }
+    for (const auto& name : program->vars()) {
+      if (once(seen_vars, name)) append_var(name);
+    }
   }
   return key;
 }

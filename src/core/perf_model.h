@@ -83,13 +83,37 @@ class Predictor {
   double comm_occupancy_s_per_mb_ = 0.0;
 };
 
+// The inputs a bundle option's performance model can observe beyond
+// (choice, allocation, topology): the RSL expressions it evaluates —
+// whose compiled read sets name exactly what they pull from the
+// controller namespace — and whether it feeds per-node contention into
+// the prediction. Computed from the option spec by model_reads().
+struct ModelReads {
+  // Every expression the model evaluates at prediction time. Their
+  // compiled programs (rsl::Expr::program()) report the namespace
+  // names / interpreter variables read; empty and literal expressions
+  // contribute nothing.
+  std::vector<const rsl::Expr*> exprs;
+  // True when the model consults the planned per-node load (default,
+  // critical-path and points models); the expression model never does.
+  bool uses_load = true;
+  // False when some read set is unknowable: TCL script models, or an
+  // expression the bytecode compiler rejected ([script] substitution).
+  // Such predictions must not be memoized.
+  bool known = true;
+};
+
+// Read set of the model predict() would choose for `option`.
+ModelReads model_reads(const rsl::OptionSpec& option);
+
 // Memoized predictions for the decision path. A prediction is a pure
 // function of (option choice, allocation, per-node contention on the
-// allocated nodes) — plus whatever the option's expressions read from
-// the controller namespace, which is why the owner must invalidate()
-// whenever namespace content changes. Keys are built by
-// prediction_cache_key(); script-based models bypass the cache (they
-// may have side effects).
+// allocated nodes when the model reads it) — plus the values of the
+// namespace names the option's expressions read, which the key embeds
+// directly (see prediction_cache_key). Namespace churn therefore
+// misses stale entries instead of requiring wholesale invalidation.
+// Keys are built by prediction_cache_key(); models with unknown read
+// sets (scripts, uncompilable expressions) bypass the cache.
 class PredictionCache {
  public:
   struct Stats {
@@ -122,12 +146,19 @@ class PredictionCache {
 
 // Cache key for predicting one bundle of one instance: identity of the
 // (instance, bundle) pair, the candidate choice, the allocation
-// placement, and the clamped contention each allocated node would see —
-// the complete input set of every cacheable model.
+// placement, the clamped contention each allocated node would see (only
+// when the model reads load), and the current value of every namespace
+// name / interpreter variable in the model's read set, resolved
+// through `names` — the complete input set of the model described by
+// `reads`. Choice variables and allocation-derived names (role.memory,
+// role.count, ...) shadow the namespace at eval time, but both are
+// functions of inputs already in the key. Requires reads.known.
 std::string prediction_cache_key(InstanceId instance,
                                  const std::string& bundle,
                                  const OptionChoice& choice,
                                  const cluster::Allocation& allocation,
-                                 const std::map<cluster::NodeId, int>& load);
+                                 const std::map<cluster::NodeId, int>& load,
+                                 const ModelReads& reads,
+                                 const rsl::ExprContext& names);
 
 }  // namespace harmony::core

@@ -111,6 +111,12 @@ void SystemState::touch_allocation(const cluster::Allocation& allocation) {
 void SystemState::touch_all() {
   ++version;
   std::fill(node_version.begin(), node_version.end(), version);
+  std::fill(node_load_version.begin(), node_load_version.end(), version);
+}
+
+void SystemState::touch_node_load(cluster::NodeId node) {
+  if (node >= node_load_version.size()) return;
+  node_load_version[node] = ++version;
 }
 
 uint64_t SystemState::max_node_version(
@@ -118,6 +124,17 @@ uint64_t SystemState::max_node_version(
   uint64_t max = 0;
   for (cluster::NodeId node : nodes) {
     if (node < node_version.size()) max = std::max(max, node_version[node]);
+  }
+  return max;
+}
+
+uint64_t SystemState::max_node_load_version(
+    const std::vector<cluster::NodeId>& nodes) const {
+  uint64_t max = 0;
+  for (cluster::NodeId node : nodes) {
+    if (node < node_load_version.size()) {
+      max = std::max(max, node_load_version[node]);
+    }
   }
   return max;
 }

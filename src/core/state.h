@@ -92,24 +92,36 @@ struct SystemState {
   // Bumped on every committed mutation of live state (allocation
   // commit/release, external load report, node online flip).
   uint64_t version = 1;
-  // Per-node last-touched version, indexed by NodeId; sized by
+  // Per-node version of the last *structural* change (allocation
+  // commit/release, online flip), indexed by NodeId; sized by
   // init_pool().
   std::vector<uint64_t> node_version;
+  // Per-node version of the last external-load report. Load moves no
+  // allocations — it only shifts contention-dependent predictions — so
+  // it is tracked separately and consulted only for bundles whose
+  // performance models actually read per-node load (see
+  // Optimizer::can_skip and core::model_reads).
+  std::vector<uint64_t> node_load_version;
 
   void init_pool() {
     pool = std::make_unique<cluster::ResourcePool>(&topology);
     node_version.assign(topology.node_count(), 0);
+    node_load_version.assign(topology.node_count(), 0);
   }
   InstanceState* find_instance(InstanceId id);
   const InstanceState* find_instance(InstanceId id) const;
 
   // Marks a node (or every node of an allocation / the whole cluster)
-  // as changed at a fresh version.
+  // as structurally changed at a fresh version.
   void touch_node(cluster::NodeId node);
   void touch_allocation(const cluster::Allocation& allocation);
   void touch_all();
+  // Marks a node's external load as changed at a fresh version.
+  void touch_node_load(cluster::NodeId node);
   // Highest node version across a node set (0 for an empty set).
   uint64_t max_node_version(const std::vector<cluster::NodeId>& nodes) const;
+  uint64_t max_node_load_version(
+      const std::vector<cluster::NodeId>& nodes) const;
 
   // Planned tasks per node, derived from every configured allocation.
   // This is the contention input to the default performance model.

@@ -41,23 +41,29 @@ Result<uint16_t> HarmonyTcpServer::start() {
 }
 
 bool HarmonyTcpServer::run_once(int timeout_ms) {
-  std::vector<pollfd> fds;
-  fds.push_back({listener_.get(), POLLIN, 0});
-  for (auto& connection : connections_) {
+  // The fd/event fields are refreshed in place every tick (writability
+  // interest follows the outbound buffer), but the vector itself only
+  // grows or shrinks when connections come and go.
+  pollfds_.resize(connections_.size() + 1);
+  pollfds_[0] = {listener_.get(), POLLIN, 0};
+  for (size_t i = 0; i < connections_.size(); ++i) {
     short events = POLLIN;
-    if (!connection->outbound.empty()) events |= POLLOUT;
-    fds.push_back({connection->fd.get(), events, 0});
+    if (!connections_[i]->outbound.empty()) events |= POLLOUT;
+    pollfds_[i + 1] = {connections_[i]->fd.get(), events, 0};
   }
-  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  int ready = ::poll(pollfds_.data(), pollfds_.size(), timeout_ms);
   if (ready <= 0) return false;
 
-  if (fds[0].revents & POLLIN) accept_new();
-  for (size_t i = 1; i < fds.size(); ++i) {
+  if (pollfds_[0].revents & POLLIN) accept_new();
+  // accept_new may have grown connections_; the new entries poll next
+  // tick. Dispatch strictly over this tick's snapshot.
+  const size_t polled = pollfds_.size();
+  for (size_t i = 1; i < polled; ++i) {
     Connection& connection = *connections_[i - 1];
-    if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+    if (pollfds_[i].revents & (POLLIN | POLLHUP | POLLERR)) {
       handle_readable(connection);
     }
-    if (!connection.drop && (fds[i].revents & POLLOUT)) {
+    if (!connection.drop && (pollfds_[i].revents & POLLOUT)) {
       flush_writable(connection);
     }
   }

@@ -5,6 +5,8 @@
 // every instance the connection registered.
 #pragma once
 
+#include <poll.h>
+
 #include <atomic>
 #include <map>
 #include <memory>
@@ -57,6 +59,9 @@ class HarmonyTcpServer {
   uint16_t port_;
   Fd listener_;
   std::vector<std::unique_ptr<Connection>> connections_;
+  // Reused across run_once ticks; resized only when the connection set
+  // changes, so the steady-state poll loop allocates nothing.
+  std::vector<pollfd> pollfds_;
   // stop() may be called from another thread (tests, signal handlers);
   // everything else is single-threaded.
   std::atomic<bool> stopping_ = false;

@@ -1,0 +1,146 @@
+// One-time compilation of RSL expressions into a flat postfix program
+// executed by a small stack VM. The controller's inner loop evaluates
+// parameterized resource requirements (e.g. the paper's
+//   44 + (client.memory > 24 ? 24 : client.memory) - 17
+// link bandwidth) once per candidate configuration; the tree-walking
+// evaluator in expr.cc re-parses the text and allocates identifier
+// strings on every call. A compiled Program parses once: numeric
+// subtrees are constant-folded, string literals are interned, each
+// distinct bare name / $variable gets a slot, and evaluation runs over
+// a stack of doubles with no per-eval allocation on the numeric path.
+//
+// The compiler also reports the expression's *read set* — the bare
+// (namespace) names and $variables it references — which the core
+// planning engine uses to sharpen dirty-set invalidation and to key
+// the prediction cache on the values actually read.
+//
+// Semantics contract: when compile() succeeds, eval_number() returns
+// bit-identical values AND identical error outcomes (code + message)
+// to expr_eval_number() on the same text and context. The grammar has
+// no short-circuit evaluation (&&, || and ?: evaluate every operand,
+// exactly like the tree-walk), so straight-line postfix needs no jump
+// opcodes. Expressions the program cannot represent — [script]
+// substitution, malformed text — fail to compile and the caller keeps
+// the tree-walk path, which preserves behavior by construction.
+// tests/rsl_property_test.cc enforces the contract on randomized
+// expressions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rsl/expr.h"
+
+namespace harmony::rsl {
+
+class Program {
+ public:
+  // Parses and compiles `text`. Fails on syntax errors and on [script]
+  // substitution (the tree-walk evaluator remains the authority for
+  // those); a successful compile may still evaluate to an error at
+  // runtime (division by zero, unresolved names, ...).
+  static Result<Program> compile(std::string_view text);
+
+  // Distinct bare identifiers (namespace paths like "client.memory"),
+  // first-use order. This is the expression's namespace read set.
+  const std::vector<std::string>& names() const { return names_; }
+  // Distinct $variables referenced, first-use order.
+  const std::vector<std::string>& vars() const { return vars_; }
+  bool reads_anything() const { return !names_.empty() || !vars_.empty(); }
+
+  // Folded literal when the whole expression reduced to one number at
+  // compile time (no reads, no possible runtime error).
+  std::optional<double> constant() const;
+
+  // Executes the program. Mirrors expr_eval_number / expr_eval.
+  Result<double> eval_number(const ExprContext& ctx) const;
+  Result<std::string> eval(const ExprContext& ctx) const;
+
+  const std::string& source() const { return source_; }
+  size_t op_count() const { return ops_.size(); }
+
+ private:
+  friend class Compiler;
+
+  enum class Op : uint8_t {
+    kPushNum,   // push number (inst.number)
+    kPushStr,   // push interned string (inst.index)
+    kLoadName,  // resolve names_[inst.index] via name_lookup/var_lookup
+    kLoadVar,   // resolve vars_[inst.index] via var_lookup
+    kAdd, kSub, kMul, kDiv, kMod, kPow,
+    kNeg, kNot,
+    kAnd, kOr,
+    kEq, kNe, kLe, kGe, kLt, kGt,
+    kSelect,  // cond ? then : else (all three already evaluated)
+    kToNum,   // convert top of stack to a number (function arguments)
+    kCall,    // builtin function inst.func over inst.argc numbers
+    kFail,    // unconditional error fails_[inst.index] (folded failure)
+  };
+
+  enum class Func : uint8_t {
+    kAbs, kSqrt, kExp, kLog, kLog10, kFloor, kCeil, kRound, kInt,
+    kPow, kFmod, kMin, kMax,
+  };
+
+  struct Inst {
+    Op op;
+    Func func = Func::kAbs;  // kCall only
+    uint16_t argc = 0;       // kCall only
+    uint32_t index = 0;      // kPushStr / kLoadName / kLoadVar / kFail
+    double number = 0;       // kPushNum
+  };
+
+  // Interned string literal with its numeric interpretation
+  // precomputed (TCL strings convert lazily at use sites).
+  struct StrLit {
+    std::string text;
+    bool numeric = false;
+    double number = 0;
+    bool truthy = false;
+  };
+
+  struct Failure {
+    ErrorCode code = ErrorCode::kEvalError;
+    std::string message;  // full message, exactly as the tree-walk emits
+  };
+
+  // Runtime value: a double, or a reference to an interned literal
+  // (str < literal count) / scratch string produced by a lookup.
+  struct Val {
+    double num = 0;
+    int32_t str = -1;  // -1 = number
+  };
+
+  // Builtin application shared by the constant folder and the VM; exact
+  // tree-walk apply_function semantics over already-converted numbers.
+  static Result<double> apply_builtin(Func func, const double* args,
+                                      size_t argc, const std::string& source);
+
+  Result<Val> run(const ExprContext& ctx,
+                  std::vector<std::string>& scratch) const;
+  const std::string& str_text(int32_t idx,
+                              const std::vector<std::string>& scratch) const;
+  Result<double> to_number(const Val& value,
+                           const std::vector<std::string>& scratch) const;
+  bool truthy(const Val& value,
+              const std::vector<std::string>& scratch) const;
+
+  std::string source_;
+  std::vector<Inst> ops_;
+  std::vector<StrLit> strings_;
+  std::vector<std::string> names_;
+  std::vector<std::string> vars_;
+  std::vector<Failure> fails_;
+  uint32_t max_stack_ = 0;
+};
+
+// Total Expr::eval invocations process-wide (decision-path metric for
+// bench/abl_optimizer.cc; single-threaded controller, plain counter).
+uint64_t expr_evaluations();
+void bump_expr_evaluations();
+
+}  // namespace harmony::rsl

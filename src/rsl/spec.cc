@@ -80,16 +80,29 @@ std::string Constraint::to_string() const {
 
 // --- Expr ---------------------------------------------------------------------
 
-bool Expr::is_constant() const {
-  double value = 0;
-  return parse_double(text, &value);
+Expr::Expr(std::string text) : text_(std::move(text)) {
+  literal_ = parse_double(text_, &literal_value_);
+}
+
+const Program* Expr::program() const {
+  // Literals never reach the VM (eval short-circuits) and read nothing;
+  // compiling them would only waste the cache.
+  if (!compile_attempted_ && !text_.empty() && !literal_) {
+    compile_attempted_ = true;
+    auto compiled = Program::compile(text_);
+    if (compiled.ok()) {
+      program_ = std::make_shared<const Program>(std::move(compiled).value());
+    }
+  }
+  return program_.get();
 }
 
 Result<double> Expr::eval(const ExprContext& ctx) const {
-  if (text.empty()) return 0.0;
-  double constant = 0;
-  if (parse_double(text, &constant)) return constant;
-  return expr_eval_number(text, ctx);
+  if (text_.empty()) return 0.0;
+  if (literal_) return literal_value_;
+  bump_expr_evaluations();
+  if (const Program* compiled = program()) return compiled->eval_number(ctx);
+  return expr_eval_number(text_, ctx);
 }
 
 Result<double> Expr::eval_constant() const {
@@ -152,7 +165,7 @@ Result<NodeReq> parse_node_req(const std::vector<std::string>& items) {
     } else if (key == "seconds") {
       auto value = require_value();
       if (!value.ok()) return Err<NodeReq>(value.error().code, value.error().message);
-      req.seconds.text = value.value();
+      req.seconds = Expr(value.value());
     } else if (key == "memory") {
       auto value = require_value();
       if (!value.ok()) return Err<NodeReq>(value.error().code, value.error().message);
@@ -164,7 +177,7 @@ Result<NodeReq> parse_node_req(const std::vector<std::string>& items) {
     } else if (key == "replicate") {
       auto value = require_value();
       if (!value.ok()) return Err<NodeReq>(value.error().code, value.error().message);
-      req.replicate.text = value.value();
+      req.replicate = Expr(value.value());
     } else {
       return parse_error<NodeReq>("unknown node tag: \"" + key + "\"");
     }
@@ -180,7 +193,7 @@ Result<LinkReq> parse_link_req(const std::vector<std::string>& items) {
   LinkReq req;
   req.from = items[1];
   req.to = items[2];
-  req.megabytes.text = items[3];
+  req.megabytes = Expr(items[3]);
   return req;
 }
 
@@ -219,7 +232,7 @@ Status parse_performance(const std::vector<std::string>& items,
     return Status::Ok();
   }
   if (items.size() == 3 && items[1] == "expr") {
-    option->performance_expr.text = items[2];
+    option->performance_expr = Expr(items[2]);
     return Status::Ok();
   }
   if (items.size() == 3 && items[1] == "dag") {
@@ -235,7 +248,7 @@ Status parse_performance(const std::vector<std::string>& items,
       }
       OptionSpec::DagTask task;
       task.name = fields.value()[0];
-      task.seconds.text = fields.value()[1];
+      task.seconds = Expr(fields.value()[1]);
       if (fields.value().size() == 3) {
         auto deps = list_parse(fields.value()[2]);
         if (!deps.ok()) return Status(deps.error().code, deps.error().message);
@@ -313,7 +326,7 @@ Result<OptionSpec> parse_option(std::string_view text) {
         return parse_error<OptionSpec>("communication requires an expression");
       }
       std::vector<std::string> rest(fields.begin() + 1, fields.end());
-      option.communication.text = join(rest, " ");
+      option.communication = Expr(join(rest, " "));
     } else if (key == "variable") {
       auto variable = parse_variable(fields);
       if (!variable.ok()) {

@@ -25,8 +25,11 @@
 #include <string_view>
 #include <vector>
 
+#include <memory>
+
 #include "common/result.h"
 #include "rsl/expr.h"
+#include "rsl/program.h"
 
 namespace harmony::rsl {
 
@@ -46,16 +49,48 @@ struct Constraint {
 };
 
 // Unevaluated RSL expression; evaluated at decision time against the
-// controller's namespace + the option's variables.
-struct Expr {
-  std::string text;
+// controller's namespace + the option's variables. Constant-ness and
+// the literal value are determined once at construction; the first
+// non-literal eval() compiles the text to bytecode (rsl::Program) and
+// caches it. Expressions the compiler rejects ([script] substitution,
+// syntax errors) keep the per-call tree-walk, which reproduces the
+// tree-walk's error behavior by construction.
+class Expr {
+ public:
+  Expr() = default;
+  // Implicit by design: specs assign parsed text directly.
+  Expr(std::string text);         // NOLINT
+  Expr(const char* text) : Expr(std::string(text)) {}  // NOLINT
 
-  bool empty() const { return text.empty(); }
-  bool is_constant() const;
-  // Evaluates with the given context; constants short-circuit.
+  const std::string& text() const { return text_; }
+  bool empty() const { return text_.empty(); }
+  // True iff the whole text is a numeric literal ("42", "3.5") — NOT
+  // whether it folds to a constant; callers rely on the narrow meaning.
+  bool is_constant() const { return literal_; }
+  // Evaluates with the given context; literals short-circuit.
   Result<double> eval(const ExprContext& ctx) const;
   // Convenience for expressions that must be constant.
   Result<double> eval_constant() const;
+
+  // Compiled form, or nullptr when the expression is empty or not
+  // compilable. Lazily built on first use; copies share the program.
+  const Program* program() const;
+  // True when the expression's namespace read set is fully known:
+  // empty/literal expressions read nothing, compiled programs report
+  // names()/vars(). False only for uncompilable expressions, whose
+  // reads the planner must treat as "could be anything".
+  bool reads_known() const {
+    return text_.empty() || literal_ || program() != nullptr;
+  }
+
+ private:
+  std::string text_;
+  bool literal_ = false;
+  double literal_value_ = 0;
+  // Lazy compile state; mutable because compilation is a pure cache of
+  // the immutable text (single-threaded controller).
+  mutable std::shared_ptr<const Program> program_;
+  mutable bool compile_attempted_ = false;
 };
 
 struct NodeReq {

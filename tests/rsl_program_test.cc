@@ -1,0 +1,262 @@
+// Directed tests for the RSL bytecode compiler + VM (rsl::Program):
+// constant folding, read-set reporting, and exact semantic parity with
+// the tree-walk evaluator — values, error codes, and error messages.
+// Randomized parity lives in rsl_property_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "rsl/expr.h"
+#include "rsl/program.h"
+#include "rsl/spec.h"
+
+namespace harmony::rsl {
+namespace {
+
+ExprContext test_context() {
+  ExprContext ctx;
+  ctx.name_lookup = [](const std::string& name, double* out) {
+    if (name == "client.memory") { *out = 33.5; return true; }
+    if (name == "server.load") { *out = 0.25; return true; }
+    if (name == "x") { *out = 3.5; return true; }
+    if (name == "zero") { *out = 0.0; return true; }
+    return false;
+  };
+  ctx.var_lookup = [](const std::string& name, std::string* out) {
+    if (name == "os") { *out = "linux"; return true; }
+    if (name == "count") { *out = "8"; return true; }
+    return false;
+  };
+  return ctx;
+}
+
+// Compiles (asserting success) and checks the VM against the tree-walk
+// on the same context: identical ok-ness, bit-identical doubles,
+// identical error code + message.
+void expect_parity(const std::string& text, const ExprContext& ctx) {
+  auto compiled = Program::compile(text);
+  ASSERT_TRUE(compiled.ok()) << text << ": " << compiled.error().to_string();
+  auto vm = compiled.value().eval_number(ctx);
+  auto tree = expr_eval_number(text, ctx);
+  ASSERT_EQ(vm.ok(), tree.ok())
+      << text << ": vm="
+      << (vm.ok() ? "ok" : vm.error().to_string()) << " tree="
+      << (tree.ok() ? "ok" : tree.error().to_string());
+  if (vm.ok()) {
+    uint64_t vm_bits = 0, tree_bits = 0;
+    std::memcpy(&vm_bits, &vm.value(), sizeof(vm_bits));
+    std::memcpy(&tree_bits, &tree.value(), sizeof(tree_bits));
+    EXPECT_EQ(vm_bits, tree_bits) << text;
+  } else {
+    EXPECT_EQ(vm.error().code, tree.error().code) << text;
+    EXPECT_EQ(vm.error().message, tree.error().message) << text;
+  }
+}
+
+TEST(ProgramCompile, FoldsConstantArithmeticToOneInstruction) {
+  auto program = Program::compile("2 + 3 * 4");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().op_count(), 1u);
+  ASSERT_TRUE(program.value().constant().has_value());
+  EXPECT_DOUBLE_EQ(*program.value().constant(), 14.0);
+  EXPECT_FALSE(program.value().reads_anything());
+}
+
+TEST(ProgramCompile, FoldsFunctionsTernaryAndStrings) {
+  struct Case { const char* text; double expected; };
+  const Case cases[] = {
+      {"min(3, 1, 2)", 1.0},
+      {"max(3, 1, 2)", 3.0},
+      {"2**3**2", 512.0},        // right associative
+      {"-2**2", -4.0},           // unary minus after power
+      {"1 ? 2 : 3", 2.0},
+      {"{a} eq {a}", 1.0},
+      {"{abc} ne \"abd\"", 1.0},
+      {"3.5 == {3.5}", 1.0},     // number/string compare via as_string
+      {"!{no}", 1.0},            // "no" is falsy
+      {"!{0.0}", 0.0},           // but the STRING "0.0" is truthy
+      {"17 % 5", 2.0},
+      {"+{3.5} + 1", 4.5},       // unary + is identity, even for strings
+  };
+  for (const auto& c : cases) {
+    auto program = Program::compile(c.text);
+    ASSERT_TRUE(program.ok()) << c.text;
+    ASSERT_TRUE(program.value().constant().has_value()) << c.text;
+    EXPECT_DOUBLE_EQ(*program.value().constant(), c.expected) << c.text;
+  }
+}
+
+TEST(ProgramCompile, ReportsNamespaceReadSet) {
+  auto program =
+      Program::compile("44 + (client.memory > 24 ? 24 : client.memory) - 17");
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program.value().names().size(), 1u);  // deduplicated
+  EXPECT_EQ(program.value().names()[0], "client.memory");
+  EXPECT_TRUE(program.value().vars().empty());
+  EXPECT_FALSE(program.value().constant().has_value());
+  EXPECT_TRUE(program.value().reads_anything());
+}
+
+TEST(ProgramCompile, ReportsVariableReadSet) {
+  auto program = Program::compile("$os eq {linux} && $count > 4");
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program.value().vars().size(), 2u);
+  EXPECT_EQ(program.value().vars()[0], "os");
+  EXPECT_EQ(program.value().vars()[1], "count");
+}
+
+TEST(ProgramCompile, RejectsScriptSubstitutionAndSyntaxErrors) {
+  EXPECT_FALSE(Program::compile("[expr 1] + 1").ok());
+  EXPECT_FALSE(Program::compile("").ok());
+  EXPECT_FALSE(Program::compile("1 +").ok());
+  EXPECT_FALSE(Program::compile("(1").ok());
+  EXPECT_FALSE(Program::compile("1 @ 2").ok());
+}
+
+TEST(ProgramVm, EvaluatesThePaperExpression) {
+  auto program =
+      Program::compile("44 + (client.memory > 24 ? 24 : client.memory) - 17");
+  ASSERT_TRUE(program.ok());
+  ExprContext ctx;
+  double memory = 33.5;
+  ctx.name_lookup = [&](const std::string& name, double* out) {
+    if (name != "client.memory") return false;
+    *out = memory;
+    return true;
+  };
+  EXPECT_DOUBLE_EQ(program.value().eval_number(ctx).value(), 51.0);
+  memory = 16.0;  // below the 24 MB knee: the requirement tracks memory
+  EXPECT_DOUBLE_EQ(program.value().eval_number(ctx).value(), 43.0);
+}
+
+TEST(ProgramVm, MatchesTreeWalkOnGoldenExpressions) {
+  ExprContext ctx = test_context();
+  const char* const cases[] = {
+      "1 + 2 * 3",
+      "x * 2 - server.load",
+      "client.memory <= 33.5",
+      "$os eq \"linux\"",
+      "$count % 3",
+      "zero ? x : server.load",
+      "x > 0 ? {yes} : {no} eq {yes}",
+      "min(x, $count, 2.5) + max(1, server.load)",
+      "sqrt(x * x)",
+      "pow(2, $count)",
+      "-x**2",
+      "!x || !zero",
+      "1 < 2 < 3",               // relational chains are left-associative
+      "fmod($count, 3)",
+  };
+  for (const char* text : cases) expect_parity(text, ctx);
+}
+
+TEST(ProgramVm, MatchesTreeWalkOnErrors) {
+  ExprContext ctx = test_context();
+  const char* const cases[] = {
+      "1 / 0",                  // folded failure, prefixed message
+      "x / zero",               // runtime division by zero
+      "17 % zero",
+      "sqrt(0 - 1)",
+      "sqrt(0 - x)",            // runtime domain error
+      "log(0)",
+      "fmod(1, 0)",
+      "nosuchfn(1)",            // unknown function
+      "min()",                  // arity error reported as unknown function
+      "bogus + 1",              // unresolvable identifier
+      "$missing",               // var_lookup miss
+      "{abc} + 1",              // folded to_number failure, unprefixed
+      "{abc} * x",              // lhs conversion error beats rhs read
+      "x + {abc}",
+      "min({abc}, bogus)",      // arg 1 conversion error wins (parse order)
+      "min(bogus, {abc})",      // arg 1 resolution error wins
+      "{hi}",                   // result is not a number
+      "x > 0 ? {hi} : 2",       // string result via select
+  };
+  for (const char* text : cases) expect_parity(text, ctx);
+}
+
+TEST(ProgramVm, MissingContextsMatchTreeWalk) {
+  // No hooks at all: names and vars fail with the tree-walk's messages.
+  ExprContext empty;
+  for (const char* text : {"$os", "client.memory + 1"}) {
+    auto program = Program::compile(text);
+    ASSERT_TRUE(program.ok()) << text;
+    auto vm = program.value().eval_number(empty);
+    auto tree = expr_eval_number(text, empty);
+    ASSERT_FALSE(vm.ok());
+    ASSERT_FALSE(tree.ok());
+    EXPECT_EQ(vm.error().message, tree.error().message) << text;
+  }
+}
+
+TEST(ProgramVm, NameFallsBackToInterpreterVariables) {
+  // Bare names try name_lookup first, then var_lookup — `expr {x + 1}`
+  // over interpreter variables must keep working.
+  ExprContext ctx;
+  ctx.var_lookup = [](const std::string& name, std::string* out) {
+    if (name != "workerNodes") return false;
+    *out = "4";
+    return true;
+  };
+  auto program = Program::compile("1200.0 / workerNodes");
+  ASSERT_TRUE(program.ok());
+  EXPECT_DOUBLE_EQ(program.value().eval_number(ctx).value(), 300.0);
+  ASSERT_EQ(program.value().names().size(), 1u);
+  EXPECT_EQ(program.value().names()[0], "workerNodes");
+}
+
+TEST(ProgramVm, StringResultsRoundTripThroughEval) {
+  ExprContext ctx = test_context();
+  auto program = Program::compile("x > 0 ? {fast} : {slow}");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().eval(ctx).value(), "fast");
+  EXPECT_EQ(program.value().eval(ctx).value(),
+            expr_eval("x > 0 ? {fast} : {slow}", ctx).value());
+}
+
+TEST(ProgramVm, DeepStacksSpillToTheHeap) {
+  // Force a stack deeper than the VM's inline buffer: nested min() calls
+  // each hold their arguments while the next nests inside.
+  std::string text = "x";
+  for (int i = 0; i < 24; ++i) text = "min(1 + " + text + ", 99)";
+  expect_parity(text, test_context());
+}
+
+TEST(ExprCaching, LiteralsAndLazyCompilationBehave) {
+  Expr literal{"42"};
+  EXPECT_TRUE(literal.is_constant());
+  EXPECT_TRUE(literal.reads_known());
+  EXPECT_EQ(literal.program(), nullptr);  // literals never compile
+
+  Expr expr{"client.memory + 1"};
+  EXPECT_FALSE(expr.is_constant());
+  const Program* program = expr.program();
+  ASSERT_NE(program, nullptr);
+  EXPECT_EQ(expr.program(), program);  // cached, not recompiled
+  EXPECT_TRUE(expr.reads_known());
+  ASSERT_EQ(program->names().size(), 1u);
+  EXPECT_EQ(program->names()[0], "client.memory");
+
+  Expr script{"[cmd] + 1"};
+  EXPECT_EQ(script.program(), nullptr);  // tree-walk fallback
+  EXPECT_FALSE(script.reads_known());
+
+  Expr empty{};
+  EXPECT_TRUE(empty.reads_known());
+  EXPECT_DOUBLE_EQ(empty.eval_constant().value(), 0.0);
+}
+
+TEST(ExprCaching, EvalCounterTracksNonLiteralEvaluations) {
+  ExprContext ctx = test_context();
+  Expr literal{"42"};
+  Expr dynamic{"x + 1"};
+  uint64_t before = expr_evaluations();
+  (void)literal.eval(ctx);  // literal: no evaluator invoked
+  EXPECT_EQ(expr_evaluations(), before);
+  (void)dynamic.eval(ctx);
+  (void)dynamic.eval(ctx);
+  EXPECT_EQ(expr_evaluations(), before + 2);
+}
+
+}  // namespace
+}  // namespace harmony::rsl

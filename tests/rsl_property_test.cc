@@ -1,15 +1,19 @@
 // Property tests for the RSL substrate: randomly generated lists must
-// round-trip through the TCL list codec, and randomly generated
-// expression trees must evaluate to the value computed directly from
-// the tree (an independent reference evaluator).
+// round-trip through the TCL list codec, randomly generated expression
+// trees must evaluate to the value computed directly from the tree (an
+// independent reference evaluator), and the bytecode VM must agree with
+// the tree-walk evaluator — bit-identical values AND identical error
+// outcomes — on randomized expressions over the full grammar.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <memory>
 
 #include "common/rng.h"
 #include "common/strings.h"
 #include "rsl/expr.h"
+#include "rsl/program.h"
 #include "rsl/value.h"
 
 namespace harmony::rsl {
@@ -197,6 +201,167 @@ TEST_P(ExprTreeProperty, FlatChainsFollowPrecedence) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExprTreeProperty,
                          ::testing::Values(2, 17, 404, 987654));
+
+// --- compiled VM vs tree-walk differential ---------------------------------
+//
+// Generates random expression TEXT over the full grammar — numbers,
+// string literals, $vars and bare names (with deliberate lookup
+// misses), every operator, functions with wrong arity, ternaries —
+// and requires the compiled program to reproduce the tree-walk
+// exactly: same ok-ness, bit-identical doubles (NaN-safe via bit
+// comparison), same error code and message.
+
+ExprContext differential_context() {
+  ExprContext ctx;
+  ctx.name_lookup = [](const std::string& name, double* out) {
+    if (name == "client.memory") { *out = 33.5; return true; }
+    if (name == "server.load") { *out = 0.25; return true; }
+    if (name == "n.zero") { *out = 0.0; return true; }
+    if (name == "n.negative") { *out = -7.25; return true; }
+    return false;  // everything else: "cannot resolve identifier"
+  };
+  ctx.var_lookup = [](const std::string& name, std::string* out) {
+    if (name == "os") { *out = "linux"; return true; }
+    if (name == "count") { *out = "8"; return true; }
+    if (name == "half") { *out = "0.5"; return true; }
+    if (name == "word") { *out = "fast"; return true; }
+    return false;  // everything else: "no such variable"
+  };
+  return ctx;
+}
+
+std::string random_leaf(Rng& rng) {
+  switch (rng.next_below(10)) {
+    case 0: return format_number(static_cast<double>(rng.next_int(0, 40)) / 2);
+    case 1: return format_number(static_cast<double>(rng.next_int(0, 5)));
+    case 2: {  // string literal, both quoting forms
+      static const char* const kStrings[] = {"linux", "fast", "0",
+                                             "no",    "3.5",  "abc"};
+      const char* text = kStrings[rng.next_below(6)];
+      return rng.next_bool(0.5) ? "{" + std::string(text) + "}"
+                                : "\"" + std::string(text) + "\"";
+    }
+    case 3: case 4: {  // $var, sometimes a miss
+      static const char* const kVars[] = {"os", "count", "half",
+                                          "word", "missing"};
+      return "$" + std::string(kVars[rng.next_below(5)]);
+    }
+    default: {  // bare name, sometimes a miss
+      static const char* const kNames[] = {"client.memory", "server.load",
+                                           "n.zero", "n.negative",
+                                           "no.such.name", "count"};
+      return std::string(kNames[rng.next_below(6)]);
+    }
+  }
+}
+
+std::string random_vm_expr(Rng& rng, int depth) {
+  if (depth <= 0 || rng.next_bool(0.25)) {
+    std::string leaf = random_leaf(rng);
+    switch (rng.next_below(8)) {
+      case 0: return "-" + leaf;
+      case 1: return "!" + leaf;
+      case 2: return "+" + leaf;
+      case 3: return "(" + leaf + ")";
+      default: return leaf;
+    }
+  }
+  switch (rng.next_below(5)) {
+    case 0: {  // binary operator chain
+      static const char* const kOps[] = {"+",  "-",  "*",  "/",  "%",
+                                         "**", "&&", "||", "==", "!=",
+                                         "<",  ">",  "<=", ">="};
+      std::string a = random_vm_expr(rng, depth - 1);
+      std::string b = random_vm_expr(rng, depth - 1);
+      std::string op = kOps[rng.next_below(14)];
+      std::string space = rng.next_bool(0.8) ? " " : "";
+      return "(" + a + space + op + space + b + ")";
+    }
+    case 1: {  // word operators need surrounding spaces
+      std::string a = random_vm_expr(rng, depth - 1);
+      std::string b = random_vm_expr(rng, depth - 1);
+      return "(" + a + (rng.next_bool(0.5) ? " eq " : " ne ") + b + ")";
+    }
+    case 2: {  // ternary
+      std::string c = random_vm_expr(rng, depth - 1);
+      std::string t = random_vm_expr(rng, depth - 1);
+      std::string e = random_vm_expr(rng, depth - 1);
+      return "(" + c + " ? " + t + " : " + e + ")";
+    }
+    case 3: {  // function call, including wrong arity / unknown names
+      static const char* const kFuncs[] = {"abs",   "sqrt", "exp",  "log",
+                                           "floor", "ceil", "round", "int",
+                                           "pow",   "fmod", "min",  "max",
+                                           "nosuchfn"};
+      std::string name = kFuncs[rng.next_below(13)];
+      size_t argc = rng.next_below(4);  // 0..3, often the wrong arity
+      std::string out = name + "(";
+      for (size_t i = 0; i < argc; ++i) {
+        if (i) out += ", ";
+        out += random_vm_expr(rng, depth - 1);
+      }
+      return out + ")";
+    }
+    default: {  // unary over a composite
+      std::string inner = random_vm_expr(rng, depth - 1);
+      switch (rng.next_below(3)) {
+        case 0: return "-(" + inner + ")";
+        case 1: return "!(" + inner + ")";
+        default: return "+(" + inner + ")";
+      }
+    }
+  }
+}
+
+class CompiledVmProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompiledVmProperty, CompiledProgramsMatchTreeWalkExactly) {
+  Rng rng(GetParam());
+  ExprContext ctx = differential_context();
+  int compiled_count = 0;
+  for (int trial = 0; trial < 600; ++trial) {
+    std::string text = random_vm_expr(rng, 1 + rng.next_below(4));
+    auto program = Program::compile(text);
+    // Uncompilable text keeps the tree-walk path in Expr::eval, so the
+    // two evaluators agree by construction; nothing to check.
+    if (!program.ok()) continue;
+    ++compiled_count;
+
+    auto vm = program.value().eval_number(ctx);
+    auto tree = expr_eval_number(text, ctx);
+    ASSERT_EQ(vm.ok(), tree.ok())
+        << text << "\n vm:   "
+        << (vm.ok() ? format_number(vm.value()) : vm.error().to_string())
+        << "\n tree: "
+        << (tree.ok() ? format_number(tree.value()) : tree.error().to_string());
+    if (vm.ok()) {
+      uint64_t vm_bits = 0, tree_bits = 0;
+      std::memcpy(&vm_bits, &vm.value(), sizeof(vm_bits));
+      std::memcpy(&tree_bits, &tree.value(), sizeof(tree_bits));
+      EXPECT_EQ(vm_bits, tree_bits) << text;
+    } else {
+      EXPECT_EQ(vm.error().code, tree.error().code) << text;
+      EXPECT_EQ(vm.error().message, tree.error().message) << text;
+    }
+
+    // The string-result evaluator must agree too (exercises Select over
+    // strings and TCL number formatting).
+    auto vm_str = program.value().eval(ctx);
+    auto tree_str = expr_eval(text, ctx);
+    ASSERT_EQ(vm_str.ok(), tree_str.ok()) << text;
+    if (vm_str.ok()) {
+      EXPECT_EQ(vm_str.value(), tree_str.value()) << text;
+    } else {
+      EXPECT_EQ(vm_str.error().message, tree_str.error().message) << text;
+    }
+  }
+  // The generator emits syntactically valid text, so nearly everything
+  // should compile; a low rate means the differential lost its teeth.
+  EXPECT_GT(compiled_count, 550);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledVmProperty,
+                         ::testing::Values(3, 29, 1371, 271828));
 
 }  // namespace
 }  // namespace harmony::rsl

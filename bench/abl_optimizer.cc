@@ -10,8 +10,12 @@
 // a quiet system and for localized perturbations. Results (decisions/s,
 // candidates per decision, cache hit rate) also land in
 // BENCH_optimizer.json for machine consumption.
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +23,7 @@
 #include "apps/scenarios.h"
 #include "common/strings.h"
 #include "core/controller.h"
+#include "persist/persistence.h"
 #include "rsl/program.h"
 
 namespace {
@@ -101,8 +106,20 @@ const char* scenario_name(Scenario scenario) {
   return "?";
 }
 
+std::string persist_dir() {
+  return str_format("/tmp/abl_optimizer_wal_%d", static_cast<int>(::getpid()));
+}
+
+void clean_persist_dir() {
+  const std::string dir = persist_dir();
+  std::remove((dir + "/journal.wal").c_str());
+  std::remove((dir + "/snapshot.hsn").c_str());
+  std::remove((dir + "/snapshot.tmp").c_str());
+  ::rmdir(dir.c_str());
+}
+
 SteadyResult run_steady(bool incremental, Scenario scenario, int clients,
-                        int rounds) {
+                        int rounds, bool journaled = false) {
   core::ControllerConfig config;
   config.optimizer.incremental = incremental;
   config.optimizer.memoize_predictions = incremental;
@@ -110,6 +127,18 @@ SteadyResult run_steady(bool incremental, Scenario scenario, int clients,
   SteadyResult result;
   double t = 0;
   controller.set_time_source([&t] { return t; });
+  std::unique_ptr<persist::Persistence> persistence;
+  if (journaled) {
+    clean_persist_dir();  // a leftover journal would trigger recovery
+    persist::PersistConfig persist_config;
+    persist_config.dir = persist_dir();
+    auto opened = persist::Persistence::open(persist_config, controller);
+    if (!opened.ok()) {
+      result.ok = false;
+      return result;
+    }
+    persistence = std::move(opened).value();
+  }
   // One spare worker beyond the clients, so kSpareNodeLoad can perturb
   // a node no application can ever be placed on.
   if (!controller.add_nodes_script(db_cluster_script(clients + 1)).ok() ||
@@ -288,19 +317,71 @@ int run() {
   std::printf("\nsteady-state >=2x work reduction: %s\n",
               reduction_met ? "yes" : "NO");
 
+  // --- Durability: journaling overhead on the decision path ---------------
+  // Same steady-state loop, incremental engine, with the write-ahead
+  // journal attached (default policy: one write(2) per epoch, fsync
+  // every 32 epochs, snapshot every 64). Acceptance: <10% wall-time
+  // regression on the steady-state decision path.
+  std::printf("\n=== Durability: journaling overhead on the decision path "
+              "===\n");
+  std::printf("%-17s %12s %12s %12s\n", "scenario", "plain_ms",
+              "journaled_ms", "regression");
+  std::string json_journal;
+  double plain_total = 0, journaled_total = 0;
+  for (Scenario scenario : {Scenario::kQuiet, Scenario::kClientNodeLoad}) {
+    // Interleaved best-of-10: multi-tenant machines throttle and steal
+    // in bursts lasting several runs, so both variants need many shots
+    // at a quiet window. The journal's cost is systematic and survives
+    // the min; the noise is not and doesn't.
+    double plain_ms = 1e18, journaled_ms = 1e18;
+    for (int repeat = 0; repeat < 10; ++repeat) {
+      auto plain = run_steady(true, scenario, clients, rounds);
+      auto journaled = run_steady(true, scenario, clients, rounds,
+                                  /*journaled=*/true);
+      ok = ok && plain.ok && journaled.ok;
+      plain_ms = std::min(plain_ms, plain.wall_ms);
+      journaled_ms = std::min(journaled_ms, journaled.wall_ms);
+    }
+    const double regression =
+        plain_ms > 0 ? 100.0 * (journaled_ms - plain_ms) / plain_ms : 0;
+    plain_total += plain_ms;
+    journaled_total += journaled_ms;
+    std::printf("%-17s %12.3f %12.3f %11.1f%%\n", scenario_name(scenario),
+                plain_ms, journaled_ms, regression);
+    if (!json_journal.empty()) json_journal += ",";
+    json_journal += str_format(
+        "\n    {\"scenario\": \"%s\", \"clients\": %d, \"rounds\": %d, "
+        "\"plain_ms\": %.3f, \"journaled_ms\": %.3f, "
+        "\"regression_percent\": %.2f}",
+        scenario_name(scenario), clients, rounds, plain_ms, journaled_ms,
+        regression);
+  }
+  clean_persist_dir();
+  const double journal_regression =
+      plain_total > 0 ? 100.0 * (journaled_total - plain_total) / plain_total
+                      : 0;
+  const bool journal_gate_met = journal_regression < 10.0;
+  std::printf("aggregate steady-state regression with journaling: %.1f%% "
+              "(<10%% required): %s\n",
+              journal_regression, journal_gate_met ? "yes" : "NO");
+
   FILE* out = std::fopen("BENCH_optimizer.json", "w");
   if (out != nullptr) {
     std::fprintf(out,
                  "{\n  \"bench\": \"abl_optimizer\",\n"
                  "  \"greedy_vs_exhaustive\": [%s\n  ],\n"
                  "  \"steady_state\": [%s\n  ],\n"
-                 "  \"steady_state_reduction_met\": %s\n}\n",
+                 "  \"steady_state_reduction_met\": %s,\n"
+                 "  \"journaling\": [%s\n  ],\n"
+                 "  \"journaling_regression_percent\": %.2f,\n"
+                 "  \"journaling_gate_met\": %s\n}\n",
                  json_a1.c_str(), json_steady.c_str(),
-                 reduction_met ? "true" : "false");
+                 reduction_met ? "true" : "false", json_journal.c_str(),
+                 journal_regression, journal_gate_met ? "true" : "false");
     std::fclose(out);
     std::printf("wrote BENCH_optimizer.json\n");
   }
-  return ok && reduction_met ? 0 : 1;
+  return ok && reduction_met && journal_gate_met ? 0 : 1;
 }
 
 }  // namespace

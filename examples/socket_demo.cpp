@@ -8,14 +8,20 @@
 // after another; the third arrival flips everyone from query shipping
 // to data shipping.
 //
-//   ./build/examples/socket_demo            # the orchestrated demo
-//   ./build/examples/socket_demo server P   # just the server on port P
-//   ./build/examples/socket_demo client P N # one client process
+// The server journals its state (registrations, decisions, client
+// sessions) to a write-ahead log by default, so restarting it recovers
+// every running application and lets clients RESUME their sessions;
+// pass --no-persist to run purely in memory.
+//
+//   ./build/examples/socket_demo                         # orchestrated demo
+//   ./build/examples/socket_demo server P [--no-persist] # server on port P
+//   ./build/examples/socket_demo client P N              # one client process
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -24,6 +30,7 @@
 #include "core/controller.h"
 #include "net/server.h"
 #include "net/tcp_transport.h"
+#include "persist/persistence.h"
 
 using namespace harmony;
 
@@ -44,31 +51,64 @@ std::string client_bundle(int instance) {
       instance, instance, instance);
 }
 
-int run_server(uint16_t port) {
+std::string persist_dir(uint16_t port) {
+  return str_format("/tmp/harmony_socket_demo_%u", port);
+}
+
+void clean_persist_dir(uint16_t port) {
+  const std::string dir = persist_dir(port);
+  std::remove((dir + "/journal.wal").c_str());
+  std::remove((dir + "/snapshot.hsn").c_str());
+  std::remove((dir + "/snapshot.tmp").c_str());
+  ::rmdir(dir.c_str());
+}
+
+int run_server(uint16_t port, bool persist) {
   core::Controller controller;
-  std::string cluster;
-  for (int i = 1; i <= 3; ++i) {
-    cluster += str_format(
-        "harmonyNode ws%d {speed 1.0} {memory 64} {link server 320 0.05}\n",
-        i);
+  std::unique_ptr<persist::Persistence> persistence;
+  if (persist) {
+    persist::PersistConfig config;
+    config.dir = persist_dir(port);
+    auto opened = persist::Persistence::open(config, controller);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "[server] persistence: %s\n",
+                   opened.error().to_string().c_str());
+      return 1;
+    }
+    persistence = std::move(opened).value();
+    if (persistence->recovery().recovered) {
+      std::printf("[server] recovered %zu application(s) from %s\n",
+                  controller.live_instances(), config.dir.c_str());
+    }
   }
-  cluster += "harmonyNode server {speed 2.25} {memory 512}\n";
-  if (!controller.add_nodes_script(cluster).ok() ||
-      !controller.finalize_cluster().ok()) {
-    std::fprintf(stderr, "[server] cluster setup failed\n");
-    return 1;
+  if (!controller.cluster_finalized()) {
+    std::string cluster;
+    for (int i = 1; i <= 3; ++i) {
+      cluster += str_format(
+          "harmonyNode ws%d {speed 1.0} {memory 64} {link server 320 0.05}\n",
+          i);
+    }
+    cluster += "harmonyNode server {speed 2.25} {memory 512}\n";
+    if (!controller.add_nodes_script(cluster).ok() ||
+        !controller.finalize_cluster().ok()) {
+      std::fprintf(stderr, "[server] cluster setup failed\n");
+      return 1;
+    }
   }
   net::HarmonyTcpServer server(&controller, port);
+  if (persistence) server.set_persistence(persistence.get());
   auto bound = server.start();
   if (!bound.ok()) {
     std::fprintf(stderr, "[server] %s\n", bound.error().to_string().c_str());
     return 1;
   }
-  std::printf("[server] harmony listening on port %u\n", bound.value());
+  std::printf("[server] harmony listening on port %u%s\n", bound.value(),
+              persistence ? " (durable)" : "");
   std::fflush(stdout);
   // Serve until clients have come and gone (idle exit keeps the demo
   // self-terminating).
   server.run(/*until_idle_ms=*/4000);
+  if (persistence) (void)persistence->flush();
   std::printf("[server] idle, shutting down; %llu reconfigurations total\n",
               static_cast<unsigned long long>(controller.reconfigurations()));
   return 0;
@@ -124,6 +164,9 @@ int run_client(uint16_t port, int instance) {
 
 int orchestrate(const char* self) {
   uint16_t port = kDefaultPort;
+  // Each orchestrated run is a fresh world; a journal left by an
+  // earlier run would be recovered instead.
+  clean_persist_dir(port);
   std::printf("forking 1 harmony server + 3 client processes...\n\n");
   std::fflush(stdout);
   std::vector<pid_t> children;
@@ -159,7 +202,11 @@ int orchestrate(const char* self) {
 
 int main(int argc, char** argv) {
   if (argc >= 3 && std::string(argv[1]) == "server") {
-    return run_server(static_cast<uint16_t>(std::atoi(argv[2])));
+    bool persist = true;
+    for (int i = 3; i < argc; ++i) {
+      if (std::string(argv[i]) == "--no-persist") persist = false;
+    }
+    return run_server(static_cast<uint16_t>(std::atoi(argv[2])), persist);
   }
   if (argc >= 4 && std::string(argv[1]) == "client") {
     return run_client(static_cast<uint16_t>(std::atoi(argv[2])),

@@ -117,7 +117,22 @@ Status HarmonyClient::end() {
   if (!registered_) return Status(ErrorCode::kClosed, "not registered");
   if (ended_) return Status(ErrorCode::kClosed, "already ended");
   ended_ = true;
-  return transport_->unregister(instance_id_);
+  // Crash-safe teardown: the DEPART is best-effort. If the server is
+  // already gone (or goes away mid-call) it synthesizes the departure
+  // from the hangup itself, so an unreachable peer is not a client
+  // error — report success and let the destructor stay quiet.
+  Status status = transport_->unregister(instance_id_);
+  if (!status.ok()) {
+    const ErrorCode code = status.error().code;
+    if (code == ErrorCode::kTransport || code == ErrorCode::kClosed ||
+        code == ErrorCode::kIo) {
+      HLOG_DEBUG("client") << "harmony_end: server unreachable ("
+                           << status.to_string()
+                           << "); departure left to the server";
+      return Status::Ok();
+    }
+  }
+  return status;
 }
 
 std::string HarmonyClient::var(const std::string& name) const {

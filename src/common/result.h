@@ -25,6 +25,8 @@ enum class ErrorCode {
   kProtocol,         // malformed wire message
   kClosed,           // operation on a shut-down component
   kTimeout,
+  kIo,               // filesystem / disk failure
+  kCorruption,       // persisted state failed validation (journal/snapshot)
 };
 
 const char* error_code_name(ErrorCode code);
@@ -57,6 +59,8 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kProtocol: return "protocol";
     case ErrorCode::kClosed: return "closed";
     case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kCorruption: return "corruption";
   }
   return "unknown";
 }

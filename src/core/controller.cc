@@ -79,6 +79,16 @@ void Controller::end_epoch() {
   // One coherent flush per external event, however many decision
   // batches it produced.
   if (config_.auto_flush) flush_pending_vars();
+  // Journal batching point: the persist layer writes (and fsyncs) all
+  // events of this epoch as one batch, keeping the decision path free
+  // of per-event disk latency.
+  if (sink_ != nullptr) sink_->on_epoch_commit();
+}
+
+void Controller::emit_event(ControllerEvent event) {
+  if (sink_ == nullptr) return;
+  event.time = now();
+  sink_->on_controller_event(event);
 }
 
 Status Controller::add_node(const rsl::NodeAd& ad) {
@@ -137,7 +147,8 @@ Status Controller::finalize_cluster() {
 }
 
 Result<InstanceId> Controller::register_application(
-    const std::vector<rsl::BundleSpec>& bundles) {
+    const std::vector<rsl::BundleSpec>& bundles,
+    const std::string& script_text) {
   if (bundles.empty()) {
     return Err<InstanceId>(ErrorCode::kInvalidArgument,
                            "application has no bundles");
@@ -158,6 +169,13 @@ Result<InstanceId> Controller::register_application(
   instance.id = next_instance_id_++;
   instance.application = bundles[0].application;
   instance.arrival_time = now();
+  if (!script_text.empty()) {
+    instance.script = script_text;
+  } else {
+    for (const auto& spec : bundles) {
+      instance.script += rsl::bundle_to_script(spec);
+    }
+  }
   for (const auto& spec : bundles) {
     if (instance.find_bundle(spec.bundle) != nullptr) {
       return Err<InstanceId>(ErrorCode::kAlreadyExists,
@@ -179,6 +197,11 @@ Result<InstanceId> Controller::register_application(
   apply_decisions(decisions.value());
   HLOG_INFO("controller") << "registered " << bundles[0].application << "."
                           << id;
+  ControllerEvent event;
+  event.kind = ControllerEvent::Kind::kRegister;
+  event.instance = id;
+  event.text = state_.instances.back().script;
+  emit_event(std::move(event));
   return id;
 }
 
@@ -193,7 +216,7 @@ Result<InstanceId> Controller::register_script(const std::string& rsl_script) {
   if (!status.ok()) {
     return Err<InstanceId>(status.error().code, status.error().message);
   }
-  return register_application(bundles);
+  return register_application(bundles, rsl_script);
 }
 
 Status Controller::unregister(InstanceId id) {
@@ -226,6 +249,10 @@ Status Controller::unregister(InstanceId id) {
     return Status(decisions.error().code, decisions.error().message);
   }
   apply_decisions(decisions.value());
+  ControllerEvent event;
+  event.kind = ControllerEvent::Kind::kDepart;
+  event.instance = id;
+  emit_event(std::move(event));
   return Status::Ok();
 }
 
@@ -239,6 +266,7 @@ Status Controller::reevaluate() {
     return Status(decisions.error().code, decisions.error().message);
   }
   apply_decisions(decisions.value());
+  emit_event(ControllerEvent{});  // default kind is kReevaluate
   return Status::Ok();
 }
 
@@ -253,6 +281,12 @@ Status Controller::set_option(InstanceId id, const std::string& bundle,
     return Status(decision.error().code, decision.error().message);
   }
   apply_decisions({decision.value()});
+  ControllerEvent event;
+  event.kind = ControllerEvent::Kind::kSetOption;
+  event.instance = id;
+  event.text = bundle;
+  event.choice = choice;
+  emit_event(std::move(event));
   return Status::Ok();
 }
 
@@ -313,6 +347,11 @@ Status Controller::set_node_online(const std::string& hostname, bool online) {
     if (!superseded) reoptimized.value().push_back(displaced);
   }
   apply_decisions(reoptimized.value());
+  ControllerEvent event;
+  event.kind = ControllerEvent::Kind::kNodeOnline;
+  event.text = hostname;
+  event.value = online ? 1 : 0;
+  emit_event(std::move(event));
   return Status::Ok();
 }
 
@@ -344,7 +383,110 @@ Status Controller::report_external_load(const std::string& hostname,
     return Status(decisions.error().code, decisions.error().message);
   }
   apply_decisions(decisions.value());
+  ControllerEvent event;
+  event.kind = ControllerEvent::Kind::kExternalLoad;
+  event.text = hostname;
+  event.value = concurrent_tasks;
+  emit_event(std::move(event));
   return Status::Ok();
+}
+
+Status Controller::restore_instance(
+    const std::string& script, InstanceId id, double arrival_time,
+    const std::vector<RestoredBundle>& bundles) {
+  auto finalized = finalize_cluster();
+  if (!finalized.ok()) return finalized;
+  if (state_.find_instance(id) != nullptr) {
+    return Status(ErrorCode::kAlreadyExists, "instance id already restored");
+  }
+  std::vector<rsl::BundleSpec> specs;
+  rsl::RslHost host;
+  host.on_bundle([&specs](const rsl::BundleSpec& bundle) {
+    specs.push_back(bundle);
+    return Status::Ok();
+  });
+  auto parsed = host.eval_script(script);
+  if (!parsed.ok()) return parsed;
+  if (specs.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "restored instance has no bundles");
+  }
+
+  InstanceState instance;
+  instance.id = id;
+  instance.application = specs[0].application;
+  instance.arrival_time = arrival_time;
+  instance.script = script;
+  for (auto& spec : specs) {
+    BundleState bundle;
+    bundle.spec = std::move(spec);
+    instance.bundles.push_back(std::move(bundle));
+  }
+  for (const auto& restored : bundles) {
+    BundleState* bundle = instance.find_bundle(restored.bundle);
+    if (bundle == nullptr) {
+      return Status(ErrorCode::kNotFound,
+                    "restored bundle not in spec: " + restored.bundle);
+    }
+    bundle->choice = restored.choice;
+    bundle->configured = restored.configured;
+    bundle->last_switch_time = restored.last_switch_time;
+    if (!restored.configured) continue;
+    // Re-reserve exactly what the matcher reserved pre-crash (memory +
+    // one process per placed requirement).
+    for (const auto& entry : restored.entries) {
+      auto node = state_.topology.find_by_hostname(entry.hostname);
+      if (!node.ok()) return Status(node.error().code, node.error().message);
+      auto reserved = state_.pool->reserve_memory(node.value(),
+                                                  entry.memory_mb);
+      if (!reserved.ok()) return reserved;
+      state_.pool->add_process(node.value());
+      cluster::Allocation::Entry allocated;
+      allocated.requirement.role = entry.role;
+      allocated.requirement.index = entry.index;
+      allocated.requirement.hostname_glob = entry.hostname_glob;
+      allocated.requirement.os = entry.os;
+      allocated.requirement.memory_mb = entry.memory_mb;
+      allocated.node = node.value();
+      bundle->allocation.entries.push_back(std::move(allocated));
+    }
+    state_.touch_allocation(bundle->allocation);
+  }
+  state_.instances.push_back(std::move(instance));
+  next_instance_id_ = std::max(next_instance_id_, id + 1);
+  publish_instance(state_.instances.back());
+  // Refresh the optimizer's view of the namespace, as apply_decisions
+  // would after a republish.
+  optimizer_->set_names(names_context());
+  return Status::Ok();
+}
+
+Status Controller::restore_external_load(const std::string& hostname,
+                                         int tasks) {
+  auto finalized = finalize_cluster();
+  if (!finalized.ok()) return finalized;
+  auto node = state_.topology.find_by_hostname(hostname);
+  if (!node.ok()) return Status(node.error().code, node.error().message);
+  state_.pool->set_external_load(node.value(), tasks);
+  state_.touch_node_load(node.value());
+  return Status::Ok();
+}
+
+Status Controller::restore_node_online(const std::string& hostname,
+                                       bool online) {
+  auto finalized = finalize_cluster();
+  if (!finalized.ok()) return finalized;
+  auto node = state_.topology.find_by_hostname(hostname);
+  if (!node.ok()) return Status(node.error().code, node.error().message);
+  state_.pool->set_online(node.value(), online);
+  state_.touch_node(node.value());
+  return Status::Ok();
+}
+
+void Controller::restore_counters(InstanceId next_instance_id,
+                                  uint64_t reconfigurations) {
+  next_instance_id_ = std::max(next_instance_id_, next_instance_id);
+  reconfigurations_ = reconfigurations;
 }
 
 Status Controller::subscribe(InstanceId id, UpdateHandler handler) {
@@ -372,6 +514,13 @@ void Controller::flush_pending_vars() {
   for (auto& [id, updates] : pending_vars_) {
     auto handler = subscribers_.find(id);
     if (handler == subscribers_.end()) continue;
+    if (!handler->second) {
+      // Empty handler = subscription parked (the TCP server keeps the
+      // slot while a resumable client is disconnected). Intermediate
+      // values are dropped; resume replays the current configuration.
+      updates.clear();
+      continue;
+    }
     for (const auto& [name, value] : updates) handler->second(name, value);
     updates.clear();
   }

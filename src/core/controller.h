@@ -37,6 +37,41 @@ struct ControllerConfig {
   bool auto_flush = true;
 };
 
+// One journal-able controller input: everything the outside world can
+// do to a controller that affects its decisions. Replaying the sequence
+// of events into a fresh controller (with the recorded times) is
+// guaranteed to reproduce the original decision sequence — the
+// optimizer is deterministic and all hidden inputs (time) are captured
+// here. The durability subsystem (src/persist) records these in its
+// write-ahead journal.
+struct ControllerEvent {
+  enum class Kind {
+    kRegister,      // instance = assigned id, text = RSL script
+    kDepart,        // instance
+    kExternalLoad,  // text = hostname, value = concurrent tasks
+    kNodeOnline,    // text = hostname, value = 1 (online) / 0 (offline)
+    kSetOption,     // instance, text = bundle name, choice
+    kReevaluate,    // periodic adaptation pass
+  };
+  Kind kind = Kind::kReevaluate;
+  double time = 0;          // controller now() when the event applied
+  InstanceId instance = 0;
+  std::string text;
+  double value = 0;
+  OptionChoice choice;
+};
+
+// Observer for durable controllers. Events arrive after they have
+// successfully mutated state, in application order, inside the event's
+// epoch; on_epoch_commit() fires once at the close of every outermost
+// epoch — the natural write+fsync batching point for a write-ahead log.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_controller_event(const ControllerEvent& event) = 0;
+  virtual void on_epoch_commit() = 0;
+};
+
 class Controller {
  public:
   explicit Controller(ControllerConfig config = {});
@@ -85,8 +120,12 @@ class Controller {
   // Registers an application with the given bundles; runs the arrival
   // optimization pass. The instance id is Harmony-assigned (the paper's
   // "system chosen instance id").
+  // `script_text` is the RSL source the bundles came from; when empty
+  // (typed-API callers) an equivalent script is reconstructed with
+  // rsl::bundle_to_script so the instance stays journal-able.
   Result<InstanceId> register_application(
-      const std::vector<rsl::BundleSpec>& bundles);
+      const std::vector<rsl::BundleSpec>& bundles,
+      const std::string& script_text = "");
   // Evaluates a script of harmonyBundle commands and registers all the
   // bundles it defines as one application instance.
   Result<InstanceId> register_script(const std::string& rsl_script);
@@ -129,6 +168,44 @@ class Controller {
   Result<std::string> get_variable(InstanceId id,
                                    const std::string& name) const;
 
+  // --- durability (src/persist) -------------------------------------------
+  // Installs the event observer; pass nullptr to detach. The sink sees
+  // every successfully applied event plus one commit callback per
+  // outermost epoch.
+  void set_event_sink(EventSink* sink) { sink_ = sink; }
+
+  // Snapshot-restore primitives. They reinstall state exactly as
+  // recorded — no optimization pass runs, no events are emitted, no
+  // variable updates are queued. The persist layer calls them while
+  // rebuilding a controller from a snapshot, before replaying the
+  // journal tail.
+  struct RestoredAllocationEntry {
+    std::string role;
+    int index = 0;
+    std::string hostname_glob = "*";
+    std::string os;
+    double memory_mb = 0;
+    std::string hostname;  // node the requirement was placed on
+  };
+  struct RestoredBundle {
+    std::string bundle;
+    bool configured = false;
+    OptionChoice choice;
+    double last_switch_time = 0;
+    std::vector<RestoredAllocationEntry> entries;
+  };
+  // Re-parses `script`, reinstalls the instance under its original id,
+  // re-reserves every allocation in the pool and republishes the
+  // namespace. Requires a finalized cluster.
+  Status restore_instance(const std::string& script, InstanceId id,
+                          double arrival_time,
+                          const std::vector<RestoredBundle>& bundles);
+  // Raw state setters used during snapshot load: no re-evaluation.
+  Status restore_external_load(const std::string& hostname, int tasks);
+  Status restore_node_online(const std::string& hostname, bool online);
+  void restore_counters(InstanceId next_instance_id,
+                        uint64_t reconfigurations);
+
   // --- introspection ------------------------------------------------------
   const cluster::Topology& topology() const { return state_.topology; }
   const SystemState& state() const { return state_; }
@@ -139,6 +216,7 @@ class Controller {
   const BundleState* bundle_state(InstanceId id,
                                   const std::string& bundle) const;
   uint64_t reconfigurations() const { return reconfigurations_; }
+  InstanceId next_instance_id() const { return next_instance_id_; }
   size_t live_instances() const { return state_.instances.size(); }
   Optimizer& optimizer() { return *optimizer_; }
 
@@ -149,6 +227,8 @@ class Controller {
   void apply_decisions(const std::vector<Decision>& decisions);
   void begin_epoch();
   void end_epoch();
+  // Stamps now() and forwards to the sink (no-op when detached).
+  void emit_event(ControllerEvent event);
   rsl::ExprContext names_context() const {
     return names_.expr_context("");
   }
@@ -161,6 +241,7 @@ class Controller {
   Predictor predictor_;
   std::unique_ptr<Optimizer> optimizer_;
   std::function<double()> time_source_;
+  EventSink* sink_ = nullptr;
   InstanceId next_instance_id_ = 1;
   uint64_t reconfigurations_ = 0;
 

@@ -73,6 +73,10 @@ struct InstanceState {
   InstanceId id = 0;
   std::string application;
   double arrival_time = 0.0;
+  // The RSL text this instance registered with (or a bundle_to_script
+  // reconstruction for typed-API registrations). The durability layer
+  // journals and snapshots it so recovery can re-parse the exact spec.
+  std::string script;
   std::vector<BundleState> bundles;
 
   BundleState* find_bundle(const std::string& name);

@@ -4,11 +4,21 @@
 //   client -> server:
 //     {REGISTER <script>}          register an application; script is a
 //                                  sequence of harmonyBundle commands
+//     {REGISTER <script> 2}        protocol v2: same, but the reply
+//                                  carries a session token making the
+//                                  registration resumable
+//     {RESUME <token>}             reattach a disconnected (or
+//                                  recovered-from-disk) session; the
+//                                  server replays each instance's
+//                                  current configuration as UPDATE
+//                                  frames before replying
 //     {END <id>}                   harmony_end
 //     {GET <id> <name>}            read a published variable
 //     {REEVALUATE}                 request an adaptation pass
 //   server -> client:
-//     {OK <args...>}               success (REGISTER returns the id)
+//     {OK <args...>}               success (REGISTER returns the id,
+//                                  plus the session token under v2;
+//                                  RESUME returns the session's ids)
 //     {ERR <code> <message>}       failure
 //     {UPDATE <name> <value>}      pushed variable update (buffered by
 //                                  the client library until polled)

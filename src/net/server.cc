@@ -1,6 +1,8 @@
 #include "net/server.h"
 
+#include <fcntl.h>
 #include <poll.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -10,6 +12,37 @@
 
 namespace harmony::net {
 
+namespace {
+
+// Resume tokens must stay unguessable-enough and unique across server
+// restarts (recovered sessions keep their tokens). /dev/urandom with a
+// clock+pid fallback.
+std::string make_session_token() {
+  unsigned char raw[12];
+  bool filled = false;
+  int fd = ::open("/dev/urandom", O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    filled = ::read(fd, raw, sizeof(raw)) == static_cast<ssize_t>(sizeof(raw));
+    ::close(fd);
+  }
+  if (!filled) {
+    static uint64_t counter = 0;
+    uint64_t mix = static_cast<uint64_t>(
+                       std::chrono::steady_clock::now().time_since_epoch().count()) ^
+                   (static_cast<uint64_t>(::getpid()) << 32) ^ ++counter;
+    for (size_t i = 0; i < sizeof(raw); ++i) {
+      mix = mix * 6364136223846793005ull + 1442695040888963407ull;
+      raw[i] = static_cast<unsigned char>(mix >> 56);
+    }
+  }
+  std::string token;
+  token.reserve(sizeof(raw) * 2);
+  for (unsigned char byte : raw) token += str_format("%02x", byte);
+  return token;
+}
+
+}  // namespace
+
 HarmonyTcpServer::HarmonyTcpServer(core::Controller* controller,
                                    uint16_t port)
     : controller_(controller), port_(port) {
@@ -17,11 +50,27 @@ HarmonyTcpServer::HarmonyTcpServer(core::Controller* controller,
 }
 
 HarmonyTcpServer::~HarmonyTcpServer() {
-  // Deregister everything still connected.
+  // Deregister non-resumable connections; sessions with a token stay
+  // registered so a persistence-backed restart can offer them for
+  // RESUME (the controller dies with the process either way).
   for (auto& connection : connections_) {
+    if (!connection->session_token.empty()) continue;
     for (core::InstanceId id : connection->instances) {
       (void)controller_->unregister(id);
     }
+  }
+}
+
+void HarmonyTcpServer::set_persistence(persist::Persistence* persistence) {
+  persistence_ = persistence;
+  if (persistence_ == nullptr) return;
+  // Sessions recovered from the journal/snapshot are parked: their
+  // instances are already restored in the controller, and the owning
+  // clients get one grace window to reconnect and RESUME.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(session_grace_ms_);
+  for (const auto& [token, instances] : persistence_->sessions()) {
+    parked_[token] = ParkedSession{instances, deadline};
   }
 }
 
@@ -52,6 +101,7 @@ bool HarmonyTcpServer::run_once(int timeout_ms) {
     pollfds_[i + 1] = {connections_[i]->fd.get(), events, 0};
   }
   int ready = ::poll(pollfds_.data(), pollfds_.size(), timeout_ms);
+  reap_expired_sessions();
   if (ready <= 0) return false;
 
   if (pollfds_[0].revents & POLLIN) accept_new();
@@ -152,32 +202,57 @@ void HarmonyTcpServer::dispatch(Connection& connection,
   send(connection, reply);
 }
 
+Status HarmonyTcpServer::attach_updates(Connection& connection,
+                                        core::InstanceId id) {
+  // Wire updates for this instance to this connection. The pointer is
+  // stable: connections are heap-allocated and subscriptions die with
+  // the instance (unregister clears them) or are re-pointed on RESUME.
+  Connection* conn = &connection;
+  return controller_->subscribe(
+      id, [this, conn](const std::string& name, const std::string& value) {
+        send(*conn, Message::update(name, value));
+      });
+}
+
+void HarmonyTcpServer::persist_session(
+    const std::string& token, const std::vector<core::InstanceId>& instances) {
+  if (persistence_ != nullptr) persistence_->record_session(token, instances);
+}
+
 Message HarmonyTcpServer::handle_message(Connection& connection,
                                          const Message& message) {
   if (message.verb == "REGISTER") {
-    if (message.args.size() != 1) {
+    // v1: {REGISTER script} -> {OK id}. v2: {REGISTER script 2} ->
+    // {OK id token}; the token makes the session resumable.
+    const bool v2 = message.args.size() == 2 && message.args[1] == "2";
+    if (message.args.empty() || (message.args.size() == 2 && !v2) ||
+        message.args.size() > 2) {
       return Message::err(ErrorCode::kProtocol,
-                          "REGISTER expects one argument");
+                          "REGISTER expects a script and optional version");
     }
     auto id = controller_->register_script(message.args[0]);
     if (!id.ok()) {
       return Message::err(id.error().code, id.error().message);
     }
     connection.instances.push_back(id.value());
-    // Wire updates for this instance to this connection. The pointer is
-    // stable: connections are heap-allocated and subscriptions die with
-    // the instance (unregister clears them).
-    Connection* conn = &connection;
-    auto subscribed = controller_->subscribe(
-        id.value(),
-        [this, conn](const std::string& name, const std::string& value) {
-          send(*conn, Message::update(name, value));
-        });
+    auto subscribed = attach_updates(connection, id.value());
     if (!subscribed.ok()) {
       return Message::err(subscribed.error().code, subscribed.error().message);
     }
-    return Message::ok(
-        {str_format("%llu", static_cast<unsigned long long>(id.value()))});
+    const std::string id_text =
+        str_format("%llu", static_cast<unsigned long long>(id.value()));
+    if (!v2) return Message::ok({id_text});
+    if (connection.session_token.empty()) {
+      connection.session_token = make_session_token();
+    }
+    persist_session(connection.session_token, connection.instances);
+    return Message::ok({id_text, connection.session_token});
+  }
+  if (message.verb == "RESUME") {
+    if (message.args.size() != 1) {
+      return Message::err(ErrorCode::kProtocol, "RESUME expects a token");
+    }
+    return handle_resume(connection, message.args[0]);
   }
   if (message.verb == "END" || message.verb == "GET") {
     unsigned long long raw = 0;
@@ -198,6 +273,9 @@ Message HarmonyTcpServer::handle_message(Connection& connection,
       connection.instances.erase(std::remove(connection.instances.begin(),
                                              connection.instances.end(), id),
                                  connection.instances.end());
+      if (!connection.session_token.empty()) {
+        persist_session(connection.session_token, connection.instances);
+      }
       return status.ok() ? Message::ok()
                          : Message::err(status.error().code,
                                         status.error().message);
@@ -217,6 +295,39 @@ Message HarmonyTcpServer::handle_message(Connection& connection,
                                       status.error().message);
   }
   return Message::err(ErrorCode::kProtocol, "unknown verb: " + message.verb);
+}
+
+Message HarmonyTcpServer::handle_resume(Connection& connection,
+                                        const std::string& token) {
+  auto it = parked_.find(token);
+  if (it == parked_.end()) {
+    return Message::err(ErrorCode::kNotFound, "unknown or expired session");
+  }
+  if (!connection.instances.empty() || !connection.session_token.empty()) {
+    return Message::err(ErrorCode::kInvalidArgument,
+                        "connection already has a session");
+  }
+  connection.session_token = token;
+  connection.instances = std::move(it->second.instances);
+  parked_.erase(it);
+  // Reattaching the subscription replays each instance's current
+  // configuration as synthetic decisions, flushed before the OK reply —
+  // a resuming client's harmony_wait_for_update sees a complete
+  // pending-variable snapshot exactly as a fresh registrant would.
+  std::vector<std::string> id_texts;
+  for (core::InstanceId id : connection.instances) {
+    auto subscribed = attach_updates(connection, id);
+    if (!subscribed.ok()) {
+      HLOG_WARN("server") << "resume: instance " << id
+                          << " gone: " << subscribed.error().message;
+      continue;
+    }
+    id_texts.push_back(
+        str_format("%llu", static_cast<unsigned long long>(id)));
+  }
+  HLOG_INFO("server") << "session " << token << " resumed with "
+                      << id_texts.size() << " instance(s)";
+  return Message::ok(std::move(id_texts));
 }
 
 void HarmonyTcpServer::send(Connection& connection, const Message& message) {
@@ -242,7 +353,24 @@ void HarmonyTcpServer::reap_dropped() {
   core::Controller::EpochScope epoch(*controller_);
   for (auto& connection : connections_) {
     if (!connection->drop) continue;
-    // A vanished application is an implicit harmony_end.
+    if (!connection->session_token.empty() && !connection->instances.empty()) {
+      // Resumable session: park instead of departing. Subscriptions go
+      // empty (parked) so nothing references the dying connection.
+      HLOG_INFO("server") << "connection dropped; parking session "
+                          << connection->session_token;
+      for (core::InstanceId id : connection->instances) {
+        (void)controller_->subscribe(id, core::Controller::UpdateHandler{});
+      }
+      parked_[connection->session_token] = ParkedSession{
+          std::move(connection->instances),
+          std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(session_grace_ms_)};
+      connection->instances.clear();
+      continue;
+    }
+    // A vanished application is an implicit harmony_end (DEPART is
+    // synthesized: unregister journals the departure like an explicit
+    // one).
     for (core::InstanceId id : connection->instances) {
       HLOG_INFO("server") << "connection dropped; ending instance " << id;
       (void)controller_->unregister(id);
@@ -253,6 +381,25 @@ void HarmonyTcpServer::reap_dropped() {
       std::remove_if(connections_.begin(), connections_.end(),
                      [](const auto& c) { return c->drop; }),
       connections_.end());
+}
+
+void HarmonyTcpServer::reap_expired_sessions() {
+  if (parked_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    if (it->second.deadline > now) {
+      ++it;
+      continue;
+    }
+    core::Controller::EpochScope epoch(*controller_);
+    HLOG_INFO("server") << "session " << it->first
+                        << " expired; ending its instances";
+    for (core::InstanceId id : it->second.instances) {
+      (void)controller_->unregister(id);
+    }
+    if (persistence_ != nullptr) persistence_->drop_session(it->first);
+    it = parked_.erase(it);
+  }
 }
 
 }  // namespace harmony::net

@@ -2,20 +2,27 @@
 // port and waits for connections from application processes." Single-
 // threaded poll(2) loop; every connected application gets its variable
 // updates pushed as UPDATE frames. A disconnect implies harmony_end for
-// every instance the connection registered.
+// every instance the connection registered — unless the client opted
+// into session resumption (protocol v2), in which case its instances
+// are parked for a grace period and a RESUME with the server-issued
+// token reattaches them, surviving both client reconnects and (with
+// persistence attached) full server restarts.
 #pragma once
 
 #include <poll.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/controller.h"
 #include "net/framing.h"
 #include "net/protocol.h"
 #include "net/tcp.h"
+#include "persist/persistence.h"
 
 namespace harmony::net {
 
@@ -24,6 +31,15 @@ class HarmonyTcpServer {
   // port 0 = pick an ephemeral port (tests).
   HarmonyTcpServer(core::Controller* controller, uint16_t port);
   ~HarmonyTcpServer();
+
+  // Attaches the durability layer: client sessions are journaled with
+  // controller state, and sessions recovered from disk become parked
+  // (resumable) immediately. Call before start(); pass nullptr to run
+  // without persistence.
+  void set_persistence(persist::Persistence* persistence);
+  // How long a resumable session survives its connection (default 30s).
+  // Atomic so tests can shorten it while the poll loop runs.
+  void set_session_grace_ms(int grace_ms) { session_grace_ms_ = grace_ms; }
 
   Result<uint16_t> start();  // bind + listen; returns the bound port
   uint16_t port() const { return port_; }
@@ -37,6 +53,7 @@ class HarmonyTcpServer {
   void stop() { stopping_ = true; }
 
   size_t connection_count() const { return connections_.size(); }
+  size_t parked_session_count() const { return parked_.size(); }
 
  private:
   struct Connection {
@@ -44,21 +61,37 @@ class HarmonyTcpServer {
     FrameBuffer inbound;
     std::string outbound;
     std::vector<core::InstanceId> instances;
+    // Resume token issued at the first v2 REGISTER (empty for v1
+    // clients, whose disconnect is an implicit harmony_end).
+    std::string session_token;
     bool drop = false;
+  };
+  struct ParkedSession {
+    std::vector<core::InstanceId> instances;
+    std::chrono::steady_clock::time_point deadline;
   };
 
   void accept_new();
   void handle_readable(Connection& connection);
   void dispatch(Connection& connection, const Message& message);
   Message handle_message(Connection& connection, const Message& message);
+  Message handle_resume(Connection& connection, const std::string& token);
   void send(Connection& connection, const Message& message);
   void flush_writable(Connection& connection);
   void reap_dropped();
+  void reap_expired_sessions();
+  // Pushes the session's current instance list into the journal.
+  void persist_session(const std::string& token,
+                       const std::vector<core::InstanceId>& instances);
+  Status attach_updates(Connection& connection, core::InstanceId id);
 
   core::Controller* controller_;
+  persist::Persistence* persistence_ = nullptr;
   uint16_t port_;
   Fd listener_;
   std::vector<std::unique_ptr<Connection>> connections_;
+  std::map<std::string, ParkedSession> parked_;
+  std::atomic<int> session_grace_ms_ = 30000;
   // Reused across run_once ticks; resized only when the connection set
   // changes, so the steady-state poll loop allocates nothing.
   std::vector<pollfd> pollfds_;

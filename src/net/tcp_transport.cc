@@ -1,7 +1,10 @@
 #include "net/tcp_transport.h"
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace harmony::net {
@@ -10,8 +13,12 @@ Status TcpTransport::connect(const std::string& host, uint16_t port) {
   auto fd = connect_to(host, port);
   if (!fd.ok()) return Status(fd.error().code, fd.error().message);
   fd_ = std::move(fd).value();
+  host_ = host;
+  port_ = port;
   return Status::Ok();
 }
+
+void TcpTransport::close() { fd_ = Fd(); }
 
 Result<Message> TcpTransport::read_message(bool wait) {
   while (true) {
@@ -50,7 +57,7 @@ void TcpTransport::dispatch_update(const Message& message) {
   }
 }
 
-Result<Message> TcpTransport::call(const Message& request) {
+Result<Message> TcpTransport::call_once(const Message& request) {
   if (!fd_.valid()) {
     return Err<Message>(ErrorCode::kClosed, "not connected");
   }
@@ -69,9 +76,62 @@ Result<Message> TcpTransport::call(const Message& request) {
   }
 }
 
+Status TcpTransport::reconnect_and_resume() {
+  if (session_token_.empty() || host_.empty() || policy_.max_attempts <= 0) {
+    return Status(ErrorCode::kClosed, "no resumable session");
+  }
+  fd_ = Fd();
+  // Half a frame from the dead connection must not prefix the new one.
+  inbound_ = FrameBuffer();
+  int backoff_ms = policy_.initial_backoff_ms;
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, policy_.max_backoff_ms);
+    auto fd = connect_to(host_, port_);
+    if (!fd.ok()) {
+      HLOG_DEBUG("transport") << "reconnect attempt " << attempt
+                              << " failed: " << fd.error().message;
+      continue;
+    }
+    fd_ = std::move(fd).value();
+    auto reply = call_once(Message{"RESUME", {session_token_}});
+    if (!reply.ok()) {
+      fd_ = Fd();
+      inbound_ = FrameBuffer();
+      continue;  // server may still be coming back up
+    }
+    if (reply.value().verb != "OK") {
+      // Connected but the session is gone (expired, or the server lost
+      // its state): retrying will not change the answer.
+      fd_ = Fd();
+      return Status(ErrorCode::kNotFound,
+                    reply.value().args.size() == 2 ? reply.value().args[1]
+                                                   : "session not resumable");
+    }
+    HLOG_INFO("transport") << "session resumed after " << attempt
+                           << " attempt(s)";
+    return Status::Ok();
+  }
+  return Status(ErrorCode::kTransport, "reconnect attempts exhausted");
+}
+
+Result<Message> TcpTransport::call(const Message& request, bool retry) {
+  auto reply = call_once(request);
+  if (reply.ok() || !retry || !transport_failure(reply.error().code)) {
+    return reply;
+  }
+  auto resumed = reconnect_and_resume();
+  if (!resumed.ok()) return reply;  // surface the original failure
+  // At-most-once retransmission: the failed request may or may not have
+  // been applied before the connection died; for the idempotent verbs
+  // (GET, REEVALUATE, END-of-gone-instance) this is safe, and REGISTER
+  // failures before a session exists never reach here.
+  return call_once(request);
+}
+
 Result<core::InstanceId> TcpTransport::register_app(
     const std::string& script) {
-  auto reply = call(Message{"REGISTER", {script}});
+  auto reply = call(Message{"REGISTER", {script, "2"}});
   if (!reply.ok()) return Err<core::InstanceId>(reply.error().code, reply.error().message);
   if (reply.value().verb != "OK" || reply.value().args.empty()) {
     return Err<core::InstanceId>(
@@ -84,14 +144,22 @@ Result<core::InstanceId> TcpTransport::register_app(
   if (std::sscanf(reply.value().args[0].c_str(), "%llu", &id) != 1) {
     return Err<core::InstanceId>(ErrorCode::kProtocol, "bad instance id");
   }
+  if (reply.value().args.size() >= 2) {
+    session_token_ = reply.value().args[1];
+  }
   return static_cast<core::InstanceId>(id);
 }
 
 Status TcpTransport::unregister(core::InstanceId id) {
-  auto reply = call(Message{
-      "END", {str_format("%llu", static_cast<unsigned long long>(id))}});
-  if (!reply.ok()) return Status(reply.error().code, reply.error().message);
+  // No reconnect dance on teardown: if the server is unreachable it
+  // synthesizes the DEPART itself, and a departing client must not
+  // stall in backoff loops.
+  auto reply = call(
+      Message{"END",
+              {str_format("%llu", static_cast<unsigned long long>(id))}},
+      /*retry=*/false);
   handlers_.erase(id);
+  if (!reply.ok()) return Status(reply.error().code, reply.error().message);
   if (reply.value().verb != "OK") {
     return Status(ErrorCode::kProtocol,
                   reply.value().args.size() == 2 ? reply.value().args[1]
@@ -136,6 +204,16 @@ Status TcpTransport::pump(bool wait) {
     auto message = read_message(/*wait=*/wait && first);
     if (!message.ok()) {
       if (message.error().code == ErrorCode::kTimeout) return Status::Ok();
+      if (transport_failure(message.error().code) &&
+          !session_token_.empty()) {
+        // The server went away mid-poll; RESUME replays the current
+        // configuration as UPDATE frames, so the caller's
+        // wait_for_update contract survives the restart.
+        auto resumed = reconnect_and_resume();
+        if (!resumed.ok()) return resumed;
+        first = false;
+        continue;
+      }
       return Status(message.error().code, message.error().message);
     }
     first = false;

@@ -2,6 +2,13 @@
 // request/response with pushed UPDATE frames collected along the way
 // (and on explicit pump() calls), mirroring the prototype's I/O event
 // handler + buffered variables design.
+//
+// Registrations use protocol v2, so the server issues a session token;
+// when the connection later dies mid-call (server restart, network
+// blip), the transport reconnects with bounded exponential backoff,
+// RESUMEs the session — the server replays the current configuration,
+// preserving harmony_wait_for_update semantics — and retries the
+// failed request once.
 #pragma once
 
 #include <map>
@@ -13,12 +20,23 @@
 
 namespace harmony::net {
 
+struct ReconnectPolicy {
+  int max_attempts = 5;        // 0 disables reconnection entirely
+  int initial_backoff_ms = 50; // doubles per attempt...
+  int max_backoff_ms = 1000;   // ...up to this ceiling
+};
+
 class TcpTransport : public client::Transport {
  public:
   TcpTransport() = default;
 
   Status connect(const std::string& host, uint16_t port);
   bool connected() const { return fd_.valid(); }
+  void set_reconnect_policy(ReconnectPolicy policy) { policy_ = policy; }
+
+  // Token issued by the server at registration (empty before the first
+  // register_app or against a v1-only server).
+  const std::string& session_token() const { return session_token_; }
 
   // client::Transport:
   Result<core::InstanceId> register_app(const std::string& script) override;
@@ -36,15 +54,31 @@ class TcpTransport : public client::Transport {
   // Asks the server for an adaptation pass (demo/tooling).
   Status request_reevaluation();
 
+  // Drops the socket without any goodbye (crash-safe teardown; the
+  // server synthesizes the DEPART or parks the session).
+  void close();
+
  private:
   // Sends a request and reads until OK/ERR, dispatching UPDATE frames
-  // encountered in between.
-  Result<Message> call(const Message& request);
+  // encountered in between. With retry=true, a transport failure
+  // triggers reconnect+RESUME and one retransmission.
+  Result<Message> call(const Message& request, bool retry = true);
+  Result<Message> call_once(const Message& request);
   Result<Message> read_message(bool wait);
   void dispatch_update(const Message& message);
+  static bool transport_failure(ErrorCode code) {
+    return code == ErrorCode::kTransport || code == ErrorCode::kClosed ||
+           code == ErrorCode::kIo;
+  }
+  // Bounded-backoff reconnect followed by RESUME of the session.
+  Status reconnect_and_resume();
 
   Fd fd_;
   FrameBuffer inbound_;
+  std::string host_;
+  uint16_t port_ = 0;
+  std::string session_token_;
+  ReconnectPolicy policy_;
   std::map<core::InstanceId, UpdateHandler> handlers_;
   // Updates that arrived before any handler was installed (the server
   // pushes the initial snapshot during REGISTER, before the client

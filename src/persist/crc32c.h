@@ -1,0 +1,16 @@
+// CRC32C (Castagnoli polynomial, the checksum used by iSCSI, ext4 and
+// most modern journals). Software table implementation — fast enough
+// for journal records that are tens to a few thousand bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace harmony::persist {
+
+// CRC of `data` continuing from `seed` (0 for a fresh checksum). The
+// conventional reflected form: crc32c("123456789") == 0xE3069283.
+uint32_t crc32c(std::string_view data, uint32_t seed = 0);
+
+}  // namespace harmony::persist

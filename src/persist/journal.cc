@@ -1,0 +1,189 @@
+#include "persist/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/strings.h"
+#include "persist/crc32c.h"
+
+namespace harmony::persist {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 8;
+
+void put_u32(std::string* out, uint32_t value) {
+  out->push_back(static_cast<char>((value >> 24) & 0xFF));
+  out->push_back(static_cast<char>((value >> 16) & 0xFF));
+  out->push_back(static_cast<char>((value >> 8) & 0xFF));
+  out->push_back(static_cast<char>(value & 0xFF));
+}
+
+uint32_t get_u32(const char* data) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  return (static_cast<uint32_t>(bytes[0]) << 24) |
+         (static_cast<uint32_t>(bytes[1]) << 16) |
+         (static_cast<uint32_t>(bytes[2]) << 8) | static_cast<uint32_t>(bytes[3]);
+}
+
+Error errno_error(const char* what, const std::string& path) {
+  return Error{ErrorCode::kIo, str_format("%s %s: %s", what, path.c_str(),
+                                          std::strerror(errno))};
+}
+
+Status write_fully(int fd, const char* data, size_t size,
+                   const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string encode_record(std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  put_u32(&out, static_cast<uint32_t>(payload.size()));
+  put_u32(&out, crc32c(payload));
+  out.append(payload);
+  return out;
+}
+
+Journal::~Journal() { close(); }
+
+Journal::Journal(Journal&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      pending_(std::move(other.pending_)),
+      appended_records_(other.appended_records_),
+      committed_bytes_(other.committed_bytes_),
+      commits_(other.commits_),
+      syncs_(other.syncs_.load(std::memory_order_relaxed)) {}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    pending_ = std::move(other.pending_);
+    appended_records_ = other.appended_records_;
+    committed_bytes_ = other.committed_bytes_;
+    commits_ = other.commits_;
+    syncs_.store(other.syncs_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+void Journal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Journal> Journal::open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return errno_error("open journal", path);
+  Journal journal;
+  journal.fd_ = fd;
+  journal.path_ = path;
+  return journal;
+}
+
+void Journal::append(std::string_view payload) {
+  pending_.append(encode_record(payload));
+  ++appended_records_;
+}
+
+Status Journal::commit(bool sync) {
+  if (!pending_.empty()) {
+    HARMONY_ASSERT_MSG(fd_ >= 0, "commit on closed journal");
+    Status status = write_fully(fd_, pending_.data(), pending_.size(), path_);
+    if (!status.ok()) return status;
+    committed_bytes_ += pending_.size();
+    pending_.clear();
+    ++commits_;
+  }
+  if (sync) return this->sync();
+  return Status::Ok();
+}
+
+Status Journal::sync() {
+  HARMONY_ASSERT_MSG(fd_ >= 0, "sync on closed journal");
+  if (::fsync(fd_) != 0) return errno_error("fsync", path_);
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status Journal::reset() {
+  HARMONY_ASSERT_MSG(fd_ >= 0, "reset on closed journal");
+  pending_.clear();
+  if (::ftruncate(fd_, 0) != 0) return errno_error("truncate", path_);
+  if (::fsync(fd_) != 0) return errno_error("fsync", path_);
+  return Status::Ok();
+}
+
+Result<ReplayStats> Journal::replay(
+    const std::string& path,
+    const std::function<Status(const std::string& payload)>& handler,
+    bool repair) {
+  ReplayStats stats;
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return stats;  // no journal yet: nothing to replay
+    return errno_error("open journal", path);
+  }
+
+  std::string data;
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Error error = errno_error("read", path);
+      ::close(fd);
+      return error;
+    }
+    if (n == 0) break;
+    data.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t offset = 0;
+  while (data.size() - offset >= kHeaderBytes) {
+    uint32_t length = get_u32(data.data() + offset);
+    uint32_t expected_crc = get_u32(data.data() + offset + 4);
+    if (length > kMaxRecordBytes) break;  // corrupt length prefix
+    if (data.size() - offset - kHeaderBytes < length) break;  // torn tail
+    std::string payload = data.substr(offset + kHeaderBytes, length);
+    if (crc32c(payload) != expected_crc) break;
+    Status status = handler(payload);
+    if (!status.ok()) return status.error();
+    ++stats.records;
+    offset += kHeaderBytes + length;
+  }
+  stats.valid_bytes = offset;
+  stats.truncated = offset < data.size();
+
+  if (stats.truncated && repair) {
+    if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+      return errno_error("truncate", path);
+    }
+  }
+  return stats;
+}
+
+}  // namespace harmony::persist

@@ -1,0 +1,95 @@
+// Append-only write-ahead journal for controller events. Record framing
+// mirrors the wire framing layer's 4-byte big-endian length prefix and
+// adds a CRC32C over the payload:
+//
+//   [u32 payload length][u32 crc32c(payload)][payload bytes]
+//
+// Appends are buffered in memory and flushed with one write(2) per
+// controller epoch (commit); fsync is batched separately so the decision
+// path never waits on disk latency unless configured to. Replay stops at
+// the first torn or checksum-corrupt record and can truncate the file
+// there, so a crash mid-write costs at most the unsynced tail — never
+// the ability to start up.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace harmony::persist {
+
+// Sanity bound matching net::kMaxFrameBytes; larger prefixes are
+// treated as corruption.
+inline constexpr uint32_t kMaxRecordBytes = 16u << 20;
+
+// Encodes one record: length + crc + payload.
+std::string encode_record(std::string_view payload);
+
+struct ReplayStats {
+  uint64_t records = 0;      // valid records delivered to the handler
+  uint64_t valid_bytes = 0;  // file offset just past the last valid record
+  bool truncated = false;    // a torn or corrupt tail was detected
+};
+
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Opens `path` for appending, creating it if needed.
+  static Result<Journal> open(const std::string& path);
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  // Buffers one record; no I/O until commit().
+  void append(std::string_view payload);
+  size_t pending_bytes() const { return pending_.size(); }
+
+  // Writes every buffered record with one write(2); fsyncs when `sync`.
+  Status commit(bool sync);
+  // fsyncs previously written bytes (group commit tail). Safe to call
+  // from a thread other than the appender — fsync(2) of an fd that is
+  // concurrently written or truncated is well-defined, and no other
+  // journal state is touched.
+  Status sync();
+  // Empties the file (after a snapshot made its content redundant).
+  Status reset();
+
+  uint64_t appended_records() const { return appended_records_; }
+  uint64_t committed_bytes() const { return committed_bytes_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
+
+  // Reads every valid record of the file at `path` in order, stopping
+  // at the first torn or CRC-corrupt record (or a handler error, which
+  // aborts the replay). With `repair`, the file is truncated at the
+  // last valid boundary so subsequent appends restart cleanly. A
+  // missing file replays zero records.
+  static Result<ReplayStats> replay(
+      const std::string& path,
+      const std::function<Status(const std::string& payload)>& handler,
+      bool repair);
+
+ private:
+  void close();
+
+  int fd_ = -1;
+  std::string path_;
+  std::string pending_;
+  uint64_t appended_records_ = 0;
+  uint64_t committed_bytes_ = 0;
+  uint64_t commits_ = 0;
+  // Atomic: sync() may run on a background group-commit thread while
+  // the appender reads the counter.
+  std::atomic<uint64_t> syncs_{0};
+};
+
+}  // namespace harmony::persist

@@ -1,0 +1,712 @@
+#include "persist/persistence.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/strings.h"
+#include "rsl/value.h"
+
+namespace harmony::persist {
+
+namespace {
+
+constexpr char kJournalFile[] = "journal.wal";
+constexpr char kSnapshotFile[] = "snapshot.hsn";
+constexpr char kSnapshotTmpFile[] = "snapshot.tmp";
+constexpr int kSnapshotVersion = 1;
+
+using rsl::list_build;
+using rsl::list_parse;
+
+Error errno_error(const char* what, const std::string& path) {
+  return Error{ErrorCode::kIo, str_format("%s %s: %s", what, path.c_str(),
+                                          std::strerror(errno))};
+}
+
+Error corrupt(const std::string& detail) {
+  return Error{ErrorCode::kCorruption, detail};
+}
+
+std::string format_u64(uint64_t value) {
+  return str_format("%llu", static_cast<unsigned long long>(value));
+}
+
+bool parse_u64(const std::string& text, uint64_t* out) {
+  long long value = 0;
+  if (!parse_int64(text, &value) || value < 0) return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+// OptionChoice <-> {option grant {{name value} ...}}
+std::string encode_choice(const core::OptionChoice& choice) {
+  std::vector<std::string> vars;
+  for (const auto& [name, value] : choice.variables) {
+    vars.push_back(list_build({name, format_number(value)}));
+  }
+  return list_build(
+      {choice.option, format_number(choice.memory_grant), list_build(vars)});
+}
+
+Result<core::OptionChoice> decode_choice(const std::string& text) {
+  auto fields = list_parse(text);
+  if (!fields.ok() || fields->size() != 3) {
+    return Err<core::OptionChoice>(ErrorCode::kCorruption,
+                                   "bad choice record: " + text);
+  }
+  core::OptionChoice choice;
+  choice.option = (*fields)[0];
+  if (!parse_double((*fields)[1], &choice.memory_grant)) {
+    return Err<core::OptionChoice>(ErrorCode::kCorruption,
+                                   "bad memory grant: " + (*fields)[1]);
+  }
+  auto vars = list_parse((*fields)[2]);
+  if (!vars.ok()) {
+    return Err<core::OptionChoice>(ErrorCode::kCorruption,
+                                   "bad choice variables: " + (*fields)[2]);
+  }
+  for (const auto& entry : *vars) {
+    auto pair = list_parse(entry);
+    double value = 0;
+    if (!pair.ok() || pair->size() != 2 || !parse_double((*pair)[1], &value)) {
+      return Err<core::OptionChoice>(ErrorCode::kCorruption,
+                                     "bad choice variable: " + entry);
+    }
+    choice.variables[(*pair)[0]] = value;
+  }
+  return choice;
+}
+
+Status mkdir_if_missing(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::Ok();
+  return errno_error("mkdir", dir);
+}
+
+Status fsync_path(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return errno_error("open", path);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return errno_error("fsync", path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Persistence::Persistence(PersistConfig config, core::Controller& controller)
+    : config_(std::move(config)), controller_(&controller) {}
+
+Persistence::~Persistence() {
+  if (sync_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(sync_mutex_);
+      sync_stop_ = true;
+    }
+    sync_cv_.notify_one();
+    sync_thread_.join();
+  }
+  if (controller_ != nullptr) controller_->set_event_sink(nullptr);
+  // Best effort: push any buffered records out before closing.
+  (void)journal_.commit(/*sync=*/false);
+}
+
+void Persistence::sync_loop() {
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  for (;;) {
+    sync_cv_.wait(lock, [this] { return sync_requested_ || sync_stop_; });
+    if (sync_stop_) return;
+    sync_requested_ = false;
+    // fsync outside the lock: a slow disk must not block the epoch
+    // commits that merely set the request flag.
+    lock.unlock();
+    Status status = journal_.sync();
+    lock.lock();
+    if (!status.ok() && sync_error_.ok()) sync_error_ = status;
+  }
+}
+
+std::string Persistence::journal_path() const {
+  return config_.dir + "/" + kJournalFile;
+}
+
+std::string Persistence::snapshot_path() const {
+  return config_.dir + "/" + kSnapshotFile;
+}
+
+Result<std::unique_ptr<Persistence>> Persistence::open(
+    PersistConfig config, core::Controller& controller) {
+  Status dir_status = mkdir_if_missing(config.dir);
+  if (!dir_status.ok()) return dir_status.error();
+
+  std::unique_ptr<Persistence> persistence(
+      new Persistence(std::move(config), controller));
+  Status recovered = persistence->recover();
+  if (!recovered.ok()) return recovered.error();
+
+  auto journal = Journal::open(persistence->journal_path());
+  if (!journal.ok()) return journal.error();
+  persistence->journal_ = std::move(journal).value();
+
+  controller.set_event_sink(persistence.get());
+  if (persistence->recovery_.recovered) {
+    // Verification pass (journaled like any other event): with every
+    // restored bundle marked never-evaluated this is a full optimizer
+    // sweep, and on intact state it must be decision-free — the
+    // recovered configuration is already the optimum the pre-crash
+    // controller committed.
+    Status verify = controller.reevaluate();
+    if (!verify.ok()) return verify.error();
+  }
+  if (persistence->config_.fsync_every_epochs > 0) {
+    persistence->sync_thread_ =
+        std::thread(&Persistence::sync_loop, persistence.get());
+  }
+  return persistence;
+}
+
+// --- event capture ----------------------------------------------------------
+
+std::string Persistence::encode_event(const core::ControllerEvent& event) const {
+  using Kind = core::ControllerEvent::Kind;
+  const std::string time = format_number(event.time);
+  switch (event.kind) {
+    case Kind::kRegister:
+      return list_build({"EV", "REG", time, format_u64(event.instance),
+                         event.text});
+    case Kind::kDepart:
+      return list_build({"EV", "DEP", time, format_u64(event.instance)});
+    case Kind::kExternalLoad:
+      return list_build({"EV", "LOAD", time, event.text,
+                         format_number(event.value)});
+    case Kind::kNodeOnline:
+      return list_build({"EV", "NODE", time, event.text,
+                         event.value != 0 ? "1" : "0"});
+    case Kind::kSetOption:
+      return list_build({"EV", "OPT", time, format_u64(event.instance),
+                         event.text, encode_choice(event.choice)});
+    case Kind::kReevaluate:
+      return list_build({"EV", "REEVAL", time});
+  }
+  HARMONY_ASSERT_MSG(false, "unhandled event kind");
+  return {};
+}
+
+void Persistence::on_controller_event(const core::ControllerEvent& event) {
+  journal_.append(encode_event(event));
+}
+
+void Persistence::on_epoch_commit() {
+  if (!last_error_.ok()) return;  // wedged: stop touching the disk
+  ++epochs_since_snapshot_;
+  const bool compact =
+      !have_snapshot_ ||
+      (config_.snapshot_every_epochs > 0 &&
+       epochs_since_snapshot_ >= config_.snapshot_every_epochs &&
+       journal_live_bytes_ + journal_.pending_bytes() >=
+           config_.snapshot_min_journal_bytes);
+  if (compact) {
+    last_error_ = snapshot_now();
+    return;
+  }
+  ++epochs_since_sync_;
+  journal_live_bytes_ += journal_.pending_bytes();
+  if (config_.fsync_every_epochs == 0) {
+    last_error_ = journal_.commit(/*sync=*/true);
+    epochs_since_sync_ = 0;
+    return;
+  }
+  bool sync = epochs_since_sync_ >= config_.fsync_every_epochs;
+  if (sync && config_.fsync_min_interval_ms > 0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_sync_time_ <
+        std::chrono::milliseconds(config_.fsync_min_interval_ms)) {
+      sync = false;  // inside the rate-limit window; retry next epoch
+    } else {
+      last_sync_time_ = now;
+    }
+  }
+  last_error_ = journal_.commit(/*sync=*/false);
+  if (sync) epochs_since_sync_ = 0;
+  // Hand the due fsync to the sync thread and surface any error it hit
+  // on an earlier one; the write above is the only disk wait this path
+  // ever takes.
+  {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    if (!sync_error_.ok() && last_error_.ok()) last_error_ = sync_error_;
+    if (sync) sync_requested_ = true;
+  }
+  if (sync) sync_cv_.notify_one();
+}
+
+void Persistence::record_session(const std::string& token,
+                                 std::vector<core::InstanceId> instances) {
+  std::vector<std::string> ids;
+  for (core::InstanceId id : instances) ids.push_back(format_u64(id));
+  journal_.append(list_build({"SESSION", token, list_build(ids)}));
+  if (instances.empty()) {
+    sessions_.erase(token);
+  } else {
+    sessions_[token] = std::move(instances);
+  }
+}
+
+void Persistence::drop_session(const std::string& token) {
+  record_session(token, {});
+}
+
+Status Persistence::flush() {
+  // Cluster setup does not pass through epochs, so a controller that
+  // has only been configured (nodes added, nothing registered) has no
+  // baseline snapshot yet; "make everything durable" includes it.
+  if (!have_snapshot_) {
+    Status status = snapshot_now();
+    if (!status.ok() && last_error_.ok()) last_error_ = status;
+    return status;
+  }
+  Status status = journal_.commit(/*sync=*/true);
+  if (!status.ok() && last_error_.ok()) last_error_ = status;
+  epochs_since_sync_ = 0;
+  return status;
+}
+
+// --- snapshot ----------------------------------------------------------------
+
+Status Persistence::snapshot_now() {
+  const core::SystemState& state = controller_->state();
+  std::string data;
+  uint64_t count = 0;
+  auto emit = [&](const std::string& payload) {
+    data.append(encode_record(payload));
+    ++count;
+  };
+
+  emit(list_build({"SNAP", str_format("%d", kSnapshotVersion),
+                   format_u64(controller_->next_instance_id()),
+                   format_u64(controller_->reconfigurations()),
+                   format_number(controller_->now())}));
+
+  for (const auto& node : state.topology.nodes()) {
+    emit(list_build({"NODE", node.hostname, format_number(node.speed),
+                     format_number(node.memory_mb), node.os}));
+  }
+  for (const auto& link : state.topology.links()) {
+    emit(list_build({"LINK", state.topology.node(link.a).hostname,
+                     state.topology.node(link.b).hostname,
+                     format_number(link.bandwidth_mbps),
+                     format_number(link.latency_ms)}));
+  }
+  if (state.pool != nullptr) {
+    for (const auto& node : state.topology.nodes()) {
+      if (!state.pool->is_online(node.id)) {
+        emit(list_build({"OFFLINE", node.hostname}));
+      }
+      if (int load = state.pool->external_load(node.id); load != 0) {
+        emit(list_build({"XLOAD", node.hostname, str_format("%d", load)}));
+      }
+    }
+  }
+
+  for (const auto& instance : state.instances) {
+    emit(list_build({"INST", format_u64(instance.id),
+                     format_number(instance.arrival_time), instance.script}));
+    for (const auto& bundle : instance.bundles) {
+      std::vector<std::string> entries;
+      for (const auto& entry : bundle.allocation.entries) {
+        entries.push_back(list_build(
+            {entry.requirement.role, str_format("%d", entry.requirement.index),
+             entry.requirement.hostname_glob, entry.requirement.os,
+             format_number(entry.requirement.memory_mb),
+             state.topology.node(entry.node).hostname}));
+      }
+      emit(list_build({"BST", format_u64(instance.id), bundle.spec.bundle,
+                       bundle.configured ? "1" : "0",
+                       format_number(bundle.last_switch_time),
+                       encode_choice(bundle.choice), list_build(entries)}));
+    }
+  }
+
+  for (const auto& [token, ids] : sessions_) {
+    std::vector<std::string> id_strings;
+    for (core::InstanceId id : ids) id_strings.push_back(format_u64(id));
+    emit(list_build({"SESS", token, list_build(id_strings)}));
+  }
+
+  // Completeness marker: a snapshot that does not end with a matching
+  // END record is rejected at load time.
+  data.append(encode_record(list_build({"END", format_u64(count)})));
+
+  const std::string tmp = config_.dir + "/" + kSnapshotTmpFile;
+  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return errno_error("open snapshot", tmp);
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Error error = errno_error("write snapshot", tmp);
+      ::close(fd);
+      return error;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Error error = errno_error("fsync snapshot", tmp);
+    ::close(fd);
+    return error;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), snapshot_path().c_str()) != 0) {
+    return errno_error("rename snapshot", tmp);
+  }
+  Status dir_sync = fsync_path(config_.dir);
+  if (!dir_sync.ok()) return dir_sync;
+
+  // The journal's content is now redundant.
+  if (journal_.is_open()) {
+    Status reset = journal_.reset();
+    if (!reset.ok()) return reset;
+  }
+  have_snapshot_ = true;
+  epochs_since_snapshot_ = 0;
+  epochs_since_sync_ = 0;
+  journal_live_bytes_ = 0;
+  last_sync_time_ = std::chrono::steady_clock::now();
+  return Status::Ok();
+}
+
+// --- recovery ----------------------------------------------------------------
+
+Status Persistence::recover() {
+  struct ::stat snapshot_stat {};
+  const bool have_snapshot_file =
+      ::stat(snapshot_path().c_str(), &snapshot_stat) == 0;
+  struct ::stat journal_stat {};
+  const bool have_journal_file =
+      ::stat(journal_path().c_str(), &journal_stat) == 0 &&
+      journal_stat.st_size > 0;
+  have_snapshot_ = have_snapshot_file;
+  if (!have_snapshot_file && !have_journal_file) return Status::Ok();
+
+  HARMONY_ASSERT_MSG(
+      controller_->live_instances() == 0 && !controller_->cluster_finalized(),
+      "recovery requires a fresh controller");
+  // The journal cannot exist without the snapshot that preceded it (the
+  // baseline snapshot is written at the first epoch commit, before the
+  // journal ever keeps records across a restart). A journal with no
+  // snapshot means the snapshot was deleted externally.
+  if (!have_snapshot_file) {
+    return corrupt("journal present but snapshot missing: " + snapshot_path());
+  }
+
+  // Pin controller time to the recorded timeline. Left installed after
+  // recovery (holding the last recorded time) so granularity gating
+  // keeps working; callers may reinstall a forward-running source.
+  controller_->set_time_source([this] { return replay_time_; });
+
+  Status loaded = load_snapshot();
+  if (!loaded.ok()) return loaded;
+
+  auto replayed = Journal::replay(
+      journal_path(),
+      [this](const std::string& payload) {
+        auto fields = list_parse(payload);
+        if (!fields.ok() || fields->empty()) {
+          return Status(corrupt("unparseable journal record: " + payload));
+        }
+        if ((*fields)[0] == "SESSION") {
+          if (fields->size() != 3) {
+            return Status(corrupt("bad session record: " + payload));
+          }
+          auto ids = list_parse((*fields)[2]);
+          if (!ids.ok()) {
+            return Status(corrupt("bad session ids: " + (*fields)[2]));
+          }
+          std::vector<core::InstanceId> instances;
+          for (const auto& id_text : *ids) {
+            uint64_t id = 0;
+            if (!parse_u64(id_text, &id)) {
+              return Status(corrupt("bad session instance id: " + id_text));
+            }
+            instances.push_back(id);
+          }
+          if (instances.empty()) {
+            sessions_.erase((*fields)[1]);
+          } else {
+            sessions_[(*fields)[1]] = std::move(instances);
+          }
+          return Status::Ok();
+        }
+        if ((*fields)[0] == "EV") return replay_event(*fields);
+        return Status(corrupt("unknown journal record: " + payload));
+      },
+      /*repair=*/true);
+  if (!replayed.ok()) {
+    return Status(replayed.error().code, replayed.error().message);
+  }
+
+  recovery_.recovered = true;
+  recovery_.journal_records = replayed->records;
+  recovery_.journal_truncated = replayed->truncated;
+  journal_live_bytes_ = replayed->valid_bytes;
+  // Swap the replay-scratch time source for one that holds the final
+  // recorded time by value, so it stays valid if this object dies
+  // before the controller.
+  const double recovered_time = replay_time_;
+  controller_->set_time_source([recovered_time] { return recovered_time; });
+  return Status::Ok();
+}
+
+Status Persistence::replay_event(const std::vector<std::string>& fields) {
+  if (fields.size() < 3) return corrupt("short event record");
+  const std::string& verb = fields[1];
+  double time = 0;
+  if (!parse_double(fields[2], &time)) {
+    return corrupt("bad event time: " + fields[2]);
+  }
+  replay_time_ = time;
+
+  if (verb == "REG") {
+    if (fields.size() != 5) return corrupt("bad REG record");
+    uint64_t expected_id = 0;
+    if (!parse_u64(fields[3], &expected_id)) {
+      return corrupt("bad REG instance id: " + fields[3]);
+    }
+    auto id = controller_->register_script(fields[4]);
+    if (!id.ok()) {
+      return Status(id.error().code,
+                    "replaying registration: " + id.error().message);
+    }
+    if (id.value() != expected_id) {
+      // Determinism is the whole contract; a diverging id means the
+      // snapshot and journal disagree about history.
+      return corrupt(str_format("replayed registration got id %llu, journal "
+                                "recorded %llu",
+                                static_cast<unsigned long long>(id.value()),
+                                static_cast<unsigned long long>(expected_id)));
+    }
+    return Status::Ok();
+  }
+  if (verb == "DEP") {
+    if (fields.size() != 4) return corrupt("bad DEP record");
+    uint64_t id = 0;
+    if (!parse_u64(fields[3], &id)) {
+      return corrupt("bad DEP instance id: " + fields[3]);
+    }
+    return controller_->unregister(id);
+  }
+  if (verb == "LOAD") {
+    if (fields.size() != 5) return corrupt("bad LOAD record");
+    double tasks = 0;
+    if (!parse_double(fields[4], &tasks)) {
+      return corrupt("bad LOAD value: " + fields[4]);
+    }
+    return controller_->report_external_load(fields[3],
+                                             static_cast<int>(tasks));
+  }
+  if (verb == "NODE") {
+    if (fields.size() != 5) return corrupt("bad NODE record");
+    return controller_->set_node_online(fields[3], fields[4] == "1");
+  }
+  if (verb == "OPT") {
+    if (fields.size() != 6) return corrupt("bad OPT record");
+    uint64_t id = 0;
+    if (!parse_u64(fields[3], &id)) {
+      return corrupt("bad OPT instance id: " + fields[3]);
+    }
+    auto choice = decode_choice(fields[5]);
+    if (!choice.ok()) return Status(choice.error().code, choice.error().message);
+    return controller_->set_option(id, fields[4], choice.value());
+  }
+  if (verb == "REEVAL") {
+    return controller_->reevaluate();
+  }
+  return corrupt("unknown event verb: " + verb);
+}
+
+Status Persistence::flush_pending_instance() {
+  if (!pending_instance_.active) return Status::Ok();
+  Status status = controller_->restore_instance(
+      pending_instance_.script, pending_instance_.id,
+      pending_instance_.arrival_time, pending_instance_.bundles);
+  pending_instance_ = {};
+  return status;
+}
+
+Status Persistence::load_snapshot() {
+  snapshot_cluster_done_ = false;
+  snapshot_end_seen_ = false;
+  auto replayed = Journal::replay(
+      snapshot_path(),
+      [this](const std::string& payload) {
+        return apply_snapshot_record(payload);
+      },
+      /*repair=*/false);
+  if (!replayed.ok()) {
+    return Status(replayed.error().code, replayed.error().message);
+  }
+  if (!snapshot_end_seen_ ||
+      replayed->records != snapshot_expected_records_ + 1 ||
+      replayed->truncated) {
+    return corrupt(str_format(
+        "snapshot %s is incomplete (%llu records, END %s)",
+        snapshot_path().c_str(),
+        static_cast<unsigned long long>(replayed->records),
+        snapshot_end_seen_ ? "present" : "missing"));
+  }
+  recovery_.snapshot_records = replayed->records;
+  controller_->restore_counters(snapshot_next_id_, snapshot_reconfigs_);
+  return Status::Ok();
+}
+
+Status Persistence::apply_snapshot_record(const std::string& payload) {
+  auto fields_or = list_parse(payload);
+  if (!fields_or.ok() || fields_or->empty()) {
+    return corrupt("unparseable snapshot record: " + payload);
+  }
+  const std::vector<std::string>& fields = *fields_or;
+  const std::string& tag = fields[0];
+
+  // Instance bodies (BST) must directly follow their INST record; any
+  // other tag closes the open instance.
+  if (tag != "BST" && tag != "INST") {
+    Status flushed = flush_pending_instance();
+    if (!flushed.ok()) return flushed;
+  }
+
+  if (tag == "SNAP") {
+    if (fields.size() != 5) return corrupt("bad SNAP header");
+    long long version = 0;
+    if (!parse_int64(fields[1], &version) || version != kSnapshotVersion) {
+      return corrupt("unsupported snapshot version: " + fields[1]);
+    }
+    if (!parse_u64(fields[2], &snapshot_next_id_) ||
+        !parse_u64(fields[3], &snapshot_reconfigs_) ||
+        !parse_double(fields[4], &replay_time_)) {
+      return corrupt("bad SNAP header: " + payload);
+    }
+    return Status::Ok();
+  }
+  if (tag == "NODE") {
+    if (fields.size() != 5) return corrupt("bad NODE record");
+    rsl::NodeAd ad;
+    ad.name = fields[1];
+    ad.os = fields[4];
+    if (!parse_double(fields[2], &ad.speed) ||
+        !parse_double(fields[3], &ad.memory_mb)) {
+      return corrupt("bad NODE numbers: " + payload);
+    }
+    return controller_->add_node(ad);
+  }
+  if (tag == "LINK") {
+    if (fields.size() != 5) return corrupt("bad LINK record");
+    double bandwidth = 0, latency = 0;
+    if (!parse_double(fields[3], &bandwidth) ||
+        !parse_double(fields[4], &latency)) {
+      return corrupt("bad LINK numbers: " + payload);
+    }
+    return controller_->link_hosts(fields[1], fields[2], bandwidth, latency);
+  }
+
+  // Every record type below needs the resource pool.
+  if (!snapshot_cluster_done_) {
+    Status finalized = controller_->finalize_cluster();
+    if (!finalized.ok()) return finalized;
+    snapshot_cluster_done_ = true;
+  }
+
+  if (tag == "OFFLINE") {
+    if (fields.size() != 2) return corrupt("bad OFFLINE record");
+    return controller_->restore_node_online(fields[1], false);
+  }
+  if (tag == "XLOAD") {
+    if (fields.size() != 3) return corrupt("bad XLOAD record");
+    long long tasks = 0;
+    if (!parse_int64(fields[2], &tasks)) {
+      return corrupt("bad XLOAD count: " + fields[2]);
+    }
+    return controller_->restore_external_load(fields[1],
+                                              static_cast<int>(tasks));
+  }
+  if (tag == "INST") {
+    if (fields.size() != 4) return corrupt("bad INST record");
+    Status flushed = flush_pending_instance();
+    if (!flushed.ok()) return flushed;
+    pending_instance_.active = true;
+    if (!parse_u64(fields[1], &pending_instance_.id) ||
+        !parse_double(fields[2], &pending_instance_.arrival_time)) {
+      return corrupt("bad INST header: " + payload);
+    }
+    pending_instance_.script = fields[3];
+    return Status::Ok();
+  }
+  if (tag == "BST") {
+    if (fields.size() != 7) return corrupt("bad BST record");
+    uint64_t id = 0;
+    if (!parse_u64(fields[1], &id) || !pending_instance_.active ||
+        id != pending_instance_.id) {
+      return corrupt("BST record outside its instance: " + payload);
+    }
+    core::Controller::RestoredBundle bundle;
+    bundle.bundle = fields[2];
+    bundle.configured = fields[3] == "1";
+    if (!parse_double(fields[4], &bundle.last_switch_time)) {
+      return corrupt("bad BST switch time: " + fields[4]);
+    }
+    auto choice = decode_choice(fields[5]);
+    if (!choice.ok()) return Status(choice.error().code, choice.error().message);
+    bundle.choice = choice.value();
+    auto entries = list_parse(fields[6]);
+    if (!entries.ok()) return corrupt("bad BST entries: " + fields[6]);
+    for (const auto& entry_text : *entries) {
+      auto parts = list_parse(entry_text);
+      if (!parts.ok() || parts->size() != 6) {
+        return corrupt("bad BST entry: " + entry_text);
+      }
+      core::Controller::RestoredAllocationEntry entry;
+      entry.role = (*parts)[0];
+      long long index = 0;
+      if (!parse_int64((*parts)[1], &index) ||
+          !parse_double((*parts)[4], &entry.memory_mb)) {
+        return corrupt("bad BST entry numbers: " + entry_text);
+      }
+      entry.index = static_cast<int>(index);
+      entry.hostname_glob = (*parts)[2];
+      entry.os = (*parts)[3];
+      entry.hostname = (*parts)[5];
+      bundle.entries.push_back(std::move(entry));
+    }
+    pending_instance_.bundles.push_back(std::move(bundle));
+    return Status::Ok();
+  }
+  if (tag == "SESS") {
+    if (fields.size() != 3) return corrupt("bad SESS record");
+    auto ids = list_parse(fields[2]);
+    if (!ids.ok()) return corrupt("bad SESS ids: " + fields[2]);
+    std::vector<core::InstanceId> instances;
+    for (const auto& id_text : *ids) {
+      uint64_t id = 0;
+      if (!parse_u64(id_text, &id)) {
+        return corrupt("bad SESS instance id: " + id_text);
+      }
+      instances.push_back(id);
+    }
+    sessions_[fields[1]] = std::move(instances);
+    return Status::Ok();
+  }
+  if (tag == "END") {
+    if (fields.size() != 2 || !parse_u64(fields[1], &snapshot_expected_records_)) {
+      return corrupt("bad END record: " + payload);
+    }
+    snapshot_end_seen_ = true;
+    return Status::Ok();
+  }
+  return corrupt("unknown snapshot record: " + payload);
+}
+
+}  // namespace harmony::persist

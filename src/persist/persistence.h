@@ -1,0 +1,180 @@
+// Durability for the adaptation controller: an event-sourced journal of
+// controller inputs plus periodic snapshots of the full system state.
+//
+// Model. Every input that can change a decision (registration text,
+// departures, external-load reports, node online flips, steering,
+// periodic re-evaluations) flows through core::EventSink and is appended
+// to a write-ahead journal, one write(2) per controller epoch. Because
+// the optimizer is deterministic and the only hidden input — time — is
+// recorded per event, replaying the journal into a controller restored
+// from the last snapshot reproduces the pre-crash decision sequence
+// bit-for-bit (persist_recovery_test asserts this with the differential
+// fingerprint harness).
+//
+// Compaction. Every `snapshot_every_epochs` commits the full state
+// (topology, pool occupancy, instances with their choices and
+// placements, client sessions) is serialized to a fresh snapshot file —
+// written to a temp path, fsynced, renamed — and the journal is
+// truncated. The first commit after a cold start writes the baseline
+// snapshot, which is what captures the cluster definition.
+//
+// Durability window. Journal bytes are written every epoch (they survive
+// a crash of the server process immediately) and fsynced by a background
+// group-commit thread every `fsync_every_epochs` epochs — the decision
+// path pays one buffered write(2) and never waits on disk latency, the
+// classic WAL-writer arrangement. Only an OS or power failure can lose
+// the unsynced tail, and recovery handles a torn tail by truncating at
+// the last valid record — never by refusing to start.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/controller.h"
+#include "persist/journal.h"
+
+namespace harmony::persist {
+
+struct PersistConfig {
+  // Directory for journal + snapshot; created if missing.
+  std::string dir;
+  // Epochs between snapshot compactions; 0 = baseline snapshot only.
+  uint64_t snapshot_every_epochs = 64;
+  // A due compaction is deferred while the journal holds fewer bytes
+  // than this: the snapshot write plus its two fsyncs dwarf the replay
+  // cost of a small journal. 0 compacts on the epoch count alone.
+  uint64_t snapshot_min_journal_bytes = 64 * 1024;
+  // Epochs between group-commit fsyncs, handed to the background sync
+  // thread so the decision path never blocks on them; 0 = synchronous
+  // fsync on every epoch commit (maximum durability, pays disk latency
+  // per decision, no background thread).
+  uint64_t fsync_every_epochs = 32;
+  // Minimum wall-clock spacing between group-commit fsyncs, bounding
+  // the disk traffic of epoch bursts; a due sync inside the window is
+  // retried on the next commit. Ignored when fsync_every_epochs is 0
+  // (explicit maximum durability). 0 disables the rate limit.
+  uint64_t fsync_min_interval_ms = 20;
+};
+
+struct RecoveryReport {
+  bool recovered = false;        // prior snapshot and/or journal existed
+  uint64_t snapshot_records = 0;
+  uint64_t journal_records = 0;
+  bool journal_truncated = false;  // a torn/corrupt tail was cut off
+};
+
+// A resumable client session: the instances a connection registered,
+// keyed by the server-issued token. Journaled and snapshotted alongside
+// controller state so clients can RESUME across a server restart.
+using SessionMap = std::map<std::string, std::vector<core::InstanceId>>;
+
+class Persistence final : public core::EventSink {
+ public:
+  // Opens the persistence directory. When prior state exists the
+  // controller — which must be fresh: no cluster, no instances — is
+  // rebuilt from the snapshot plus the journal tail, the journal tail
+  // is repaired (torn records truncated), one verification
+  // re-evaluation pass runs, and the controller's time source is left
+  // pinned at the last recorded event time (install a live source
+  // afterwards if desired; it must not run backwards). Attaches as the
+  // controller's event sink either way.
+  static Result<std::unique_ptr<Persistence>> open(PersistConfig config,
+                                                   core::Controller& controller);
+  ~Persistence() override;
+
+  Persistence(const Persistence&) = delete;
+  Persistence& operator=(const Persistence&) = delete;
+
+  const RecoveryReport& recovery() const { return recovery_; }
+
+  // --- core::EventSink ----------------------------------------------------
+  void on_controller_event(const core::ControllerEvent& event) override;
+  void on_epoch_commit() override;
+
+  // --- sessions -----------------------------------------------------------
+  // Registers/replaces a session's instance list; an empty list drops
+  // the session. Journaled with the enclosing epoch.
+  void record_session(const std::string& token,
+                      std::vector<core::InstanceId> instances);
+  void drop_session(const std::string& token);
+  const SessionMap& sessions() const { return sessions_; }
+
+  // --- maintenance --------------------------------------------------------
+  // Serializes current state to the snapshot file (atomic rename) and
+  // truncates the journal.
+  Status snapshot_now();
+  // Commits and fsyncs any buffered journal records immediately.
+  Status flush();
+  // First I/O error encountered on the commit path, sticky. The sink
+  // callbacks cannot report errors, so the server polls this.
+  Status io_status() const { return last_error_; }
+
+  const Journal& journal() const { return journal_; }
+  std::string journal_path() const;
+  std::string snapshot_path() const;
+
+ private:
+  Persistence(PersistConfig config, core::Controller& controller);
+
+  Status recover();
+  Status load_snapshot();
+  Status apply_snapshot_record(const std::string& payload);
+  Status replay_event(const std::vector<std::string>& fields);
+  std::string encode_event(const core::ControllerEvent& event) const;
+
+  PersistConfig config_;
+  core::Controller* controller_;
+  Journal journal_;
+  SessionMap sessions_;
+  RecoveryReport recovery_;
+  Status last_error_;
+  bool have_snapshot_ = false;
+  uint64_t epochs_since_snapshot_ = 0;
+  uint64_t epochs_since_sync_ = 0;
+  // Bytes committed to the journal since the last compaction (the live
+  // portion a recovery would replay).
+  uint64_t journal_live_bytes_ = 0;
+  std::chrono::steady_clock::time_point last_sync_time_{};
+
+  // --- background group commit --------------------------------------------
+  // Runs the due fsyncs so the epoch-commit (decision) path only ever
+  // pays the buffered write(2). Not started when fsync_every_epochs is
+  // 0 (synchronous syncs). The thread touches nothing but
+  // Journal::sync() — which is safe against the appender — and the
+  // three fields guarded by sync_mutex_.
+  void sync_loop();
+  std::thread sync_thread_;
+  std::mutex sync_mutex_;
+  std::condition_variable sync_cv_;
+  bool sync_requested_ = false;   // guarded by sync_mutex_
+  bool sync_stop_ = false;        // guarded by sync_mutex_
+  Status sync_error_;             // guarded by sync_mutex_
+
+  // --- recovery scratch ---------------------------------------------------
+  double replay_time_ = 0;  // pinned controller now() during replay
+  // Snapshot records arrive flat; instance restores are buffered until
+  // all BST records of the instance have been seen.
+  struct PendingInstance {
+    bool active = false;
+    core::InstanceId id = 0;
+    double arrival_time = 0;
+    std::string script;
+    std::vector<core::Controller::RestoredBundle> bundles;
+  };
+  PendingInstance pending_instance_;
+  Status flush_pending_instance();
+  bool snapshot_cluster_done_ = false;  // finalize barrier during load
+  uint64_t snapshot_expected_records_ = 0;
+  bool snapshot_end_seen_ = false;
+  core::InstanceId snapshot_next_id_ = 1;
+  uint64_t snapshot_reconfigs_ = 0;
+};
+
+}  // namespace harmony::persist

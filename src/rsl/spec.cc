@@ -438,4 +438,95 @@ Result<NodeAd> parse_node_ad(const std::vector<std::string>& argv) {
   return ad;
 }
 
+// --- serialization -----------------------------------------------------------
+
+namespace {
+
+// Emits one {tag value} pair; the value may be an expression with
+// spaces, which element_quote wraps in braces so the parser's
+// require_value() recovers it verbatim.
+std::string tag(const std::string& key, const std::string& value) {
+  return list_build({key, value});
+}
+
+std::string node_to_list(const NodeReq& node) {
+  std::vector<std::string> items = {"node", node.role};
+  items.push_back(tag("hostname", node.hostname));
+  if (!node.os.empty()) items.push_back(tag("os", node.os));
+  if (!node.seconds.empty()) items.push_back(tag("seconds", node.seconds.text()));
+  if (node.memory.op != Constraint::Op::kAny) {
+    items.push_back(tag("memory", node.memory.to_string()));
+  }
+  if (!node.replicate.empty()) {
+    items.push_back(tag("replicate", node.replicate.text()));
+  }
+  return list_build(items);
+}
+
+std::string option_to_list(const OptionSpec& option) {
+  std::vector<std::string> items = {option.name};
+  for (const auto& node : option.nodes) items.push_back(node_to_list(node));
+  for (const auto& link : option.links) {
+    items.push_back(
+        list_build({"link", link.from, link.to, link.megabytes.text()}));
+  }
+  if (!option.communication.empty()) {
+    items.push_back(tag("communication", option.communication.text()));
+  }
+  for (const auto& variable : option.variables) {
+    std::vector<std::string> values;
+    values.reserve(variable.values.size());
+    for (double value : variable.values) values.push_back(format_number(value));
+    items.push_back(
+        list_build({"variable", variable.name, list_build(values)}));
+  }
+  if (!option.performance_points.empty()) {
+    std::vector<std::string> points;
+    points.reserve(option.performance_points.size());
+    for (const auto& point : option.performance_points) {
+      points.push_back(
+          list_build({format_number(point.x), format_number(point.y)}));
+    }
+    items.push_back(tag("performance", list_build(points)));
+  }
+  if (!option.performance_script.empty()) {
+    items.push_back(
+        list_build({"performance", "script", option.performance_script}));
+  }
+  if (!option.performance_expr.empty()) {
+    items.push_back(
+        list_build({"performance", "expr", option.performance_expr.text()}));
+  }
+  if (!option.performance_dag.empty()) {
+    std::vector<std::string> tasks;
+    tasks.reserve(option.performance_dag.size());
+    for (const auto& task : option.performance_dag) {
+      tasks.push_back(list_build(
+          {task.name, task.seconds.text(), list_build(task.deps)}));
+    }
+    items.push_back(list_build({"performance", "dag", list_build(tasks)}));
+  }
+  if (option.granularity_s != 0) {
+    items.push_back(tag("granularity", format_number(option.granularity_s)));
+  }
+  if (option.friction_s != 0) {
+    items.push_back(tag("friction", format_number(option.friction_s)));
+  }
+  return list_build(items);
+}
+
+}  // namespace
+
+std::string bundle_to_script(const BundleSpec& bundle) {
+  std::vector<std::string> options;
+  options.reserve(bundle.options.size());
+  for (const auto& option : bundle.options) {
+    options.push_back(option_to_list(option));
+  }
+  return list_build({"harmonyBundle",
+                     bundle.application + ":" + bundle.instance, bundle.bundle,
+                     list_build(options)}) +
+         "\n";
+}
+
 }  // namespace harmony::rsl

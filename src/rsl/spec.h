@@ -170,6 +170,14 @@ struct NodeAd {
 Result<std::pair<std::string, std::string>> parse_app_instance(
     std::string_view text);
 
+// Serializes a BundleSpec back into a single harmonyBundle command that
+// parse_bundle() accepts. Round-trip property (exercised by
+// rsl_roundtrip_test): parsing the emitted script yields a spec whose
+// own serialization is byte-identical. The durability subsystem uses
+// this to journal/snapshot applications registered through the typed
+// API, where no original script text exists.
+std::string bundle_to_script(const BundleSpec& bundle);
+
 // Parses the body of a harmonyBundle command (the options list).
 Result<BundleSpec> parse_bundle(std::string_view app_instance,
                                 std::string_view bundle_name,

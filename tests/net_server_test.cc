@@ -125,11 +125,16 @@ TEST_F(ServerTest, ThreeClientsTriggerSwitchOverTcp) {
 }
 
 TEST_F(ServerTest, DisconnectImpliesEnd) {
+  // TcpTransport registers with protocol v2, so a hangup first parks
+  // the session; a zero grace window makes the park expire on the next
+  // poll tick, synthesizing the DEPART.
+  server_->set_session_grace_ms(0);
   {
     TcpTransport transport;
     ASSERT_TRUE(transport.connect("localhost", port_).ok());
     auto id = transport.register_app(client_bundle(1));
     ASSERT_TRUE(id.ok());
+    EXPECT_FALSE(transport.session_token().empty());
     // Transport (and socket) drop here without END.
   }
   // Give the poll loop time to notice the hangup, then stop it so the
@@ -137,6 +142,7 @@ TEST_F(ServerTest, DisconnectImpliesEnd) {
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
   shutdown_server();
   EXPECT_EQ(controller_.live_instances(), 0u);
+  EXPECT_EQ(server_->parked_session_count(), 0u);
 }
 
 TEST_F(ServerTest, ErrorsComeBackAsErrFrames) {

@@ -1,0 +1,199 @@
+// Journal record framing, CRC32C, torn-write repair and reset.
+#include "persist/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "persist/crc32c.h"
+
+namespace harmony::persist {
+namespace {
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "journal_test_" +
+            std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".wal";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::vector<std::string> replay_all(bool repair = false,
+                                      bool* truncated = nullptr) {
+    std::vector<std::string> payloads;
+    auto stats = Journal::replay(
+        path_,
+        [&](const std::string& payload) {
+          payloads.push_back(payload);
+          return Status::Ok();
+        },
+        repair);
+    EXPECT_TRUE(stats.ok()) << stats.error().to_string();
+    if (truncated != nullptr) *truncated = stats->truncated;
+    return payloads;
+  }
+
+  long file_size() {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    return in.good() ? static_cast<long>(in.tellg()) : -1;
+  }
+
+  void append_raw(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+};
+
+TEST(Crc32cTest, KnownVector) {
+  // The canonical CRC32C check value.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0u);
+  EXPECT_NE(crc32c("a"), crc32c("b"));
+}
+
+TEST_F(JournalTest, MissingFileReplaysEmpty) {
+  bool truncated = true;
+  auto payloads = replay_all(/*repair=*/false, &truncated);
+  EXPECT_TRUE(payloads.empty());
+  EXPECT_FALSE(truncated);
+}
+
+TEST_F(JournalTest, AppendCommitReplayRoundTrip) {
+  auto journal = Journal::open(path_);
+  ASSERT_TRUE(journal.ok());
+  journal->append("one");
+  journal->append("");
+  journal->append(std::string("bin\0ary{}\n", 10));
+  EXPECT_EQ(journal->appended_records(), 3u);
+  ASSERT_TRUE(journal->commit(/*sync=*/true).ok());
+  EXPECT_EQ(journal->pending_bytes(), 0u);
+
+  auto payloads = replay_all();
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "one");
+  EXPECT_EQ(payloads[1], "");
+  EXPECT_EQ(payloads[2], std::string("bin\0ary{}\n", 10));
+}
+
+TEST_F(JournalTest, NothingOnDiskUntilCommit) {
+  auto journal = Journal::open(path_);
+  ASSERT_TRUE(journal.ok());
+  journal->append("buffered");
+  EXPECT_EQ(file_size(), 0);
+  ASSERT_TRUE(journal->commit(/*sync=*/false).ok());
+  EXPECT_GT(file_size(), 0);
+}
+
+TEST_F(JournalTest, TornTailIsTruncatedAtLastValidRecord) {
+  {
+    auto journal = Journal::open(path_);
+    ASSERT_TRUE(journal.ok());
+    journal->append("alpha");
+    journal->append("beta");
+    ASSERT_TRUE(journal->commit(/*sync=*/true).ok());
+  }
+  const long intact = file_size();
+  // A crash mid-write leaves half a record: full header, partial body.
+  std::string torn = encode_record("gamma-never-finished");
+  append_raw(torn.substr(0, torn.size() - 7));
+
+  bool truncated = false;
+  auto payloads = replay_all(/*repair=*/true, &truncated);
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[1], "beta");
+  // Repair removed the torn bytes; the next replay is clean.
+  EXPECT_EQ(file_size(), intact);
+  truncated = true;
+  payloads = replay_all(/*repair=*/false, &truncated);
+  EXPECT_EQ(payloads.size(), 2u);
+  EXPECT_FALSE(truncated);
+}
+
+TEST_F(JournalTest, CorruptCrcStopsReplayWithoutAbort) {
+  {
+    auto journal = Journal::open(path_);
+    ASSERT_TRUE(journal.ok());
+    journal->append("first");
+    journal->append("second");
+    ASSERT_TRUE(journal->commit(/*sync=*/true).ok());
+  }
+  // Flip one payload byte of the second record.
+  std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+  const long second_payload = 8 + 5 + 8;  // header+{first} then header
+  file.seekp(second_payload);
+  file.put('X');
+  file.close();
+
+  bool truncated = false;
+  auto payloads = replay_all(/*repair=*/true, &truncated);
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "first");
+  EXPECT_EQ(file_size(), 8 + 5);
+}
+
+TEST_F(JournalTest, AbsurdLengthPrefixTreatedAsCorruption) {
+  {
+    auto journal = Journal::open(path_);
+    ASSERT_TRUE(journal.ok());
+    journal->append("good");
+    ASSERT_TRUE(journal->commit(/*sync=*/true).ok());
+  }
+  append_raw(std::string("\xFF\xFF\xFF\xFF\x00\x00\x00\x00", 8));
+  bool truncated = false;
+  auto payloads = replay_all(/*repair=*/false, &truncated);
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(payloads.size(), 1u);
+}
+
+TEST_F(JournalTest, ResetEmptiesTheFile) {
+  auto journal = Journal::open(path_);
+  ASSERT_TRUE(journal.ok());
+  journal->append("soon gone");
+  ASSERT_TRUE(journal->commit(/*sync=*/false).ok());
+  journal->append("pending is dropped too");
+  ASSERT_TRUE(journal->reset().ok());
+  EXPECT_EQ(file_size(), 0);
+  EXPECT_EQ(journal->pending_bytes(), 0u);
+  // Appends after a reset land at the start of the file.
+  journal->append("fresh");
+  ASSERT_TRUE(journal->commit(/*sync=*/true).ok());
+  auto payloads = replay_all();
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "fresh");
+}
+
+TEST_F(JournalTest, HandlerErrorAbortsReplay) {
+  {
+    auto journal = Journal::open(path_);
+    ASSERT_TRUE(journal.ok());
+    journal->append("one");
+    journal->append("two");
+    ASSERT_TRUE(journal->commit(/*sync=*/true).ok());
+  }
+  int seen = 0;
+  auto stats = Journal::replay(
+      path_,
+      [&](const std::string&) {
+        ++seen;
+        return Status(ErrorCode::kCorruption, "stop");
+      },
+      /*repair=*/false);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.error().code, ErrorCode::kCorruption);
+  EXPECT_EQ(seen, 1);
+}
+
+}  // namespace
+}  // namespace harmony::persist

@@ -1,0 +1,254 @@
+// Recovery differential: a persisted controller and an unpersisted
+// reference are driven through the same event sequence; after a
+// simulated crash (destroy controller + persistence, keep the files) a
+// fresh controller recovered from snapshot + journal must fingerprint
+// bit-identically to the reference — decision for decision, placement
+// for placement. Reuses the differential harness of
+// core_incremental_test via testing::fingerprint.
+#include "persist/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/controller.h"
+#include "test_scenarios.h"
+
+namespace harmony::persist {
+namespace {
+
+using harmony::testing::bag_bundle;
+using harmony::testing::db_client_bundle;
+using harmony::testing::fingerprint;
+using harmony::testing::simple_bundle;
+using harmony::testing::sp2_cluster_script;
+
+constexpr int kLastStep = 13;
+
+// One step of the scripted history. Every kind of journal-able event
+// appears at least once: registrations (script and reconstructed),
+// departures, load reports, node offline/online, re-evaluations.
+void apply_step(core::Controller& c, int s) {
+  switch (s) {
+    case 1:
+      ASSERT_TRUE(c.add_nodes_script(sp2_cluster_script(6)).ok());
+      ASSERT_TRUE(c.finalize_cluster().ok());
+      break;
+    case 2: ASSERT_TRUE(c.register_script(bag_bundle("1 2 3 4", 0)).ok()); break;
+    case 3: ASSERT_TRUE(c.register_script(db_client_bundle("sp2-00", 1)).ok()); break;
+    case 4: ASSERT_TRUE(c.report_external_load("sp2-01", 3).ok()); break;
+    case 5: ASSERT_TRUE(c.register_script(db_client_bundle("sp2-01", 2)).ok()); break;
+    case 6: ASSERT_TRUE(c.set_node_online("sp2-02", false).ok()); break;
+    case 7: ASSERT_TRUE(c.reevaluate().ok()); break;
+    case 8: ASSERT_TRUE(c.register_script(db_client_bundle("sp2-03", 3)).ok()); break;
+    case 9: ASSERT_TRUE(c.unregister(2).ok()); break;
+    case 10: ASSERT_TRUE(c.set_node_online("sp2-02", true).ok()); break;
+    case 11: ASSERT_TRUE(c.report_external_load("sp2-01", 0).ok()); break;
+    case 12: ASSERT_TRUE(c.register_script(simple_bundle(2)).ok()); break;
+    case 13: ASSERT_TRUE(c.reevaluate().ok()); break;
+  }
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "recovery_" + std::to_string(::getpid()) +
+           "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    clean();
+  }
+  void TearDown() override { clean(); }
+
+  void clean() {
+    std::remove((dir_ + "/journal.wal").c_str());
+    std::remove((dir_ + "/snapshot.hsn").c_str());
+    std::remove((dir_ + "/snapshot.tmp").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  // Both controllers share the test clock; the persisted one records
+  // event times into the journal, so the recovered one replays them.
+  void install_clock(core::Controller& controller) {
+    controller.set_time_source([this] { return clock_; });
+  }
+
+  // Applies steps [from, to] to every controller, advancing the shared
+  // clock once per step so both see identical event times.
+  void drive(std::initializer_list<core::Controller*> controllers, int from,
+             int to) {
+    for (int s = from; s <= to; ++s) {
+      clock_ += 5.0;
+      for (core::Controller* c : controllers) apply_step(*c, s);
+    }
+  }
+
+  PersistConfig config(uint64_t snapshot_every = 0,
+                       uint64_t fsync_every = 4) {
+    PersistConfig config;
+    config.dir = dir_;
+    config.snapshot_every_epochs = snapshot_every;
+    // Compact on epoch count alone: the test histories are far smaller
+    // than the production size threshold.
+    config.snapshot_min_journal_bytes = 0;
+    config.fsync_every_epochs = fsync_every;
+    return config;
+  }
+
+  std::string dir_;
+  double clock_ = 0.0;
+};
+
+TEST_F(RecoveryTest, RecoveredControllerMatchesReferenceBitForBit) {
+  core::Controller reference;
+  install_clock(reference);
+
+  std::string pre_crash;
+  {
+    core::Controller live;
+    install_clock(live);
+    auto persistence = Persistence::open(config(), live);
+    ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+    EXPECT_FALSE((*persistence)->recovery().recovered);
+    drive({&live, &reference}, 1, kLastStep);
+    ASSERT_TRUE((*persistence)->flush().ok());
+    pre_crash = fingerprint(live);
+    // Crash: controller and persistence die; the files survive.
+  }
+
+  core::Controller recovered;
+  auto persistence = Persistence::open(config(), recovered);
+  ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+  EXPECT_TRUE((*persistence)->recovery().recovered);
+  EXPECT_FALSE((*persistence)->recovery().journal_truncated);
+
+  EXPECT_EQ(fingerprint(recovered), pre_crash);
+  EXPECT_EQ(fingerprint(recovered), fingerprint(reference));
+}
+
+TEST_F(RecoveryTest, RecoveredControllerKeepsWorkingAndStaysIdentical) {
+  core::Controller reference;
+  install_clock(reference);
+
+  {
+    core::Controller live;
+    install_clock(live);
+    auto persistence = Persistence::open(config(), live);
+    ASSERT_TRUE(persistence.ok());
+    drive({&live, &reference}, 1, 8);
+    ASSERT_TRUE((*persistence)->flush().ok());
+  }
+
+  core::Controller recovered;
+  auto persistence = Persistence::open(config(), recovered);
+  ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+  EXPECT_EQ(fingerprint(recovered), fingerprint(reference));
+
+  // Life goes on after recovery: rejoin the shared clock and apply the
+  // remaining history to both. Decisions must keep matching — and keep
+  // being journaled, so a second recovery sees them too.
+  install_clock(recovered);
+  drive({&recovered, &reference}, 9, kLastStep);
+  ASSERT_TRUE((*persistence)->flush().ok());
+  EXPECT_EQ(fingerprint(recovered), fingerprint(reference));
+
+  // Detach the live persistence before reopening the same files.
+  persistence.value().reset();
+  core::Controller recovered_again;
+  auto persistence2 = Persistence::open(config(), recovered_again);
+  ASSERT_TRUE(persistence2.ok()) << persistence2.error().to_string();
+  EXPECT_EQ(fingerprint(recovered_again), fingerprint(reference));
+}
+
+TEST_F(RecoveryTest, CompactionPreservesDecisions) {
+  core::Controller reference;
+  install_clock(reference);
+
+  {
+    core::Controller live;
+    install_clock(live);
+    // Snapshot every other epoch: most of the history lives in the
+    // snapshot, only a short tail in the journal.
+    auto persistence = Persistence::open(config(/*snapshot_every=*/2), live);
+    ASSERT_TRUE(persistence.ok());
+    drive({&live, &reference}, 1, kLastStep);
+    ASSERT_TRUE((*persistence)->flush().ok());
+    EXPECT_GT((*persistence)->journal().commits(), 0u);
+  }
+  {
+    std::ifstream snapshot(dir_ + "/snapshot.hsn", std::ios::binary);
+    ASSERT_TRUE(snapshot.good()) << "compaction never wrote a snapshot";
+  }
+
+  core::Controller recovered;
+  auto persistence = Persistence::open(config(/*snapshot_every=*/2), recovered);
+  ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+  EXPECT_GT((*persistence)->recovery().snapshot_records, 0u);
+  EXPECT_EQ(fingerprint(recovered), fingerprint(reference));
+}
+
+TEST_F(RecoveryTest, TornJournalTailIsDiscardedNotFatal) {
+  std::string pre_tail;
+  {
+    core::Controller live;
+    install_clock(live);
+    auto persistence = Persistence::open(config(), live);
+    ASSERT_TRUE(persistence.ok());
+    drive({&live}, 1, 7);
+    ASSERT_TRUE((*persistence)->flush().ok());
+    pre_tail = fingerprint(live);
+  }
+  // A crash mid-write leaves half a record at the tail.
+  {
+    std::ofstream journal(dir_ + "/journal.wal",
+                          std::ios::binary | std::ios::app);
+    journal.write("\x00\x00\x01\x00garbage", 11);
+  }
+
+  core::Controller recovered;
+  auto persistence = Persistence::open(config(), recovered);
+  ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+  EXPECT_TRUE((*persistence)->recovery().journal_truncated);
+  EXPECT_EQ(fingerprint(recovered), pre_tail);
+
+  // The repair truncated the file: recovering again reports no tail.
+  persistence.value().reset();
+  core::Controller recovered2;
+  auto persistence2 = Persistence::open(config(), recovered2);
+  ASSERT_TRUE(persistence2.ok());
+  EXPECT_FALSE((*persistence2)->recovery().journal_truncated);
+  EXPECT_EQ(fingerprint(recovered2), pre_tail);
+}
+
+TEST_F(RecoveryTest, SessionsSurviveRecovery) {
+  {
+    core::Controller live;
+    install_clock(live);
+    auto persistence = Persistence::open(config(), live);
+    ASSERT_TRUE(persistence.ok());
+    drive({&live}, 1, 3);
+    {
+      core::Controller::EpochScope epoch(live);
+      (*persistence)->record_session("tok-a", {1});
+      (*persistence)->record_session("tok-b", {2});
+      (*persistence)->record_session("tok-gone", {2});
+      (*persistence)->drop_session("tok-gone");
+    }
+    ASSERT_TRUE((*persistence)->flush().ok());
+  }
+
+  core::Controller recovered;
+  auto persistence = Persistence::open(config(), recovered);
+  ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+  const auto& sessions = (*persistence)->sessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions.at("tok-a"), std::vector<core::InstanceId>{1});
+  EXPECT_EQ(sessions.at("tok-b"), std::vector<core::InstanceId>{2});
+}
+
+}  // namespace
+}  // namespace harmony::persist

@@ -1,0 +1,110 @@
+// bundle_to_script round-trip property: parsing the emitted script
+// yields a spec whose own serialization is byte-identical, and the
+// re-parsed spec registers identically to the original. This is what
+// lets the durability layer journal typed-API registrations as RSL
+// text.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rsl/rsl.h"
+#include "rsl/spec.h"
+#include "test_scenarios.h"
+
+namespace harmony::rsl {
+namespace {
+
+std::vector<BundleSpec> parse_script(const std::string& script) {
+  std::vector<BundleSpec> bundles;
+  RslHost host;
+  host.on_bundle([&](const BundleSpec& bundle) {
+    bundles.push_back(bundle);
+    return Status::Ok();
+  });
+  Status status = host.eval_script(script);
+  EXPECT_TRUE(status.ok()) << status.to_string() << "\nscript:\n" << script;
+  return bundles;
+}
+
+void expect_round_trip(const std::string& script) {
+  auto original = parse_script(script);
+  ASSERT_FALSE(original.empty());
+  for (const auto& bundle : original) {
+    const std::string emitted = bundle_to_script(bundle);
+    auto reparsed = parse_script(emitted);
+    ASSERT_EQ(reparsed.size(), 1u) << emitted;
+    // Byte-identical second serialization = the emitted form is a fixed
+    // point: nothing is lost or reordered by another parse cycle.
+    EXPECT_EQ(bundle_to_script(reparsed[0]), emitted);
+    // Spot-check the semantic core survived.
+    EXPECT_EQ(reparsed[0].application, bundle.application);
+    EXPECT_EQ(reparsed[0].instance, bundle.instance);
+    EXPECT_EQ(reparsed[0].bundle, bundle.bundle);
+    ASSERT_EQ(reparsed[0].options.size(), bundle.options.size());
+    for (size_t i = 0; i < bundle.options.size(); ++i) {
+      const OptionSpec& a = bundle.options[i];
+      const OptionSpec& b = reparsed[0].options[i];
+      EXPECT_EQ(b.name, a.name);
+      ASSERT_EQ(b.nodes.size(), a.nodes.size());
+      for (size_t j = 0; j < a.nodes.size(); ++j) {
+        EXPECT_EQ(b.nodes[j].role, a.nodes[j].role);
+        EXPECT_EQ(b.nodes[j].hostname, a.nodes[j].hostname);
+        EXPECT_EQ(b.nodes[j].os, a.nodes[j].os);
+        EXPECT_EQ(b.nodes[j].seconds.text(), a.nodes[j].seconds.text());
+        EXPECT_EQ(b.nodes[j].memory.to_string(), a.nodes[j].memory.to_string());
+        EXPECT_EQ(b.nodes[j].replicate.text(), a.nodes[j].replicate.text());
+      }
+      ASSERT_EQ(b.links.size(), a.links.size());
+      for (size_t j = 0; j < a.links.size(); ++j) {
+        EXPECT_EQ(b.links[j].from, a.links[j].from);
+        EXPECT_EQ(b.links[j].to, a.links[j].to);
+        EXPECT_EQ(b.links[j].megabytes.text(), a.links[j].megabytes.text());
+      }
+      EXPECT_EQ(b.communication.text(), a.communication.text());
+      ASSERT_EQ(b.variables.size(), a.variables.size());
+      for (size_t j = 0; j < a.variables.size(); ++j) {
+        EXPECT_EQ(b.variables[j].name, a.variables[j].name);
+        EXPECT_EQ(b.variables[j].values, a.variables[j].values);
+      }
+      ASSERT_EQ(b.performance_points.size(), a.performance_points.size());
+      for (size_t j = 0; j < a.performance_points.size(); ++j) {
+        EXPECT_EQ(b.performance_points[j].x, a.performance_points[j].x);
+        EXPECT_EQ(b.performance_points[j].y, a.performance_points[j].y);
+      }
+      EXPECT_EQ(b.performance_script, a.performance_script);
+      EXPECT_EQ(b.performance_expr.text(), a.performance_expr.text());
+      EXPECT_EQ(b.granularity_s, a.granularity_s);
+      EXPECT_EQ(b.friction_s, a.friction_s);
+    }
+  }
+}
+
+TEST(BundleToScriptTest, SimpleBundle) {
+  expect_round_trip(harmony::testing::simple_bundle());
+}
+
+TEST(BundleToScriptTest, BagBundleWithVariablesAndPerformance) {
+  expect_round_trip(harmony::testing::bag_bundle("1 2 3 4", /*granularity=*/30));
+}
+
+TEST(BundleToScriptTest, DbClientBundleWithExpressionsAndConstraints) {
+  expect_round_trip(harmony::testing::db_client_bundle("sp2-00", 7));
+}
+
+TEST(BundleToScriptTest, PerformanceExprAndDagSurvive) {
+  expect_round_trip(
+      "harmonyBundle Dag:1 pipeline {\n"
+      "  {staged\n"
+      "    {node worker {seconds 10} {memory 8} {replicate 2}}\n"
+      "    {performance dag {{load 5 {}} {scan {3 * 2} {load}} "
+      "{join 4 {load scan}}}}\n"
+      "    {friction 12}}\n"
+      "  {flat\n"
+      "    {node worker {seconds 20} {memory 8}}\n"
+      "    {performance expr {20 / worker.speed}}}\n"
+      "}\n");
+}
+
+}  // namespace
+}  // namespace harmony::rsl

@@ -7,9 +7,53 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "core/controller.h"
 #include "rsl/spec.h"
 
 namespace harmony::testing {
+
+// Serializes everything a decision can influence, at full precision:
+// per-bundle configuration, choice variables, memory grants, switch
+// times, placements, the reconfiguration counter and the objective.
+// Two controllers with equal fingerprints have made identical decision
+// sequences. Used by the incremental-vs-full differential test and by
+// the crash-recovery tests (recovered state must fingerprint-match the
+// pre-crash controller).
+inline std::string fingerprint(const core::Controller& controller) {
+  std::string out;
+  for (const auto& instance : controller.state().instances) {
+    out += str_format("i%llu:%s\n",
+                      static_cast<unsigned long long>(instance.id),
+                      instance.application.c_str());
+    for (const auto& bundle : instance.bundles) {
+      out += str_format(" b=%s cfg=%d", bundle.spec.bundle.c_str(),
+                        bundle.configured ? 1 : 0);
+      if (bundle.configured) {
+        out += " choice=" + bundle.choice.option;
+        for (const auto& [name, value] : bundle.choice.variables) {
+          out += str_format(" %s=%.17g", name.c_str(), value);
+        }
+        out += str_format(" grant=%.17g switched=%.17g",
+                          bundle.choice.memory_grant,
+                          bundle.last_switch_time);
+        for (const auto& entry : bundle.allocation.entries) {
+          out += str_format(" [%s.%d@%u mem=%.17g]",
+                            entry.requirement.role.c_str(),
+                            entry.requirement.index, entry.node,
+                            entry.requirement.memory_mb);
+        }
+      }
+      out += '\n';
+    }
+  }
+  out += str_format("reconfigs=%llu\n",
+                    static_cast<unsigned long long>(
+                        controller.reconfigurations()));
+  auto objective = controller.objective_value();
+  out += objective.ok() ? str_format("objective=%.17g\n", objective.value())
+                        : ("objective_err=" + objective.error().message + "\n");
+  return out;
+}
 
 // n worker nodes "sp2-XX" (speed 1, 64 MB) plus one server host
 // "server" (speed 2, 512 MB), full switch at `mbps` (default 320, the

@@ -14,31 +14,28 @@ namespace harmony::net {
 
 namespace {
 
-// Resume tokens must stay unguessable-enough and unique across server
-// restarts (recovered sessions keep their tokens). /dev/urandom with a
-// clock+pid fallback.
+// Resume tokens gate session hijacking, so they must be unguessable
+// and unique across server restarts (recovered sessions keep their
+// tokens). /dev/urandom or nothing: without a secure source the server
+// issues no token at all (the registration falls back to v1,
+// non-resumable) rather than a predictable one.
 std::string make_session_token() {
   unsigned char raw[12];
-  bool filled = false;
   int fd = ::open("/dev/urandom", O_RDONLY | O_CLOEXEC);
-  if (fd >= 0) {
-    filled = ::read(fd, raw, sizeof(raw)) == static_cast<ssize_t>(sizeof(raw));
-    ::close(fd);
-  }
-  if (!filled) {
-    static uint64_t counter = 0;
-    uint64_t mix = static_cast<uint64_t>(
-                       std::chrono::steady_clock::now().time_since_epoch().count()) ^
-                   (static_cast<uint64_t>(::getpid()) << 32) ^ ++counter;
-    for (size_t i = 0; i < sizeof(raw); ++i) {
-      mix = mix * 6364136223846793005ull + 1442695040888963407ull;
-      raw[i] = static_cast<unsigned char>(mix >> 56);
-    }
-  }
+  if (fd < 0) return {};
+  const bool filled =
+      ::read(fd, raw, sizeof(raw)) == static_cast<ssize_t>(sizeof(raw));
+  ::close(fd);
+  if (!filled) return {};
   std::string token;
   token.reserve(sizeof(raw) * 2);
   for (unsigned char byte : raw) token += str_format("%02x", byte);
   return token;
+}
+
+// Tokens are secrets; logs carry only a recognizable prefix.
+std::string token_prefix(const std::string& token) {
+  return token.substr(0, 6) + "...";
 }
 
 }  // namespace
@@ -52,9 +49,17 @@ HarmonyTcpServer::HarmonyTcpServer(core::Controller* controller,
 HarmonyTcpServer::~HarmonyTcpServer() {
   // Deregister non-resumable connections; sessions with a token stay
   // registered so a persistence-backed restart can offer them for
-  // RESUME (the controller dies with the process either way).
+  // RESUME. Their update subscriptions must be parked, though: the
+  // handlers capture this server and raw Connection pointers, and a
+  // controller that outlives the server would otherwise flush pending
+  // variables into freed memory.
   for (auto& connection : connections_) {
-    if (!connection->session_token.empty()) continue;
+    if (!connection->session_token.empty()) {
+      for (core::InstanceId id : connection->instances) {
+        (void)controller_->subscribe(id, core::Controller::UpdateHandler{});
+      }
+      continue;
+    }
     for (core::InstanceId id : connection->instances) {
       (void)controller_->unregister(id);
     }
@@ -219,6 +224,23 @@ void HarmonyTcpServer::persist_session(
   if (persistence_ != nullptr) persistence_->record_session(token, instances);
 }
 
+std::string HarmonyTcpServer::new_session_token() const {
+  // 96 random bits make a collision astronomically unlikely, but a
+  // token that collides with a parked or live session would hand one
+  // client another's instances — check anyway; it is cheap.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::string token = make_session_token();
+    if (token.empty()) return {};
+    if (parked_.count(token) != 0) continue;
+    bool in_use = false;
+    for (const auto& connection : connections_) {
+      in_use = in_use || connection->session_token == token;
+    }
+    if (!in_use) return token;
+  }
+  return {};
+}
+
 Message HarmonyTcpServer::handle_message(Connection& connection,
                                          const Message& message) {
   if (message.verb == "REGISTER") {
@@ -243,7 +265,14 @@ Message HarmonyTcpServer::handle_message(Connection& connection,
         str_format("%llu", static_cast<unsigned long long>(id.value()));
     if (!v2) return Message::ok({id_text});
     if (connection.session_token.empty()) {
-      connection.session_token = make_session_token();
+      connection.session_token = new_session_token();
+      if (connection.session_token.empty()) {
+        // No secure randomness available: answer v1-style (registered,
+        // not resumable) instead of issuing a guessable token.
+        HLOG_WARN("server")
+            << "no session token source; registration is not resumable";
+        return Message::ok({id_text});
+      }
     }
     persist_session(connection.session_token, connection.instances);
     return Message::ok({id_text, connection.session_token});
@@ -314,6 +343,10 @@ Message HarmonyTcpServer::handle_resume(Connection& connection,
   // configuration as synthetic decisions, flushed before the OK reply —
   // a resuming client's harmony_wait_for_update sees a complete
   // pending-variable snapshot exactly as a fresh registrant would.
+  // Instances whose subscription fails already departed; drop them from
+  // the session for good, or they would be re-parked and retried on
+  // every reconnect cycle.
+  std::vector<core::InstanceId> live;
   std::vector<std::string> id_texts;
   for (core::InstanceId id : connection.instances) {
     auto subscribed = attach_updates(connection, id);
@@ -322,10 +355,15 @@ Message HarmonyTcpServer::handle_resume(Connection& connection,
                           << " gone: " << subscribed.error().message;
       continue;
     }
+    live.push_back(id);
     id_texts.push_back(
         str_format("%llu", static_cast<unsigned long long>(id)));
   }
-  HLOG_INFO("server") << "session " << token << " resumed with "
+  if (live.size() != connection.instances.size()) {
+    connection.instances = std::move(live);
+    persist_session(token, connection.instances);
+  }
+  HLOG_INFO("server") << "session " << token_prefix(token) << " resumed with "
                       << id_texts.size() << " instance(s)";
   return Message::ok(std::move(id_texts));
 }
@@ -357,7 +395,7 @@ void HarmonyTcpServer::reap_dropped() {
       // Resumable session: park instead of departing. Subscriptions go
       // empty (parked) so nothing references the dying connection.
       HLOG_INFO("server") << "connection dropped; parking session "
-                          << connection->session_token;
+                          << token_prefix(connection->session_token);
       for (core::InstanceId id : connection->instances) {
         (void)controller_->subscribe(id, core::Controller::UpdateHandler{});
       }
@@ -392,7 +430,7 @@ void HarmonyTcpServer::reap_expired_sessions() {
       continue;
     }
     core::Controller::EpochScope epoch(*controller_);
-    HLOG_INFO("server") << "session " << it->first
+    HLOG_INFO("server") << "session " << token_prefix(it->first)
                         << " expired; ending its instances";
     for (core::InstanceId id : it->second.instances) {
       (void)controller_->unregister(id);

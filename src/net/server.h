@@ -83,6 +83,10 @@ class HarmonyTcpServer {
   // Pushes the session's current instance list into the journal.
   void persist_session(const std::string& token,
                        const std::vector<core::InstanceId>& instances);
+  // Draws a fresh token that collides with no parked or live session;
+  // empty when no secure randomness is available (the caller then
+  // answers v1-style, non-resumable).
+  std::string new_session_token() const;
   Status attach_updates(Connection& connection, core::InstanceId id);
 
   core::Controller* controller_;

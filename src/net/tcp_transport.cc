@@ -1,5 +1,6 @@
 #include "net/tcp_transport.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -108,6 +109,16 @@ Status TcpTransport::reconnect_and_resume() {
                     reply.value().args.size() == 2 ? reply.value().args[1]
                                                    : "session not resumable");
     }
+    // The OK carries the session's instance ids as the server sees
+    // them; call() consults the list to decide whether an in-flight
+    // REGISTER was applied before the connection died.
+    resumed_ids_.clear();
+    for (const std::string& id_text : reply.value().args) {
+      unsigned long long id = 0;
+      if (std::sscanf(id_text.c_str(), "%llu", &id) == 1) {
+        resumed_ids_.push_back(static_cast<core::InstanceId>(id));
+      }
+    }
     HLOG_INFO("transport") << "session resumed after " << attempt
                            << " attempt(s)";
     return Status::Ok();
@@ -122,10 +133,40 @@ Result<Message> TcpTransport::call(const Message& request, bool retry) {
   }
   auto resumed = reconnect_and_resume();
   if (!resumed.ok()) return reply;  // surface the original failure
-  // At-most-once retransmission: the failed request may or may not have
-  // been applied before the connection died; for the idempotent verbs
-  // (GET, REEVALUATE, END-of-gone-instance) this is safe, and REGISTER
-  // failures before a session exists never reach here.
+  if (request.verb == "REGISTER") {
+    // The lost REGISTER may have been applied before the connection
+    // died; retransmitting would register a duplicate instance that
+    // holds cluster reservations until the session ends. RESUME
+    // returned the session's ids as the server sees them: an id we
+    // never saw a REGISTER reply for is that orphaned registration —
+    // adopt it as the reply instead of re-sending.
+    std::vector<core::InstanceId> unaccounted;
+    for (core::InstanceId id : resumed_ids_) {
+      if (std::find(registered_ids_.begin(), registered_ids_.end(), id) ==
+          registered_ids_.end()) {
+        unaccounted.push_back(id);
+      }
+    }
+    if (unaccounted.size() == 1) {
+      return Message::ok(
+          {str_format("%llu",
+                      static_cast<unsigned long long>(unaccounted[0])),
+           session_token_});
+    }
+    if (!unaccounted.empty()) {
+      // Only one REGISTER can be in flight on this synchronous
+      // transport; several unaccounted ids mean the session is not
+      // what we think it is.
+      return Err<Message>(ErrorCode::kProtocol,
+                          "resumed session holds instances this client "
+                          "never registered");
+    }
+    // No unaccounted instance: the REGISTER never applied, so the
+    // retransmission below is the first delivery.
+  }
+  // At-most-once retransmission: for the idempotent verbs (GET,
+  // REEVALUATE, END-of-gone-instance) a duplicate is safe, and a
+  // REGISTER only reaches here once proven unapplied.
   return call_once(request);
 }
 
@@ -147,6 +188,7 @@ Result<core::InstanceId> TcpTransport::register_app(
   if (reply.value().args.size() >= 2) {
     session_token_ = reply.value().args[1];
   }
+  registered_ids_.push_back(static_cast<core::InstanceId>(id));
   return static_cast<core::InstanceId>(id);
 }
 
@@ -159,6 +201,9 @@ Status TcpTransport::unregister(core::InstanceId id) {
               {str_format("%llu", static_cast<unsigned long long>(id))}},
       /*retry=*/false);
   handlers_.erase(id);
+  registered_ids_.erase(
+      std::remove(registered_ids_.begin(), registered_ids_.end(), id),
+      registered_ids_.end());
   if (!reply.ok()) return Status(reply.error().code, reply.error().message);
   if (reply.value().verb != "OK") {
     return Status(ErrorCode::kProtocol,

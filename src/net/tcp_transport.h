@@ -61,7 +61,9 @@ class TcpTransport : public client::Transport {
  private:
   // Sends a request and reads until OK/ERR, dispatching UPDATE frames
   // encountered in between. With retry=true, a transport failure
-  // triggers reconnect+RESUME and one retransmission.
+  // triggers reconnect+RESUME and one retransmission; a REGISTER is
+  // only retransmitted when the resumed session proves the server
+  // never applied it.
   Result<Message> call(const Message& request, bool retry = true);
   Result<Message> call_once(const Message& request);
   Result<Message> read_message(bool wait);
@@ -79,6 +81,14 @@ class TcpTransport : public client::Transport {
   uint16_t port_ = 0;
   std::string session_token_;
   ReconnectPolicy policy_;
+  // Ids this transport saw a REGISTER reply for (minus unregisters).
+  // Compared against the ids RESUME returns to detect a REGISTER that
+  // the server applied but whose reply was lost with the connection —
+  // retransmitting it would register a duplicate instance.
+  std::vector<core::InstanceId> registered_ids_;
+  // Instance ids of the session as reported by the last successful
+  // RESUME reply.
+  std::vector<core::InstanceId> resumed_ids_;
   std::map<core::InstanceId, UpdateHandler> handlers_;
   // Updates that arrived before any handler was installed (the server
   // pushes the initial snapshot during REGISTER, before the client

@@ -197,8 +197,20 @@ std::string Persistence::encode_event(const core::ControllerEvent& event) const 
   return {};
 }
 
+void Persistence::append_journal(const std::string& payload) {
+  // Every journal opens with the generation of the snapshot it extends;
+  // recovery uses it to discard a journal that predates the snapshot on
+  // disk (a crash inside snapshot_now() between the rename and the
+  // truncation leaves exactly that pair behind).
+  if (!gen_stamped_) {
+    journal_.append(list_build({"GEN", format_u64(generation_)}));
+    gen_stamped_ = true;
+  }
+  journal_.append(payload);
+}
+
 void Persistence::on_controller_event(const core::ControllerEvent& event) {
-  journal_.append(encode_event(event));
+  append_journal(encode_event(event));
 }
 
 void Persistence::on_epoch_commit() {
@@ -248,7 +260,7 @@ void Persistence::record_session(const std::string& token,
                                  std::vector<core::InstanceId> instances) {
   std::vector<std::string> ids;
   for (core::InstanceId id : instances) ids.push_back(format_u64(id));
-  journal_.append(list_build({"SESSION", token, list_build(ids)}));
+  append_journal(list_build({"SESSION", token, list_build(ids)}));
   if (instances.empty()) {
     sessions_.erase(token);
   } else {
@@ -286,7 +298,9 @@ Status Persistence::snapshot_now() {
     ++count;
   };
 
+  const uint64_t next_generation = generation_ + 1;
   emit(list_build({"SNAP", str_format("%d", kSnapshotVersion),
+                   format_u64(next_generation),
                    format_u64(controller_->next_instance_id()),
                    format_u64(controller_->reconfigurations()),
                    format_number(controller_->now())}));
@@ -367,11 +381,15 @@ Status Persistence::snapshot_now() {
   Status dir_sync = fsync_path(config_.dir);
   if (!dir_sync.ok()) return dir_sync;
 
-  // The journal's content is now redundant.
+  // The journal's content is now redundant. If the process dies before
+  // the truncation lands, the next recovery sees the old GEN record and
+  // discards the journal as stale rather than replaying it.
   if (journal_.is_open()) {
     Status reset = journal_.reset();
     if (!reset.ok()) return reset;
   }
+  generation_ = next_generation;
+  gen_stamped_ = false;
   have_snapshot_ = true;
   epochs_since_snapshot_ = 0;
   epochs_since_sync_ = 0;
@@ -412,12 +430,43 @@ Status Persistence::recover() {
   Status loaded = load_snapshot();
   if (!loaded.ok()) return loaded;
 
+  bool gen_checked = false;
+  bool journal_stale = false;
   auto replayed = Journal::replay(
       journal_path(),
-      [this](const std::string& payload) {
+      [this, &gen_checked, &journal_stale](const std::string& payload) {
         auto fields = list_parse(payload);
         if (!fields.ok() || fields->empty()) {
           return Status(corrupt("unparseable journal record: " + payload));
+        }
+        if (!gen_checked) {
+          // The first record of every journal names the snapshot
+          // generation it extends.
+          if ((*fields)[0] != "GEN" || fields->size() != 2) {
+            return Status(
+                corrupt("journal missing its GEN header: " + payload));
+          }
+          uint64_t generation = 0;
+          if (!parse_u64((*fields)[1], &generation) ||
+              generation > generation_) {
+            return Status(corrupt(str_format(
+                "journal generation %s does not match snapshot generation "
+                "%llu",
+                (*fields)[1].c_str(),
+                static_cast<unsigned long long>(generation_))));
+          }
+          gen_checked = true;
+          if (generation < generation_) {
+            // Compaction crashed between the snapshot rename and the
+            // journal truncation: this journal predates the snapshot and
+            // its content is already part of it. Stop replaying; the
+            // caller discards the file. The error code is a sentinel —
+            // it never escapes recover().
+            journal_stale = true;
+            return Status(
+                Error{ErrorCode::kCorruption, "stale pre-snapshot journal"});
+          }
+          return Status::Ok();
         }
         if ((*fields)[0] == "SESSION") {
           if (fields->size() != 3) {
@@ -447,13 +496,26 @@ Status Persistence::recover() {
       },
       /*repair=*/true);
   if (!replayed.ok()) {
-    return Status(replayed.error().code, replayed.error().message);
+    if (!journal_stale) {
+      return Status(replayed.error().code, replayed.error().message);
+    }
+    // No event of the stale journal was applied: the GEN check fires on
+    // its first record. Empty the file so appends restart cleanly.
+    if (::truncate(journal_path().c_str(), 0) != 0) {
+      return errno_error("truncate", journal_path());
+    }
+    recovery_.journal_discarded_stale = true;
+    recovery_.recovered = true;
+    journal_live_bytes_ = 0;
+    gen_stamped_ = false;
+  } else {
+    recovery_.recovered = true;
+    recovery_.journal_records = replayed->records;
+    recovery_.journal_truncated = replayed->truncated;
+    journal_live_bytes_ = replayed->valid_bytes;
+    // A non-empty journal already carries its GEN header.
+    gen_stamped_ = replayed->records > 0;
   }
-
-  recovery_.recovered = true;
-  recovery_.journal_records = replayed->records;
-  recovery_.journal_truncated = replayed->truncated;
-  journal_live_bytes_ = replayed->valid_bytes;
   // Swap the replay-scratch time source for one that holds the final
   // recorded time by value, so it stays valid if this object dies
   // before the controller.
@@ -580,14 +642,15 @@ Status Persistence::apply_snapshot_record(const std::string& payload) {
   }
 
   if (tag == "SNAP") {
-    if (fields.size() != 5) return corrupt("bad SNAP header");
+    if (fields.size() != 6) return corrupt("bad SNAP header");
     long long version = 0;
     if (!parse_int64(fields[1], &version) || version != kSnapshotVersion) {
       return corrupt("unsupported snapshot version: " + fields[1]);
     }
-    if (!parse_u64(fields[2], &snapshot_next_id_) ||
-        !parse_u64(fields[3], &snapshot_reconfigs_) ||
-        !parse_double(fields[4], &replay_time_)) {
+    if (!parse_u64(fields[2], &generation_) ||
+        !parse_u64(fields[3], &snapshot_next_id_) ||
+        !parse_u64(fields[4], &snapshot_reconfigs_) ||
+        !parse_double(fields[5], &replay_time_)) {
       return corrupt("bad SNAP header: " + payload);
     }
     return Status::Ok();

@@ -15,8 +15,13 @@
 // (topology, pool occupancy, instances with their choices and
 // placements, client sessions) is serialized to a fresh snapshot file —
 // written to a temp path, fsynced, renamed — and the journal is
-// truncated. The first commit after a cold start writes the baseline
-// snapshot, which is what captures the cluster definition.
+// truncated. Snapshots carry a generation counter in their SNAP header
+// and every journal opens with a GEN record naming the generation it
+// extends, so a crash between the rename and the truncation (new
+// snapshot, stale journal) is recognized at recovery and the stale
+// journal is discarded instead of replayed. The first commit after a
+// cold start writes the baseline snapshot, which is what captures the
+// cluster definition.
 //
 // Durability window. Journal bytes are written every epoch (they survive
 // a crash of the server process immediately) and fsynced by a background
@@ -68,6 +73,10 @@ struct RecoveryReport {
   uint64_t snapshot_records = 0;
   uint64_t journal_records = 0;
   bool journal_truncated = false;  // a torn/corrupt tail was cut off
+  // The journal predated the snapshot (crash during compaction between
+  // the snapshot rename and the journal truncation) and was discarded:
+  // everything in it is contained in the snapshot that replaced it.
+  bool journal_discarded_stale = false;
 };
 
 // A resumable client session: the instances a connection registered,
@@ -128,6 +137,9 @@ class Persistence final : public core::EventSink {
   Status apply_snapshot_record(const std::string& payload);
   Status replay_event(const std::vector<std::string>& fields);
   std::string encode_event(const core::ControllerEvent& event) const;
+  // Appends to the journal, stamping the GEN header record first when
+  // the journal is (logically) empty.
+  void append_journal(const std::string& payload);
 
   PersistConfig config_;
   core::Controller* controller_;
@@ -136,6 +148,13 @@ class Persistence final : public core::EventSink {
   RecoveryReport recovery_;
   Status last_error_;
   bool have_snapshot_ = false;
+  // Generation of the snapshot on disk (0 = none yet). Each snapshot
+  // carries its generation in the SNAP header, and each journal opens
+  // with a GEN record naming the generation it extends, so recovery can
+  // tell a live journal tail from a stale pre-compaction leftover.
+  uint64_t generation_ = 0;
+  // Whether the current journal already carries its GEN header record.
+  bool gen_stamped_ = false;
   uint64_t epochs_since_snapshot_ = 0;
   uint64_t epochs_since_sync_ = 0;
   // Bytes committed to the journal since the last compaction (the live

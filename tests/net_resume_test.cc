@@ -212,6 +212,41 @@ TEST_F(ResumeTest, ResumeAcrossServerRestartWithPersistence) {
   EXPECT_EQ(server_->parked_session_count(), 0u);
 }
 
+TEST_F(ResumeTest, ResumePrunesDepartedInstancesFromTheSession) {
+  start_server(/*with_persistence=*/true);
+  TcpTransport transport;
+  ASSERT_TRUE(transport.connect("localhost", port_).ok());
+  auto id = transport.register_app(client_bundle(1));
+  ASSERT_TRUE(id.ok());
+  const std::string token = transport.session_token();
+  ASSERT_FALSE(token.empty());
+
+  // Corrupt the session sideways: claim an instance id the controller
+  // will not know after recovery, as if it departed after the session
+  // record was journaled.
+  {
+    core::Controller::EpochScope epoch(*controller_);
+    persistence_->record_session(token, {id.value(), 999});
+  }
+  ASSERT_TRUE(persistence_->flush().ok());
+
+  const uint16_t old_port = port_;
+  destroy_server();
+  start_server(/*with_persistence=*/true, old_port);
+  ASSERT_TRUE(persistence_->recovery().recovered);
+  EXPECT_EQ(server_->parked_session_count(), 1u);
+
+  // The next call resumes the session; the dead id must not survive it.
+  auto option = transport.get_variable(id.value(), "where.option");
+  ASSERT_TRUE(option.ok()) << option.error().to_string();
+  EXPECT_EQ(option.value(), "QS");
+
+  stop_server();
+  const auto& sessions = persistence_->sessions();
+  ASSERT_EQ(sessions.count(token), 1u);
+  EXPECT_EQ(sessions.at(token), std::vector<core::InstanceId>{id.value()});
+}
+
 TEST_F(ResumeTest, ClientDeathMidUpdateSynthesizesDepartAndReevaluates) {
   start_server(/*with_persistence=*/false);
   std::vector<std::unique_ptr<TcpTransport>> transports;

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "core/controller.h"
@@ -222,6 +223,57 @@ TEST_F(RecoveryTest, TornJournalTailIsDiscardedNotFatal) {
   ASSERT_TRUE(persistence2.ok());
   EXPECT_FALSE((*persistence2)->recovery().journal_truncated);
   EXPECT_EQ(fingerprint(recovered2), pre_tail);
+}
+
+TEST_F(RecoveryTest, StaleJournalAfterCompactionCrashIsDiscardedNotFatal) {
+  // Simulates a crash inside snapshot compaction between the snapshot
+  // rename and the journal truncation: disk holds the NEW snapshot plus
+  // the stale pre-snapshot journal. The journal's REG records describe
+  // registrations the snapshot already contains; replaying them would
+  // trip the id-divergence check. Recovery must recognize the journal
+  // as belonging to an older generation and discard it.
+  std::string pre_crash;
+  std::string stale_journal;
+  {
+    core::Controller live;
+    install_clock(live);
+    auto persistence = Persistence::open(config(), live);
+    ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+    drive({&live}, 1, 7);
+    ASSERT_TRUE((*persistence)->flush().ok());
+    {
+      std::ifstream in(dir_ + "/journal.wal", std::ios::binary);
+      ASSERT_TRUE(in.good());
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      stale_journal = buffer.str();
+    }
+    ASSERT_FALSE(stale_journal.empty());
+    ASSERT_TRUE((*persistence)->snapshot_now().ok());
+    pre_crash = fingerprint(live);
+  }
+  // The crash: the snapshot landed, the truncation never did.
+  {
+    std::ofstream out(dir_ + "/journal.wal",
+                      std::ios::binary | std::ios::trunc);
+    out << stale_journal;
+  }
+
+  core::Controller recovered;
+  auto persistence = Persistence::open(config(), recovered);
+  ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+  EXPECT_TRUE((*persistence)->recovery().journal_discarded_stale);
+  EXPECT_EQ((*persistence)->recovery().journal_records, 0u);
+  EXPECT_EQ(fingerprint(recovered), pre_crash);
+
+  // The discard emptied the file: a second recovery starts clean and
+  // sees only the first recovery's own verification pass.
+  persistence.value().reset();
+  core::Controller recovered2;
+  auto persistence2 = Persistence::open(config(), recovered2);
+  ASSERT_TRUE(persistence2.ok()) << persistence2.error().to_string();
+  EXPECT_FALSE((*persistence2)->recovery().journal_discarded_stale);
+  EXPECT_EQ(fingerprint(recovered2), pre_crash);
 }
 
 TEST_F(RecoveryTest, SessionsSurviveRecovery) {

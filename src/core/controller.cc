@@ -38,6 +38,14 @@ double Controller::now() const {
   return time_source_ ? time_source_() : 0.0;
 }
 
+void Controller::assert_owner() const {
+  // Fires only while a serve loop is bound (see bind_owner_thread): a
+  // controller entry from any other thread is a data race in the
+  // making, not a recoverable condition.
+  HARMONY_ASSERT_MSG(on_owner_thread(),
+                     "controller entered off its owner thread");
+}
+
 Controller::EpochScope::EpochScope(Controller& controller)
     : controller_(controller) {
   controller_.begin_epoch();
@@ -149,6 +157,7 @@ Status Controller::finalize_cluster() {
 Result<InstanceId> Controller::register_application(
     const std::vector<rsl::BundleSpec>& bundles,
     const std::string& script_text) {
+  assert_owner();
   if (bundles.empty()) {
     return Err<InstanceId>(ErrorCode::kInvalidArgument,
                            "application has no bundles");
@@ -220,6 +229,7 @@ Result<InstanceId> Controller::register_script(const std::string& rsl_script) {
 }
 
 Status Controller::unregister(InstanceId id) {
+  assert_owner();
   auto it = std::find_if(state_.instances.begin(), state_.instances.end(),
                          [id](const InstanceState& i) { return i.id == id; });
   if (it == state_.instances.end()) {
@@ -257,6 +267,7 @@ Status Controller::unregister(InstanceId id) {
 }
 
 Status Controller::reevaluate() {
+  assert_owner();
   if (!cluster_finalized()) {
     return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
   }
@@ -272,6 +283,7 @@ Status Controller::reevaluate() {
 
 Status Controller::set_option(InstanceId id, const std::string& bundle,
                               const OptionChoice& choice) {
+  assert_owner();
   if (!cluster_finalized()) {
     return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
   }
@@ -291,6 +303,7 @@ Status Controller::set_option(InstanceId id, const std::string& bundle,
 }
 
 Status Controller::set_node_online(const std::string& hostname, bool online) {
+  assert_owner();
   if (!cluster_finalized()) {
     return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
   }
@@ -357,6 +370,7 @@ Status Controller::set_node_online(const std::string& hostname, bool online) {
 
 Status Controller::report_external_load(const std::string& hostname,
                                         int concurrent_tasks) {
+  assert_owner();
   if (!cluster_finalized()) {
     return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
   }
@@ -490,6 +504,7 @@ void Controller::restore_counters(InstanceId next_instance_id,
 }
 
 Status Controller::subscribe(InstanceId id, UpdateHandler handler) {
+  assert_owner();
   if (state_.find_instance(id) == nullptr) {
     return Status(ErrorCode::kNotFound, "no such instance");
   }
@@ -510,10 +525,28 @@ Status Controller::subscribe(InstanceId id, UpdateHandler handler) {
 }
 
 void Controller::flush_pending_vars() {
+  assert_owner();
+  if (pending_dirty_.empty()) return;
+  // Only instances with something queued are visited: the flush runs at
+  // the close of every epoch (every network message under the TCP
+  // server), so it must not scale with the number of live instances.
   // Deterministic delivery order: instance id, then queue order.
-  for (auto& [id, updates] : pending_vars_) {
+  std::vector<InstanceId> dirty;
+  dirty.swap(pending_dirty_);
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  std::vector<InstanceId> undelivered;
+  for (InstanceId id : dirty) {
+    auto queued = pending_vars_.find(id);
+    if (queued == pending_vars_.end() || queued->second.empty()) continue;
+    auto& updates = queued->second;
     auto handler = subscribers_.find(id);
-    if (handler == subscribers_.end()) continue;
+    if (handler == subscribers_.end()) {
+      // No subscriber yet (the arrival decision precedes the client
+      // library's subscribe): keep the updates queued.
+      undelivered.push_back(id);
+      continue;
+    }
     if (!handler->second) {
       // Empty handler = subscription parked (the TCP server keeps the
       // slot while a resumable client is disconnected). Intermediate
@@ -524,10 +557,13 @@ void Controller::flush_pending_vars() {
     for (const auto& [name, value] : updates) handler->second(name, value);
     updates.clear();
   }
+  pending_dirty_.insert(pending_dirty_.end(), undelivered.begin(),
+                        undelivered.end());
 }
 
 Result<std::string> Controller::get_variable(InstanceId id,
                                              const std::string& name) const {
+  assert_owner();
   const InstanceState* instance = state_.find_instance(id);
   if (instance == nullptr) {
     return Err<std::string>(ErrorCode::kNotFound, "no such instance");
@@ -587,13 +623,14 @@ void Controller::queue_updates(const InstanceState& instance,
     if (decision.instance != instance.id || !decision.changed) continue;
     const BundleState* bundle = instance.find_bundle(decision.bundle);
     if (bundle == nullptr) continue;
+    auto& queue = pending_vars_[instance.id];
+    if (queue.empty()) pending_dirty_.push_back(instance.id);
     if (!bundle->configured) {
       // Displaced with nowhere to go: the application learns its bundle
       // currently has no configuration.
-      pending_vars_[instance.id].emplace_back(decision.bundle, "");
+      queue.emplace_back(decision.bundle, "");
       continue;
     }
-    auto& queue = pending_vars_[instance.id];
     queue.emplace_back(decision.bundle, bundle->choice.option);
     for (const auto& [var, value] : bundle->choice.variables) {
       queue.emplace_back(var, format_number(value));
@@ -638,9 +675,11 @@ void Controller::apply_decisions(const std::vector<Decision>& decisions) {
                       static_cast<double>(reconfigurations_));
     }
   }
-  auto objective = optimizer_->objective_value(state_);
-  if (objective.ok()) {
-    metrics_.record("controller.objective", now(), objective.value());
+  if (config_.record_objective_metric) {
+    auto objective = optimizer_->objective_value(state_);
+    if (objective.ok()) {
+      metrics_.record("controller.objective", now(), objective.value());
+    }
   }
   // Namespace content changed only if something was republished; the
   // fresh context reaches the optimizer, whose memoized predictions

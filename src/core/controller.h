@@ -6,11 +6,13 @@
 // the prototype's flushPendingVars() call.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/namespace.h"
@@ -35,6 +37,11 @@ struct ControllerConfig {
   // waiting for an explicit flush (convenient for tests; the prototype
   // buffers until flushPendingVars()).
   bool auto_flush = true;
+  // Record the global objective as a metric after every applied epoch.
+  // The evaluation is O(live instances); front ends driving thousands
+  // of instances through steering epochs turn it off so an O(1) input
+  // stays an O(1) epoch.
+  bool record_objective_metric = true;
 };
 
 // One journal-able controller input: everything the outside world can
@@ -107,6 +114,28 @@ class Controller {
   // called implicitly by the first registration.
   Status finalize_cluster();
   bool cluster_finalized() const { return state_.pool != nullptr; }
+
+  // --- threading --------------------------------------------------------
+  // The controller is single-threaded by design; the sharded network
+  // front end never calls in from its I/O threads — decoded messages
+  // cross one mailbox drained by a single thread, which binds itself
+  // here. While bound, every mutating (or namespace-reading) entry
+  // point asserts it runs on that thread, turning an accidental
+  // cross-thread call into a loud failure instead of a data race.
+  // Unbound (the default) means no checking: plain single-threaded
+  // embedders and tests are unaffected.
+  void bind_owner_thread() {
+    owner_thread_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
+  }
+  void unbind_owner_thread() {
+    owner_thread_.store(std::thread::id{}, std::memory_order_relaxed);
+  }
+  bool on_owner_thread() const {
+    auto owner = owner_thread_.load(std::memory_order_relaxed);
+    return owner == std::thread::id{} ||
+           owner == std::this_thread::get_id();
+  }
 
   // --- time -------------------------------------------------------------
   // Experiments install the simulator clock; defaults to a counter that
@@ -221,6 +250,7 @@ class Controller {
   Optimizer& optimizer() { return *optimizer_; }
 
  private:
+  void assert_owner() const;
   void publish_instance(const InstanceState& instance);
   void queue_updates(const InstanceState& instance,
                      const std::vector<Decision>& decisions);
@@ -242,6 +272,8 @@ class Controller {
   std::unique_ptr<Optimizer> optimizer_;
   std::function<double()> time_source_;
   EventSink* sink_ = nullptr;
+  // Owner thread while a serve loop is bound; default id = unchecked.
+  std::atomic<std::thread::id> owner_thread_{};
   InstanceId next_instance_id_ = 1;
   uint64_t reconfigurations_ = 0;
 
@@ -264,6 +296,9 @@ class Controller {
   std::map<InstanceId, UpdateHandler> subscribers_;
   std::map<InstanceId, std::vector<std::pair<std::string, std::string>>>
       pending_vars_;
+  // Instances with a non-empty pending queue (plus at most a few stale
+  // ids); lets the per-epoch flush skip the thousands of quiet ones.
+  std::vector<InstanceId> pending_dirty_;
 };
 
 }  // namespace harmony::core

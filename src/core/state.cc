@@ -65,13 +65,22 @@ std::string InstanceState::path() const {
 }
 
 InstanceState* SystemState::find_instance(InstanceId id) {
-  for (auto& instance : instances) {
-    if (instance.id == id) return &instance;
-  }
-  return nullptr;
+  return const_cast<InstanceState*>(
+      static_cast<const SystemState*>(this)->find_instance(id));
 }
 
 const InstanceState* SystemState::find_instance(InstanceId id) const {
+  // Ids are assigned monotonically and instances are appended in
+  // arrival order, so the vector stays sorted by id; every GET/SET the
+  // network front end dispatches lands here, which makes the lookup
+  // latency-critical at swarm scale. The scan fallback covers any
+  // restore path that might break the ordering.
+  auto it = std::lower_bound(
+      instances.begin(), instances.end(), id,
+      [](const InstanceState& instance, InstanceId want) {
+        return instance.id < want;
+      });
+  if (it != instances.end() && it->id == id) return &*it;
   for (const auto& instance : instances) {
     if (instance.id == id) return &instance;
   }

@@ -1,0 +1,422 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace harmony::net {
+
+namespace {
+
+// epoll tags: connection ids start at 2 (the server's id generator is
+// seeded accordingly), leaving 0/1 for the shard's own fds.
+constexpr uint64_t kWakeTag = 0;
+constexpr uint64_t kListenTag = 1;
+constexpr int kMaxIov = 64;
+
+}  // namespace
+
+void OutboundRing::append(std::string chunk) {
+  if (chunk.empty()) return;
+  bytes_ += chunk.size();
+  chunks_.push_back(std::move(chunk));
+}
+
+Result<bool> OutboundRing::flush(const Fd& fd) {
+  while (!chunks_.empty()) {
+    iovec iov[kMaxIov];
+    int iovcnt = 0;
+    size_t offset = head_;
+    for (auto it = chunks_.begin(); it != chunks_.end() && iovcnt < kMaxIov;
+         ++it) {
+      iov[iovcnt].iov_base = const_cast<char*>(it->data() + offset);
+      iov[iovcnt].iov_len = it->size() - offset;
+      ++iovcnt;
+      offset = 0;
+    }
+    // sendmsg rather than writev for MSG_NOSIGNAL: a peer that vanished
+    // mid-flush must surface as EPIPE, not kill the process.
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovcnt;
+    ssize_t n = ::sendmsg(fd.get(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return false;
+      }
+      return Err<bool>(ErrorCode::kTransport, std::strerror(errno));
+    }
+    size_t consumed = static_cast<size_t>(n);
+    bytes_ -= consumed;
+    while (consumed > 0) {
+      const size_t remaining = chunks_.front().size() - head_;
+      if (consumed >= remaining) {
+        consumed -= remaining;
+        chunks_.pop_front();
+        head_ = 0;
+      } else {
+        head_ += consumed;
+        consumed = 0;
+      }
+    }
+  }
+  return true;
+}
+
+IoShard::IoShard(const ShardOptions& options) : options_(options) {
+  HARMONY_ASSERT(options_.mailbox != nullptr);
+  HARMONY_ASSERT(options_.next_conn_id != nullptr);
+}
+
+IoShard::~IoShard() {
+  request_stop();
+  wake();
+  join();
+  // Sockets handed over but never adopted still own their fds.
+  for (auto& command : commands_) {
+    if (command.kind == Command::Kind::kAdopt && command.fd >= 0) {
+      ::close(command.fd);
+    }
+  }
+}
+
+Status IoShard::start(Fd listener) {
+  epoll_ = Fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) {
+    return Status(ErrorCode::kTransport,
+                  std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  wakeup_ = Fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wakeup_.valid()) {
+    return Status(ErrorCode::kTransport,
+                  std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event wake_event{};
+  wake_event.events = EPOLLIN;  // level-triggered: wakeups are never lost
+  wake_event.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wakeup_.get(), &wake_event) !=
+      0) {
+    return Status(ErrorCode::kTransport,
+                  std::string("epoll_ctl: ") + std::strerror(errno));
+  }
+  listener_ = std::move(listener);
+  if (listener_.valid()) {
+    epoll_event listen_event{};
+    listen_event.events = EPOLLIN;
+    listen_event.data.u64 = kListenTag;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.get(),
+                    &listen_event) != 0) {
+      return Status(ErrorCode::kTransport,
+                    std::string("epoll_ctl: ") + std::strerror(errno));
+    }
+    reserve_ = Fd(::open("/dev/null", O_RDONLY | O_CLOEXEC));
+  }
+  thread_ = std::thread([this] { loop(); });
+  return Status::Ok();
+}
+
+void IoShard::request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+void IoShard::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void IoShard::wake() {
+  if (!wakeup_.valid()) return;
+  uint64_t one = 1;
+  ssize_t ignored = ::write(wakeup_.get(), &one, sizeof(one));
+  (void)ignored;
+}
+
+void IoShard::post_send(uint64_t conn, std::string data) {
+  std::lock_guard<std::mutex> lock(command_mutex_);
+  Command command;
+  command.kind = Command::Kind::kSend;
+  command.conn = conn;
+  command.data = std::move(data);
+  commands_.push_back(std::move(command));
+}
+
+void IoShard::post_adopt(uint64_t conn, int raw_fd) {
+  {
+    std::lock_guard<std::mutex> lock(command_mutex_);
+    Command command;
+    command.kind = Command::Kind::kAdopt;
+    command.conn = conn;
+    command.fd = raw_fd;
+    commands_.push_back(std::move(command));
+  }
+  wake();
+}
+
+void IoShard::loop() {
+  std::vector<epoll_event> events(256);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    int n = ::epoll_wait(epoll_.get(), events.data(),
+                         static_cast<int>(events.size()), 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      HLOG_ERROR("shard") << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    drain_commands();
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        drain_wakeups();
+        continue;
+      }
+      if (tag == kListenTag) {
+        accept_pending();
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      const uint32_t ev = events[i].events;
+      if (ev & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        if (!read_conn(tag, it->second)) continue;
+      }
+      if (ev & EPOLLOUT) flush_conn(tag, it->second);
+    }
+  }
+  // Shutdown: drop the slice without synthesizing kClosed events — the
+  // server is tearing the whole front end down and parks/ends sessions
+  // itself.
+  if (options_.connection_count != nullptr) {
+    options_.connection_count->fetch_sub(conns_.size(),
+                                         std::memory_order_relaxed);
+  }
+  conns_.clear();
+}
+
+void IoShard::drain_commands() {
+  std::vector<Command> commands;
+  {
+    std::lock_guard<std::mutex> lock(command_mutex_);
+    commands.swap(commands_);
+  }
+  for (auto& command : commands) {
+    if (command.kind == Command::Kind::kAdopt) {
+      adopt(command.conn, Fd(command.fd));
+      continue;
+    }
+    auto it = conns_.find(command.conn);
+    if (it == conns_.end()) continue;  // raced with a close; bytes dropped
+    enqueue_output(command.conn, it->second, std::move(command.data));
+  }
+}
+
+void IoShard::drain_wakeups() {
+  uint64_t count = 0;
+  while (::read(wakeup_.get(), &count, sizeof(count)) > 0) {
+  }
+}
+
+void IoShard::accept_pending() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto accepted = accept_connection(listener_);
+    if (!accepted.ok()) {
+      if (accepted.error().code == ErrorCode::kTimeout) return;  // drained
+      if (accepted.error().code == ErrorCode::kCapacity) {
+        // Out of fds. Shed the pending connection instead of leaving it
+        // in the backlog (the peer would hang, and a level-triggered
+        // listener would spin).
+        shed_pending_connection();
+        if (listener_paused_) return;
+        continue;
+      }
+      HLOG_WARN("shard") << "accept: " << accepted.error().message;
+      return;
+    }
+    Fd fd = std::move(accepted).value();
+    (void)set_nonblocking(fd, true);
+    if (options_.sndbuf_bytes > 0) {
+      (void)::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF,
+                         &options_.sndbuf_bytes,
+                         sizeof(options_.sndbuf_bytes));
+    }
+    const uint64_t id =
+        options_.next_conn_id->fetch_add(1, std::memory_order_relaxed);
+    const size_t shard_count =
+        options_.peers != nullptr ? options_.peers->size() : 1;
+    const int target =
+        shard_count <= 1
+            ? options_.index
+            : static_cast<int>(options_.accept_cursor->fetch_add(
+                                   1, std::memory_order_relaxed) %
+                               shard_count);
+    // kAccepted is pushed before the socket can produce any kMessage
+    // (the owning shard only reads it after the adopt below), so the
+    // controller always learns of a connection before its traffic.
+    NetEvent event;
+    event.kind = NetEvent::Kind::kAccepted;
+    event.conn = id;
+    event.shard = target;
+    if (!options_.mailbox->push(std::move(event))) return;  // shutting down
+    if (target == options_.index) {
+      adopt(id, std::move(fd));
+    } else {
+      (*options_.peers)[target]->post_adopt(id, fd.release());
+    }
+  }
+}
+
+void IoShard::adopt(uint64_t id, Fd fd) {
+  if (!fd.valid()) return;
+  epoll_event event{};
+  event.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+  event.data.u64 = id;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd.get(), &event) != 0) {
+    HLOG_WARN("shard") << "epoll add: " << std::strerror(errno);
+    NetEvent closed;
+    closed.kind = NetEvent::Kind::kClosed;
+    closed.conn = id;
+    closed.shard = options_.index;
+    options_.mailbox->push(std::move(closed));
+    return;
+  }
+  Conn conn;
+  conn.fd = std::move(fd);
+  conns_.emplace(id, std::move(conn));
+  if (options_.connection_count != nullptr) {
+    options_.connection_count->fetch_add(1, std::memory_order_relaxed);
+  }
+  HLOG_DEBUG("shard") << "shard " << options_.index << " adopted conn " << id;
+}
+
+bool IoShard::read_conn(uint64_t id, Conn& conn) {
+  char buffer[16384];
+  while (true) {
+    auto n = read_some(conn.fd, buffer, sizeof(buffer));
+    if (!n.ok()) {
+      close_conn(id, /*overflow=*/false);
+      return false;
+    }
+    if (n.value() == 0) break;  // EAGAIN: the edge is fully drained
+    conn.inbound.feed(std::string_view(buffer, n.value()));
+  }
+  while (true) {
+    auto frame = conn.inbound.next_frame();
+    if (!frame.ok()) {
+      HLOG_WARN("shard") << "protocol violation: " << frame.error().message;
+      close_conn(id, /*overflow=*/false);
+      return false;
+    }
+    if (!frame.value().has_value()) break;
+    auto message = Message::decode(*frame.value());
+    if (!message.ok()) {
+      // Malformed payload inside a well-formed frame: the shard answers
+      // ERR itself (no controller state involved) and keeps reading.
+      const std::string reply = encode_frame(
+          Message::err(message.error().code, message.error().message)
+              .encode());
+      if (!enqueue_output(id, conn, reply)) return false;
+      continue;
+    }
+    NetEvent event;
+    event.kind = NetEvent::Kind::kMessage;
+    event.conn = id;
+    event.shard = options_.index;
+    event.message = std::move(message).value();
+    if (!options_.mailbox->push(std::move(event))) return true;
+  }
+  return true;
+}
+
+bool IoShard::enqueue_output(uint64_t id, Conn& conn, std::string data) {
+  conn.outbound.append(std::move(data));
+  if (conn.outbound.bytes() > options_.high_water_bytes) {
+    HLOG_WARN("shard") << "conn " << id
+                       << ": slow consumer over high-water mark ("
+                       << conn.outbound.bytes() << " bytes); disconnecting";
+    close_conn(id, /*overflow=*/true);
+    return false;
+  }
+  return flush_conn(id, conn);
+}
+
+bool IoShard::flush_conn(uint64_t id, Conn& conn) {
+  auto drained = conn.outbound.flush(conn.fd);
+  if (!drained.ok()) {
+    close_conn(id, /*overflow=*/false);
+    return false;
+  }
+  set_write_interest(id, conn, !drained.value());
+  return true;
+}
+
+void IoShard::set_write_interest(uint64_t id, Conn& conn, bool want) {
+  if (conn.want_write == want) return;
+  conn.want_write = want;
+  epoll_event event{};
+  event.events =
+      EPOLLIN | EPOLLRDHUP | EPOLLET | (want ? EPOLLOUT : 0u);
+  event.data.u64 = id;
+  (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn.fd.get(), &event);
+}
+
+void IoShard::close_conn(uint64_t id, bool overflow) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, it->second.fd.get(),
+                    nullptr);
+  conns_.erase(it);
+  if (options_.connection_count != nullptr) {
+    options_.connection_count->fetch_sub(1, std::memory_order_relaxed);
+  }
+  resume_listener_if_paused();
+  NetEvent event;
+  event.kind = NetEvent::Kind::kClosed;
+  event.conn = id;
+  event.shard = options_.index;
+  event.overflow = overflow;
+  options_.mailbox->push(std::move(event));
+}
+
+void IoShard::shed_pending_connection() {
+  if (!reserve_.valid()) {
+    // No headroom left at all: stop watching the listener until a
+    // connection closes, so the level-triggered loop does not spin.
+    HLOG_WARN("shard")
+        << "out of file descriptors and no reserve; pausing accepts";
+    pause_listener();
+    return;
+  }
+  reserve_.close();
+  int fd = ::accept(listener_.get(), nullptr, nullptr);
+  if (fd >= 0) ::close(fd);
+  reserve_ = Fd(::open("/dev/null", O_RDONLY | O_CLOEXEC));
+  HLOG_WARN("shard")
+      << "out of file descriptors; shed one pending connection";
+}
+
+void IoShard::pause_listener() {
+  if (listener_paused_ || !listener_.valid()) return;
+  (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, listener_.get(), nullptr);
+  listener_paused_ = true;
+}
+
+void IoShard::resume_listener_if_paused() {
+  if (!listener_paused_) return;
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.get(), &event) ==
+      0) {
+    listener_paused_ = false;
+  }
+  if (!reserve_.valid()) {
+    reserve_ = Fd(::open("/dev/null", O_RDONLY | O_CLOEXEC));
+  }
+}
+
+}  // namespace harmony::net

@@ -1,0 +1,139 @@
+// One I/O shard of the sharded network front end: an edge-triggered
+// epoll loop on its own thread, owning a slice of the accepted
+// connections. The shard does everything that does not touch controller
+// state — accept, framing, parse, partial writes, slow-consumer
+// cutoff — and forwards decoded messages to the controller thread
+// through the bounded mailbox. The controller answers by posting
+// ready-to-send bytes to the shard's command queue (one batch per
+// connection per drain cycle, flushed with one writev).
+//
+// Shard 0 owns the listening socket and deals accepted connections
+// round-robin across all shards; a socket destined for a sibling is
+// handed over through that shard's command queue, so each fd is only
+// ever touched by the one thread that owns it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "net/framing.h"
+#include "net/mailbox.h"
+#include "net/tcp.h"
+
+namespace harmony::net {
+
+// Outbound bytes a connection still owes the wire, kept as the chunks
+// the controller shipped (one chunk = one coalesced epoch of frames)
+// and flushed with scatter-gather writev — no copy into a flat buffer,
+// no per-frame write(2).
+class OutboundRing {
+ public:
+  void append(std::string chunk);
+  bool empty() const { return chunks_.empty(); }
+  size_t bytes() const { return bytes_; }
+  // Writes as much as the socket accepts. Returns true when fully
+  // drained, false when the socket would block; transport errors
+  // propagate.
+  Result<bool> flush(const Fd& fd);
+
+ private:
+  std::deque<std::string> chunks_;
+  size_t head_ = 0;  // consumed prefix of chunks_.front()
+  size_t bytes_ = 0;
+};
+
+class IoShard;
+
+struct ShardOptions {
+  int index = 0;
+  size_t high_water_bytes = 8u << 20;
+  int sndbuf_bytes = 0;  // 0 = kernel default
+  Mailbox* mailbox = nullptr;
+  // Shared across shards: live-connection gauge, connection id
+  // generator, round-robin accept cursor, and the shard roster for
+  // accept handoff. The roster must be fully populated before any
+  // shard thread starts.
+  std::atomic<size_t>* connection_count = nullptr;
+  std::atomic<uint64_t>* next_conn_id = nullptr;
+  std::atomic<uint64_t>* accept_cursor = nullptr;
+  const std::vector<std::unique_ptr<IoShard>>* peers = nullptr;
+};
+
+class IoShard {
+ public:
+  explicit IoShard(const ShardOptions& options);
+  ~IoShard();
+  IoShard(const IoShard&) = delete;
+  IoShard& operator=(const IoShard&) = delete;
+
+  // Spawns the shard thread. `listener` may be invalid (only shard 0
+  // accepts).
+  Status start(Fd listener);
+  void request_stop();
+  void join();
+  void wake();
+
+  // Called from the controller thread: queue one coalesced batch of
+  // frames for `conn`. Takes effect at the next wake().
+  void post_send(uint64_t conn, std::string data);
+
+  // Called from the accepting shard's thread: hand over an accepted
+  // socket (ownership of `raw_fd` transfers).
+  void post_adopt(uint64_t conn, int raw_fd);
+
+ private:
+  struct Conn {
+    Fd fd;
+    FrameBuffer inbound;
+    OutboundRing outbound;
+    bool want_write = false;
+  };
+  struct Command {
+    enum class Kind { kSend, kAdopt };
+    Kind kind = Kind::kSend;
+    uint64_t conn = 0;
+    std::string data;  // kSend
+    int fd = -1;       // kAdopt (owned until drained)
+  };
+
+  void loop();
+  void drain_commands();
+  void drain_wakeups();
+  void accept_pending();
+  void adopt(uint64_t id, Fd fd);
+  // Returns false when the connection was closed.
+  bool read_conn(uint64_t id, Conn& conn);
+  bool flush_conn(uint64_t id, Conn& conn);
+  bool enqueue_output(uint64_t id, Conn& conn, std::string data);
+  void set_write_interest(uint64_t id, Conn& conn, bool want);
+  void close_conn(uint64_t id, bool overflow);
+  void shed_pending_connection();
+  void pause_listener();
+  void resume_listener_if_paused();
+
+  ShardOptions options_;
+  Fd epoll_;
+  Fd wakeup_;  // eventfd: command queue / stop notifications
+  Fd listener_;
+  // EMFILE headroom: closing this reserve fd frees one slot so a
+  // pending connection can be accepted and shed instead of rotting in
+  // the backlog.
+  Fd reserve_;
+  bool listener_paused_ = false;
+  std::map<uint64_t, Conn> conns_;
+  std::thread thread_;
+  std::atomic<bool> stop_ = false;
+
+  std::mutex command_mutex_;
+  std::vector<Command> commands_;  // guarded by command_mutex_
+};
+
+}  // namespace harmony::net

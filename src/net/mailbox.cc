@@ -1,0 +1,45 @@
+#include "net/mailbox.h"
+
+#include <chrono>
+
+namespace harmony::net {
+
+Mailbox::Mailbox(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool Mailbox::push(NetEvent event) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return false;
+  queue_.push_back(std::move(event));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+size_t Mailbox::drain(std::vector<NetEvent>& out, int timeout_ms) {
+  out.clear();
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return 0;
+  out.reserve(queue_.size());
+  while (!queue_.empty()) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  lock.unlock();
+  not_full_.notify_all();
+  return out.size();
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+}  // namespace harmony::net

@@ -1,0 +1,62 @@
+// The single cross-thread channel of the sharded network front end: a
+// bounded MPSC queue carrying decoded protocol events from the I/O
+// shard threads to the controller thread. The controller stays
+// single-threaded — it drains this mailbox and is the only writer of
+// core state, so journaling order is exactly the mailbox drain order.
+//
+// push() blocks when the mailbox is full: a controller that falls
+// behind backpressures the shards (which in turn stop reading their
+// sockets) instead of queueing unboundedly. The consumer never blocks
+// on producers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace harmony::net {
+
+struct NetEvent {
+  enum class Kind {
+    kAccepted,  // a shard accepted a connection (precedes its messages)
+    kMessage,   // one decoded protocol message
+    kClosed,    // the connection is gone (EOF, error, or overflow)
+  };
+  Kind kind = Kind::kMessage;
+  uint64_t conn = 0;  // server-wide connection id
+  int shard = 0;      // shard that owns (or will own) the socket
+  Message message;    // kMessage only
+  // kClosed: the shard cut the connection at the slow-consumer
+  // high-water mark rather than buffering without bound.
+  bool overflow = false;
+};
+
+class Mailbox {
+ public:
+  explicit Mailbox(size_t capacity);
+
+  // Blocks while full; returns false once the mailbox is closed (the
+  // event is discarded — the server is shutting down).
+  bool push(NetEvent event);
+
+  // Swaps everything queued into `out` (cleared first), waiting up to
+  // `timeout_ms` for the first event. Returns the number drained; 0
+  // after a timeout or when closed and empty.
+  size_t drain(std::vector<NetEvent>& out, int timeout_ms);
+
+  void close();
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<NetEvent> queue_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace harmony::net

@@ -14,6 +14,12 @@
 //                                  frames before replying
 //     {END <id>}                   harmony_end
 //     {GET <id> <name>}            read a published variable
+//     {LOAD <host> <tasks>}        report observed external load on a
+//                                  node (harmony_report_load, §4.3)
+//     {SET <id> <bundle> <option> [<var> <value>]...}
+//                                  operator steering (§7): force a
+//                                  bundle onto an option; not gated on
+//                                  connection ownership
 //     {REEVALUATE}                 request an adaptation pass
 //   server -> client:
 //     {OK <args...>}               success (REGISTER returns the id,

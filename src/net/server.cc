@@ -2,10 +2,12 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -38,31 +40,56 @@ std::string token_prefix(const std::string& token) {
   return token.substr(0, 6) + "...";
 }
 
+// The serve loop's thread is the controller's owner thread while it
+// runs; the binding is released on exit so tests (and embedders) can
+// inspect the controller from their own thread afterwards.
+class OwnerBind {
+ public:
+  explicit OwnerBind(core::Controller* controller) : controller_(controller) {
+    controller_->bind_owner_thread();
+  }
+  ~OwnerBind() { controller_->unbind_owner_thread(); }
+  OwnerBind(const OwnerBind&) = delete;
+  OwnerBind& operator=(const OwnerBind&) = delete;
+
+ private:
+  core::Controller* controller_;
+};
+
 }  // namespace
 
 HarmonyTcpServer::HarmonyTcpServer(core::Controller* controller,
-                                   uint16_t port)
-    : controller_(controller), port_(port) {
+                                   uint16_t port, ServerConfig config)
+    : controller_(controller),
+      config_(config),
+      port_(port),
+      mailbox_(config.mailbox_capacity) {
   HARMONY_ASSERT(controller != nullptr);
 }
 
 HarmonyTcpServer::~HarmonyTcpServer() {
+  // The shard threads must be gone before controller state is touched:
+  // after this, no mailbox event or egress command is in flight.
+  shutdown_shards();
+  for (auto& connection : connections_) detach_connection(*connection);
+  for (auto& [id, connection] : remotes_) detach_connection(*connection);
+}
+
+void HarmonyTcpServer::detach_connection(Connection& connection) {
   // Deregister non-resumable connections; sessions with a token stay
   // registered so a persistence-backed restart can offer them for
   // RESUME. Their update subscriptions must be parked, though: the
   // handlers capture this server and raw Connection pointers, and a
   // controller that outlives the server would otherwise flush pending
   // variables into freed memory.
-  for (auto& connection : connections_) {
-    if (!connection->session_token.empty()) {
-      for (core::InstanceId id : connection->instances) {
-        (void)controller_->subscribe(id, core::Controller::UpdateHandler{});
-      }
-      continue;
+  if (!connection.session_token.empty()) {
+    for (core::InstanceId id : connection.instances) {
+      (void)controller_->subscribe(id, core::Controller::UpdateHandler{});
     }
-    for (core::InstanceId id : connection->instances) {
-      (void)controller_->unregister(id);
-    }
+    return;
+  }
+  for (core::InstanceId id : connection.instances) {
+    (void)controller_->unregister(id);
   }
 }
 
@@ -80,21 +107,196 @@ void HarmonyTcpServer::set_persistence(persist::Persistence* persistence) {
 }
 
 Result<uint16_t> HarmonyTcpServer::start() {
-  auto listener = listen_on(port_);
+  io_shard_count_ = config_.io_shards;
+  if (io_shard_count_ < 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    io_shard_count_ = static_cast<int>(std::min(4u, hw == 0 ? 1u : hw));
+  }
+  auto listener = listen_on(port_, config_.listen_backlog);
   if (!listener.ok()) {
     return Err<uint16_t>(listener.error().code, listener.error().message);
   }
   listener_ = std::move(listener).value();
   auto status = set_nonblocking(listener_, true);
-  if (!status.ok()) return Err<uint16_t>(status.error().code, status.error().message);
+  if (!status.ok()) {
+    return Err<uint16_t>(status.error().code, status.error().message);
+  }
   auto port = local_port(listener_);
   if (!port.ok()) return port;
   port_ = port.value();
-  HLOG_INFO("server") << "harmony listening on 127.0.0.1:" << port_;
+  if (!sharded()) {
+    accept_reserve_ = Fd(::open("/dev/null", O_RDONLY | O_CLOEXEC));
+    HLOG_INFO("server") << "harmony listening on 127.0.0.1:" << port_
+                        << " (single-thread poll loop)";
+    return port_;
+  }
+  // Shard 0 owns the listener and deals accepted sockets round-robin;
+  // the full roster must exist before any shard thread starts.
+  for (int i = 0; i < io_shard_count_; ++i) {
+    ShardOptions options;
+    options.index = i;
+    options.high_water_bytes = config_.outbound_high_water;
+    options.sndbuf_bytes = config_.sndbuf_bytes;
+    options.mailbox = &mailbox_;
+    options.connection_count = &shard_connections_;
+    options.next_conn_id = &next_conn_id_;
+    options.accept_cursor = &accept_cursor_;
+    options.peers = &shards_;
+    shards_.push_back(std::make_unique<IoShard>(options));
+  }
+  shard_wake_.assign(shards_.size(), 0);
+  for (int i = 0; i < io_shard_count_; ++i) {
+    auto started = shards_[i]->start(i == 0 ? std::move(listener_) : Fd{});
+    if (!started.ok()) {
+      shutdown_shards();
+      return Err<uint16_t>(started.error().code, started.error().message);
+    }
+  }
+  HLOG_INFO("server") << "harmony listening on 127.0.0.1:" << port_ << " ("
+                      << io_shard_count_ << " I/O shard(s))";
   return port_;
 }
 
+void HarmonyTcpServer::stop() {
+  stopping_ = true;
+  if (!shards_.empty()) {
+    // Unblocks the controller thread (mailbox) and every shard loop.
+    mailbox_.close();
+    for (auto& shard : shards_) {
+      shard->request_stop();
+      shard->wake();
+    }
+  }
+}
+
+void HarmonyTcpServer::shutdown_shards() {
+  if (shards_.empty()) return;
+  mailbox_.close();
+  for (auto& shard : shards_) {
+    shard->request_stop();
+    shard->wake();
+  }
+  for (auto& shard : shards_) shard->join();
+  shards_.clear();
+}
+
 bool HarmonyTcpServer::run_once(int timeout_ms) {
+  return sharded() ? drain_once(timeout_ms) : poll_once(timeout_ms);
+}
+
+void HarmonyTcpServer::run(int until_idle_ms) { serve_loop(until_idle_ms); }
+
+void HarmonyTcpServer::serve_loop(int until_idle_ms) {
+  // Idle time is measured on a monotonic clock, not by counting poll
+  // timeouts: a wait interrupted by a signal (EINTR) returns
+  // immediately, so assuming each no-progress iteration consumed the
+  // full timeout would cut the idle window short by however often
+  // signals arrive.
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point last_progress = Clock::now();
+  while (!stopping_) {
+    bool progress = sharded() ? drain_once(50) : poll_once(50);
+    if (progress) {
+      last_progress = Clock::now();
+    } else if (until_idle_ms > 0) {
+      auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now() - last_progress);
+      if (idle.count() >= until_idle_ms) return;
+    }
+  }
+}
+
+// --- sharded controller loop ----------------------------------------------
+
+bool HarmonyTcpServer::drain_once(int timeout_ms) {
+  mailbox_.drain(drain_batch_, timeout_ms);
+  reap_expired_sessions();
+  bool progress = !drain_batch_.empty();
+  if (progress) {
+    // The owner binding covers exactly the window in which this thread
+    // mutates core state. While the loop blocks in drain, the controller
+    // stays unbound, so externally synchronized callers (tests, tools
+    // embedding a server thread) can still drive it directly.
+    OwnerBind bind(controller_);
+    // Replies ship every stride rather than once per batch: egress
+    // still coalesces per recipient within a stride, but a message at
+    // the back of a big drain batch no longer waits for the whole batch
+    // to finish dispatching before its reply leaves the process.
+    constexpr size_t kShipStride = 64;
+    size_t since_ship = 0;
+    for (auto& event : drain_batch_) {
+      process_net_event(event);
+      if (++since_ship >= kShipStride) {
+        ship_staged();
+        since_ship = 0;
+      }
+    }
+  }
+  // Ships everything staged this cycle — dispatch replies plus any
+  // UPDATE fan-out from expired-session re-evaluations above.
+  ship_staged();
+  return progress;
+}
+
+bool HarmonyTcpServer::process_net_event(NetEvent& event) {
+  switch (event.kind) {
+    case NetEvent::Kind::kAccepted: {
+      auto connection = std::make_unique<Connection>();
+      connection->id = event.conn;
+      connection->shard = event.shard;
+      HLOG_DEBUG("server") << "accepted conn " << event.conn << " on shard "
+                           << event.shard;
+      remotes_.emplace(event.conn, std::move(connection));
+      return true;
+    }
+    case NetEvent::Kind::kMessage: {
+      auto it = remotes_.find(event.conn);
+      if (it == remotes_.end()) return false;
+      dispatch(*it->second, event.message);
+      return true;
+    }
+    case NetEvent::Kind::kClosed: {
+      auto it = remotes_.find(event.conn);
+      if (it == remotes_.end()) return false;
+      if (event.overflow) {
+        HLOG_WARN("server") << "conn " << event.conn
+                            << " cut at the slow-consumer high-water mark";
+      }
+      {
+        core::Controller::EpochScope epoch(*controller_);
+        park_or_end(*it->second);
+      }
+      // Anything still staged for it can never be delivered.
+      egress_dirty_.erase(std::remove(egress_dirty_.begin(),
+                                      egress_dirty_.end(), it->second.get()),
+                          egress_dirty_.end());
+      remotes_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void HarmonyTcpServer::ship_staged() {
+  if (egress_dirty_.empty()) return;
+  std::fill(shard_wake_.begin(), shard_wake_.end(), 0);
+  for (Connection* connection : egress_dirty_) {
+    if (connection->staged.empty()) continue;
+    shards_[connection->shard]->post_send(connection->id,
+                                          std::move(connection->staged));
+    connection->staged.clear();
+    shard_wake_[connection->shard] = 1;
+  }
+  egress_dirty_.clear();
+  // One wake per shard per drain cycle, not per connection.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shard_wake_[i]) shards_[i]->wake();
+  }
+}
+
+// --- single-thread poll loop (the A/B baseline) ---------------------------
+
+bool HarmonyTcpServer::poll_once(int timeout_ms) {
   // The fd/event fields are refreshed in place every tick (writability
   // interest follows the outbound buffer), but the vector itself only
   // grows or shrinks when connections come and go.
@@ -112,6 +314,7 @@ bool HarmonyTcpServer::run_once(int timeout_ms) {
   if (pollfds_[0].revents & POLLIN) accept_new();
   // accept_new may have grown connections_; the new entries poll next
   // tick. Dispatch strictly over this tick's snapshot.
+  OwnerBind bind(controller_);
   const size_t polled = pollfds_.size();
   for (size_t i = 1; i < polled; ++i) {
     Connection& connection = *connections_[i - 1];
@@ -126,34 +329,37 @@ bool HarmonyTcpServer::run_once(int timeout_ms) {
   return true;
 }
 
-void HarmonyTcpServer::run(int until_idle_ms) {
-  // Idle time is measured on a monotonic clock, not by counting poll
-  // timeouts: a poll interrupted by a signal (EINTR) returns
-  // immediately, so assuming each no-progress iteration consumed the
-  // full timeout would cut the idle window short by however often
-  // signals arrive.
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point last_progress = Clock::now();
-  while (!stopping_) {
-    bool progress = run_once(50);
-    if (progress) {
-      last_progress = Clock::now();
-    } else if (until_idle_ms > 0) {
-      auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
-          Clock::now() - last_progress);
-      if (idle.count() >= until_idle_ms) return;
-    }
-  }
-}
-
 void HarmonyTcpServer::accept_new() {
   while (true) {
     auto accepted = accept_connection(listener_);
-    if (!accepted.ok()) return;  // EAGAIN or real error; poll again later
+    if (!accepted.ok()) {
+      if (accepted.error().code == ErrorCode::kTimeout) return;  // drained
+      if (accepted.error().code == ErrorCode::kCapacity) {
+        // Out of fds: shed the pending connection via the reserve slot
+        // so the listener does not stall with a full backlog.
+        if (!accept_reserve_.valid()) {
+          HLOG_WARN("server") << "out of file descriptors; accept deferred";
+          return;
+        }
+        accept_reserve_.close();
+        int fd = ::accept(listener_.get(), nullptr, nullptr);
+        if (fd >= 0) ::close(fd);
+        accept_reserve_ = Fd(::open("/dev/null", O_RDONLY | O_CLOEXEC));
+        HLOG_WARN("server")
+            << "out of file descriptors; shed one pending connection";
+        continue;
+      }
+      HLOG_WARN("server") << "accept: " << accepted.error().message;
+      return;
+    }
     auto connection = std::make_unique<Connection>();
     connection->fd = std::move(accepted).value();
     auto status = set_nonblocking(connection->fd, true);
     if (!status.ok()) continue;
+    if (config_.sndbuf_bytes > 0) {
+      (void)::setsockopt(connection->fd.get(), SOL_SOCKET, SO_SNDBUF,
+                         &config_.sndbuf_bytes, sizeof(config_.sndbuf_bytes));
+    }
     HLOG_DEBUG("server") << "accepted connection fd="
                          << connection->fd.get();
     connections_.push_back(std::move(connection));
@@ -193,6 +399,11 @@ void HarmonyTcpServer::handle_readable(Connection& connection) {
 void HarmonyTcpServer::dispatch(Connection& connection,
                                 const Message& message) {
   Message reply;
+  // Cork the dispatching connection: every frame this message produces
+  // for it — the RESUME/subscribe replay, fan-out to itself, and the
+  // reply — accumulates and leaves in one buffered write instead of one
+  // write(2) per frame. (Sharded mode batches by construction.)
+  connection.corked = true;
   {
     // One message = one optimization epoch: a REGISTER that also
     // subscribes (or an END that cascades re-evaluations) produces a
@@ -205,6 +416,8 @@ void HarmonyTcpServer::dispatch(Connection& connection,
   // frames always precede the reply on the wire — clients that block on
   // the reply then drain their buffer see a complete picture.
   send(connection, reply);
+  connection.corked = false;
+  if (!sharded() && !connection.drop) flush_writable(connection);
 }
 
 Status HarmonyTcpServer::attach_updates(Connection& connection,
@@ -234,6 +447,9 @@ std::string HarmonyTcpServer::new_session_token() const {
     if (parked_.count(token) != 0) continue;
     bool in_use = false;
     for (const auto& connection : connections_) {
+      in_use = in_use || connection->session_token == token;
+    }
+    for (const auto& [id, connection] : remotes_) {
       in_use = in_use || connection->session_token == token;
     }
     if (!in_use) return token;
@@ -317,6 +533,52 @@ Message HarmonyTcpServer::handle_message(Connection& connection,
                       : Message::err(value.error().code,
                                      value.error().message);
   }
+  if (message.verb == "LOAD") {
+    // {LOAD <hostname> <tasks>}: observed load from outside Harmony's
+    // control (§4.3), reported by any connected client or monitoring
+    // agent; feeds the contention models and triggers a re-evaluation.
+    long long tasks = 0;
+    if (message.args.size() != 2 || !parse_int64(message.args[1], &tasks) ||
+        tasks < 0) {
+      return Message::err(ErrorCode::kProtocol,
+                          "LOAD expects a hostname and a task count");
+    }
+    auto status = controller_->report_external_load(
+        message.args[0], static_cast<int>(tasks));
+    return status.ok() ? Message::ok()
+                       : Message::err(status.error().code,
+                                      status.error().message);
+  }
+  if (message.verb == "SET") {
+    // {SET <id> <bundle> <option> [<var> <value>]...}: computational
+    // steering (§7) — force a bundle onto an option, bypassing the
+    // objective but not resource matching. Deliberately not gated on
+    // connection ownership: steering comes from operator consoles, not
+    // from the application being steered.
+    if (message.args.size() < 3 || message.args.size() % 2 != 1) {
+      return Message::err(
+          ErrorCode::kProtocol,
+          "SET expects id, bundle, option, and variable pairs");
+    }
+    unsigned long long raw = 0;
+    if (sscanf(message.args[0].c_str(), "%llu", &raw) != 1) {
+      return Message::err(ErrorCode::kProtocol, "bad instance id");
+    }
+    core::OptionChoice choice;
+    choice.option = message.args[2];
+    for (size_t i = 3; i + 1 < message.args.size(); i += 2) {
+      double value = 0;
+      if (!parse_double(message.args[i + 1], &value)) {
+        return Message::err(ErrorCode::kProtocol,
+                            "bad variable value: " + message.args[i + 1]);
+      }
+      choice.variables[message.args[i]] = value;
+    }
+    auto status = controller_->set_option(raw, message.args[1], choice);
+    return status.ok() ? Message::ok()
+                       : Message::err(status.error().code,
+                                      status.error().message);
+  }
   if (message.verb == "REEVALUATE") {
     auto status = controller_->reevaluate();
     return status.ok() ? Message::ok()
@@ -342,7 +604,9 @@ Message HarmonyTcpServer::handle_resume(Connection& connection,
   // Reattaching the subscription replays each instance's current
   // configuration as synthetic decisions, flushed before the OK reply —
   // a resuming client's harmony_wait_for_update sees a complete
-  // pending-variable snapshot exactly as a fresh registrant would.
+  // pending-variable snapshot exactly as a fresh registrant would. The
+  // whole replay leaves as one buffered write (the dispatch cork / the
+  // sharded egress batch), not one send per variable.
   // Instances whose subscription fails already departed; drop them from
   // the session for good, or they would be re-parked and retried on
   // every reconnect cycle.
@@ -369,8 +633,23 @@ Message HarmonyTcpServer::handle_resume(Connection& connection,
 }
 
 void HarmonyTcpServer::send(Connection& connection, const Message& message) {
+  if (connection.drop) return;
+  if (sharded()) {
+    // Coalesce: every frame this drain cycle produces for a recipient
+    // joins one staged batch, shipped to its shard as a single buffer
+    // (flushed there with one writev).
+    if (connection.staged.empty()) egress_dirty_.push_back(&connection);
+    connection.staged += encode_frame(message.encode());
+    return;
+  }
   connection.outbound += encode_frame(message.encode());
-  flush_writable(connection);
+  if (connection.outbound.size() > config_.outbound_high_water) {
+    HLOG_WARN("server")
+        << "slow consumer over the high-water mark; disconnecting";
+    connection.drop = true;
+    return;
+  }
+  if (!connection.corked) flush_writable(connection);
 }
 
 void HarmonyTcpServer::flush_writable(Connection& connection) {
@@ -386,34 +665,38 @@ void HarmonyTcpServer::flush_writable(Connection& connection) {
   }
 }
 
+void HarmonyTcpServer::park_or_end(Connection& connection) {
+  if (!connection.session_token.empty() && !connection.instances.empty()) {
+    // Resumable session: park instead of departing. Subscriptions go
+    // empty (parked) so nothing references the dying connection.
+    HLOG_INFO("server") << "connection dropped; parking session "
+                        << token_prefix(connection.session_token);
+    for (core::InstanceId id : connection.instances) {
+      (void)controller_->subscribe(id, core::Controller::UpdateHandler{});
+    }
+    parked_[connection.session_token] = ParkedSession{
+        std::move(connection.instances),
+        std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(session_grace_ms_)};
+    connection.instances.clear();
+    return;
+  }
+  // A vanished application is an implicit harmony_end (DEPART is
+  // synthesized: unregister journals the departure like an explicit
+  // one).
+  for (core::InstanceId id : connection.instances) {
+    HLOG_INFO("server") << "connection dropped; ending instance " << id;
+    (void)controller_->unregister(id);
+  }
+  connection.instances.clear();
+}
+
 void HarmonyTcpServer::reap_dropped() {
   // All implicit harmony_ends from one poll iteration share an epoch.
   core::Controller::EpochScope epoch(*controller_);
   for (auto& connection : connections_) {
     if (!connection->drop) continue;
-    if (!connection->session_token.empty() && !connection->instances.empty()) {
-      // Resumable session: park instead of departing. Subscriptions go
-      // empty (parked) so nothing references the dying connection.
-      HLOG_INFO("server") << "connection dropped; parking session "
-                          << token_prefix(connection->session_token);
-      for (core::InstanceId id : connection->instances) {
-        (void)controller_->subscribe(id, core::Controller::UpdateHandler{});
-      }
-      parked_[connection->session_token] = ParkedSession{
-          std::move(connection->instances),
-          std::chrono::steady_clock::now() +
-              std::chrono::milliseconds(session_grace_ms_)};
-      connection->instances.clear();
-      continue;
-    }
-    // A vanished application is an implicit harmony_end (DEPART is
-    // synthesized: unregister journals the departure like an explicit
-    // one).
-    for (core::InstanceId id : connection->instances) {
-      HLOG_INFO("server") << "connection dropped; ending instance " << id;
-      (void)controller_->unregister(id);
-    }
-    connection->instances.clear();
+    park_or_end(*connection);
   }
   connections_.erase(
       std::remove_if(connections_.begin(), connections_.end(),
@@ -424,6 +707,17 @@ void HarmonyTcpServer::reap_dropped() {
 void HarmonyTcpServer::reap_expired_sessions() {
   if (parked_.empty()) return;
   const auto now = std::chrono::steady_clock::now();
+  // Scan before binding: idle ticks with nothing expired must not claim
+  // controller ownership (see drain_once).
+  bool any_expired = false;
+  for (const auto& entry : parked_) {
+    if (entry.second.deadline <= now) {
+      any_expired = true;
+      break;
+    }
+  }
+  if (!any_expired) return;
+  OwnerBind bind(controller_);
   for (auto it = parked_.begin(); it != parked_.end();) {
     if (it->second.deadline > now) {
       ++it;

@@ -1,12 +1,24 @@
 // The Harmony process of §5: "a server that listens on a well-known
-// port and waits for connections from application processes." Single-
-// threaded poll(2) loop; every connected application gets its variable
-// updates pushed as UPDATE frames. A disconnect implies harmony_end for
-// every instance the connection registered — unless the client opted
-// into session resumption (protocol v2), in which case its instances
-// are parked for a grace period and a RESUME with the server-issued
-// token reattaches them, surviving both client reconnects and (with
-// persistence attached) full server restarts.
+// port and waits for connections from application processes." Every
+// connected application gets its variable updates pushed as UPDATE
+// frames. A disconnect implies harmony_end for every instance the
+// connection registered — unless the client opted into session
+// resumption (protocol v2), in which case its instances are parked for
+// a grace period and a RESUME with the server-issued token reattaches
+// them, surviving both client reconnects and (with persistence
+// attached) full server restarts.
+//
+// I/O runs on a sharded epoll front end (src/net/event_loop.h): N
+// threads own the sockets and do framing/parse/partial-write work,
+// forwarding decoded messages to the controller thread through one
+// bounded mailbox. The controller thread — whoever calls run() /
+// run_once() — remains the only writer of core state, so every
+// decision-identity, journaling, and resumption invariant of the
+// single-threaded design holds: journal order is mailbox drain order.
+// Outbound UPDATE frames produced by one flush epoch are coalesced
+// per recipient and shipped as a single writev batch. The original
+// single-threaded poll(2) loop is kept behind ServerConfig::io_shards
+// = 0 as the measured baseline for bench/abl_server.
 #pragma once
 
 #include <poll.h>
@@ -19,17 +31,37 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "net/event_loop.h"
 #include "net/framing.h"
+#include "net/mailbox.h"
 #include "net/protocol.h"
 #include "net/tcp.h"
 #include "persist/persistence.h"
 
 namespace harmony::net {
 
+struct ServerConfig {
+  // Number of I/O shard threads. -1 = min(4, hardware_concurrency);
+  // 0 = the original single-threaded poll(2) loop (the A/B baseline).
+  int io_shards = -1;
+  // Slow-consumer cutoff: a connection whose outbound backlog exceeds
+  // this many bytes is disconnected instead of buffering unboundedly —
+  // v2 sessions park (and can RESUME), v1 registrations depart.
+  size_t outbound_high_water = 8u << 20;
+  // Decoded messages waiting for the controller thread; shards block
+  // when it fills, which backpressures their sockets.
+  size_t mailbox_capacity = 4096;
+  int listen_backlog = 256;
+  // SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Tests
+  // shrink it so the high-water mark is reachable deterministically.
+  int sndbuf_bytes = 0;
+};
+
 class HarmonyTcpServer {
  public:
   // port 0 = pick an ephemeral port (tests).
-  HarmonyTcpServer(core::Controller* controller, uint16_t port);
+  HarmonyTcpServer(core::Controller* controller, uint16_t port,
+                   ServerConfig config = {});
   ~HarmonyTcpServer();
 
   // Attaches the durability layer: client sessions are journaled with
@@ -38,28 +70,45 @@ class HarmonyTcpServer {
   // without persistence.
   void set_persistence(persist::Persistence* persistence);
   // How long a resumable session survives its connection (default 30s).
-  // Atomic so tests can shorten it while the poll loop runs.
+  // Atomic so tests can shorten it while the serve loop runs.
   void set_session_grace_ms(int grace_ms) { session_grace_ms_ = grace_ms; }
 
-  Result<uint16_t> start();  // bind + listen; returns the bound port
+  Result<uint16_t> start();  // bind + listen + spawn I/O shards
   uint16_t port() const { return port_; }
 
-  // Runs one poll iteration (accept / read / dispatch / write).
-  // Returns true if any progress was made.
+  // Runs one controller iteration: sharded mode drains the mailbox and
+  // dispatches every decoded message; single-thread mode runs one
+  // accept/read/dispatch/write poll tick. Returns true on progress.
   bool run_once(int timeout_ms);
-  // Loops until stop() (from a dispatched handler) or `until_idle_ms`
-  // of inactivity when positive.
+  // Loops until stop() (from any thread) or `until_idle_ms` of
+  // inactivity when positive. The calling thread binds itself as the
+  // controller's owner thread around every batch of work it dispatches
+  // (and stays unbound while blocked waiting), so callers with their
+  // own synchronization can still drive the controller directly
+  // between batches.
   void run(int until_idle_ms = -1);
-  void stop() { stopping_ = true; }
+  void stop();
 
-  size_t connection_count() const { return connections_.size(); }
+  size_t connection_count() const {
+    return io_shard_count_ > 0
+               ? shard_connections_.load(std::memory_order_relaxed)
+               : connections_.size();
+  }
   size_t parked_session_count() const { return parked_.size(); }
+  int io_shards() const { return io_shard_count_; }
 
  private:
   struct Connection {
+    // Sharded mode: mailbox identity; the socket lives in its shard.
+    uint64_t id = 0;
+    int shard = 0;
+    std::string staged;  // frames coalesced for the next ship
+    // Single-thread mode: the socket and its buffers live here.
     Fd fd;
     FrameBuffer inbound;
     std::string outbound;
+    bool corked = false;  // buffer sends until the dispatch completes
+    // Shared protocol state.
     std::vector<core::InstanceId> instances;
     // Resume token issued at the first v2 REGISTER (empty for v1
     // clients, whose disconnect is an implicit harmony_end).
@@ -71,6 +120,15 @@ class HarmonyTcpServer {
     std::chrono::steady_clock::time_point deadline;
   };
 
+  bool sharded() const { return io_shard_count_ > 0; }
+  void serve_loop(int until_idle_ms);
+  // Sharded controller tick: drain mailbox, dispatch, ship egress.
+  bool drain_once(int timeout_ms);
+  bool process_net_event(NetEvent& event);
+  void ship_staged();
+  void shutdown_shards();
+  // Single-thread poll tick (the legacy loop).
+  bool poll_once(int timeout_ms);
   void accept_new();
   void handle_readable(Connection& connection);
   void dispatch(Connection& connection, const Message& message);
@@ -78,8 +136,14 @@ class HarmonyTcpServer {
   Message handle_resume(Connection& connection, const std::string& token);
   void send(Connection& connection, const Message& message);
   void flush_writable(Connection& connection);
+  // Parks a resumable connection's session or synthesizes the DEPARTs.
+  // The caller provides the epoch scope.
+  void park_or_end(Connection& connection);
   void reap_dropped();
   void reap_expired_sessions();
+  // Detaches a connection at server teardown: parks tokened sessions'
+  // subscriptions, unregisters the rest.
+  void detach_connection(Connection& connection);
   // Pushes the session's current instance list into the journal.
   void persist_session(const std::string& token,
                        const std::vector<core::InstanceId>& instances);
@@ -91,16 +155,33 @@ class HarmonyTcpServer {
 
   core::Controller* controller_;
   persist::Persistence* persistence_ = nullptr;
+  ServerConfig config_;
   uint16_t port_;
-  Fd listener_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  int io_shard_count_ = 0;  // resolved at start()
+  Fd listener_;             // single-thread mode (shard 0 owns it otherwise)
+  Fd accept_reserve_;       // EMFILE headroom for the single-thread loop
+  std::vector<std::unique_ptr<Connection>> connections_;  // single-thread
   std::map<std::string, ParkedSession> parked_;
   std::atomic<int> session_grace_ms_ = 30000;
-  // Reused across run_once ticks; resized only when the connection set
+  // Reused across poll ticks; resized only when the connection set
   // changes, so the steady-state poll loop allocates nothing.
   std::vector<pollfd> pollfds_;
+
+  // --- sharded front end --------------------------------------------------
+  Mailbox mailbox_;
+  std::vector<std::unique_ptr<IoShard>> shards_;
+  // Controller-side view of shard-owned connections, by mailbox id.
+  std::map<uint64_t, std::unique_ptr<Connection>> remotes_;
+  // Connections with staged egress this drain cycle.
+  std::vector<Connection*> egress_dirty_;
+  std::vector<NetEvent> drain_batch_;
+  std::vector<char> shard_wake_;  // scratch: which shards need a wake
+  std::atomic<uint64_t> next_conn_id_ = 2;  // 0/1 are shard-internal tags
+  std::atomic<uint64_t> accept_cursor_ = 0;
+  std::atomic<size_t> shard_connections_ = 0;
+
   // stop() may be called from another thread (tests, signal handlers);
-  // everything else is single-threaded.
+  // everything else on the controller side is single-threaded.
   std::atomic<bool> stopping_ = false;
 };
 

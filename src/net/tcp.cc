@@ -77,6 +77,11 @@ Result<Fd> accept_connection(const Fd& listener) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       return Err<Fd>(ErrorCode::kTimeout, "no pending connection");
     }
+    if (errno == EMFILE || errno == ENFILE) {
+      // Fd exhaustion is recoverable (shed the pending connection, keep
+      // the listener alive) — distinguish it from hard accept failures.
+      return Err<Fd>(ErrorCode::kCapacity, "out of file descriptors");
+    }
     return Result<Fd>(errno_error("accept"));
   }
   int one = 1;

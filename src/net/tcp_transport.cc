@@ -277,4 +277,32 @@ Status TcpTransport::request_reevaluation() {
              : Status(ErrorCode::kProtocol, "reevaluate failed");
 }
 
+Status TcpTransport::report_load(const std::string& hostname,
+                                 int concurrent_tasks) {
+  auto reply = call(Message{"LOAD", {hostname, str_format("%d",
+                                                          concurrent_tasks)}});
+  if (!reply.ok()) return Status(reply.error().code, reply.error().message);
+  if (reply.value().verb != "OK") {
+    return Status(ErrorCode::kProtocol,
+                  reply.value().args.size() == 2 ? reply.value().args[1]
+                                                 : "load report failed");
+  }
+  return Status::Ok();
+}
+
+Status TcpTransport::set_option(core::InstanceId id, const std::string& bundle,
+                                const std::string& option) {
+  auto reply = call(
+      Message{"SET",
+              {str_format("%llu", static_cast<unsigned long long>(id)),
+               bundle, option}});
+  if (!reply.ok()) return Status(reply.error().code, reply.error().message);
+  if (reply.value().verb != "OK") {
+    return Status(ErrorCode::kProtocol,
+                  reply.value().args.size() == 2 ? reply.value().args[1]
+                                                 : "steering failed");
+  }
+  return Status::Ok();
+}
+
 }  // namespace harmony::net

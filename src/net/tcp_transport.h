@@ -54,6 +54,15 @@ class TcpTransport : public client::Transport {
   // Asks the server for an adaptation pass (demo/tooling).
   Status request_reevaluation();
 
+  // Reports observed external load on a node ({LOAD}, §4.3); any
+  // connected client or monitoring agent may call it.
+  Status report_load(const std::string& hostname, int concurrent_tasks);
+
+  // Operator steering ({SET}, §7): force `bundle` of instance `id`
+  // onto `option`, bypassing the objective but not resource matching.
+  Status set_option(core::InstanceId id, const std::string& bundle,
+                    const std::string& option);
+
   // Drops the socket without any goodbye (crash-safe teardown; the
   // server synthesizes the DEPART or parks the session).
   void close();

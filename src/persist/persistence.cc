@@ -198,6 +198,13 @@ std::string Persistence::encode_event(const core::ControllerEvent& event) const 
 }
 
 void Persistence::append_journal(const std::string& payload) {
+  // Journal appends are only ordered because the controller thread is
+  // the only appender: with the sharded network front end, decoded
+  // messages cross the mailbox first, so journaling order equals the
+  // mailbox drain order. Enforce that here — an append from an I/O
+  // shard (or any other thread) would silently interleave records.
+  HARMONY_ASSERT_MSG(controller_->on_owner_thread(),
+                     "journal append off the controller thread");
   // Every journal opens with the generation of the snapshot it extends;
   // recovery uses it to discard a journal that predates the snapshot on
   // disk (a crash inside snapshot_now() between the rename and the
@@ -214,6 +221,8 @@ void Persistence::on_controller_event(const core::ControllerEvent& event) {
 }
 
 void Persistence::on_epoch_commit() {
+  HARMONY_ASSERT_MSG(controller_->on_owner_thread(),
+                     "epoch commit off the controller thread");
   if (!last_error_.ok()) return;  // wedged: stop touching the disk
   ++epochs_since_snapshot_;
   const bool compact =

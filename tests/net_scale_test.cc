@@ -1,0 +1,377 @@
+// Scale and backpressure coverage for the sharded epoll front end: a
+// few hundred concurrent clients must every one observe a consistent
+// UPDATE sequence while the controller is steered and load reports
+// arrive, and a consumer that stops reading must be cut at the
+// high-water mark — parked when it is resumable (v2), departed when it
+// is not (v1) — without disturbing healthy connections.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/controller.h"
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/tcp.h"
+#include "net/tcp_transport.h"
+
+namespace harmony::net {
+namespace {
+
+constexpr int kGroupNodes = 16;
+
+// Group nodes carry the swarm; scratch nodes exist only to absorb LOAD
+// reports (no instance ever places on them, so the incremental
+// optimizer skips everyone on those passes).
+std::string swarm_cluster_script() {
+  std::string script;
+  for (int i = 0; i < kGroupNodes; ++i) {
+    script += str_format(
+        "harmonyNode grp-%02d {speed 1.0} {memory 256} {os linux}\n", i);
+  }
+  script += "harmonyNode scratch-0 {speed 1.0} {memory 256} {os linux}\n";
+  script += "harmonyNode scratch-1 {speed 1.0} {memory 256} {os linux}\n";
+  return script;
+}
+
+// Two-option bundle with constant performance models, pinned to one
+// group node. First-feasible initial policy configures it as `fast`;
+// steering flips it between the two.
+std::string swarm_bundle(int i) {
+  return str_format(
+      "harmonyBundle Swarm:%d place {\n"
+      "  {fast {node work {hostname grp-%02d} {seconds 0.5} {memory 4}}\n"
+      "        {performance expr {1.0}}}\n"
+      "  {slow {node work {hostname grp-%02d} {seconds 0.5} {memory 4}}\n"
+      "        {performance expr {2.0}}}\n"
+      "}\n",
+      i, i % kGroupNodes, i % kGroupNodes);
+}
+
+class ScaleTest : public ::testing::Test {
+ protected:
+  void start_server(ServerConfig config) {
+    core::ControllerConfig controller_config;
+    controller_config.optimizer.initial_policy =
+        core::OptimizerConfig::InitialPolicy::kFirstFeasible;
+    controller_config.optimizer.reevaluate_on_arrival = false;
+    controller_config.record_objective_metric = false;
+    controller_ = std::make_unique<core::Controller>(controller_config);
+    ASSERT_TRUE(controller_->add_nodes_script(swarm_cluster_script()).ok());
+    ASSERT_TRUE(controller_->finalize_cluster().ok());
+    server_ = std::make_unique<HarmonyTcpServer>(controller_.get(),
+                                                 /*port=*/0, config);
+    auto bound = server_->start();
+    ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+    port_ = bound.value();
+    server_thread_ = std::thread([this] { server_->run(); });
+  }
+
+  void TearDown() override {
+    if (server_thread_.joinable()) {
+      server_->stop();
+      server_thread_.join();
+    }
+  }
+
+  // Spins until `predicate` holds (the server applies overflow cuts and
+  // parking asynchronously).
+  template <typename Predicate>
+  bool wait_for(Predicate predicate, int timeout_ms = 5000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (predicate()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return predicate();
+  }
+
+  std::unique_ptr<core::Controller> controller_;
+  std::unique_ptr<HarmonyTcpServer> server_;
+  std::thread server_thread_;
+  uint16_t port_ = 0;
+};
+
+// A protocol client that deliberately never reads: registers, then sits
+// on the socket with a tiny receive buffer so pushed UPDATE frames pile
+// up server-side until the high-water mark cuts it.
+struct StuckClient {
+  Fd fd;
+  FrameBuffer inbound;
+
+  Status connect_and_shrink(uint16_t port) {
+    auto connected = connect_to("localhost", port);
+    if (!connected.ok()) {
+      return Status(connected.error().code, connected.error().message);
+    }
+    fd = std::move(connected).value();
+    int rcvbuf = 1024;
+    (void)::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                       sizeof(rcvbuf));
+    return Status::Ok();
+  }
+
+  // Blocking request/response; skips pushed UPDATE frames.
+  Result<Message> call(const Message& request) {
+    auto sent = write_all(fd, encode_frame(request.encode()));
+    if (!sent.ok()) return Err<Message>(sent.error().code, sent.error().message);
+    while (true) {
+      auto frame = inbound.next_frame();
+      if (!frame.ok()) {
+        return Err<Message>(frame.error().code, frame.error().message);
+      }
+      if (frame.value().has_value()) {
+        auto message = Message::decode(*frame.value());
+        if (!message.ok()) return message;
+        if (message.value().verb == "UPDATE") continue;
+        return message;
+      }
+      char buffer[4096];
+      auto n = read_some(fd, buffer, sizeof(buffer));
+      if (!n.ok()) return Err<Message>(n.error().code, n.error().message);
+      if (n.value() == 0) continue;
+      inbound.feed(std::string_view(buffer, n.value()));
+    }
+  }
+
+  // Drains whatever the server managed to push before cutting the
+  // connection; true when the drain ended in EOF/reset.
+  bool drain_to_eof() {
+    char buffer[4096];
+    while (true) {
+      auto n = read_some(fd, buffer, sizeof(buffer));
+      if (!n.ok()) return n.error().code == ErrorCode::kClosed;
+      if (n.value() == 0) continue;  // blocking fd: 0 only under EAGAIN
+    }
+  }
+};
+
+TEST_F(ScaleTest, SwarmSeesConsistentUpdateSequencesUnderSteering) {
+  ServerConfig config;
+  config.io_shards = 2;
+  start_server(config);
+
+  constexpr int kClients = 200;
+  constexpr int kRounds = 6;
+  struct SwarmClient {
+    std::unique_ptr<TcpTransport> transport;
+    core::InstanceId id = 0;
+    std::vector<std::string> options;  // every `place` UPDATE, in order
+  };
+  std::vector<SwarmClient> swarm(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    auto& client = swarm[i];
+    client.transport = std::make_unique<TcpTransport>();
+    ASSERT_TRUE(client.transport->connect("localhost", port_).ok());
+    auto id = client.transport->register_app(swarm_bundle(i));
+    ASSERT_TRUE(id.ok()) << id.error().to_string();
+    client.id = id.value();
+    ASSERT_TRUE(client.transport
+                    ->subscribe(client.id,
+                                [&client](const std::string& name,
+                                          const std::string& value) {
+                                  if (name == "place") {
+                                    client.options.push_back(value);
+                                  }
+                                })
+                    .ok());
+    // The REGISTER epoch pushes the configuration twice: once for the
+    // arrival decision, once as the subscription snapshot.
+    ASSERT_EQ(client.options.size(), 2u) << "client " << i;
+    EXPECT_EQ(client.options[0], "fast") << "client " << i;
+    EXPECT_EQ(client.options[1], "fast") << "client " << i;
+  }
+  EXPECT_EQ(controller_->live_instances(), static_cast<size_t>(kClients));
+  EXPECT_TRUE(wait_for([this] {
+    return server_->connection_count() == static_cast<size_t>(kClients);
+  }));
+
+  TcpTransport driver;
+  ASSERT_TRUE(driver.connect("localhost", port_).ok());
+  // External load on nodes nobody placed on: the re-evaluation passes
+  // these trigger must leave every configuration alone (the incremental
+  // planner skips bundles whose inputs did not change).
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(driver.report_load("scratch-0", i + 1).ok());
+    ASSERT_TRUE(driver.report_load("scratch-1", i + 1).ok());
+  }
+
+  // Alternating steering rounds: every client must observe exactly one
+  // `place` update per round, in round order.
+  for (int round = 0; round < kRounds; ++round) {
+    const std::string option = (round % 2 == 0) ? "slow" : "fast";
+    for (auto& client : swarm) {
+      auto set = driver.set_option(client.id, "place", option);
+      ASSERT_TRUE(set.ok()) << set.error().to_string();
+    }
+  }
+
+  const std::string final_option = (kRounds % 2 == 1) ? "slow" : "fast";
+  for (int i = 0; i < kClients; ++i) {
+    auto& client = swarm[i];
+    ASSERT_TRUE(wait_for([&client] {
+      if (!client.transport->pump().ok()) return true;
+      return client.options.size() >= 2u + kRounds;
+    })) << "client " << i << " saw " << client.options.size() << " updates";
+    ASSERT_EQ(client.options.size(), 2u + kRounds) << "client " << i;
+    for (int round = 0; round < kRounds; ++round) {
+      EXPECT_EQ(client.options[2 + round],
+                (round % 2 == 0) ? "slow" : "fast")
+          << "client " << i << " round " << round;
+    }
+    auto option = client.transport->get_variable(client.id, "place.option");
+    ASSERT_TRUE(option.ok());
+    EXPECT_EQ(option.value(), final_option);
+  }
+}
+
+TEST_F(ScaleTest, SlowV1ConsumerIsDroppedAndDeparted) {
+  ServerConfig config;
+  config.io_shards = 2;
+  config.outbound_high_water = 64u << 10;
+  config.sndbuf_bytes = 4096;
+  start_server(config);
+
+  StuckClient stuck;
+  ASSERT_TRUE(stuck.connect_and_shrink(port_).ok());
+  auto reply = stuck.call(Message{"REGISTER", {swarm_bundle(0)}});
+  ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+  ASSERT_EQ(reply.value().verb, "OK");
+  ASSERT_EQ(reply.value().args.size(), 1u);  // v1: no session token
+  unsigned long long stuck_id = 0;
+  ASSERT_EQ(std::sscanf(reply.value().args[0].c_str(), "%llu", &stuck_id), 1);
+
+  TcpTransport observer;
+  ASSERT_TRUE(observer.connect("localhost", port_).ok());
+  auto observer_id = observer.register_app(swarm_bundle(1));
+  ASSERT_TRUE(observer_id.ok());
+  int observer_updates = 0;
+  ASSERT_TRUE(observer
+                  .subscribe(observer_id.value(),
+                             [&observer_updates](const std::string& name,
+                                                 const std::string&) {
+                               if (name == "place") ++observer_updates;
+                             })
+                  .ok());
+
+  // Flood the non-reading client with reconfigurations until its
+  // outbound backlog crosses the high-water mark. The cut surfaces as a
+  // failing SET: a v1 departure unregisters the instance.
+  TcpTransport driver;
+  ASSERT_TRUE(driver.connect("localhost", port_).ok());
+  bool departed = false;
+  for (int i = 0; i < 5000; ++i) {
+    auto set = driver.set_option(static_cast<core::InstanceId>(stuck_id),
+                                 "place", (i % 2 == 0) ? "slow" : "fast");
+    if (!set.ok()) {
+      departed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(departed) << "slow consumer was never cut";
+  EXPECT_EQ(controller_->live_instances(), 1u);
+  EXPECT_EQ(server_->parked_session_count(), 0u);
+  EXPECT_TRUE(stuck.drain_to_eof());
+
+  // The server stays fully functional for healthy connections.
+  observer_updates = 0;
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(driver
+                    .set_option(observer_id.value(), "place",
+                                (round % 2 == 0) ? "slow" : "fast")
+                    .ok());
+  }
+  EXPECT_TRUE(wait_for([&] {
+    if (!observer.pump().ok()) return true;
+    return observer_updates >= 3;
+  }));
+  EXPECT_EQ(observer_updates, 3);
+}
+
+TEST_F(ScaleTest, SlowV2ConsumerIsParkedAndResumable) {
+  ServerConfig config;
+  config.io_shards = 2;
+  config.outbound_high_water = 64u << 10;
+  config.sndbuf_bytes = 4096;
+  start_server(config);
+
+  StuckClient stuck;
+  ASSERT_TRUE(stuck.connect_and_shrink(port_).ok());
+  auto reply = stuck.call(Message{"REGISTER", {swarm_bundle(0), "2"}});
+  ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+  ASSERT_EQ(reply.value().verb, "OK");
+  ASSERT_EQ(reply.value().args.size(), 2u);
+  unsigned long long stuck_id = 0;
+  ASSERT_EQ(std::sscanf(reply.value().args[0].c_str(), "%llu", &stuck_id), 1);
+  const std::string token = reply.value().args[1];
+  ASSERT_FALSE(token.empty());
+
+  // A resumable slow consumer parks instead of departing: the instance
+  // stays registered (SETs keep succeeding), only delivery stops.
+  TcpTransport driver;
+  ASSERT_TRUE(driver.connect("localhost", port_).ok());
+  for (int i = 0; i < 5000; ++i) {
+    auto set = driver.set_option(static_cast<core::InstanceId>(stuck_id),
+                                 "place", (i % 2 == 0) ? "slow" : "fast");
+    ASSERT_TRUE(set.ok()) << set.error().to_string();
+    if (server_->parked_session_count() == 1u) break;
+  }
+  ASSERT_TRUE(wait_for([this] {
+    return server_->parked_session_count() == 1u;
+  })) << "slow v2 consumer was never parked";
+  EXPECT_EQ(controller_->live_instances(), 1u);
+  EXPECT_TRUE(stuck.drain_to_eof());
+
+  // A fresh connection RESUMEs the parked session; the server replays
+  // the current configuration before the OK.
+  StuckClient resumer;
+  ASSERT_TRUE(resumer.connect_and_shrink(port_).ok());
+  auto sent = write_all(resumer.fd, encode_frame(
+                                        Message{"RESUME", {token}}.encode()));
+  ASSERT_TRUE(sent.ok());
+  std::vector<Message> replayed;
+  Message resume_reply;
+  while (true) {
+    auto frame = resumer.inbound.next_frame();
+    ASSERT_TRUE(frame.ok());
+    if (frame.value().has_value()) {
+      auto message = Message::decode(*frame.value());
+      ASSERT_TRUE(message.ok());
+      if (message.value().verb == "UPDATE") {
+        replayed.push_back(message.value());
+        continue;
+      }
+      resume_reply = message.value();
+      break;
+    }
+    char buffer[4096];
+    auto n = read_some(resumer.fd, buffer, sizeof(buffer));
+    ASSERT_TRUE(n.ok()) << n.error().to_string();
+    if (n.value() > 0) {
+      resumer.inbound.feed(std::string_view(buffer, n.value()));
+    }
+  }
+  EXPECT_EQ(resume_reply.verb, "OK");
+  ASSERT_EQ(resume_reply.args.size(), 1u);
+  EXPECT_EQ(resume_reply.args[0], str_format("%llu", stuck_id));
+  bool saw_place = false;
+  for (const auto& update : replayed) {
+    if (!update.args.empty() && update.args[0] == "place") saw_place = true;
+  }
+  EXPECT_TRUE(saw_place) << "resume did not replay the configuration";
+  EXPECT_TRUE(wait_for([this] {
+    return server_->parked_session_count() == 0u;
+  }));
+  EXPECT_EQ(controller_->live_instances(), 1u);
+}
+
+}  // namespace
+}  // namespace harmony::net

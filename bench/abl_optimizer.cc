@@ -23,6 +23,7 @@
 #include "apps/scenarios.h"
 #include "common/strings.h"
 #include "core/controller.h"
+#include "metric/telemetry.h"
 #include "persist/persistence.h"
 #include "rsl/program.h"
 
@@ -365,6 +366,52 @@ int run() {
               "(<10%% required): %s\n",
               journal_regression, journal_gate_met ? "yes" : "NO");
 
+  // --- Telemetry: instrument overhead on the decision path ----------------
+  // The same steady-state loop with the process-global telemetry flag on
+  // vs off. Recording is a relaxed load plus (when on) relaxed atomic
+  // adds into padded cells, so the systematic cost must stay under 2%.
+  // Interleaved best-of-10 minima for the same noise reasons as above.
+  std::printf("\n=== Telemetry: instrument overhead on the decision path "
+              "===\n");
+  std::printf("%-17s %12s %12s %12s\n", "scenario", "off_ms", "on_ms",
+              "overhead");
+  std::string json_telemetry;
+  double telemetry_off_total = 0, telemetry_on_total = 0;
+  for (Scenario scenario : {Scenario::kQuiet, Scenario::kClientNodeLoad}) {
+    double off_ms = 1e18, on_ms = 1e18;
+    for (int repeat = 0; repeat < 10; ++repeat) {
+      metric::set_telemetry_enabled(false);
+      auto off = run_steady(true, scenario, clients, rounds);
+      metric::set_telemetry_enabled(true);
+      auto on = run_steady(true, scenario, clients, rounds);
+      ok = ok && off.ok && on.ok;
+      off_ms = std::min(off_ms, off.wall_ms);
+      on_ms = std::min(on_ms, on.wall_ms);
+    }
+    const double overhead =
+        off_ms > 0 ? 100.0 * (on_ms - off_ms) / off_ms : 0;
+    telemetry_off_total += off_ms;
+    telemetry_on_total += on_ms;
+    std::printf("%-17s %12.3f %12.3f %11.1f%%\n", scenario_name(scenario),
+                off_ms, on_ms, overhead);
+    if (!json_telemetry.empty()) json_telemetry += ",";
+    json_telemetry += str_format(
+        "\n    {\"scenario\": \"%s\", \"clients\": %d, \"rounds\": %d, "
+        "\"telemetry_off_ms\": %.3f, \"telemetry_on_ms\": %.3f, "
+        "\"overhead_percent\": %.2f}",
+        scenario_name(scenario), clients, rounds, off_ms, on_ms, overhead);
+  }
+  metric::set_telemetry_enabled(true);
+  const double telemetry_overhead =
+      telemetry_off_total > 0
+          ? 100.0 * (telemetry_on_total - telemetry_off_total) /
+                telemetry_off_total
+          : 0;
+  const bool telemetry_gate_met = telemetry_overhead < 2.0;
+  std::printf("aggregate decision-path overhead with telemetry on: %.2f%% "
+              "(<2%% required): %s\n",
+              telemetry_overhead, telemetry_gate_met ? "yes" : "NO");
+
   FILE* out = std::fopen("BENCH_optimizer.json", "w");
   if (out != nullptr) {
     std::fprintf(out,
@@ -374,14 +421,19 @@ int run() {
                  "  \"steady_state_reduction_met\": %s,\n"
                  "  \"journaling\": [%s\n  ],\n"
                  "  \"journaling_regression_percent\": %.2f,\n"
-                 "  \"journaling_gate_met\": %s\n}\n",
+                 "  \"journaling_gate_met\": %s,\n"
+                 "  \"telemetry\": [%s\n  ],\n"
+                 "  \"telemetry_overhead_percent\": %.2f,\n"
+                 "  \"telemetry_gate_met\": %s\n}\n",
                  json_a1.c_str(), json_steady.c_str(),
                  reduction_met ? "true" : "false", json_journal.c_str(),
-                 journal_regression, journal_gate_met ? "true" : "false");
+                 journal_regression, journal_gate_met ? "true" : "false",
+                 json_telemetry.c_str(), telemetry_overhead,
+                 telemetry_gate_met ? "true" : "false");
     std::fclose(out);
     std::printf("wrote BENCH_optimizer.json\n");
   }
-  return ok && reduction_met && journal_gate_met ? 0 : 1;
+  return ok && reduction_met && journal_gate_met && telemetry_gate_met ? 0 : 1;
 }
 
 }  // namespace

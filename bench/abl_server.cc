@@ -35,6 +35,7 @@
 
 #include "common/strings.h"
 #include "core/controller.h"
+#include "metric/telemetry.h"
 #include "net/framing.h"
 #include "net/protocol.h"
 #include "net/server.h"
@@ -489,6 +490,105 @@ ModeResult run_mode(const Options& options, bool sharded) {
   return result;
 }
 
+// --- telemetry overhead on the wire path ----------------------------------
+// A fixed quantum of SET round trips through the sharded server with the
+// process-global telemetry flag on vs off, interleaved best-of-N minima.
+// The driver owns the instances it steers, so the UPDATE fan-out drains
+// through its own call() loop — one connection, no extra threads, and
+// every instrumented layer (shard framing, mailbox, controller epoch,
+// UPDATE ship) sits on the measured path.
+struct TelemetryOverheadResult {
+  double off_ms = 0;
+  double on_ms = 0;
+  double overhead_percent = 0;
+  bool gate_met = false;
+  bool ok = true;
+  std::string error;
+};
+
+TelemetryOverheadResult run_telemetry_overhead(const Options& options) {
+  TelemetryOverheadResult result;
+  core::ControllerConfig controller_config;
+  controller_config.optimizer.initial_policy =
+      core::OptimizerConfig::InitialPolicy::kFirstFeasible;
+  controller_config.optimizer.reevaluate_on_arrival = false;
+  controller_config.record_objective_metric = false;
+  auto controller = std::make_unique<core::Controller>(controller_config);
+  if (!controller->add_nodes_script(cluster_script()).ok() ||
+      !controller->finalize_cluster().ok()) {
+    result.ok = false;
+    result.error = "cluster setup failed";
+    return result;
+  }
+  net::ServerConfig server_config;
+  server_config.io_shards = 2;
+  auto server = std::make_unique<net::HarmonyTcpServer>(controller.get(),
+                                                        /*port=*/0,
+                                                        server_config);
+  auto bound = server->start();
+  if (!bound.ok()) {
+    result.ok = false;
+    result.error = "server start: " + bound.error().message;
+    return result;
+  }
+  std::thread serve_thread([&server] { server->run(); });
+
+  net::TcpTransport driver;
+  std::vector<core::InstanceId> ids;
+  bool setup_ok = driver.connect("localhost", bound.value()).ok();
+  for (int i = 0; setup_ok && i < 4; ++i) {
+    auto id = driver.register_app(swarm_bundle(i, /*v1=*/false));
+    if (id.ok()) {
+      ids.push_back(id.value());
+    } else {
+      setup_ok = false;
+    }
+  }
+  if (setup_ok) {
+    const int sets_per_pass = options.smoke ? 300 : 2000;
+    const int repeats = options.smoke ? 5 : 10;
+    double off_ms = 1e18, on_ms = 1e18;
+    for (int repeat = 0; repeat < repeats && setup_ok; ++repeat) {
+      for (bool enabled : {false, true}) {
+        metric::set_telemetry_enabled(enabled);
+        uint64_t round = 0;
+        const auto t0 = Clock::now();
+        for (int i = 0; i < sets_per_pass; ++i) {
+          const core::InstanceId id = ids[i % ids.size()];
+          if (i % ids.size() == ids.size() - 1) ++round;
+          const char* option = (round % 2 == 0) ? "slow" : "fast";
+          if (!driver.set_option(id, "place", option).ok()) {
+            setup_ok = false;
+            break;
+          }
+        }
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        if (enabled) {
+          on_ms = std::min(on_ms, wall_ms);
+        } else {
+          off_ms = std::min(off_ms, wall_ms);
+        }
+      }
+    }
+    metric::set_telemetry_enabled(true);
+    result.off_ms = off_ms;
+    result.on_ms = on_ms;
+    result.overhead_percent =
+        off_ms > 0 ? 100.0 * (on_ms - off_ms) / off_ms : 0;
+    result.gate_met = result.overhead_percent < 2.0;
+  }
+  if (!setup_ok && result.error.empty()) {
+    result.ok = false;
+    result.error = "telemetry overhead drive failed";
+  }
+  server->stop();
+  serve_thread.join();
+  server.reset();
+  return result;
+}
+
 int run(const Options& options) {
   // The swarm needs one fd per client plus headroom for the server side.
   rlimit limit{};
@@ -563,6 +663,20 @@ int run(const Options& options) {
   }
   ok = ok && gate_passed;
 
+  // Telemetry overhead on the wire path (always gated, smoke included).
+  auto telemetry = run_telemetry_overhead(options);
+  if (telemetry.ok) {
+    std::printf(
+        "\ntelemetry overhead (SET round-trip quantum, best-of-N): "
+        "off %.3f ms, on %.3f ms, overhead %.2f%% (<2%% required): %s\n",
+        telemetry.off_ms, telemetry.on_ms, telemetry.overhead_percent,
+        telemetry.gate_met ? "PASS" : "FAIL");
+  } else {
+    std::printf("\n!! telemetry overhead phase: %s\n",
+                telemetry.error.c_str());
+  }
+  ok = ok && telemetry.ok && telemetry.gate_met;
+
   FILE* out = std::fopen("BENCH_server.json", "w");
   if (out != nullptr) {
     std::fprintf(
@@ -572,11 +686,15 @@ int run(const Options& options) {
         "  \"ping_interval_ms\": %d,\n  \"paced_sets_per_sec\": %.0f,\n"
         "  \"modes\": [%s\n  ],\n"
         "  \"fanout_speedup\": %.3f,\n  \"p99_improved\": %s,\n"
-        "  \"gated\": %s,\n  \"gate_passed\": %s\n}\n",
+        "  \"gated\": %s,\n  \"gate_passed\": %s,\n"
+        "  \"telemetry_off_ms\": %.3f,\n  \"telemetry_on_ms\": %.3f,\n"
+        "  \"telemetry_overhead_percent\": %.2f,\n"
+        "  \"telemetry_gate_met\": %s\n}\n",
         options.clients, options.window_seconds, options.ping_interval_ms,
         options.paced_sets_per_sec, json.c_str(), speedup,
         p99_improved ? "true" : "false", gated ? "true" : "false",
-        gate_passed ? "true" : "false");
+        gate_passed ? "true" : "false", telemetry.off_ms, telemetry.on_ms,
+        telemetry.overhead_percent, telemetry.gate_met ? "true" : "false");
     std::fclose(out);
     std::printf("wrote BENCH_server.json\n");
   }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace harmony {
@@ -17,8 +18,14 @@ class RunningStats {
   double mean() const { return count_ ? mean_ : 0.0; }
   double variance() const;  // sample variance; 0 when count < 2
   double stddev() const;
-  double min() const { return count_ ? min_ : 0.0; }
-  double max() const { return count_ ? max_ : 0.0; }
+  // Empty-window identities (+inf / -inf), not 0.0: min(empty, x) must
+  // be x, and a spurious 0.0 min/max poisons merged bench aggregates.
+  double min() const {
+    return count_ ? min_ : std::numeric_limits<double>::infinity();
+  }
+  double max() const {
+    return count_ ? max_ : -std::numeric_limits<double>::infinity();
+  }
   double sum() const { return sum_; }
 
  private:

@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
@@ -82,8 +83,16 @@ bool parse_double(std::string_view text, double* out) {
   std::string buf(trim(text));
   if (buf.empty()) return false;
   char* end = nullptr;
+  errno = 0;
   double value = std::strtod(buf.c_str(), &end);
   if (end != buf.c_str() + buf.size()) return false;
+  // strtod clamps overflow to +/-HUGE_VAL with errno == ERANGE; a wire
+  // field like "1e999" must not parse "successfully" as infinity.
+  // Underflow also reports ERANGE but yields a representable denormal
+  // (or zero), which format_number round-trips — accept it.
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return false;
+  }
   *out = value;
   return true;
 }
@@ -92,8 +101,12 @@ bool parse_int64(std::string_view text, long long* out) {
   std::string buf(trim(text));
   if (buf.empty()) return false;
   char* end = nullptr;
+  errno = 0;
   long long value = std::strtoll(buf.c_str(), &end, 10);
   if (end != buf.c_str() + buf.size()) return false;
+  // strtoll clamps out-of-range input to LLONG_MIN/LLONG_MAX; reject
+  // instead of handing a clamped value to the caller.
+  if (errno == ERANGE) return false;
   *out = value;
   return true;
 }

@@ -1,6 +1,7 @@
 #include "core/console.h"
 
 #include "common/strings.h"
+#include "metric/telemetry.h"
 #include "rsl/value.h"
 
 namespace harmony::core {
@@ -190,6 +191,25 @@ void register_console(rsl::Interp& interp, Controller& controller) {
           return Err<std::string>(status.error().code, status.error().message);
         }
         return args[2];
+      });
+
+  interp.register_command(
+      "harmonyMetrics", [](rsl::Interp&, const Args& args) -> R {
+        // Same exposition the wire-level {METRICS} verb serves; the
+        // console reads the process-global registry directly.
+        if (args.size() > 2) return usage("harmonyMetrics ?prom|json|trace?");
+        const std::string format = args.size() == 2 ? args[1] : "prom";
+        if (format == "prom") {
+          return metric::Telemetry::instance().render_prometheus();
+        }
+        if (format == "json") {
+          return metric::Telemetry::instance().render_json();
+        }
+        if (format == "trace") {
+          return metric::TraceBuffer::instance().render_chrome_json();
+        }
+        return Err<std::string>(ErrorCode::kEvalError,
+                                "unknown metrics format: " + format);
       });
 
   interp.register_command(

@@ -57,6 +57,7 @@ void Controller::begin_epoch() {
   if (epoch_depth_++ > 0) return;
   epoch_applied_ = false;
   epoch_wall_start_ = std::chrono::steady_clock::now();
+  epoch_start_us_ = metric::telemetry_now_us();
   epoch_candidates_start_ = optimizer_->candidates_evaluated();
   epoch_predictor_start_ = optimizer_->predictor_calls();
   epoch_skipped_start_ = optimizer_->bundles_skipped();
@@ -83,6 +84,20 @@ void Controller::end_epoch() {
                                         epoch_skipped_start_));
     metrics_.record("optimizer.cache_hit_rate", t,
                     optimizer_->cache_stats().hit_rate());
+    // Thread-safe mirrors for live scrapes; the registry above remains
+    // the simulation-time record.
+    const uint64_t end_us = metric::telemetry_now_us();
+    tl_epochs_total_->increment();
+    tl_candidates_total_->add(optimizer_->candidates_evaluated() -
+                              epoch_candidates_start_);
+    tl_skips_total_->add(optimizer_->bundles_skipped() -
+                         epoch_skipped_start_);
+    tl_epoch_us_->record(end_us - epoch_start_us_);
+    if (metric::TraceBuffer::instance().enabled()) {
+      metric::TraceBuffer::instance().record("epoch.reevaluate",
+                                             epoch_start_us_,
+                                             end_us - epoch_start_us_);
+    }
   }
   // One coherent flush per external event, however many decision
   // batches it produced.

@@ -21,6 +21,7 @@
 #include "core/perf_model.h"
 #include "core/state.h"
 #include "metric/metric.h"
+#include "metric/telemetry.h"
 #include "rsl/rsl.h"
 
 namespace harmony::core {
@@ -281,9 +282,22 @@ class Controller {
   int epoch_depth_ = 0;
   bool epoch_applied_ = false;  // decisions were applied in this epoch
   std::chrono::steady_clock::time_point epoch_wall_start_;
+  uint64_t epoch_start_us_ = 0;  // telemetry clock, for the epoch span
   uint64_t epoch_candidates_start_ = 0;
   uint64_t epoch_predictor_start_ = 0;
   uint64_t epoch_skipped_start_ = 0;
+
+  // Thread-safe mirrors of the per-epoch decision metrics, resolved
+  // once: live scrapes (the METRICS verb) read these, while metrics_
+  // stays the single-threaded simulation-time record.
+  metric::Counter* tl_epochs_total_ =
+      &metric::telemetry_counter("controller.epochs_total");
+  metric::Counter* tl_candidates_total_ =
+      &metric::telemetry_counter("controller.epoch_candidates_total");
+  metric::Counter* tl_skips_total_ =
+      &metric::telemetry_counter("controller.epoch_skips_total");
+  metric::Histogram* tl_epoch_us_ =
+      &metric::telemetry_histogram("controller.epoch_us");
 
   struct PendingLink {
     std::string from;

@@ -10,7 +10,26 @@ namespace harmony::metric {
 void TimeSeries::add(double time, double value) {
   HARMONY_ASSERT_MSG(samples_.empty() || time >= samples_.back().time - 1e-9,
                      "metric samples must be time-ordered");
+  if (samples_.size() >= retention_) evict_oldest_block();
   samples_.push_back({time, value});
+}
+
+void TimeSeries::set_retention(size_t max_samples) {
+  HARMONY_ASSERT_MSG(max_samples >= 2, "retention must hold >= 2 samples");
+  retention_ = max_samples;
+  if (samples_.size() >= retention_) evict_oldest_block();
+}
+
+// Folds the oldest half of the retained window into the evicted
+// aggregate and erases it in one block. Block eviction keeps add()
+// amortized O(1) where a per-add pop_front would be O(n) — the same
+// quadratic shape the FrameBuffer fix removes from the net layer.
+void TimeSeries::evict_oldest_block() {
+  size_t drop = samples_.size() - retention_ / 2;
+  if (drop == 0 || drop > samples_.size()) drop = samples_.size() / 2;
+  for (size_t i = 0; i < drop; ++i) evicted_.add(samples_[i].value);
+  samples_.erase(samples_.begin(),
+                 samples_.begin() + static_cast<ptrdiff_t>(drop));
 }
 
 double TimeSeries::last_value() const {
@@ -40,10 +59,12 @@ RunningStats TimeSeries::stats_window(double window) const {
   return stats_between(to - window, to);
 }
 
-double TimeSeries::mean() const {
-  RunningStats stats;
+double TimeSeries::mean() const { return total_stats().mean(); }
+
+RunningStats TimeSeries::total_stats() const {
+  RunningStats stats = evicted_;
   for (const auto& s : samples_) stats.add(s.value);
-  return stats.mean();
+  return stats;
 }
 
 void MetricRegistry::record(const std::string& name, double time,
@@ -69,7 +90,12 @@ std::string MetricRegistry::export_csv(const std::string& name) const {
   if (ts == nullptr) return "";
   std::string out = "time,value\n";
   for (const auto& s : ts->samples()) {
-    out += str_format("%.6f,%.6f\n", s.time, s.value);
+    // Shortest exact round-trip, not a fixed precision: %.6f flattens
+    // sub-microsecond times and mangles large values.
+    out += format_number(s.time);
+    out += ',';
+    out += format_number(s.value);
+    out += '\n';
   }
   return out;
 }

@@ -24,24 +24,46 @@ struct Sample {
 
 class TimeSeries {
  public:
+  // Retention bound: a series never holds more than this many samples.
+  // When the bound is reached the oldest half is folded into
+  // total_stats() and evicted in one block (amortized O(1) per add),
+  // so long-running servers stop leaking while recent-window queries
+  // keep at least retention/2 trailing samples to work with.
+  static constexpr size_t kDefaultRetention = 1 << 16;
+
   // Sample times must be non-decreasing (simulation time).
   void add(double time, double value);
 
+  // Must be >= 2; evicts immediately if already over the new bound.
+  void set_retention(size_t max_samples);
+  size_t retention() const { return retention_; }
+
+  // Retained (most recent) samples only; see total_stats() for the
+  // all-time aggregate including evicted samples.
   const std::vector<Sample>& samples() const { return samples_; }
-  bool empty() const { return samples_.empty(); }
+  bool empty() const { return samples_.empty() && evicted_.count() == 0; }
   size_t size() const { return samples_.size(); }
+  // Total samples ever recorded, including evicted ones.
+  size_t total_count() const { return evicted_.count() + samples_.size(); }
   double last_value() const;
   double last_time() const;
 
-  // Statistics over samples with time in [from, to].
+  // Statistics over retained samples with time in [from, to].
   RunningStats stats_between(double from, double to) const;
   // Statistics over the trailing window [last_time - window, last_time].
   RunningStats stats_window(double window) const;
-  // Mean of all samples.
+  // Mean over every sample ever recorded (evicted included).
   double mean() const;
+  // All-time aggregate (count/mean/min/max/sum) over every sample ever
+  // recorded, evicted included.
+  RunningStats total_stats() const;
 
  private:
+  void evict_oldest_block();
+
   std::vector<Sample> samples_;
+  size_t retention_ = kDefaultRetention;
+  RunningStats evicted_;  // aggregate of samples dropped by retention
 };
 
 class MetricRegistry {

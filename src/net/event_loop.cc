@@ -72,7 +72,11 @@ Result<bool> OutboundRing::flush(const Fd& fd) {
   return true;
 }
 
-IoShard::IoShard(const ShardOptions& options) : options_(options) {
+IoShard::IoShard(const ShardOptions& options)
+    : options_(options),
+      accepts_total_(&metric::telemetry_counter("net.accepts_total")),
+      frames_in_total_(&metric::telemetry_counter("net.frames_in_total")),
+      frames_out_total_(&metric::telemetry_counter("net.frames_out_total")) {
   HARMONY_ASSERT(options_.mailbox != nullptr);
   HARMONY_ASSERT(options_.next_conn_id != nullptr);
 }
@@ -238,6 +242,7 @@ void IoShard::accept_pending() {
       return;
     }
     Fd fd = std::move(accepted).value();
+    accepts_total_->increment();
     (void)set_nonblocking(fd, true);
     if (options_.sndbuf_bytes > 0) {
       (void)::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF,
@@ -312,6 +317,7 @@ bool IoShard::read_conn(uint64_t id, Conn& conn) {
       return false;
     }
     if (!frame.value().has_value()) break;
+    frames_in_total_->increment();
     auto message = Message::decode(*frame.value());
     if (!message.ok()) {
       // Malformed payload inside a well-formed frame: the shard answers
@@ -319,6 +325,18 @@ bool IoShard::read_conn(uint64_t id, Conn& conn) {
       const std::string reply = encode_frame(
           Message::err(message.error().code, message.error().message)
               .encode());
+      frames_out_total_->increment();
+      if (!enqueue_output(id, conn, reply)) return false;
+      continue;
+    }
+    if (message.value().verb == "METRICS") {
+      // Scrapes are answered here, on the shard: telemetry instruments
+      // are process-global and thread-safe, so observability stays
+      // responsive even when the controller thread is saturated (or
+      // wedged) — the mailbox is never involved.
+      const std::string reply =
+          encode_frame(build_metrics_reply(message.value()).encode());
+      frames_out_total_->increment();
       if (!enqueue_output(id, conn, reply)) return false;
       continue;
     }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "metric/telemetry.h"
 #include "net/framing.h"
 #include "net/mailbox.h"
 #include "net/tcp.h"
@@ -120,6 +121,11 @@ class IoShard {
   void resume_listener_if_paused();
 
   ShardOptions options_;
+  // Shared process-global instruments, resolved once; recording from
+  // the shard thread is one relaxed add into a per-thread padded cell.
+  metric::Counter* accepts_total_;
+  metric::Counter* frames_in_total_;
+  metric::Counter* frames_out_total_;
   Fd epoll_;
   Fd wakeup_;  // eventfd: command queue / stop notifications
   Fd listener_;

@@ -15,21 +15,47 @@ std::string encode_frame(std::string_view payload) {
   return out;
 }
 
+void FrameBuffer::feed(std::string_view bytes) {
+  if (head_ == buffer_.size()) {
+    // Everything consumed: recycle the allocation without moving bytes.
+    buffer_.clear();
+    head_ = 0;
+  } else if (head_ >= kCompactThreshold || head_ > buffer_.size() / 2) {
+    compact();
+  }
+  buffer_.append(bytes);
+}
+
+void FrameBuffer::compact() {
+  buffer_.erase(0, head_);
+  head_ = 0;
+}
+
 Result<std::optional<std::string>> FrameBuffer::next_frame() {
-  if (buffer_.size() < 4) return std::optional<std::string>{};
-  uint32_t length = (static_cast<uint32_t>(static_cast<uint8_t>(buffer_[0])) << 24) |
-                    (static_cast<uint32_t>(static_cast<uint8_t>(buffer_[1])) << 16) |
-                    (static_cast<uint32_t>(static_cast<uint8_t>(buffer_[2])) << 8) |
-                    static_cast<uint32_t>(static_cast<uint8_t>(buffer_[3]));
+  size_t avail = buffer_.size() - head_;
+  if (avail < 4) return std::optional<std::string>{};
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(buffer_.data()) + head_;
+  uint32_t length = (static_cast<uint32_t>(p[0]) << 24) |
+                    (static_cast<uint32_t>(p[1]) << 16) |
+                    (static_cast<uint32_t>(p[2]) << 8) |
+                    static_cast<uint32_t>(p[3]);
   if (length > kMaxFrameBytes) {
     return Err<std::optional<std::string>>(ErrorCode::kProtocol,
                                            "frame length exceeds limit");
   }
-  if (buffer_.size() < 4 + static_cast<size_t>(length)) {
+  if (avail < 4 + static_cast<size_t>(length)) {
     return std::optional<std::string>{};
   }
-  std::string payload = buffer_.substr(4, length);
-  buffer_.erase(0, 4 + static_cast<size_t>(length));
+  // Advance the consumed-offset cursor instead of erasing the head:
+  // a read burst carrying many small frames is O(total bytes), not
+  // O(frames * buffered bytes). feed() compacts once the dead prefix
+  // is worth reclaiming.
+  std::string payload = buffer_.substr(head_ + 4, length);
+  head_ += 4 + static_cast<size_t>(length);
+  if (head_ == buffer_.size()) {
+    buffer_.clear();
+    head_ = 0;
+  }
   return std::optional<std::string>{std::move(payload)};
 }
 

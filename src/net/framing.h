@@ -20,17 +20,25 @@ std::string encode_frame(std::string_view payload);
 
 class FrameBuffer {
  public:
-  void feed(std::string_view bytes) { buffer_.append(bytes); }
+  void feed(std::string_view bytes);
 
   // Next complete frame's payload, or nullopt if more bytes are needed.
   // Returns an error (kProtocol) on an oversized length prefix; the
   // connection should be dropped.
   Result<std::optional<std::string>> next_frame();
 
-  size_t buffered_bytes() const { return buffer_.size(); }
+  size_t buffered_bytes() const { return buffer_.size() - head_; }
 
  private:
+  // Consumed bytes below this many are tolerated before feed() shifts
+  // the tail down; keeps head compaction amortized O(1) instead of the
+  // O(n^2) erase-per-frame a burst of small frames used to pay.
+  static constexpr size_t kCompactThreshold = 64 * 1024;
+
+  void compact();
+
   std::string buffer_;
+  size_t head_ = 0;  // consumed-offset cursor into buffer_
 };
 
 }  // namespace harmony::net

@@ -4,16 +4,26 @@
 
 namespace harmony::net {
 
-Mailbox::Mailbox(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+Mailbox::Mailbox(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      depth_high_water_(
+          &metric::telemetry_gauge("net.mailbox_depth_high_water")) {}
 
 bool Mailbox::push(NetEvent event) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_full_.wait(lock,
-                 [this] { return closed_ || queue_.size() < capacity_; });
-  if (closed_) return false;
-  queue_.push_back(std::move(event));
-  lock.unlock();
+  if (metric::telemetry_enabled()) {
+    event.enqueued_us = metric::telemetry_now_us();
+  }
+  size_t depth;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(event));
+    depth = queue_.size();
+  }
   not_empty_.notify_one();
+  depth_high_water_->record_max(static_cast<int64_t>(depth));
   return true;
 }
 

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "metric/telemetry.h"
 #include "net/protocol.h"
 
 namespace harmony::net {
@@ -33,6 +34,9 @@ struct NetEvent {
   // kClosed: the shard cut the connection at the slow-consumer
   // high-water mark rather than buffering without bound.
   bool overflow = false;
+  // Stamped by Mailbox::push when telemetry is enabled; the drain side
+  // turns it into the mailbox queue-wait histogram and epoch span.
+  uint64_t enqueued_us = 0;
 };
 
 class Mailbox {
@@ -57,6 +61,8 @@ class Mailbox {
   std::deque<NetEvent> queue_;
   const size_t capacity_;
   bool closed_ = false;
+  // High-water mark of the queued-event depth, updated on every push.
+  metric::Gauge* depth_high_water_;
 };
 
 }  // namespace harmony::net

@@ -1,6 +1,7 @@
 #include "net/protocol.h"
 
 #include "common/strings.h"
+#include "metric/telemetry.h"
 #include "rsl/value.h"
 
 namespace harmony::net {
@@ -38,6 +39,26 @@ Message Message::err(ErrorCode code, const std::string& message) {
 
 Message Message::update(const std::string& name, const std::string& value) {
   return Message{"UPDATE", {name, value}};
+}
+
+Message build_metrics_reply(const Message& request) {
+  if (request.args.size() > 1) {
+    return Message::err(ErrorCode::kProtocol,
+                        "METRICS expects at most a format argument");
+  }
+  const std::string format = request.args.empty() ? "prom" : request.args[0];
+  metric::telemetry_counter("net.metrics_scrapes_total").increment();
+  if (format == "prom") {
+    return Message::ok({metric::Telemetry::instance().render_prometheus()});
+  }
+  if (format == "json") {
+    return Message::ok({metric::Telemetry::instance().render_json()});
+  }
+  if (format == "trace") {
+    return Message::ok({metric::TraceBuffer::instance().render_chrome_json()});
+  }
+  return Message::err(ErrorCode::kProtocol,
+                      "unknown METRICS format: " + format);
 }
 
 }  // namespace harmony::net

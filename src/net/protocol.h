@@ -21,6 +21,11 @@
 //                                  bundle onto an option; not gated on
 //                                  connection ownership
 //     {REEVALUATE}                 request an adaptation pass
+//     {METRICS ?format?}           telemetry scrape; format is "prom"
+//                                  (default), "json", or "trace"
+//                                  (Chrome trace_event spans). Answered
+//                                  by the owning I/O shard without
+//                                  touching the controller thread.
 //   server -> client:
 //     {OK <args...>}               success (REGISTER returns the id,
 //                                  plus the session token under v2;
@@ -48,5 +53,10 @@ struct Message {
   static Message err(ErrorCode code, const std::string& message);
   static Message update(const std::string& name, const std::string& value);
 };
+
+// Builds the reply to a {METRICS ?format?} request from the
+// process-global telemetry registry. Thread-safe: I/O shards call this
+// directly so a scrape never waits on the controller thread.
+Message build_metrics_reply(const Message& request);
 
 }  // namespace harmony::net

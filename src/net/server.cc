@@ -63,7 +63,15 @@ HarmonyTcpServer::HarmonyTcpServer(core::Controller* controller,
     : controller_(controller),
       config_(config),
       port_(port),
-      mailbox_(config.mailbox_capacity) {
+      mailbox_(config.mailbox_capacity),
+      frames_out_total_(&metric::telemetry_counter("net.frames_out_total")),
+      session_parks_total_(
+          &metric::telemetry_counter("net.session_parks_total")),
+      backpressure_drops_total_(
+          &metric::telemetry_counter("net.backpressure_drops_total")),
+      connections_gauge_(&metric::telemetry_gauge("net.connections")),
+      parked_gauge_(&metric::telemetry_gauge("net.parked_sessions")),
+      mailbox_wait_us_(&metric::telemetry_histogram("net.mailbox_wait_us")) {
   HARMONY_ASSERT(controller != nullptr);
 }
 
@@ -211,8 +219,11 @@ void HarmonyTcpServer::serve_loop(int until_idle_ms) {
 bool HarmonyTcpServer::drain_once(int timeout_ms) {
   mailbox_.drain(drain_batch_, timeout_ms);
   reap_expired_sessions();
+  connections_gauge_->set(static_cast<int64_t>(connection_count()));
+  parked_gauge_->set(static_cast<int64_t>(parked_.size()));
   bool progress = !drain_batch_.empty();
   if (progress) {
+    record_mailbox_waits();
     // The owner binding covers exactly the window in which this thread
     // mutates core state. While the loop blocks in drain, the controller
     // stays unbound, so externally synchronized callers (tests, tools
@@ -238,6 +249,24 @@ bool HarmonyTcpServer::drain_once(int timeout_ms) {
   return progress;
 }
 
+void HarmonyTcpServer::record_mailbox_waits() {
+  if (!metric::telemetry_enabled()) return;
+  const uint64_t now_us = metric::telemetry_now_us();
+  uint64_t oldest_us = 0;
+  for (const auto& event : drain_batch_) {
+    // Events stamped while telemetry was disabled carry no timestamp.
+    if (event.enqueued_us == 0 || event.enqueued_us > now_us) continue;
+    if (oldest_us == 0) oldest_us = event.enqueued_us;
+    mailbox_wait_us_->record(now_us - event.enqueued_us);
+  }
+  // One queue-wait span per drain cycle: the oldest event's wait
+  // brackets the whole batch.
+  if (oldest_us != 0 && metric::TraceBuffer::instance().enabled()) {
+    metric::TraceBuffer::instance().record("mailbox.queue_wait", oldest_us,
+                                           now_us - oldest_us);
+  }
+}
+
 bool HarmonyTcpServer::process_net_event(NetEvent& event) {
   switch (event.kind) {
     case NetEvent::Kind::kAccepted: {
@@ -261,6 +290,11 @@ bool HarmonyTcpServer::process_net_event(NetEvent& event) {
       if (event.overflow) {
         HLOG_WARN("server") << "conn " << event.conn
                             << " cut at the slow-consumer high-water mark";
+        // A v2 session parks (counted in park_or_end); a v1 client
+        // loses its registrations outright.
+        if (it->second->session_token.empty()) {
+          backpressure_drops_total_->increment();
+        }
       }
       {
         core::Controller::EpochScope epoch(*controller_);
@@ -279,6 +313,7 @@ bool HarmonyTcpServer::process_net_event(NetEvent& event) {
 
 void HarmonyTcpServer::ship_staged() {
   if (egress_dirty_.empty()) return;
+  metric::ScopedSpan span("update.fanout");
   std::fill(shard_wake_.begin(), shard_wake_.end(), 0);
   for (Connection* connection : egress_dirty_) {
     if (connection->staged.empty()) continue;
@@ -309,6 +344,8 @@ bool HarmonyTcpServer::poll_once(int timeout_ms) {
   }
   int ready = ::poll(pollfds_.data(), pollfds_.size(), timeout_ms);
   reap_expired_sessions();
+  connections_gauge_->set(static_cast<int64_t>(connections_.size()));
+  parked_gauge_->set(static_cast<int64_t>(parked_.size()));
   if (ready <= 0) return false;
 
   if (pollfds_[0].revents & POLLIN) accept_new();
@@ -459,6 +496,11 @@ std::string HarmonyTcpServer::new_session_token() const {
 
 Message HarmonyTcpServer::handle_message(Connection& connection,
                                          const Message& message) {
+  if (message.verb == "METRICS") {
+    // Only reached in single-thread mode: the sharded front end answers
+    // scrapes on the owning I/O shard without a mailbox round trip.
+    return build_metrics_reply(message);
+  }
   if (message.verb == "REGISTER") {
     // v1: {REGISTER script} -> {OK id}. v2: {REGISTER script 2} ->
     // {OK id token}; the token makes the session resumable.
@@ -634,6 +676,7 @@ Message HarmonyTcpServer::handle_resume(Connection& connection,
 
 void HarmonyTcpServer::send(Connection& connection, const Message& message) {
   if (connection.drop) return;
+  frames_out_total_->increment();
   if (sharded()) {
     // Coalesce: every frame this drain cycle produces for a recipient
     // joins one staged batch, shipped to its shard as a single buffer
@@ -647,6 +690,9 @@ void HarmonyTcpServer::send(Connection& connection, const Message& message) {
     HLOG_WARN("server")
         << "slow consumer over the high-water mark; disconnecting";
     connection.drop = true;
+    if (connection.session_token.empty()) {
+      backpressure_drops_total_->increment();
+    }
     return;
   }
   if (!connection.corked) flush_writable(connection);
@@ -671,6 +717,7 @@ void HarmonyTcpServer::park_or_end(Connection& connection) {
     // empty (parked) so nothing references the dying connection.
     HLOG_INFO("server") << "connection dropped; parking session "
                         << token_prefix(connection.session_token);
+    session_parks_total_->increment();
     for (core::InstanceId id : connection.instances) {
       (void)controller_->subscribe(id, core::Controller::UpdateHandler{});
     }

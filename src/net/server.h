@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "metric/telemetry.h"
 #include "net/event_loop.h"
 #include "net/framing.h"
 #include "net/mailbox.h"
@@ -147,6 +148,9 @@ class HarmonyTcpServer {
   // Pushes the session's current instance list into the journal.
   void persist_session(const std::string& token,
                        const std::vector<core::InstanceId>& instances);
+  // Turns the drain batch's enqueue stamps into the mailbox queue-wait
+  // histogram and one per-cycle trace span.
+  void record_mailbox_waits();
   // Draws a fresh token that collides with no parked or live session;
   // empty when no secure randomness is available (the caller then
   // answers v1-style, non-resumable).
@@ -179,6 +183,14 @@ class HarmonyTcpServer {
   std::atomic<uint64_t> next_conn_id_ = 2;  // 0/1 are shard-internal tags
   std::atomic<uint64_t> accept_cursor_ = 0;
   std::atomic<size_t> shard_connections_ = 0;
+
+  // --- telemetry (process-global instruments, resolved once) --------------
+  metric::Counter* frames_out_total_;
+  metric::Counter* session_parks_total_;
+  metric::Counter* backpressure_drops_total_;
+  metric::Gauge* connections_gauge_;
+  metric::Gauge* parked_gauge_;
+  metric::Histogram* mailbox_wait_us_;
 
   // stop() may be called from another thread (tests, signal handlers);
   // everything else on the controller side is single-threaded.

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "metric/telemetry.h"
 
 namespace harmony::net {
 
@@ -46,6 +47,9 @@ Result<Message> TcpTransport::read_message(bool wait) {
 
 void TcpTransport::dispatch_update(const Message& message) {
   if (message.args.size() != 2) return;
+  if (resuming_) {
+    metric::telemetry_counter("client.resume_replays_total").increment();
+  }
   if (handlers_.empty()) {
     undelivered_.emplace_back(message.args[0], message.args[1]);
     return;
@@ -95,7 +99,9 @@ Status TcpTransport::reconnect_and_resume() {
       continue;
     }
     fd_ = std::move(fd).value();
+    resuming_ = true;
     auto reply = call_once(Message{"RESUME", {session_token_}});
+    resuming_ = false;
     if (!reply.ok()) {
       fd_ = Fd();
       inbound_ = FrameBuffer();
@@ -121,6 +127,7 @@ Status TcpTransport::reconnect_and_resume() {
     }
     HLOG_INFO("transport") << "session resumed after " << attempt
                            << " attempt(s)";
+    metric::telemetry_counter("client.reconnects_total").increment();
     return Status::Ok();
   }
   return Status(ErrorCode::kTransport, "reconnect attempts exhausted");

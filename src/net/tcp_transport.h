@@ -99,6 +99,9 @@ class TcpTransport : public client::Transport {
   // RESUME reply.
   std::vector<core::InstanceId> resumed_ids_;
   std::map<core::InstanceId, UpdateHandler> handlers_;
+  // True while a RESUME reply is being drained: UPDATE frames arriving
+  // then are the server's configuration replay, counted separately.
+  bool resuming_ = false;
   // Updates that arrived before any handler was installed (the server
   // pushes the initial snapshot during REGISTER, before the client
   // library subscribes). Replayed on the first subscribe().

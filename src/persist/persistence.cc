@@ -125,7 +125,13 @@ void Persistence::sync_loop() {
     // fsync outside the lock: a slow disk must not block the epoch
     // commits that merely set the request flag.
     lock.unlock();
-    Status status = journal_.sync();
+    Status status;
+    {
+      metric::ScopedSpan span("journal.fsync");
+      const uint64_t start_us = metric::telemetry_now_us();
+      status = journal_.sync();
+      fsync_us_->record(metric::telemetry_now_us() - start_us);
+    }
     lock.lock();
     if (!status.ok() && sync_error_.ok()) sync_error_ = status;
   }
@@ -236,9 +242,12 @@ void Persistence::on_epoch_commit() {
     return;
   }
   ++epochs_since_sync_;
-  journal_live_bytes_ += journal_.pending_bytes();
+  const uint64_t pending_bytes = journal_.pending_bytes();
+  journal_live_bytes_ += pending_bytes;
   if (config_.fsync_every_epochs == 0) {
+    metric::ScopedSpan span("journal.append");
     last_error_ = journal_.commit(/*sync=*/true);
+    if (last_error_.ok()) journal_bytes_total_->add(pending_bytes);
     epochs_since_sync_ = 0;
     return;
   }
@@ -252,7 +261,11 @@ void Persistence::on_epoch_commit() {
       last_sync_time_ = now;
     }
   }
-  last_error_ = journal_.commit(/*sync=*/false);
+  {
+    metric::ScopedSpan span("journal.append");
+    last_error_ = journal_.commit(/*sync=*/false);
+  }
+  if (last_error_.ok()) journal_bytes_total_->add(pending_bytes);
   if (sync) epochs_since_sync_ = 0;
   // Hand the due fsync to the sync thread and surface any error it hit
   // on an earlier one; the write above is the only disk wait this path
@@ -299,6 +312,8 @@ Status Persistence::flush() {
 // --- snapshot ----------------------------------------------------------------
 
 Status Persistence::snapshot_now() {
+  metric::ScopedSpan span("snapshot.write");
+  const uint64_t start_us = metric::telemetry_now_us();
   const core::SystemState& state = controller_->state();
   std::string data;
   uint64_t count = 0;
@@ -404,6 +419,8 @@ Status Persistence::snapshot_now() {
   epochs_since_sync_ = 0;
   journal_live_bytes_ = 0;
   last_sync_time_ = std::chrono::steady_clock::now();
+  snapshots_total_->increment();
+  snapshot_us_->record(metric::telemetry_now_us() - start_us);
   return Status::Ok();
 }
 

@@ -43,6 +43,7 @@
 
 #include "common/result.h"
 #include "core/controller.h"
+#include "metric/telemetry.h"
 #include "persist/journal.h"
 
 namespace harmony::persist {
@@ -161,6 +162,18 @@ class Persistence final : public core::EventSink {
   // portion a recovery would replay).
   uint64_t journal_live_bytes_ = 0;
   std::chrono::steady_clock::time_point last_sync_time_{};
+
+  // Thread-safe instruments (process-global, resolved once): journal
+  // volume on the commit path, fsync latency on the sync thread,
+  // snapshot cost on the compaction path.
+  metric::Counter* journal_bytes_total_ =
+      &metric::telemetry_counter("persist.journal_bytes_total");
+  metric::Counter* snapshots_total_ =
+      &metric::telemetry_counter("persist.snapshots_total");
+  metric::Histogram* fsync_us_ =
+      &metric::telemetry_histogram("persist.fsync_us");
+  metric::Histogram* snapshot_us_ =
+      &metric::telemetry_histogram("persist.snapshot_us");
 
   // --- background group commit --------------------------------------------
   // Runs the due fsyncs so the epoch-commit (decision) path only ever

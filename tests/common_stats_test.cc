@@ -15,6 +15,26 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(s.sum(), 0.0);
 }
 
+TEST(RunningStats, EmptyMinMaxAreIdentities) {
+  // An empty sample used to report min()==max()==0.0, which poisons
+  // std::min/std::max folds over several stats objects. The identities
+  // (+inf for min, -inf for max) make the empty object neutral.
+  RunningStats s;
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_GT(s.min(), 0.0);
+  EXPECT_TRUE(std::isinf(s.max()));
+  EXPECT_LT(s.max(), 0.0);
+  // Folding an empty object into a real one leaves the real extrema.
+  RunningStats real;
+  real.add(4.0);
+  EXPECT_DOUBLE_EQ(std::min(real.min(), s.min()), 4.0);
+  EXPECT_DOUBLE_EQ(std::max(real.max(), s.max()), 4.0);
+  // And the first add establishes both bounds.
+  s.add(-2.5);
+  EXPECT_DOUBLE_EQ(s.min(), -2.5);
+  EXPECT_DOUBLE_EQ(s.max(), -2.5);
+}
+
 TEST(RunningStats, SingleValue) {
   RunningStats s;
   s.add(5.0);

@@ -66,6 +66,31 @@ TEST(ParseInt64, AcceptsCompleteIntegersOnly) {
   EXPECT_FALSE(parse_int64("x", &v));
 }
 
+TEST(ParseInt64, RejectsOutOfRange) {
+  long long v = 0;
+  // strtoll saturates at the limits and sets ERANGE; accepting the
+  // clamped value would silently corrupt ids and counts.
+  EXPECT_FALSE(parse_int64("9223372036854775808", &v));   // INT64_MAX + 1
+  EXPECT_FALSE(parse_int64("-9223372036854775809", &v));  // INT64_MIN - 1
+  EXPECT_FALSE(parse_int64("99999999999999999999999999", &v));
+  // The exact limits still parse.
+  EXPECT_TRUE(parse_int64("9223372036854775807", &v));
+  EXPECT_EQ(v, 9223372036854775807LL);
+  EXPECT_TRUE(parse_int64("-9223372036854775808", &v));
+  EXPECT_EQ(v, -9223372036854775807LL - 1);
+}
+
+TEST(ParseDouble, RejectsOverflow) {
+  double v = 0;
+  EXPECT_FALSE(parse_double("1e999", &v));
+  EXPECT_FALSE(parse_double("-1e999", &v));
+  // Underflow to a denormal (or zero) is accepted: format_number's
+  // round-trip loop emits such values and must be able to reread them.
+  EXPECT_TRUE(parse_double("1e-320", &v));
+  EXPECT_GT(v, 0.0);
+  EXPECT_TRUE(parse_double("1e308", &v));
+}
+
 TEST(FormatNumber, IntegralValuesPrintWithoutPoint) {
   EXPECT_EQ(format_number(42.0), "42");
   EXPECT_EQ(format_number(-3.0), "-3");

@@ -83,7 +83,8 @@ TEST(MetricRegistry, CsvExport) {
   reg.record("m", 0.5, 1.25);
   std::string csv = reg.export_csv("m");
   EXPECT_NE(csv.find("time,value"), std::string::npos);
-  EXPECT_NE(csv.find("0.500000,1.250000"), std::string::npos);
+  // format_number emits shortest round-trip text, not fixed precision.
+  EXPECT_NE(csv.find("0.5,1.25"), std::string::npos);
   EXPECT_EQ(reg.export_csv("absent"), "");
 }
 
@@ -91,6 +92,36 @@ TEST(MetricRegistry, SeriesCreatesOnDemand) {
   MetricRegistry reg;
   reg.series("fresh").add(0, 1);
   EXPECT_TRUE(reg.has("fresh"));
+}
+
+TEST(TimeSeries, RetentionBoundsStoredSamples) {
+  TimeSeries ts;
+  ts.set_retention(8);
+  for (int i = 0; i < 100; ++i) ts.add(i, i * 1.0);
+  // Retained window never exceeds the configured bound...
+  EXPECT_LE(ts.size(), 8u);
+  // ...but the all-time aggregates still cover every sample.
+  EXPECT_EQ(ts.total_count(), 100u);
+  EXPECT_DOUBLE_EQ(ts.total_stats().mean(), 49.5);
+  EXPECT_DOUBLE_EQ(ts.mean(), 49.5);
+  EXPECT_DOUBLE_EQ(ts.total_stats().max(), 99.0);
+  // The retained tail is the newest samples, still in order.
+  EXPECT_DOUBLE_EQ(ts.last_value(), 99.0);
+  EXPECT_DOUBLE_EQ(ts.samples().front().value,
+                   100.0 - static_cast<double>(ts.size()));
+  EXPECT_FALSE(ts.empty());
+}
+
+TEST(TimeSeries, RetentionEvictsInBlocks) {
+  TimeSeries ts;
+  ts.set_retention(16);
+  for (int i = 0; i < 16; ++i) ts.add(i, 1.0);
+  EXPECT_EQ(ts.size(), 16u);
+  // The 17th add folds the oldest half into the evicted aggregate in
+  // one block, so adds stay amortized O(1).
+  ts.add(16, 1.0);
+  EXPECT_EQ(ts.size(), 9u);
+  EXPECT_EQ(ts.total_count(), 17u);
 }
 
 }  // namespace

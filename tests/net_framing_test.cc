@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "net/protocol.h"
 
 namespace harmony::net {
@@ -66,6 +68,53 @@ TEST(Framing, BinaryPayloadSurvives) {
   ASSERT_TRUE(frame.ok());
   ASSERT_TRUE(frame.value().has_value());
   EXPECT_EQ(*frame.value(), payload);
+}
+
+TEST(Framing, ManySmallFramesAreNotQuadratic) {
+  // next_frame() used to erase the consumed prefix per frame, making a
+  // burst of N buffered frames O(N^2) in copied bytes. The consumed-
+  // offset cursor makes the same burst linear; the wall bound below
+  // fails by a wide margin if the erase ever comes back (the quadratic
+  // version takes minutes at this count).
+  constexpr int kFrames = 200000;
+  std::string wire;
+  for (int i = 0; i < kFrames; ++i) {
+    wire += encode_frame("m" + std::to_string(i));
+  }
+  FrameBuffer buffer;
+  const auto start = std::chrono::steady_clock::now();
+  buffer.feed(wire);
+  for (int i = 0; i < kFrames; ++i) {
+    auto frame = buffer.next_frame();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(frame.value().has_value()) << "frame " << i;
+    EXPECT_EQ(*frame.value(), "m" + std::to_string(i));
+  }
+  EXPECT_EQ(buffer.buffered_bytes(), 0u);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);
+}
+
+TEST(Framing, CompactionPreservesPartialFrame) {
+  // Drive the buffer past the compaction threshold with a partial frame
+  // pending: the shift-down must keep the unconsumed tail intact.
+  FrameBuffer buffer;
+  std::string big(70 * 1024, 'x');  // beyond the 64 KiB threshold
+  buffer.feed(encode_frame(big));
+  ASSERT_TRUE(buffer.next_frame().value().has_value());
+  // Head now points past 70 KiB of consumed bytes. Feed a frame split
+  // in two: the first feed triggers compaction mid-frame.
+  std::string wire = encode_frame("after compaction");
+  buffer.feed(wire.substr(0, 5));
+  auto partial = buffer.next_frame();
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(partial.value().has_value());
+  buffer.feed(wire.substr(5));
+  auto frame = buffer.next_frame();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(*frame.value(), "after compaction");
 }
 
 TEST(Framing, OversizedLengthIsProtocolError) {

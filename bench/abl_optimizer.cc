@@ -23,9 +23,11 @@
 #include "apps/scenarios.h"
 #include "common/strings.h"
 #include "core/controller.h"
+#include "core/domain.h"
 #include "metric/telemetry.h"
 #include "persist/persistence.h"
 #include "rsl/program.h"
+#include "test_scenarios.h"
 
 namespace {
 
@@ -211,6 +213,85 @@ SteadyResult run_steady(bool incremental, Scenario scenario, int clients,
 double ratio(uint64_t full, uint64_t incremental) {
   if (incremental == 0) return full > 0 ? 1e9 : 1.0;
   return static_cast<double>(full) / static_cast<double>(incremental);
+}
+
+// --- Partitioned decision core: multi-tenant scaling ----------------------
+// kTenantGroups isolated app groups (hostname-pinned bundles, so the
+// bundle/node sharing graph has one connected component per group)
+// behind one decision core. Each round flips external load under one
+// group, round-robin. The single-domain reference re-establishes the
+// system argmin by re-deciding every bundle; the partitioned core
+// routes the event to the owning domain and proves every out-of-domain
+// bundle unchanged without touching it — per-event cost O(domain)
+// instead of O(system). Decision identity is asserted on the final
+// configuration fingerprint.
+
+constexpr int kTenantGroups = 8;
+constexpr int kTenantNodesPerGroup = 3;
+constexpr int kTenantAppsPerGroup = 3;
+constexpr int kTenantRounds = 200;
+
+struct PartitionRun {
+  double wall_ms = 0;
+  std::string fingerprint;
+  bool ok = true;
+};
+
+PartitionRun run_partition_mode(bool single_domain) {
+  core::DomainRouterConfig config;
+  config.single_domain = single_domain;
+  // One worker for both modes: the quantity measured here is the
+  // algorithmic per-event cost, not thread parallelism (on multi-core
+  // hosts more workers stack a parallel speedup on top).
+  config.workers = 1;
+  // Full decision pass per event on BOTH sides. The dirty-set engine is
+  // ablated separately (A1b above) and composes multiplicatively; this
+  // section isolates what the domain decomposition alone saves.
+  config.controller.optimizer.incremental = false;
+  config.controller.optimizer.memoize_predictions = false;
+  core::DomainRouter router(config);
+  PartitionRun result;
+  double t = 0;
+  router.set_time_source([&t] { return t; });
+  std::vector<std::string> groups;
+  for (int g = 0; g < kTenantGroups; ++g) {
+    groups.push_back(str_format("g%02d", g));
+  }
+  if (!router
+           .add_nodes_script(harmony::testing::grouped_cluster_script(
+               groups, kTenantNodesPerGroup))
+           .ok() ||
+      !router.finalize_cluster().ok()) {
+    result.ok = false;
+    return result;
+  }
+  int tag = 1;
+  for (const auto& group : groups) {
+    for (int i = 0; i < kTenantAppsPerGroup; ++i) {
+      t += 10;
+      if (!router.register_script(
+                    harmony::testing::pinned_group_bundle(group, tag++))
+               .ok()) {
+        result.ok = false;
+        return result;
+      }
+    }
+  }
+  router.quiesce();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < kTenantRounds; ++round) {
+    t += 10;
+    const std::string host = str_format("g%02d-00", round % kTenantGroups);
+    if (!router.report_external_load(host, round % 2 ? 0 : 2).ok()) {
+      result.ok = false;
+      return result;
+    }
+  }
+  router.quiesce();
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.fingerprint = harmony::testing::fingerprint(router);
+  return result;
 }
 
 int run() {
@@ -412,6 +493,71 @@ int run() {
               "(<2%% required): %s\n",
               telemetry_overhead, telemetry_gate_met ? "yes" : "NO");
 
+  // --- Partitioned decision core: multi-tenant scaling --------------------
+  // Acceptance: >=4x equivalent decisions/s over the --single-domain
+  // reference on >=8 independent app groups, with a bit-equal final
+  // configuration fingerprint.
+  const uint64_t tenant_instances =
+      static_cast<uint64_t>(kTenantGroups) * kTenantAppsPerGroup;
+  const uint64_t tenant_decisions =
+      static_cast<uint64_t>(kTenantRounds) * tenant_instances;
+  std::printf("\n=== Partitioned decision core: multi-tenant scaling ===\n");
+  std::printf("scenario: %d hostname-pinned app groups (%d apps each, %d "
+              "nodes each), %d load-flip rounds round-robin across groups\n\n",
+              kTenantGroups, kTenantAppsPerGroup, kTenantNodesPerGroup,
+              kTenantRounds);
+  double reference_ms = 1e18, partitioned_ms = 1e18;
+  bool identity_match = true;
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    auto reference = run_partition_mode(/*single_domain=*/true);
+    auto partitioned = run_partition_mode(/*single_domain=*/false);
+    ok = ok && reference.ok && partitioned.ok;
+    identity_match = identity_match && reference.ok && partitioned.ok &&
+                     reference.fingerprint == partitioned.fingerprint;
+    reference_ms = std::min(reference_ms, reference.wall_ms);
+    partitioned_ms = std::min(partitioned_ms, partitioned.wall_ms);
+  }
+  const double partition_speedup =
+      partitioned_ms > 0 ? reference_ms / partitioned_ms : 0;
+  const double reference_dps =
+      reference_ms > 0 ? tenant_decisions / (reference_ms / 1000.0) : 0;
+  const double partitioned_dps =
+      partitioned_ms > 0 ? tenant_decisions / (partitioned_ms / 1000.0) : 0;
+  const bool partition_gate_met = partition_speedup >= 4.0 && identity_match;
+  std::printf("%-17s %12s %12s %12s %10s\n", "mode", "wall_ms",
+              "decisions/s", "speedup", "identity");
+  std::printf("%-17s %12.3f %12.0f %12s %10s\n", "single_domain",
+              reference_ms, reference_dps, "1.0x", "-");
+  std::printf("%-17s %12.3f %12.0f %11.1fx %10s\n", "partitioned",
+              partitioned_ms, partitioned_dps, partition_speedup,
+              identity_match ? "bit-equal" : "DIVERGED");
+  std::printf("partitioned >=4x decisions/s with bit-equal decisions: %s\n",
+              partition_gate_met ? "yes" : "NO");
+
+  // Telemetry overhead gate re-run with domains enabled: per-domain
+  // epoch counters/histograms and the domain.reevaluate span must stay
+  // inside the same <2% envelope as the single-controller instruments.
+  double domains_off_ms = 1e18, domains_on_ms = 1e18;
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    metric::set_telemetry_enabled(false);
+    auto off = run_partition_mode(/*single_domain=*/false);
+    metric::set_telemetry_enabled(true);
+    auto on = run_partition_mode(/*single_domain=*/false);
+    ok = ok && off.ok && on.ok;
+    domains_off_ms = std::min(domains_off_ms, off.wall_ms);
+    domains_on_ms = std::min(domains_on_ms, on.wall_ms);
+  }
+  metric::set_telemetry_enabled(true);
+  const double domains_telemetry_overhead =
+      domains_off_ms > 0
+          ? 100.0 * (domains_on_ms - domains_off_ms) / domains_off_ms
+          : 0;
+  const bool domains_telemetry_gate_met = domains_telemetry_overhead < 2.0;
+  std::printf("telemetry overhead with domains enabled: %.2f%% "
+              "(<2%% required): %s\n",
+              domains_telemetry_overhead,
+              domains_telemetry_gate_met ? "yes" : "NO");
+
   FILE* out = std::fopen("BENCH_optimizer.json", "w");
   if (out != nullptr) {
     std::fprintf(out,
@@ -424,16 +570,38 @@ int run() {
                  "  \"journaling_gate_met\": %s,\n"
                  "  \"telemetry\": [%s\n  ],\n"
                  "  \"telemetry_overhead_percent\": %.2f,\n"
-                 "  \"telemetry_gate_met\": %s\n}\n",
+                 "  \"telemetry_gate_met\": %s,\n"
+                 "  \"partitioned\": {\n"
+                 "    \"groups\": %d, \"nodes_per_group\": %d, "
+                 "\"apps_per_group\": %d, \"rounds\": %d,\n"
+                 "    \"decisions\": %llu,\n"
+                 "    \"single_domain_ms\": %.3f, \"partitioned_ms\": %.3f,\n"
+                 "    \"single_domain_decisions_per_sec\": %.1f,\n"
+                 "    \"partitioned_decisions_per_sec\": %.1f,\n"
+                 "    \"speedup\": %.2f, \"identity_match\": %s,\n"
+                 "    \"speedup_gate_met\": %s,\n"
+                 "    \"telemetry_off_ms\": %.3f, \"telemetry_on_ms\": %.3f,\n"
+                 "    \"telemetry_overhead_percent\": %.2f,\n"
+                 "    \"telemetry_gate_met\": %s\n  }\n}\n",
                  json_a1.c_str(), json_steady.c_str(),
                  reduction_met ? "true" : "false", json_journal.c_str(),
                  journal_regression, journal_gate_met ? "true" : "false",
                  json_telemetry.c_str(), telemetry_overhead,
-                 telemetry_gate_met ? "true" : "false");
+                 telemetry_gate_met ? "true" : "false", kTenantGroups,
+                 kTenantNodesPerGroup, kTenantAppsPerGroup, kTenantRounds,
+                 static_cast<unsigned long long>(tenant_decisions),
+                 reference_ms, partitioned_ms, reference_dps, partitioned_dps,
+                 partition_speedup, identity_match ? "true" : "false",
+                 partition_gate_met ? "true" : "false", domains_off_ms,
+                 domains_on_ms, domains_telemetry_overhead,
+                 domains_telemetry_gate_met ? "true" : "false");
     std::fclose(out);
     std::printf("wrote BENCH_optimizer.json\n");
   }
-  return ok && reduction_met && journal_gate_met && telemetry_gate_met ? 0 : 1;
+  return ok && reduction_met && journal_gate_met && telemetry_gate_met &&
+                 partition_gate_met && domains_telemetry_gate_met
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full verification sweep: build + ctest in the regular config, then in
-# the ASan+UBSan config. Usage: scripts/check.sh [-j N]
+# the ASan+UBSan config, then the partitioned-decision-core suite under
+# ThreadSanitizer (domain workers cross threads; the differential and
+# storm tests are the ones that would race). Usage: scripts/check.sh [-j N]
 set -euo pipefail
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -26,5 +28,16 @@ run_config() {
 
 run_config default build
 run_config asan build-asan -DHARMONY_SANITIZE=ON
+
+# TSan: only the multi-threaded decision-core suite — building the
+# whole tree under a third config would double the sweep for tests
+# that never leave one thread.
+echo "=== [tsan] configure ==="
+cmake -B build-tsan -S . -DHARMONY_TSAN=ON
+echo "=== [tsan] build ==="
+cmake --build build-tsan -j "$jobs" --target core_domain_test core_storm_test
+echo "=== [tsan] test ==="
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+  -R '^core_(domain|storm)_test$'
 
 echo "=== all configs green ==="

@@ -1,6 +1,7 @@
 #include "core/console.h"
 
 #include "common/strings.h"
+#include "core/domain.h"
 #include "metric/telemetry.h"
 #include "rsl/value.h"
 
@@ -210,6 +211,30 @@ void register_console(rsl::Interp& interp, Controller& controller) {
         }
         return Err<std::string>(ErrorCode::kEvalError,
                                 "unknown metrics format: " + format);
+      });
+
+  interp.register_command(
+      "harmonyDomains", [](rsl::Interp&, const Args& args) -> R {
+        // Mirrors the wire-level {DOMAINS} verb: reads the published
+        // router's stats mirror, so it is safe while domain workers are
+        // mid-decision and needs no reference to a specific controller.
+        if (args.size() != 1) return usage("harmonyDomains");
+        bool published = false;
+        auto domains = published_domains(&published);
+        if (!published) {
+          return Err<std::string>(ErrorCode::kNotFound,
+                                  "no domain router published");
+        }
+        std::vector<std::string> rows;
+        for (const auto& domain : domains) {
+          rows.push_back(rsl::list_build(
+              {str_format("%u", domain.id), str_format("%zu", domain.worker),
+               rsl::list_build(domain.members),
+               str_format("%llu",
+                          static_cast<unsigned long long>(domain.epochs)),
+               format_number(domain.last_decision_ms)}));
+        }
+        return rsl::list_build(rows);
       });
 
   interp.register_command(

@@ -17,6 +17,10 @@
 //   harmonyNodeState <host> online|offline   runtime node add/delete
 //   harmonyExternalLoad <host> <tasks>       report outside load (§4.3)
 //   harmonyName <path>                    -> read any namespace entry
+//   harmonyDomains                        -> one {id worker {members}
+//                                            epochs last_ms} row per
+//                                            optimization domain of the
+//                                            published DomainRouter
 #pragma once
 
 #include "core/controller.h"

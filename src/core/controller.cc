@@ -481,9 +481,17 @@ Status Controller::restore_instance(
     }
     state_.touch_allocation(bundle->allocation);
   }
-  state_.instances.push_back(std::move(instance));
+  // Insert in id order: snapshot restores arrive ascending, but a
+  // domain merge can restore an older instance into a controller that
+  // already holds younger ones, and find_instance binary-searches.
+  auto pos = std::lower_bound(
+      state_.instances.begin(), state_.instances.end(), id,
+      [](const InstanceState& existing, InstanceId key) {
+        return existing.id < key;
+      });
+  pos = state_.instances.insert(pos, std::move(instance));
   next_instance_id_ = std::max(next_instance_id_, id + 1);
-  publish_instance(state_.instances.back());
+  publish_instance(*pos);
   // Refresh the optimizer's view of the namespace, as apply_decisions
   // would after a republish.
   optimizer_->set_names(names_context());

@@ -1,0 +1,975 @@
+#include "core/domain.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/strings.h"
+#include "metric/telemetry.h"
+#include "rsl/rsl.h"
+
+namespace harmony::core {
+
+namespace {
+
+uint64_t steady_us() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::mutex g_publish_mutex;
+DomainRouter* g_published_router = nullptr;
+
+}  // namespace
+
+void publish_domain_router(DomainRouter* router) {
+  std::lock_guard<std::mutex> lock(g_publish_mutex);
+  g_published_router = router;
+}
+
+std::vector<DomainRouter::DomainInfo> published_domains(bool* published) {
+  DomainRouter* router = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_publish_mutex);
+    router = g_published_router;
+  }
+  if (published != nullptr) *published = router != nullptr;
+  if (router == nullptr) return {};
+  return router->snapshot();
+}
+
+// --- worker pool -----------------------------------------------------------
+
+struct DomainRouter::Worker {
+  std::mutex mutex;
+  std::condition_variable cv;        // queue became non-empty / stop
+  std::condition_variable idle_cv;   // queue drained and op finished
+  std::deque<std::function<void()>> queue;  // guarded by mutex
+  bool busy = false;                        // guarded by mutex
+  bool stop = false;                        // guarded by mutex
+  std::thread thread;
+
+  void start() {
+    thread = std::thread([this] { run(); });
+  }
+
+  void post(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      queue.push_back(std::move(fn));
+    }
+    cv.notify_one();
+  }
+
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex);
+    idle_cv.wait(lock, [this] { return queue.empty() && !busy; });
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stop = true;
+    }
+    cv.notify_one();
+    if (thread.joinable()) thread.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      cv.wait(lock, [this] { return stop || !queue.empty(); });
+      if (queue.empty()) {
+        if (stop) return;
+        continue;
+      }
+      auto fn = std::move(queue.front());
+      queue.pop_front();
+      busy = true;
+      lock.unlock();
+      fn();
+      lock.lock();
+      busy = false;
+      if (queue.empty()) idle_cv.notify_all();
+    }
+  }
+};
+
+// --- per-domain state ------------------------------------------------------
+
+// Forwards a domain controller's events into the shared WAL, tagged
+// with the domain id and the next per-domain sequence number. Runs on
+// the domain's worker thread (or the router thread during merge/split
+// bookkeeping); DomainJournal implementations are synchronized.
+class DomainRouter::Tap final : public EventSink {
+ public:
+  Tap(DomainRouter* router, Domain* domain)
+      : router_(router), domain_(domain) {}
+
+  void on_controller_event(const ControllerEvent& event) override;
+  void on_epoch_commit() override;
+
+ private:
+  DomainRouter* router_;
+  Domain* domain_;
+};
+
+struct DomainRouter::Domain {
+  uint32_t id = 0;
+  size_t worker = 0;
+  // Journal sequence number of this domain's event stream. Touched only
+  // by the owning worker mid-op and by the router after wait_idle.
+  uint64_t dseq = 0;
+  // Controller time, sampled by the router when each op was posted and
+  // installed by the worker before applying it.
+  double now = 0;
+  uint64_t epochs = 0;  // ops applied; same access discipline as dseq
+  std::unique_ptr<Tap> tap;
+  std::unique_ptr<Controller> controller;
+  std::vector<InstanceId> instances;       // sorted
+  std::vector<cluster::NodeId> footprint;  // sorted, unique
+  metric::Counter* epochs_total = nullptr;
+  metric::Histogram* epoch_us = nullptr;
+};
+
+void DomainRouter::Tap::on_controller_event(const ControllerEvent& event) {
+  if (router_->journal_ == nullptr) return;
+  router_->journal_->on_domain_event(domain_->id, ++domain_->dseq, event);
+}
+
+void DomainRouter::Tap::on_epoch_commit() {
+  if (router_->journal_ == nullptr) return;
+  router_->journal_->on_domain_epoch_commit(domain_->id);
+}
+
+// --- construction ----------------------------------------------------------
+
+DomainRouter::DomainRouter(DomainRouterConfig config)
+    : config_(std::move(config)),
+      objective_(make_objective(config_.controller.objective)) {
+  partitioned_ = !config_.single_domain && objective_ != nullptr &&
+                 objective_->separable();
+  const int workers = std::max(1, config_.workers);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->start();
+  }
+}
+
+DomainRouter::~DomainRouter() {
+  quiesce();
+  for (auto& worker : workers_) worker->shutdown();
+  {
+    std::lock_guard<std::mutex> lock(g_publish_mutex);
+    if (g_published_router == this) g_published_router = nullptr;
+  }
+}
+
+// --- cluster setup ---------------------------------------------------------
+
+Status DomainRouter::add_node(const rsl::NodeAd& ad) {
+  auto status = template_.add_node(ad);
+  if (status.ok()) node_ads_.push_back(ad);
+  return status;
+}
+
+Status DomainRouter::add_nodes_script(const std::string& rsl_script) {
+  rsl::RslHost host;
+  host.on_node([this](const rsl::NodeAd& ad) { return add_node(ad); });
+  return host.eval_script(rsl_script);
+}
+
+Status DomainRouter::link_hosts(const std::string& host_a,
+                                const std::string& host_b,
+                                double bandwidth_mbps, double latency_ms) {
+  auto status = template_.link_hosts(host_a, host_b, bandwidth_mbps,
+                                     latency_ms);
+  if (status.ok()) {
+    links_.push_back({host_a, host_b, bandwidth_mbps, latency_ms});
+  }
+  return status;
+}
+
+Status DomainRouter::finalize_cluster() {
+  auto status = template_.finalize_cluster();
+  // Idempotent like the controller's — registration calls in every
+  // time. Size the ownership index only once: re-assigning would wipe
+  // which domain owns which node.
+  if (status.ok() &&
+      node_domain_.size() != template_.topology().nodes().size()) {
+    node_domain_.assign(template_.topology().nodes().size(), 0);
+  }
+  return status;
+}
+
+bool DomainRouter::cluster_finalized() const {
+  return template_.cluster_finalized();
+}
+
+const cluster::Topology& DomainRouter::topology() const {
+  return template_.topology();
+}
+
+void DomainRouter::set_time_source(std::function<double()> source) {
+  time_source_ = std::move(source);
+}
+
+void DomainRouter::attach_journal(DomainJournal* journal) {
+  HARMONY_ASSERT_MSG(domains_.empty(),
+                     "attach_journal before the first registration");
+  journal_ = journal;
+}
+
+double DomainRouter::sample_now() {
+  return time_source_ ? time_source_() : 0.0;
+}
+
+// --- worker dispatch -------------------------------------------------------
+
+void DomainRouter::wait_idle(size_t worker) const {
+  workers_[worker]->wait_idle();
+}
+
+void DomainRouter::quiesce() {
+  for (size_t i = 0; i < workers_.size(); ++i) wait_idle(i);
+}
+
+template <typename R>
+R DomainRouter::run_on_domain(Domain& domain, double time,
+                              std::function<R(Controller&)> op) {
+  std::optional<R> result;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  Domain* d = &domain;
+  workers_[domain.worker]->post([this, d, time, &op, &result, &done_mutex,
+                                 &done_cv, &done] {
+    const uint64_t start_us = steady_us();
+    d->now = time;
+    d->controller->bind_owner_thread();
+    result.emplace(op(*d->controller));
+    d->controller->unbind_owner_thread();
+    note_op_applied(*d, start_us);
+    // Notify under the mutex: done_cv/done_mutex live on the caller's
+    // stack, and the caller may return (and reuse the frame) the moment
+    // it observes `done` with the mutex free. Holding the lock across
+    // the notify keeps the waiter blocked until this thread is done
+    // touching both objects.
+    std::lock_guard<std::mutex> lock(done_mutex);
+    done = true;
+    done_cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&done] { return done; });
+  return std::move(*result);
+}
+
+void DomainRouter::post_on_domain(Domain& domain, double time,
+                                  std::function<void(Controller&)> op) {
+  Domain* d = &domain;
+  workers_[domain.worker]->post([this, d, time, op = std::move(op)] {
+    const uint64_t start_us = steady_us();
+    d->now = time;
+    d->controller->bind_owner_thread();
+    op(*d->controller);
+    d->controller->unbind_owner_thread();
+    note_op_applied(*d, start_us);
+  });
+}
+
+void DomainRouter::note_op_applied(Domain& domain, uint64_t start_us) {
+  const uint64_t end_us = steady_us();
+  ++domain.epochs;
+  domain.epochs_total->increment();
+  domain.epoch_us->record(end_us - start_us);
+  if (metric::TraceBuffer::instance().enabled()) {
+    metric::TraceBuffer::instance().record("domain.reevaluate", start_us,
+                                           end_us - start_us);
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  auto it = info_.find(domain.id);
+  if (it != info_.end()) {
+    it->second.epochs = domain.epochs;
+    it->second.last_decision_ms =
+        static_cast<double>(end_us - start_us) / 1000.0;
+  }
+}
+
+// --- domain lifecycle ------------------------------------------------------
+
+Status DomainRouter::build_domain_cluster(Controller& controller) const {
+  for (const auto& ad : node_ads_) {
+    auto status = controller.add_node(ad);
+    if (!status.ok()) return status;
+  }
+  for (const auto& link : links_) {
+    auto status = controller.link_hosts(link.from, link.to,
+                                        link.bandwidth_mbps, link.latency_ms);
+    if (!status.ok()) return status;
+  }
+  return controller.finalize_cluster();
+}
+
+void DomainRouter::sync_node_state(Controller& controller) const {
+  // Reconcile the controller's pool with the master node state: a
+  // domain only sees events for nodes it owns, so nodes annexed by a
+  // merge or a widening registration may be stale. Restores touch no
+  // allocations and emit no events, so reconciliation cannot change a
+  // decision the reference path would not also make.
+  const auto& pool = *controller.state().pool;
+  for (const auto& node : controller.topology().nodes()) {
+    auto load_it = external_load_.find(node.id);
+    const int desired_load = load_it == external_load_.end() ? 0
+                                                             : load_it->second;
+    if (pool.external_load(node.id) != desired_load) {
+      auto status = controller.restore_external_load(node.hostname,
+                                                     desired_load);
+      HARMONY_ASSERT_MSG(status.ok(), "node-state reconciliation failed");
+    }
+    const bool desired_online = node_offline_.find(node.id) ==
+                                node_offline_.end();
+    if (pool.is_online(node.id) != desired_online) {
+      auto status = controller.restore_node_online(node.hostname,
+                                                   desired_online);
+      HARMONY_ASSERT_MSG(status.ok(), "node-state reconciliation failed");
+    }
+  }
+}
+
+DomainRouter::Domain& DomainRouter::create_domain(uint32_t id,
+                                                  size_t worker_hint) {
+  auto domain = std::make_unique<Domain>();
+  domain->id = id;
+  domain->worker = worker_hint % workers_.size();
+  domain->controller = std::make_unique<Controller>(config_.controller);
+  auto built = build_domain_cluster(*domain->controller);
+  HARMONY_ASSERT_MSG(built.ok(), "replaying cluster into domain failed");
+  Domain* raw = domain.get();
+  domain->controller->set_time_source([raw] { return raw->now; });
+  sync_node_state(*domain->controller);
+  domain->tap = std::make_unique<Tap>(this, raw);
+  domain->controller->set_event_sink(domain->tap.get());
+  domain->epochs_total = &metric::telemetry_counter(
+      str_format("domain.%u.epochs_total", id));
+  domain->epoch_us = &metric::telemetry_histogram(
+      str_format("domain.%u.epoch_us", id));
+  auto [it, inserted] = domains_.emplace(id, std::move(domain));
+  HARMONY_ASSERT(inserted);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    DomainInfo& info = info_[id];
+    info.id = id;
+    info.worker = it->second->worker;
+  }
+  return *it->second;
+}
+
+void DomainRouter::retire_domain(uint32_t domain_id) {
+  auto it = domains_.find(domain_id);
+  HARMONY_ASSERT(it != domains_.end());
+  wait_idle(it->second->worker);
+  retired_reconfigurations_ += it->second->controller->reconfigurations();
+  for (cluster::NodeId node : it->second->footprint) {
+    if (node < node_domain_.size() && node_domain_[node] == domain_id) {
+      node_domain_[node] = 0;
+    }
+  }
+  domains_.erase(it);
+  drop_info(domain_id);
+}
+
+void DomainRouter::index_instance(InstanceId id, uint32_t domain_id,
+                                  std::vector<cluster::NodeId> nodes) {
+  Domain& domain = *domains_.at(domain_id);
+  instance_domain_[id] = domain_id;
+  domain.instances.insert(
+      std::lower_bound(domain.instances.begin(), domain.instances.end(), id),
+      id);
+  for (cluster::NodeId node : nodes) {
+    if (node < node_domain_.size()) node_domain_[node] = domain_id;
+    auto pos = std::lower_bound(domain.footprint.begin(),
+                                domain.footprint.end(), node);
+    if (pos == domain.footprint.end() || *pos != node) {
+      domain.footprint.insert(pos, node);
+    }
+  }
+  instance_nodes_[id] = std::move(nodes);
+  refresh_info(domain);
+}
+
+void DomainRouter::refresh_info(const Domain& domain) {
+  std::vector<std::string> members;
+  members.reserve(domain.instances.size());
+  for (InstanceId id : domain.instances) {
+    const InstanceState* instance = domain.controller->state().find_instance(
+        id);
+    if (instance != nullptr) members.push_back(instance->path());
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  DomainInfo& info = info_[domain.id];
+  info.id = domain.id;
+  info.worker = domain.worker;
+  info.instances = domain.instances.size();
+  info.members = std::move(members);
+  info.epochs = domain.epochs;
+}
+
+void DomainRouter::drop_info(uint32_t domain_id) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  info_.erase(domain_id);
+}
+
+// Moves one instance between controllers via the restore path: the
+// captured state reinstalls bit-for-bit (same choices, placements,
+// switch times), no events are emitted and no optimization pass runs,
+// so decision identity is untouched. A retained subscription is
+// re-attached, which replays the current configuration to the client —
+// the same contract RESUME already has.
+void DomainRouter::restore_into(Domain& target, const Controller& source,
+                                InstanceId id) {
+  const InstanceState* instance = source.state().find_instance(id);
+  HARMONY_ASSERT(instance != nullptr);
+  std::vector<Controller::RestoredBundle> bundles;
+  bundles.reserve(instance->bundles.size());
+  for (const auto& bundle : instance->bundles) {
+    Controller::RestoredBundle restored;
+    restored.bundle = bundle.spec.bundle;
+    restored.configured = bundle.configured;
+    restored.choice = bundle.choice;
+    restored.last_switch_time = bundle.last_switch_time;
+    for (const auto& entry : bundle.allocation.entries) {
+      Controller::RestoredAllocationEntry allocation;
+      allocation.role = entry.requirement.role;
+      allocation.index = entry.requirement.index;
+      allocation.hostname_glob = entry.requirement.hostname_glob;
+      allocation.os = entry.requirement.os;
+      allocation.memory_mb = entry.requirement.memory_mb;
+      allocation.hostname = source.topology().node(entry.node).hostname;
+      restored.entries.push_back(std::move(allocation));
+    }
+    bundles.push_back(std::move(restored));
+  }
+  auto status = target.controller->restore_instance(
+      instance->script, id, instance->arrival_time, bundles);
+  HARMONY_ASSERT_MSG(status.ok(), "moving instance between domains failed");
+  auto subscription = subscriptions_.find(id);
+  if (subscription != subscriptions_.end()) {
+    auto subscribed = target.controller->subscribe(id, subscription->second);
+    HARMONY_ASSERT(subscribed.ok());
+  }
+}
+
+uint32_t DomainRouter::domain_for_footprint(
+    const std::vector<cluster::NodeId>& nodes) {
+  std::vector<uint32_t> overlapping;
+  for (cluster::NodeId node : nodes) {
+    if (node >= node_domain_.size()) continue;
+    const uint32_t owner = node_domain_[node];
+    if (owner == 0) continue;
+    if (std::find(overlapping.begin(), overlapping.end(), owner) ==
+        overlapping.end()) {
+      overlapping.push_back(owner);
+    }
+  }
+  if (overlapping.empty()) return 0;
+  std::sort(overlapping.begin(), overlapping.end());
+  if (overlapping.size() == 1) return overlapping[0];
+  return merge_domains(std::move(overlapping));
+}
+
+uint32_t DomainRouter::merge_domains(std::vector<uint32_t> ids) {
+  // Deterministic escalation path: quiesce the involved workers in
+  // ascending domain-id order (the id-ordered lock analog), keep the
+  // lowest id as the survivor, and move the absorbed domains' instances
+  // across in id order via the restore path.
+  HARMONY_ASSERT(ids.size() > 1);
+  for (uint32_t id : ids) wait_idle(domains_.at(id)->worker);
+  Domain& survivor = *domains_.at(ids[0]);
+  sync_node_state(*survivor.controller);
+  for (size_t i = 1; i < ids.size(); ++i) {
+    auto node = domains_.extract(ids[i]);
+    HARMONY_ASSERT(!node.empty());
+    std::unique_ptr<Domain> absorbed = std::move(node.mapped());
+    retired_reconfigurations_ += absorbed->controller->reconfigurations();
+    for (InstanceId id : absorbed->instances) {
+      restore_into(survivor, *absorbed->controller, id);
+      instance_domain_[id] = survivor.id;
+      survivor.instances.insert(std::lower_bound(survivor.instances.begin(),
+                                                 survivor.instances.end(),
+                                                 id),
+                                id);
+    }
+    for (cluster::NodeId node_id : absorbed->footprint) {
+      if (node_id < node_domain_.size()) node_domain_[node_id] = survivor.id;
+      auto pos = std::lower_bound(survivor.footprint.begin(),
+                                  survivor.footprint.end(), node_id);
+      if (pos == survivor.footprint.end() || *pos != node_id) {
+        survivor.footprint.insert(pos, node_id);
+      }
+    }
+    drop_info(absorbed->id);
+  }
+  refresh_info(survivor);
+  return survivor.id;
+}
+
+void DomainRouter::rebalance_after_departure(uint32_t domain_id) {
+  Domain& domain = *domains_.at(domain_id);
+  if (domain.instances.empty()) {
+    retire_domain(domain_id);
+    return;
+  }
+  // Connected components of the remaining instances over shared nodes.
+  std::map<InstanceId, InstanceId> parent;
+  for (InstanceId id : domain.instances) parent[id] = id;
+  std::function<InstanceId(InstanceId)> find = [&](InstanceId id) {
+    while (parent[id] != id) {
+      parent[id] = parent[parent[id]];
+      id = parent[id];
+    }
+    return id;
+  };
+  std::map<cluster::NodeId, InstanceId> node_owner;
+  for (InstanceId id : domain.instances) {
+    for (cluster::NodeId node : instance_nodes_[id]) {
+      auto [it, inserted] = node_owner.emplace(node, id);
+      if (inserted) continue;
+      InstanceId a = find(it->second), b = find(id);
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  std::map<InstanceId, std::vector<InstanceId>> components;
+  for (InstanceId id : domain.instances) components[find(id)].push_back(id);
+
+  if (components.size() == 1) {
+    // Still connected; shrink the footprint so departed-only nodes stop
+    // attracting future registrations into this domain.
+    std::vector<cluster::NodeId> footprint;
+    for (InstanceId id : domain.instances) {
+      footprint.insert(footprint.end(), instance_nodes_[id].begin(),
+                       instance_nodes_[id].end());
+    }
+    std::sort(footprint.begin(), footprint.end());
+    footprint.erase(std::unique(footprint.begin(), footprint.end()),
+                    footprint.end());
+    for (cluster::NodeId node : domain.footprint) {
+      if (node < node_domain_.size() && node_domain_[node] == domain_id &&
+          !std::binary_search(footprint.begin(), footprint.end(), node)) {
+        node_domain_[node] = 0;
+      }
+    }
+    domain.footprint = std::move(footprint);
+    refresh_info(domain);
+    return;
+  }
+
+  // The departure disconnected the domain: rebuild each component into
+  // its own controller. The component holding the lowest instance id
+  // keeps the domain id and continues its journal sequence; the others
+  // open fresh streams under fresh ids.
+  wait_idle(domain.worker);
+  auto extracted = domains_.extract(domain_id);
+  std::unique_ptr<Domain> old = std::move(extracted.mapped());
+  retired_reconfigurations_ += old->controller->reconfigurations();
+  for (cluster::NodeId node : old->footprint) {
+    if (node < node_domain_.size() && node_domain_[node] == domain_id) {
+      node_domain_[node] = 0;
+    }
+  }
+  drop_info(domain_id);
+
+  bool first = true;
+  for (auto& [rep, members] : components) {
+    const uint32_t new_id = first ? domain_id : next_domain_id_++;
+    Domain& fresh = create_domain(new_id, (new_id - 1) % workers_.size());
+    if (first) {
+      fresh.dseq = old->dseq;    // the stream continues gap-free
+      fresh.epochs = old->epochs;
+    }
+    first = false;
+    fresh.controller->restore_counters(next_instance_id_, 0);
+    for (InstanceId id : members) {
+      restore_into(fresh, *old->controller, id);
+      index_instance(id, new_id, instance_nodes_[id]);
+    }
+  }
+  // `old` (its controller, tap and journal stream) dies here; its
+  // reconfiguration history lives on in retired_reconfigurations_.
+}
+
+// --- decision operations ---------------------------------------------------
+
+Result<InstanceId> DomainRouter::register_script(
+    const std::string& rsl_script) {
+  // Parse first (mirrors Controller::register_script): a parse failure
+  // must not burn an instance id or touch any domain.
+  std::vector<rsl::BundleSpec> bundles;
+  rsl::RslHost host;
+  host.on_bundle([&bundles](const rsl::BundleSpec& bundle) {
+    bundles.push_back(bundle);
+    return Status::Ok();
+  });
+  auto parsed = host.eval_script(rsl_script);
+  if (!parsed.ok()) {
+    return Err<InstanceId>(parsed.error().code, parsed.error().message);
+  }
+  auto finalized = finalize_cluster();
+  if (!finalized.ok()) {
+    return Err<InstanceId>(finalized.error().code, finalized.error().message);
+  }
+  const double time = sample_now();
+
+  // The instance's footprint — the union of its bundles' admissible
+  // node sets — decides the owning domain. In single-domain (or
+  // non-separable-objective) mode every instance shares all nodes, so
+  // everything collapses into one component by construction.
+  std::vector<cluster::NodeId> nodes;
+  if (partitioned_) {
+    for (const auto& spec : bundles) {
+      BundleState probe;
+      probe.spec = spec;
+      const auto& admissible = probe.admissible(template_.topology());
+      nodes.insert(nodes.end(), admissible.begin(), admissible.end());
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  } else {
+    for (const auto& node : template_.topology().nodes()) {
+      nodes.push_back(node.id);
+    }
+  }
+
+  uint32_t domain_id = domain_for_footprint(nodes);
+  const bool fresh_domain = domain_id == 0;
+  if (fresh_domain) {
+    domain_id = next_domain_id_++;
+    create_domain(domain_id, (domain_id - 1) % workers_.size());
+  }
+  Domain& domain = *domains_.at(domain_id);
+
+  const InstanceId expected_id = next_instance_id_;
+  auto result = run_on_domain<Result<InstanceId>>(
+      domain, time, [this, &bundles, &rsl_script, expected_id](Controller& c) {
+        // Annexed nodes (footprint extensions) may be stale in this
+        // controller; reconcile before matching against its pool.
+        sync_node_state(c);
+        c.restore_counters(expected_id, c.reconfigurations());
+        return c.register_application(bundles, rsl_script);
+      });
+  // The controller burns an id on most failures (exactly like the
+  // single-controller path); stay in lockstep so ids remain globally
+  // sequential and journal replay reproduces them.
+  next_instance_id_ = std::max(next_instance_id_,
+                               domain.controller->next_instance_id());
+  if (!result.ok()) {
+    if (fresh_domain) retire_domain(domain_id);
+    return result;
+  }
+  HARMONY_ASSERT(result.value() == expected_id);
+  index_instance(expected_id, domain_id, std::move(nodes));
+  return result;
+}
+
+Status DomainRouter::unregister(InstanceId id) {
+  auto it = instance_domain_.find(id);
+  if (it == instance_domain_.end()) {
+    return Status(ErrorCode::kNotFound, "no such instance");
+  }
+  const uint32_t domain_id = it->second;
+  Domain& domain = *domains_.at(domain_id);
+  const double time = sample_now();
+  auto status = run_on_domain<Status>(
+      domain, time, [id](Controller& c) { return c.unregister(id); });
+  if (domain.controller->state().find_instance(id) != nullptr) {
+    return status;  // departure did not take effect
+  }
+  instance_domain_.erase(id);
+  subscriptions_.erase(id);
+  domain.instances.erase(std::remove(domain.instances.begin(),
+                                     domain.instances.end(), id),
+                         domain.instances.end());
+  rebalance_after_departure(domain_id);
+  instance_nodes_.erase(id);
+  return status;
+}
+
+Status DomainRouter::report_external_load(const std::string& hostname,
+                                          int concurrent_tasks) {
+  // Mirrors Controller::report_external_load's validation order so
+  // callers see identical errors.
+  if (!cluster_finalized()) {
+    return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
+  }
+  if (concurrent_tasks < 0) {
+    return Status(ErrorCode::kInvalidArgument, "load must be non-negative");
+  }
+  auto node = template_.topology().find_by_hostname(hostname);
+  if (!node.ok()) return Status(node.error().code, node.error().message);
+  const double time = sample_now();
+  const uint32_t owner =
+      node.value() < node_domain_.size() ? node_domain_[node.value()] : 0;
+  if (owner != 0) {
+    Domain& domain = *domains_.at(owner);
+    auto status = run_on_domain<Status>(
+        domain, time, [&hostname, concurrent_tasks](Controller& c) {
+          return c.report_external_load(hostname, concurrent_tasks);
+        });
+    if (status.ok()) {
+      if (concurrent_tasks == 0) {
+        external_load_.erase(node.value());
+      } else {
+        external_load_[node.value()] = concurrent_tasks;
+      }
+    }
+    return status;
+  }
+  // No domain owns the node: record in the master state and journal a
+  // router-level event, so recovery replays the same input sequence the
+  // single-controller path would have journaled.
+  auto load_it = external_load_.find(node.value());
+  const int current = load_it == external_load_.end() ? 0 : load_it->second;
+  if (current == concurrent_tasks) return Status::Ok();
+  if (concurrent_tasks == 0) {
+    external_load_.erase(node.value());
+  } else {
+    external_load_[node.value()] = concurrent_tasks;
+  }
+  ControllerEvent event;
+  event.kind = ControllerEvent::Kind::kExternalLoad;
+  event.text = hostname;
+  event.value = concurrent_tasks;
+  journal_router_event(std::move(event), time);
+  return Status::Ok();
+}
+
+Status DomainRouter::post_external_load(const std::string& hostname,
+                                        int concurrent_tasks) {
+  if (!cluster_finalized()) {
+    return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
+  }
+  if (concurrent_tasks < 0) {
+    return Status(ErrorCode::kInvalidArgument, "load must be non-negative");
+  }
+  auto node = template_.topology().find_by_hostname(hostname);
+  if (!node.ok()) return Status(node.error().code, node.error().message);
+  const double time = sample_now();
+  const uint32_t owner =
+      node.value() < node_domain_.size() ? node_domain_[node.value()] : 0;
+  if (owner == 0) {
+    // Same path as the synchronous call — nothing to defer.
+    return report_external_load(hostname, concurrent_tasks);
+  }
+  // Master state reflects the post immediately (it is the input
+  // sequence); the owning worker applies it in queue order, and any
+  // merge/split first drains that queue, so the event lands against
+  // the domain that owned the node when it was posted.
+  if (concurrent_tasks == 0) {
+    external_load_.erase(node.value());
+  } else {
+    external_load_[node.value()] = concurrent_tasks;
+  }
+  Domain& domain = *domains_.at(owner);
+  post_on_domain(domain, time,
+                 [hostname, concurrent_tasks](Controller& c) {
+                   auto status = c.report_external_load(hostname,
+                                                        concurrent_tasks);
+                   HARMONY_ASSERT_MSG(status.ok(),
+                                      "posted load report failed");
+                 });
+  return Status::Ok();
+}
+
+Status DomainRouter::set_node_online(const std::string& hostname,
+                                     bool online) {
+  if (!cluster_finalized()) {
+    return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
+  }
+  auto node = template_.topology().find_by_hostname(hostname);
+  if (!node.ok()) return Status(node.error().code, node.error().message);
+  const double time = sample_now();
+  const uint32_t owner =
+      node.value() < node_domain_.size() ? node_domain_[node.value()] : 0;
+  if (owner != 0) {
+    Domain& domain = *domains_.at(owner);
+    auto status = run_on_domain<Status>(
+        domain, time, [&hostname, online](Controller& c) {
+          return c.set_node_online(hostname, online);
+        });
+    if (status.ok()) {
+      if (online) {
+        node_offline_.erase(node.value());
+      } else {
+        node_offline_[node.value()] = true;
+      }
+    }
+    return status;
+  }
+  const bool currently_online =
+      node_offline_.find(node.value()) == node_offline_.end();
+  if (currently_online == online) return Status::Ok();
+  if (online) {
+    node_offline_.erase(node.value());
+  } else {
+    node_offline_[node.value()] = true;
+  }
+  ControllerEvent event;
+  event.kind = ControllerEvent::Kind::kNodeOnline;
+  event.text = hostname;
+  event.value = online ? 1 : 0;
+  journal_router_event(std::move(event), time);
+  return Status::Ok();
+}
+
+Status DomainRouter::reevaluate() {
+  if (!cluster_finalized()) {
+    return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
+  }
+  const double time = sample_now();
+  if (domains_.empty()) {
+    // Journal parity with the empty single controller, whose pass still
+    // records a REEVAL event.
+    journal_router_event(ControllerEvent{}, time);
+    return Status::Ok();
+  }
+  for (auto& [id, domain] : domains_) {
+    auto status = run_on_domain<Status>(
+        *domain, time, [](Controller& c) { return c.reevaluate(); });
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status DomainRouter::set_option(InstanceId id, const std::string& bundle,
+                                const OptionChoice& choice) {
+  if (!cluster_finalized()) {
+    return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
+  }
+  auto it = instance_domain_.find(id);
+  if (it == instance_domain_.end()) {
+    return Status(ErrorCode::kNotFound, "no such instance");
+  }
+  Domain& domain = *domains_.at(it->second);
+  const double time = sample_now();
+  return run_on_domain<Status>(
+      domain, time, [id, &bundle, &choice](Controller& c) {
+        return c.set_option(id, bundle, choice);
+      });
+}
+
+Status DomainRouter::subscribe(InstanceId id,
+                               Controller::UpdateHandler handler) {
+  auto it = instance_domain_.find(id);
+  if (it == instance_domain_.end()) {
+    return Status(ErrorCode::kNotFound, "no such instance");
+  }
+  subscriptions_[id] = handler;
+  Domain& domain = *domains_.at(it->second);
+  const double time = sample_now();
+  return run_on_domain<Status>(
+      domain, time, [id, handler = std::move(handler)](Controller& c) {
+        return c.subscribe(id, std::move(handler));
+      });
+}
+
+Result<std::string> DomainRouter::get_variable(InstanceId id,
+                                               const std::string& name) {
+  auto it = instance_domain_.find(id);
+  if (it == instance_domain_.end()) {
+    return Err<std::string>(ErrorCode::kNotFound, "no such instance");
+  }
+  Domain& domain = *domains_.at(it->second);
+  const double time = sample_now();
+  return run_on_domain<Result<std::string>>(
+      domain, time, [id, &name](Controller& c) {
+        return c.get_variable(id, name);
+      });
+}
+
+void DomainRouter::journal_router_event(ControllerEvent event, double time) {
+  if (journal_ == nullptr) return;
+  event.time = time;
+  journal_->on_domain_event(0, ++router_dseq_, event);
+  journal_->on_domain_epoch_commit(0);
+}
+
+// --- merged introspection --------------------------------------------------
+
+std::vector<const Controller*> DomainRouter::domain_controllers() const {
+  for (size_t i = 0; i < workers_.size(); ++i) wait_idle(i);
+  std::vector<const Controller*> out;
+  out.reserve(domains_.size());
+  for (const auto& [id, domain] : domains_) {
+    out.push_back(domain->controller.get());
+  }
+  return out;
+}
+
+uint64_t DomainRouter::reconfigurations() const {
+  for (size_t i = 0; i < workers_.size(); ++i) wait_idle(i);
+  uint64_t total = retired_reconfigurations_;
+  for (const auto& [id, domain] : domains_) {
+    total += domain->controller->reconfigurations();
+  }
+  return total;
+}
+
+Result<std::vector<std::pair<InstanceId, double>>> DomainRouter::predictions()
+    const {
+  for (size_t i = 0; i < workers_.size(); ++i) wait_idle(i);
+  // Ascending first-instance-id order, so the first error reported
+  // matches the instance order a global pass would hit it in.
+  std::vector<const Domain*> ordered;
+  for (const auto& [id, domain] : domains_) ordered.push_back(domain.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Domain* a, const Domain* b) {
+              const InstanceId ia = a->instances.empty() ? 0
+                                                         : a->instances[0];
+              const InstanceId ib = b->instances.empty() ? 0
+                                                         : b->instances[0];
+              return ia < ib;
+            });
+  std::vector<std::pair<InstanceId, double>> merged;
+  for (const Domain* domain : ordered) {
+    auto partial = domain->controller->predictions();
+    if (!partial.ok()) {
+      return Err<std::vector<std::pair<InstanceId, double>>>(
+          partial.error().code, partial.error().message);
+    }
+    merged.insert(merged.end(), partial.value().begin(),
+                  partial.value().end());
+  }
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+Result<double> DomainRouter::objective_value() const {
+  if (objective_ == nullptr) {
+    return Err<double>(ErrorCode::kInvalidArgument, "unknown objective");
+  }
+  auto merged = predictions();
+  if (!merged.ok()) {
+    return Err<double>(merged.error().code, merged.error().message);
+  }
+  // Id order matches the instance order of a global controller, so even
+  // the floating-point summation order is identical.
+  std::vector<double> times;
+  times.reserve(merged.value().size());
+  for (const auto& [id, t] : merged.value()) times.push_back(t);
+  return objective_->evaluate(times);
+}
+
+std::vector<DomainRouter::DomainInfo> DomainRouter::snapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  std::vector<DomainInfo> out;
+  out.reserve(info_.size());
+  for (const auto& [id, info] : info_) out.push_back(info);
+  return out;
+}
+
+}  // namespace harmony::core

@@ -329,13 +329,17 @@ bool IoShard::read_conn(uint64_t id, Conn& conn) {
       if (!enqueue_output(id, conn, reply)) return false;
       continue;
     }
-    if (message.value().verb == "METRICS") {
+    if (message.value().verb == "METRICS" ||
+        message.value().verb == "DOMAINS") {
       // Scrapes are answered here, on the shard: telemetry instruments
-      // are process-global and thread-safe, so observability stays
-      // responsive even when the controller thread is saturated (or
-      // wedged) — the mailbox is never involved.
-      const std::string reply =
-          encode_frame(build_metrics_reply(message.value()).encode());
+      // and the published domain snapshot are process-global and
+      // thread-safe, so observability stays responsive even when the
+      // controller thread is saturated (or wedged) — the mailbox is
+      // never involved.
+      const Message response = message.value().verb == "METRICS"
+                                   ? build_metrics_reply(message.value())
+                                   : build_domains_reply(message.value());
+      const std::string reply = encode_frame(response.encode());
       frames_out_total_->increment();
       if (!enqueue_output(id, conn, reply)) return false;
       continue;

@@ -1,6 +1,7 @@
 #include "net/protocol.h"
 
 #include "common/strings.h"
+#include "core/domain.h"
 #include "metric/telemetry.h"
 #include "rsl/value.h"
 
@@ -59,6 +60,29 @@ Message build_metrics_reply(const Message& request) {
   }
   return Message::err(ErrorCode::kProtocol,
                       "unknown METRICS format: " + format);
+}
+
+Message build_domains_reply(const Message& request) {
+  if (!request.args.empty()) {
+    return Message::err(ErrorCode::kProtocol, "DOMAINS expects no arguments");
+  }
+  bool published = false;
+  auto domains = core::published_domains(&published);
+  if (!published) {
+    return Message::err(ErrorCode::kNotFound,
+                        "no domain router in this server");
+  }
+  std::vector<std::string> rows;
+  rows.reserve(domains.size());
+  for (const auto& domain : domains) {
+    rows.push_back(rsl::list_build(
+        {str_format("%u", domain.id),
+         str_format("%zu", domain.worker),
+         rsl::list_build(domain.members),
+         str_format("%llu", static_cast<unsigned long long>(domain.epochs)),
+         format_number(domain.last_decision_ms)}));
+  }
+  return Message::ok({rsl::list_build(rows)});
 }
 
 }  // namespace harmony::net

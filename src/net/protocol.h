@@ -26,6 +26,11 @@
 //                                  (Chrome trace_event spans). Answered
 //                                  by the owning I/O shard without
 //                                  touching the controller thread.
+//     {DOMAINS}                    optimization-domain introspection:
+//                                  one row per live domain — id, worker
+//                                  index, member instance paths, epoch
+//                                  count and last-decision latency.
+//                                  Answered shard-side like {METRICS}.
 //   server -> client:
 //     {OK <args...>}               success (REGISTER returns the id,
 //                                  plus the session token under v2;
@@ -58,5 +63,13 @@ struct Message {
 // process-global telemetry registry. Thread-safe: I/O shards call this
 // directly so a scrape never waits on the controller thread.
 Message build_metrics_reply(const Message& request);
+
+// Builds the reply to a {DOMAINS} request from the process-global
+// published DomainRouter (core::published_domains). Thread-safe for the
+// same reason: the router keeps a mutex-guarded stats mirror, so shards
+// answer while domain workers are mid-decision. Replies
+//   {OK {{<id> <worker> {<member>...} <epochs> <last_ms>} ...}}
+// or kNotFound when no router is published (single-controller server).
+Message build_domains_reply(const Message& request);
 
 }  // namespace harmony::net

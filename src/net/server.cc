@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "common/logging.h"
@@ -42,13 +43,17 @@ std::string token_prefix(const std::string& token) {
 
 // The serve loop's thread is the controller's owner thread while it
 // runs; the binding is released on exit so tests (and embedders) can
-// inspect the controller from their own thread afterwards.
+// inspect the controller from their own thread afterwards. In routed
+// mode there is no single controller to bind (each domain worker binds
+// its own around each op), so a null controller is a no-op.
 class OwnerBind {
  public:
   explicit OwnerBind(core::Controller* controller) : controller_(controller) {
-    controller_->bind_owner_thread();
+    if (controller_ != nullptr) controller_->bind_owner_thread();
   }
-  ~OwnerBind() { controller_->unbind_owner_thread(); }
+  ~OwnerBind() {
+    if (controller_ != nullptr) controller_->unbind_owner_thread();
+  }
   OwnerBind(const OwnerBind&) = delete;
   OwnerBind& operator=(const OwnerBind&) = delete;
 
@@ -56,11 +61,33 @@ class OwnerBind {
   core::Controller* controller_;
 };
 
+// Epoch batching is a single-controller concept; routed servers let
+// each domain op commit its own epoch on its worker.
+class MaybeEpoch {
+ public:
+  explicit MaybeEpoch(core::Controller* controller) {
+    if (controller != nullptr) scope_.emplace(*controller);
+  }
+
+ private:
+  std::optional<core::Controller::EpochScope> scope_;
+};
+
 }  // namespace
 
 HarmonyTcpServer::HarmonyTcpServer(core::Controller* controller,
                                    uint16_t port, ServerConfig config)
+    : HarmonyTcpServer(controller, nullptr, port, config) {}
+
+HarmonyTcpServer::HarmonyTcpServer(core::DomainRouter* router, uint16_t port,
+                                   ServerConfig config)
+    : HarmonyTcpServer(nullptr, router, port, config) {}
+
+HarmonyTcpServer::HarmonyTcpServer(core::Controller* controller,
+                                   core::DomainRouter* router, uint16_t port,
+                                   ServerConfig config)
     : controller_(controller),
+      router_(router),
       config_(config),
       port_(port),
       mailbox_(config.mailbox_capacity),
@@ -72,7 +99,8 @@ HarmonyTcpServer::HarmonyTcpServer(core::Controller* controller,
       connections_gauge_(&metric::telemetry_gauge("net.connections")),
       parked_gauge_(&metric::telemetry_gauge("net.parked_sessions")),
       mailbox_wait_us_(&metric::telemetry_histogram("net.mailbox_wait_us")) {
-  HARMONY_ASSERT(controller != nullptr);
+  HARMONY_ASSERT((controller != nullptr) != (router != nullptr));
+  if (router_ != nullptr) core::publish_domain_router(router_);
 }
 
 HarmonyTcpServer::~HarmonyTcpServer() {
@@ -81,6 +109,51 @@ HarmonyTcpServer::~HarmonyTcpServer() {
   shutdown_shards();
   for (auto& connection : connections_) detach_connection(*connection);
   for (auto& [id, connection] : remotes_) detach_connection(*connection);
+  if (router_ != nullptr) core::publish_domain_router(nullptr);
+}
+
+// --- decision-core dispatch ------------------------------------------------
+
+Result<core::InstanceId> HarmonyTcpServer::ctl_register(
+    const std::string& script) {
+  return router_ != nullptr ? router_->register_script(script)
+                            : controller_->register_script(script);
+}
+
+Status HarmonyTcpServer::ctl_unregister(core::InstanceId id) {
+  return router_ != nullptr ? router_->unregister(id)
+                            : controller_->unregister(id);
+}
+
+Status HarmonyTcpServer::ctl_subscribe(core::InstanceId id,
+                                       core::Controller::UpdateHandler handler) {
+  return router_ != nullptr ? router_->subscribe(id, std::move(handler))
+                            : controller_->subscribe(id, std::move(handler));
+}
+
+Result<std::string> HarmonyTcpServer::ctl_get_variable(
+    core::InstanceId id, const std::string& name) {
+  return router_ != nullptr ? router_->get_variable(id, name)
+                            : controller_->get_variable(id, name);
+}
+
+Status HarmonyTcpServer::ctl_report_load(const std::string& hostname,
+                                         int tasks) {
+  return router_ != nullptr
+             ? router_->report_external_load(hostname, tasks)
+             : controller_->report_external_load(hostname, tasks);
+}
+
+Status HarmonyTcpServer::ctl_set_option(core::InstanceId id,
+                                        const std::string& bundle,
+                                        const core::OptionChoice& choice) {
+  return router_ != nullptr ? router_->set_option(id, bundle, choice)
+                            : controller_->set_option(id, bundle, choice);
+}
+
+Status HarmonyTcpServer::ctl_reevaluate() {
+  return router_ != nullptr ? router_->reevaluate()
+                            : controller_->reevaluate();
 }
 
 void HarmonyTcpServer::detach_connection(Connection& connection) {
@@ -92,12 +165,12 @@ void HarmonyTcpServer::detach_connection(Connection& connection) {
   // variables into freed memory.
   if (!connection.session_token.empty()) {
     for (core::InstanceId id : connection.instances) {
-      (void)controller_->subscribe(id, core::Controller::UpdateHandler{});
+      (void)ctl_subscribe(id, core::Controller::UpdateHandler{});
     }
     return;
   }
   for (core::InstanceId id : connection.instances) {
-    (void)controller_->unregister(id);
+    (void)ctl_unregister(id);
   }
 }
 
@@ -238,13 +311,16 @@ bool HarmonyTcpServer::drain_once(int timeout_ms) {
     for (auto& event : drain_batch_) {
       process_net_event(event);
       if (++since_ship >= kShipStride) {
+        pump_updates();
         ship_staged();
         since_ship = 0;
       }
     }
   }
   // Ships everything staged this cycle — dispatch replies plus any
-  // UPDATE fan-out from expired-session re-evaluations above.
+  // UPDATE fan-out from expired-session re-evaluations above (and, in
+  // routed mode, updates queued by domain workers since the last tick).
+  progress = pump_updates() || progress;
   ship_staged();
   return progress;
 }
@@ -297,7 +373,7 @@ bool HarmonyTcpServer::process_net_event(NetEvent& event) {
         }
       }
       {
-        core::Controller::EpochScope epoch(*controller_);
+        MaybeEpoch epoch(controller_);
         park_or_end(*it->second);
       }
       // Anything still staged for it can never be delivered.
@@ -363,6 +439,9 @@ bool HarmonyTcpServer::poll_once(int timeout_ms) {
     }
   }
   reap_dropped();
+  // Routed mode: updates queued outside a dispatch (departure cascades
+  // from reaping, for instance) ship before the tick ends.
+  pump_updates();
   return true;
 }
 
@@ -390,6 +469,9 @@ void HarmonyTcpServer::accept_new() {
       return;
     }
     auto connection = std::make_unique<Connection>();
+    // Routed mode addresses queued updates by connection id, so the
+    // poll loop's connections need one too.
+    connection->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
     connection->fd = std::move(accepted).value();
     auto status = set_nonblocking(connection->fd, true);
     if (!status.ok()) continue;
@@ -446,12 +528,15 @@ void HarmonyTcpServer::dispatch(Connection& connection,
     // subscribes (or an END that cascades re-evaluations) produces a
     // single coherent flush of variable updates and one set of
     // decision-path metrics.
-    core::Controller::EpochScope epoch(*controller_);
+    MaybeEpoch epoch(controller_);
     reply = handle_message(connection, message);
   }
   // The epoch close above flushed pending variable updates, so UPDATE
   // frames always precede the reply on the wire — clients that block on
-  // the reply then drain their buffer see a complete picture.
+  // the reply then drain their buffer see a complete picture. Routed
+  // ops block until their domain epoch flushed, so pumping here gives
+  // the same ordering.
+  pump_updates();
   send(connection, reply);
   connection.corked = false;
   if (!sharded() && !connection.drop) flush_writable(connection);
@@ -459,6 +544,19 @@ void HarmonyTcpServer::dispatch(Connection& connection,
 
 Status HarmonyTcpServer::attach_updates(Connection& connection,
                                         core::InstanceId id) {
+  if (router_ != nullptr) {
+    // Routed mode: handlers fire on domain worker threads, where none
+    // of the egress state may be touched. They queue by connection id
+    // (the connection may die before the pump runs) and the controller
+    // thread pumps the queue into the normal send path.
+    const uint64_t conn_id = connection.id;
+    return router_->subscribe(
+        id,
+        [this, conn_id](const std::string& name, const std::string& value) {
+          std::lock_guard<std::mutex> lock(updates_mutex_);
+          pending_updates_.push_back(PendingUpdate{conn_id, name, value});
+        });
+  }
   // Wire updates for this instance to this connection. The pointer is
   // stable: connections are heap-allocated and subscriptions die with
   // the instance (unregister clears them) or are re-pointed on RESUME.
@@ -467,6 +565,33 @@ Status HarmonyTcpServer::attach_updates(Connection& connection,
       id, [this, conn](const std::string& name, const std::string& value) {
         send(*conn, Message::update(name, value));
       });
+}
+
+HarmonyTcpServer::Connection* HarmonyTcpServer::find_connection(uint64_t id) {
+  if (sharded()) {
+    auto it = remotes_.find(id);
+    return it == remotes_.end() ? nullptr : it->second.get();
+  }
+  for (auto& connection : connections_) {
+    if (connection->id == id) return connection.get();
+  }
+  return nullptr;
+}
+
+bool HarmonyTcpServer::pump_updates() {
+  if (router_ == nullptr) return false;
+  std::vector<PendingUpdate> batch;
+  {
+    std::lock_guard<std::mutex> lock(updates_mutex_);
+    batch.swap(pending_updates_);
+  }
+  if (batch.empty()) return false;
+  for (const PendingUpdate& update : batch) {
+    Connection* connection = find_connection(update.conn);
+    if (connection == nullptr || connection->drop) continue;
+    send(*connection, Message::update(update.name, update.value));
+  }
+  return true;
 }
 
 void HarmonyTcpServer::persist_session(
@@ -501,6 +626,10 @@ Message HarmonyTcpServer::handle_message(Connection& connection,
     // scrapes on the owning I/O shard without a mailbox round trip.
     return build_metrics_reply(message);
   }
+  if (message.verb == "DOMAINS") {
+    // Likewise shard-answered when sharded; here for the poll loop.
+    return build_domains_reply(message);
+  }
   if (message.verb == "REGISTER") {
     // v1: {REGISTER script} -> {OK id}. v2: {REGISTER script 2} ->
     // {OK id token}; the token makes the session resumable.
@@ -510,7 +639,7 @@ Message HarmonyTcpServer::handle_message(Connection& connection,
       return Message::err(ErrorCode::kProtocol,
                           "REGISTER expects a script and optional version");
     }
-    auto id = controller_->register_script(message.args[0]);
+    auto id = ctl_register(message.args[0]);
     if (!id.ok()) {
       return Message::err(id.error().code, id.error().message);
     }
@@ -556,7 +685,7 @@ Message HarmonyTcpServer::handle_message(Connection& connection,
                           "instance not registered here");
     }
     if (message.verb == "END") {
-      auto status = controller_->unregister(id);
+      auto status = ctl_unregister(id);
       connection.instances.erase(std::remove(connection.instances.begin(),
                                              connection.instances.end(), id),
                                  connection.instances.end());
@@ -570,7 +699,7 @@ Message HarmonyTcpServer::handle_message(Connection& connection,
     if (message.args.size() != 2) {
       return Message::err(ErrorCode::kProtocol, "GET expects id and name");
     }
-    auto value = controller_->get_variable(id, message.args[1]);
+    auto value = ctl_get_variable(id, message.args[1]);
     return value.ok() ? Message::ok({value.value()})
                       : Message::err(value.error().code,
                                      value.error().message);
@@ -585,8 +714,8 @@ Message HarmonyTcpServer::handle_message(Connection& connection,
       return Message::err(ErrorCode::kProtocol,
                           "LOAD expects a hostname and a task count");
     }
-    auto status = controller_->report_external_load(
-        message.args[0], static_cast<int>(tasks));
+    auto status =
+        ctl_report_load(message.args[0], static_cast<int>(tasks));
     return status.ok() ? Message::ok()
                        : Message::err(status.error().code,
                                       status.error().message);
@@ -616,13 +745,13 @@ Message HarmonyTcpServer::handle_message(Connection& connection,
       }
       choice.variables[message.args[i]] = value;
     }
-    auto status = controller_->set_option(raw, message.args[1], choice);
+    auto status = ctl_set_option(raw, message.args[1], choice);
     return status.ok() ? Message::ok()
                        : Message::err(status.error().code,
                                       status.error().message);
   }
   if (message.verb == "REEVALUATE") {
-    auto status = controller_->reevaluate();
+    auto status = ctl_reevaluate();
     return status.ok() ? Message::ok()
                        : Message::err(status.error().code,
                                       status.error().message);
@@ -719,7 +848,7 @@ void HarmonyTcpServer::park_or_end(Connection& connection) {
                         << token_prefix(connection.session_token);
     session_parks_total_->increment();
     for (core::InstanceId id : connection.instances) {
-      (void)controller_->subscribe(id, core::Controller::UpdateHandler{});
+      (void)ctl_subscribe(id, core::Controller::UpdateHandler{});
     }
     parked_[connection.session_token] = ParkedSession{
         std::move(connection.instances),
@@ -733,14 +862,14 @@ void HarmonyTcpServer::park_or_end(Connection& connection) {
   // one).
   for (core::InstanceId id : connection.instances) {
     HLOG_INFO("server") << "connection dropped; ending instance " << id;
-    (void)controller_->unregister(id);
+    (void)ctl_unregister(id);
   }
   connection.instances.clear();
 }
 
 void HarmonyTcpServer::reap_dropped() {
   // All implicit harmony_ends from one poll iteration share an epoch.
-  core::Controller::EpochScope epoch(*controller_);
+  MaybeEpoch epoch(controller_);
   for (auto& connection : connections_) {
     if (!connection->drop) continue;
     park_or_end(*connection);
@@ -770,11 +899,11 @@ void HarmonyTcpServer::reap_expired_sessions() {
       ++it;
       continue;
     }
-    core::Controller::EpochScope epoch(*controller_);
+    MaybeEpoch epoch(controller_);
     HLOG_INFO("server") << "session " << token_prefix(it->first)
                         << " expired; ending its instances";
     for (core::InstanceId id : it->second.instances) {
-      (void)controller_->unregister(id);
+      (void)ctl_unregister(id);
     }
     if (persistence_ != nullptr) persistence_->drop_session(it->first);
     it = parked_.erase(it);

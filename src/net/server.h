@@ -27,10 +27,12 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/controller.h"
+#include "core/domain.h"
 #include "metric/telemetry.h"
 #include "net/event_loop.h"
 #include "net/framing.h"
@@ -62,6 +64,15 @@ class HarmonyTcpServer {
  public:
   // port 0 = pick an ephemeral port (tests).
   HarmonyTcpServer(core::Controller* controller, uint16_t port,
+                   ServerConfig config = {});
+  // Routed mode: decision operations go to the partitioned decision
+  // core instead of a single controller — REGISTER/LOAD/END land on the
+  // owning domain's worker. The router is published for the {DOMAINS}
+  // wire verb and the harmonyDomains console command for the server's
+  // lifetime. Variable updates fire on domain worker threads; the
+  // server queues them and ships from the controller thread, so UPDATE
+  // frames still precede the reply that caused them.
+  HarmonyTcpServer(core::DomainRouter* router, uint16_t port,
                    ServerConfig config = {});
   ~HarmonyTcpServer();
 
@@ -120,6 +131,14 @@ class HarmonyTcpServer {
     std::vector<core::InstanceId> instances;
     std::chrono::steady_clock::time_point deadline;
   };
+  // A variable update queued by a domain worker thread for a
+  // connection, identified by id (never by pointer: the connection may
+  // be gone by the time the controller thread pumps the queue).
+  struct PendingUpdate {
+    uint64_t conn = 0;
+    std::string name;
+    std::string value;
+  };
 
   bool sharded() const { return io_shard_count_ > 0; }
   void serve_loop(int until_idle_ms);
@@ -157,7 +176,29 @@ class HarmonyTcpServer {
   std::string new_session_token() const;
   Status attach_updates(Connection& connection, core::InstanceId id);
 
+  // Decision-core dispatch: exactly one of controller_ / router_ is
+  // set; these route each protocol operation to whichever backs the
+  // server.
+  Result<core::InstanceId> ctl_register(const std::string& script);
+  Status ctl_unregister(core::InstanceId id);
+  Status ctl_subscribe(core::InstanceId id,
+                       core::Controller::UpdateHandler handler);
+  Result<std::string> ctl_get_variable(core::InstanceId id,
+                                       const std::string& name);
+  Status ctl_report_load(const std::string& hostname, int tasks);
+  Status ctl_set_option(core::InstanceId id, const std::string& bundle,
+                        const core::OptionChoice& choice);
+  Status ctl_reevaluate();
+  // Routed mode: drains the worker-queued updates into the normal send
+  // path on the controller thread. Returns true if anything shipped.
+  bool pump_updates();
+  Connection* find_connection(uint64_t id);
+
+  HarmonyTcpServer(core::Controller* controller, core::DomainRouter* router,
+                   uint16_t port, ServerConfig config);
+
   core::Controller* controller_;
+  core::DomainRouter* router_ = nullptr;
   persist::Persistence* persistence_ = nullptr;
   ServerConfig config_;
   uint16_t port_;
@@ -191,6 +232,11 @@ class HarmonyTcpServer {
   metric::Gauge* connections_gauge_;
   metric::Gauge* parked_gauge_;
   metric::Histogram* mailbox_wait_us_;
+
+  // Routed mode: update handlers fire on domain worker threads and
+  // append here; the controller thread pumps into send().
+  std::mutex updates_mutex_;
+  std::vector<PendingUpdate> pending_updates_;  // guarded by updates_mutex_
 
   // stop() may be called from another thread (tests, signal handlers);
   // everything else on the controller side is single-threaded.

@@ -223,12 +223,44 @@ void Persistence::append_journal(const std::string& payload) {
 }
 
 void Persistence::on_controller_event(const core::ControllerEvent& event) {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
   append_journal(encode_event(event));
 }
 
 void Persistence::on_epoch_commit() {
   HARMONY_ASSERT_MSG(controller_->on_owner_thread(),
                      "epoch commit off the controller thread");
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  commit_epoch_locked();
+}
+
+void Persistence::on_domain_event(uint32_t domain, uint64_t dseq,
+                                  const core::ControllerEvent& event) {
+  // Mid-run compaction would snapshot the scratch controller, which
+  // never hosts the instances the domains decided about.
+  HARMONY_ASSERT_MSG(config_.snapshot_every_epochs == 0,
+                     "partitioned journaling requires baseline-only "
+                     "snapshots (snapshot_every_epochs = 0)");
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  if (!have_snapshot_) {
+    // The baseline must land before the first domain record: the
+    // single-controller path can let the first epoch commit snapshot
+    // instead of keeping the journal (the snapshot contains that
+    // epoch's effect), but the scratch controller never sees the
+    // instances, so truncating here would lose the record for good.
+    last_error_ = snapshot_now();
+    if (!last_error_.ok()) return;
+  }
+  append_journal(list_build({"EVD", format_u64(domain), format_u64(dseq),
+                             encode_event(event)}));
+}
+
+void Persistence::on_domain_epoch_commit(uint32_t /*domain*/) {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  commit_epoch_locked();
+}
+
+void Persistence::commit_epoch_locked() {
   if (!last_error_.ok()) return;  // wedged: stop touching the disk
   ++epochs_since_snapshot_;
   const bool compact =
@@ -282,7 +314,10 @@ void Persistence::record_session(const std::string& token,
                                  std::vector<core::InstanceId> instances) {
   std::vector<std::string> ids;
   for (core::InstanceId id : instances) ids.push_back(format_u64(id));
-  append_journal(list_build({"SESSION", token, list_build(ids)}));
+  {
+    std::lock_guard<std::mutex> lock(journal_mutex_);
+    append_journal(list_build({"SESSION", token, list_build(ids)}));
+  }
   if (instances.empty()) {
     sessions_.erase(token);
   } else {
@@ -295,6 +330,7 @@ void Persistence::drop_session(const std::string& token) {
 }
 
 Status Persistence::flush() {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
   // Cluster setup does not pass through epochs, so a controller that
   // has only been configured (nodes added, nothing registered) has no
   // baseline snapshot yet; "make everything durable" includes it.
@@ -518,6 +554,36 @@ Status Persistence::recover() {
           return Status::Ok();
         }
         if ((*fields)[0] == "EV") return replay_event(*fields);
+        if ((*fields)[0] == "EVD") {
+          // Domain-tagged event: (domain, dseq, nested EV record). The
+          // merged commit order in the file is a valid replay order for
+          // the single recovery controller — domains are disjoint — but
+          // each domain's own stream must be gap-free: a missing dseq
+          // means a worker's events were lost or reordered, and the
+          // replayed decisions could silently diverge.
+          if (fields->size() != 4) {
+            return Status(corrupt("bad EVD record: " + payload));
+          }
+          uint64_t domain = 0, dseq = 0;
+          if (!parse_u64((*fields)[1], &domain) ||
+              !parse_u64((*fields)[2], &dseq)) {
+            return Status(corrupt("bad EVD tag: " + payload));
+          }
+          const uint64_t expected =
+              ++replay_dseq_[static_cast<uint32_t>(domain)];
+          if (dseq != expected) {
+            return Status(corrupt(str_format(
+                "domain %llu journal gap: expected seq %llu, found %llu",
+                static_cast<unsigned long long>(domain),
+                static_cast<unsigned long long>(expected),
+                static_cast<unsigned long long>(dseq))));
+          }
+          auto inner = list_parse((*fields)[3]);
+          if (!inner.ok() || inner->empty() || (*inner)[0] != "EV") {
+            return Status(corrupt("bad EVD payload: " + (*fields)[3]));
+          }
+          return replay_event(*inner);
+        }
         return Status(corrupt("unknown journal record: " + payload));
       },
       /*repair=*/true);

@@ -43,6 +43,7 @@
 
 #include "common/result.h"
 #include "core/controller.h"
+#include "core/domain.h"
 #include "metric/telemetry.h"
 #include "persist/journal.h"
 
@@ -85,7 +86,18 @@ struct RecoveryReport {
 // controller state so clients can RESUME across a server restart.
 using SessionMap = std::map<std::string, std::vector<core::InstanceId>>;
 
-class Persistence final : public core::EventSink {
+// Partitioned (DomainRouter) operation: the router's scratch controller
+// never hosts instances — it carries the cluster definition for the
+// baseline snapshot — and events arrive domain-tagged from worker
+// threads through the core::DomainJournal interface, serialized by an
+// internal mutex. Per-domain sequence numbers are validated gap-free at
+// recovery; the file itself keeps the merged commit order, which is a
+// valid replay order for the single recovery controller because
+// domains are disjoint and the objective separable (core_domain_test
+// holds the proof obligation). Partitioned journaling requires
+// snapshot_every_epochs == 0: mid-run compaction would serialize the
+// scratch controller, which never sees the instances.
+class Persistence final : public core::EventSink, public core::DomainJournal {
  public:
   // Opens the persistence directory. When prior state exists the
   // controller — which must be fresh: no cluster, no instances — is
@@ -107,6 +119,11 @@ class Persistence final : public core::EventSink {
   // --- core::EventSink ----------------------------------------------------
   void on_controller_event(const core::ControllerEvent& event) override;
   void on_epoch_commit() override;
+
+  // --- core::DomainJournal (worker threads; internally serialized) --------
+  void on_domain_event(uint32_t domain, uint64_t dseq,
+                       const core::ControllerEvent& event) override;
+  void on_domain_epoch_commit(uint32_t domain) override;
 
   // --- sessions -----------------------------------------------------------
   // Registers/replaces a session's instance list; an empty list drops
@@ -141,9 +158,17 @@ class Persistence final : public core::EventSink {
   // Appends to the journal, stamping the GEN header record first when
   // the journal is (logically) empty.
   void append_journal(const std::string& payload);
+  // Body of on_epoch_commit; callers hold journal_mutex_.
+  void commit_epoch_locked();
 
   PersistConfig config_;
   core::Controller* controller_;
+  // Serializes every append/commit entry point: domain workers call in
+  // concurrently through DomainJournal, and the drain thread's session
+  // records and flushes interleave with them. The single-controller
+  // EventSink path takes it too — uncontended there, and it keeps one
+  // discipline for both modes.
+  std::mutex journal_mutex_;
   Journal journal_;
   SessionMap sessions_;
   RecoveryReport recovery_;
@@ -202,6 +227,9 @@ class Persistence final : public core::EventSink {
   };
   PendingInstance pending_instance_;
   Status flush_pending_instance();
+  // Last replayed sequence number per domain stream; every EVD record
+  // must extend its stream by exactly one.
+  std::map<uint32_t, uint64_t> replay_dseq_;
   bool snapshot_cluster_done_ = false;  // finalize barrier during load
   uint64_t snapshot_expected_records_ = 0;
   bool snapshot_end_seen_ = false;

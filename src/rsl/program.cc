@@ -1,5 +1,6 @@
 #include "rsl/program.h"
 
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <memory>
@@ -10,7 +11,9 @@ namespace harmony::rsl {
 
 namespace {
 
-uint64_t g_expr_evaluations = 0;
+// Bumped from domain worker threads concurrently once the decision core
+// is partitioned; relaxed ordering is fine for a monotonic stats counter.
+std::atomic<uint64_t> g_expr_evaluations{0};
 
 // Compile-time value: mirrors the tree-walk evaluator's EValue so the
 // constant folder reproduces its semantics (including string truthiness
@@ -47,8 +50,12 @@ bool string_truthy(const std::string& text) {
 
 }  // namespace
 
-uint64_t expr_evaluations() { return g_expr_evaluations; }
-void bump_expr_evaluations() { ++g_expr_evaluations; }
+uint64_t expr_evaluations() {
+  return g_expr_evaluations.load(std::memory_order_relaxed);
+}
+void bump_expr_evaluations() {
+  g_expr_evaluations.fetch_add(1, std::memory_order_relaxed);
+}
 
 // Domain errors carry the `expr "<source>": ` prefix like fail() does.
 Result<double> Program::apply_builtin(Func func, const double* args,

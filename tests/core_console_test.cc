@@ -167,5 +167,23 @@ proc forceDsWhenSlow {threshold} {
   EXPECT_LT(fast, slow);
 }
 
+TEST_F(ConsoleTest, DomainsCommand) {
+  // Without a published router the command reports, not crashes.
+  EXPECT_FALSE(interp_.eval("harmonyDomains").ok());
+
+  DomainRouter router;
+  ASSERT_TRUE(router.add_nodes_script(sp2_cluster_script(4)).ok());
+  ASSERT_TRUE(router.finalize_cluster().ok());
+  ASSERT_TRUE(router.register_script(db_client_bundle("sp2-00", 1)).ok());
+  publish_domain_router(&router);
+  auto rows = rsl::list_parse(eval("harmonyDomains")).value();
+  ASSERT_EQ(rows.size(), 1u);
+  auto fields = rsl::list_parse(rows[0]).value();
+  ASSERT_EQ(fields.size(), 5u);  // id worker {members} epochs last_ms
+  EXPECT_EQ(fields[0], "1");
+  EXPECT_EQ(fields[2], "DBclient.1");
+  publish_domain_router(nullptr);
+}
+
 }  // namespace
 }  // namespace harmony::core

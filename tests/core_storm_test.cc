@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "core/console.h"
 #include "core/controller.h"
+#include "core/domain.h"
 #include "test_scenarios.h"
 
 namespace harmony::core {
@@ -178,6 +179,151 @@ TEST_P(StormTest, RandomLifecyclesPreserveInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StormTest,
                          ::testing::Values(1, 42, 1999, 20260707));
+
+// --- partitioned decision core under storm ----------------------------------
+// Regression for DEPART/REGISTER races across domain splits and merges:
+// bursts of *asynchronous* load posts are left in flight while bridge
+// registrations merge domains and departures split them. The membership
+// change must first drain every queued event against its old owner and
+// route later events to the new owner — an event that is dropped or
+// applied against the wrong controller shows up as a fingerprint
+// divergence from the synchronous reference, or as nondeterminism
+// between two identical runs.
+
+class DomainStormTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string run_domain_storm(uint64_t seed) {
+  using harmony::testing::bridge_bundle;
+  using harmony::testing::fingerprint;
+  using harmony::testing::grouped_cluster_script;
+  using harmony::testing::pinned_group_bundle;
+
+  const std::vector<std::string> groups = {"ga", "gb", "gc"};
+  const int per_group = 3;
+  const std::string cluster = grouped_cluster_script(groups, per_group);
+
+  DomainRouterConfig router_config;
+  router_config.workers = 2;
+  DomainRouter router(router_config);
+  Controller reference;
+  double now = 0;
+  auto source = [&now] { return now; };
+  router.set_time_source(source);
+  reference.set_time_source(source);
+  EXPECT_TRUE(router.add_nodes_script(cluster).ok());
+  EXPECT_TRUE(router.finalize_cluster().ok());
+  EXPECT_TRUE(reference.add_nodes_script(cluster).ok());
+  EXPECT_TRUE(reference.finalize_cluster().ok());
+
+  auto host_at = [&](size_t index) {
+    return str_format("%s-%02d", groups[index / per_group].c_str(),
+                      static_cast<int>(index % per_group));
+  };
+  const size_t hosts = groups.size() * per_group;
+
+  Rng rng(seed);
+  std::vector<InstanceId> live;
+  std::map<std::string, bool> offline;
+  int tag = 1;
+
+  for (int step = 0; step < 200; ++step) {
+    now += rng.next_double(0.1, 30.0);
+    const double dice = rng.next_double();
+    if (dice < 0.30 || live.empty()) {
+      // Pinned arrival — lands in (or creates) one group's domain.
+      const auto& group = groups[rng.next_below(groups.size())];
+      const std::string script = pinned_group_bundle(group, tag++);
+      auto a = router.register_script(script);
+      auto b = reference.register_script(script);
+      EXPECT_EQ(a.ok(), b.ok());
+      if (a.ok() && b.ok()) {
+        EXPECT_EQ(a.value(), b.value());
+        live.push_back(a.value());
+      }
+    } else if (dice < 0.42) {
+      // Bridge arrival — merges two groups' domains, with any posted
+      // loads from earlier this round possibly still queued.
+      const size_t first = rng.next_below(groups.size());
+      const size_t second = (first + 1 + rng.next_below(groups.size() - 1)) %
+                            groups.size();
+      const std::string script =
+          bridge_bundle(groups[first], groups[second], tag++);
+      auto a = router.register_script(script);
+      auto b = reference.register_script(script);
+      EXPECT_EQ(a.ok(), b.ok());
+      if (a.ok() && b.ok()) {
+        EXPECT_EQ(a.value(), b.value());
+        live.push_back(a.value());
+      }
+    } else if (dice < 0.62) {
+      // Departure — a departing bridge splits its merged domain.
+      const size_t pick = rng.next_below(live.size());
+      const InstanceId id = live[pick];
+      live.erase(live.begin() + static_cast<long>(pick));
+      EXPECT_TRUE(router.unregister(id).ok());
+      EXPECT_TRUE(reference.unregister(id).ok());
+    } else if (dice < 0.80) {
+      // Burst of asynchronous posts, deliberately not quiesced: they
+      // ride the worker queues into whatever membership change comes
+      // next. The reference applies the same values synchronously.
+      const int burst = 1 + static_cast<int>(rng.next_below(3));
+      for (int i = 0; i < burst; ++i) {
+        const std::string host = host_at(rng.next_below(hosts));
+        const int tasks = static_cast<int>(rng.next_below(4));
+        EXPECT_TRUE(router.post_external_load(host, tasks).ok());
+        EXPECT_TRUE(reference.report_external_load(host, tasks).ok());
+      }
+    } else if (dice < 0.88) {
+      // Node churn inside a group; -00 stays up so every group's
+      // bundles always have somewhere to land.
+      const auto& group = groups[rng.next_below(groups.size())];
+      const std::string host = str_format(
+          "%s-%02d", group.c_str(),
+          1 + static_cast<int>(rng.next_below(per_group - 1)));
+      const bool online = offline[host];
+      offline[host] = !online;
+      EXPECT_TRUE(router.set_node_online(host, online).ok());
+      EXPECT_TRUE(reference.set_node_online(host, online).ok());
+    } else {
+      EXPECT_TRUE(router.reevaluate().ok());
+      EXPECT_TRUE(reference.reevaluate().ok());
+    }
+
+    // Periodic identity check (implicitly quiesces the workers) plus
+    // the exact accounting invariants on every domain controller.
+    if (step % 7 == 6) {
+      EXPECT_EQ(fingerprint(router), fingerprint(reference))
+          << "step " << step;
+      for (const Controller* domain : router.domain_controllers()) {
+        expect_accounting_exact(*domain);
+        expect_consistent_views(*domain);
+      }
+    }
+  }
+
+  // Drain everything; the partition must end exactly where the
+  // reference does: no domains, no instances, pristine pools.
+  for (InstanceId id : live) {
+    EXPECT_TRUE(router.unregister(id).ok());
+    EXPECT_TRUE(reference.unregister(id).ok());
+  }
+  EXPECT_EQ(router.domain_count(), 0u);
+  EXPECT_EQ(router.live_instances(), 0u);
+  const std::string final_print = fingerprint(router);
+  EXPECT_EQ(final_print, fingerprint(reference));
+  return final_print;
+}
+
+TEST_P(DomainStormTest, SplitMergeRacesStayDeterministic) {
+  const std::string first = run_domain_storm(GetParam());
+  if (::testing::Test::HasFatalFailure()) return;
+  // Same seed, same history: the partitioned run must be a pure
+  // function of its input sequence, independent of worker scheduling.
+  EXPECT_EQ(run_domain_storm(GetParam()), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomainStormTest,
+                         ::testing::Values(7, 1234, 20260809));
 
 }  // namespace
 }  // namespace harmony::core

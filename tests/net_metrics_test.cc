@@ -13,7 +13,9 @@
 
 #include "common/strings.h"
 #include "core/controller.h"
+#include "core/domain.h"
 #include "metric/telemetry.h"
+#include "rsl/value.h"
 #include "net/framing.h"
 #include "net/protocol.h"
 #include "net/server.h"
@@ -103,6 +105,26 @@ class MetricsTest : public ::testing::Test {
     }
   }
 
+  // Same shape, but the decision core is a partitioned DomainRouter:
+  // every pinned swarm bundle lands in its own optimization domain.
+  void start_router_server(ServerConfig config) {
+    core::DomainRouterConfig router_config;
+    router_config.workers = 2;
+    router_config.controller.optimizer.initial_policy =
+        core::OptimizerConfig::InitialPolicy::kFirstFeasible;
+    router_config.controller.optimizer.reevaluate_on_arrival = false;
+    router_config.controller.record_objective_metric = false;
+    router_ = std::make_unique<core::DomainRouter>(router_config);
+    ASSERT_TRUE(router_->add_nodes_script(swarm_cluster_script()).ok());
+    ASSERT_TRUE(router_->finalize_cluster().ok());
+    server_ = std::make_unique<HarmonyTcpServer>(router_.get(),
+                                                 /*port=*/0, config);
+    auto bound = server_->start();
+    ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+    port_ = bound.value();
+    server_thread_ = std::thread([this] { server_->run(); });
+  }
+
   void TearDown() override {
     if (server_thread_.joinable()) {
       server_->stop();
@@ -123,6 +145,7 @@ class MetricsTest : public ::testing::Test {
   }
 
   std::unique_ptr<core::Controller> controller_;
+  std::unique_ptr<core::DomainRouter> router_;
   std::unique_ptr<HarmonyTcpServer> server_;
   std::thread server_thread_;
   uint16_t port_ = 0;
@@ -271,6 +294,93 @@ TEST_F(MetricsTest, FormatsAndErrors) {
   auto extra = client.call(Message{"METRICS", {"prom", "extra"}});
   ASSERT_TRUE(extra.ok());
   EXPECT_EQ(extra.value().verb, "ERR");
+}
+
+TEST_F(MetricsTest, DomainsVerbExposesPartitionedCore) {
+  ServerConfig config;
+  config.io_shards = 2;
+  start_router_server(config);
+
+  // Three apps pinned to three different hosts: three independent
+  // optimization domains behind one server.
+  std::vector<std::unique_ptr<TcpTransport>> swarm;
+  for (int i = 0; i < 3; ++i) {
+    auto transport = std::make_unique<TcpTransport>();
+    ASSERT_TRUE(transport->connect("localhost", port_).ok());
+    auto id = transport->register_app(swarm_bundle(i));
+    ASSERT_TRUE(id.ok()) << id.error().to_string();
+    swarm.push_back(std::move(transport));
+  }
+
+  RawClient client;
+  ASSERT_TRUE(client.connect(port_).ok());
+  auto reply = client.call(Message{"DOMAINS", {}});
+  ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+  ASSERT_EQ(reply.value().verb, "OK");
+  ASSERT_EQ(reply.value().args.size(), 1u);
+  auto rows = rsl::list_parse(reply.value().args[0]);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 3u);
+  for (const std::string& row : rows.value()) {
+    auto fields = rsl::list_parse(row);
+    ASSERT_TRUE(fields.ok());
+    // {id worker {members} epochs last_ms}
+    ASSERT_EQ(fields.value().size(), 5u);
+    EXPECT_NE(fields.value()[2].find("Swarm."), std::string::npos);
+    long long epochs = 0;
+    ASSERT_TRUE(parse_int64(fields.value()[3], &epochs));
+    EXPECT_GE(epochs, 1);  // at least the registration decision
+  }
+
+  // Steering still works through the routed dispatch path, and the
+  // DOMAINS snapshot keeps pace (epoch counters advance).
+  TcpTransport driver;
+  ASSERT_TRUE(driver.connect("localhost", port_).ok());
+  ASSERT_TRUE(driver.set_option(1, "place", "slow").ok());
+  auto after = client.call(Message{"DOMAINS", {}});
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.value().verb, "OK");
+
+  auto extra = client.call(Message{"DOMAINS", {"verbose"}});
+  ASSERT_TRUE(extra.ok());
+  EXPECT_EQ(extra.value().verb, "ERR");
+}
+
+TEST_F(MetricsTest, DomainsVerbWithoutRouterIsNotFound) {
+  ServerConfig config;
+  config.io_shards = 2;
+  start_server(config, /*run_controller=*/true);
+
+  RawClient client;
+  ASSERT_TRUE(client.connect(port_).ok());
+  auto reply = client.call(Message{"DOMAINS", {}});
+  ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+  EXPECT_EQ(reply.value().verb, "ERR");
+  ASSERT_EQ(reply.value().args.size(), 2u);
+  EXPECT_EQ(reply.value().args[0], error_code_name(ErrorCode::kNotFound));
+}
+
+TEST_F(MetricsTest, RoutedSingleThreadModeServesProtocol) {
+  // The legacy poll loop with a partitioned core behind it: dispatch,
+  // variable updates (pumped from worker threads) and the DOMAINS
+  // fallback in handle_message all work without shards.
+  ServerConfig config;
+  config.io_shards = 0;
+  start_router_server(config);
+
+  TcpTransport app;
+  ASSERT_TRUE(app.connect("localhost", port_).ok());
+  auto id = app.register_app(swarm_bundle(0));
+  ASSERT_TRUE(id.ok()) << id.error().to_string();
+
+  RawClient client;
+  ASSERT_TRUE(client.connect(port_).ok());
+  auto reply = client.call(Message{"DOMAINS", {}});
+  ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+  ASSERT_EQ(reply.value().verb, "OK");
+  auto rows = rsl::list_parse(reply.value().args[0]);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 1u);
 }
 
 TEST_F(MetricsTest, SingleThreadModeAnswersMetrics) {

@@ -3,11 +3,13 @@
 // the Figure 3 client-server database bundles.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "common/strings.h"
 #include "core/controller.h"
+#include "core/domain.h"
 #include "rsl/spec.h"
 
 namespace harmony::testing {
@@ -19,37 +21,70 @@ namespace harmony::testing {
 // sequences. Used by the incremental-vs-full differential test and by
 // the crash-recovery tests (recovered state must fingerprint-match the
 // pre-crash controller).
+inline void fingerprint_instance(const core::InstanceState& instance,
+                                 std::string& out) {
+  out += str_format("i%llu:%s\n",
+                    static_cast<unsigned long long>(instance.id),
+                    instance.application.c_str());
+  for (const auto& bundle : instance.bundles) {
+    out += str_format(" b=%s cfg=%d", bundle.spec.bundle.c_str(),
+                      bundle.configured ? 1 : 0);
+    if (bundle.configured) {
+      out += " choice=" + bundle.choice.option;
+      for (const auto& [name, value] : bundle.choice.variables) {
+        out += str_format(" %s=%.17g", name.c_str(), value);
+      }
+      out += str_format(" grant=%.17g switched=%.17g",
+                        bundle.choice.memory_grant,
+                        bundle.last_switch_time);
+      for (const auto& entry : bundle.allocation.entries) {
+        out += str_format(" [%s.%d@%u mem=%.17g]",
+                          entry.requirement.role.c_str(),
+                          entry.requirement.index, entry.node,
+                          entry.requirement.memory_mb);
+      }
+    }
+    out += '\n';
+  }
+}
+
 inline std::string fingerprint(const core::Controller& controller) {
   std::string out;
   for (const auto& instance : controller.state().instances) {
-    out += str_format("i%llu:%s\n",
-                      static_cast<unsigned long long>(instance.id),
-                      instance.application.c_str());
-    for (const auto& bundle : instance.bundles) {
-      out += str_format(" b=%s cfg=%d", bundle.spec.bundle.c_str(),
-                        bundle.configured ? 1 : 0);
-      if (bundle.configured) {
-        out += " choice=" + bundle.choice.option;
-        for (const auto& [name, value] : bundle.choice.variables) {
-          out += str_format(" %s=%.17g", name.c_str(), value);
-        }
-        out += str_format(" grant=%.17g switched=%.17g",
-                          bundle.choice.memory_grant,
-                          bundle.last_switch_time);
-        for (const auto& entry : bundle.allocation.entries) {
-          out += str_format(" [%s.%d@%u mem=%.17g]",
-                            entry.requirement.role.c_str(),
-                            entry.requirement.index, entry.node,
-                            entry.requirement.memory_mb);
-        }
-      }
-      out += '\n';
-    }
+    fingerprint_instance(instance, out);
   }
   out += str_format("reconfigs=%llu\n",
                     static_cast<unsigned long long>(
                         controller.reconfigurations()));
   auto objective = controller.objective_value();
+  out += objective.ok() ? str_format("objective=%.17g\n", objective.value())
+                        : ("objective_err=" + objective.error().message + "\n");
+  return out;
+}
+
+// Router fingerprint in the same format: instances across all domains
+// in global id order, reconfigurations including retired domains, and
+// the merged objective — directly comparable against a single-domain
+// reference controller's fingerprint.
+inline std::string fingerprint(const core::DomainRouter& router) {
+  std::vector<const core::InstanceState*> instances;
+  for (const core::Controller* controller : router.domain_controllers()) {
+    for (const auto& instance : controller->state().instances) {
+      instances.push_back(&instance);
+    }
+  }
+  std::sort(instances.begin(), instances.end(),
+            [](const core::InstanceState* a, const core::InstanceState* b) {
+              return a->id < b->id;
+            });
+  std::string out;
+  for (const core::InstanceState* instance : instances) {
+    fingerprint_instance(*instance, out);
+  }
+  out += str_format("reconfigs=%llu\n",
+                    static_cast<unsigned long long>(
+                        router.reconfigurations()));
+  auto objective = router.objective_value();
   out += objective.ok() ? str_format("objective=%.17g\n", objective.value())
                         : ("objective_err=" + objective.error().message + "\n");
   return out;
@@ -102,6 +137,62 @@ inline std::string bag_bundle(const std::string& workers = "1 2 3 4 5 6 7 8",
       "    {granularity %g}}\n"
       "}\n",
       workers.c_str(), granularity);
+}
+
+// `groups` isolated node groups of `per_group` hosts named <prefix>-NN.
+// The switch is a full mesh — links never partition the namespace, only
+// admissible node sets do — so cross-group bundles stay expressible.
+// The workhorse cluster of the partitioned-decision-core tests and the
+// multi-tenant bench.
+inline std::string grouped_cluster_script(
+    const std::vector<std::string>& groups, int per_group) {
+  std::vector<std::string> hosts;
+  for (const auto& group : groups) {
+    for (int i = 0; i < per_group; ++i) {
+      hosts.push_back(str_format("%s-%02d", group.c_str(), i));
+    }
+  }
+  std::string script;
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    script += str_format("harmonyNode %s {speed 1.0} {memory 64} {os aix}",
+                         hosts[i].c_str());
+    for (size_t j = 0; j < i; ++j) {
+      script += str_format(" {link %s 320 0.05}", hosts[j].c_str());
+    }
+    script += "\n";
+  }
+  return script;
+}
+
+// Two-option application confined to one group's nodes by hostname
+// glob; the group pin is what makes its optimization domain independent
+// of every other group's.
+inline std::string pinned_group_bundle(const std::string& group, int tag) {
+  return str_format(
+      "harmonyBundle App%s:%d layout {\n"
+      "  {wide\n"
+      "    {node worker {hostname %s-*} {seconds 240} {memory 24} "
+      "{replicate 2}}\n"
+      "    {communication 10}}\n"
+      "  {narrow\n"
+      "    {node worker {hostname %s-*} {seconds 420} {memory 12}}\n"
+      "    {communication 2}}\n"
+      "}\n",
+      group.c_str(), tag, group.c_str(), group.c_str());
+}
+
+// An application whose admissible set spans two groups — registering it
+// merges their optimization domains; its departure splits them again.
+inline std::string bridge_bundle(const std::string& group_a,
+                                 const std::string& group_b, int tag) {
+  return str_format(
+      "harmonyBundle Bridge:%d where {\n"
+      "  {span\n"
+      "    {node left {hostname %s-*} {seconds 60} {memory 16}}\n"
+      "    {node right {hostname %s-*} {seconds 60} {memory 16}}\n"
+      "    {link left right 8}}\n"
+      "}\n",
+      tag, group_a.c_str(), group_b.c_str());
 }
 
 // Figure 3: hybrid client-server database bundle. Numbers follow the

@@ -35,9 +35,17 @@ run_config asan build-asan -DHARMONY_SANITIZE=ON
 echo "=== [tsan] configure ==="
 cmake -B build-tsan -S . -DHARMONY_TSAN=ON
 echo "=== [tsan] build ==="
-cmake --build build-tsan -j "$jobs" --target core_domain_test core_storm_test
+cmake --build build-tsan -j "$jobs" \
+  --target core_domain_test core_storm_test core_solver_test
 echo "=== [tsan] test ==="
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R '^core_(domain|storm)_test$'
+  -R '^core_(domain|storm|solver)_test$'
+
+# Anytime-allocator gates at smoke scale: budget_ms = 0 bit-identity,
+# solver <= greedy, strict improvement on packing-stress. Does not
+# rewrite BENCH_optimizer.json.
+echo "=== [bench] abl_optimizer --smoke ==="
+cmake --build build -j "$jobs" --target abl_optimizer
+./build/bench/abl_optimizer --smoke
 
 echo "=== all configs green ==="

@@ -11,6 +11,8 @@ const char* match_policy_name(MatchPolicy policy) {
     case MatchPolicy::kFirstFit: return "first-fit";
     case MatchPolicy::kBestFit: return "best-fit";
     case MatchPolicy::kWorstFit: return "worst-fit";
+    case MatchPolicy::kVectorBestFit: return "vector-best-fit";
+    case MatchPolicy::kVectorWorstFit: return "vector-worst-fit";
   }
   return "unknown";
 }
@@ -59,12 +61,25 @@ class Search {
  public:
   Search(const std::vector<NodeRequirement>& requirements,
          const std::vector<LinkRequirement>& links, ResourceView& pool,
-         MatchPolicy policy)
+         MatchPolicy policy, const DimensionNorm& norm)
       : requirements_(requirements),
         links_(links),
         pool_(pool),
         policy_(policy),
-        placed_(requirements.size(), kInvalidNode) {}
+        norm_(norm),
+        placed_(requirements.size(), kInvalidNode),
+        order_(requirements.size()) {
+    for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+    if (policy_ == MatchPolicy::kVectorBestFit ||
+        policy_ == MatchPolicy::kVectorWorstFit) {
+      // Best-fit *decreasing*: place the largest demands first so small
+      // ones fill the remaining gaps. Stable on ties to stay
+      // deterministic.
+      std::stable_sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+        return requirements_[a].memory_mb > requirements_[b].memory_mb;
+      });
+    }
+  }
 
   bool run() { return place(0); }
 
@@ -103,7 +118,11 @@ class Search {
 
   bool role_conflict(size_t req_index, NodeId candidate) const {
     const auto& req = requirements_[req_index];
-    for (size_t i = 0; i < req_index; ++i) {
+    // Placement order may be a permutation of requirement order, so any
+    // already-placed replica of the role conflicts, not just earlier
+    // indices.
+    for (size_t i = 0; i < requirements_.size(); ++i) {
+      if (i == req_index) continue;
       if (requirements_[i].role == req.role && placed_[i] == candidate) {
         return true;  // replicas of a role need distinct nodes
       }
@@ -111,15 +130,57 @@ class Search {
     return false;
   }
 
+  // Weighted utilization of `node` after hosting `req`: the vector
+  // bin-packing score. Memory is a hard capacity; load is time-shared,
+  // normalized by speed * reference_load.
+  double vector_score(const NodeRequirement& req, const NodeInfo& node) const {
+    double total = pool_.total_memory(node.id);
+    double used = total - pool_.available_memory(node.id) + req.memory_mb;
+    double memory_term = total > 0 ? used / total : 0.0;
+    double speed = node.speed > 0 ? node.speed : 1.0;
+    double reference = norm_.reference_load > 0 ? norm_.reference_load : 1.0;
+    double load_term = (pool_.effective_load(node.id) + 1.0) /
+                       (speed * reference);
+    return norm_.memory_weight * memory_term + norm_.load_weight * load_term;
+  }
+
   std::vector<NodeId> candidates(const NodeRequirement& req) const {
     std::vector<NodeId> out;
+    std::vector<std::pair<double, NodeId>> scored;
     for (const auto& node : pool_.topology().nodes()) {
       if (!pool_.is_online(node.id)) continue;
       if (!node_admissible(req, node)) continue;
       if (pool_.available_memory(node.id) + 1e-9 < req.memory_mb) continue;
       out.push_back(node.id);
+      if (policy_ == MatchPolicy::kVectorBestFit ||
+          policy_ == MatchPolicy::kVectorWorstFit) {
+        scored.emplace_back(vector_score(req, node), node.id);
+      }
     }
-    // Least-loaded first; the policy breaks ties.
+    // Vector policies order by post-placement utilization norm; classic
+    // policies go least-loaded first with the policy breaking ties.
+    switch (policy_) {
+      case MatchPolicy::kVectorBestFit:
+        // Tightest pack first; ties stay in topology order.
+        std::stable_sort(scored.begin(), scored.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first > b.first;
+                         });
+        break;
+      case MatchPolicy::kVectorWorstFit:
+        std::stable_sort(scored.begin(), scored.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first < b.first;
+                         });
+        break;
+      default:
+        break;
+    }
+    if (!scored.empty()) {
+      out.clear();
+      for (const auto& [score, id] : scored) out.push_back(id);
+      return out;
+    }
     switch (policy_) {
       case MatchPolicy::kFirstFit:
         std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
@@ -142,19 +203,22 @@ class Search {
           return pool_.available_memory(a) > pool_.available_memory(b);
         });
         break;
+      default:
+        break;  // vector policies handled above
     }
     return out;
   }
 
-  bool place(size_t index) {
-    if (index == requirements_.size()) return true;
+  bool place(size_t pos) {
+    if (pos == requirements_.size()) return true;
+    size_t index = order_[pos];
     const auto& req = requirements_[index];
     for (NodeId candidate : candidates(req)) {
       if (role_conflict(index, candidate)) continue;
       if (!pool_.reserve_memory(candidate, req.memory_mb).ok()) continue;
       pool_.add_process(candidate);
       placed_[index] = candidate;
-      if (links_satisfied(index) && place(index + 1)) return true;
+      if (links_satisfied(index) && place(pos + 1)) return true;
       placed_[index] = kInvalidNode;
       auto removed = pool_.remove_process(candidate);
       HARMONY_ASSERT(removed.ok());
@@ -168,7 +232,9 @@ class Search {
   const std::vector<LinkRequirement>& links_;
   ResourceView& pool_;
   MatchPolicy policy_;
+  DimensionNorm norm_;
   std::vector<NodeId> placed_;
+  std::vector<size_t> order_;
 };
 
 }  // namespace
@@ -188,7 +254,7 @@ Result<Allocation> Matcher::match(
                              "negative memory requirement for role " + req.role);
     }
   }
-  Search search(requirements, links, pool, policy_);
+  Search search(requirements, links, pool, policy_, norm_);
   if (!search.run()) {
     return Err<Allocation>(
         ErrorCode::kNoMatch,

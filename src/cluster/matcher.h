@@ -1,10 +1,20 @@
 // Matches application node/link requirements onto cluster nodes,
 // reserving their memory and recording one placement (process) per
-// matched requirement. Candidates are ordered least-loaded first —
-// "as nodes and links are matched, we decrease the available resources"
-// (§4.1) — with the configured policy breaking ties: the paper's simple
-// first-fit by default; best-fit and worst-fit exist for the
-// fragmentation ablation study.
+// matched requirement. Under the classic policies candidates are
+// ordered least-loaded first — "as nodes and links are matched, we
+// decrease the available resources" (§4.1) — with the configured policy
+// breaking ties: the paper's simple first-fit by default; best-fit and
+// worst-fit exist for the fragmentation ablation study.
+//
+// The vector policies treat placement as multi-capacity bin packing
+// (Stillwell et al., "Resource Allocation using Virtual Clusters"):
+// each node is a bin with two packed dimensions — exclusively reserved
+// memory and time-shared CPU load — and candidates are ordered by the
+// weighted norm of the node's utilization vector *after* hosting the
+// requirement. kVectorBestFit packs tight (highest post-placement
+// utilization first), consolidating load so large contiguous holes stay
+// open for wide options; kVectorWorstFit spreads (lowest first). Both
+// place requirements in decreasing-demand order (best-fit decreasing).
 #pragma once
 
 #include <string>
@@ -33,9 +43,28 @@ struct LinkRequirement {
   double min_bandwidth_mbps = 0.0;
 };
 
-enum class MatchPolicy { kFirstFit, kBestFit, kWorstFit };
+enum class MatchPolicy {
+  kFirstFit,
+  kBestFit,
+  kWorstFit,
+  kVectorBestFit,
+  kVectorWorstFit,
+};
 
 const char* match_policy_name(MatchPolicy policy);
+
+// Weights for the multi-capacity utilization norm used by the vector
+// policies. A node's score is
+//   memory_weight * (reserved + demand) / total_memory
+//   + load_weight * (effective_load + 1) / (speed * reference_load)
+// where reference_load is how many unit-speed processes count as a
+// "full" CPU bin — time-shared load has no hard capacity, so the norm
+// needs a reference scale to mix it with the hard memory dimension.
+struct DimensionNorm {
+  double memory_weight = 1.0;
+  double load_weight = 1.0;
+  double reference_load = 4.0;
+};
 
 struct Allocation {
   struct Entry {
@@ -56,10 +85,12 @@ struct Allocation {
 
 class Matcher {
  public:
-  explicit Matcher(MatchPolicy policy = MatchPolicy::kFirstFit)
-      : policy_(policy) {}
+  explicit Matcher(MatchPolicy policy = MatchPolicy::kFirstFit,
+                   DimensionNorm norm = {})
+      : policy_(policy), norm_(norm) {}
 
   MatchPolicy policy() const { return policy_; }
+  const DimensionNorm& norm() const { return norm_; }
 
   // Finds a placement satisfying every requirement and link constraint,
   // reserving memory in the pool. On failure nothing is reserved.
@@ -75,6 +106,7 @@ class Matcher {
 
  private:
   MatchPolicy policy_;
+  DimensionNorm norm_;
 };
 
 }  // namespace harmony::cluster

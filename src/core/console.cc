@@ -232,7 +232,14 @@ void register_console(rsl::Interp& interp, Controller& controller) {
                rsl::list_build(domain.members),
                str_format("%llu",
                           static_cast<unsigned long long>(domain.epochs)),
-               format_number(domain.last_decision_ms)}));
+               format_number(domain.last_decision_ms),
+               rsl::list_build({str_format("%llu",
+                                           static_cast<unsigned long long>(
+                                               domain.solver_passes)),
+                                str_format("%llu",
+                                           static_cast<unsigned long long>(
+                                               domain.solver_moves)),
+                                format_number(domain.solver_improvement)})}));
         }
         return rsl::list_build(rows);
       });

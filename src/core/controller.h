@@ -249,6 +249,10 @@ class Controller {
   InstanceId next_instance_id() const { return next_instance_id_; }
   size_t live_instances() const { return state_.instances.size(); }
   Optimizer& optimizer() { return *optimizer_; }
+  const Optimizer& optimizer() const { return *optimizer_; }
+  // Solver statistics of this controller's optimizer, or nullptr when
+  // the anytime solver is disabled (budget_ms = 0).
+  const SolverStats* solver_stats() const { return optimizer_->solver_stats(); }
 
  private:
   void assert_owner() const;

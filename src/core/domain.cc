@@ -298,6 +298,11 @@ void DomainRouter::note_op_applied(Domain& domain, uint64_t start_us) {
     it->second.epochs = domain.epochs;
     it->second.last_decision_ms =
         static_cast<double>(end_us - start_us) / 1000.0;
+    if (const SolverStats* stats = domain.controller->solver_stats()) {
+      it->second.solver_passes = stats->passes;
+      it->second.solver_moves = stats->moves_accepted;
+      it->second.solver_improvement = stats->total_improvement;
+    }
   }
 }
 
@@ -347,7 +352,15 @@ DomainRouter::Domain& DomainRouter::create_domain(uint32_t id,
   auto domain = std::make_unique<Domain>();
   domain->id = id;
   domain->worker = worker_hint % workers_.size();
-  domain->controller = std::make_unique<Controller>(config_.controller);
+  ControllerConfig controller_config = config_.controller;
+  if (partitioned_ && config_.workers > 1 &&
+      controller_config.optimizer.solver.enabled()) {
+    // Domains on different workers improve plans concurrently; slice
+    // the anytime budget so the aggregate solver CPU per epoch stays
+    // bounded by the configured budget even when every worker is busy.
+    controller_config.optimizer.solver.budget_ms /= config_.workers;
+  }
+  domain->controller = std::make_unique<Controller>(controller_config);
   auto built = build_domain_cluster(*domain->controller);
   HARMONY_ASSERT_MSG(built.ok(), "replaying cluster into domain failed");
   Domain* raw = domain.get();
@@ -418,6 +431,11 @@ void DomainRouter::refresh_info(const Domain& domain) {
   info.instances = domain.instances.size();
   info.members = std::move(members);
   info.epochs = domain.epochs;
+  if (const SolverStats* stats = domain.controller->solver_stats()) {
+    info.solver_passes = stats->passes;
+    info.solver_moves = stats->moves_accepted;
+    info.solver_improvement = stats->total_improvement;
+  }
 }
 
 void DomainRouter::drop_info(uint32_t domain_id) {

@@ -158,6 +158,10 @@ class DomainRouter {
     size_t instances = 0;
     uint64_t epochs = 0;             // decision ops applied
     double last_decision_ms = 0;     // latency of the most recent op
+    // Anytime-solver mirror (all zero when the solver is disabled).
+    uint64_t solver_passes = 0;
+    uint64_t solver_moves = 0;        // accepted improving moves
+    double solver_improvement = 0;    // total objective improvement
   };
   // Thread-safe snapshot of per-domain stats, safe to call from net
   // shards while workers are mid-decision.

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/binding.h"
+#include "metric/telemetry.h"
 
 namespace harmony::core {
 
@@ -15,6 +16,9 @@ Optimizer::Optimizer(const Predictor* predictor, const Objective* objective,
                      OptimizerConfig config)
     : predictor_(predictor), objective_(objective), config_(config) {
   HARMONY_ASSERT(predictor != nullptr && objective != nullptr);
+  if (config_.solver.enabled()) {
+    solver_ = std::make_unique<Solver>(*this, config_.solver);
+  }
 }
 
 void Optimizer::set_names(rsl::ExprContext names) {
@@ -28,6 +32,9 @@ void Optimizer::set_config(OptimizerConfig config) {
   config_ = config;
   cache_.invalidate();
   force_full_pass_ = true;
+  solver_ = config_.solver.enabled()
+                ? std::make_unique<Solver>(*this, config_.solver)
+                : nullptr;
 }
 
 Result<double> Optimizer::predict_cached(
@@ -171,6 +178,28 @@ Result<double> Optimizer::plan_objective(
   return objective_->evaluate(times);
 }
 
+std::vector<OptionChoice> expand_option_choices(
+    const rsl::BundleSpec& spec, const std::vector<double>& grant_levels) {
+  std::vector<double> levels = grant_levels;
+  if (levels.empty()) levels = {1.0};
+  std::vector<OptionChoice> candidates;
+  for (const OptionChoice& base : enumerate_choices(spec)) {
+    bool open_ended = false;
+    if (const rsl::OptionSpec* option = spec.find_option(base.option)) {
+      for (const auto& node : option->nodes) {
+        if (node.memory.op == rsl::Constraint::Op::kGe) open_ended = true;
+      }
+    }
+    for (double level : levels) {
+      OptionChoice candidate = base;
+      candidate.memory_grant = level;
+      candidates.push_back(std::move(candidate));
+      if (!open_ended) break;  // further levels would be identical
+    }
+  }
+  return candidates;
+}
+
 Result<Decision> Optimizer::optimize_bundle(SystemState& state,
                                             InstanceState& instance,
                                             BundleState& bundle, double now,
@@ -204,24 +233,10 @@ Result<Decision> Optimizer::optimize_bundle(SystemState& state,
 
   // Expand option choices with the configured memory grant levels (only
   // meaningful for options that declare >= memory constraints; a
-  // too-generous grant simply fails to match and is skipped).
-  std::vector<double> levels = config_.memory_grant_levels;
-  if (levels.empty()) levels = {1.0};
-  std::vector<OptionChoice> candidates;
-  for (const OptionChoice& base : enumerate_choices(bundle.spec)) {
-    bool open_ended = false;
-    if (const rsl::OptionSpec* option = bundle.spec.find_option(base.option)) {
-      for (const auto& node : option->nodes) {
-        if (node.memory.op == rsl::Constraint::Op::kGe) open_ended = true;
-      }
-    }
-    for (double level : levels) {
-      OptionChoice candidate = base;
-      candidate.memory_grant = level;
-      candidates.push_back(std::move(candidate));
-      if (!open_ended) break;  // further levels would be identical
-    }
-  }
+  // too-generous grant simply fails to match and is skipped). Shared
+  // with the solver so both search the same candidate space.
+  std::vector<OptionChoice> candidates =
+      expand_option_choices(bundle.spec, config_.memory_grant_levels);
 
   for (const OptionChoice& candidate : candidates) {
     auto mark = plan.pool().mark();
@@ -416,6 +431,35 @@ Result<std::vector<Decision>> Optimizer::reevaluate_pass(SystemState& state,
   return decisions;
 }
 
+std::vector<std::vector<Solver::Previous>> Optimizer::snapshot_previous(
+    const SystemState& state) const {
+  std::vector<std::vector<Solver::Previous>> previous;
+  previous.reserve(state.instances.size());
+  for (const auto& instance : state.instances) {
+    std::vector<Solver::Previous> bundles;
+    bundles.reserve(instance.bundles.size());
+    for (const auto& bundle : instance.bundles) {
+      bundles.push_back(Solver::Previous{bundle.configured, bundle.choice});
+    }
+    previous.push_back(std::move(bundles));
+  }
+  return previous;
+}
+
+void Optimizer::run_solver(
+    SystemState& state, double now,
+    std::chrono::steady_clock::time_point deadline,
+    const std::vector<std::vector<Solver::Previous>>& previous,
+    std::vector<Decision>& decisions) {
+  auto status = solver_->improve(state, now, deadline, previous, decisions);
+  if (!status.ok()) {
+    // Anytime contract: any solver failure leaves the greedy plan
+    // standing; never propagate.
+    HLOG_WARN("optimizer") << "solver pass failed (greedy plan stands): "
+                           << status.error().message;
+  }
+}
+
 Result<std::vector<Decision>> Optimizer::on_arrival(SystemState& state,
                                                     InstanceId id,
                                                     double now) {
@@ -426,6 +470,18 @@ Result<std::vector<Decision>> Optimizer::on_arrival(SystemState& state,
   if (arrived == nullptr) {
     return Err<std::vector<Decision>>(ErrorCode::kNotFound,
                                       "no such instance");
+  }
+  // The solver budget covers the whole decision (greedy pass included),
+  // so decision latency stays bounded by budget_ms. Friction baselines
+  // are snapshotted before greedy mutates anything.
+  const bool solve = solver_ != nullptr && config_.reevaluate_on_arrival;
+  std::chrono::steady_clock::time_point deadline{};
+  std::vector<std::vector<Solver::Previous>> previous;
+  if (solve) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(static_cast<int64_t>(
+                   config_.solver.budget_ms * 1000.0));
+    previous = snapshot_previous(state);
   }
   std::vector<Decision> decisions;
   // 1. Configure the new application's bundles, definition order.
@@ -449,6 +505,8 @@ Result<std::vector<Decision>> Optimizer::on_arrival(SystemState& state,
     return Err<std::vector<Decision>>(rest.error().code, rest.error().message);
   }
   decisions.insert(decisions.end(), rest.value().begin(), rest.value().end());
+  // 3. Anytime improvement over the greedy plan (when enabled).
+  if (solve) run_solver(state, now, deadline, previous, decisions);
   return decisions;
 }
 
@@ -457,7 +515,19 @@ Result<std::vector<Decision>> Optimizer::reevaluate(SystemState& state,
   if (config_.mode == OptimizerConfig::Mode::kExhaustive) {
     return exhaustive(state, now);
   }
-  return reevaluate_pass(state, now, /*exclude=*/0);
+  const bool solve = solver_ != nullptr;
+  std::chrono::steady_clock::time_point deadline{};
+  std::vector<std::vector<Solver::Previous>> previous;
+  if (solve) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(static_cast<int64_t>(
+                   config_.solver.budget_ms * 1000.0));
+    previous = snapshot_previous(state);
+  }
+  auto decisions = reevaluate_pass(state, now, /*exclude=*/0);
+  if (!decisions.ok()) return decisions;
+  if (solve) run_solver(state, now, deadline, previous, decisions.value());
+  return decisions;
 }
 
 Result<Decision> Optimizer::apply_choice(SystemState& state, InstanceId id,
@@ -564,8 +634,15 @@ Result<std::vector<Decision>> Optimizer::exhaustive(SystemState& state,
       slot.previous = bundle.choice;
       slot.had_config = bundle.configured;
       if (slot.choices.empty()) continue;
-      combinations *= slot.choices.size();
-      if (combinations > config_.exhaustive_limit) {
+      // Saturating multiply: combinations stays at limit + 1 once the
+      // space is known to exceed the cap, so choices^slots cannot
+      // overflow size_t.
+      const size_t n = slot.choices.size();
+      combinations = combinations <= config_.exhaustive_limit / n
+                         ? combinations * n
+                         : config_.exhaustive_limit + 1;
+      if (combinations > config_.exhaustive_limit &&
+          !config_.exhaustive_truncate) {
         return Err<std::vector<Decision>>(
             ErrorCode::kCapacity,
             str_format("exhaustive search space exceeds limit (%zu)",
@@ -574,6 +651,10 @@ Result<std::vector<Decision>> Optimizer::exhaustive(SystemState& state,
       slots.push_back(std::move(slot));
     }
   }
+  // With exhaustive_truncate set, a capped space is searched as a
+  // deterministic prefix of exhaustive_limit combinations and the
+  // truncation is counted — the row is no longer truly exhaustive.
+  const bool capped = combinations > config_.exhaustive_limit;
 
   // Release everything; try each combination from scratch.
   for (auto& slot : slots) {
@@ -634,7 +715,14 @@ Result<std::vector<Decision>> Optimizer::exhaustive(SystemState& state,
     return false;
   };
   if (!slots.empty()) {
+    size_t evaluated = 0;
     while (try_combination()) {
+      if (capped && ++evaluated >= config_.exhaustive_limit) break;
+    }
+    if (capped) {
+      ++exhaustive_truncations_;
+      metric::telemetry_counter("optimizer.exhaustive_truncated_total")
+          .increment();
     }
   }
 

@@ -15,6 +15,7 @@
 // shrinks.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "common/result.h"
 #include "core/objective.h"
 #include "core/perf_model.h"
+#include "core/solver.h"
 #include "core/state.h"
 
 namespace harmony::core {
@@ -50,6 +52,15 @@ struct OptimizerConfig {
   cluster::MatchPolicy match_policy = cluster::MatchPolicy::kFirstFit;
   // Joint-combination cap for exhaustive mode.
   size_t exhaustive_limit = 100000;
+  // When the joint space exceeds exhaustive_limit: fail with kCapacity
+  // (default, the historical behavior) or evaluate a deterministic
+  // prefix of exhaustive_limit combinations and count the truncation
+  // (exhaustive_truncations() + optimizer.exhaustive_truncated_total).
+  bool exhaustive_truncate = false;
+  // Anytime plan-improvement pass run after greedy on_arrival /
+  // reevaluate passes. Disabled by default (budget_ms = 0): decisions
+  // are bit-identical to greedy.
+  SolverConfig solver;
   // Memory grant multipliers tried for options with open-ended (">=")
   // memory constraints. {1.0} reproduces minimum-only grants; adding
   // levels lets the optimizer trade memory for bandwidth as §3.5
@@ -132,8 +143,18 @@ class Optimizer {
   uint64_t bundles_evaluated() const { return bundles_evaluated_; }
   uint64_t bundles_skipped() const { return bundles_skipped_; }
   const PredictionCache::Stats& cache_stats() const { return cache_.stats(); }
+  // Exhaustive searches that hit exhaustive_limit with
+  // exhaustive_truncate set (capped "exhaustive" rows are not truly
+  // exhaustive).
+  uint64_t exhaustive_truncations() const { return exhaustive_truncations_; }
+  // Solver statistics, or nullptr when the solver is disabled.
+  const SolverStats* solver_stats() const {
+    return solver_ ? &solver_->stats() : nullptr;
+  }
 
  private:
+  friend class Solver;
+  friend class SolverPass;  // the solver's per-pass working set (solver.cc)
   Result<Decision> optimize_bundle(SystemState& state, InstanceState& instance,
                                    BundleState& bundle, double now,
                                    bool require_feasible);
@@ -180,17 +201,39 @@ class Optimizer {
                                 const std::map<cluster::NodeId, int>& load,
                                 const cluster::Topology& topology) const;
 
+  // Snapshot of every bundle's configuration (indexed [instance idx]
+  // [bundle idx]) for friction pricing in the solver, taken before the
+  // greedy pass mutates state.
+  std::vector<std::vector<Solver::Previous>> snapshot_previous(
+      const SystemState& state) const;
+  // Runs the solver (when enabled) after a greedy pass. Failures are
+  // swallowed: the greedy plan stands.
+  void run_solver(SystemState& state, double now,
+                  std::chrono::steady_clock::time_point deadline,
+                  const std::vector<std::vector<Solver::Previous>>& previous,
+                  std::vector<Decision>& decisions);
+
   const Predictor* predictor_;
   const Objective* objective_;
   OptimizerConfig config_;
   rsl::ExprContext names_;
   mutable PredictionCache cache_;
+  std::unique_ptr<Solver> solver_;
   mutable uint64_t candidates_evaluated_ = 0;
   mutable uint64_t predictor_calls_ = 0;
   uint64_t bundles_evaluated_ = 0;
   uint64_t bundles_skipped_ = 0;
+  uint64_t exhaustive_truncations_ = 0;
   // Set by set_config / exhaustive runs: the next pass must not skip.
   bool force_full_pass_ = false;
 };
+
+// Enumerates every (option, memory-grant) candidate for a bundle spec:
+// each option's variable-binding choices crossed with the grant levels
+// (only options with an open-ended ">=" memory constraint get more
+// than the first level). Shared by the greedy pass and the solver so
+// both search the same candidate space.
+std::vector<OptionChoice> expand_option_choices(
+    const rsl::BundleSpec& spec, const std::vector<double>& grant_levels);
 
 }  // namespace harmony::core

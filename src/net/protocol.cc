@@ -80,7 +80,15 @@ Message build_domains_reply(const Message& request) {
          str_format("%zu", domain.worker),
          rsl::list_build(domain.members),
          str_format("%llu", static_cast<unsigned long long>(domain.epochs)),
-         format_number(domain.last_decision_ms)}));
+         format_number(domain.last_decision_ms),
+         // Anytime-solver stats: {passes moves improvement}, all zero
+         // when the solver is disabled.
+         rsl::list_build(
+             {str_format("%llu",
+                         static_cast<unsigned long long>(domain.solver_passes)),
+              str_format("%llu",
+                         static_cast<unsigned long long>(domain.solver_moves)),
+              format_number(domain.solver_improvement)})}));
   }
   return Message::ok({rsl::list_build(rows)});
 }

@@ -179,7 +179,8 @@ TEST_F(ConsoleTest, DomainsCommand) {
   auto rows = rsl::list_parse(eval("harmonyDomains")).value();
   ASSERT_EQ(rows.size(), 1u);
   auto fields = rsl::list_parse(rows[0]).value();
-  ASSERT_EQ(fields.size(), 5u);  // id worker {members} epochs last_ms
+  // {id worker {members} epochs last_ms {passes moves improvement}}
+  ASSERT_EQ(fields.size(), 6u);
   EXPECT_EQ(fields[0], "1");
   EXPECT_EQ(fields[2], "DBclient.1");
   publish_domain_router(nullptr);

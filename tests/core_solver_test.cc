@@ -1,0 +1,300 @@
+// Anytime-solver contract tests: bit-identity with pure greedy at
+// budget_ms = 0 (the default), strict improvement on the wedged
+// packing-stress swarm, no-op behaviour when greedy is already
+// optimal, grant-level selection, and rollback of infeasible forced
+// choices. The wall-clock budget is made irrelevant by pairing a huge
+// budget with a small max_rounds, so every assertion is deterministic.
+#include "core/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/optimizer.h"
+#include "test_scenarios.h"
+
+namespace harmony::core {
+namespace {
+
+using harmony::testing::SwarmConfig;
+using harmony::testing::fingerprint;
+using harmony::testing::swarm_app_scripts;
+using harmony::testing::swarm_cluster_script;
+
+std::vector<InstanceId> register_swarm(Controller& controller,
+                                       const SwarmConfig& swarm) {
+  std::vector<InstanceId> ids;
+  for (const auto& script : swarm_app_scripts(swarm)) {
+    auto id = controller.register_script(script);
+    EXPECT_TRUE(id.ok()) << (id.ok() ? "" : id.error().message);
+    if (id.ok()) ids.push_back(id.value());
+  }
+  return ids;
+}
+
+ControllerConfig swarm_config() {
+  ControllerConfig config;
+  config.optimizer.memory_grant_levels = {1.0, 2.0, 3.0};
+  return config;
+}
+
+// A solver config whose wall-clock budget can never expire mid-test;
+// max_rounds bounds the search instead, keeping runs deterministic.
+SolverConfig deterministic_solver(int max_rounds) {
+  SolverConfig solver;
+  solver.budget_ms = 60000;
+  solver.max_rounds = max_rounds;
+  solver.seed = 42;
+  return solver;
+}
+
+TEST(Solver, BudgetZeroIsBitIdenticalToGreedy) {
+  for (uint64_t seed : {1ull, 7ull, 1234ull}) {
+    SwarmConfig swarm;
+    swarm.groups = 2;
+    swarm.clients_per_group = 3;
+    swarm.apps_per_group = 8;
+    swarm.seed = seed;
+
+    ControllerConfig greedy_config = swarm_config();
+
+    // Every solver knob set except the budget: enabled() must hinge on
+    // budget_ms alone, and budget 0 must leave the greedy path
+    // untouched.
+    ControllerConfig solver_config = swarm_config();
+    solver_config.optimizer.solver.budget_ms = 0;
+    solver_config.optimizer.solver.max_rounds = 16;
+    solver_config.optimizer.solver.swap_pairs_per_round = 8;
+    solver_config.optimizer.solver.seed = seed;
+
+    Controller greedy(greedy_config);
+    Controller solver(solver_config);
+    for (Controller* controller : {&greedy, &solver}) {
+      ASSERT_TRUE(
+          controller->add_nodes_script(swarm_cluster_script(swarm)).ok());
+      ASSERT_TRUE(controller->finalize_cluster().ok());
+      register_swarm(*controller, swarm);
+      ASSERT_TRUE(controller->report_external_load("g0000-c01", 3).ok());
+      ASSERT_TRUE(controller->reevaluate().ok());
+      ASSERT_TRUE(controller->report_external_load("g0000-c01", 0).ok());
+      ASSERT_TRUE(controller->reevaluate().ok());
+    }
+    EXPECT_EQ(fingerprint(greedy), fingerprint(solver))
+        << "budget_ms = 0 must be bit-identical to greedy (seed " << seed
+        << ")";
+    // budget 0 means no solver at all, not a zero-round solver.
+    EXPECT_EQ(solver.solver_stats(), nullptr);
+  }
+}
+
+TEST(Solver, ImprovesWedgedPackingStress) {
+  SwarmConfig swarm;
+  swarm.groups = 1;
+  swarm.clients_per_group = 2;
+  swarm.apps_per_group = 10;
+  swarm.packing_stress = true;
+
+  Controller controller(swarm_config());
+  ASSERT_TRUE(controller.add_nodes_script(swarm_cluster_script(swarm)).ok());
+  ASSERT_TRUE(controller.finalize_cluster().ok());
+  register_swarm(controller, swarm);
+
+  // Greedy arrival wedges each client at grants {51, 51, 51, 17} plus
+  // a lean fallback, and greedy re-evaluation cannot unwedge it: the
+  // per-bundle argmin never reduces an already-placed grant.
+  auto greedy_objective = controller.objective_value();
+  ASSERT_TRUE(greedy_objective.ok());
+  ASSERT_TRUE(controller.reevaluate().ok());
+  auto after_greedy = controller.objective_value();
+  ASSERT_TRUE(after_greedy.ok());
+  EXPECT_NEAR(after_greedy.value(), greedy_objective.value(), 1e-9);
+
+  OptimizerConfig config = controller.optimizer().config();
+  config.solver = deterministic_solver(4);
+  controller.optimizer().set_config(config);
+  ASSERT_TRUE(controller.reevaluate().ok());
+
+  auto solved = controller.objective_value();
+  ASSERT_TRUE(solved.ok());
+  EXPECT_LT(solved.value(), greedy_objective.value() - 1e-6)
+      << "solver must strictly beat greedy on the packing-stress swarm";
+
+  const SolverStats* stats = controller.solver_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->passes, 1u);
+  EXPECT_GE(stats->improved_passes, 1u);
+  EXPECT_GE(stats->moves_accepted, 1u);
+  EXPECT_GT(stats->total_improvement, 0.0);
+
+  // The committed plan is stable: another pass must never give the
+  // improvement back.
+  ASSERT_TRUE(controller.reevaluate().ok());
+  auto again = controller.objective_value();
+  ASSERT_TRUE(again.ok());
+  EXPECT_LE(again.value(), solved.value() + 1e-9);
+}
+
+TEST(Solver, NoopWhenGreedyAlreadyOptimal) {
+  SwarmConfig swarm;
+  swarm.groups = 1;
+  swarm.clients_per_group = 3;
+  swarm.apps_per_group = 6;
+  swarm.seed = 9;  // generous memory: greedy takes the top grant everywhere
+
+  Controller controller(swarm_config());
+  ASSERT_TRUE(controller.add_nodes_script(swarm_cluster_script(swarm)).ok());
+  ASSERT_TRUE(controller.finalize_cluster().ok());
+  register_swarm(controller, swarm);
+
+  auto greedy_objective = controller.objective_value();
+  ASSERT_TRUE(greedy_objective.ok());
+  uint64_t reconfigurations = controller.reconfigurations();
+
+  OptimizerConfig config = controller.optimizer().config();
+  config.solver = deterministic_solver(3);
+  controller.optimizer().set_config(config);
+  ASSERT_TRUE(controller.reevaluate().ok());
+
+  // Only strictly improving moves are ever committed, so an optimal
+  // plan must pass through the solver unchanged.
+  auto solved = controller.objective_value();
+  ASSERT_TRUE(solved.ok());
+  EXPECT_NEAR(solved.value(), greedy_objective.value(), 1e-9);
+  EXPECT_EQ(controller.reconfigurations(), reconfigurations);
+  const SolverStats* stats = controller.solver_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->moves_accepted, 0u);
+}
+
+TEST(Solver, GreedyPicksHighestFeasibleGrantPerLevel) {
+  SwarmConfig swarm;
+  swarm.groups = 1;
+  swarm.clients_per_group = 1;
+  swarm.apps_per_group = 5;
+  swarm.packing_stress = true;  // one 170 MB client node
+
+  Controller controller(swarm_config());
+  ASSERT_TRUE(controller.add_nodes_script(swarm_cluster_script(swarm)).ok());
+  ASSERT_TRUE(controller.finalize_cluster().ok());
+  std::vector<InstanceId> ids = register_swarm(controller, swarm);
+  ASSERT_EQ(ids.size(), 5u);
+
+  // 170 MB of client memory takes three full grants (3 x 51), one
+  // minimum grant (17), and the fifth app degrades to the grant-free
+  // lean option.
+  for (int i = 0; i < 3; ++i) {
+    const BundleState* bundle = controller.bundle_state(ids[i], "cache");
+    ASSERT_NE(bundle, nullptr);
+    ASSERT_TRUE(bundle->configured);
+    EXPECT_EQ(bundle->choice.option, "rich");
+    EXPECT_DOUBLE_EQ(bundle->choice.memory_grant, 3.0);
+  }
+  const BundleState* fourth = controller.bundle_state(ids[3], "cache");
+  ASSERT_NE(fourth, nullptr);
+  EXPECT_EQ(fourth->choice.option, "rich");
+  EXPECT_DOUBLE_EQ(fourth->choice.memory_grant, 1.0);
+  const BundleState* fifth = controller.bundle_state(ids[4], "cache");
+  ASSERT_NE(fifth, nullptr);
+  EXPECT_EQ(fifth->choice.option, "lean");
+}
+
+TEST(Solver, InfeasibleForcedChoiceRollsBack) {
+  SwarmConfig swarm;
+  swarm.groups = 1;
+  swarm.clients_per_group = 1;
+  swarm.apps_per_group = 2;
+  swarm.packing_stress = true;
+
+  Controller controller(swarm_config());
+  ASSERT_TRUE(controller.add_nodes_script(swarm_cluster_script(swarm)).ok());
+  ASSERT_TRUE(controller.finalize_cluster().ok());
+  std::vector<InstanceId> ids = register_swarm(controller, swarm);
+  ASSERT_EQ(ids.size(), 2u);
+
+  std::string before = fingerprint(controller);
+
+  // A grant far beyond node memory: apply_choice must fail cleanly and
+  // restore the previous configuration, allocations included.
+  OptionChoice choice;
+  choice.option = "rich";
+  choice.memory_grant = 1000.0;
+  auto status = controller.set_option(ids[0], "cache", choice);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(fingerprint(controller), before)
+      << "failed forced choice must leave no trace in live state";
+
+  // Unknown option: same contract.
+  choice.option = "plaid";
+  choice.memory_grant = 1.0;
+  status = controller.set_option(ids[0], "cache", choice);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(fingerprint(controller), before);
+}
+
+// A short-budget pass samples only a few swap pairs; the anytime
+// contract is that *successive* passes keep exploring fresh
+// neighborhoods instead of deterministically resampling the same
+// (possibly improvement-free) pairs forever. Modeled deterministically:
+// max_rounds = 1 with a trimmed pair sample per pass, a seed whose
+// first-pass sample finds nothing, and repeated passes that must still
+// converge to the unwedged packing optimum.
+TEST(Solver, PassesExploreFreshNeighborhoods) {
+  SwarmConfig swarm;
+  swarm.groups = 1;
+  swarm.clients_per_group = 8;
+  swarm.apps_per_group = 40;
+  swarm.packing_stress = true;
+
+  ControllerConfig config = swarm_config();
+  config.optimizer.reevaluate_on_arrival = false;  // place-only arrivals
+  Controller controller(config);
+  ASSERT_TRUE(controller.add_nodes_script(swarm_cluster_script(swarm)).ok());
+  ASSERT_TRUE(controller.finalize_cluster().ok());
+  std::vector<InstanceId> ids = register_swarm(controller, swarm);
+
+  auto grant_count = [&](double grant) {
+    int count = 0;
+    for (InstanceId id : ids) {
+      const BundleState* bundle = controller.bundle_state(id, "cache");
+      if (bundle != nullptr && bundle->configured &&
+          bundle->choice.option == "rich" &&
+          bundle->choice.memory_grant == grant) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  // Greedy wedges every client node at {51, 51, 51, 17}.
+  EXPECT_EQ(grant_count(3.0), 24);
+  EXPECT_EQ(grant_count(1.0), 8);
+  auto greedy_objective = controller.objective_value();
+  ASSERT_TRUE(greedy_objective.ok());
+
+  OptimizerConfig oconfig = controller.optimizer().config();
+  oconfig.solver = deterministic_solver(/*max_rounds=*/1);
+  oconfig.solver.swap_pairs_per_round = 16;
+  oconfig.solver.seed = 0x5eed5eedULL;  // first-pass sample: no hit
+  controller.optimizer().set_config(oconfig);
+
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_TRUE(controller.reevaluate().ok());
+  }
+  // Each accepted swap turns a wedged (3, 1) pair into (2, 2): nodes
+  // stay exactly full and the convex transfer curve nets ~9.6 s per
+  // pair. One 16-pair sample rarely contains any of the 8 wedged
+  // pairs — with the pre-fix per-pass reseed this seed finds ZERO
+  // moves forever — so the bar is steady accumulation, not full
+  // convergence: at least half the pairs fixed within 20 passes.
+  EXPECT_GE(grant_count(2.0), 8);
+  auto solved = controller.objective_value();
+  ASSERT_TRUE(solved.ok());
+  EXPECT_LT(solved.value(), greedy_objective.value() - 1e-6);
+  const SolverStats* stats = controller.solver_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->moves_accepted, 4u);
+}
+
+}  // namespace
+}  // namespace harmony::core

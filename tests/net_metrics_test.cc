@@ -324,12 +324,18 @@ TEST_F(MetricsTest, DomainsVerbExposesPartitionedCore) {
   for (const std::string& row : rows.value()) {
     auto fields = rsl::list_parse(row);
     ASSERT_TRUE(fields.ok());
-    // {id worker {members} epochs last_ms}
-    ASSERT_EQ(fields.value().size(), 5u);
+    // {id worker {members} epochs last_ms {passes moves improvement}}
+    ASSERT_EQ(fields.value().size(), 6u);
     EXPECT_NE(fields.value()[2].find("Swarm."), std::string::npos);
     long long epochs = 0;
     ASSERT_TRUE(parse_int64(fields.value()[3], &epochs));
     EXPECT_GE(epochs, 1);  // at least the registration decision
+    auto solver = rsl::list_parse(fields.value()[5]);
+    ASSERT_TRUE(solver.ok());
+    ASSERT_EQ(solver.value().size(), 3u);
+    long long passes = -1;
+    ASSERT_TRUE(parse_int64(solver.value()[0], &passes));
+    EXPECT_EQ(passes, 0);  // solver disabled by default
   }
 
   // Steering still works through the routed dispatch path, and the

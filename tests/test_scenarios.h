@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/strings.h"
 #include "core/controller.h"
 #include "core/domain.h"
@@ -219,6 +220,128 @@ inline std::string db_client_bundle(const std::string& client_host,
       "client.memory)}}}\n"
       "}\n",
       instance, client_host.c_str(), client_host.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic swarm: `groups` isolated groups, each one server host
+// "gNNNN-srv" (speed 2) plus `clients_per_group` client hosts
+// "gNNNN-cMM" (speed 1), fully linked within the group at `mbps`.
+// Hostname pins confine every application to its group, so the
+// partitioned router carves one optimization domain per group; with
+// the defaults that is 250 domains x 9 nodes x 40 apps = 10k bundles.
+//
+// Two application shapes exercise the two solver levers:
+//   SwarmDB  — memory-grant lever. Option "rich" has an open-ended
+//              client memory constraint (>=17, grant levels 1/2/3 give
+//              17/34/51 MB) with a convex transfer curve: more client
+//              cache, less data moved. Option "lean" needs no client
+//              memory but ships the full 96 MB.
+//   SwarmPar — placement lever: "wide" (2 replicas, 6 MB each, chatty)
+//              vs "narrow" (1 node, 3 MB).
+//
+// `packing_stress` sets client memory to 170 MB and makes every app a
+// SwarmDB. Greedy arrival then wedges each client node at grants
+// {51, 51, 51, 17} + one lean: per-bundle argmin never reduces an
+// earlier grant, but trading (51, 17) for (34, 34) on the same node is
+// feasible (68 = 68 MB) and strictly cheaper (89.1 -> 77.0 MB moved),
+// so an anytime solver provably beats greedy here. Without
+// packing_stress client memory is generous, greedy already reaches the
+// optimum, and a correct solver must change nothing.
+struct SwarmConfig {
+  int groups = 250;
+  int clients_per_group = 8;
+  int apps_per_group = 40;
+  double client_memory_mb = 512;  // generous; packing_stress uses 170
+  double server_memory_mb = 256;
+  double mbps = 10;  // slow wire: transfer dominates, 0.8 s/MB
+  uint64_t seed = 1;
+  bool packing_stress = false;
+};
+
+inline std::string swarm_group_name(int group) {
+  return str_format("g%04d", group);
+}
+
+inline std::string swarm_cluster_script(const SwarmConfig& config) {
+  const double client_memory =
+      config.packing_stress ? 170.0 : config.client_memory_mb;
+  std::string script;
+  for (int g = 0; g < config.groups; ++g) {
+    const std::string group = swarm_group_name(g);
+    script += str_format("harmonyNode %s-srv {speed 2.0} {memory %g} {os aix}\n",
+                         group.c_str(), config.server_memory_mb);
+    for (int c = 0; c < config.clients_per_group; ++c) {
+      script += str_format("harmonyNode %s-c%02d {speed 1.0} {memory %g} {os aix}",
+                           group.c_str(), c, client_memory);
+      script += str_format(" {link %s-srv %g 0.1}", group.c_str(), config.mbps);
+      // In-group client mesh: replicated options ({communication})
+      // need client-client connectivity to be predictable.
+      for (int j = 0; j < c; ++j) {
+        script += str_format(" {link %s-c%02d %g 0.1}", group.c_str(), j,
+                             config.mbps);
+      }
+      script += "\n";
+    }
+  }
+  return script;
+}
+
+// Grant levels {1, 2, 3} on the >=17 constraint give client.memory of
+// 17/34/51; the transfer curve (77 - min(client.memory, 60))^2 / 48
+// then moves 75 / 38.5 / 14.1 MB — convex, so mid grants stay useful
+// when full grants no longer fit. "lean" moves a flat 96 MB.
+inline std::string swarm_db_bundle(int group, int tag) {
+  const std::string g = swarm_group_name(group);
+  return str_format(
+      "harmonyBundle SwarmDB:%d cache {\n"
+      "  {rich\n"
+      "    {node server {hostname %s-srv} {seconds 0.2} {memory 4}}\n"
+      "    {node client {hostname %s-c*} {memory >=17} {seconds 2}}\n"
+      "    {link client server {(77 - (client.memory > 60 ? 60 : "
+      "client.memory)) * (77 - (client.memory > 60 ? 60 : client.memory)) "
+      "/ 48}}\n"
+      "    {friction 0.5}}\n"
+      "  {lean\n"
+      "    {node server {hostname %s-srv} {seconds 0.2} {memory 4}}\n"
+      "    {node client {hostname %s-c*} {seconds 2}}\n"
+      "    {link client server 96}\n"
+      "    {friction 0.5}}\n"
+      "}\n",
+      tag, g.c_str(), g.c_str(), g.c_str(), g.c_str());
+}
+
+inline std::string swarm_par_bundle(int group, int tag) {
+  const std::string g = swarm_group_name(group);
+  return str_format(
+      "harmonyBundle SwarmPar:%d layout {\n"
+      "  {wide\n"
+      "    {node worker {hostname %s-c*} {seconds 4} {memory 6} "
+      "{replicate 2}}\n"
+      "    {communication 4}\n"
+      "    {friction 0.5}}\n"
+      "  {narrow\n"
+      "    {node worker {hostname %s-c*} {seconds 9} {memory 3}}\n"
+      "    {friction 0.5}}\n"
+      "}\n",
+      tag, g.c_str(), g.c_str());
+}
+
+// All application scripts in deterministic registration order (group
+// major, app minor; tags are 1-based global ids). packing_stress makes
+// every app a SwarmDB; otherwise a seeded 2:1 DB/Par mix.
+inline std::vector<std::string> swarm_app_scripts(const SwarmConfig& config) {
+  Rng rng(config.seed);
+  std::vector<std::string> scripts;
+  scripts.reserve(static_cast<size_t>(config.groups) * config.apps_per_group);
+  for (int g = 0; g < config.groups; ++g) {
+    for (int a = 0; a < config.apps_per_group; ++a) {
+      const int tag = g * config.apps_per_group + a + 1;
+      const bool db = config.packing_stress || rng.next_below(3) < 2;
+      scripts.push_back(db ? swarm_db_bundle(g, tag)
+                           : swarm_par_bundle(g, tag));
+    }
+  }
+  return scripts;
 }
 
 }  // namespace harmony::testing

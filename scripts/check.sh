@@ -48,4 +48,13 @@ echo "=== [bench] abl_optimizer --smoke ==="
 cmake --build build -j "$jobs" --target abl_optimizer
 ./build/bench/abl_optimizer --smoke
 
+# Multi-process failover (kill -9 the primary under a client swarm;
+# standby promotes, sessions RESUME, fingerprints stay bit-identical)
+# runs in the default ctest sweep above as replica_failover_test; the
+# bench adds promotion latency, storm drain and the <2% replication
+# overhead gate at smoke scale.
+echo "=== [bench] abl_failover --smoke ==="
+cmake --build build -j "$jobs" --target abl_failover
+./build/bench/abl_failover --smoke
+
 echo "=== all configs green ==="

@@ -27,6 +27,7 @@ enum class ErrorCode {
   kTimeout,
   kIo,               // filesystem / disk failure
   kCorruption,       // persisted state failed validation (journal/snapshot)
+  kNotPrimary,       // operation sent to a standby; retry against the primary
 };
 
 const char* error_code_name(ErrorCode code);
@@ -61,6 +62,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kIo: return "io";
     case ErrorCode::kCorruption: return "corruption";
+    case ErrorCode::kNotPrimary: return "not_primary";
   }
   return "unknown";
 }

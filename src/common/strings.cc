@@ -190,4 +190,38 @@ bool glob_match(std::string_view pattern, std::string_view text) {
   return p == pattern.size();
 }
 
+std::string to_hex(std::string_view bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char byte : bytes) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+bool from_hex(std::string_view hex, std::string* out) {
+  if (hex.size() % 2 != 0) return false;
+  std::string decoded;
+  decoded.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    decoded.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  *out = std::move(decoded);
+  return true;
+}
+
 }  // namespace harmony

@@ -37,4 +37,12 @@ std::string format_number(double value);
 // (e.g. {hostname *}).
 bool glob_match(std::string_view pattern, std::string_view text);
 
+// Lowercase hex codec for embedding binary payloads (journal record
+// batches, snapshot chunks) in the TCL-list wire messages, whose codec
+// is text-oriented.
+std::string to_hex(std::string_view bytes);
+// Strict decode: even length, hex digits only. Returns false without
+// touching *out on malformed input.
+bool from_hex(std::string_view hex, std::string* out);
+
 }  // namespace harmony

@@ -330,16 +330,29 @@ bool IoShard::read_conn(uint64_t id, Conn& conn) {
       continue;
     }
     if (message.value().verb == "METRICS" ||
-        message.value().verb == "DOMAINS") {
-      // Scrapes are answered here, on the shard: telemetry instruments
-      // and the published domain snapshot are process-global and
-      // thread-safe, so observability stays responsive even when the
-      // controller thread is saturated (or wedged) — the mailbox is
-      // never involved.
-      const Message response = message.value().verb == "METRICS"
-                                   ? build_metrics_reply(message.value())
-                                   : build_domains_reply(message.value());
+        message.value().verb == "DOMAINS" ||
+        message.value().verb == "STATUS") {
+      // Scrapes and role probes are answered here, on the shard:
+      // telemetry instruments, the published domain snapshot, and the
+      // published HA status are process-global and thread-safe, so
+      // observability stays responsive even when the controller thread
+      // is saturated (or wedged) — the mailbox is never involved.
+      const Message response =
+          message.value().verb == "METRICS"
+              ? build_metrics_reply(message.value())
+          : message.value().verb == "DOMAINS"
+              ? build_domains_reply(message.value())
+              : build_status_reply(message.value());
       const std::string reply = encode_frame(response.encode());
+      frames_out_total_->increment();
+      if (!enqueue_output(id, conn, reply)) return false;
+      continue;
+    }
+    if (!ha_accepting() && is_decision_verb(message.value().verb)) {
+      // Standby: decision verbs never reach the mailbox — the applier
+      // thread owns the controller, and the refusal (with the primary
+      // hint) must not queue behind replication traffic.
+      const std::string reply = encode_frame(not_primary_reply().encode());
       frames_out_total_->increment();
       if (!enqueue_output(id, conn, reply)) return false;
       continue;

@@ -1,11 +1,27 @@
 #include "net/protocol.h"
 
+#include <atomic>
+#include <mutex>
+
 #include "common/strings.h"
 #include "core/domain.h"
 #include "metric/telemetry.h"
 #include "rsl/value.h"
 
 namespace harmony::net {
+
+namespace {
+
+// Guarded snapshot plus a lock-free accepting flag: the shard read loop
+// checks ha_accepting() per message, so that path must not take a lock.
+std::mutex g_ha_mutex;
+HaStatus& ha_status_storage() {
+  static HaStatus status;
+  return status;
+}
+std::atomic<bool> g_ha_accepting{true};
+
+}  // namespace
 
 std::string Message::encode() const {
   std::vector<std::string> items;
@@ -91,6 +107,51 @@ Message build_domains_reply(const Message& request) {
               format_number(domain.solver_improvement)})}));
   }
   return Message::ok({rsl::list_build(rows)});
+}
+
+void publish_ha_status(const HaStatus& status) {
+  {
+    std::lock_guard<std::mutex> lock(g_ha_mutex);
+    ha_status_storage() = status;
+  }
+  g_ha_accepting.store(status.role == "primary", std::memory_order_release);
+  metric::telemetry_gauge("harmony.role")
+      .set(status.role == "primary" ? 2 : status.role == "candidate" ? 1 : 0);
+}
+
+HaStatus published_ha_status() {
+  std::lock_guard<std::mutex> lock(g_ha_mutex);
+  return ha_status_storage();
+}
+
+bool ha_accepting() {
+  return g_ha_accepting.load(std::memory_order_acquire);
+}
+
+Message build_status_reply(const Message& request) {
+  if (!request.args.empty()) {
+    return Message::err(ErrorCode::kProtocol, "STATUS expects no arguments");
+  }
+  HaStatus status = published_ha_status();
+  return Message::ok(
+      {status.role,
+       str_format("%llu", static_cast<unsigned long long>(status.term)),
+       str_format("%llu", static_cast<unsigned long long>(status.generation)),
+       status.primary_hint});
+}
+
+Message not_primary_reply() {
+  return Message::err(ErrorCode::kNotPrimary,
+                      published_ha_status().primary_hint);
+}
+
+bool is_decision_verb(const std::string& verb) {
+  // Everything that reads or writes controller/session state. METRICS,
+  // DOMAINS, STATUS, and the REPL subprotocol stay available on every
+  // role.
+  return verb == "REGISTER" || verb == "RESUME" || verb == "END" ||
+         verb == "GET" || verb == "LOAD" || verb == "SET" ||
+         verb == "REEVALUATE";
 }
 
 }  // namespace harmony::net

@@ -31,11 +31,29 @@
 //                                  index, member instance paths, epoch
 //                                  count and last-decision latency.
 //                                  Answered shard-side like {METRICS}.
+//     {STATUS}                     replication role probe: {OK <role>
+//                                  <term> <generation> <primary_hint>}.
+//                                  Answered shard-side like {METRICS},
+//                                  so it works even against a standby
+//                                  (whose decision verbs are refused).
+//   standby -> primary (replication subprotocol, src/replica/):
+//     {REPL HELLO <gen> <offset> <id>}   attach as a journal subscriber
+//                                        from the given stream position
+//     {REPL ACK <gen> <offset> <n>}      applied-watermark ack (no reply)
+//   primary -> standby:
+//     {REPL SNAP <gen>} / {REPL SNAPC <hex>} / {REPL SNAPE <gen>}
+//                                  full-resync snapshot transfer:
+//                                  begin, chunks, end
+//     {REPL BATCH <gen> <offset> <hex>}  framed journal records
+//     {REPL COMPACT <gen>}         the primary compacted to <gen>
 //   server -> client:
 //     {OK <args...>}               success (REGISTER returns the id,
 //                                  plus the session token under v2;
 //                                  RESUME returns the session's ids)
-//     {ERR <code> <message>}       failure
+//     {ERR <code> <message>}       failure; code "not_primary" carries
+//                                  the primary's host:port hint (when
+//                                  known) so clients re-aim their
+//                                  reconnect instead of retrying here
 //     {UPDATE <name> <value>}      pushed variable update (buffered by
 //                                  the client library until polled)
 #pragma once
@@ -71,5 +89,34 @@ Message build_metrics_reply(const Message& request);
 //   {OK {{<id> <worker> {<member>...} <epochs> <last_ms>} ...}}
 // or kNotFound when no router is published (single-controller server).
 Message build_domains_reply(const Message& request);
+
+// Process-global replication status, published by the HA node manager
+// (src/replica/node.h) and read by the I/O shards. A process that never
+// publishes runs as an ordinary primary: accepting, role "primary".
+struct HaStatus {
+  std::string role = "primary";  // primary | standby | candidate
+  uint64_t term = 0;             // lease fencing term (0 = no lease)
+  uint64_t generation = 0;       // snapshot generation of local state
+  std::string primary_hint;      // host:port clients should aim at
+};
+
+// Thread-safe publication/read of the process's replication status.
+// publish also maintains the harmony.role gauge (2 = primary,
+// 1 = candidate, 0 = standby).
+void publish_ha_status(const HaStatus& status);
+HaStatus published_ha_status();
+// Lock-free fast path for the shard read loop: false while the process
+// is a standby/candidate, i.e. decision verbs must be refused.
+bool ha_accepting();
+
+// {OK <role> <term> <generation> <primary_hint>} for a {STATUS} probe.
+// Thread-safe; shards answer it like {METRICS}.
+Message build_status_reply(const Message& request);
+// {ERR not_primary <primary_hint>}: the refusal a standby sends for
+// decision verbs.
+Message not_primary_reply();
+// True for verbs that read or mutate decision-core state and therefore
+// must only run on the primary.
+bool is_decision_verb(const std::string& verb);
 
 }  // namespace harmony::net

@@ -157,6 +157,10 @@ Status HarmonyTcpServer::ctl_reevaluate() {
 }
 
 void HarmonyTcpServer::detach_connection(Connection& connection) {
+  if (connection.is_replica) {
+    if (feed_ != nullptr) feed_->detach(connection.id);
+    return;
+  }
   // Deregister non-resumable connections; sessions with a token stay
   // registered so a persistence-backed restart can offer them for
   // RESUME. Their update subscriptions must be parked, though: the
@@ -300,8 +304,10 @@ bool HarmonyTcpServer::drain_once(int timeout_ms) {
     // The owner binding covers exactly the window in which this thread
     // mutates core state. While the loop blocks in drain, the controller
     // stays unbound, so externally synchronized callers (tests, tools
-    // embedding a server thread) can still drive it directly.
-    OwnerBind bind(controller_);
+    // embedding a server thread) can still drive it directly. A standby
+    // never binds: its controller is owned by the replication applier,
+    // and nothing this loop dispatches there touches core state.
+    OwnerBind bind(standby_ ? nullptr : controller_);
     // Replies ship every stride rather than once per batch: egress
     // still coalesces per recipient within a stride, but a message at
     // the back of a big drain batch no longer waits for the whole batch
@@ -321,6 +327,7 @@ bool HarmonyTcpServer::drain_once(int timeout_ms) {
   // UPDATE fan-out from expired-session re-evaluations above (and, in
   // routed mode, updates queued by domain workers since the last tick).
   progress = pump_updates() || progress;
+  progress = pump_replication() || progress;
   ship_staged();
   return progress;
 }
@@ -373,7 +380,7 @@ bool HarmonyTcpServer::process_net_event(NetEvent& event) {
         }
       }
       {
-        MaybeEpoch epoch(controller_);
+        MaybeEpoch epoch(standby_ ? nullptr : controller_);
         park_or_end(*it->second);
       }
       // Anything still staged for it can never be delivered.
@@ -427,7 +434,7 @@ bool HarmonyTcpServer::poll_once(int timeout_ms) {
   if (pollfds_[0].revents & POLLIN) accept_new();
   // accept_new may have grown connections_; the new entries poll next
   // tick. Dispatch strictly over this tick's snapshot.
-  OwnerBind bind(controller_);
+  OwnerBind bind(standby_ ? nullptr : controller_);
   const size_t polled = pollfds_.size();
   for (size_t i = 1; i < polled; ++i) {
     Connection& connection = *connections_[i - 1];
@@ -442,6 +449,7 @@ bool HarmonyTcpServer::poll_once(int timeout_ms) {
   // Routed mode: updates queued outside a dispatch (departure cascades
   // from reaping, for instance) ship before the tick ends.
   pump_updates();
+  pump_replication();
   return true;
 }
 
@@ -527,8 +535,10 @@ void HarmonyTcpServer::dispatch(Connection& connection,
     // One message = one optimization epoch: a REGISTER that also
     // subscribes (or an END that cascades re-evaluations) produces a
     // single coherent flush of variable updates and one set of
-    // decision-path metrics.
-    MaybeEpoch epoch(controller_);
+    // decision-path metrics. A standby opens no epoch — its controller
+    // belongs to the replication applier, and the verbs that reach
+    // handle_message there never touch it.
+    MaybeEpoch epoch(standby_ ? nullptr : controller_);
     reply = handle_message(connection, message);
   }
   // The epoch close above flushed pending variable updates, so UPDATE
@@ -537,9 +547,36 @@ void HarmonyTcpServer::dispatch(Connection& connection,
   // ops block until their domain epoch flushed, so pumping here gives
   // the same ordering.
   pump_updates();
-  send(connection, reply);
+  if (reply.verb.empty()) {
+    // No-reply sentinel (replication ACKs).
+  } else if (should_defer_reply(message.verb, reply)) {
+    // Semi-sync: the epoch above journaled this verb's effect; hold the
+    // OK until a standby acks the covering journal position. The
+    // UPDATE frames already staged still precede the reply when it
+    // finally ships, because per-connection egress is FIFO.
+    const persist::ReplicationPosition position =
+        persistence_->replication_position();
+    deferred_.push_back(DeferredReply{
+        connection.id, reply, position.generation, position.offset,
+        std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.sync_reply_timeout_ms)});
+  } else {
+    send(connection, reply);
+  }
   connection.corked = false;
   if (!sharded() && !connection.drop) flush_writable(connection);
+}
+
+bool HarmonyTcpServer::should_defer_reply(const std::string& verb,
+                                          const Message& reply) const {
+  if (feed_ == nullptr || persistence_ == nullptr || standby_) return false;
+  if (reply.verb != "OK") return false;  // failures journaled nothing
+  // The mutating verbs: everything whose loss on failover a client
+  // could observe. GET/METRICS/etc. read freely.
+  const bool mutating = verb == "REGISTER" || verb == "END" ||
+                        verb == "LOAD" || verb == "SET" ||
+                        verb == "REEVALUATE" || verb == "RESUME";
+  return mutating && feed_->has_subscribers();
 }
 
 Status HarmonyTcpServer::attach_updates(Connection& connection,
@@ -629,6 +666,20 @@ Message HarmonyTcpServer::handle_message(Connection& connection,
   if (message.verb == "DOMAINS") {
     // Likewise shard-answered when sharded; here for the poll loop.
     return build_domains_reply(message);
+  }
+  if (message.verb == "STATUS") {
+    // Likewise shard-answered when sharded; here for the poll loop.
+    return build_status_reply(message);
+  }
+  if (message.verb == "REPL") {
+    return handle_repl(connection, message);
+  }
+  if (standby_ && is_decision_verb(message.verb)) {
+    // Authoritative refusal. The sharded front end already redirects
+    // decision verbs at the shard (ha_accepting), but the poll loop —
+    // and any message that raced a role flip through the mailbox —
+    // lands here.
+    return not_primary_reply();
   }
   if (message.verb == "REGISTER") {
     // v1: {REGISTER script} -> {OK id}. v2: {REGISTER script 2} ->
@@ -803,6 +854,107 @@ Message HarmonyTcpServer::handle_resume(Connection& connection,
   return Message::ok(std::move(id_texts));
 }
 
+Message HarmonyTcpServer::handle_repl(Connection& connection,
+                                      const Message& message) {
+  if (feed_ == nullptr) {
+    return Message::err(ErrorCode::kInvalidArgument,
+                        "replication is not enabled on this server");
+  }
+  if (message.args.empty()) {
+    return Message::err(ErrorCode::kProtocol, "REPL expects a subcommand");
+  }
+  const std::string& sub = message.args[0];
+  auto parse_pos = [&](size_t index, uint64_t* out) {
+    long long value = 0;
+    if (index >= message.args.size() ||
+        !parse_int64(message.args[index], &value) || value < 0) {
+      return false;
+    }
+    *out = static_cast<uint64_t>(value);
+    return true;
+  };
+  if (sub == "HELLO") {
+    // {REPL HELLO <gen> <offset> <standby_id>}
+    uint64_t generation = 0, offset = 0;
+    if (message.args.size() != 4 || !parse_pos(1, &generation) ||
+        !parse_pos(2, &offset)) {
+      return Message::err(ErrorCode::kProtocol,
+                          "REPL HELLO expects generation, offset, and id");
+    }
+    if (persistence_ != nullptr) {
+      // The baseline snapshot is written lazily (first epoch commit); a
+      // standby joining before any traffic must still get a coherent
+      // starting point, so force it durable now.
+      Status flushed = persistence_->flush();
+      if (!flushed.ok()) {
+        return Message::err(flushed.error().code, flushed.error().message);
+      }
+    }
+    connection.is_replica = true;
+    HLOG_INFO("server") << "standby " << message.args[3]
+                        << " attached at generation " << generation
+                        << " offset " << offset;
+    for (Message& frame :
+         feed_->handshake(connection.id, message.args[3], generation, offset)) {
+      send(connection, frame);
+    }
+    return Message::ok({"REPL"});
+  }
+  if (sub == "ACK") {
+    // {REPL ACK <gen> <offset> <records>} — no reply (the stream is
+    // one-directional; an OK per ack would double the chatter).
+    uint64_t generation = 0, offset = 0, records = 0;
+    if (message.args.size() != 4 || !parse_pos(1, &generation) ||
+        !parse_pos(2, &offset) || !parse_pos(3, &records)) {
+      return Message::err(ErrorCode::kProtocol,
+                          "REPL ACK expects generation, offset, and records");
+    }
+    feed_->note_ack(connection.id, generation, offset, records);
+    return Message{};
+  }
+  return Message::err(ErrorCode::kProtocol, "unknown REPL subcommand: " + sub);
+}
+
+bool HarmonyTcpServer::pump_replication() {
+  if (feed_ == nullptr) return false;
+  bool progress = false;
+  // Ship journal batches queued by the tap since the last cycle.
+  auto ship_to = [&](Connection& connection) {
+    if (!connection.is_replica || connection.drop) return;
+    for (Message& frame : feed_->take_pending(connection.id)) {
+      send(connection, frame);
+      progress = true;
+    }
+  };
+  if (sharded()) {
+    for (auto& [id, connection] : remotes_) ship_to(*connection);
+  } else {
+    for (auto& connection : connections_) ship_to(*connection);
+  }
+  // Release semi-sync replies in arrival order: acked, timed out, or
+  // moot (no subscribers left — durability degrades to local-only
+  // rather than stalling clients on a dead standby).
+  if (!deferred_.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    const bool unsubscribed = !feed_->has_subscribers();
+    while (!deferred_.empty()) {
+      DeferredReply& head = deferred_.front();
+      if (!unsubscribed && now < head.deadline &&
+          !feed_->acked_through(head.generation, head.offset)) {
+        break;
+      }
+      Connection* connection = find_connection(head.conn);
+      if (connection != nullptr && !connection->drop) {
+        send(*connection, head.reply);
+        if (!sharded()) flush_writable(*connection);
+      }
+      deferred_.pop_front();
+      progress = true;
+    }
+  }
+  return progress;
+}
+
 void HarmonyTcpServer::send(Connection& connection, const Message& message) {
   if (connection.drop) return;
   frames_out_total_->increment();
@@ -841,6 +993,13 @@ void HarmonyTcpServer::flush_writable(Connection& connection) {
 }
 
 void HarmonyTcpServer::park_or_end(Connection& connection) {
+  if (connection.is_replica) {
+    // A standby's subscription dies with its connection; it re-attaches
+    // with a fresh HELLO at its recovered position.
+    if (feed_ != nullptr) feed_->detach(connection.id);
+    connection.is_replica = false;
+    return;
+  }
   if (!connection.session_token.empty() && !connection.instances.empty()) {
     // Resumable session: park instead of departing. Subscriptions go
     // empty (parked) so nothing references the dying connection.
@@ -869,7 +1028,7 @@ void HarmonyTcpServer::park_or_end(Connection& connection) {
 
 void HarmonyTcpServer::reap_dropped() {
   // All implicit harmony_ends from one poll iteration share an epoch.
-  MaybeEpoch epoch(controller_);
+  MaybeEpoch epoch(standby_ ? nullptr : controller_);
   for (auto& connection : connections_) {
     if (!connection->drop) continue;
     park_or_end(*connection);
@@ -881,6 +1040,9 @@ void HarmonyTcpServer::reap_dropped() {
 }
 
 void HarmonyTcpServer::reap_expired_sessions() {
+  // A standby's parked set (if any) mirrors the primary's decisions;
+  // expiring locally would mutate a controller the applier owns.
+  if (standby_) return;
   if (parked_.empty()) return;
   const auto now = std::chrono::steady_clock::now();
   // Scan before binding: idle ticks with nothing expired must not claim

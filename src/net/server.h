@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -58,6 +59,41 @@ struct ServerConfig {
   // SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Tests
   // shrink it so the high-water mark is reachable deterministically.
   int sndbuf_bytes = 0;
+  // Semi-synchronous replication: with a replication feed attached and
+  // at least one standby subscribed, the OK for a mutating verb is
+  // withheld until a standby acks the journal position covering it — or
+  // this deadline passes (the primary never blocks on a dead standby;
+  // durability degrades to local-only, like a lone primary).
+  uint64_t sync_reply_timeout_ms = 1000;
+};
+
+// Server-side half of the replication wire protocol, implemented by
+// replica::ReplicationSource (the net layer cannot depend on replica/).
+// All methods are called on the controller thread; implementations are
+// internally synchronized against the journal tap, which fires on
+// whatever thread commits.
+class ReplicationFeed {
+ public:
+  virtual ~ReplicationFeed() = default;
+  // {REPL HELLO <gen> <offset> <id>} arrived on `conn`: register the
+  // standby and return the frames that bring it in sync — a snapshot
+  // transfer when it is too far behind, else the journal backlog.
+  virtual std::vector<Message> handshake(uint64_t conn,
+                                         const std::string& standby_id,
+                                         uint64_t generation,
+                                         uint64_t offset) = 0;
+  // {REPL ACK <gen> <offset> <records>} from the standby on `conn`.
+  virtual void note_ack(uint64_t conn, uint64_t generation, uint64_t offset,
+                        uint64_t records) = 0;
+  // The subscriber's connection died.
+  virtual void detach(uint64_t conn) = 0;
+  // Frames queued for `conn` since the last take (journal batches and
+  // compaction markers pushed by the tap).
+  virtual std::vector<Message> take_pending(uint64_t conn) = 0;
+  // True when every live subscriber has acked through (gen, offset);
+  // vacuously true with no subscribers. Gates deferred-reply release.
+  virtual bool acked_through(uint64_t generation, uint64_t offset) = 0;
+  virtual bool has_subscribers() = 0;
 };
 
 class HarmonyTcpServer {
@@ -84,6 +120,17 @@ class HarmonyTcpServer {
   // How long a resumable session survives its connection (default 30s).
   // Atomic so tests can shorten it while the serve loop runs.
   void set_session_grace_ms(int grace_ms) { session_grace_ms_ = grace_ms; }
+
+  // Attaches the replication source: {REPL ...} messages are accepted,
+  // journal batches are pushed to subscribed standbys each drain cycle,
+  // and mutating-verb replies turn semi-synchronous (see ServerConfig).
+  void set_replication_feed(ReplicationFeed* feed) { feed_ = feed; }
+  // Standby mode: the serve loop never binds the controller (the
+  // replication applier owns it) and decision verbs answer ERR
+  // not_primary. Flip to false at promotion, after set_persistence
+  // reparked the mirrored sessions.
+  void set_standby(bool standby) { standby_ = standby; }
+  bool standby() const { return standby_; }
 
   Result<uint16_t> start();  // bind + listen + spawn I/O shards
   uint16_t port() const { return port_; }
@@ -125,7 +172,19 @@ class HarmonyTcpServer {
     // Resume token issued at the first v2 REGISTER (empty for v1
     // clients, whose disconnect is an implicit harmony_end).
     std::string session_token;
+    // This connection completed a {REPL HELLO}: it is a standby
+    // subscribed to the journal stream, not an application.
+    bool is_replica = false;
     bool drop = false;
+  };
+  // A semi-sync reply withheld until a standby acks the journal
+  // position that covers its effect (or the deadline passes).
+  struct DeferredReply {
+    uint64_t conn = 0;
+    Message reply;
+    uint64_t generation = 0;
+    uint64_t offset = 0;
+    std::chrono::steady_clock::time_point deadline;
   };
   struct ParkedSession {
     std::vector<core::InstanceId> instances;
@@ -154,6 +213,14 @@ class HarmonyTcpServer {
   void dispatch(Connection& connection, const Message& message);
   Message handle_message(Connection& connection, const Message& message);
   Message handle_resume(Connection& connection, const std::string& token);
+  // {REPL ...} subprotocol. Returns an empty-verb message for ACKs,
+  // which dispatch() interprets as "no reply".
+  Message handle_repl(Connection& connection, const Message& message);
+  // Ships queued replication frames to subscribed standbys and releases
+  // deferred semi-sync replies whose position was acked (or timed out).
+  bool pump_replication();
+  // True when this OK reply must wait for a standby ack.
+  bool should_defer_reply(const std::string& verb, const Message& reply) const;
   void send(Connection& connection, const Message& message);
   void flush_writable(Connection& connection);
   // Parks a resumable connection's session or synthesizes the DEPARTs.
@@ -200,6 +267,9 @@ class HarmonyTcpServer {
   core::Controller* controller_;
   core::DomainRouter* router_ = nullptr;
   persist::Persistence* persistence_ = nullptr;
+  ReplicationFeed* feed_ = nullptr;
+  bool standby_ = false;
+  std::deque<DeferredReply> deferred_;  // controller thread only
   ServerConfig config_;
   uint16_t port_;
   int io_shard_count_ = 0;  // resolved at start()

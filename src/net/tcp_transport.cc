@@ -12,12 +12,88 @@
 namespace harmony::net {
 
 Status TcpTransport::connect(const std::string& host, uint16_t port) {
-  auto fd = connect_to(host, port);
-  if (!fd.ok()) return Status(fd.error().code, fd.error().message);
-  fd_ = std::move(fd).value();
-  host_ = host;
-  port_ = port;
-  return Status::Ok();
+  return connect(std::vector<Endpoint>{{host, port}});
+}
+
+Status TcpTransport::connect(std::vector<Endpoint> endpoints) {
+  if (endpoints.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "no endpoints to connect to");
+  }
+  endpoints_ = std::move(endpoints);
+  endpoint_cursor_ = 0;
+  Status last(ErrorCode::kTransport, "connect failed");
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    const Endpoint& endpoint = current_endpoint();
+    auto fd = connect_to(endpoint.host, endpoint.port);
+    if (fd.ok()) {
+      fd_ = std::move(fd).value();
+      return Status::Ok();
+    }
+    last = Status(fd.error().code, fd.error().message);
+    ++endpoint_cursor_;
+  }
+  return last;
+}
+
+void TcpTransport::backoff_sleep() {
+  const int base = std::max(1, policy_.initial_backoff_ms);
+  const int cap = std::max(base, policy_.max_backoff_ms);
+  int sleep_ms;
+  if (!policy_.jitter) {
+    // Legacy deterministic doubling.
+    sleep_ms = prev_backoff_ms_ == 0 ? base
+                                     : std::min(cap, prev_backoff_ms_ * 2);
+  } else {
+    // Decorrelated jitter (Brooker): sleep = min(cap, uniform[base,
+    // 3 * prev]). Grows like exponential backoff in expectation but
+    // every client walks its own path, so a failover's reconnect storm
+    // arrives spread instead of in synchronized waves.
+    if (!jitter_seeded_) {
+      uint64_t seed = policy_.jitter_seed;
+      if (seed == 0) {
+        seed = static_cast<uint64_t>(
+                   std::chrono::steady_clock::now().time_since_epoch().count()) ^
+               (reinterpret_cast<uintptr_t>(this) << 16);
+      }
+      jitter_rng_.reseed(seed);
+      jitter_seeded_ = true;
+    }
+    const int prev = prev_backoff_ms_ == 0 ? base : prev_backoff_ms_;
+    const uint64_t span =
+        static_cast<uint64_t>(std::max(1, prev * 3 - base)) + 1;
+    sleep_ms = static_cast<int>(std::min(
+        static_cast<uint64_t>(cap),
+        static_cast<uint64_t>(base) + jitter_rng_.next_below(span)));
+  }
+  prev_backoff_ms_ = sleep_ms;
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+}
+
+void TcpTransport::aim_at_hint(const Message& reply) {
+  // {ERR not_primary <host:port>}: aim straight at the hinted primary
+  // when it parses and is one of ours (or append it); otherwise just
+  // try the next endpoint.
+  if (reply.args.size() >= 2 && !reply.args[1].empty()) {
+    const std::string& hint = reply.args[1];
+    const size_t colon = hint.rfind(':');
+    long long port = 0;
+    if (colon != std::string::npos && colon > 0 &&
+        parse_int64(hint.substr(colon + 1), &port) && port > 0 &&
+        port <= 65535) {
+      Endpoint target{hint.substr(0, colon), static_cast<uint16_t>(port)};
+      for (size_t i = 0; i < endpoints_.size(); ++i) {
+        if (endpoints_[i].host == target.host &&
+            endpoints_[i].port == target.port) {
+          endpoint_cursor_ = i;
+          return;
+        }
+      }
+      endpoints_.push_back(target);
+      endpoint_cursor_ = endpoints_.size() - 1;
+      return;
+    }
+  }
+  ++endpoint_cursor_;
 }
 
 void TcpTransport::close() { fd_ = Fd(); }
@@ -81,21 +157,48 @@ Result<Message> TcpTransport::call_once(const Message& request) {
   }
 }
 
+Status TcpTransport::reconnect_fresh() {
+  if (endpoints_.empty() || policy_.max_attempts <= 0) {
+    return Status(ErrorCode::kClosed, "nowhere to reconnect");
+  }
+  fd_ = Fd();
+  inbound_ = FrameBuffer();
+  reset_backoff();
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    backoff_sleep();
+    auto fd = connect_to(current_endpoint().host, current_endpoint().port);
+    if (!fd.ok()) {
+      ++endpoint_cursor_;  // try the next endpoint on the next attempt
+      continue;
+    }
+    fd_ = std::move(fd).value();
+    metric::telemetry_counter("client.reconnects_total").increment();
+    return Status::Ok();
+  }
+  return Status(ErrorCode::kTransport, "reconnect attempts exhausted");
+}
+
 Status TcpTransport::reconnect_and_resume() {
-  if (session_token_.empty() || host_.empty() || policy_.max_attempts <= 0) {
+  if (session_token_.empty() || endpoints_.empty() ||
+      policy_.max_attempts <= 0) {
     return Status(ErrorCode::kClosed, "no resumable session");
   }
   fd_ = Fd();
   // Half a frame from the dead connection must not prefix the new one.
   inbound_ = FrameBuffer();
-  int backoff_ms = policy_.initial_backoff_ms;
+  reset_backoff();
   for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-    backoff_ms = std::min(backoff_ms * 2, policy_.max_backoff_ms);
-    auto fd = connect_to(host_, port_);
+    backoff_sleep();
+    const Endpoint& endpoint = current_endpoint();
+    auto fd = connect_to(endpoint.host, endpoint.port);
     if (!fd.ok()) {
-      HLOG_DEBUG("transport") << "reconnect attempt " << attempt
+      HLOG_DEBUG("transport") << "reconnect attempt " << attempt << " to "
+                              << endpoint.host << ":" << endpoint.port
                               << " failed: " << fd.error().message;
+      // A refused endpoint may be the dead primary; fan the next
+      // attempt to the next one while it (or a promoted standby)
+      // comes up.
+      ++endpoint_cursor_;
       continue;
     }
     fd_ = std::move(fd).value();
@@ -106,6 +209,15 @@ Status TcpTransport::reconnect_and_resume() {
       fd_ = Fd();
       inbound_ = FrameBuffer();
       continue;  // server may still be coming back up
+    }
+    if (not_primary_error(reply.value())) {
+      // A live standby answered: the cluster exists, the primary is
+      // elsewhere. Re-aim (the refusal names the primary when the
+      // standby knows it) and keep trying.
+      fd_ = Fd();
+      inbound_ = FrameBuffer();
+      aim_at_hint(reply.value());
+      continue;
     }
     if (reply.value().verb != "OK") {
       // Connected but the session is gone (expired, or the server lost
@@ -135,6 +247,16 @@ Status TcpTransport::reconnect_and_resume() {
 
 Result<Message> TcpTransport::call(const Message& request, bool retry) {
   auto reply = call_once(request);
+  if (reply.ok() && retry && not_primary_error(reply.value())) {
+    // The endpoint demoted under us (or we connected to a standby
+    // before any session existed). Follow the hint to the primary and
+    // retransmit: the refused request never touched decision state.
+    aim_at_hint(reply.value());
+    Status moved = session_token_.empty() ? reconnect_fresh()
+                                          : reconnect_and_resume();
+    if (!moved.ok()) return reply;  // surface the refusal
+    return call_once(request);
+  }
   if (reply.ok() || !retry || !transport_failure(reply.error().code)) {
     return reply;
   }

@@ -14,6 +14,7 @@
 #include <map>
 
 #include "client/transport.h"
+#include "common/rng.h"
 #include "net/framing.h"
 #include "net/protocol.h"
 #include "net/tcp.h"
@@ -22,8 +23,24 @@ namespace harmony::net {
 
 struct ReconnectPolicy {
   int max_attempts = 5;        // 0 disables reconnection entirely
-  int initial_backoff_ms = 50; // doubles per attempt...
+  int initial_backoff_ms = 50; // grows per attempt (decorrelated)...
   int max_backoff_ms = 1000;   // ...up to this ceiling
+  // Decorrelated jitter (sleep = min(cap, uniform[base, 3*prev])): a
+  // swarm of clients orphaned by one failover spreads its reconnect
+  // storm instead of hammering the new primary in lockstep. Off = the
+  // old deterministic doubling (tests that count sleeps rely on it).
+  bool jitter = true;
+  // Jitter seed; 0 draws one from the system clock and this object's
+  // address. Fixed seeds make backoff sequences reproducible.
+  uint64_t jitter_seed = 0;
+};
+
+// One server address a transport may (re)connect to. With several
+// endpoints the transport fails over: a refused or not_primary endpoint
+// advances the cursor, so clients follow the lease across promotions.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
 };
 
 class TcpTransport : public client::Transport {
@@ -31,6 +48,9 @@ class TcpTransport : public client::Transport {
   TcpTransport() = default;
 
   Status connect(const std::string& host, uint16_t port);
+  // HA form: tries the endpoints in order until one accepts; later
+  // reconnects resume from the endpoint that last worked.
+  Status connect(std::vector<Endpoint> endpoints);
   bool connected() const { return fd_.valid(); }
   void set_reconnect_policy(ReconnectPolicy policy) { policy_ = policy; }
 
@@ -81,15 +101,38 @@ class TcpTransport : public client::Transport {
     return code == ErrorCode::kTransport || code == ErrorCode::kClosed ||
            code == ErrorCode::kIo;
   }
+  // {ERR not_primary <hint>}: the endpoint is a standby. Retryable —
+  // the client advances to the next endpoint (adopting the hint when
+  // given) instead of surfacing the error.
+  static bool not_primary_error(const Message& reply) {
+    return reply.verb == "ERR" && !reply.args.empty() &&
+           reply.args[0] == "not_primary";
+  }
   // Bounded-backoff reconnect followed by RESUME of the session.
   Status reconnect_and_resume();
+  // Bounded-backoff reconnect with no session to resume (pre-REGISTER
+  // failover to another endpoint).
+  Status reconnect_fresh();
+  // One backoff sleep; advances prev_backoff_ms_ (decorrelated jitter
+  // or plain doubling per the policy).
+  void backoff_sleep();
+  void reset_backoff() { prev_backoff_ms_ = 0; }
+  // Steers the endpoint cursor at a not_primary refusal: adopt the
+  // hinted primary when the hint parses, else advance round-robin.
+  void aim_at_hint(const Message& reply);
+  const Endpoint& current_endpoint() const {
+    return endpoints_[endpoint_cursor_ % endpoints_.size()];
+  }
 
   Fd fd_;
   FrameBuffer inbound_;
-  std::string host_;
-  uint16_t port_ = 0;
+  std::vector<Endpoint> endpoints_;
+  size_t endpoint_cursor_ = 0;
   std::string session_token_;
   ReconnectPolicy policy_;
+  Rng jitter_rng_;
+  bool jitter_seeded_ = false;
+  int prev_backoff_ms_ = 0;
   // Ids this transport saw a REGISTER reply for (minus unregisters).
   // Compared against the ids RESUME returns to detect a REGISTER that
   // the server applied but whose reply was lost with the connection —

@@ -108,6 +108,11 @@ void Journal::append(std::string_view payload) {
   ++appended_records_;
 }
 
+void Journal::append_raw(std::string_view framed) {
+  pending_.append(framed);
+  ++appended_records_;
+}
+
 Status Journal::commit(bool sync) {
   if (!pending_.empty()) {
     HARMONY_ASSERT_MSG(fd_ >= 0, "commit on closed journal");

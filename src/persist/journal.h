@@ -51,7 +51,14 @@ class Journal {
 
   // Buffers one record; no I/O until commit().
   void append(std::string_view payload);
+  // Buffers bytes that are already framed (length+crc+payload) — the
+  // replication path, where a standby mirrors the primary's journal
+  // byte-for-byte from streamed record batches.
+  void append_raw(std::string_view framed);
   size_t pending_bytes() const { return pending_.size(); }
+  // Buffered-but-uncommitted bytes; the replication tap captures them
+  // just before commit so the streamed bytes equal the file bytes.
+  const std::string& pending() const { return pending_; }
 
   // Writes every buffered record with one write(2); fsyncs when `sync`.
   Status commit(bool sync);

@@ -10,6 +10,7 @@
 
 #include "common/assert.h"
 #include "common/strings.h"
+#include "persist/crc32c.h"
 #include "rsl/value.h"
 
 namespace harmony::persist {
@@ -20,6 +21,15 @@ constexpr char kJournalFile[] = "journal.wal";
 constexpr char kSnapshotFile[] = "snapshot.hsn";
 constexpr char kSnapshotTmpFile[] = "snapshot.tmp";
 constexpr int kSnapshotVersion = 1;
+// Record framing header: [u32 length][u32 crc32c], matching journal.cc.
+constexpr size_t kRecordHeaderBytes = 8;
+
+uint32_t read_u32(const char* data) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  return (static_cast<uint32_t>(bytes[0]) << 24) |
+         (static_cast<uint32_t>(bytes[1]) << 16) |
+         (static_cast<uint32_t>(bytes[2]) << 8) | static_cast<uint32_t>(bytes[3]);
+}
 
 using rsl::list_build;
 using rsl::list_parse;
@@ -111,7 +121,15 @@ Persistence::~Persistence() {
     sync_cv_.notify_one();
     sync_thread_.join();
   }
-  if (controller_ != nullptr) controller_->set_event_sink(nullptr);
+  if (controller_ != nullptr) {
+    controller_->set_event_sink(nullptr);
+    if (standby_) {
+      // open_standby installed a time source that reads replay_time_
+      // through `this`; leave a by-value pin behind instead.
+      const double last_time = replay_time_;
+      controller_->set_time_source([last_time] { return last_time; });
+    }
+  }
   // Best effort: push any buffered records out before closing.
   (void)journal_.commit(/*sync=*/false);
 }
@@ -173,6 +191,30 @@ Result<std::unique_ptr<Persistence>> Persistence::open(
     persistence->sync_thread_ =
         std::thread(&Persistence::sync_loop, persistence.get());
   }
+  return persistence;
+}
+
+Result<std::unique_ptr<Persistence>> Persistence::open_standby(
+    PersistConfig config, core::Controller& controller) {
+  Status dir_status = mkdir_if_missing(config.dir);
+  if (!dir_status.ok()) return dir_status.error();
+
+  std::unique_ptr<Persistence> persistence(
+      new Persistence(std::move(config), controller));
+  persistence->standby_ = true;
+  Status recovered = persistence->recover();
+  if (!recovered.ok()) return recovered.error();
+
+  auto journal = Journal::open(persistence->journal_path());
+  if (!journal.ok()) return journal.error();
+  persistence->journal_ = std::move(journal).value();
+
+  // No event sink, no verification pass, no sync thread: the replicated
+  // stream is the only writer until promote(). Track the replayed event
+  // times live (recover() left a by-value pin) so the mirrored decisions
+  // see the same clock the primary's did.
+  controller.set_time_source(
+      [p = persistence.get()] { return p->replay_time_; });
   return persistence;
 }
 
@@ -274,12 +316,9 @@ void Persistence::commit_epoch_locked() {
     return;
   }
   ++epochs_since_sync_;
-  const uint64_t pending_bytes = journal_.pending_bytes();
-  journal_live_bytes_ += pending_bytes;
   if (config_.fsync_every_epochs == 0) {
     metric::ScopedSpan span("journal.append");
-    last_error_ = journal_.commit(/*sync=*/true);
-    if (last_error_.ok()) journal_bytes_total_->add(pending_bytes);
+    last_error_ = commit_pending_locked(/*sync=*/true);
     epochs_since_sync_ = 0;
     return;
   }
@@ -295,9 +334,8 @@ void Persistence::commit_epoch_locked() {
   }
   {
     metric::ScopedSpan span("journal.append");
-    last_error_ = journal_.commit(/*sync=*/false);
+    last_error_ = commit_pending_locked(/*sync=*/false);
   }
-  if (last_error_.ok()) journal_bytes_total_->add(pending_bytes);
   if (sync) epochs_since_sync_ = 0;
   // Hand the due fsync to the sync thread and surface any error it hit
   // on an earlier one; the write above is the only disk wait this path
@@ -308,6 +346,26 @@ void Persistence::commit_epoch_locked() {
     if (sync) sync_requested_ = true;
   }
   if (sync) sync_cv_.notify_one();
+}
+
+Status Persistence::commit_pending_locked(bool sync) {
+  const uint64_t pending_bytes = journal_.pending_bytes();
+  const uint64_t start_offset = journal_live_bytes_;
+  // Capture the framed bytes before commit() clears them; the streamed
+  // bytes must equal the file bytes exactly so a standby's journal is a
+  // byte-for-byte mirror.
+  std::string streamed;
+  if (tap_ != nullptr && pending_bytes > 0) streamed = journal_.pending();
+  Status status = journal_.commit(sync);
+  if (!status.ok()) return status;
+  if (pending_bytes > 0) {
+    journal_live_bytes_ += pending_bytes;
+    journal_bytes_total_->add(pending_bytes);
+    if (tap_ != nullptr) {
+      tap_->on_journal_commit(generation_, start_offset, streamed);
+    }
+  }
+  return status;
 }
 
 void Persistence::record_session(const std::string& token,
@@ -339,7 +397,7 @@ Status Persistence::flush() {
     if (!status.ok() && last_error_.ok()) last_error_ = status;
     return status;
   }
-  Status status = journal_.commit(/*sync=*/true);
+  Status status = commit_pending_locked(/*sync=*/true);
   if (!status.ok() && last_error_.ok()) last_error_ = status;
   epochs_since_sync_ = 0;
   return status;
@@ -347,7 +405,41 @@ Status Persistence::flush() {
 
 // --- snapshot ----------------------------------------------------------------
 
+Status Persistence::write_snapshot_file(const std::string& data) {
+  const std::string tmp = config_.dir + "/" + kSnapshotTmpFile;
+  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return errno_error("open snapshot", tmp);
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Error error = errno_error("write snapshot", tmp);
+      ::close(fd);
+      return error;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Error error = errno_error("fsync snapshot", tmp);
+    ::close(fd);
+    return error;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), snapshot_path().c_str()) != 0) {
+    return errno_error("rename snapshot", tmp);
+  }
+  return fsync_path(config_.dir);
+}
+
 Status Persistence::snapshot_now() {
+  // A streaming standby must receive every record that precedes the
+  // compaction marker: the journal reset below drops buffered records,
+  // so push them down the stream (and into the file) first.
+  if (tap_ != nullptr && journal_.pending_bytes() > 0) {
+    Status committed = commit_pending_locked(/*sync=*/false);
+    if (!committed.ok()) return committed;
+  }
   metric::ScopedSpan span("snapshot.write");
   const uint64_t start_us = metric::telemetry_now_us();
   const core::SystemState& state = controller_->state();
@@ -415,31 +507,8 @@ Status Persistence::snapshot_now() {
   // END record is rejected at load time.
   data.append(encode_record(list_build({"END", format_u64(count)})));
 
-  const std::string tmp = config_.dir + "/" + kSnapshotTmpFile;
-  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) return errno_error("open snapshot", tmp);
-  size_t done = 0;
-  while (done < data.size()) {
-    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Error error = errno_error("write snapshot", tmp);
-      ::close(fd);
-      return error;
-    }
-    done += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    Error error = errno_error("fsync snapshot", tmp);
-    ::close(fd);
-    return error;
-  }
-  ::close(fd);
-  if (::rename(tmp.c_str(), snapshot_path().c_str()) != 0) {
-    return errno_error("rename snapshot", tmp);
-  }
-  Status dir_sync = fsync_path(config_.dir);
-  if (!dir_sync.ok()) return dir_sync;
+  Status written = write_snapshot_file(data);
+  if (!written.ok()) return written;
 
   // The journal's content is now redundant. If the process dies before
   // the truncation lands, the next recovery sees the old GEN record and
@@ -457,6 +526,10 @@ Status Persistence::snapshot_now() {
   last_sync_time_ = std::chrono::steady_clock::now();
   snapshots_total_->increment();
   snapshot_us_->record(metric::telemetry_now_us() - start_us);
+  // Standbys that are caught up mirror the compaction locally (their
+  // replayed state is equivalent by determinism); ones that are behind
+  // fall back to a full resync when their generation no longer matches.
+  if (tap_ != nullptr) tap_->on_compaction(generation_);
   return Status::Ok();
 }
 
@@ -530,60 +603,9 @@ Status Persistence::recover() {
           }
           return Status::Ok();
         }
-        if ((*fields)[0] == "SESSION") {
-          if (fields->size() != 3) {
-            return Status(corrupt("bad session record: " + payload));
-          }
-          auto ids = list_parse((*fields)[2]);
-          if (!ids.ok()) {
-            return Status(corrupt("bad session ids: " + (*fields)[2]));
-          }
-          std::vector<core::InstanceId> instances;
-          for (const auto& id_text : *ids) {
-            uint64_t id = 0;
-            if (!parse_u64(id_text, &id)) {
-              return Status(corrupt("bad session instance id: " + id_text));
-            }
-            instances.push_back(id);
-          }
-          if (instances.empty()) {
-            sessions_.erase((*fields)[1]);
-          } else {
-            sessions_[(*fields)[1]] = std::move(instances);
-          }
-          return Status::Ok();
-        }
+        if ((*fields)[0] == "SESSION") return apply_session_record(*fields);
         if ((*fields)[0] == "EV") return replay_event(*fields);
-        if ((*fields)[0] == "EVD") {
-          // Domain-tagged event: (domain, dseq, nested EV record). The
-          // merged commit order in the file is a valid replay order for
-          // the single recovery controller — domains are disjoint — but
-          // each domain's own stream must be gap-free: a missing dseq
-          // means a worker's events were lost or reordered, and the
-          // replayed decisions could silently diverge.
-          if (fields->size() != 4) {
-            return Status(corrupt("bad EVD record: " + payload));
-          }
-          uint64_t domain = 0, dseq = 0;
-          if (!parse_u64((*fields)[1], &domain) ||
-              !parse_u64((*fields)[2], &dseq)) {
-            return Status(corrupt("bad EVD tag: " + payload));
-          }
-          const uint64_t expected =
-              ++replay_dseq_[static_cast<uint32_t>(domain)];
-          if (dseq != expected) {
-            return Status(corrupt(str_format(
-                "domain %llu journal gap: expected seq %llu, found %llu",
-                static_cast<unsigned long long>(domain),
-                static_cast<unsigned long long>(expected),
-                static_cast<unsigned long long>(dseq))));
-          }
-          auto inner = list_parse((*fields)[3]);
-          if (!inner.ok() || inner->empty() || (*inner)[0] != "EV") {
-            return Status(corrupt("bad EVD payload: " + (*fields)[3]));
-          }
-          return replay_event(*inner);
-        }
+        if ((*fields)[0] == "EVD") return apply_evd_record(payload, *fields);
         return Status(corrupt("unknown journal record: " + payload));
       },
       /*repair=*/true);
@@ -681,6 +703,55 @@ Status Persistence::replay_event(const std::vector<std::string>& fields) {
     return controller_->reevaluate();
   }
   return corrupt("unknown event verb: " + verb);
+}
+
+Status Persistence::apply_session_record(const std::vector<std::string>& fields) {
+  if (fields.size() != 3) {
+    return corrupt("bad session record: " + list_build(fields));
+  }
+  auto ids = list_parse(fields[2]);
+  if (!ids.ok()) return corrupt("bad session ids: " + fields[2]);
+  std::vector<core::InstanceId> instances;
+  for (const auto& id_text : *ids) {
+    uint64_t id = 0;
+    if (!parse_u64(id_text, &id)) {
+      return corrupt("bad session instance id: " + id_text);
+    }
+    instances.push_back(id);
+  }
+  if (instances.empty()) {
+    sessions_.erase(fields[1]);
+  } else {
+    sessions_[fields[1]] = std::move(instances);
+  }
+  return Status::Ok();
+}
+
+Status Persistence::apply_evd_record(const std::string& payload,
+                                     const std::vector<std::string>& fields) {
+  // Domain-tagged event: (domain, dseq, nested EV record). The merged
+  // commit order in the file is a valid replay order for a single
+  // controller — domains are disjoint — but each domain's own stream
+  // must be gap-free: a missing dseq means a worker's events were lost
+  // or reordered, and the replayed decisions could silently diverge.
+  if (fields.size() != 4) return corrupt("bad EVD record: " + payload);
+  uint64_t domain = 0, dseq = 0;
+  if (!parse_u64(fields[1], &domain) || !parse_u64(fields[2], &dseq)) {
+    return corrupt("bad EVD tag: " + payload);
+  }
+  const uint64_t expected = ++replay_dseq_[static_cast<uint32_t>(domain)];
+  if (dseq != expected) {
+    return corrupt(str_format(
+        "domain %llu journal gap: expected seq %llu, found %llu",
+        static_cast<unsigned long long>(domain),
+        static_cast<unsigned long long>(expected),
+        static_cast<unsigned long long>(dseq)));
+  }
+  auto inner = list_parse(fields[3]);
+  if (!inner.ok() || inner->empty() || (*inner)[0] != "EV") {
+    return corrupt("bad EVD payload: " + fields[3]);
+  }
+  return replay_event(*inner);
 }
 
 Status Persistence::flush_pending_instance() {
@@ -862,6 +933,196 @@ Status Persistence::apply_snapshot_record(const std::string& payload) {
     return Status::Ok();
   }
   return corrupt("unknown snapshot record: " + payload);
+}
+
+// --- replication -------------------------------------------------------------
+
+void Persistence::set_replication_tap(ReplicationTap* tap) {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  tap_ = tap;
+}
+
+ReplicationPosition Persistence::replication_position() {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  return ReplicationPosition{generation_, journal_live_bytes_};
+}
+
+Status Persistence::apply_stream_record(const std::string& payload) {
+  auto fields_or = list_parse(payload);
+  if (!fields_or.ok() || fields_or->empty()) {
+    return corrupt("unparseable replicated record: " + payload);
+  }
+  const std::vector<std::string>& fields = *fields_or;
+  const std::string& tag = fields[0];
+  if (tag == "GEN") {
+    // The primary's journal opens with the generation it extends; a
+    // mismatch means this standby's snapshot diverged from the stream
+    // (it needs a full resync, which the replicator drives).
+    uint64_t generation = 0;
+    if (fields.size() != 2 || !parse_u64(fields[1], &generation)) {
+      return corrupt("bad replicated GEN record: " + payload);
+    }
+    if (generation != generation_) {
+      return corrupt(str_format(
+          "replicated journal opens generation %llu but standby is at %llu",
+          static_cast<unsigned long long>(generation),
+          static_cast<unsigned long long>(generation_)));
+    }
+    return Status::Ok();
+  }
+  if (tag == "SESSION") return apply_session_record(fields);
+  if (tag == "EV") return replay_event(fields);
+  if (tag == "EVD") return apply_evd_record(payload, fields);
+  return corrupt("unknown replicated record: " + payload);
+}
+
+Status Persistence::apply_replicated(std::string_view bytes,
+                                     uint64_t* applied_records) {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  HARMONY_ASSERT_MSG(standby_, "apply_replicated on a primary");
+  if (applied_records != nullptr) *applied_records = 0;
+  if (!last_error_.ok()) return last_error_;
+  stream_buffer_.append(bytes);
+
+  uint64_t applied = 0;
+  size_t offset = 0;
+  Status status = Status::Ok();
+  while (stream_buffer_.size() - offset >= kRecordHeaderBytes) {
+    const uint32_t length = read_u32(stream_buffer_.data() + offset);
+    const uint32_t expected_crc = read_u32(stream_buffer_.data() + offset + 4);
+    if (length > kMaxRecordBytes) {
+      status = corrupt(
+          str_format("replicated record length %u exceeds the record bound",
+                     static_cast<unsigned>(length)));
+      break;
+    }
+    if (stream_buffer_.size() - offset - kRecordHeaderBytes < length) {
+      break;  // torn tail: the rest arrives with the next batch
+    }
+    const std::string payload =
+        stream_buffer_.substr(offset + kRecordHeaderBytes, length);
+    if (crc32c(payload) != expected_crc) {
+      status = corrupt("replicated record failed its checksum");
+      break;
+    }
+    status = apply_stream_record(payload);
+    if (!status.ok()) break;
+    // Mirror the framed bytes verbatim: the standby's journal file is
+    // byte-identical to the primary's at every applied offset, so its
+    // own recovery and its stream position need no translation.
+    journal_.append_raw(std::string_view(stream_buffer_)
+                            .substr(offset, kRecordHeaderBytes + length));
+    offset += kRecordHeaderBytes + length;
+    ++applied;
+    // The GEN header lands through append_raw, so the stamp that
+    // append_journal would have written is already present.
+    gen_stamped_ = true;
+  }
+  stream_buffer_.erase(0, offset);
+  if (applied_records != nullptr) *applied_records = applied;
+  if (status.ok() && applied > 0) {
+    status = commit_pending_locked(/*sync=*/false);
+  }
+  if (!status.ok() && last_error_.ok()) last_error_ = status;
+  return status;
+}
+
+Status Persistence::install_snapshot(const std::string& snapshot_bytes,
+                                     uint64_t expected_generation) {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  HARMONY_ASSERT_MSG(standby_, "install_snapshot on a primary");
+  if (controller_->live_instances() != 0 || controller_->cluster_finalized()) {
+    // There is no way to unwind applied controller state; the node
+    // manager rebuilds the standby (fresh controller, wiped directory)
+    // when it sees this.
+    return Status(Error{ErrorCode::kInvalidArgument,
+                        "full resync requires a fresh controller; tear down "
+                        "and rebuild the standby"});
+  }
+  stream_buffer_.clear();
+  sessions_.clear();
+  replay_dseq_.clear();
+  Status written = write_snapshot_file(snapshot_bytes);
+  if (!written.ok()) return written;
+  have_snapshot_ = true;
+  Status loaded = load_snapshot();
+  if (!loaded.ok()) return loaded;
+  if (generation_ != expected_generation) {
+    return corrupt(str_format(
+        "installed snapshot carries generation %llu, primary announced %llu",
+        static_cast<unsigned long long>(generation_),
+        static_cast<unsigned long long>(expected_generation)));
+  }
+  if (journal_.is_open()) {
+    Status reset = journal_.reset();
+    if (!reset.ok()) return reset;
+  }
+  journal_live_bytes_ = 0;
+  gen_stamped_ = false;
+  recovery_.recovered = true;
+  recovery_.snapshot_records = 0;  // resync, not a local recovery
+  return Status::Ok();
+}
+
+Status Persistence::apply_compaction(uint64_t new_generation) {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  HARMONY_ASSERT_MSG(standby_, "apply_compaction on a primary");
+  if (!stream_buffer_.empty()) {
+    // The marker is sent in commit order, after every record of the old
+    // generation; a buffered partial record means the stream skipped.
+    return corrupt("compaction marker arrived over an incomplete record");
+  }
+  if (new_generation != generation_ + 1) {
+    return corrupt(str_format(
+        "compaction to generation %llu but standby is at %llu",
+        static_cast<unsigned long long>(new_generation),
+        static_cast<unsigned long long>(generation_)));
+  }
+  // Write our own snapshot of the mirrored state: deterministic replay
+  // makes it equivalent to the primary's, and producing it locally
+  // spares the stream the full state transfer.
+  Status status = snapshot_now();
+  if (!status.ok() && last_error_.ok()) last_error_ = status;
+  return status;
+}
+
+void Persistence::reset_stream_tail() {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  stream_buffer_.clear();
+}
+
+Status Persistence::sync_replica() {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  Status status = commit_pending_locked(/*sync=*/true);
+  if (!status.ok() && last_error_.ok()) last_error_ = status;
+  return status;
+}
+
+Status Persistence::promote() {
+  {
+    std::lock_guard<std::mutex> lock(journal_mutex_);
+    HARMONY_ASSERT_MSG(standby_, "promote on a node that is already primary");
+    // A torn buffered tail never finished committing on the dead
+    // primary — no client was acked past it — so the new history
+    // legitimately ends at the last complete record.
+    stream_buffer_.clear();
+    standby_ = false;
+    // Swap the live replay clock for a by-value pin at the last
+    // replicated time; the server installs its own source afterwards.
+    const double last_time = replay_time_;
+    controller_->set_time_source([last_time] { return last_time; });
+  }
+  // Outside the journal mutex: the verification pass journals its own
+  // events through the sink callbacks, which re-enter the commit path.
+  controller_->set_event_sink(this);
+  if (have_snapshot_) {
+    Status verify = controller_->reevaluate();
+    if (!verify.ok()) return verify;
+  }
+  if (config_.fsync_every_epochs > 0 && !sync_thread_.joinable()) {
+    sync_thread_ = std::thread(&Persistence::sync_loop, this);
+  }
+  return flush();
 }
 
 }  // namespace harmony::persist

@@ -86,6 +86,30 @@ struct RecoveryReport {
 // controller state so clients can RESUME across a server restart.
 using SessionMap = std::map<std::string, std::vector<core::InstanceId>>;
 
+// Observer of the durable journal byte stream, the feed a replication
+// source forwards to warm standbys. on_journal_commit fires under the
+// journal mutex immediately after a successful commit with exactly the
+// bytes that landed in the file (framed records, so a standby can
+// append them to its own journal verbatim); on_compaction fires after a
+// snapshot truncated the journal and bumped the generation. Callers may
+// be the controller thread or — in routed mode — any domain worker, so
+// implementations must be internally synchronized and must never call
+// back into Persistence.
+class ReplicationTap {
+ public:
+  virtual ~ReplicationTap() = default;
+  virtual void on_journal_commit(uint64_t generation, uint64_t start_offset,
+                                 std::string_view bytes) = 0;
+  virtual void on_compaction(uint64_t new_generation) = 0;
+};
+
+// A point in the replicated journal stream: byte offset within the
+// journal file of `generation`. Offsets restart at 0 each compaction.
+struct ReplicationPosition {
+  uint64_t generation = 0;
+  uint64_t offset = 0;
+};
+
 // Partitioned (DomainRouter) operation: the router's scratch controller
 // never hosts instances — it carries the cluster definition for the
 // baseline snapshot — and events arrive domain-tagged from worker
@@ -109,6 +133,13 @@ class Persistence final : public core::EventSink, public core::DomainJournal {
   // controller's event sink either way.
   static Result<std::unique_ptr<Persistence>> open(PersistConfig config,
                                                    core::Controller& controller);
+  // Standby (replica) mode: recovers local state exactly like open(),
+  // but attaches no event sink, runs no verification pass, and starts
+  // no sync thread — the controller is advanced only by the replicated
+  // stream (apply_replicated / install_snapshot / apply_compaction)
+  // until promote() turns this node into a primary.
+  static Result<std::unique_ptr<Persistence>> open_standby(
+      PersistConfig config, core::Controller& controller);
   ~Persistence() override;
 
   Persistence(const Persistence&) = delete;
@@ -147,6 +178,48 @@ class Persistence final : public core::EventSink, public core::DomainJournal {
   std::string journal_path() const;
   std::string snapshot_path() const;
 
+  // --- replication (primary side) -----------------------------------------
+  // Attaches the journal-stream observer. Set before traffic flows (it
+  // is read under the journal mutex but installation itself is not
+  // synchronized against in-flight commits).
+  void set_replication_tap(ReplicationTap* tap);
+  // Current durable stream position: (generation, committed bytes of
+  // that generation's journal). Thread-safe.
+  ReplicationPosition replication_position();
+  uint64_t generation() const { return generation_; }
+
+  // --- replication (standby side) -----------------------------------------
+  bool standby() const { return standby_; }
+  // Applies streamed journal bytes: every complete framed record is
+  // validated (CRC), applied to the controller through the recovery
+  // path, and appended verbatim to the local journal; a torn tail stays
+  // buffered until the next call completes it. `applied_records` (may
+  // be null) returns the records applied by this call.
+  Status apply_replicated(std::string_view bytes, uint64_t* applied_records);
+  // Full resync: installs the primary's snapshot file bytes (atomic
+  // tmp/fsync/rename) and loads them into the controller, which must
+  // still be fresh — a standby with diverged local state must be torn
+  // down and rebuilt instead.
+  Status install_snapshot(const std::string& snapshot_bytes,
+                          uint64_t expected_generation);
+  // The primary compacted: write our own snapshot of the mirrored state
+  // (deterministic replay makes it equivalent), truncate the journal,
+  // and advance to `new_generation`. The stream must be exactly caught
+  // up (no buffered tail) — the marker arrives in commit order.
+  Status apply_compaction(uint64_t new_generation);
+  // Drops any buffered torn stream tail. A reconnecting standby
+  // re-requests the stream from its committed offset, so the bytes of a
+  // partial record buffered from the dead connection will arrive again
+  // — keeping them would corrupt reassembly.
+  void reset_stream_tail();
+  // Durability point for the standby's mirror (commit + fsync).
+  Status sync_replica();
+  // Turns the standby into a primary: attaches as the controller's
+  // event sink, runs the journaled verification pass, starts the group
+  // commit thread, and flushes. Any torn stream tail is discarded — the
+  // dead primary never durably shipped that record.
+  Status promote();
+
  private:
   Persistence(PersistConfig config, core::Controller& controller);
 
@@ -154,12 +227,24 @@ class Persistence final : public core::EventSink, public core::DomainJournal {
   Status load_snapshot();
   Status apply_snapshot_record(const std::string& payload);
   Status replay_event(const std::vector<std::string>& fields);
+  // Shared journal-record appliers, used by recovery replay and by the
+  // standby stream path (which sees the same record grammar).
+  Status apply_session_record(const std::vector<std::string>& fields);
+  Status apply_evd_record(const std::string& payload,
+                          const std::vector<std::string>& fields);
+  Status apply_stream_record(const std::string& payload);
   std::string encode_event(const core::ControllerEvent& event) const;
   // Appends to the journal, stamping the GEN header record first when
   // the journal is (logically) empty.
   void append_journal(const std::string& payload);
   // Body of on_epoch_commit; callers hold journal_mutex_.
   void commit_epoch_locked();
+  // Commits buffered records, advances the live-byte watermark, and
+  // feeds the replication tap the committed bytes. Callers hold
+  // journal_mutex_.
+  Status commit_pending_locked(bool sync);
+  // Atomic snapshot-file write: tmp + fsync + rename + directory fsync.
+  Status write_snapshot_file(const std::string& data);
 
   PersistConfig config_;
   core::Controller* controller_;
@@ -187,6 +272,14 @@ class Persistence final : public core::EventSink, public core::DomainJournal {
   // portion a recovery would replay).
   uint64_t journal_live_bytes_ = 0;
   std::chrono::steady_clock::time_point last_sync_time_{};
+  // Standby mode: no event sink, no sync thread; the controller is
+  // driven by the replicated stream until promote().
+  bool standby_ = false;
+  // Streamed bytes not yet forming a complete framed record (a batch
+  // may end mid-record; the remainder arrives with the next batch).
+  std::string stream_buffer_;
+  // Primary-side journal-stream observer; read under journal_mutex_.
+  ReplicationTap* tap_ = nullptr;
 
   // Thread-safe instruments (process-global, resolved once): journal
   // volume on the commit path, fsync latency on the sync thread,

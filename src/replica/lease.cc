@@ -1,0 +1,148 @@
+#include "replica/lease.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace harmony::replica {
+namespace {
+
+// RAII holder of the open + flock(LOCK_EX) pair every lease operation
+// runs under. The lock covers the read-check-write sequence, so two
+// candidates racing an expired lease serialize and the loser sees the
+// winner's fresh term.
+class LockedFile {
+ public:
+  explicit LockedFile(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~LockedFile() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  LockedFile(const LockedFile&) = delete;
+  LockedFile& operator=(const LockedFile&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+Result<LeaseInfo> read_locked(int fd) {
+  char buffer[256];
+  const ssize_t n = ::pread(fd, buffer, sizeof(buffer) - 1, 0);
+  if (n < 0) return Error{ErrorCode::kIo, "lease: read failed"};
+  if (n == 0) return Error{ErrorCode::kNotFound, "lease: empty"};
+  buffer[n] = '\0';
+  LeaseInfo info;
+  long long term = 0;
+  long long expiry = 0;
+  char holder[128] = {0};
+  if (std::sscanf(buffer, "%lld %127s %lld", &term, holder, &expiry) != 3) {
+    return Error{ErrorCode::kCorruption, "lease: malformed file"};
+  }
+  info.term = static_cast<uint64_t>(term);
+  info.holder = holder;
+  info.expiry_ms = expiry;
+  return info;
+}
+
+Status write_locked(int fd, const LeaseInfo& info) {
+  char buffer[256];
+  const int n = std::snprintf(buffer, sizeof(buffer), "%llu %s %lld\n",
+                              static_cast<unsigned long long>(info.term),
+                              info.holder.c_str(),
+                              static_cast<long long>(info.expiry_ms));
+  if (::ftruncate(fd, 0) != 0 ||
+      ::pwrite(fd, buffer, static_cast<size_t>(n), 0) != n ||
+      ::fsync(fd) != 0) {
+    return Status(ErrorCode::kIo, "lease: write failed");
+  }
+  return Status();
+}
+
+}  // namespace
+
+int64_t LeaseFile::now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Result<LeaseInfo> LeaseFile::read() const {
+  LockedFile file(path_);
+  if (!file.ok()) return Error{ErrorCode::kIo, "lease: cannot open " + path_};
+  return read_locked(file.fd());
+}
+
+Result<uint64_t> LeaseFile::try_acquire(const std::string& holder,
+                                        int64_t ttl_ms) {
+  LockedFile file(path_);
+  if (!file.ok()) return Error{ErrorCode::kIo, "lease: cannot open " + path_};
+  LeaseInfo current;
+  Result<LeaseInfo> read = read_locked(file.fd());
+  if (read.ok()) {
+    current = read.value();
+  } else if (read.error().code != ErrorCode::kNotFound &&
+             read.error().code != ErrorCode::kCorruption) {
+    // (A malformed lease is treated as free: the term still advances
+    // past whatever was legible, preserving fencing monotonicity.)
+    return read.error();
+  }
+  const int64_t now = now_ms();
+  const bool ours = current.holder == holder;
+  if (!current.holder.empty() && !ours && current.expiry_ms > now) {
+    return Error{ErrorCode::kNotPrimary,
+                 "lease held by " + current.holder + " for " +
+                     std::to_string(current.expiry_ms - now) + "ms"};
+  }
+  LeaseInfo next;
+  next.term = current.term + 1;
+  next.holder = holder;
+  next.expiry_ms = now + ttl_ms;
+  Status wrote = write_locked(file.fd(), next);
+  if (!wrote.ok()) return wrote.error();
+  return next.term;
+}
+
+Status LeaseFile::renew(const std::string& holder, uint64_t term,
+                        int64_t ttl_ms) {
+  LockedFile file(path_);
+  if (!file.ok()) return Status(ErrorCode::kIo, "lease: cannot open " + path_);
+  Result<LeaseInfo> read = read_locked(file.fd());
+  if (!read.ok()) return Status(read.error());
+  const LeaseInfo& current = read.value();
+  if (current.holder != holder || current.term != term) {
+    return Status(ErrorCode::kNotPrimary,
+                  "lease superseded: held by " + current.holder + " at term " +
+                      std::to_string(current.term));
+  }
+  LeaseInfo next = current;
+  next.expiry_ms = now_ms() + ttl_ms;
+  return write_locked(file.fd(), next);
+}
+
+Result<bool> LeaseFile::expired() const {
+  Result<LeaseInfo> read = this->read();
+  if (!read.ok()) {
+    if (read.error().code == ErrorCode::kNotFound) return true;
+    return read.error();
+  }
+  return read.value().expiry_ms <= now_ms();
+}
+
+}  // namespace harmony::replica

@@ -1,0 +1,58 @@
+// Primaryship lease: a small file holding {term holder expiry_ms},
+// read-checked-written under an exclusive flock(2) so exactly one node
+// can hold a live lease at a time. The term is the fencing generation:
+// every acquisition bumps it, a promotion therefore outranks the dead
+// primary's term, and a deposed primary discovers its demotion the
+// moment a renew finds a higher term — it must stop serving, never
+// rejoin with stale state.
+//
+// Scope: the flock arbitration is per-host (the lease file lives on a
+// filesystem all candidate processes share — the multi-process failover
+// topology this repo tests). A cross-host deployment would swap this
+// for a distributed lock service behind the same interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace harmony::replica {
+
+struct LeaseInfo {
+  uint64_t term = 0;
+  std::string holder;
+  // Absolute expiry, milliseconds since the Unix epoch (wall clock: the
+  // processes sharing the file share the clock).
+  int64_t expiry_ms = 0;
+};
+
+class LeaseFile {
+ public:
+  explicit LeaseFile(std::string path) : path_(std::move(path)) {}
+
+  // Reads the current lease (kNotFound when none was ever written).
+  Result<LeaseInfo> read() const;
+
+  // Takes the lease if it is free, expired, or already ours: writes
+  // {term+1, holder, now+ttl} and returns the new term. A live lease
+  // held by someone else returns kNotPrimary.
+  Result<uint64_t> try_acquire(const std::string& holder, int64_t ttl_ms);
+
+  // Extends our lease. Fails with kNotPrimary if the file no longer
+  // names (holder, term) — we were deposed; the caller must stop
+  // serving immediately.
+  Status renew(const std::string& holder, uint64_t term, int64_t ttl_ms);
+
+  // True when the lease is absent or its expiry has passed.
+  Result<bool> expired() const;
+
+  static int64_t now_ms();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace harmony::replica

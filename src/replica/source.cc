@@ -1,0 +1,363 @@
+#include "replica/source.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace harmony::replica {
+namespace {
+
+// Payload bytes per BATCH / SNAPC frame. Hex encoding doubles this on
+// the wire, keeping every frame well under the 16 MiB frame cap.
+constexpr size_t kChunkBytes = 4 * 1024 * 1024;
+// A standby that falls this many queued bytes behind is dropped; it
+// reconnects and resyncs from the files instead of growing the queue
+// without bound.
+constexpr size_t kMaxQueuedBytes = 64 * 1024 * 1024;
+constexpr size_t kRecordHeaderBytes = 8;
+
+uint32_t read_u32(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Counts the framed records in `bytes`; both ends must be commit
+// boundaries (true for tap batches and for journal-file slices, whose
+// bounds are committed offsets).
+uint64_t count_records(std::string_view bytes) {
+  uint64_t n = 0;
+  size_t at = 0;
+  while (at + kRecordHeaderBytes <= bytes.size()) {
+    const uint32_t len = read_u32(bytes.data() + at);
+    at += kRecordHeaderBytes + len;
+    ++n;
+  }
+  return n;
+}
+
+// Reads `length` bytes of `path` starting at `offset`.
+Result<std::string> read_file_slice(const std::string& path, uint64_t offset,
+                                    uint64_t length) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error{ErrorCode::kIo, "replication source: cannot open " + path};
+  }
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::string data(length, '\0');
+  in.read(data.data(), static_cast<std::streamsize>(length));
+  if (static_cast<uint64_t>(in.gcount()) != length) {
+    return Error{ErrorCode::kIo, "replication source: short read of " + path};
+  }
+  return data;
+}
+
+Result<std::string> read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Error{ErrorCode::kIo, "replication source: cannot open " + path};
+  }
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  std::string data(static_cast<size_t>(size), '\0');
+  in.read(data.data(), size);
+  if (in.gcount() != size) {
+    return Error{ErrorCode::kIo, "replication source: short read of " + path};
+  }
+  return data;
+}
+
+net::Message batch_frame(uint64_t generation, uint64_t offset,
+                         std::string_view chunk) {
+  return net::Message{"REPL",
+                      {"BATCH", std::to_string(generation),
+                       std::to_string(offset), to_hex(chunk)}};
+}
+
+// Splits `bytes` into BATCH frames of at most kChunkBytes. Splits may
+// land mid-record; the standby's stream buffer reassembles them.
+void append_batch_frames(uint64_t generation, uint64_t offset,
+                         std::string_view bytes,
+                         std::vector<net::Message>* out) {
+  size_t at = 0;
+  while (at < bytes.size()) {
+    const size_t take = std::min(kChunkBytes, bytes.size() - at);
+    out->push_back(batch_frame(generation, offset + at,
+                               bytes.substr(at, take)));
+    at += take;
+  }
+}
+
+}  // namespace
+
+ReplicationSource::ReplicationSource(persist::Persistence* persistence)
+    : persistence_(persistence) {
+  const persist::ReplicationPosition pos = persistence_->replication_position();
+  head_generation_ = pos.generation;
+  head_offset_ = pos.offset;
+}
+
+void ReplicationSource::on_journal_commit(uint64_t generation,
+                                          uint64_t start_offset,
+                                          std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_generation_ = generation;
+  head_offset_ = start_offset + bytes.size();
+  for (auto& [conn, sub] : subscribers_) {
+    if (sub.overflowed) continue;
+    if (sub.queued_bytes + bytes.size() > kMaxQueuedBytes) {
+      HLOG_WARN("replica") << "standby " << sub.standby_id
+                           << " overflowed the replication queue; dropping";
+      sub.overflowed = true;
+      sub.queue.clear();
+      sub.queued_bytes = 0;
+      continue;
+    }
+    Event event;
+    event.kind = Event::Kind::kBatch;
+    event.generation = generation;
+    event.offset = start_offset;
+    event.bytes.assign(bytes.data(), bytes.size());
+    sub.queued_bytes += event.bytes.size();
+    sub.queue.push_back(std::move(event));
+  }
+  refresh_lag_locked();
+}
+
+void ReplicationSource::on_compaction(uint64_t new_generation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_generation_ = new_generation;
+  head_offset_ = 0;
+  for (auto& [conn, sub] : subscribers_) {
+    if (sub.overflowed) continue;
+    Event event;
+    event.kind = Event::Kind::kCompact;
+    event.generation = new_generation;
+    sub.queue.push_back(std::move(event));
+  }
+}
+
+std::vector<net::Message> ReplicationSource::handshake(
+    uint64_t conn, const std::string& standby_id, uint64_t generation,
+    uint64_t offset) {
+  // Register first, so commits that land while we read the backlog from
+  // the files queue behind it; the overlap is deduped below.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Subscriber sub;
+    sub.standby_id = standby_id;
+    sub.syncing = true;
+    subscribers_[conn] = std::move(sub);
+    subscribers_gauge_->set(static_cast<int64_t>(subscribers_.size()));
+  }
+
+  // Read the backlog without holding our mutex (replication_position
+  // takes the journal mutex; the tap fires under it and takes ours —
+  // holding both here would invert that order). A compaction between
+  // the position read and the file reads changes the generation; retry.
+  persist::ReplicationPosition pos;
+  bool resync = false;
+  std::string snapshot_bytes;
+  std::string journal_bytes;
+  uint64_t journal_from = 0;
+  bool ok = false;
+  for (int attempt = 0; attempt < 3 && !ok; ++attempt) {
+    pos = persistence_->replication_position();
+    resync = generation != pos.generation || offset > pos.offset;
+    journal_from = resync ? 0 : offset;
+    snapshot_bytes.clear();
+    journal_bytes.clear();
+    if (resync && pos.generation > 0) {
+      Result<std::string> snap = read_whole_file(persistence_->snapshot_path());
+      if (!snap.ok()) {
+        HLOG_ERROR("replica") << "handshake with " << standby_id
+                              << " failed: " << snap.error().to_string();
+        detach(conn);
+        return {};
+      }
+      snapshot_bytes = std::move(snap.value());
+    }
+    if (pos.offset > journal_from) {
+      Result<std::string> slice = read_file_slice(
+          persistence_->journal_path(), journal_from,
+          pos.offset - journal_from);
+      if (!slice.ok()) {
+        HLOG_ERROR("replica") << "handshake with " << standby_id
+                              << " failed: " << slice.error().to_string();
+        detach(conn);
+        return {};
+      }
+      journal_bytes = std::move(slice.value());
+    }
+    // The reads only describe generation `pos.generation`; a compaction
+    // in between truncated the journal and made them stale.
+    ok = persistence_->replication_position().generation == pos.generation;
+  }
+  if (!ok) {
+    HLOG_ERROR("replica") << "handshake with " << standby_id
+                          << " raced compaction three times; giving up";
+    detach(conn);
+    return {};
+  }
+
+  std::vector<net::Message> frames;
+  if (resync) {
+    resyncs_total_->increment();
+    frames.push_back(
+        net::Message{"REPL", {"SNAP", std::to_string(pos.generation)}});
+    for (size_t at = 0; at < snapshot_bytes.size(); at += kChunkBytes) {
+      const size_t take = std::min(kChunkBytes, snapshot_bytes.size() - at);
+      frames.push_back(net::Message{
+          "REPL",
+          {"SNAPC", to_hex(std::string_view(snapshot_bytes).substr(at, take))}});
+    }
+    frames.push_back(
+        net::Message{"REPL", {"SNAPE", std::to_string(pos.generation)}});
+  }
+  append_batch_frames(pos.generation, journal_from, journal_bytes, &frames);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = subscribers_.find(conn);
+  if (it == subscribers_.end()) return {};
+  Subscriber& sub = it->second;
+  // Drop queued events the file reads already cover.
+  while (!sub.queue.empty()) {
+    const Event& event = sub.queue.front();
+    const bool covered =
+        event.generation < pos.generation ||
+        (event.generation == pos.generation &&
+         (event.kind == Event::Kind::kCompact ||
+          event.offset < pos.offset));
+    if (!covered) break;
+    sub.queued_bytes -= event.bytes.size();
+    sub.queue.pop_front();
+  }
+  sub.streamed_records += count_records(journal_bytes);
+  // Ship anything that queued past the file snapshot in the same turn.
+  for (const Event& event : sub.queue) {
+    if (event.kind == Event::Kind::kCompact) {
+      frames.push_back(
+          net::Message{"REPL", {"COMPACT", std::to_string(event.generation)}});
+    } else {
+      append_batch_frames(event.generation, event.offset, event.bytes,
+                          &frames);
+      sub.streamed_records += count_records(event.bytes);
+    }
+  }
+  sub.queue.clear();
+  sub.queued_bytes = 0;
+  sub.syncing = false;
+  batches_total_->increment();
+  HLOG_INFO("replica") << "standby " << standby_id << " attached at gen "
+                       << generation << " offset " << offset
+                       << (resync ? " (full resync)" : " (journal tail)");
+  return frames;
+}
+
+void ReplicationSource::note_ack(uint64_t conn, uint64_t generation,
+                                 uint64_t offset, uint64_t records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = subscribers_.find(conn);
+  if (it == subscribers_.end()) return;
+  Subscriber& sub = it->second;
+  // Acks never move backwards: a regression means a confused standby
+  // (or a replayed frame) and is ignored rather than un-acknowledging
+  // bytes semi-sync replies may already have released against.
+  if (generation < sub.acked_generation ||
+      (generation == sub.acked_generation && offset < sub.acked_offset)) {
+    HLOG_WARN("replica") << "standby " << sub.standby_id
+                         << " ack regressed (gen " << generation << " offset "
+                         << offset << " behind gen " << sub.acked_generation
+                         << " offset " << sub.acked_offset << "); ignored";
+    return;
+  }
+  sub.acked_generation = generation;
+  sub.acked_offset = offset;
+  sub.acked_records = std::max(sub.acked_records, records);
+  refresh_lag_locked();
+}
+
+void ReplicationSource::detach(uint64_t conn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscribers_.erase(conn);
+  subscribers_gauge_->set(static_cast<int64_t>(subscribers_.size()));
+  refresh_lag_locked();
+}
+
+std::vector<net::Message> ReplicationSource::take_pending(uint64_t conn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = subscribers_.find(conn);
+  if (it == subscribers_.end()) return {};
+  Subscriber& sub = it->second;
+  if (sub.syncing || sub.overflowed || sub.queue.empty()) return {};
+  std::vector<net::Message> frames;
+  for (const Event& event : sub.queue) {
+    if (event.kind == Event::Kind::kCompact) {
+      frames.push_back(
+          net::Message{"REPL", {"COMPACT", std::to_string(event.generation)}});
+    } else {
+      append_batch_frames(event.generation, event.offset, event.bytes,
+                          &frames);
+      sub.streamed_records += count_records(event.bytes);
+    }
+  }
+  sub.queue.clear();
+  sub.queued_bytes = 0;
+  batches_total_->increment();
+  return frames;
+}
+
+bool ReplicationSource::acked_through(uint64_t generation, uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool any = false;
+  for (const auto& [conn, sub] : subscribers_) {
+    if (sub.overflowed) continue;
+    any = true;
+    const bool acked = sub.acked_generation > generation ||
+                       (sub.acked_generation == generation &&
+                        sub.acked_offset >= offset);
+    if (!acked) return false;
+  }
+  return any;
+}
+
+bool ReplicationSource::has_subscribers() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [conn, sub] : subscribers_) {
+    if (!sub.overflowed) return true;
+  }
+  return false;
+}
+
+size_t ReplicationSource::subscriber_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return subscribers_.size();
+}
+
+void ReplicationSource::refresh_lag_locked() {
+  int64_t lag_bytes = 0;
+  int64_t lag_records = 0;
+  for (const auto& [conn, sub] : subscribers_) {
+    if (sub.overflowed || sub.syncing) continue;
+    int64_t bytes = 0;
+    if (sub.acked_generation == head_generation_) {
+      bytes = static_cast<int64_t>(head_offset_) -
+              static_cast<int64_t>(sub.acked_offset);
+    } else {
+      // Behind a compaction: everything in the current journal plus
+      // whatever is queued for it is unacked.
+      bytes = static_cast<int64_t>(head_offset_ + sub.queued_bytes);
+    }
+    lag_bytes = std::max(lag_bytes, bytes);
+    lag_records =
+        std::max(lag_records, static_cast<int64_t>(sub.streamed_records) -
+                                  static_cast<int64_t>(sub.acked_records));
+  }
+  lag_bytes_->set(std::max<int64_t>(0, lag_bytes));
+  lag_records_->set(std::max<int64_t>(0, lag_records));
+}
+
+}  // namespace harmony::replica

@@ -1,0 +1,466 @@
+// Replication-stream differential tests: a standby Persistence fed the
+// primary's journal tap must mirror the primary bit-for-bit — same
+// decision fingerprints, byte-identical journal files — through torn
+// batch boundaries, compactions, and full-resync handshakes; stale
+// generations are refused and ack watermarks never regress.
+#include "persist/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/controller.h"
+#include "net/protocol.h"
+#include "persist/journal.h"
+#include "replica/source.h"
+#include "test_scenarios.h"
+
+namespace harmony::persist {
+namespace {
+
+using harmony::testing::bag_bundle;
+using harmony::testing::db_client_bundle;
+using harmony::testing::fingerprint;
+using harmony::testing::simple_bundle;
+using harmony::testing::sp2_cluster_script;
+
+constexpr int kLastStep = 13;
+
+// The scripted history of persist_recovery_test: every journal-able
+// event kind at least once.
+void apply_step(core::Controller& c, int s) {
+  switch (s) {
+    case 1:
+      ASSERT_TRUE(c.add_nodes_script(sp2_cluster_script(6)).ok());
+      ASSERT_TRUE(c.finalize_cluster().ok());
+      break;
+    case 2: ASSERT_TRUE(c.register_script(bag_bundle("1 2 3 4", 0)).ok()); break;
+    case 3: ASSERT_TRUE(c.register_script(db_client_bundle("sp2-00", 1)).ok()); break;
+    case 4: ASSERT_TRUE(c.report_external_load("sp2-01", 3).ok()); break;
+    case 5: ASSERT_TRUE(c.register_script(db_client_bundle("sp2-01", 2)).ok()); break;
+    case 6: ASSERT_TRUE(c.set_node_online("sp2-02", false).ok()); break;
+    case 7: ASSERT_TRUE(c.reevaluate().ok()); break;
+    case 8: ASSERT_TRUE(c.register_script(db_client_bundle("sp2-03", 3)).ok()); break;
+    case 9: ASSERT_TRUE(c.unregister(2).ok()); break;
+    case 10: ASSERT_TRUE(c.set_node_online("sp2-02", true).ok()); break;
+    case 11: ASSERT_TRUE(c.report_external_load("sp2-01", 0).ok()); break;
+    case 12: ASSERT_TRUE(c.register_script(simple_bundle(2)).ok()); break;
+    case 13: ASSERT_TRUE(c.reevaluate().ok()); break;
+  }
+}
+
+// Tap that applies the stream to a standby persistence immediately —
+// the in-process equivalent of a zero-latency replication link.
+class MirrorTap : public ReplicationTap {
+ public:
+  explicit MirrorTap(Persistence* standby) : standby_(standby) {}
+  void on_journal_commit(uint64_t, uint64_t, std::string_view bytes) override {
+    uint64_t applied = 0;
+    Status status = standby_->apply_replicated(bytes, &applied);
+    if (!status.ok() && last_error_.ok()) last_error_ = status;
+    records_ += applied;
+  }
+  void on_compaction(uint64_t new_generation) override {
+    Status status = standby_->apply_compaction(new_generation);
+    if (!status.ok() && last_error_.ok()) last_error_ = status;
+  }
+  const Status& last_error() const { return last_error_; }
+  uint64_t records() const { return records_; }
+
+ private:
+  Persistence* standby_;
+  Status last_error_;
+  uint64_t records_ = 0;
+};
+
+// Tap that records the stream for later (re-chunked) application.
+class CaptureTap : public ReplicationTap {
+ public:
+  struct Item {
+    bool compact = false;
+    uint64_t generation = 0;
+    std::string bytes;
+  };
+  void on_journal_commit(uint64_t generation, uint64_t,
+                         std::string_view bytes) override {
+    items_.push_back({false, generation, std::string(bytes)});
+  }
+  void on_compaction(uint64_t new_generation) override {
+    items_.push_back({true, new_generation, {}});
+  }
+  std::vector<Item> items_;
+};
+
+bool parse_u64(const std::string& text, uint64_t* out) {
+  long long value = 0;
+  if (!parse_int64(text, &value) || value < 0) return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+class StreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "stream_" + std::to_string(::getpid()) +
+            "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    primary_dir_ = base_ + "_p";
+    standby_dir_ = base_ + "_s";
+    clean(primary_dir_);
+    clean(standby_dir_);
+  }
+  void TearDown() override {
+    clean(primary_dir_);
+    clean(standby_dir_);
+  }
+
+  static void clean(const std::string& dir) {
+    std::remove((dir + "/journal.wal").c_str());
+    std::remove((dir + "/snapshot.hsn").c_str());
+    std::remove((dir + "/snapshot.tmp").c_str());
+    ::rmdir(dir.c_str());
+  }
+
+  void install_clock(core::Controller& controller) {
+    controller.set_time_source([this] { return clock_; });
+  }
+
+  void drive(std::initializer_list<core::Controller*> controllers, int from,
+             int to) {
+    for (int s = from; s <= to; ++s) {
+      clock_ += 5.0;
+      for (core::Controller* c : controllers) apply_step(*c, s);
+    }
+  }
+
+  // The real protocol bootstraps a fresh mirror through the handshake's
+  // full resync (snapshot transfer + the journal from byte zero, see
+  // ReplicationSource::handshake); the zero-latency tap tests below do
+  // the same by hand before going live on the stream. Cluster setup
+  // does not pass through journal epochs — it reaches standbys only in
+  // the snapshot — so skipping this step would replay registrations
+  // into a node-less controller.
+  void bootstrap_mirror(Persistence& primary, Persistence& standby) {
+    ASSERT_TRUE(primary.flush().ok());
+    ASSERT_TRUE(standby
+                    .install_snapshot(read_file(primary.snapshot_path()),
+                                      primary.generation())
+                    .ok());
+    const ReplicationPosition pos = primary.replication_position();
+    const std::string journal = read_file(primary.journal_path());
+    ASSERT_LE(pos.offset, journal.size());
+    uint64_t applied = 0;
+    ASSERT_TRUE(standby
+                    .apply_replicated(
+                        std::string_view(journal).substr(0, pos.offset),
+                        &applied)
+                    .ok());
+  }
+
+  PersistConfig config(const std::string& dir, uint64_t snapshot_every = 0) {
+    PersistConfig config;
+    config.dir = dir;
+    config.snapshot_every_epochs = snapshot_every;
+    config.snapshot_min_journal_bytes = 0;
+    config.fsync_every_epochs = 4;
+    return config;
+  }
+
+  std::string base_, primary_dir_, standby_dir_;
+  double clock_ = 0.0;
+};
+
+TEST_F(StreamTest, MirroredStandbyMatchesPrimaryBitForBit) {
+  core::Controller reference;
+  install_clock(reference);
+
+  core::Controller standby_controller;
+  auto standby =
+      Persistence::open_standby(config(standby_dir_), standby_controller);
+  ASSERT_TRUE(standby.ok()) << standby.error().to_string();
+  MirrorTap tap(standby->get());
+
+  core::Controller primary;
+  install_clock(primary);
+  auto persistence = Persistence::open(config(primary_dir_), primary);
+  ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+
+  drive({&primary, &reference}, 1, 1);
+  bootstrap_mirror(**persistence, **standby);
+  (*persistence)->set_replication_tap(&tap);
+
+  drive({&primary, &reference}, 2, kLastStep);
+  ASSERT_TRUE((*persistence)->flush().ok());
+  ASSERT_TRUE(tap.last_error().ok()) << tap.last_error().to_string();
+  EXPECT_GT(tap.records(), 0u);
+
+  EXPECT_EQ(fingerprint(standby_controller), fingerprint(reference));
+  EXPECT_EQ(fingerprint(standby_controller), fingerprint(primary));
+  EXPECT_EQ((*standby)->generation(), (*persistence)->generation());
+  // The mirrored journal is the primary's journal, byte for byte.
+  ASSERT_TRUE((*standby)->sync_replica().ok());
+  EXPECT_EQ(read_file((*standby)->journal_path()),
+            read_file((*persistence)->journal_path()));
+}
+
+TEST_F(StreamTest, CompactionsStreamAndTheMirrorStaysRecoverable) {
+  core::Controller reference;
+  install_clock(reference);
+
+  core::Controller standby_controller;
+  auto standby =
+      Persistence::open_standby(config(standby_dir_), standby_controller);
+  ASSERT_TRUE(standby.ok()) << standby.error().to_string();
+  MirrorTap tap(standby->get());
+
+  core::Controller primary;
+  install_clock(primary);
+  // Compact every 3 epochs: several mid-run generations stream COMPACT
+  // markers through the tap.
+  auto persistence =
+      Persistence::open(config(primary_dir_, /*snapshot_every=*/3), primary);
+  ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+
+  drive({&primary, &reference}, 1, 1);
+  bootstrap_mirror(**persistence, **standby);
+  (*persistence)->set_replication_tap(&tap);
+
+  drive({&primary, &reference}, 2, kLastStep);
+  ASSERT_TRUE((*persistence)->flush().ok());
+  ASSERT_TRUE(tap.last_error().ok()) << tap.last_error().to_string();
+  EXPECT_GT((*persistence)->generation(), 1u);
+  EXPECT_EQ((*standby)->generation(), (*persistence)->generation());
+  EXPECT_EQ(fingerprint(standby_controller), fingerprint(reference));
+
+  // The standby's on-disk mirror must be a valid recovery image: a
+  // fresh controller recovered from it fingerprints identically.
+  standby->reset();  // closes journal fd, keeps the files
+  core::Controller recovered;
+  auto reopened = Persistence::open(config(standby_dir_), recovered);
+  ASSERT_TRUE(reopened.ok()) << reopened.error().to_string();
+  EXPECT_TRUE((*reopened)->recovery().recovered);
+  EXPECT_EQ(fingerprint(recovered), fingerprint(reference));
+}
+
+TEST_F(StreamTest, TornBatchesAcrossArbitraryBoundaries) {
+  core::Controller reference;
+  install_clock(reference);
+
+  core::Controller standby_controller;
+  auto standby =
+      Persistence::open_standby(config(standby_dir_), standby_controller);
+  ASSERT_TRUE(standby.ok()) << standby.error().to_string();
+
+  CaptureTap capture;
+  core::Controller primary;
+  install_clock(primary);
+  auto persistence =
+      Persistence::open(config(primary_dir_, /*snapshot_every=*/4), primary);
+  ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+
+  drive({&primary, &reference}, 1, 1);
+  bootstrap_mirror(**persistence, **standby);
+  (*persistence)->set_replication_tap(&capture);
+  drive({&primary, &reference}, 2, kLastStep);
+  ASSERT_TRUE((*persistence)->flush().ok());
+
+  // Re-deliver the captured stream in 7-byte slivers: every record is
+  // torn across calls, including mid-length-prefix and mid-CRC.
+  uint64_t total_records = 0;
+  for (const CaptureTap::Item& item : capture.items_) {
+    if (item.compact) {
+      ASSERT_TRUE((*standby)->apply_compaction(item.generation).ok());
+      continue;
+    }
+    for (size_t at = 0; at < item.bytes.size(); at += 7) {
+      uint64_t applied = 0;
+      const std::string_view piece =
+          std::string_view(item.bytes).substr(at, 7);
+      ASSERT_TRUE((*standby)->apply_replicated(piece, &applied).ok());
+      total_records += applied;
+    }
+  }
+  EXPECT_GT(total_records, 0u);
+  EXPECT_EQ(fingerprint(standby_controller), fingerprint(reference));
+  EXPECT_EQ((*standby)->generation(), (*persistence)->generation());
+}
+
+TEST_F(StreamTest, StaleGenerationTailIsRefused) {
+  core::Controller standby_controller;
+  auto standby =
+      Persistence::open_standby(config(standby_dir_), standby_controller);
+  ASSERT_TRUE(standby.ok()) << standby.error().to_string();
+
+  // A journal stream from generation 3 against a generation-0 mirror is
+  // a divergent history — exactly the stale pre-compaction tail case —
+  // and must be refused, not applied.
+  const std::string stale = encode_record("GEN 3");
+  uint64_t applied = 7;
+  Status status = (*standby)->apply_replicated(stale, &applied);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kCorruption);
+  EXPECT_EQ(applied, 0u);
+
+  // The matching generation is accepted.
+  core::Controller standby2_controller;
+  clean(standby_dir_);
+  auto standby2 =
+      Persistence::open_standby(config(standby_dir_), standby2_controller);
+  ASSERT_TRUE(standby2.ok()) << standby2.error().to_string();
+  applied = 0;
+  EXPECT_TRUE(
+      (*standby2)->apply_replicated(encode_record("GEN 0"), &applied).ok());
+  EXPECT_EQ(applied, 1u);
+}
+
+TEST_F(StreamTest, CompactionWithBufferedTailIsRejected) {
+  core::Controller standby_controller;
+  auto standby =
+      Persistence::open_standby(config(standby_dir_), standby_controller);
+  ASSERT_TRUE(standby.ok()) << standby.error().to_string();
+  // Half a record in the buffer: a COMPACT marker now would discard it.
+  const std::string record = encode_record("GEN 0");
+  uint64_t applied = 0;
+  ASSERT_TRUE((*standby)
+                  ->apply_replicated(
+                      std::string_view(record).substr(0, record.size() - 2),
+                      &applied)
+                  .ok());
+  EXPECT_EQ(applied, 0u);
+  EXPECT_FALSE((*standby)->apply_compaction(1).ok());
+  // Completing the record and compacting in order succeeds.
+  ASSERT_TRUE((*standby)
+                  ->apply_replicated(
+                      std::string_view(record).substr(record.size() - 2),
+                      &applied)
+                  .ok());
+  EXPECT_EQ(applied, 1u);
+}
+
+// Applies the REPL frames a ReplicationSource handshake produced to a
+// standby persistence — what StandbyReplicator does on the wire.
+void apply_frames(Persistence& standby,
+                  const std::vector<net::Message>& frames) {
+  std::string snapshot_accum;
+  uint64_t resync_generation = 0;
+  for (const net::Message& frame : frames) {
+    ASSERT_EQ(frame.verb, "REPL");
+    ASSERT_FALSE(frame.args.empty());
+    const std::string& op = frame.args[0];
+    if (op == "SNAP") {
+      snapshot_accum.clear();
+      ASSERT_TRUE(parse_u64(frame.args[1], &resync_generation));
+    } else if (op == "SNAPC") {
+      std::string chunk;
+      ASSERT_TRUE(from_hex(frame.args[1], &chunk));
+      snapshot_accum += chunk;
+    } else if (op == "SNAPE") {
+      ASSERT_TRUE(
+          standby.install_snapshot(snapshot_accum, resync_generation).ok());
+    } else if (op == "BATCH") {
+      std::string bytes;
+      ASSERT_TRUE(from_hex(frame.args[3], &bytes));
+      uint64_t applied = 0;
+      ASSERT_TRUE(standby.apply_replicated(bytes, &applied).ok());
+    } else if (op == "COMPACT") {
+      uint64_t generation = 0;
+      ASSERT_TRUE(parse_u64(frame.args[1], &generation));
+      ASSERT_TRUE(standby.apply_compaction(generation).ok());
+    } else {
+      FAIL() << "unexpected frame op " << op;
+    }
+  }
+}
+
+TEST_F(StreamTest, LateJoinerFullResyncsThroughHandshake) {
+  core::Controller primary;
+  install_clock(primary);
+  auto persistence =
+      Persistence::open(config(primary_dir_, /*snapshot_every=*/3), primary);
+  ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+  replica::ReplicationSource source(persistence->get());
+  (*persistence)->set_replication_tap(&source);
+
+  // History runs (and compacts, repeatedly) before the standby exists.
+  drive({&primary}, 1, kLastStep);
+  ASSERT_TRUE((*persistence)->flush().ok());
+  ASSERT_GT((*persistence)->generation(), 1u);
+
+  // A fresh standby at (gen 0, offset 0) joins: its generation is stale
+  // relative to every compaction that already ran, so the handshake
+  // must discard that position and ship a full snapshot resync.
+  core::Controller standby_controller;
+  auto standby =
+      Persistence::open_standby(config(standby_dir_), standby_controller);
+  ASSERT_TRUE(standby.ok()) << standby.error().to_string();
+  std::vector<net::Message> frames = source.handshake(1, "joiner", 0, 0);
+  ASSERT_FALSE(frames.empty());
+  EXPECT_EQ(frames.front().args[0], "SNAP");
+  apply_frames(**standby, frames);
+
+  EXPECT_EQ((*standby)->generation(), (*persistence)->generation());
+  EXPECT_EQ(fingerprint(standby_controller), fingerprint(primary));
+
+  // The attached standby now rides the live stream: more (re-appliable)
+  // history flows through take_pending and keeps the mirror identical.
+  clock_ += 5.0;
+  apply_step(primary, 4);
+  clock_ += 5.0;
+  apply_step(primary, 7);
+  clock_ += 5.0;
+  apply_step(primary, 11);
+  ASSERT_TRUE((*persistence)->flush().ok());
+  apply_frames(**standby, source.take_pending(1));
+  EXPECT_EQ(fingerprint(standby_controller), fingerprint(primary));
+}
+
+TEST_F(StreamTest, AckWatermarksNeverRegress) {
+  core::Controller primary;
+  install_clock(primary);
+  auto persistence = Persistence::open(config(primary_dir_), primary);
+  ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+  replica::ReplicationSource source(persistence->get());
+  (*persistence)->set_replication_tap(&source);
+
+  drive({&primary}, 1, 2);
+  ASSERT_TRUE((*persistence)->flush().ok());
+  const ReplicationPosition joined = (*persistence)->replication_position();
+  (void)source.handshake(1, "s1", joined.generation, joined.offset);
+  drive({&primary}, 3, 5);
+  ASSERT_TRUE((*persistence)->flush().ok());
+
+  const ReplicationPosition pos = (*persistence)->replication_position();
+  ASSERT_GT(pos.offset, 16u);
+  EXPECT_FALSE(source.acked_through(pos.generation, pos.offset));
+  source.note_ack(1, pos.generation, pos.offset, 5);
+  EXPECT_TRUE(source.acked_through(pos.generation, pos.offset));
+
+  // A regressed ack (confused standby, replayed frame) is ignored: the
+  // released watermark stands.
+  source.note_ack(1, pos.generation, pos.offset - 16, 1);
+  EXPECT_TRUE(source.acked_through(pos.generation, pos.offset));
+  // Beyond the acked point is still unacked.
+  EXPECT_FALSE(source.acked_through(pos.generation, pos.offset + 1));
+  // With no subscribers the quorum is vacuously empty, never satisfied
+  // by a stale watermark.
+  source.detach(1);
+  EXPECT_FALSE(source.acked_through(pos.generation, pos.offset));
+  EXPECT_FALSE(source.has_subscribers());
+}
+
+}  // namespace
+}  // namespace harmony::persist

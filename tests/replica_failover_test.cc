@@ -1,0 +1,346 @@
+// Multi-process failover: two HaNode processes share a lease file, a
+// client drives decisions through the pair, and the parent SIGKILLs the
+// primary mid-sequence. Asserts the standby promotes within the lease
+// window, the client's v2 session RESUMEs transparently (no surfaced
+// error, no duplicated REGISTER), no acked registration is lost, and
+// the survivor's decision fingerprint is bit-identical to an unkilled
+// single-process reference controller driven through the same ops.
+//
+// Determinism across processes: every controller runs with a constant-0
+// time source (the standby replays the primary's event times, which are
+// therefore also 0), so decision state depends only on the op sequence.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metric/telemetry.h"
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "net/tcp.h"
+#include "net/tcp_transport.h"
+#include "replica/node.h"
+#include "test_scenarios.h"
+
+namespace harmony::replica {
+namespace {
+
+volatile std::sig_atomic_t g_terminate = 0;
+void on_sigterm(int) { g_terminate = 1; }
+
+Status bootstrap_cluster(core::Controller& controller) {
+  Status added =
+      controller.add_nodes_script(harmony::testing::sp2_cluster_script(4));
+  if (!added.ok()) return added;
+  return controller.finalize_cluster();
+}
+
+// Child process body: run one HA node until SIGTERM, then dump the
+// controller fingerprint (if this node ever owned a controller role
+// with state) and exit without running gtest/atexit machinery.
+[[noreturn]] void run_node(const std::string& base, const std::string& name,
+                           uint16_t port, uint16_t peer_port) {
+  std::signal(SIGTERM, on_sigterm);
+  metric::set_telemetry_enabled(true);
+  HaNodeConfig config;
+  config.data_dir = base + "/" + name;
+  config.lease_path = base + "/lease";
+  config.port = port;
+  config.peers = {{"127.0.0.1", peer_port}};
+  config.node_id = name;
+  config.lease_ttl_ms = 1000;
+  config.lease_renew_ms = 200;
+  config.bootstrap = bootstrap_cluster;
+  config.time_source = [] { return 0.0; };
+  config.persist.snapshot_every_epochs = 4;
+  config.persist.snapshot_min_journal_bytes = 0;
+  config.persist.fsync_every_epochs = 2;
+  config.standby.ack_interval_ms = 20;
+  config.standby.poll_interval_ms = 10;
+  config.standby.initial_backoff_ms = 25;
+  config.standby.max_backoff_ms = 200;
+  HaNode node(config);
+  Status started = node.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "node %s failed to start: %s\n", name.c_str(),
+                 started.to_string().c_str());
+    std::_Exit(2);
+  }
+  while (g_terminate == 0) {
+    (void)node.poll(10);
+  }
+  if (node.controller() != nullptr) {
+    std::ofstream out(base + "/" + name + ".fp",
+                      std::ios::binary | std::ios::trunc);
+    out << harmony::testing::fingerprint(*node.controller());
+  }
+  std::_Exit(0);
+}
+
+// Reaps (SIGKILL + waitpid) a child that an early ASSERT left running.
+struct ChildGuard {
+  pid_t pid = -1;
+  ~ChildGuard() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+  }
+  void disarm() { pid = -1; }
+};
+
+// One short-lived raw-socket request/response against a node, bypassing
+// the client transport (works against standbys, which refuse decision
+// verbs but answer STATUS/METRICS).
+Result<net::Message> probe(uint16_t port, const net::Message& request) {
+  Result<net::Fd> fd = net::connect_to("127.0.0.1", port);
+  if (!fd.ok()) return fd.error();
+  Status sent = net::write_all(fd.value(), net::encode_frame(request.encode()));
+  if (!sent.ok()) return sent.error();
+  net::FrameBuffer frames;
+  char buffer[16384];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < deadline) {
+    Result<size_t> n = net::read_some(fd.value(), buffer, sizeof buffer);
+    if (!n.ok()) return n.error();
+    if (n.value() == 0) {
+      return Error{ErrorCode::kClosed, "peer closed during probe"};
+    }
+    frames.feed(std::string_view(buffer, n.value()));
+    Result<std::optional<std::string>> frame = frames.next_frame();
+    if (!frame.ok()) return frame.error();
+    if (frame.value().has_value()) {
+      return net::Message::decode(*frame.value());
+    }
+  }
+  return Error{ErrorCode::kTimeout, "probe timed out"};
+}
+
+Result<net::Message> probe_status(uint16_t port) {
+  return probe(port, net::Message{"STATUS", {}});
+}
+
+// Polls {STATUS} until the node reports `role`; returns the matching
+// reply, or the last reply/error seen when the deadline passes.
+Result<net::Message> wait_for_role(uint16_t port, const std::string& role,
+                                   int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  Result<net::Message> last = Error{ErrorCode::kTimeout, "no probe attempted"};
+  while (std::chrono::steady_clock::now() < deadline) {
+    last = probe_status(port);
+    if (last.ok() && last.value().verb == "OK" && !last.value().args.empty() &&
+        last.value().args[0] == role) {
+      return last;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return last;
+}
+
+// First numeric value following `name` in a metrics dump, or -1.
+double metric_value(const std::string& text, const std::string& name) {
+  size_t at = text.find(name);
+  if (at == std::string::npos) return -1;
+  at += name.size();
+  while (at < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[at])) == 0 &&
+          text[at] != '-' && text[at] != '+')) {
+    ++at;
+  }
+  if (at >= text.size()) return -1;
+  return std::strtod(text.c_str() + at, nullptr);
+}
+
+// Waits until the primary reports at least one attached replication
+// subscriber: from then on every OK the client sees is semi-sync
+// covered by the standby's mirror.
+bool wait_for_subscriber(uint16_t port, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    Result<net::Message> reply =
+        probe(port, net::Message{"METRICS", {"json"}});
+    if (reply.ok() && reply.value().verb == "OK" &&
+        !reply.value().args.empty() &&
+        metric_value(reply.value().args[0], "replica.subscribers") >= 1) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return false;
+}
+
+uint64_t parse_term(const net::Message& status) {
+  if (status.args.size() < 2) return 0;
+  return std::strtoull(status.args[1].c_str(), nullptr, 10);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ReplicaFailoverTest, KillNinePrimaryPromotesStandbyAndResumesClients) {
+  const std::string base =
+      ::testing::TempDir() + "failover_" + std::to_string(::getpid());
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+
+  // Reserve two distinct ports before either child binds.
+  uint16_t port_a = 0;
+  uint16_t port_b = 0;
+  {
+    Result<net::Fd> listener_a = net::listen_on(0);
+    Result<net::Fd> listener_b = net::listen_on(0);
+    ASSERT_TRUE(listener_a.ok());
+    ASSERT_TRUE(listener_b.ok());
+    Result<uint16_t> bound_a = net::local_port(listener_a.value());
+    Result<uint16_t> bound_b = net::local_port(listener_b.value());
+    ASSERT_TRUE(bound_a.ok());
+    ASSERT_TRUE(bound_b.ok());
+    port_a = bound_a.value();
+    port_b = bound_b.value();
+  }
+
+  // Fork before creating any transports/threads in the parent.
+  std::fflush(nullptr);
+  ChildGuard guard_a;
+  guard_a.pid = ::fork();
+  ASSERT_NE(guard_a.pid, -1);
+  if (guard_a.pid == 0) run_node(base, "alpha", port_a, port_b);
+
+  Result<net::Message> status_a = wait_for_role(port_a, "primary", 10000);
+  ASSERT_TRUE(status_a.ok()) << status_a.error().to_string();
+  ASSERT_EQ(status_a.value().args[0], "primary");
+
+  std::fflush(nullptr);
+  ChildGuard guard_b;
+  guard_b.pid = ::fork();
+  ASSERT_NE(guard_b.pid, -1);
+  if (guard_b.pid == 0) run_node(base, "beta", port_b, port_a);
+
+  Result<net::Message> status_b = wait_for_role(port_b, "standby", 10000);
+  ASSERT_TRUE(status_b.ok()) << status_b.error().to_string();
+  ASSERT_EQ(status_b.value().args[0], "standby");
+  // Semi-sync gate: acked decisions are on the standby from here on.
+  ASSERT_TRUE(wait_for_subscriber(port_a, 10000));
+
+  net::TcpTransport transport;
+  net::ReconnectPolicy policy;
+  policy.max_attempts = 60;
+  policy.initial_backoff_ms = 25;
+  policy.max_backoff_ms = 200;
+  policy.jitter_seed = 42;
+  transport.set_reconnect_policy(policy);
+  ASSERT_TRUE(
+      transport.connect({{"127.0.0.1", port_a}, {"127.0.0.1", port_b}}).ok());
+
+  Result<core::InstanceId> id1 =
+      transport.register_app(harmony::testing::simple_bundle(2));
+  ASSERT_TRUE(id1.ok()) << id1.error().to_string();
+  EXPECT_FALSE(transport.session_token().empty());
+  Result<core::InstanceId> id2 =
+      transport.register_app(harmony::testing::db_client_bundle("sp2-00", 1));
+  ASSERT_TRUE(id2.ok()) << id2.error().to_string();
+  ASSERT_TRUE(transport.report_load("sp2-01", 3).ok());
+
+  // kill -9 the primary: no goodbye, no journal flush beyond what the
+  // standby already acked.
+  ASSERT_EQ(::kill(guard_a.pid, SIGKILL), 0);
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(guard_a.pid, &wait_status, 0), guard_a.pid);
+  guard_a.disarm();
+  const auto killed_at = std::chrono::steady_clock::now();
+
+  // The next decision rides through reconnect + RESUME against the
+  // standby-turned-primary; its latency is the client-observed outage.
+  Result<core::InstanceId> id3 =
+      transport.register_app(harmony::testing::db_client_bundle("sp2-01", 2));
+  ASSERT_TRUE(id3.ok()) << id3.error().to_string();
+  const int64_t outage_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - killed_at)
+          .count();
+  // Lease TTL (1000ms) + expiry-check cadence + promotion + client
+  // backoff, with generous sanitizer headroom.
+  EXPECT_LT(outage_ms, 6000) << "failover took " << outage_ms << "ms";
+  ::testing::Test::RecordProperty("failover_outage_ms",
+                                  std::to_string(outage_ms));
+
+  ASSERT_TRUE(transport.report_load("sp2-01", 0).ok());
+  Result<core::InstanceId> id4 =
+      transport.register_app(harmony::testing::bag_bundle());
+  ASSERT_TRUE(id4.ok()) << id4.error().to_string();
+  ASSERT_TRUE(transport.request_reevaluation().ok());
+
+  // Continuous ids across the failover: nothing acked was lost (id3
+  // would be lower) and nothing was double-applied by the retry (id3/4
+  // would skip).
+  EXPECT_EQ(id2.value(), id1.value() + 1);
+  EXPECT_EQ(id3.value(), id2.value() + 1);
+  EXPECT_EQ(id4.value(), id3.value() + 1);
+
+  status_b = probe_status(port_b);
+  ASSERT_TRUE(status_b.ok()) << status_b.error().to_string();
+  EXPECT_EQ(status_b.value().args[0], "primary");
+  // Promotion fenced the dead primary's term.
+  EXPECT_GE(parse_term(status_b.value()), 2u);
+
+  // Unkilled single-process reference: the same op sequence, with the
+  // promotion-time verification reevaluate() mirrored in its place.
+  core::Controller reference;
+  reference.set_time_source([] { return 0.0; });
+  ASSERT_TRUE(bootstrap_cluster(reference).ok());
+  Result<core::InstanceId> r1 =
+      reference.register_script(harmony::testing::simple_bundle(2));
+  ASSERT_TRUE(r1.ok());
+  Result<core::InstanceId> r2 =
+      reference.register_script(harmony::testing::db_client_bundle("sp2-00", 1));
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(reference.report_external_load("sp2-01", 3).ok());
+  ASSERT_TRUE(reference.reevaluate().ok());
+  Result<core::InstanceId> r3 =
+      reference.register_script(harmony::testing::db_client_bundle("sp2-01", 2));
+  ASSERT_TRUE(r3.ok());
+  ASSERT_TRUE(reference.report_external_load("sp2-01", 0).ok());
+  Result<core::InstanceId> r4 =
+      reference.register_script(harmony::testing::bag_bundle());
+  ASSERT_TRUE(r4.ok());
+  ASSERT_TRUE(reference.reevaluate().ok());
+  EXPECT_EQ(r4.value(), id4.value());
+
+  // Graceful stop of the survivor; it dumps its fingerprint on the way
+  // out, which must match the reference bit for bit.
+  ASSERT_EQ(::kill(guard_b.pid, SIGTERM), 0);
+  ASSERT_EQ(::waitpid(guard_b.pid, &wait_status, 0), guard_b.pid);
+  guard_b.disarm();
+  ASSERT_TRUE(WIFEXITED(wait_status));
+  ASSERT_EQ(WEXITSTATUS(wait_status), 0);
+
+  const std::string survivor = read_file(base + "/beta.fp");
+  ASSERT_FALSE(survivor.empty());
+  EXPECT_EQ(survivor, harmony::testing::fingerprint(reference));
+
+  std::filesystem::remove_all(base);
+}
+
+}  // namespace
+}  // namespace harmony::replica

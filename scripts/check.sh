@@ -36,10 +36,10 @@ echo "=== [tsan] configure ==="
 cmake -B build-tsan -S . -DHARMONY_TSAN=ON
 echo "=== [tsan] build ==="
 cmake --build build-tsan -j "$jobs" \
-  --target core_domain_test core_storm_test core_solver_test
+  --target core_domain_test core_storm_test core_solver_test core_scale_test
 echo "=== [tsan] test ==="
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R '^core_(domain|storm|solver)_test$'
+  -R '^core_(domain|storm|solver|scale)_test$'
 
 # Anytime-allocator gates at smoke scale: budget_ms = 0 bit-identity,
 # solver <= greedy, strict improvement on packing-stress. Does not
@@ -56,5 +56,13 @@ cmake --build build -j "$jobs" --target abl_optimizer
 echo "=== [bench] abl_failover --smoke ==="
 cmake --build build -j "$jobs" --target abl_failover
 ./build/bench/abl_failover --smoke
+
+# Scoped-domain scaling at smoke scale: 250- and 1k-node clusters with
+# the same fixed workload, decision fingerprints bit-identical to the
+# --single-domain reference. Does not rewrite BENCH_scale.json numbers
+# used in the README (those come from the full sweep).
+echo "=== [bench] abl_scale --smoke ==="
+cmake --build build -j "$jobs" --target abl_scale
+./build/bench/abl_scale --smoke
 
 echo "=== all configs green ==="

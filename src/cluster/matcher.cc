@@ -147,7 +147,16 @@ class Search {
   std::vector<NodeId> candidates(const NodeRequirement& req) const {
     std::vector<NodeId> out;
     std::vector<std::pair<double, NodeId>> scored;
-    for (const auto& node : pool_.topology().nodes()) {
+    // A scoped pool (domain controller) covers a superset of every
+    // member bundle's admissible nodes, and scope order is topology
+    // order — so iterating the scope filters to the same candidate
+    // list, in the same order, as a full-cluster scan.
+    const Topology& topo = pool_.topology();
+    const NodeScope* scope = pool_.scope();
+    const size_t limit = scope ? scope->size() : topo.node_count();
+    for (size_t i = 0; i < limit; ++i) {
+      const NodeInfo& node =
+          topo.node(scope ? scope->node_at(i) : static_cast<NodeId>(i));
       if (!pool_.is_online(node.id)) continue;
       if (!node_admissible(req, node)) continue;
       if (pool_.available_memory(node.id) + 1e-9 < req.memory_mb) continue;

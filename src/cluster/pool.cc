@@ -1,37 +1,110 @@
 #include "cluster/pool.h"
 
+#include <atomic>
+
 #include "common/assert.h"
 #include "common/strings.h"
 
 namespace harmony::cluster {
 
+namespace {
+std::atomic<uint64_t> g_slots_allocated{0};
+}  // namespace
+
+uint64_t ResourcePool::slots_allocated() {
+  return g_slots_allocated.load(std::memory_order_relaxed);
+}
+
+void ResourcePool::allocate_slots(size_t count) {
+  reserved_memory_.assign(count, 0.0);
+  processes_.assign(count, 0);
+  external_load_.assign(count, 0);
+  online_.assign(count, true);
+  g_slots_allocated.fetch_add(count, std::memory_order_relaxed);
+}
+
 ResourcePool::ResourcePool(const Topology* topology) : topology_(topology) {
   HARMONY_ASSERT(topology != nullptr);
-  reserved_memory_.assign(topology->node_count(), 0.0);
-  processes_.assign(topology->node_count(), 0);
-  external_load_.assign(topology->node_count(), 0);
-  online_.assign(topology->node_count(), true);
+  allocate_slots(topology->node_count());
+}
+
+ResourcePool::ResourcePool(const Topology* topology, std::vector<NodeId> scope)
+    : topology_(topology), scoped_(true), scope_(std::move(scope)) {
+  HARMONY_ASSERT(topology != nullptr);
+  for (NodeId node : scope_.nodes()) {
+    HARMONY_ASSERT(node < topology_->node_count());
+  }
+  allocate_slots(scope_.size());
+}
+
+size_t ResourcePool::slot_count() const {
+  return scoped_ ? scope_.size() : topology_->node_count();
+}
+
+size_t ResourcePool::slot_of(NodeId node) const {
+  if (!scoped_) {
+    return node < topology_->node_count() ? node : NodeScope::kNoSlot;
+  }
+  return scope_.slot(node);
+}
+
+std::vector<size_t> ResourcePool::extend_scope(
+    const std::vector<NodeId>& nodes) {
+  HARMONY_ASSERT_MSG(scoped_, "extend_scope on a full-cluster pool");
+  for (NodeId node : nodes) {
+    HARMONY_ASSERT(node < topology_->node_count());
+  }
+  const std::vector<NodeId> old_nodes = scope_.nodes();
+  if (!scope_.extend(nodes)) return {};
+
+  // Re-lay out dense state over the new slot assignment; added slots
+  // start pristine (nothing reserved, no processes, online).
+  std::vector<double> reserved(scope_.size(), 0.0);
+  std::vector<int> processes(scope_.size(), 0);
+  std::vector<int> external(scope_.size(), 0);
+  std::vector<bool> online(scope_.size(), true);
+  std::vector<size_t> remap(old_nodes.size(), NodeScope::kNoSlot);
+  for (size_t old_slot = 0; old_slot < old_nodes.size(); ++old_slot) {
+    size_t new_slot = scope_.slot(old_nodes[old_slot]);
+    HARMONY_ASSERT(new_slot != NodeScope::kNoSlot);
+    remap[old_slot] = new_slot;
+    reserved[new_slot] = reserved_memory_[old_slot];
+    processes[new_slot] = processes_[old_slot];
+    external[new_slot] = external_load_[old_slot];
+    online[new_slot] = online_[old_slot];
+  }
+  reserved_memory_ = std::move(reserved);
+  processes_ = std::move(processes);
+  external_load_ = std::move(external);
+  online_ = std::move(online);
+  g_slots_allocated.fetch_add(scope_.size() - old_nodes.size(),
+                              std::memory_order_relaxed);
+  return remap;
 }
 
 void ResourcePool::set_external_load(NodeId node, int tasks) {
-  HARMONY_ASSERT(node < external_load_.size());
+  size_t slot = slot_of(node);
+  HARMONY_ASSERT(slot != NodeScope::kNoSlot);
   HARMONY_ASSERT(tasks >= 0);
-  external_load_[node] = tasks;
+  external_load_[slot] = tasks;
 }
 
 int ResourcePool::external_load(NodeId node) const {
-  HARMONY_ASSERT(node < external_load_.size());
-  return external_load_[node];
+  size_t slot = slot_of(node);
+  HARMONY_ASSERT(slot != NodeScope::kNoSlot);
+  return external_load_[slot];
 }
 
 void ResourcePool::set_online(NodeId node, bool online) {
-  HARMONY_ASSERT(node < online_.size());
-  online_[node] = online;
+  size_t slot = slot_of(node);
+  HARMONY_ASSERT(slot != NodeScope::kNoSlot);
+  online_[slot] = online;
 }
 
 bool ResourcePool::is_online(NodeId node) const {
-  HARMONY_ASSERT(node < online_.size());
-  return online_[node];
+  size_t slot = slot_of(node);
+  HARMONY_ASSERT(slot != NodeScope::kNoSlot);
+  return online_[slot];
 }
 
 size_t ResourcePool::online_count() const {
@@ -47,12 +120,14 @@ double ResourcePool::total_memory(NodeId node) const {
 }
 
 double ResourcePool::available_memory(NodeId node) const {
-  HARMONY_ASSERT(node < reserved_memory_.size());
-  return topology_->node(node).memory_mb - reserved_memory_[node];
+  size_t slot = slot_of(node);
+  HARMONY_ASSERT(slot != NodeScope::kNoSlot);
+  return topology_->node(node).memory_mb - reserved_memory_[slot];
 }
 
 Status ResourcePool::reserve_memory(NodeId node, double mb) {
-  if (node >= reserved_memory_.size()) {
+  size_t slot = slot_of(node);
+  if (slot == NodeScope::kNoSlot) {
     return Status(ErrorCode::kNotFound, "no such node");
   }
   if (mb < 0) {
@@ -64,43 +139,47 @@ Status ResourcePool::reserve_memory(NodeId node, double mb) {
                              topology_->node(node).hostname.c_str(), mb,
                              available_memory(node)));
   }
-  reserved_memory_[node] += mb;
+  reserved_memory_[slot] += mb;
   return Status::Ok();
 }
 
 Status ResourcePool::release_memory(NodeId node, double mb) {
-  if (node >= reserved_memory_.size()) {
+  size_t slot = slot_of(node);
+  if (slot == NodeScope::kNoSlot) {
     return Status(ErrorCode::kNotFound, "no such node");
   }
   if (mb < 0) {
     return Status(ErrorCode::kInvalidArgument, "negative release");
   }
-  if (reserved_memory_[node] + 1e-9 < mb) {
+  if (reserved_memory_[slot] + 1e-9 < mb) {
     return Status(ErrorCode::kCapacity, "releasing more memory than reserved");
   }
-  reserved_memory_[node] -= mb;
-  if (reserved_memory_[node] < 0) reserved_memory_[node] = 0;  // absorb epsilon
+  reserved_memory_[slot] -= mb;
+  if (reserved_memory_[slot] < 0) reserved_memory_[slot] = 0;  // absorb epsilon
   return Status::Ok();
 }
 
 int ResourcePool::process_count(NodeId node) const {
-  HARMONY_ASSERT(node < processes_.size());
-  return processes_[node];
+  size_t slot = slot_of(node);
+  HARMONY_ASSERT(slot != NodeScope::kNoSlot);
+  return processes_[slot];
 }
 
 void ResourcePool::add_process(NodeId node) {
-  HARMONY_ASSERT(node < processes_.size());
-  ++processes_[node];
+  size_t slot = slot_of(node);
+  HARMONY_ASSERT(slot != NodeScope::kNoSlot);
+  ++processes_[slot];
 }
 
 Status ResourcePool::remove_process(NodeId node) {
-  if (node >= processes_.size()) {
+  size_t slot = slot_of(node);
+  if (slot == NodeScope::kNoSlot) {
     return Status(ErrorCode::kNotFound, "no such node");
   }
-  if (processes_[node] == 0) {
+  if (processes_[slot] == 0) {
     return Status(ErrorCode::kCapacity, "no process to remove");
   }
-  --processes_[node];
+  --processes_[slot];
   return Status::Ok();
 }
 
@@ -111,12 +190,13 @@ int ResourcePool::total_processes() const {
 }
 
 bool ResourcePool::invariants_hold() const {
-  for (NodeId id = 0; id < reserved_memory_.size(); ++id) {
-    if (reserved_memory_[id] < -1e-9) return false;
-    if (reserved_memory_[id] > topology_->node(id).memory_mb + 1e-9) {
+  for (size_t slot = 0; slot < reserved_memory_.size(); ++slot) {
+    NodeId node = scoped_ ? scope_.node_at(slot) : static_cast<NodeId>(slot);
+    if (reserved_memory_[slot] < -1e-9) return false;
+    if (reserved_memory_[slot] > topology_->node(node).memory_mb + 1e-9) {
       return false;
     }
-    if (processes_[id] < 0) return false;
+    if (processes_[slot] < 0) return false;
   }
   return true;
 }

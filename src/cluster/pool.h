@@ -10,9 +10,11 @@
 // without ever mutating (and having to roll back) live state.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/scope.h"
 #include "cluster/topology.h"
 #include "common/result.h"
 
@@ -26,6 +28,12 @@ class ResourceView {
   virtual ~ResourceView() = default;
 
   virtual const Topology& topology() const = 0;
+
+  // The node set this view accounts for, or nullptr when it covers the
+  // whole topology. The matcher iterates this instead of every node:
+  // scope order is topology order, so candidate enumeration (and hence
+  // every decision) is unchanged, only cheaper.
+  virtual const NodeScope* scope() const { return nullptr; }
 
   // --- memory ---------------------------------------------------------------
   virtual double total_memory(NodeId node) const = 0;
@@ -55,9 +63,36 @@ class ResourceView {
 
 class ResourcePool final : public ResourceView {
  public:
+  // Full-cluster pool: dense state for every topology node.
   explicit ResourcePool(const Topology* topology);
+  // Scoped pool: dense state only for `scope` nodes (a domain's
+  // footprint). Accesses outside the scope fail the same way accesses
+  // to nonexistent nodes do.
+  ResourcePool(const Topology* topology, std::vector<NodeId> scope);
 
   const Topology& topology() const override { return *topology_; }
+  const NodeScope* scope() const override {
+    return scoped_ ? &scope_ : nullptr;
+  }
+
+  // Number of dense per-node slots (scope size, or node_count when
+  // unscoped). Version arrays in SystemState are sized to match.
+  size_t slot_count() const;
+  // Dense index for `node`: identity when unscoped, scope slot (or
+  // NodeScope::kNoSlot) when scoped.
+  size_t slot_of(NodeId node) const;
+
+  // Grow the scope to cover `nodes` as well (domain merge / footprint
+  // annexation), preserving existing per-node state. Returns the
+  // old-slot -> new-slot mapping (empty when nothing was added) so
+  // owners of parallel slot-indexed arrays can re-lay them out.
+  std::vector<size_t> extend_scope(const std::vector<NodeId>& nodes);
+
+  // Process-wide count of dense slots ever allocated by pool
+  // construction or scope extension. Regression hook: creating a domain
+  // over an N-node footprint in a huge cluster must allocate O(N)
+  // slots, not O(cluster).
+  static uint64_t slots_allocated();
 
   // --- memory ---------------------------------------------------------------
   double total_memory(NodeId node) const override;
@@ -94,7 +129,12 @@ class ResourcePool final : public ResourceView {
   bool invariants_hold() const;
 
  private:
+  void allocate_slots(size_t count);
+
   const Topology* topology_;
+  bool scoped_ = false;
+  NodeScope scope_;  // meaningful only when scoped_
+  // Indexed by slot (== NodeId when unscoped).
   std::vector<double> reserved_memory_;
   std::vector<int> processes_;
   std::vector<int> external_load_;
@@ -115,6 +155,7 @@ class PoolOverlay final : public ResourceView {
   explicit PoolOverlay(const ResourceView* base);
 
   const Topology& topology() const override { return base_->topology(); }
+  const NodeScope* scope() const override { return base_->scope(); }
 
   double total_memory(NodeId node) const override;
   double available_memory(NodeId node) const override;

@@ -75,6 +75,37 @@ Result<NodeId> Topology::find_by_hostname(const std::string& hostname) const {
   return it->second;
 }
 
+std::vector<NodeId> Topology::match_nodes(const std::string& hostname_glob,
+                                          const std::string& os) const {
+  std::vector<NodeId> out;
+  auto admit = [&](const NodeInfo& node) {
+    if (!os.empty() && node.os != os) return;
+    out.push_back(node.id);
+  };
+  size_t star = hostname_glob.find_first_of("*?[");
+  // No wildcard at all: an exact hostname lookup.
+  if (star == std::string::npos) {
+    auto it = by_hostname_.find(hostname_glob);
+    if (it != by_hostname_.end()) admit(nodes_[it->second]);
+    return out;
+  }
+  // "prefix*": every hostname in [prefix, prefix+1) of the ordered map.
+  if (star + 1 == hostname_glob.size() &&
+      hostname_glob[star] == '*') {
+    std::string prefix = hostname_glob.substr(0, star);
+    for (auto it = by_hostname_.lower_bound(prefix);
+         it != by_hostname_.end() && starts_with(it->first, prefix); ++it) {
+      admit(nodes_[it->second]);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  for (const NodeInfo& node : nodes_) {
+    if (glob_match(hostname_glob, node.hostname)) admit(node);
+  }
+  return out;
+}
+
 const LinkInfo* Topology::link(NodeId a, NodeId b) const {
   if (a >= nodes_.size() || b >= nodes_.size()) return nullptr;
   for (size_t idx : adjacency_[a]) {

@@ -7,8 +7,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -47,6 +47,16 @@ class Topology {
   const NodeInfo& node(NodeId id) const;
   Result<NodeId> find_by_hostname(const std::string& hostname) const;
 
+  // Node ids whose hostname matches `hostname_glob` (and whose OS tag
+  // equals `os` when non-empty), ascending by id — the same set and
+  // order a filtered scan of nodes() yields. Globs of the form
+  // "prefix*" (literal prefix, the only wildcard a trailing star) take
+  // an indexed path over the ordered hostname map, O(log n + matches),
+  // which keeps admissible-set probes on huge clusters proportional to
+  // the footprint they select.
+  std::vector<NodeId> match_nodes(const std::string& hostname_glob,
+                                  const std::string& os = "") const;
+
   // The direct link between a and b, or nullptr if none.
   const LinkInfo* link(NodeId a, NodeId b) const;
   const std::vector<LinkInfo>& links() const { return links_; }
@@ -75,7 +85,9 @@ class Topology {
 
   std::vector<NodeInfo> nodes_;
   std::vector<LinkInfo> links_;
-  std::unordered_map<std::string, NodeId> by_hostname_;
+  // Ordered so prefix globs can range-scan instead of visiting every
+  // hostname.
+  std::map<std::string, NodeId> by_hostname_;
   // adjacency: node -> list of link indices
   std::vector<std::vector<size_t>> adjacency_;
 };

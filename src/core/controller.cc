@@ -118,7 +118,9 @@ Status Controller::add_node(const rsl::NodeAd& ad) {
   if (cluster_finalized()) {
     return Status(ErrorCode::kClosed, "cluster is finalized");
   }
-  auto id = state_.topology.add_node(ad.name, ad.speed, ad.memory_mb, ad.os);
+  auto id =
+      state_.mutable_topology().add_node(ad.name, ad.speed, ad.memory_mb,
+                                         ad.os);
   if (!id.ok()) return Status(id.error().code, id.error().message);
   for (const auto& link : ad.links) {
     pending_links_.push_back(
@@ -148,23 +150,48 @@ Status Controller::link_hosts(const std::string& host_a,
 Status Controller::finalize_cluster() {
   if (cluster_finalized()) return Status::Ok();
   for (const auto& link : pending_links_) {
-    auto a = state_.topology.find_by_hostname(link.from);
-    auto b = state_.topology.find_by_hostname(link.to);
+    auto a = state_.topology().find_by_hostname(link.from);
+    auto b = state_.topology().find_by_hostname(link.to);
     if (!a.ok() || !b.ok()) {
       return Status(ErrorCode::kNotFound,
                     "link references unknown host: " + link.from + "<->" +
                         link.to);
     }
-    auto status = state_.topology.add_link(a.value(), b.value(),
-                                           link.bandwidth_mbps,
-                                           link.latency_ms);
+    auto status = state_.mutable_topology().add_link(a.value(), b.value(),
+                                                     link.bandwidth_mbps,
+                                                     link.latency_ms);
     if (!status.ok()) return status;
   }
   pending_links_.clear();
-  if (state_.topology.node_count() == 0) {
+  if (state_.topology().node_count() == 0) {
     return Status(ErrorCode::kInvalidArgument, "cluster has no nodes");
   }
   state_.init_pool();
+  optimizer_->set_names(names_context());
+  return Status::Ok();
+}
+
+Status Controller::adopt_cluster(
+    std::shared_ptr<const cluster::Topology> topology,
+    std::vector<cluster::NodeId> scope, const Namespace* cluster_names) {
+  if (cluster_finalized() || state_.topology().node_count() > 0) {
+    return Status(ErrorCode::kClosed,
+                  "adopt_cluster requires a pristine controller");
+  }
+  if (topology == nullptr || topology->node_count() == 0) {
+    return Status(ErrorCode::kInvalidArgument, "empty shared topology");
+  }
+  for (cluster::NodeId node : scope) {
+    if (node >= topology->node_count()) {
+      return Status(ErrorCode::kInvalidArgument, "scope node out of range");
+    }
+  }
+  // A scope spanning the whole cluster is just a full pool; dropping
+  // the scope keeps this path bit-identical to finalize_cluster().
+  if (scope.size() >= topology->node_count()) scope.clear();
+  state_.adopt_topology(std::move(topology));
+  names_.set_fallback(cluster_names);
+  state_.init_pool(std::move(scope));
   optimizer_->set_names(names_context());
   return Status::Ok();
 }
@@ -322,7 +349,7 @@ Status Controller::set_node_online(const std::string& hostname, bool online) {
   if (!cluster_finalized()) {
     return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
   }
-  auto node = state_.topology.find_by_hostname(hostname);
+  auto node = state_.topology().find_by_hostname(hostname);
   if (!node.ok()) return Status(node.error().code, node.error().message);
   if (state_.pool->is_online(node.value()) == online) return Status::Ok();
   EpochScope epoch(*this);
@@ -392,7 +419,7 @@ Status Controller::report_external_load(const std::string& hostname,
   if (concurrent_tasks < 0) {
     return Status(ErrorCode::kInvalidArgument, "load must be non-negative");
   }
-  auto node = state_.topology.find_by_hostname(hostname);
+  auto node = state_.topology().find_by_hostname(hostname);
   if (!node.ok()) return Status(node.error().code, node.error().message);
   if (state_.pool->external_load(node.value()) == concurrent_tasks) {
     return Status::Ok();
@@ -464,7 +491,7 @@ Status Controller::restore_instance(
     // Re-reserve exactly what the matcher reserved pre-crash (memory +
     // one process per placed requirement).
     for (const auto& entry : restored.entries) {
-      auto node = state_.topology.find_by_hostname(entry.hostname);
+      auto node = state_.topology().find_by_hostname(entry.hostname);
       if (!node.ok()) return Status(node.error().code, node.error().message);
       auto reserved = state_.pool->reserve_memory(node.value(),
                                                   entry.memory_mb);
@@ -502,7 +529,7 @@ Status Controller::restore_external_load(const std::string& hostname,
                                          int tasks) {
   auto finalized = finalize_cluster();
   if (!finalized.ok()) return finalized;
-  auto node = state_.topology.find_by_hostname(hostname);
+  auto node = state_.topology().find_by_hostname(hostname);
   if (!node.ok()) return Status(node.error().code, node.error().message);
   state_.pool->set_external_load(node.value(), tasks);
   state_.touch_node_load(node.value());
@@ -513,7 +540,7 @@ Status Controller::restore_node_online(const std::string& hostname,
                                        bool online) {
   auto finalized = finalize_cluster();
   if (!finalized.ok()) return finalized;
-  auto node = state_.topology.find_by_hostname(hostname);
+  auto node = state_.topology().find_by_hostname(hostname);
   if (!node.ok()) return Status(node.error().code, node.error().message);
   state_.pool->set_online(node.value(), online);
   state_.touch_node(node.value());
@@ -626,7 +653,7 @@ void Controller::publish_instance(const InstanceState& instance) {
     std::map<std::string, int> role_counts;
     for (const auto& entry : bundle.allocation.entries) {
       const auto& req = entry.requirement;
-      const auto& node = state_.topology.node(entry.node);
+      const auto& node = state_.topology().node(entry.node);
       ++role_counts[req.role];
       std::string rroot = oroot + "." + req.role;
       if (req.index > 0) rroot += str_format(".%d", req.index);
@@ -662,7 +689,7 @@ void Controller::queue_updates(const InstanceState& instance,
     std::map<std::string, double> role_memory;
     for (const auto& entry : bundle->allocation.entries) {
       role_hosts[entry.requirement.role].push_back(
-          state_.topology.node(entry.node).hostname);
+          state_.topology().node(entry.node).hostname);
       if (entry.requirement.index == 0) {
         role_memory[entry.requirement.role] = entry.requirement.memory_mb;
       }

@@ -116,6 +116,27 @@ class Controller {
   Status finalize_cluster();
   bool cluster_finalized() const { return state_.pool != nullptr; }
 
+  // Domain-controller setup: share an already-finalized topology
+  // instead of rebuilding it, allocate pool + version state only over
+  // `scope` (the domain footprint; a scope covering every node becomes
+  // an unscoped full-cluster pool), and resolve cluster.* names through
+  // `cluster_names` (the router template's namespace) instead of
+  // copying O(cluster) entries. Replaces add_node/finalize_cluster
+  // wholesale: requires that neither has run. After this the cluster is
+  // finalized and domain creation has done O(|scope|) work.
+  Status adopt_cluster(std::shared_ptr<const cluster::Topology> topology,
+                       std::vector<cluster::NodeId> scope,
+                       const Namespace* cluster_names);
+  // Grows a scoped pool to additionally cover `nodes` (domain merge /
+  // annexation); state and version stamps of existing nodes are kept,
+  // new nodes start pristine (online, no load). No-op when unscoped.
+  void extend_scope(const std::vector<cluster::NodeId>& nodes) {
+    state_.extend_scope(nodes);
+  }
+  std::shared_ptr<const cluster::Topology> shared_topology() const {
+    return state_.shared_topology();
+  }
+
   // --- threading --------------------------------------------------------
   // The controller is single-threaded by design; the sharded network
   // front end never calls in from its I/O threads — decoded messages
@@ -237,7 +258,7 @@ class Controller {
                         uint64_t reconfigurations);
 
   // --- introspection ------------------------------------------------------
-  const cluster::Topology& topology() const { return state_.topology; }
+  const cluster::Topology& topology() const { return state_.topology(); }
   const SystemState& state() const { return state_; }
   const Namespace& names() const { return names_; }
   metric::MetricRegistry& metrics() { return metrics_; }

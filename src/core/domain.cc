@@ -174,9 +174,7 @@ DomainRouter::~DomainRouter() {
 // --- cluster setup ---------------------------------------------------------
 
 Status DomainRouter::add_node(const rsl::NodeAd& ad) {
-  auto status = template_.add_node(ad);
-  if (status.ok()) node_ads_.push_back(ad);
-  return status;
+  return template_.add_node(ad);
 }
 
 Status DomainRouter::add_nodes_script(const std::string& rsl_script) {
@@ -188,12 +186,7 @@ Status DomainRouter::add_nodes_script(const std::string& rsl_script) {
 Status DomainRouter::link_hosts(const std::string& host_a,
                                 const std::string& host_b,
                                 double bandwidth_mbps, double latency_ms) {
-  auto status = template_.link_hosts(host_a, host_b, bandwidth_mbps,
-                                     latency_ms);
-  if (status.ok()) {
-    links_.push_back({host_a, host_b, bandwidth_mbps, latency_ms});
-  }
-  return status;
+  return template_.link_hosts(host_a, host_b, bandwidth_mbps, latency_ms);
 }
 
 Status DomainRouter::finalize_cluster() {
@@ -308,47 +301,51 @@ void DomainRouter::note_op_applied(Domain& domain, uint64_t start_us) {
 
 // --- domain lifecycle ------------------------------------------------------
 
-Status DomainRouter::build_domain_cluster(Controller& controller) const {
-  for (const auto& ad : node_ads_) {
-    auto status = controller.add_node(ad);
-    if (!status.ok()) return status;
-  }
-  for (const auto& link : links_) {
-    auto status = controller.link_hosts(link.from, link.to,
-                                        link.bandwidth_mbps, link.latency_ms);
-    if (!status.ok()) return status;
-  }
-  return controller.finalize_cluster();
-}
-
-void DomainRouter::sync_node_state(Controller& controller) const {
-  // Reconcile the controller's pool with the master node state: a
-  // domain only sees events for nodes it owns, so nodes annexed by a
-  // merge or a widening registration may be stale. Restores touch no
-  // allocations and emit no events, so reconciliation cannot change a
-  // decision the reference path would not also make.
+void DomainRouter::sync_node_state(
+    Controller& controller,
+    const std::vector<cluster::NodeId>& annexed) const {
+  // Reconcile the controller's pool with the master node state for
+  // exactly the annexed nodes: a domain only sees events for nodes it
+  // owns, so nodes annexed by a merge or a widening registration may be
+  // stale — owned nodes never are. The master maps hold only dirty
+  // entries (load != 0, offline), so a lockstep walk of the sorted
+  // annexed list against them costs O(|annexed| + dirty-in-range),
+  // never O(cluster). Restores touch no allocations and emit no events,
+  // so reconciliation cannot change a decision the reference path would
+  // not also make.
+  if (annexed.empty()) return;
   const auto& pool = *controller.state().pool;
-  for (const auto& node : controller.topology().nodes()) {
-    auto load_it = external_load_.find(node.id);
-    const int desired_load = load_it == external_load_.end() ? 0
-                                                             : load_it->second;
-    if (pool.external_load(node.id) != desired_load) {
-      auto status = controller.restore_external_load(node.hostname,
+  const cluster::Topology& topo = controller.topology();
+  auto load_it = external_load_.lower_bound(annexed.front());
+  auto offline_it = node_offline_.lower_bound(annexed.front());
+  for (cluster::NodeId node : annexed) {
+    while (load_it != external_load_.end() && load_it->first < node) {
+      ++load_it;
+    }
+    const int desired_load =
+        (load_it != external_load_.end() && load_it->first == node)
+            ? load_it->second
+            : 0;
+    if (pool.external_load(node) != desired_load) {
+      auto status = controller.restore_external_load(topo.node(node).hostname,
                                                      desired_load);
       HARMONY_ASSERT_MSG(status.ok(), "node-state reconciliation failed");
     }
-    const bool desired_online = node_offline_.find(node.id) ==
-                                node_offline_.end();
-    if (pool.is_online(node.id) != desired_online) {
-      auto status = controller.restore_node_online(node.hostname,
+    while (offline_it != node_offline_.end() && offline_it->first < node) {
+      ++offline_it;
+    }
+    const bool desired_online =
+        !(offline_it != node_offline_.end() && offline_it->first == node);
+    if (pool.is_online(node) != desired_online) {
+      auto status = controller.restore_node_online(topo.node(node).hostname,
                                                    desired_online);
       HARMONY_ASSERT_MSG(status.ok(), "node-state reconciliation failed");
     }
   }
 }
 
-DomainRouter::Domain& DomainRouter::create_domain(uint32_t id,
-                                                  size_t worker_hint) {
+DomainRouter::Domain& DomainRouter::create_domain(
+    uint32_t id, size_t worker_hint, std::vector<cluster::NodeId> scope) {
   auto domain = std::make_unique<Domain>();
   domain->id = id;
   domain->worker = worker_hint % workers_.size();
@@ -361,11 +358,17 @@ DomainRouter::Domain& DomainRouter::create_domain(uint32_t id,
     controller_config.optimizer.solver.budget_ms /= config_.workers;
   }
   domain->controller = std::make_unique<Controller>(controller_config);
-  auto built = build_domain_cluster(*domain->controller);
-  HARMONY_ASSERT_MSG(built.ok(), "replaying cluster into domain failed");
+  // Share the template's finalized topology instead of replaying the
+  // cluster definition: pool and version state are allocated over the
+  // scope (the domain footprint) only, making creation O(|scope|).
+  std::sort(scope.begin(), scope.end());
+  scope.erase(std::unique(scope.begin(), scope.end()), scope.end());
+  auto adopted = domain->controller->adopt_cluster(
+      template_.shared_topology(), scope, &template_.names());
+  HARMONY_ASSERT_MSG(adopted.ok(), "adopting shared cluster into domain failed");
   Domain* raw = domain.get();
   domain->controller->set_time_source([raw] { return raw->now; });
-  sync_node_state(*domain->controller);
+  sync_node_state(*domain->controller, scope);
   domain->tap = std::make_unique<Tap>(this, raw);
   domain->controller->set_event_sink(domain->tap.get());
   domain->epochs_total = &metric::telemetry_counter(
@@ -509,7 +512,23 @@ uint32_t DomainRouter::merge_domains(std::vector<uint32_t> ids) {
   HARMONY_ASSERT(ids.size() > 1);
   for (uint32_t id : ids) wait_idle(domains_.at(id)->worker);
   Domain& survivor = *domains_.at(ids[0]);
-  sync_node_state(*survivor.controller);
+  // The survivor annexes the absorbed footprints: widen its scoped pool
+  // by exactly those nodes and reconcile them against the master state
+  // before any instance is restored onto them. Nodes the survivor
+  // already owns have seen every event and are never stale.
+  std::vector<cluster::NodeId> annexed;
+  for (size_t i = 1; i < ids.size(); ++i) {
+    for (cluster::NodeId node : domains_.at(ids[i])->footprint) {
+      if (!std::binary_search(survivor.footprint.begin(),
+                              survivor.footprint.end(), node)) {
+        annexed.push_back(node);
+      }
+    }
+  }
+  std::sort(annexed.begin(), annexed.end());
+  annexed.erase(std::unique(annexed.begin(), annexed.end()), annexed.end());
+  survivor.controller->extend_scope(annexed);
+  sync_node_state(*survivor.controller, annexed);
   for (size_t i = 1; i < ids.size(); ++i) {
     auto node = domains_.extract(ids[i]);
     HARMONY_ASSERT(!node.empty());
@@ -605,7 +624,15 @@ void DomainRouter::rebalance_after_departure(uint32_t domain_id) {
   bool first = true;
   for (auto& [rep, members] : components) {
     const uint32_t new_id = first ? domain_id : next_domain_id_++;
-    Domain& fresh = create_domain(new_id, (new_id - 1) % workers_.size());
+    // Each component's controller is scoped to the union of its
+    // members' footprints — split cost is O(|component|).
+    std::vector<cluster::NodeId> scope;
+    for (InstanceId id : members) {
+      scope.insert(scope.end(), instance_nodes_[id].begin(),
+                   instance_nodes_[id].end());
+    }
+    Domain& fresh =
+        create_domain(new_id, (new_id - 1) % workers_.size(), std::move(scope));
     if (first) {
       fresh.dseq = old->dseq;    // the stream continues gap-free
       fresh.epochs = old->epochs;
@@ -667,16 +694,32 @@ Result<InstanceId> DomainRouter::register_script(
   const bool fresh_domain = domain_id == 0;
   if (fresh_domain) {
     domain_id = next_domain_id_++;
-    create_domain(domain_id, (domain_id - 1) % workers_.size());
+    create_domain(domain_id, (domain_id - 1) % workers_.size(), nodes);
   }
   Domain& domain = *domains_.at(domain_id);
 
+  // Footprint extensions this registration brings into an existing
+  // domain: widen its scoped pool by exactly those nodes and reconcile
+  // them against the master state before matching. A fresh domain was
+  // just created with `nodes` as its scope and is already reconciled.
+  std::vector<cluster::NodeId> annexed;
+  if (!fresh_domain) {
+    for (cluster::NodeId node : nodes) {
+      if (!std::binary_search(domain.footprint.begin(), domain.footprint.end(),
+                              node)) {
+        annexed.push_back(node);
+      }
+    }
+  }
+
   const InstanceId expected_id = next_instance_id_;
   auto result = run_on_domain<Result<InstanceId>>(
-      domain, time, [this, &bundles, &rsl_script, expected_id](Controller& c) {
-        // Annexed nodes (footprint extensions) may be stale in this
-        // controller; reconcile before matching against its pool.
-        sync_node_state(c);
+      domain, time,
+      [this, &bundles, &rsl_script, expected_id, &annexed](Controller& c) {
+        if (!annexed.empty()) {
+          c.extend_scope(annexed);
+          sync_node_state(c, annexed);
+        }
         c.restore_counters(expected_id, c.reconfigurations());
         return c.register_application(bundles, rsl_script);
       });

@@ -172,9 +172,18 @@ class DomainRouter {
   class Tap;
   struct Worker;
 
-  Domain& create_domain(uint32_t id, size_t worker_hint);
-  Status build_domain_cluster(Controller& controller) const;
-  void sync_node_state(Controller& controller) const;
+  // Creates a domain whose controller shares the template's finalized
+  // topology and allocates pool/version state only over `scope` (the
+  // domain footprint) — O(|scope|), never O(cluster).
+  Domain& create_domain(uint32_t id, size_t worker_hint,
+                        std::vector<cluster::NodeId> scope);
+  // Reconciles exactly the `annexed` nodes (sorted) of the controller's
+  // pool against the master node state, walking the master maps in
+  // lockstep — O(|annexed| + master entries in range), independent of
+  // cluster size. Owned nodes are never stale (their events route to
+  // the owning domain), so only annexed nodes ever need this.
+  void sync_node_state(Controller& controller,
+                       const std::vector<cluster::NodeId>& annexed) const;
   uint32_t domain_for_footprint(const std::vector<cluster::NodeId>& nodes);
   uint32_t merge_domains(std::vector<uint32_t> ids);
   void rebalance_after_departure(uint32_t domain_id);
@@ -206,16 +215,12 @@ class DomainRouter {
   // For the merged objective_value(); same objective every domain uses.
   std::unique_ptr<Objective> objective_;
 
-  // Master cluster definition, replayed into every new domain
-  // controller in recorded order so node ids agree across domains.
-  std::vector<rsl::NodeAd> node_ads_;
-  struct LinkSpec {
-    std::string from, to;
-    double bandwidth_mbps = 0, latency_ms = 0;
-  };
-  std::vector<LinkSpec> links_;
   // Template controller holding the finalized topology (never hosts an
-  // instance); source of truth for hostname lookup and footprints.
+  // instance); source of truth for hostname lookup and footprints. Its
+  // topology is *shared* (by shared_ptr) with every domain controller
+  // — domains adopt it instead of replaying the cluster definition —
+  // and its namespace serves the immutable cluster.* names to every
+  // domain through the namespace fallback chain.
   Controller template_;
 
   // Master node state, updated on every routed/unowned event so a new

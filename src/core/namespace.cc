@@ -36,6 +36,7 @@ Status Namespace::set_string(const std::string& path,
 Result<double> Namespace::get(const std::string& path) const {
   auto it = numbers_.find(path);
   if (it == numbers_.end()) {
+    if (fallback_ != nullptr) return fallback_->get(path);
     return Err<double>(ErrorCode::kNotFound, "no such name: " + path);
   }
   return it->second;
@@ -46,11 +47,13 @@ Result<std::string> Namespace::get_string(const std::string& path) const {
   if (it != strings_.end()) return it->second;
   auto nit = numbers_.find(path);
   if (nit != numbers_.end()) return format_number(nit->second);
+  if (fallback_ != nullptr) return fallback_->get_string(path);
   return Err<std::string>(ErrorCode::kNotFound, "no such name: " + path);
 }
 
 bool Namespace::has(const std::string& path) const {
-  return numbers_.count(path) > 0 || strings_.count(path) > 0;
+  if (numbers_.count(path) > 0 || strings_.count(path) > 0) return true;
+  return fallback_ != nullptr && fallback_->has(path);
 }
 
 void Namespace::erase(const std::string& path) {

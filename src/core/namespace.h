@@ -34,6 +34,18 @@ class Namespace {
 
   size_t size() const { return numbers_.size() + strings_.size(); }
 
+  // Read-through parent consulted by get / get_string / has when a
+  // name is absent locally. Lets a domain controller resolve the
+  // shared, immutable cluster names (cluster.<host>.speed, ...)
+  // published once by the router's template controller instead of
+  // copying O(cluster) entries into every domain. Writes, erase and
+  // enumeration (list / leaves / size) stay local-only by design: a
+  // domain never publishes into — or lists — the shared tier. The
+  // fallback must outlive this namespace and never change (enforced by
+  // the router: the template namespace is frozen at finalize).
+  void set_fallback(const Namespace* fallback) { fallback_ = fallback; }
+  const Namespace* fallback() const { return fallback_; }
+
   // Name resolver for RSL expressions, optionally rebasing relative
   // names: with base "DBclient.66.where.DS", the expression name
   // "client.memory" resolves to "DBclient.66.where.DS.client.memory",
@@ -44,6 +56,7 @@ class Namespace {
   static bool valid_path(const std::string& path);
   std::map<std::string, double> numbers_;
   std::map<std::string, std::string> strings_;
+  const Namespace* fallback_ = nullptr;
 };
 
 }  // namespace harmony::core

@@ -40,15 +40,14 @@ void Optimizer::set_config(OptimizerConfig config) {
 Result<double> Optimizer::predict_cached(
     InstanceId instance, const BundleState& bundle,
     const rsl::OptionSpec& option, const OptionChoice& choice,
-    const cluster::Allocation& allocation,
-    const std::map<cluster::NodeId, int>& load,
+    const cluster::Allocation& allocation, const LoadView& load,
     const cluster::Topology& topology) const {
   PredictionInput input;
   input.option = &option;
   input.choice = &choice;
   input.allocation = &allocation;
   input.topology = &topology;
-  input.node_load = &load;
+  input.node_load = load;
   input.names = names_;
   if (!config_.memoize_predictions) {
     ++predictor_calls_;
@@ -75,7 +74,15 @@ Result<double> Optimizer::predict_cached(
 Result<std::vector<std::pair<InstanceId, double>>> Optimizer::predict_all(
     const SystemState& state) const {
   std::vector<std::pair<InstanceId, double>> out;
-  auto load = state.node_load();
+  // Contention is read straight off the live pool (effective_load ==
+  // planned processes + external load, exactly node_load()'s value at
+  // every allocated node) — no O(cluster) map materialization.
+  std::map<cluster::NodeId, int> fallback;
+  LoadView load(static_cast<const cluster::ResourceView*>(state.pool.get()));
+  if (state.pool == nullptr) {
+    fallback = state.node_load();
+    load = LoadView(&fallback);
+  }
   for (const auto& instance : state.instances) {
     double total = 0.0;
     bool any = false;
@@ -90,7 +97,7 @@ Result<std::vector<std::pair<InstanceId, double>>> Optimizer::predict_all(
       }
       auto predicted =
           predict_cached(instance.id, bundle, *option, bundle.choice,
-                         bundle.allocation, load, state.topology);
+                         bundle.allocation, load, state.topology());
       if (!predicted.ok()) {
         return Err<std::vector<std::pair<InstanceId, double>>>(
             predicted.error().code, predicted.error().message);
@@ -142,7 +149,11 @@ Result<double> Optimizer::plan_objective(
     const BundleState& bundle, const OptionChoice& candidate,
     const cluster::Allocation& allocation, const PlanOverlay& plan,
     const OptionChoice* previous) const {
-  auto load = plan.load_with(allocation);
+  // The candidate is installed on the plan overlay at this point
+  // (between mark() and rewind() in optimize_bundle), so the overlay's
+  // effective_load at every node equals load_with(allocation) — read it
+  // in place instead of copying a base map per candidate.
+  LoadView load(static_cast<const cluster::ResourceView*>(&plan.pool()));
   std::vector<double> times;
   times.reserve(state.instances.size());
   for (const auto& other : state.instances) {
@@ -159,7 +170,7 @@ Result<double> Optimizer::plan_objective(
                            "configured option vanished: " + choice.option);
       }
       auto predicted = predict_cached(other.id, ob, *option, choice, alloc,
-                                      load, state.topology);
+                                      load, state.topology());
       if (!predicted.ok()) {
         return Err<double>(predicted.error().code, predicted.error().message);
       }
@@ -361,7 +372,7 @@ bool Optimizer::can_skip(const SystemState& state,
   // they move no allocations and shift only contention-dependent
   // predictions, so they dirty a bundle only through models whose read
   // sets actually include the per-node load.
-  const auto& admissible = bundle.admissible(state.topology);
+  const auto& admissible = bundle.admissible(state.topology());
   if (state.max_node_version(admissible) > threshold) return false;
   if (any_candidate_reads_load(bundle.spec) &&
       state.max_node_load_version(admissible) > threshold) {
@@ -386,12 +397,14 @@ bool Optimizer::can_skip(const SystemState& state,
       if (!ob.configured) continue;
       const bool ob_reads_load = configured_model_reads_load(ob);
       for (const auto& entry : ob.allocation.entries) {
-        if (entry.node < state.node_version.size() &&
-            state.node_version[entry.node] > threshold) {
+        const size_t slot = state.pool ? state.pool->slot_of(entry.node)
+                                       : cluster::NodeScope::kNoSlot;
+        if (slot < state.node_version.size() &&
+            state.node_version[slot] > threshold) {
           return false;
         }
-        if (ob_reads_load && entry.node < state.node_load_version.size() &&
-            state.node_load_version[entry.node] > threshold) {
+        if (ob_reads_load && slot < state.node_load_version.size() &&
+            state.node_load_version[slot] > threshold) {
           return false;
         }
       }

@@ -192,13 +192,13 @@ class Optimizer {
                                 const PlanOverlay& plan,
                                 const OptionChoice* previous) const;
   // Memoized predictor invocation for one (instance, bundle) under the
-  // given contention map.
+  // given contention view (live pool, plan overlay, or explicit map).
   Result<double> predict_cached(InstanceId instance,
                                 const BundleState& bundle,
                                 const rsl::OptionSpec& option,
                                 const OptionChoice& choice,
                                 const cluster::Allocation& allocation,
-                                const std::map<cluster::NodeId, int>& load,
+                                const LoadView& load,
                                 const cluster::Topology& topology) const;
 
   // Snapshot of every bundle's configuration (indexed [instance idx]

@@ -33,7 +33,7 @@ const char* Predictor::model_name(Model model) {
 
 Result<double> Predictor::predict(const PredictionInput& input) const {
   HARMONY_ASSERT(input.option && input.choice && input.allocation &&
-                 input.topology && input.node_load);
+                 input.topology && input.node_load.valid());
   switch (model_for(*input.option)) {
     case Model::kScript: return predict_script(input);
     case Model::kExpr: return predict_expr(input);
@@ -109,8 +109,7 @@ Result<double> Predictor::predict_dag(const PredictionInput& input) const {
   double scale = input.allocation->entries.empty() ? 1.0 : 0.0;
   for (const auto& entry : input.allocation->entries) {
     double speed = input.topology->node(entry.node).speed;
-    auto it = input.node_load->find(entry.node);
-    int load = it == input.node_load->end() ? 1 : std::max(1, it->second);
+    int load = std::max(1, input.node_load.at(entry.node));
     scale = std::max(scale, static_cast<double>(load) / speed);
   }
   return critical_path * scale;
@@ -250,9 +249,7 @@ Result<double> Predictor::predict_default(const PredictionInput& input) const {
     auto occ = occupancy.find({entry.requirement.role, entry.requirement.index});
     if (occ != occupancy.end()) seconds += occ->second;
     double speed = topo.node(entry.node).speed;
-    auto load_it = input.node_load->find(entry.node);
-    int load = load_it == input.node_load->end() ? 1 : load_it->second;
-    if (load < 1) load = 1;
+    int load = std::max(1, input.node_load.at(entry.node));
     cpu = std::max(cpu, seconds / speed * load);
   }
   double total = cpu + comm;
@@ -271,8 +268,7 @@ Result<double> Predictor::predict_points(const PredictionInput& input) const {
   double effective = 0.0;
   const size_t allocated = input.allocation->entries.size();
   for (const auto& entry : input.allocation->entries) {
-    auto it = input.node_load->find(entry.node);
-    int load = it == input.node_load->end() ? 1 : std::max(1, it->second);
+    int load = std::max(1, input.node_load.at(entry.node));
     effective += 1.0 / load;
   }
   double x;
@@ -357,7 +353,7 @@ std::string prediction_cache_key(InstanceId instance,
                                  const std::string& bundle,
                                  const OptionChoice& choice,
                                  const cluster::Allocation& allocation,
-                                 const std::map<cluster::NodeId, int>& load,
+                                 const LoadView& load,
                                  const ModelReads& reads,
                                  const rsl::ExprContext& names) {
   HARMONY_ASSERT_MSG(reads.known, "unknown read sets must bypass the cache");
@@ -379,11 +375,9 @@ std::string prediction_cache_key(InstanceId instance,
                       entry.requirement.index, entry.node,
                       entry.requirement.memory_mb);
     if (reads.uses_load) {
-      auto it = load.find(entry.node);
       // Models clamp absent / sub-1 loads to 1, so key on the clamped
       // value to maximize hits without changing observable inputs.
-      int l = it == load.end() ? 1 : std::max(1, it->second);
-      key += str_format(":%d", l);
+      key += str_format(":%d", std::max(1, load.at(entry.node)));
     }
   }
   // Current value of everything the model's expressions read through

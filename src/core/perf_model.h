@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "cluster/matcher.h"
+#include "cluster/pool.h"
 #include "cluster/topology.h"
 #include "common/result.h"
 #include "core/state.h"
@@ -26,6 +27,36 @@
 
 namespace harmony::core {
 
+// Read-only per-node planned-task counts for prediction, with two
+// backings: a live ResourceView — pool or plan overlay, whose
+// effective_load at an allocated node *is* the planned contention once
+// the candidate allocation is installed, so the decision path reads it
+// in place and allocates nothing — or an explicit map (tests, tools,
+// offline what-if probes). Models only consult the nodes of the
+// allocation under prediction and clamp absent/zero to 1, which is why
+// the two backings are interchangeable.
+class LoadView {
+ public:
+  LoadView() = default;
+  LoadView(const cluster::ResourceView* view) : view_(view) {}
+  LoadView(const std::map<cluster::NodeId, int>* map) : map_(map) {}
+
+  // Planned tasks on `node`; 0 when unknown (models clamp to >= 1).
+  int at(cluster::NodeId node) const {
+    if (view_ != nullptr) return view_->effective_load(node);
+    if (map_ != nullptr) {
+      auto it = map_->find(node);
+      return it == map_->end() ? 0 : it->second;
+    }
+    return 0;
+  }
+  bool valid() const { return view_ != nullptr || map_ != nullptr; }
+
+ private:
+  const cluster::ResourceView* view_ = nullptr;
+  const std::map<cluster::NodeId, int>* map_ = nullptr;
+};
+
 struct PredictionInput {
   const rsl::OptionSpec* option = nullptr;
   const OptionChoice* choice = nullptr;
@@ -33,7 +64,7 @@ struct PredictionInput {
   const cluster::Topology* topology = nullptr;
   // Planned tasks per node across every instance, including the
   // candidate allocation itself.
-  const std::map<cluster::NodeId, int>* node_load = nullptr;
+  LoadView node_load;
   // Namespace-backed resolver for names like "client.memory"
   // (allocation-derived names are layered on top automatically).
   rsl::ExprContext names;
@@ -157,7 +188,7 @@ std::string prediction_cache_key(InstanceId instance,
                                  const std::string& bundle,
                                  const OptionChoice& choice,
                                  const cluster::Allocation& allocation,
-                                 const std::map<cluster::NodeId, int>& load,
+                                 const LoadView& load,
                                  const ModelReads& reads,
                                  const rsl::ExprContext& names);
 

@@ -29,10 +29,12 @@ double accept_margin(double objective) {
 }  // namespace
 
 // Working set for one improvement pass. Holds the candidate plan as a
-// delta over live state: a PoolOverlay (capacity view for the matcher),
-// a contention map, and per-entry (choice, allocation, prediction)
-// mirrors. Live SystemState is only written by commit_live(), and only
-// when at least one strictly improving move was accepted.
+// delta over live state: a PoolOverlay (capacity *and* contention view
+// — trial allocations are installed on it before scoring, so its
+// effective_load is the trial's planned contention) and per-entry
+// (choice, allocation, prediction) mirrors. Live SystemState is only
+// written by commit_live(), and only when at least one strictly
+// improving move was accepted.
 class SolverPass {
  public:
   SolverPass(Optimizer& opt, const SolverConfig& config, SolverStats& stats,
@@ -121,7 +123,6 @@ class SolverPass {
   std::vector<Entry> entries_;
   std::vector<size_t> slots_;  // indices of movable entries
   std::vector<cluster::MatchPolicy> policies_;
-  std::map<cluster::NodeId, int> load_;  // plan contention, external incl.
   std::unordered_map<cluster::NodeId, std::vector<size_t>> node_entries_;
   // One time per participating instance, state order — the exact vector
   // shape Optimizer::plan_objective feeds the objective.
@@ -137,6 +138,8 @@ class SolverPass {
     double friction;
   };
   std::vector<TrialPred> trial_preds_;
+  // Nonzero contention deltas of the trial (marking only; the overlay
+  // itself carries the trial's load).
   std::vector<std::pair<cluster::NodeId, int>> applied_load_;
   std::vector<std::pair<size_t, double>> saved_times_;
   std::vector<size_t> affected_;
@@ -164,8 +167,14 @@ Result<double> SolverPass::predict_entry(
     return Err<double>(ErrorCode::kNotFound,
                        "no such option: " + choice.option);
   }
-  return opt_.predict_cached(entry.instance->id, *entry.bundle, *option,
-                             choice, alloc, load_, state_.topology);
+  // The overlay holds the trial plan at every call site (candidates are
+  // installed on it before scoring; accepted moves are absorbed before
+  // the commit re-score), so its effective_load *is* the plan's
+  // contention — no materialized load map.
+  return opt_.predict_cached(
+      entry.instance->id, *entry.bundle, *option, choice, alloc,
+      LoadView(static_cast<const cluster::ResourceView*>(&overlay_)),
+      state_.topology());
 }
 
 Result<cluster::Allocation> SolverPass::match_entry(
@@ -243,8 +252,9 @@ Status SolverPass::init(
     if (entries_[e].movable) slots_.push_back(e);
   }
 
-  // Contention map and per-entry predictions for the greedy plan.
-  load_ = state_.node_load();
+  // Per-entry predictions for the greedy plan (the clean overlay reads
+  // through to the live pool, whose effective_load is the plan's
+  // contention).
   time_index_.assign(state_.instances.size(), kNpos);
   std::vector<double> inst_time(state_.instances.size(), 0.0);
   std::vector<bool> participates(state_.instances.size(), false);
@@ -283,7 +293,8 @@ void SolverPass::rebuild_node_entries() {
 
 std::optional<double> SolverPass::score(const std::vector<Change>& changes,
                                         bool commit) {
-  // 1. Net contention delta of the proposed moves.
+  // 1. Net contention delta of the proposed moves — marking input only;
+  // the overlay already carries the trial's actual load.
   std::map<cluster::NodeId, int> delta;
   for (const Change& change : changes) {
     for (const auto& ae : entries_[change.entry].allocation.entries) {
@@ -293,13 +304,8 @@ std::optional<double> SolverPass::score(const std::vector<Change>& changes,
   }
   applied_load_.clear();
   for (const auto& [node, d] : delta) {
-    if (d == 0) continue;
-    load_[node] += d;
-    applied_load_.emplace_back(node, d);
+    if (d != 0) applied_load_.emplace_back(node, d);
   }
-  auto revert_load = [&] {
-    for (const auto& [node, d] : applied_load_) load_[node] -= d;
-  };
 
   // 2. Entries whose predictions can shift: the moved ones, plus every
   // load-reading entry allocated on a node whose contention changed.
@@ -335,7 +341,6 @@ std::optional<double> SolverPass::score(const std::vector<Change>& changes,
         change ? *change->alloc : entry.allocation;
     auto predicted = predict_entry(entry, choice, alloc);
     if (!predicted.ok() || !std::isfinite(predicted.value())) {
-      revert_load();
       return std::nullopt;  // e.g. prediction diverged: infeasible trial
     }
     double friction = change ? friction_for(entry, choice) : entry.friction;
@@ -358,7 +363,6 @@ std::optional<double> SolverPass::score(const std::vector<Change>& changes,
 
   if (!commit) {
     for (const auto& [ti, old] : saved_times_) times_[ti] = old;
-    revert_load();
     return objective;
   }
 

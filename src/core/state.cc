@@ -64,6 +64,45 @@ std::string InstanceState::path() const {
                                         static_cast<unsigned long long>(id));
 }
 
+cluster::Topology& SystemState::mutable_topology() {
+  HARMONY_ASSERT_MSG(owned_topology_ != nullptr,
+                     "adopted (shared) topologies are immutable");
+  return *owned_topology_;
+}
+
+void SystemState::adopt_topology(
+    std::shared_ptr<const cluster::Topology> topology) {
+  HARMONY_ASSERT(topology != nullptr);
+  HARMONY_ASSERT_MSG(pool == nullptr && topology_->node_count() == 0,
+                     "adopt_topology must precede any cluster build");
+  owned_topology_.reset();
+  topology_ = std::move(topology);
+}
+
+void SystemState::init_pool(std::vector<cluster::NodeId> scope) {
+  pool = scope.empty()
+             ? std::make_unique<cluster::ResourcePool>(topology_.get())
+             : std::make_unique<cluster::ResourcePool>(topology_.get(),
+                                                       std::move(scope));
+  node_version.assign(pool->slot_count(), 0);
+  node_load_version.assign(pool->slot_count(), 0);
+}
+
+void SystemState::extend_scope(const std::vector<cluster::NodeId>& nodes) {
+  HARMONY_ASSERT(pool != nullptr);
+  if (pool->scope() == nullptr) return;  // full-cluster pool covers all
+  std::vector<size_t> remap = pool->extend_scope(nodes);
+  if (remap.empty()) return;
+  std::vector<uint64_t> versions(pool->slot_count(), 0);
+  std::vector<uint64_t> load_versions(pool->slot_count(), 0);
+  for (size_t old_slot = 0; old_slot < remap.size(); ++old_slot) {
+    versions[remap[old_slot]] = node_version[old_slot];
+    load_versions[remap[old_slot]] = node_load_version[old_slot];
+  }
+  node_version = std::move(versions);
+  node_load_version = std::move(load_versions);
+}
+
 InstanceState* SystemState::find_instance(InstanceId id) {
   return const_cast<InstanceState*>(
       static_cast<const SystemState*>(this)->find_instance(id));
@@ -90,27 +129,30 @@ const InstanceState* SystemState::find_instance(InstanceId id) const {
 const std::vector<cluster::NodeId>& BundleState::admissible(
     const cluster::Topology& topology) const {
   if (admissible_cached) return admissible_nodes;
+  // Union of every requirement's match set, ascending by id — the same
+  // set (and order) a full node scan filtered per option would yield,
+  // but prefix/exact hostname patterns use the topology's indexed path
+  // instead of visiting every node.
   admissible_nodes.clear();
-  for (const auto& node : topology.nodes()) {
-    bool admits = false;
-    for (const auto& option : spec.options) {
-      for (const auto& req : option.nodes) {
-        if (!glob_match(req.hostname, node.hostname)) continue;
-        if (!req.os.empty() && node.os != req.os) continue;
-        admits = true;
-        break;
-      }
-      if (admits) break;
+  for (const auto& option : spec.options) {
+    for (const auto& req : option.nodes) {
+      auto matches = topology.match_nodes(req.hostname, req.os);
+      admissible_nodes.insert(admissible_nodes.end(), matches.begin(),
+                              matches.end());
     }
-    if (admits) admissible_nodes.push_back(node.id);
   }
+  std::sort(admissible_nodes.begin(), admissible_nodes.end());
+  admissible_nodes.erase(
+      std::unique(admissible_nodes.begin(), admissible_nodes.end()),
+      admissible_nodes.end());
   admissible_cached = true;
   return admissible_nodes;
 }
 
 void SystemState::touch_node(cluster::NodeId node) {
-  if (node >= node_version.size()) return;
-  node_version[node] = ++version;
+  const size_t slot = pool ? pool->slot_of(node) : cluster::NodeScope::kNoSlot;
+  if (slot >= node_version.size()) return;
+  node_version[slot] = ++version;
 }
 
 void SystemState::touch_allocation(const cluster::Allocation& allocation) {
@@ -124,15 +166,17 @@ void SystemState::touch_all() {
 }
 
 void SystemState::touch_node_load(cluster::NodeId node) {
-  if (node >= node_load_version.size()) return;
-  node_load_version[node] = ++version;
+  const size_t slot = pool ? pool->slot_of(node) : cluster::NodeScope::kNoSlot;
+  if (slot >= node_load_version.size()) return;
+  node_load_version[slot] = ++version;
 }
 
 uint64_t SystemState::max_node_version(
     const std::vector<cluster::NodeId>& nodes) const {
   uint64_t max = 0;
   for (cluster::NodeId node : nodes) {
-    if (node < node_version.size()) max = std::max(max, node_version[node]);
+    const size_t slot = pool ? pool->slot_of(node) : cluster::NodeScope::kNoSlot;
+    if (slot < node_version.size()) max = std::max(max, node_version[slot]);
   }
   return max;
 }
@@ -141,8 +185,9 @@ uint64_t SystemState::max_node_load_version(
     const std::vector<cluster::NodeId>& nodes) const {
   uint64_t max = 0;
   for (cluster::NodeId node : nodes) {
-    if (node < node_load_version.size()) {
-      max = std::max(max, node_load_version[node]);
+    const size_t slot = pool ? pool->slot_of(node) : cluster::NodeScope::kNoSlot;
+    if (slot < node_load_version.size()) {
+      max = std::max(max, node_load_version[slot]);
     }
   }
   return max;
@@ -150,35 +195,15 @@ uint64_t SystemState::max_node_load_version(
 
 PlanOverlay::PlanOverlay(const SystemState& state, const BundleState* bundle)
     : overlay_(state.pool.get()) {
-  // Base contention: every configured allocation except the bundle
-  // under optimization, mirroring SystemState::node_load()'s presence
-  // semantics (nodes appear only with a positive count).
-  for (const auto& instance : state.instances) {
-    for (const auto& other : instance.bundles) {
-      if (&other == bundle || !other.configured) continue;
-      for (const auto& entry : other.allocation.entries) {
-        ++base_load_[entry.node];
-      }
-    }
-  }
-  for (cluster::NodeId id = 0; id < state.topology.node_count(); ++id) {
-    int external = state.pool->external_load(id);
-    if (external > 0) base_load_[id] += external;
-  }
   // Release the bundle's current allocation inside the overlay only:
-  // candidates are matched as if this bundle held nothing.
+  // candidates are matched as if this bundle held nothing. Base
+  // contention needs no materialization — the overlay's effective_load
+  // already reports process count + external load per node.
   if (bundle != nullptr && bundle->configured) {
     auto released = cluster::Matcher::release(bundle->allocation, overlay_);
     HARMONY_ASSERT_MSG(released.ok(),
                        "releasing current allocation in overlay failed");
   }
-}
-
-std::map<cluster::NodeId, int> PlanOverlay::load_with(
-    const cluster::Allocation& candidate) const {
-  std::map<cluster::NodeId, int> load = base_load_;
-  for (const auto& entry : candidate.entries) ++load[entry.node];
-  return load;
 }
 
 std::map<cluster::NodeId, int> SystemState::node_load() const {
@@ -192,9 +217,13 @@ std::map<cluster::NodeId, int> SystemState::node_load() const {
     }
   }
   // Load from outside Harmony's control, as reported through the
-  // metric interface (§4.3).
+  // metric interface (§4.3). A scoped pool only tracks its own nodes.
   if (pool != nullptr) {
-    for (cluster::NodeId id = 0; id < topology.node_count(); ++id) {
+    const cluster::NodeScope* scope = pool->scope();
+    const size_t limit = scope ? scope->size() : topology().node_count();
+    for (size_t i = 0; i < limit; ++i) {
+      cluster::NodeId id =
+          scope ? scope->node_at(i) : static_cast<cluster::NodeId>(i);
       int external = pool->external_load(id);
       if (external > 0) load[id] += external;
     }

@@ -87,8 +87,31 @@ struct InstanceState {
 
 // The world the optimizer reasons about. Topology is fixed for the run;
 // the pool and instances evolve.
+//
+// Topology ownership: a standalone controller builds and owns its
+// topology (mutable until the cluster is finalized). A domain
+// controller instead *adopts* a finalized topology shared by every
+// domain of a DomainRouter — immutable by contract — and allocates its
+// pool and version arrays only over the node scope it owns, so domain
+// create/merge/split never does O(cluster) work.
 struct SystemState {
-  cluster::Topology topology;
+  SystemState()
+      : owned_topology_(std::make_shared<cluster::Topology>()),
+        topology_(owned_topology_) {}
+
+  const cluster::Topology& topology() const { return *topology_; }
+  // Build-phase mutation (add_node / add_link). Asserts on adopted
+  // (shared, immutable) topologies.
+  cluster::Topology& mutable_topology();
+  std::shared_ptr<const cluster::Topology> shared_topology() const {
+    return topology_;
+  }
+  bool owns_topology() const { return owned_topology_ != nullptr; }
+  // Replace the build-phase topology with a shared, already-finalized
+  // one. Must precede init_pool(); the previous owned topology (which
+  // must still be empty) is dropped.
+  void adopt_topology(std::shared_ptr<const cluster::Topology> topology);
+
   std::unique_ptr<cluster::ResourcePool> pool;
   std::vector<InstanceState> instances;
 
@@ -97,8 +120,8 @@ struct SystemState {
   // commit/release, external load report, node online flip).
   uint64_t version = 1;
   // Per-node version of the last *structural* change (allocation
-  // commit/release, online flip), indexed by NodeId; sized by
-  // init_pool().
+  // commit/release, online flip), indexed by pool slot (== NodeId for
+  // a full-cluster pool); sized by init_pool().
   std::vector<uint64_t> node_version;
   // Per-node version of the last external-load report. Load moves no
   // allocations — it only shifts contention-dependent predictions — so
@@ -107,11 +130,14 @@ struct SystemState {
   // Optimizer::can_skip and core::model_reads).
   std::vector<uint64_t> node_load_version;
 
-  void init_pool() {
-    pool = std::make_unique<cluster::ResourcePool>(&topology);
-    node_version.assign(topology.node_count(), 0);
-    node_load_version.assign(topology.node_count(), 0);
-  }
+  // Full-cluster pool when `scope` is empty; otherwise dense state only
+  // for the scoped nodes (a domain footprint).
+  void init_pool(std::vector<cluster::NodeId> scope = {});
+  // Grow a scoped pool (and the version arrays beside it) to cover
+  // `nodes`, preserving per-node state and version stamps. No-op on a
+  // full-cluster pool.
+  void extend_scope(const std::vector<cluster::NodeId>& nodes);
+
   InstanceState* find_instance(InstanceId id);
   const InstanceState* find_instance(InstanceId id) const;
 
@@ -128,37 +154,37 @@ struct SystemState {
       const std::vector<cluster::NodeId>& nodes) const;
 
   // Planned tasks per node, derived from every configured allocation.
-  // This is the contention input to the default performance model.
+  // Diagnostics / console / offline probes only: the decision path
+  // reads contention straight off the pool through LoadView instead of
+  // materializing this map.
   std::map<cluster::NodeId, int> node_load() const;
+
+ private:
+  std::shared_ptr<cluster::Topology> owned_topology_;  // null once adopted
+  std::shared_ptr<const cluster::Topology> topology_;  // always set
 };
 
 // Speculative view for candidate evaluation: a PoolOverlay over the
 // live pool with the bundle-under-optimization's current allocation
-// released, plus the contention base load of everyone else. Candidates
-// are matched and predicted against this view; live SystemState is
-// untouched until the optimizer commits the winner (or never, when the
-// plan is discarded).
+// released. Candidates are matched and predicted against this view;
+// live SystemState is untouched until the optimizer commits the winner
+// (or never, when the plan is discarded).
+//
+// Contention reads go straight through the overlay: once a candidate
+// is installed on it (between mark() and rewind()), effective_load at
+// each allocated node equals what SystemState::node_load() would
+// report with the candidate committed — so prediction wraps the
+// overlay in a LoadView and never materializes a load map.
 class PlanOverlay {
  public:
   // `bundle` may be null (plan over the full system, releasing nothing).
   PlanOverlay(const SystemState& state, const BundleState* bundle);
 
   cluster::PoolOverlay& pool() { return overlay_; }
-
-  // Planned tasks per node for every configured bundle except the one
-  // under optimization, external load included — i.e. what
-  // SystemState::node_load() would report with that bundle absent.
-  const std::map<cluster::NodeId, int>& base_load() const {
-    return base_load_;
-  }
-  // base_load() plus one task per entry of `candidate` — exactly what
-  // SystemState::node_load() would report with the candidate installed.
-  std::map<cluster::NodeId, int> load_with(
-      const cluster::Allocation& candidate) const;
+  const cluster::PoolOverlay& pool() const { return overlay_; }
 
  private:
   cluster::PoolOverlay overlay_;
-  std::map<cluster::NodeId, int> base_load_;
 };
 
 }  // namespace harmony::core

@@ -457,18 +457,18 @@ Status Persistence::snapshot_now() {
                    format_u64(controller_->reconfigurations()),
                    format_number(controller_->now())}));
 
-  for (const auto& node : state.topology.nodes()) {
+  for (const auto& node : state.topology().nodes()) {
     emit(list_build({"NODE", node.hostname, format_number(node.speed),
                      format_number(node.memory_mb), node.os}));
   }
-  for (const auto& link : state.topology.links()) {
-    emit(list_build({"LINK", state.topology.node(link.a).hostname,
-                     state.topology.node(link.b).hostname,
+  for (const auto& link : state.topology().links()) {
+    emit(list_build({"LINK", state.topology().node(link.a).hostname,
+                     state.topology().node(link.b).hostname,
                      format_number(link.bandwidth_mbps),
                      format_number(link.latency_ms)}));
   }
   if (state.pool != nullptr) {
-    for (const auto& node : state.topology.nodes()) {
+    for (const auto& node : state.topology().nodes()) {
       if (!state.pool->is_online(node.id)) {
         emit(list_build({"OFFLINE", node.hostname}));
       }
@@ -488,7 +488,7 @@ Status Persistence::snapshot_now() {
             {entry.requirement.role, str_format("%d", entry.requirement.index),
              entry.requirement.hostname_glob, entry.requirement.os,
              format_number(entry.requirement.memory_mb),
-             state.topology.node(entry.node).hostname}));
+             state.topology().node(entry.node).hostname}));
       }
       emit(list_build({"BST", format_u64(instance.id), bundle.spec.bundle,
                        bundle.configured ? "1" : "0",

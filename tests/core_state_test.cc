@@ -71,8 +71,8 @@ TEST(InstanceState, FindBundleAndPath) {
 
 TEST(SystemState, NodeLoadCountsConfiguredAllocations) {
   SystemState state;
-  ASSERT_TRUE(state.topology.add_node("a", 1, 64).ok());
-  ASSERT_TRUE(state.topology.add_node("b", 1, 64).ok());
+  ASSERT_TRUE(state.mutable_topology().add_node("a", 1, 64).ok());
+  ASSERT_TRUE(state.mutable_topology().add_node("b", 1, 64).ok());
   state.init_pool();
 
   InstanceState i1;

@@ -35,7 +35,14 @@ void expect_accounting_exact(const Controller& controller) {
     }
   }
   const auto& pool = *controller.state().pool;
+  const cluster::NodeScope* scope = pool.scope();
   for (const auto& node : controller.topology().nodes()) {
+    if (scope != nullptr &&
+        scope->slot(node.id) == cluster::NodeScope::kNoSlot) {
+      // Scoped domain pool: nothing may ever be placed off-scope.
+      EXPECT_EQ(placements.count(node.id), 0u) << node.hostname;
+      continue;
+    }
     double expected_free = node.memory_mb - reserved[node.id];
     EXPECT_NEAR(pool.available_memory(node.id), expected_free, 1e-6)
         << node.hostname;

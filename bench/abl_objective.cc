@@ -40,7 +40,7 @@ Outcome run_with_objective(const std::string& objective) {
   rigid.workers = 2;
   auto simple_id = controller.register_script(simple_bundle_script(rigid));
   BagConfig bag;
-  auto bag_id = controller.register_script(bag_bundle_script(bag));
+  auto bag_id = controller.register_script(bag_bundle_script(bag).value());
   if (!simple_id.ok() || !bag_id.ok()) {
     outcome.ok = false;
     return outcome;

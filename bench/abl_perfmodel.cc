@@ -45,7 +45,7 @@ double measured_iteration_time(int workers) {
 Result<double> predict_with(core::Predictor::Model model, int workers) {
   BagConfig config;
   config.workers = "1 2 3 4 5 6 7 8";
-  std::string script = bag_bundle_script(config);
+  std::string script = bag_bundle_script(config).value();
 
   rsl::RslHost host;
   rsl::BundleSpec bundle;

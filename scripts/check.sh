@@ -31,15 +31,17 @@ run_config asan build-asan -DHARMONY_SANITIZE=ON
 
 # TSan: only the multi-threaded decision-core suite — building the
 # whole tree under a third config would double the sweep for tests
-# that never leave one thread.
+# that never leave one thread. apps_malleable_test rides along: the
+# mid-iteration resize storm exercises the join/retire protocol.
 echo "=== [tsan] configure ==="
 cmake -B build-tsan -S . -DHARMONY_TSAN=ON
 echo "=== [tsan] build ==="
 cmake --build build-tsan -j "$jobs" \
-  --target core_domain_test core_storm_test core_solver_test core_scale_test
+  --target core_domain_test core_storm_test core_solver_test \
+  core_scale_test apps_malleable_test
 echo "=== [tsan] test ==="
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R '^core_(domain|storm|solver|scale)_test$'
+  -R '^(core_(domain|storm|solver|scale)|apps_malleable)_test$'
 
 # Anytime-allocator gates at smoke scale: budget_ms = 0 bit-identity,
 # solver <= greedy, strict improvement on packing-stress. Does not
@@ -64,5 +66,13 @@ cmake --build build -j "$jobs" --target abl_failover
 echo "=== [bench] abl_scale --smoke ==="
 cmake --build build -j "$jobs" --target abl_scale
 ./build/bench/abl_scale --smoke
+
+# Malleability gates at smoke scale: live grow/shrink strictly improves
+# the bag+interactive mix, deadline tardiness ~0 under preemption, and
+# the decision path is bit-identical with malleability off. The sim
+# clock makes this deterministic and sub-second.
+echo "=== [bench] abl_malleable --smoke ==="
+cmake --build build -j "$jobs" --target abl_malleable
+./build/bench/abl_malleable --smoke
 
 echo "=== all configs green ==="

@@ -1,21 +1,32 @@
 #include "apps/bag_app.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace harmony::apps {
 
-std::string bag_bundle_script(const BagConfig& config) {
+Result<std::string> bag_bundle_script(const BagConfig& config) {
   // Performance points follow the app's own scaling law
   // t(w) = sequential + parallel / w, evaluated at each worker count —
   // the piecewise-linear model of §3.4.
   std::string points;
   auto workers = split_whitespace(config.workers);
+  if (workers.empty()) {
+    return Err<std::string>(ErrorCode::kInvalidArgument,
+                            "BagConfig.workers declares no worker counts");
+  }
   for (const auto& w : workers) {
-    double count = 1;
-    (void)parse_double(w, &count);
+    double count = 0;
+    if (!parse_double(w, &count) || !std::isfinite(count) || count <= 0) {
+      return Err<std::string>(
+          ErrorCode::kInvalidArgument,
+          str_format("BagConfig.workers has invalid count \"%s\": worker "
+                     "counts must be positive numbers",
+                     w.c_str()));
+    }
     points += str_format("{%s %g} ", w.c_str(),
                          config.sequential_ref_s +
                              config.parallel_ref_s / count);
@@ -46,12 +57,23 @@ BagApp::BagApp(SimContext ctx, BagConfig config)
 }
 
 Status BagApp::start() {
-  auto status = client_->startup(str_format("Bag-%d", config_.instance));
+  auto status = client_->startup(str_format("Bag-%d", config_.instance),
+                                 config_.malleable);
   if (!status.ok()) return status;
-  status = client_->bundle_setup(bag_bundle_script(config_));
+  auto script = bag_bundle_script(config_);
+  if (!script.ok()) {
+    return Status(script.error().code, script.error().message);
+  }
+  status = client_->bundle_setup(script.value());
   if (!status.ok()) return status;
   client_->add_variable("workerNodes", "1");
   client_->add_variable("parallelism.worker.nodes", "");
+  if (config_.malleable) {
+    client_->set_interrupt_handler(
+        [this](const std::string& name, const std::string&) {
+          if (name == "parallelism.worker.nodes") on_workers_changed();
+        });
+  }
   status = client_->wait_for_update();
   if (!status.ok()) return status;
   status = refresh_workers();
@@ -62,12 +84,8 @@ Status BagApp::start() {
 
 void BagApp::stop() { stop_requested_ = true; }
 
-Status BagApp::refresh_workers() {
-  client_->poll_updates();
+Status BagApp::apply_worker_list() {
   auto hosts = client_->var_list("parallelism.worker.nodes");
-  if (hosts.empty()) {
-    return Status(ErrorCode::kNotFound, "no workers assigned");
-  }
   std::vector<cluster::NodeId> nodes;
   for (const auto& host : hosts) {
     auto node = ctx_.node_of(host);
@@ -84,6 +102,21 @@ Status BagApp::refresh_workers() {
   return Status::Ok();
 }
 
+Status BagApp::refresh_workers() {
+  client_->poll_updates();
+  auto status = apply_worker_list();
+  if (!status.ok()) return status;
+  if (worker_nodes_.empty()) {
+    return Status(ErrorCode::kNotFound, "no workers assigned");
+  }
+  return Status::Ok();
+}
+
+bool BagApp::is_active(cluster::NodeId worker) const {
+  return std::find(worker_nodes_.begin(), worker_nodes_.end(), worker) !=
+         worker_nodes_.end();
+}
+
 void BagApp::begin_iteration() {
   if (stop_requested_ ||
       (config_.max_iterations > 0 &&
@@ -97,7 +130,21 @@ void BagApp::begin_iteration() {
     }
     return;
   }
+  // Shrink-to-empty guard: a displaced or fully-preempted bundle pushes
+  // an empty assignment. A malleable app idles until the controller
+  // grows it again; a polling app has no wake-up and winds down.
+  if (worker_nodes_.empty()) {
+    if (config_.malleable) {
+      waiting_for_workers_ = true;
+      return;
+    }
+    HLOG_WARN("bag_app") << metric_name_
+                         << ": no workers assigned, stopping";
+    finished_ = true;
+    return;
+  }
   iteration_started_ = ctx_.now();
+  master_node_ = worker_nodes_[0];
   // Fill the task pool with perturbed task sizes summing to
   // parallel_ref_s on average.
   task_pool_.clear();
@@ -107,37 +154,55 @@ void BagApp::begin_iteration() {
     double jitter = 1.0 + config_.task_jitter * (2.0 * rng_.next_double() - 1.0);
     task_pool_.push_back(mean_task * jitter);
   }
-  // Sequential master phase on worker 0.
-  ctx_.cpu->submit(worker_nodes_[0], config_.sequential_ref_s,
+  // Sequential master phase on the iteration's master node.
+  ctx_.cpu->submit(master_node_, config_.sequential_ref_s,
                    [this] { run_parallel_phase(); });
 }
 
 void BagApp::run_parallel_phase() {
   tasks_outstanding_ = 0;
-  for (size_t w = 0; w < worker_nodes_.size(); ++w) {
-    worker_pull(w);
-  }
+  in_parallel_phase_ = true;
+  active_loops_.clear();
+  // Snapshot the assignment: the loop set may change mid-phase.
+  std::vector<cluster::NodeId> snapshot = worker_nodes_;
+  for (cluster::NodeId worker : snapshot) start_pull_loop(worker);
 }
 
-void BagApp::worker_pull(size_t worker_index) {
-  if (task_pool_.empty()) {
-    if (tasks_outstanding_ == 0) end_iteration();
+void BagApp::start_pull_loop(cluster::NodeId worker) {
+  ++active_loops_[worker];
+  worker_pull(worker);
+}
+
+void BagApp::retire_pull_loop(cluster::NodeId worker) {
+  auto it = active_loops_.find(worker);
+  if (it != active_loops_.end() && --it->second <= 0) active_loops_.erase(it);
+}
+
+void BagApp::worker_pull(cluster::NodeId worker) {
+  if (!in_parallel_phase_) return;
+  // Retire: the worker was de-assigned (its in-flight task, if any,
+  // already returned) or the pool ran dry.
+  if (task_pool_.empty() || !is_active(worker)) {
+    retire_pull_loop(worker);
+    if (task_pool_.empty() && tasks_outstanding_ == 0) {
+      in_parallel_phase_ = false;
+      end_iteration();
+    }
     return;
   }
   double work = task_pool_.back();
   task_pool_.pop_back();
   ++tasks_outstanding_;
-  cluster::NodeId master = worker_nodes_[0];
-  cluster::NodeId worker = worker_nodes_[worker_index % worker_nodes_.size()];
+  cluster::NodeId master = master_node_;
   // Fetch the task from the master, compute, return the result, pull
   // again.
   auto fetch = ctx_.net->transfer(master, worker, config_.task_message_mb,
-                                  [this, worker_index, worker, master, work] {
-    ctx_.cpu->submit(worker, work, [this, worker_index, worker, master] {
+                                  [this, worker, master, work] {
+    ctx_.cpu->submit(worker, work, [this, worker, master] {
       auto ret = ctx_.net->transfer(worker, master, config_.task_message_mb,
-                                    [this, worker_index] {
+                                    [this, worker] {
         --tasks_outstanding_;
-        worker_pull(worker_index);
+        worker_pull(worker);
       });
       HARMONY_ASSERT(ret.ok());
     });
@@ -145,10 +210,40 @@ void BagApp::worker_pull(size_t worker_index) {
   HARMONY_ASSERT(fetch.ok());
 }
 
+void BagApp::on_workers_changed() {
+  auto status = apply_worker_list();
+  if (!status.ok()) {
+    HLOG_WARN("bag_app") << "worker update failed: " << status.to_string();
+    return;
+  }
+  if (waiting_for_workers_ && !worker_nodes_.empty()) {
+    waiting_for_workers_ = false;
+    begin_iteration();
+    return;
+  }
+  if (!in_parallel_phase_) return;
+  // Join: start a pull loop for every assigned slot the node does not
+  // already run. De-assigned nodes retire lazily at their next pull —
+  // they finish the task in flight first.
+  std::map<cluster::NodeId, int> desired;
+  for (cluster::NodeId worker : worker_nodes_) ++desired[worker];
+  for (const auto& [worker, want] : desired) {
+    auto it = active_loops_.find(worker);
+    int have = it == active_loops_.end() ? 0 : it->second;
+    for (; have < want; ++have) start_pull_loop(worker);
+  }
+}
+
 void BagApp::end_iteration() {
   ++iterations_completed_;
   ctx_.metrics->record(metric_name_, ctx_.now(),
                        ctx_.now() - iteration_started_);
+  if (config_.malleable) {
+    // Interrupt mode applied every update eagerly; just start the next
+    // iteration on whatever the assignment is now.
+    begin_iteration();
+    return;
+  }
   // Natural reconfiguration point: re-read Harmony's worker assignment.
   auto status = refresh_workers();
   if (!status.ok()) {

@@ -2,11 +2,16 @@
 // Each iteration has a sequential master phase followed by a pool of
 // unevenly-sized tasks that idle workers pull, compute, and return —
 // "relatively crude load-balancing on arbitrarily-shaped tasks". The
-// worker count is a Harmony variable; the app re-reads it at the end of
-// each iteration (its natural reconfiguration granularity, like the
-// paper's outer-loop HPF example).
+// worker count is a Harmony variable; by default the app re-reads it at
+// the end of each iteration (its natural reconfiguration granularity,
+// like the paper's outer-loop HPF example). With `malleable` set, the
+// app runs in interrupt mode instead and applies assignment changes
+// *mid-iteration*: newly assigned workers join the pull loop
+// immediately, de-assigned workers finish their in-flight task and
+// retire — the DMR-style worker join/retire protocol.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,11 +34,18 @@ struct BagConfig {
   std::string workers = "1 2 3 4 5 6 7 8";
   double granularity_s = 0.0;
   int max_iterations = 0;  // 0 = run until stop()
+  // Live malleability: run in interrupt mode and apply worker
+  // assignment changes mid-iteration (join/retire) instead of only at
+  // iteration boundaries.
+  bool malleable = false;
 };
 
 // Figure 2(b)-style bundle whose performance points match what this
-// app measurably does: t(w) ~= sequential + parallel/w.
-std::string bag_bundle_script(const BagConfig& config);
+// app measurably does: t(w) ~= sequential + parallel/w. Fails with
+// kInvalidArgument when `config.workers` is empty or contains a
+// non-numeric or nonpositive count (which would otherwise emit a
+// division-by-zero performance point).
+Result<std::string> bag_bundle_script(const BagConfig& config);
 
 class BagApp {
  public:
@@ -52,9 +64,19 @@ class BagApp {
  private:
   void begin_iteration();
   void run_parallel_phase();
-  void worker_pull(size_t worker_index);
+  // One worker's pull loop, keyed by node identity so the loop stays
+  // attached to its node while the assignment list changes underneath.
+  void worker_pull(cluster::NodeId worker);
+  void start_pull_loop(cluster::NodeId worker);
+  void retire_pull_loop(cluster::NodeId worker);
   void end_iteration();
+  // True while `worker` appears in the current assignment.
+  bool is_active(cluster::NodeId worker) const;
+  // Re-reads the assignment variable into worker_nodes_.
+  Status apply_worker_list();
   Status refresh_workers();
+  // Interrupt-mode reaction to a mid-iteration assignment change.
+  void on_workers_changed();
 
   SimContext ctx_;
   BagConfig config_;
@@ -62,8 +84,16 @@ class BagApp {
   std::unique_ptr<client::HarmonyClient> client_;
   Rng rng_;
   std::vector<cluster::NodeId> worker_nodes_;
+  cluster::NodeId master_node_ = 0;  // fixed for the iteration in flight
   std::vector<double> task_pool_;  // remaining task sizes (ref seconds)
   int tasks_outstanding_ = 0;
+  // Running pull loops per node; a grow only starts loops the node does
+  // not already have, a shrink retires loops lazily at their next pull.
+  std::map<cluster::NodeId, int> active_loops_;
+  bool in_parallel_phase_ = false;
+  // Malleable mode, zero workers assigned: the app idles until the next
+  // assignment interrupt instead of crashing or giving up.
+  bool waiting_for_workers_ = false;
   double iteration_started_ = 0;
   int iterations_completed_ = 0;
   bool stop_requested_ = false;

@@ -1,0 +1,126 @@
+#include "apps/interactive_app.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace harmony::apps {
+
+std::string interactive_bundle_script(const InteractiveConfig& config) {
+  // No performance tag: the load-reading default model predicts the
+  // response from the server node's speed and resident load, which is
+  // exactly what couples co-located batch work to the tardiness term.
+  return str_format(
+      "harmonyBundle Interactive:%d service {\n"
+      "  {serve\n"
+      "    {node server {seconds %g} {memory %g}}\n"
+      "    {period %g}\n"
+      "    {tardiness %g}}\n"
+      "}\n",
+      config.instance, config.service_ref_s, config.memory_mb,
+      config.period_s, config.tardiness_weight);
+}
+
+InteractiveApp::InteractiveApp(SimContext ctx, InteractiveConfig config)
+    : ctx_(ctx),
+      config_(std::move(config)),
+      response_metric_(
+          str_format("interactive.%d.response_time", config_.instance)),
+      tardiness_metric_(
+          str_format("interactive.%d.tardiness", config_.instance)) {
+  transport_ = std::make_unique<client::InProcTransport>(ctx_.controller);
+  client_ = std::make_unique<client::HarmonyClient>(transport_.get());
+}
+
+Status InteractiveApp::start() {
+  auto status =
+      client_->startup(str_format("Interactive-%d", config_.instance));
+  if (!status.ok()) return status;
+  status = client_->bundle_setup(interactive_bundle_script(config_));
+  if (!status.ok()) return status;
+  client_->add_variable("service.server.nodes", "");
+  status = client_->wait_for_update();
+  if (!status.ok()) return status;
+  refresh_node();
+  if (!have_node_) {
+    return Status(ErrorCode::kNoMatch, "no server node assigned");
+  }
+  request_arrival();
+  return Status::Ok();
+}
+
+void InteractiveApp::stop() { stop_requested_ = true; }
+
+void InteractiveApp::refresh_node() {
+  client_->poll_updates();
+  auto hosts = client_->var_list("service.server.nodes");
+  if (hosts.empty()) {
+    have_node_ = false;
+    return;
+  }
+  auto node = ctx_.node_of(hosts.front());
+  if (!node.ok()) {
+    have_node_ = false;
+    return;
+  }
+  if (have_node_ && node.value() != server_node_) {
+    HLOG_INFO("interactive_app")
+        << response_metric_ << " migrated at t=" << ctx_.now();
+  }
+  server_node_ = node.value();
+  have_node_ = true;
+}
+
+void InteractiveApp::request_arrival() {
+  if (stop_requested_ ||
+      (config_.max_requests > 0 &&
+       requests_started_ >= config_.max_requests)) {
+    if (requests_in_flight_ == 0 && !finished_) {
+      finished_ = true;
+      if (client_->registered()) {
+        auto status = client_->end();
+        if (!status.ok()) {
+          HLOG_WARN("interactive_app")
+              << "harmony_end failed: " << status.to_string();
+        }
+      }
+    }
+    return;
+  }
+  ++requests_started_;
+  const double arrival = ctx_.now();
+  // Request boundary: pick up any migration Harmony pushed since.
+  refresh_node();
+  if (have_node_) {
+    ++requests_in_flight_;
+    ctx_.cpu->submit(server_node_, config_.service_ref_s,
+                     [this, arrival] { request_complete(arrival); });
+  } else {
+    // Unserved request: fully late by construction.
+    ++requests_completed_;
+    tardiness_total_ += config_.period_s;
+    ctx_.metrics->record(tardiness_metric_, ctx_.now(), config_.period_s);
+  }
+  // Open-loop cadence: the next request arrives on schedule whether or
+  // not this one finished.
+  ctx_.engine->schedule(config_.period_s, [this] { request_arrival(); });
+}
+
+void InteractiveApp::request_complete(double arrival) {
+  --requests_in_flight_;
+  const double response = ctx_.now() - arrival;
+  const double tardiness = std::max(0.0, response - config_.period_s);
+  ++requests_completed_;
+  tardiness_total_ += tardiness;
+  ctx_.metrics->record(response_metric_, ctx_.now(), response);
+  ctx_.metrics->record(tardiness_metric_, ctx_.now(), tardiness);
+  // The stream may have been stopped while this request was in flight.
+  if (stop_requested_ ||
+      (config_.max_requests > 0 &&
+       requests_started_ >= config_.max_requests)) {
+    request_arrival();
+  }
+}
+
+}  // namespace harmony::apps

@@ -1,0 +1,72 @@
+// A deadline-carrying interactive application: an open-loop stream of
+// requests arrives every `period_s`; each request costs
+// `service_ref_s` CPU seconds on the app's server node. The bundle
+// declares the period as its deadline ({period}/{tardiness}, the
+// deadline/period resource model), and its performance model is the
+// load-reading default — so any batch work co-located on the server
+// node inflates the predicted response past the deadline, the
+// objective's tardiness term charges for it, and the optimizer
+// preempts the batch app's capacity. Per-request tardiness lands in
+// the `interactive.N.tardiness` metric.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "apps/sim_context.h"
+#include "client/client.h"
+
+namespace harmony::apps {
+
+struct InteractiveConfig {
+  int instance = 1;
+  double period_s = 60.0;       // request cadence == implicit deadline
+  double service_ref_s = 20.0;  // per-request work on the reference CPU
+  double memory_mb = 32.0;
+  double tardiness_weight = 5.0;  // lateness is worth 5x a batch second
+  int max_requests = 0;  // 0 = run until stop()
+};
+
+std::string interactive_bundle_script(const InteractiveConfig& config);
+
+class InteractiveApp {
+ public:
+  InteractiveApp(SimContext ctx, InteractiveConfig config);
+
+  Status start();
+  // Serves out the in-flight request, then deregisters.
+  void stop();
+  bool finished() const { return finished_; }
+
+  int requests_completed() const { return requests_completed_; }
+  // Mean tardiness (seconds late per request) over completed requests.
+  double mean_tardiness() const {
+    return requests_completed_ > 0
+               ? tardiness_total_ / requests_completed_
+               : 0.0;
+  }
+  const std::string& tardiness_metric() const { return tardiness_metric_; }
+  core::InstanceId instance_id() const { return client_->instance_id(); }
+
+ private:
+  void request_arrival();
+  void request_complete(double arrival);
+  void refresh_node();
+
+  SimContext ctx_;
+  InteractiveConfig config_;
+  std::unique_ptr<client::InProcTransport> transport_;
+  std::unique_ptr<client::HarmonyClient> client_;
+  cluster::NodeId server_node_ = 0;
+  bool have_node_ = false;
+  int requests_started_ = 0;
+  int requests_completed_ = 0;
+  int requests_in_flight_ = 0;
+  double tardiness_total_ = 0;
+  bool stop_requested_ = false;
+  bool finished_ = false;
+  std::string response_metric_;
+  std::string tardiness_metric_;
+};
+
+}  // namespace harmony::apps

@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <set>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -344,6 +345,62 @@ Status Controller::set_option(InstanceId id, const std::string& bundle,
   return Status::Ok();
 }
 
+Status Controller::resize(InstanceId id, const std::string& bundle,
+                          double workers) {
+  assert_owner();
+  if (!cluster_finalized()) {
+    return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
+  }
+  InstanceState* instance = state_.find_instance(id);
+  if (instance == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such instance");
+  }
+  BundleState* target = instance->find_bundle(bundle);
+  if (target == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such bundle: " + bundle);
+  }
+  if (!target->configured) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "bundle not configured: " + bundle);
+  }
+  const rsl::OptionSpec* option =
+      target->spec.find_option(target->choice.option);
+  if (option == nullptr || option->variables.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "configured option exposes no parallelism variable");
+  }
+  const rsl::VariableSpec& variable = option->variables.front();
+  // The new degree must be one of the application's exposed
+  // alternatives — which also rejects nonpositive degrees, since a
+  // valid bundle never declares them.
+  if (workers <= 0 ||
+      std::find(variable.values.begin(), variable.values.end(), workers) ==
+          variable.values.end()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  str_format("degree %g is not a declared value of %s.%s",
+                             workers, bundle.c_str(),
+                             variable.name.c_str()));
+  }
+  OptionChoice choice = target->choice;
+  choice.variables[variable.name] = workers;
+  if (choice == target->choice) return Status::Ok();  // already there
+
+  EpochScope epoch(*this);
+  auto decision = optimizer_->apply_choice(state_, id, bundle, choice, now());
+  if (!decision.ok()) {
+    return Status(decision.error().code, decision.error().message);
+  }
+  apply_decisions({decision.value()});
+  metrics_.record(instance->path() + "." + bundle + ".degree", now(), workers);
+  ControllerEvent event;
+  event.kind = ControllerEvent::Kind::kResize;
+  event.instance = id;
+  event.text = bundle;
+  event.value = workers;
+  emit_event(std::move(event));
+  return Status::Ok();
+}
+
 Status Controller::set_node_online(const std::string& hostname, bool online) {
   assert_owner();
   if (!cluster_finalized()) {
@@ -561,7 +618,13 @@ Status Controller::subscribe(InstanceId id, UpdateHandler handler) {
   EpochScope epoch(*this);
   subscribers_[id] = std::move(handler);
   // Send the instance its current configuration immediately so late
-  // subscribers do not miss the arrival decision.
+  // subscribers do not miss the arrival decision. Anything still queued
+  // from before the subscription (the arrival decision, or decisions
+  // replayed from the journal while no subscriber existed) is
+  // superseded by this replay — dropping it is what guarantees a
+  // resumed client observes only the latest configuration, never an
+  // intermediate one.
+  pending_vars_[id].clear();
   const InstanceState* instance = state_.find_instance(id);
   std::vector<Decision> synthetic;
   for (const auto& bundle : instance->bundles) {
@@ -630,6 +693,18 @@ Result<std::vector<std::pair<InstanceId, double>>> Controller::predictions()
   return optimizer_->predict_all(state_);
 }
 
+std::vector<std::tuple<InstanceId, double, double>> Controller::deadline_terms()
+    const {
+  std::vector<std::tuple<InstanceId, double, double>> out;
+  for (const auto& instance : state_.instances) {
+    double deadline = 0, weight = 1;
+    if (instance_deadline(instance, &deadline, &weight)) {
+      out.emplace_back(instance.id, deadline, weight);
+    }
+  }
+  return out;
+}
+
 const BundleState* Controller::bundle_state(InstanceId id,
                                             const std::string& bundle) const {
   const InstanceState* instance = state_.find_instance(id);
@@ -677,8 +752,18 @@ void Controller::queue_updates(const InstanceState& instance,
     if (queue.empty()) pending_dirty_.push_back(instance.id);
     if (!bundle->configured) {
       // Displaced with nowhere to go: the application learns its bundle
-      // currently has no configuration.
+      // currently has no configuration, and every role's placement
+      // variables are cleared so pollers and interrupt handlers never
+      // read a stale host list.
       queue.emplace_back(decision.bundle, "");
+      std::set<std::string> roles;
+      for (const auto& option : bundle->spec.options) {
+        for (const auto& node : option.nodes) roles.insert(node.role);
+      }
+      for (const auto& role : roles) {
+        queue.emplace_back(decision.bundle + "." + role + ".node", "");
+        queue.emplace_back(decision.bundle + "." + role + ".nodes", "");
+      }
       continue;
     }
     queue.emplace_back(decision.bundle, bundle->choice.option);

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "core/namespace.h"
@@ -60,6 +61,7 @@ struct ControllerEvent {
     kNodeOnline,    // text = hostname, value = 1 (online) / 0 (offline)
     kSetOption,     // instance, text = bundle name, choice
     kReevaluate,    // periodic adaptation pass
+    kResize,        // instance, text = bundle name, value = new degree
   };
   Kind kind = Kind::kReevaluate;
   double time = 0;          // controller now() when the event applied
@@ -190,6 +192,16 @@ class Controller {
   // reconfiguration.
   Status set_option(InstanceId id, const std::string& bundle,
                     const OptionChoice& choice);
+  // Live malleability (the DMR-style grow/shrink verb): change the
+  // degree of parallelism of a *running* bundle by moving its
+  // parallelism variable — the configured option's first declared
+  // variable — to `workers`. The new degree must be one of the
+  // variable's declared values (the application's exposed
+  // alternatives; nonpositive or undeclared degrees are rejected), and
+  // the rest of the choice (option, memory grant) is preserved. The
+  // reconfiguration is resource-matched, journaled as a kResize event,
+  // and pushed to the application like any other decision.
+  Status resize(InstanceId id, const std::string& bundle, double workers);
 
   // Node deletion/addition at runtime ("adapt to changes in their
   // execution environment due to ... the addition or deletion of
@@ -264,6 +276,12 @@ class Controller {
   metric::MetricRegistry& metrics() { return metrics_; }
   Result<double> objective_value() const;
   Result<std::vector<std::pair<InstanceId, double>>> predictions() const;
+  // Per-instance deadline declarations of the live configuration: (id,
+  // effective deadline, tardiness weight) for every configured instance
+  // whose chosen options declare one. The domain router merges these
+  // with the merged predictions so the global objective prices
+  // tardiness exactly as a single controller would.
+  std::vector<std::tuple<InstanceId, double, double>> deadline_terms() const;
   const BundleState* bundle_state(InstanceId id,
                                   const std::string& bundle) const;
   uint64_t reconfigurations() const { return reconfigurations_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <optional>
 #include <utility>
 
@@ -923,6 +924,23 @@ Status DomainRouter::set_option(InstanceId id, const std::string& bundle,
       });
 }
 
+Status DomainRouter::resize(InstanceId id, const std::string& bundle,
+                            double workers) {
+  if (!cluster_finalized()) {
+    return Status(ErrorCode::kInvalidArgument, "cluster not finalized");
+  }
+  auto it = instance_domain_.find(id);
+  if (it == instance_domain_.end()) {
+    return Status(ErrorCode::kNotFound, "no such instance");
+  }
+  Domain& domain = *domains_.at(it->second);
+  const double time = sample_now();
+  return run_on_domain<Status>(
+      domain, time, [id, &bundle, workers](Controller& c) {
+        return c.resize(id, bundle, workers);
+      });
+}
+
 Status DomainRouter::subscribe(InstanceId id,
                                Controller::UpdateHandler handler) {
   auto it = instance_domain_.find(id);
@@ -1022,7 +1040,25 @@ Result<double> DomainRouter::objective_value() const {
   std::vector<double> times;
   times.reserve(merged.value().size());
   for (const auto& [id, t] : merged.value()) times.push_back(t);
-  return objective_->evaluate(times);
+  // Deadline declarations merged from every domain (id-keyed, so the
+  // term order matches a global controller's instance order). Without
+  // deadlines, terms stays empty and the evaluation is bit-identical.
+  std::map<InstanceId, std::pair<double, double>> deadlines;
+  for (const auto& [did, domain] : domains_) {
+    for (const auto& [iid, deadline, weight] :
+         domain->controller->deadline_terms()) {
+      deadlines[iid] = {deadline, weight};
+    }
+  }
+  std::vector<DeadlineTerm> terms;
+  if (!deadlines.empty()) {
+    for (const auto& [id, t] : merged.value()) {
+      auto found = deadlines.find(id);
+      if (found == deadlines.end()) continue;
+      terms.push_back({t, found->second.first, found->second.second});
+    }
+  }
+  return objective_->evaluate_with_deadlines(times, terms);
 }
 
 std::vector<DomainRouter::DomainInfo> DomainRouter::snapshot() const {

@@ -127,6 +127,9 @@ class DomainRouter {
   Status reevaluate();
   Status set_option(InstanceId id, const std::string& bundle,
                     const OptionChoice& choice);
+  // Live grow/shrink: routed to the owning domain's controller (see
+  // Controller::resize).
+  Status resize(InstanceId id, const std::string& bundle, double workers);
   // The handler is retained by the router and re-attached when the
   // instance's domain merges or splits (the new controller replays the
   // current configuration, like a RESUME). Called on worker threads.

@@ -4,6 +4,16 @@
 
 namespace harmony::core {
 
+double tardiness_penalty(const std::vector<DeadlineTerm>& terms) {
+  double penalty = 0.0;
+  for (const DeadlineTerm& term : terms) {
+    if (term.deadline_s <= 0) continue;
+    double late = term.time - term.deadline_s;
+    if (late > 0) penalty += term.weight * late;
+  }
+  return penalty;
+}
+
 double MeanCompletionTime::evaluate(
     const std::vector<double>& response_times) const {
   if (response_times.empty()) return 0.0;

@@ -12,6 +12,21 @@
 
 namespace harmony::core {
 
+// Deadline/period resource model (per "Distributed Resource Management
+// for Time-Sensitive Applications"): an instance that declares a
+// deadline contributes a tardiness penalty — weight * max(0, predicted
+// time - deadline) — on top of the base objective. Tardiness is a sum
+// of per-instance hinge terms, so it preserves separability: a bundle
+// whose prediction is constant across candidates still shifts the
+// objective uniformly.
+struct DeadlineTerm {
+  double time = 0;        // predicted completion/response time
+  double deadline_s = 0;  // effective deadline (deadline, else period)
+  double weight = 1.0;    // tardiness weight (common-currency scaling)
+};
+
+double tardiness_penalty(const std::vector<DeadlineTerm>& terms);
+
 class Objective {
  public:
   virtual ~Objective() = default;
@@ -27,6 +42,15 @@ class Objective {
   // Non-separable objectives (makespan) only allow skipping when the
   // whole system is unchanged.
   virtual bool separable() const { return false; }
+
+  // Base objective plus the tardiness penalty of the supplied deadline
+  // terms. With no terms this is exactly evaluate(times) — scenarios
+  // without deadlines keep their decision path bit-identical.
+  double evaluate_with_deadlines(const std::vector<double>& response_times,
+                                 const std::vector<DeadlineTerm>& terms) const {
+    double base = evaluate(response_times);
+    return terms.empty() ? base : base + tardiness_penalty(terms);
+  }
 };
 
 // The paper's default: minimize mean completion time.

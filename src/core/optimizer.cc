@@ -12,6 +12,30 @@
 
 namespace harmony::core {
 
+// Tightest effective deadline declared across an instance's configured
+// options, with that option's tardiness weight. False when no option
+// declares one — the common case, which keeps the decision path on the
+// plain evaluate() and therefore bit-identical to a deadline-free
+// build.
+bool instance_deadline(const InstanceState& instance, double* deadline_s,
+                       double* weight) {
+  bool found = false;
+  for (const auto& bundle : instance.bundles) {
+    if (!bundle.configured) continue;
+    const rsl::OptionSpec* option =
+        bundle.spec.find_option(bundle.choice.option);
+    if (option == nullptr) continue;
+    const double d = option->effective_deadline_s();
+    if (d <= 0) continue;
+    if (!found || d < *deadline_s) {
+      *deadline_s = d;
+      *weight = option->tardiness_weight;
+    }
+    found = true;
+  }
+  return found;
+}
+
 Optimizer::Optimizer(const Predictor* predictor, const Objective* objective,
                      OptimizerConfig config)
     : predictor_(predictor), objective_(objective), config_(config) {
@@ -116,9 +140,17 @@ Result<double> Optimizer::objective_value(const SystemState& state) const {
     return Err<double>(predictions.error().code, predictions.error().message);
   }
   std::vector<double> times;
+  std::vector<DeadlineTerm> terms;
   times.reserve(predictions.value().size());
-  for (const auto& [id, t] : predictions.value()) times.push_back(t);
-  return objective_->evaluate(times);
+  for (const auto& [id, t] : predictions.value()) {
+    times.push_back(t);
+    const InstanceState* inst = state.find_instance(id);
+    double deadline = 0, weight = 1;
+    if (inst != nullptr && instance_deadline(*inst, &deadline, &weight)) {
+      terms.push_back({t, deadline, weight});
+    }
+  }
+  return objective_->evaluate_with_deadlines(times, terms);
 }
 
 Result<cluster::Allocation> Optimizer::try_install_on(
@@ -155,10 +187,13 @@ Result<double> Optimizer::plan_objective(
   // in place instead of copying a base map per candidate.
   LoadView load(static_cast<const cluster::ResourceView*>(&plan.pool()));
   std::vector<double> times;
+  std::vector<DeadlineTerm> terms;
   times.reserve(state.instances.size());
   for (const auto& other : state.instances) {
     double total = 0.0;
     bool any = false;
+    double inst_deadline = 0, inst_weight = 1;
+    bool has_deadline = false;
     for (const auto& ob : other.bundles) {
       const bool is_target = &ob == &bundle;
       if (!is_target && !ob.configured) continue;
@@ -176,6 +211,14 @@ Result<double> Optimizer::plan_objective(
       }
       total += predicted.value();
       any = true;
+      // The candidate's option stands in for the target bundle, so its
+      // deadline (not the incumbent's) is the one being priced.
+      const double d = option->effective_deadline_s();
+      if (d > 0 && (!has_deadline || d < inst_deadline)) {
+        inst_deadline = d;
+        inst_weight = option->tardiness_weight;
+        has_deadline = true;
+      }
     }
     if (!any) continue;
     // Frictional cost of switching away from the current option.
@@ -185,8 +228,9 @@ Result<double> Optimizer::plan_objective(
       if (opt != nullptr) total += opt->friction_s;
     }
     times.push_back(total);
+    if (has_deadline) terms.push_back({total, inst_deadline, inst_weight});
   }
-  return objective_->evaluate(times);
+  return objective_->evaluate_with_deadlines(times, terms);
 }
 
 std::vector<OptionChoice> expand_option_choices(
@@ -705,8 +749,17 @@ Result<std::vector<Decision>> Optimizer::exhaustive(SystemState& state,
       auto predictions = predict_all(state);
       if (predictions.ok()) {
         std::vector<double> times;
-        for (auto& [id, t] : predictions.value()) times.push_back(t);
-        objective = objective_->evaluate(times);
+        std::vector<DeadlineTerm> terms;
+        for (auto& [id, t] : predictions.value()) {
+          times.push_back(t);
+          const InstanceState* inst = state.find_instance(id);
+          double deadline = 0, weight = 1;
+          if (inst != nullptr &&
+              instance_deadline(*inst, &deadline, &weight)) {
+            terms.push_back({t, deadline, weight});
+          }
+        }
+        objective = objective_->evaluate_with_deadlines(times, terms);
       }
     }
     for (size_t i = installed; i-- > 0;) {

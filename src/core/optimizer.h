@@ -236,4 +236,12 @@ class Optimizer {
 std::vector<OptionChoice> expand_option_choices(
     const rsl::BundleSpec& spec, const std::vector<double>& grant_levels);
 
+// Tightest effective deadline declared across an instance's configured
+// options (with that option's tardiness weight); false when no option
+// declares one. Shared by the optimizer's evaluation sites, the
+// controller's tardiness metric, and the domain router's merged
+// objective.
+bool instance_deadline(const InstanceState& instance, double* deadline_s,
+                       double* weight);
+
 }  // namespace harmony::core

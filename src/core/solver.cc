@@ -98,6 +98,11 @@ class SolverPass {
   // fails (the trial is infeasible). With commit, the plan absorbs the
   // changes.
   std::optional<double> score(const std::vector<Change>& changes, bool commit);
+  // Objective of times_ with the deadline terms implied by the plan's
+  // (or the trial's) option choices. When no spec in the pass declares
+  // a deadline this is exactly objective->evaluate(times_) — the
+  // deadline-free decision path stays bit-identical.
+  double evaluate_times(const std::vector<Change>& changes) const;
   // Overlay bookkeeping for an accepted move. Callers must release
   // every outgoing allocation before reserving any incoming one — a
   // pairwise swap can otherwise transiently exceed a full node.
@@ -128,6 +133,9 @@ class SolverPass {
   // shape Optimizer::plan_objective feeds the objective.
   std::vector<double> times_;
   std::vector<size_t> time_index_;  // inst_idx -> slot in times_, or npos
+  // Any bundle spec in the pass declares a deadline/period; false keeps
+  // every evaluation on the plain (bit-identical) objective.
+  bool has_deadlines_ = false;
   double current_objective_ = 0.0;
   size_t accepted_moves_ = 0;
 
@@ -229,6 +237,9 @@ Status SolverPass::init(
                       "configured option vanished: " + bundle.choice.option);
       }
       entry.uses_load = model_reads(*option).uses_load;
+      for (const auto& opt_spec : bundle.spec.options) {
+        if (opt_spec.effective_deadline_s() > 0) has_deadlines_ = true;
+      }
       // Granularity: a bundle switched in an *earlier* epoch whose
       // window has not elapsed is held exactly as the greedy gate holds
       // it. A bundle greedy switched this very epoch stays movable —
@@ -273,13 +284,48 @@ Status SolverPass::init(
     time_index_[i] = times_.size();
     times_.push_back(inst_time[i]);
   }
-  current_objective_ = opt_.objective_->evaluate(times_);
+  current_objective_ = evaluate_times({});
   if (!std::isfinite(current_objective_)) {
     return Status(ErrorCode::kEvalError, "greedy plan objective not finite");
   }
   rebuild_node_entries();
   affected_stamp_.assign(entries_.size(), 0);
   return Status::Ok();
+}
+
+double SolverPass::evaluate_times(const std::vector<Change>& changes) const {
+  if (!has_deadlines_) return opt_.objective_->evaluate(times_);
+  // Tightest effective deadline per instance under the trial's choices
+  // (a Change can swap an entry onto — or off of — a deadline-carrying
+  // option). O(entries), only paid in deadline scenarios.
+  std::vector<double> inst_deadline(state_.instances.size(), 0.0);
+  std::vector<double> inst_weight(state_.instances.size(), 1.0);
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    const Entry& entry = entries_[e];
+    const OptionChoice* choice = &entry.choice;
+    for (const Change& change : changes) {
+      if (change.entry == e) {
+        choice = change.choice;
+        break;
+      }
+    }
+    const rsl::OptionSpec* option =
+        entry.bundle->spec.find_option(choice->option);
+    if (option == nullptr) continue;
+    const double d = option->effective_deadline_s();
+    if (d <= 0) continue;
+    if (inst_deadline[entry.inst_idx] == 0 ||
+        d < inst_deadline[entry.inst_idx]) {
+      inst_deadline[entry.inst_idx] = d;
+      inst_weight[entry.inst_idx] = option->tardiness_weight;
+    }
+  }
+  std::vector<DeadlineTerm> terms;
+  for (size_t i = 0; i < inst_deadline.size(); ++i) {
+    if (inst_deadline[i] <= 0 || time_index_[i] == kNpos) continue;
+    terms.push_back({times_[time_index_[i]], inst_deadline[i], inst_weight[i]});
+  }
+  return opt_.objective_->evaluate_with_deadlines(times_, terms);
 }
 
 void SolverPass::rebuild_node_entries() {
@@ -359,7 +405,7 @@ std::optional<double> SolverPass::score(const std::vector<Change>& changes,
     if (!seen) saved_times_.emplace_back(ti, times_[ti]);
     times_[ti] += (tp.pred + tp.friction) - (entry.pred + entry.friction);
   }
-  double objective = opt_.objective_->evaluate(times_);
+  double objective = evaluate_times(changes);
 
   if (!commit) {
     for (const auto& [ti, old] : saved_times_) times_[ti] = old;

@@ -151,7 +151,7 @@ bool is_decision_verb(const std::string& verb) {
   // role.
   return verb == "REGISTER" || verb == "RESUME" || verb == "END" ||
          verb == "GET" || verb == "LOAD" || verb == "SET" ||
-         verb == "REEVALUATE";
+         verb == "RESIZE" || verb == "REEVALUATE";
 }
 
 }  // namespace harmony::net

@@ -20,6 +20,11 @@
 //                                  operator steering (§7): force a
 //                                  bundle onto an option; not gated on
 //                                  connection ownership
+//     {RESIZE <id> <bundle> <workers>}
+//                                  live grow/shrink: move the bundle's
+//                                  parallelism variable to a new
+//                                  declared degree while the app runs;
+//                                  journaled and replicated like SET
 //     {REEVALUATE}                 request an adaptation pass
 //     {METRICS ?format?}           telemetry scrape; format is "prom"
 //                                  (default), "json", or "trace"

@@ -151,6 +151,13 @@ Status HarmonyTcpServer::ctl_set_option(core::InstanceId id,
                             : controller_->set_option(id, bundle, choice);
 }
 
+Status HarmonyTcpServer::ctl_resize(core::InstanceId id,
+                                    const std::string& bundle,
+                                    double workers) {
+  return router_ != nullptr ? router_->resize(id, bundle, workers)
+                            : controller_->resize(id, bundle, workers);
+}
+
 Status HarmonyTcpServer::ctl_reevaluate() {
   return router_ != nullptr ? router_->reevaluate()
                             : controller_->reevaluate();
@@ -575,7 +582,8 @@ bool HarmonyTcpServer::should_defer_reply(const std::string& verb,
   // could observe. GET/METRICS/etc. read freely.
   const bool mutating = verb == "REGISTER" || verb == "END" ||
                         verb == "LOAD" || verb == "SET" ||
-                        verb == "REEVALUATE" || verb == "RESUME";
+                        verb == "RESIZE" || verb == "REEVALUATE" ||
+                        verb == "RESUME";
   return mutating && feed_->has_subscribers();
 }
 
@@ -797,6 +805,29 @@ Message HarmonyTcpServer::handle_message(Connection& connection,
       choice.variables[message.args[i]] = value;
     }
     auto status = ctl_set_option(raw, message.args[1], choice);
+    return status.ok() ? Message::ok()
+                       : Message::err(status.error().code,
+                                      status.error().message);
+  }
+  if (message.verb == "RESIZE") {
+    // {RESIZE <id> <bundle> <workers>}: live grow/shrink — move the
+    // bundle's parallelism variable to a new declared degree while the
+    // application runs. Like SET, not gated on connection ownership:
+    // resizes come from operator consoles and schedulers.
+    if (message.args.size() != 3) {
+      return Message::err(ErrorCode::kProtocol,
+                          "RESIZE expects id, bundle, and worker count");
+    }
+    unsigned long long raw = 0;
+    if (sscanf(message.args[0].c_str(), "%llu", &raw) != 1) {
+      return Message::err(ErrorCode::kProtocol, "bad instance id");
+    }
+    double workers = 0;
+    if (!parse_double(message.args[2], &workers)) {
+      return Message::err(ErrorCode::kProtocol,
+                          "bad worker count: " + message.args[2]);
+    }
+    auto status = ctl_resize(raw, message.args[1], workers);
     return status.ok() ? Message::ok()
                        : Message::err(status.error().code,
                                       status.error().message);

@@ -255,6 +255,8 @@ class HarmonyTcpServer {
   Status ctl_report_load(const std::string& hostname, int tasks);
   Status ctl_set_option(core::InstanceId id, const std::string& bundle,
                         const core::OptionChoice& choice);
+  Status ctl_resize(core::InstanceId id, const std::string& bundle,
+                    double workers);
   Status ctl_reevaluate();
   // Routed mode: drains the worker-queued updates into the normal send
   // path on the controller thread. Returns true if anything shipped.

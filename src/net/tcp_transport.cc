@@ -434,4 +434,19 @@ Status TcpTransport::set_option(core::InstanceId id, const std::string& bundle,
   return Status::Ok();
 }
 
+Status TcpTransport::resize(core::InstanceId id, const std::string& bundle,
+                            double workers) {
+  auto reply = call(
+      Message{"RESIZE",
+              {str_format("%llu", static_cast<unsigned long long>(id)),
+               bundle, format_number(workers)}});
+  if (!reply.ok()) return Status(reply.error().code, reply.error().message);
+  if (reply.value().verb != "OK") {
+    return Status(ErrorCode::kProtocol,
+                  reply.value().args.size() == 2 ? reply.value().args[1]
+                                                 : "resize failed");
+  }
+  return Status::Ok();
+}
+
 }  // namespace harmony::net

@@ -83,6 +83,13 @@ class TcpTransport : public client::Transport {
   Status set_option(core::InstanceId id, const std::string& bundle,
                     const std::string& option);
 
+  // Live grow/shrink ({RESIZE}): move `bundle`'s parallelism variable
+  // to `workers` — one of the application's declared degrees — while
+  // the application runs. The new assignment arrives as ordinary
+  // UPDATE frames.
+  Status resize(core::InstanceId id, const std::string& bundle,
+                double workers);
+
   // Drops the socket without any goodbye (crash-safe teardown; the
   // server synthesizes the DEPART or parks the session).
   void close();

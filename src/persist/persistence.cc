@@ -238,6 +238,9 @@ std::string Persistence::encode_event(const core::ControllerEvent& event) const 
     case Kind::kSetOption:
       return list_build({"EV", "OPT", time, format_u64(event.instance),
                          event.text, encode_choice(event.choice)});
+    case Kind::kResize:
+      return list_build({"EV", "RSZ", time, format_u64(event.instance),
+                         event.text, format_number(event.value)});
     case Kind::kReevaluate:
       return list_build({"EV", "REEVAL", time});
   }
@@ -698,6 +701,18 @@ Status Persistence::replay_event(const std::vector<std::string>& fields) {
     auto choice = decode_choice(fields[5]);
     if (!choice.ok()) return Status(choice.error().code, choice.error().message);
     return controller_->set_option(id, fields[4], choice.value());
+  }
+  if (verb == "RSZ") {
+    if (fields.size() != 6) return corrupt("bad RSZ record");
+    uint64_t id = 0;
+    if (!parse_u64(fields[3], &id)) {
+      return corrupt("bad RSZ instance id: " + fields[3]);
+    }
+    double workers = 0;
+    if (!parse_double(fields[5], &workers)) {
+      return corrupt("bad RSZ degree: " + fields[5]);
+    }
+    return controller_->resize(id, fields[4], workers);
   }
   if (verb == "REEVAL") {
     return controller_->reevaluate();

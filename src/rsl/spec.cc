@@ -1,5 +1,7 @@
 #include "rsl/spec.h"
 
+#include <cmath>
+
 #include "common/strings.h"
 #include "rsl/value.h"
 
@@ -286,6 +288,13 @@ Status parse_performance(const std::vector<std::string>& items,
       return Status(ErrorCode::kParseError,
                     "performance point is not numeric: \"" + point + "\"");
     }
+    // A non-finite point is always a generator bug (e.g. a scaling law
+    // divided by a zero worker count) and would poison every
+    // interpolation that brackets it.
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      return Status(ErrorCode::kParseError,
+                    "performance point is not finite: \"" + point + "\"");
+    }
     option->performance_points.push_back(p);
   }
   // The controller interpolates piecewise-linearly; points must ascend.
@@ -346,6 +355,23 @@ Result<OptionSpec> parse_option(std::string_view text) {
     } else if (key == "friction") {
       if (fields.size() != 2 || !parse_double(fields[1], &option.friction_s)) {
         return parse_error<OptionSpec>("friction requires a number");
+      }
+    } else if (key == "deadline") {
+      if (fields.size() != 2 || !parse_double(fields[1], &option.deadline_s) ||
+          option.deadline_s <= 0) {
+        return parse_error<OptionSpec>("deadline requires a positive number");
+      }
+    } else if (key == "period") {
+      if (fields.size() != 2 || !parse_double(fields[1], &option.period_s) ||
+          option.period_s <= 0) {
+        return parse_error<OptionSpec>("period requires a positive number");
+      }
+    } else if (key == "tardiness") {
+      if (fields.size() != 2 ||
+          !parse_double(fields[1], &option.tardiness_weight) ||
+          option.tardiness_weight < 0) {
+        return parse_error<OptionSpec>(
+            "tardiness requires a nonnegative weight");
       }
     } else {
       return parse_error<OptionSpec>("unknown option tag: \"" + key + "\"");
@@ -511,6 +537,15 @@ std::string option_to_list(const OptionSpec& option) {
   }
   if (option.friction_s != 0) {
     items.push_back(tag("friction", format_number(option.friction_s)));
+  }
+  if (option.deadline_s != 0) {
+    items.push_back(tag("deadline", format_number(option.deadline_s)));
+  }
+  if (option.period_s != 0) {
+    items.push_back(tag("period", format_number(option.period_s)));
+  }
+  if (option.tardiness_weight != 1.0) {
+    items.push_back(tag("tardiness", format_number(option.tardiness_weight)));
   }
   return list_build(items);
 }

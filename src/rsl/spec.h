@@ -141,6 +141,20 @@ struct OptionSpec {
   std::vector<DagTask> performance_dag;
   double granularity_s = 0;  // min seconds between option switches
   double friction_s = 0;     // one-time cost of switching to this option
+  // Deadline/period resource model ({deadline S} / {period S} /
+  // {tardiness W}): a deadline turns predicted lateness into a
+  // tardiness penalty in the objective; a period is the implicit
+  // deadline of a periodic (interactive) app when no explicit deadline
+  // is given. tardiness_weight scales the penalty into the objective's
+  // common currency.
+  double deadline_s = 0;
+  double period_s = 0;
+  double tardiness_weight = 1.0;
+  // Effective deadline: explicit deadline wins, else the period; 0
+  // means the option carries no deadline at all.
+  double effective_deadline_s() const {
+    return deadline_s > 0 ? deadline_s : period_s;
+  }
 };
 
 struct BundleSpec {

@@ -1,0 +1,361 @@
+// Live malleability and the deadline resource model, end to end: the
+// controller resizes a running bag-of-tasks app mid-iteration (workers
+// join and retire without an iteration boundary), a forced
+// zero-assignment stalls the app instead of crashing it, resizes
+// survive crash recovery bit-for-bit, and a deadline-carrying
+// interactive app's tardiness term preempts batch capacity.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "apps/bag_app.h"
+#include "apps/interactive_app.h"
+#include "apps/scenarios.h"
+#include "core/controller.h"
+#include "persist/persistence.h"
+#include "test_scenarios.h"
+
+namespace harmony {
+namespace {
+
+using apps::BagApp;
+using apps::BagConfig;
+using apps::InteractiveApp;
+using apps::InteractiveConfig;
+using apps::SimHarness;
+using apps::worker_cluster_script;
+using harmony::testing::fingerprint;
+
+struct MalleableWorld {
+  explicit MalleableWorld(int nodes) : nodes(nodes) {
+    EXPECT_TRUE(harness.controller()
+                    .add_nodes_script(worker_cluster_script(nodes))
+                    .ok());
+    EXPECT_TRUE(harness.finalize().ok());
+  }
+  void set_all_online(bool online) {
+    for (int i = 0; i < nodes; ++i) {
+      ASSERT_TRUE(harness.controller()
+                      .set_node_online(str_format("sp2-%02d", i), online)
+                      .ok());
+    }
+  }
+  int nodes;
+  SimHarness harness;
+};
+
+// --- satellite: bundle-script validation ----------------------------------
+
+TEST(BagScript, RejectsEmptyWorkerList) {
+  BagConfig config;
+  config.workers = "   ";
+  auto script = apps::bag_bundle_script(config);
+  ASSERT_FALSE(script.ok());
+  EXPECT_EQ(script.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(BagScript, RejectsNonpositiveAndNonNumericWorkerCounts) {
+  for (const char* workers : {"1 2 0", "4 -3", "2 x 8", "nan"}) {
+    BagConfig config;
+    config.workers = workers;
+    auto script = apps::bag_bundle_script(config);
+    EXPECT_FALSE(script.ok()) << "accepted workers \"" << workers << "\"";
+  }
+  BagConfig good;
+  good.workers = "1 2 4";
+  EXPECT_TRUE(apps::bag_bundle_script(good).ok());
+}
+
+TEST(BagScript, ControllerRejectsNonFinitePerformancePoints) {
+  // Belt and braces below the script builder: harmonyBundle parsing
+  // itself refuses a curve with a non-finite point, which is what a
+  // division-by-zero worker count would produce.
+  MalleableWorld world(2);
+  auto id = world.harness.controller().register_script(
+      "harmonyBundle Bad:1 parallelism {\n"
+      "  {var\n"
+      "    {variable workerNodes {1 2}}\n"
+      "    {node worker {seconds 10} {memory 8} {replicate {workerNodes}}}\n"
+      "    {performance {{1 inf} {2 600}}}}\n"
+      "}\n");
+  EXPECT_FALSE(id.ok());
+}
+
+// --- tentpole: live grow/shrink mid-iteration -----------------------------
+
+TEST(MalleableBag, ResizeGrowsAndShrinksMidIteration) {
+  MalleableWorld world(8);
+  BagConfig config;
+  config.malleable = true;
+  config.max_iterations = 3;
+  BagApp bag(world.harness.context(), config);
+  ASSERT_TRUE(bag.start().ok());
+  EXPECT_EQ(bag.current_workers(), 8);
+  const core::InstanceId id = bag.instance_id();
+
+  // Shrink mid-parallel-phase (iteration 1 runs its master phase until
+  // t=100): the interrupt delivers the new assignment immediately and
+  // de-assigned workers retire at their next pull.
+  world.harness.engine().schedule(150, [&] {
+    ASSERT_TRUE(world.harness.controller().resize(id, "parallelism", 2).ok());
+    EXPECT_EQ(bag.current_workers(), 2)
+        << "interrupt-mode update must land synchronously";
+  });
+  // Grow back mid-run: the missing pull loops start without waiting for
+  // an iteration boundary.
+  world.harness.engine().schedule(400, [&] {
+    ASSERT_TRUE(world.harness.controller().resize(id, "parallelism", 8).ok());
+    EXPECT_EQ(bag.current_workers(), 8);
+  });
+  world.harness.engine().run_until(5000);
+  ASSERT_TRUE(bag.finished());
+  EXPECT_EQ(bag.iterations_completed(), 3);
+
+  // The resize verb records the commanded degree.
+  const auto* degree = world.harness.metrics().find("Bag.1.parallelism.degree");
+  ASSERT_NE(degree, nullptr);
+  ASSERT_GE(degree->size(), 2u);
+  EXPECT_DOUBLE_EQ(degree->samples().front().value, 2.0);
+  EXPECT_DOUBLE_EQ(degree->last_value(), 8.0);
+}
+
+TEST(MalleableBag, ResizeRejectsUndeclaredDegrees) {
+  MalleableWorld world(4);
+  BagConfig config;
+  config.workers = "1 2 4";
+  auto script = apps::bag_bundle_script(config);
+  ASSERT_TRUE(script.ok());
+  auto id = world.harness.controller().register_script(script.value());
+  ASSERT_TRUE(id.ok());
+  auto& controller = world.harness.controller();
+
+  EXPECT_TRUE(controller.resize(id.value(), "parallelism", 2).ok());
+  // Not one of the exposed alternatives.
+  EXPECT_EQ(controller.resize(id.value(), "parallelism", 3).error().code,
+            ErrorCode::kInvalidArgument);
+  // Nonpositive degrees can never be declared, so they are always
+  // rejected before touching the optimizer.
+  EXPECT_EQ(controller.resize(id.value(), "parallelism", 0).error().code,
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(controller.resize(id.value(), "parallelism", -2).error().code,
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(controller.resize(id.value(), "nope", 2).error().code,
+            ErrorCode::kNotFound);
+  EXPECT_EQ(controller.resize(999, "parallelism", 2).error().code,
+            ErrorCode::kNotFound);
+  // The valid resize stuck.
+  const auto* bundle = controller.bundle_state(id.value(), "parallelism");
+  ASSERT_NE(bundle, nullptr);
+  EXPECT_DOUBLE_EQ(bundle->choice.variables.at("workerNodes"), 2.0);
+}
+
+// --- satellite: shrink-to-empty hardening ---------------------------------
+
+TEST(MalleableBag, SurvivesForcedZeroAssignmentAndRecovers) {
+  MalleableWorld world(4);
+  BagConfig config;
+  config.malleable = true;
+  config.workers = "1 2 3 4";
+  config.max_iterations = 2;
+  BagApp bag(world.harness.context(), config);
+  ASSERT_TRUE(bag.start().ok());
+  EXPECT_EQ(bag.current_workers(), 4);
+
+  // Mid-iteration the whole cluster disappears: the bundle is displaced
+  // with nowhere to go and the app's assignment shrinks to empty. The
+  // app must stall, not crash and not finish.
+  world.harness.engine().schedule(150, [&] { world.set_all_online(false); });
+  world.harness.engine().run_until(800);
+  EXPECT_EQ(bag.current_workers(), 0);
+  EXPECT_FALSE(bag.finished());
+  EXPECT_EQ(bag.iterations_completed(), 0);
+
+  // Capacity returns: the re-evaluation re-places the bundle and the
+  // interrupt wakes the app to finish its runs.
+  world.set_all_online(true);
+  world.harness.engine().run_until(5000);
+  ASSERT_TRUE(bag.finished());
+  EXPECT_EQ(bag.iterations_completed(), 2);
+}
+
+TEST(PollingBag, ZeroAssignmentWindsDownWithoutCrashing) {
+  // The polling-mode regression: begin_iteration used to dereference
+  // worker_nodes_[0] with no emptiness guard. A polling app has no
+  // wake-up interrupt, so losing every worker ends it gracefully.
+  MalleableWorld world(2);
+  BagConfig config;
+  config.workers = "1 2";
+  BagApp bag(world.harness.context(), config);
+  ASSERT_TRUE(bag.start().ok());
+  world.harness.engine().schedule(150, [&] { world.set_all_online(false); });
+  world.harness.engine().run_until(3000);
+  EXPECT_TRUE(bag.finished());
+  EXPECT_EQ(bag.current_workers(), 0);
+}
+
+// --- tentpole: deadline/period model and tardiness preemption -------------
+
+TEST(DeadlineObjective, TardinessTermRaisesObjective) {
+  MalleableWorld world(1);
+  // Predicted 40 s of service against a 30 s period: 10 s late at
+  // weight 2 puts the mean objective at 40 + 2*10.
+  auto id = world.harness.controller().register_script(
+      "harmonyBundle Late:1 svc {\n"
+      "  {only\n"
+      "    {node server {seconds 40} {memory 8}}\n"
+      "    {period 30}\n"
+      "    {tardiness 2}}\n"
+      "}\n");
+  ASSERT_TRUE(id.ok());
+  auto terms = world.harness.controller().deadline_terms();
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::get<1>(terms[0]), 30.0);
+  EXPECT_DOUBLE_EQ(std::get<2>(terms[0]), 2.0);
+  auto objective = world.harness.controller().objective_value();
+  ASSERT_TRUE(objective.ok());
+  EXPECT_DOUBLE_EQ(objective.value(), 60.0);
+}
+
+TEST(DeadlineApp, MeetsDeadlinesAlone) {
+  MalleableWorld world(2);
+  InteractiveConfig config;
+  config.period_s = 30;
+  config.service_ref_s = 20;
+  config.max_requests = 5;
+  InteractiveApp app(world.harness.context(), config);
+  ASSERT_TRUE(app.start().ok());
+  world.harness.engine().run_until(400);
+  ASSERT_TRUE(app.finished());
+  EXPECT_EQ(app.requests_completed(), 5);
+  EXPECT_DOUBLE_EQ(app.mean_tardiness(), 0.0);
+}
+
+TEST(DeadlineApp, TardinessPreemptsBatchCapacity) {
+  // Two nodes, an interactive app on one of them. A width-2 bag
+  // placement would improve the batch means but co-locate a worker with
+  // the interactive server, pushing its predicted response past the
+  // period; the tardiness term makes that trade lose, so the bag is
+  // held at width 1 and the deadline is met.
+  MalleableWorld world(2);
+  InteractiveConfig icfg;
+  icfg.period_s = 30;
+  icfg.service_ref_s = 20;
+  icfg.tardiness_weight = 20;
+  icfg.max_requests = 18;
+  InteractiveApp interactive(world.harness.context(), icfg);
+  ASSERT_TRUE(interactive.start().ok());
+
+  BagConfig bcfg;
+  bcfg.malleable = true;
+  bcfg.workers = "1 2";
+  bcfg.max_iterations = 2;
+  BagApp bag(world.harness.context(), bcfg);
+  ASSERT_TRUE(bag.start().ok());
+  EXPECT_EQ(bag.current_workers(), 1)
+      << "the deadline app's tardiness term must keep the bag off the "
+         "interactive server's node";
+
+  world.harness.engine().run_until(4000);
+  ASSERT_TRUE(bag.finished());
+  ASSERT_TRUE(interactive.finished());
+  EXPECT_EQ(interactive.requests_completed(), 18);
+  EXPECT_LT(interactive.mean_tardiness(), 0.5);
+}
+
+TEST(DeadlineApp, WithoutTardinessWeightBatchStealsTheNode) {
+  // Counterfactual for the test above: zero weight disables the
+  // deadline pressure, the optimizer takes the better batch means, and
+  // the interactive app's requests run late.
+  MalleableWorld world(2);
+  InteractiveConfig icfg;
+  icfg.period_s = 30;
+  icfg.service_ref_s = 20;
+  icfg.tardiness_weight = 0;
+  icfg.max_requests = 18;
+  InteractiveApp interactive(world.harness.context(), icfg);
+  ASSERT_TRUE(interactive.start().ok());
+
+  BagConfig bcfg;
+  bcfg.malleable = true;
+  bcfg.workers = "1 2";
+  bcfg.max_iterations = 2;
+  BagApp bag(world.harness.context(), bcfg);
+  ASSERT_TRUE(bag.start().ok());
+  EXPECT_EQ(bag.current_workers(), 2);
+
+  world.harness.engine().run_until(4000);
+  EXPECT_GT(interactive.mean_tardiness(), 2.0);
+}
+
+// --- satellite: RSZ journaling and replay ---------------------------------
+
+TEST(ResizeJournal, ResizeSurvivesCrashRecoveryBitForBit) {
+  const std::string dir = ::testing::TempDir() + "malleable_rsz_" +
+                          std::to_string(::getpid());
+  auto clean = [&] {
+    std::remove((dir + "/journal.wal").c_str());
+    std::remove((dir + "/snapshot.hsn").c_str());
+    std::remove((dir + "/snapshot.tmp").c_str());
+    ::rmdir(dir.c_str());
+  };
+  clean();
+  double clock = 0;
+  persist::PersistConfig config;
+  config.dir = dir;
+  config.snapshot_min_journal_bytes = 0;
+
+  core::Controller reference;
+  reference.set_time_source([&clock] { return clock; });
+  std::string pre_crash;
+  {
+    core::Controller live;
+    live.set_time_source([&clock] { return clock; });
+    auto persistence = persist::Persistence::open(config, live);
+    ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+    auto step = [&](auto&& fn) {
+      clock += 5;
+      fn(live);
+      fn(reference);
+    };
+    step([](core::Controller& c) {
+      ASSERT_TRUE(c.add_nodes_script(testing::sp2_cluster_script(4)).ok());
+      ASSERT_TRUE(c.finalize_cluster().ok());
+    });
+    step([](core::Controller& c) {
+      // A granularity window holds the steered degree through the
+      // recovery verification pass: without it the pass is free to
+      // re-optimize the resize straight back to the argmin.
+      auto id = c.register_script(testing::bag_bundle("1 2 3 4", 1000));
+      ASSERT_TRUE(id.ok());
+      ASSERT_EQ(id.value(), 1u);
+    });
+    step([](core::Controller& c) {
+      ASSERT_TRUE(c.resize(1, "parallelism", 2).ok());
+    });
+    step([](core::Controller& c) {
+      ASSERT_TRUE(c.resize(1, "parallelism", 3).ok());
+    });
+    ASSERT_TRUE((*persistence)->flush().ok());
+    pre_crash = fingerprint(live);
+    // Crash: the controller dies, the journal survives.
+  }
+
+  core::Controller recovered;
+  auto persistence = persist::Persistence::open(config, recovered);
+  ASSERT_TRUE(persistence.ok()) << persistence.error().to_string();
+  EXPECT_TRUE((*persistence)->recovery().recovered);
+  EXPECT_EQ(fingerprint(recovered), pre_crash);
+  EXPECT_EQ(fingerprint(recovered), fingerprint(reference));
+  // The replayed degree is the latest one, not the first.
+  const auto* bundle = recovered.bundle_state(1, "parallelism");
+  ASSERT_NE(bundle, nullptr);
+  EXPECT_DOUBLE_EQ(bundle->choice.variables.at("workerNodes"), 3.0);
+  persistence.value().reset();
+  clean();
+}
+
+}  // namespace
+}  // namespace harmony

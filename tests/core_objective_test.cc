@@ -46,6 +46,34 @@ TEST(MakeObjective, Factory) {
   EXPECT_EQ(make_objective("nonsense"), nullptr);
 }
 
+TEST(Tardiness, HingePenaltySumsAcrossTerms) {
+  // weight * max(0, time - deadline), summed.
+  EXPECT_DOUBLE_EQ(tardiness_penalty({}), 0.0);
+  EXPECT_DOUBLE_EQ(tardiness_penalty({{40, 30, 2}}), 20.0);
+  EXPECT_DOUBLE_EQ(tardiness_penalty({{25, 30, 2}}), 0.0);   // early: no credit
+  EXPECT_DOUBLE_EQ(tardiness_penalty({{30, 30, 5}}), 0.0);   // on time
+  EXPECT_DOUBLE_EQ(tardiness_penalty({{40, 30, 2}, {100, 60, 0.5}}), 40.0);
+}
+
+TEST(Tardiness, EmptyTermsAreBitIdenticalToBaseObjective) {
+  // The no-deadline short circuit: scenarios without deadline terms
+  // must evaluate through exactly the base objective, bit for bit.
+  MeanCompletionTime mean;
+  MaxCompletionTime makespan;
+  const std::vector<double> times = {13.7, 211.04, 0.003, 560.0};
+  EXPECT_EQ(mean.evaluate_with_deadlines(times, {}), mean.evaluate(times));
+  EXPECT_EQ(makespan.evaluate_with_deadlines(times, {}),
+            makespan.evaluate(times));
+}
+
+TEST(Tardiness, PenaltyAddsOnTopOfAnyBaseObjective) {
+  MeanCompletionTime mean;
+  const std::vector<double> times = {40, 20};
+  const std::vector<DeadlineTerm> terms = {{40, 30, 20}};
+  EXPECT_DOUBLE_EQ(mean.evaluate_with_deadlines(times, terms),
+                   mean.evaluate(times) + 200.0);
+}
+
 // The decision property the paper relies on: under mean completion
 // time, equal partitions beat skewed ones on a concave speedup curve.
 TEST(MeanCompletionTime, PrefersEqualPartitionsOnConcaveCurve) {

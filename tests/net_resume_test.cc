@@ -18,6 +18,7 @@
 #include "net/server.h"
 #include "net/tcp_transport.h"
 #include "persist/persistence.h"
+#include "test_scenarios.h"
 
 namespace harmony::net {
 namespace {
@@ -245,6 +246,94 @@ TEST_F(ResumeTest, ResumePrunesDepartedInstancesFromTheSession) {
   const auto& sessions = persistence_->sessions();
   ASSERT_EQ(sessions.count(token), 1u);
   EXPECT_EQ(sessions.at(token), std::vector<core::InstanceId>{id.value()});
+}
+
+TEST_F(ResumeTest, ResumeDeliversLatestDegreeAfterInFlightResizes) {
+  start_server(/*with_persistence=*/false);
+  TcpTransport transport;
+  ASSERT_TRUE(transport.connect("localhost", port_).ok());
+  // Granularity holds operator resizes against later re-evaluations.
+  auto id =
+      transport.register_app(harmony::testing::bag_bundle("1 2 3", 10000));
+  ASSERT_TRUE(id.ok()) << id.error().to_string();
+
+  std::vector<std::pair<std::string, std::string>> updates;
+  ASSERT_TRUE(transport
+                  .subscribe(id.value(),
+                             [&](const std::string& name,
+                                 const std::string& value) {
+                               updates.emplace_back(name, value);
+                             })
+                  .ok());
+  wait_for_value(transport, id.value(), "parallelism.workerNodes", "3");
+
+  // Two in-flight resizes, then the socket dies without a goodbye.
+  ASSERT_TRUE(transport.resize(id.value(), "parallelism", 1).ok());
+  ASSERT_TRUE(transport.resize(id.value(), "parallelism", 2).ok());
+  updates.clear();
+  transport.close();
+
+  // Reconnect + RESUME replays the *latest* configuration only: a
+  // resumed client must never observe the superseded degree.
+  auto degree = transport.get_variable(id.value(), "parallelism.workerNodes");
+  ASSERT_TRUE(degree.ok()) << degree.error().to_string();
+  EXPECT_EQ(degree.value(), "2");
+  bool saw_latest = false;
+  for (const auto& [name, value] : updates) {
+    if (name != "workerNodes") continue;
+    EXPECT_EQ(value, "2") << "resume replayed a superseded degree";
+    if (value == "2") saw_latest = true;
+  }
+  EXPECT_TRUE(saw_latest);
+
+  ASSERT_TRUE(transport.unregister(id.value()).ok());
+  stop_server();
+  EXPECT_EQ(controller_->live_instances(), 0u);
+}
+
+TEST_F(ResumeTest, ResumedSessionSeesLatestDegreeAcrossRestart) {
+  start_server(/*with_persistence=*/true);
+  TcpTransport transport;
+  ASSERT_TRUE(transport.connect("localhost", port_).ok());
+  auto id =
+      transport.register_app(harmony::testing::bag_bundle("1 2 3", 10000));
+  ASSERT_TRUE(id.ok()) << id.error().to_string();
+
+  std::vector<std::pair<std::string, std::string>> updates;
+  ASSERT_TRUE(transport
+                  .subscribe(id.value(),
+                             [&](const std::string& name,
+                                 const std::string& value) {
+                               updates.emplace_back(name, value);
+                             })
+                  .ok());
+  ASSERT_TRUE(transport.resize(id.value(), "parallelism", 1).ok());
+  ASSERT_TRUE(transport.resize(id.value(), "parallelism", 2).ok());
+  ASSERT_TRUE(persistence_->flush().ok());
+
+  // Full restart: the journaled RSZ events replay into a fresh
+  // controller, and the recovery verification pass must not undo them.
+  const uint16_t old_port = port_;
+  destroy_server();
+  updates.clear();
+  start_server(/*with_persistence=*/true, old_port);
+  ASSERT_TRUE(persistence_->recovery().recovered);
+  EXPECT_EQ(server_->parked_session_count(), 1u);
+
+  auto degree = transport.get_variable(id.value(), "parallelism.workerNodes");
+  ASSERT_TRUE(degree.ok()) << degree.error().to_string();
+  EXPECT_EQ(degree.value(), "2");
+  bool saw_latest = false;
+  for (const auto& [name, value] : updates) {
+    if (name != "workerNodes") continue;
+    EXPECT_EQ(value, "2") << "resume replayed a superseded degree";
+    if (value == "2") saw_latest = true;
+  }
+  EXPECT_TRUE(saw_latest);
+
+  ASSERT_TRUE(transport.unregister(id.value()).ok());
+  stop_server();
+  EXPECT_EQ(controller_->live_instances(), 0u);
 }
 
 TEST_F(ResumeTest, ClientDeathMidUpdateSynthesizesDepartAndReevaluates) {

@@ -183,11 +183,10 @@ TEST_F(ScaleTest, SwarmSeesConsistentUpdateSequencesUnderSteering) {
                                   }
                                 })
                     .ok());
-    // The REGISTER epoch pushes the configuration twice: once for the
-    // arrival decision, once as the subscription snapshot.
-    ASSERT_EQ(client.options.size(), 2u) << "client " << i;
+    // Exactly one configuration push: the subscription snapshot
+    // supersedes (and drops) the arrival decision queued before it.
+    ASSERT_EQ(client.options.size(), 1u) << "client " << i;
     EXPECT_EQ(client.options[0], "fast") << "client " << i;
-    EXPECT_EQ(client.options[1], "fast") << "client " << i;
   }
   EXPECT_EQ(controller_->live_instances(), static_cast<size_t>(kClients));
   EXPECT_TRUE(wait_for([this] {
@@ -219,11 +218,11 @@ TEST_F(ScaleTest, SwarmSeesConsistentUpdateSequencesUnderSteering) {
     auto& client = swarm[i];
     ASSERT_TRUE(wait_for([&client] {
       if (!client.transport->pump().ok()) return true;
-      return client.options.size() >= 2u + kRounds;
+      return client.options.size() >= 1u + kRounds;
     })) << "client " << i << " saw " << client.options.size() << " updates";
-    ASSERT_EQ(client.options.size(), 2u + kRounds) << "client " << i;
+    ASSERT_EQ(client.options.size(), 1u + kRounds) << "client " << i;
     for (int round = 0; round < kRounds; ++round) {
-      EXPECT_EQ(client.options[2 + round],
+      EXPECT_EQ(client.options[1 + round],
                 (round % 2 == 0) ? "slow" : "fast")
           << "client " << i << " round " << round;
     }

@@ -261,6 +261,14 @@ TEST(ReplicaFailoverTest, KillNinePrimaryPromotesStandbyAndResumesClients) {
       transport.register_app(harmony::testing::db_client_bundle("sp2-00", 1));
   ASSERT_TRUE(id2.ok()) << id2.error().to_string();
   ASSERT_TRUE(transport.report_load("sp2-01", 3).ok());
+  // A malleable app resized in flight: the RSZ event replicates to the
+  // standby like any other decision (granularity holds the steered
+  // degree through the promotion-time reevaluate), so the resized
+  // degree must survive the failover.
+  Result<core::InstanceId> bag_id =
+      transport.register_app(harmony::testing::bag_bundle("1 2 3 4", 10000));
+  ASSERT_TRUE(bag_id.ok()) << bag_id.error().to_string();
+  ASSERT_TRUE(transport.resize(bag_id.value(), "parallelism", 2).ok());
 
   // kill -9 the primary: no goodbye, no journal flush beyond what the
   // standby already acked.
@@ -275,6 +283,11 @@ TEST(ReplicaFailoverTest, KillNinePrimaryPromotesStandbyAndResumesClients) {
   Result<core::InstanceId> id3 =
       transport.register_app(harmony::testing::db_client_bundle("sp2-01", 2));
   ASSERT_TRUE(id3.ok()) << id3.error().to_string();
+  // The resumed session reads the latest degree from the survivor.
+  Result<std::string> degree =
+      transport.get_variable(bag_id.value(), "parallelism.workerNodes");
+  ASSERT_TRUE(degree.ok()) << degree.error().to_string();
+  EXPECT_EQ(degree.value(), "2");
   const int64_t outage_ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - killed_at)
@@ -295,7 +308,8 @@ TEST(ReplicaFailoverTest, KillNinePrimaryPromotesStandbyAndResumesClients) {
   // would be lower) and nothing was double-applied by the retry (id3/4
   // would skip).
   EXPECT_EQ(id2.value(), id1.value() + 1);
-  EXPECT_EQ(id3.value(), id2.value() + 1);
+  EXPECT_EQ(bag_id.value(), id2.value() + 1);
+  EXPECT_EQ(id3.value(), bag_id.value() + 1);
   EXPECT_EQ(id4.value(), id3.value() + 1);
 
   status_b = probe_status(port_b);
@@ -316,6 +330,10 @@ TEST(ReplicaFailoverTest, KillNinePrimaryPromotesStandbyAndResumesClients) {
       reference.register_script(harmony::testing::db_client_bundle("sp2-00", 1));
   ASSERT_TRUE(r2.ok());
   ASSERT_TRUE(reference.report_external_load("sp2-01", 3).ok());
+  Result<core::InstanceId> rbag =
+      reference.register_script(harmony::testing::bag_bundle("1 2 3 4", 10000));
+  ASSERT_TRUE(rbag.ok());
+  ASSERT_TRUE(reference.resize(rbag.value(), "parallelism", 2).ok());
   ASSERT_TRUE(reference.reevaluate().ok());
   Result<core::InstanceId> r3 =
       reference.register_script(harmony::testing::db_client_bundle("sp2-01", 2));

@@ -76,6 +76,9 @@ void expect_round_trip(const std::string& script) {
       EXPECT_EQ(b.performance_expr.text(), a.performance_expr.text());
       EXPECT_EQ(b.granularity_s, a.granularity_s);
       EXPECT_EQ(b.friction_s, a.friction_s);
+      EXPECT_EQ(b.deadline_s, a.deadline_s);
+      EXPECT_EQ(b.period_s, a.period_s);
+      EXPECT_EQ(b.tardiness_weight, a.tardiness_weight);
     }
   }
 }
@@ -103,6 +106,22 @@ TEST(BundleToScriptTest, PerformanceExprAndDagSurvive) {
       "  {flat\n"
       "    {node worker {seconds 20} {memory 8}}\n"
       "    {performance expr {20 / worker.speed}}}\n"
+      "}\n");
+}
+
+TEST(BundleToScriptTest, DeadlinePeriodAndTardinessSurvive) {
+  // The deadline/period resource model must survive journaling: a
+  // recovered interactive app keeps its tardiness pricing.
+  expect_round_trip(
+      "harmonyBundle Interactive:1 service {\n"
+      "  {serve\n"
+      "    {node server {seconds 20} {memory 32}}\n"
+      "    {period 30}\n"
+      "    {tardiness 5}}\n"
+      "  {strict\n"
+      "    {node server {seconds 20} {memory 32}}\n"
+      "    {deadline 25}\n"
+      "    {period 30}}\n"
       "}\n");
 }
 

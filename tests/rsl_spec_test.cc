@@ -215,6 +215,32 @@ TEST(ParseBundle, Friction) {
   EXPECT_DOUBLE_EQ(r.value().options[0].friction_s, 30.0);
 }
 
+TEST(ParseBundle, DeadlinePeriodAndTardiness) {
+  auto r = parse_bundle("App", "b", R"(
+    {serve
+      {node server {seconds 20} {memory 32}}
+      {period 30}
+      {tardiness 5}}
+    {strict
+      {node server {seconds 20} {memory 32}}
+      {deadline 25}
+      {period 30}}
+  )");
+  ASSERT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  const OptionSpec& periodic = r.value().options[0];
+  EXPECT_DOUBLE_EQ(periodic.period_s, 30.0);
+  EXPECT_DOUBLE_EQ(periodic.tardiness_weight, 5.0);
+  // No explicit deadline: the period is the implicit one.
+  EXPECT_DOUBLE_EQ(periodic.effective_deadline_s(), 30.0);
+  const OptionSpec& strict = r.value().options[1];
+  // An explicit deadline wins over the period.
+  EXPECT_DOUBLE_EQ(strict.effective_deadline_s(), 25.0);
+  // No deadline tags at all: the option carries no deadline.
+  auto plain = parse_bundle("A", "b", "{o {node n {seconds 1} {memory 1}}}");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(plain.value().options[0].effective_deadline_s(), 0.0);
+}
+
 TEST(ParseBundle, Rejections) {
   // No options.
   EXPECT_FALSE(parse_bundle("A", "b", "").ok());
@@ -237,6 +263,16 @@ TEST(ParseBundle, Rejections) {
       parse_bundle("A", "b", "{o {performance {{2 10} {1 20}}}}").ok());
   // Malformed performance point.
   EXPECT_FALSE(parse_bundle("A", "b", "{o {performance {{1 2 3}}}}").ok());
+  // Non-finite performance points (the div-by-zero scaling-law bug).
+  EXPECT_FALSE(parse_bundle("A", "b", "{o {performance {{1 inf}}}}").ok());
+  EXPECT_FALSE(parse_bundle("A", "b", "{o {performance {{1 nan}}}}").ok());
+  // Nonpositive deadline/period/tardiness values.
+  EXPECT_FALSE(
+      parse_bundle("A", "b", "{o {node n {seconds 1}} {period 0}}").ok());
+  EXPECT_FALSE(
+      parse_bundle("A", "b", "{o {node n {seconds 1}} {deadline -5}}").ok());
+  EXPECT_FALSE(
+      parse_bundle("A", "b", "{o {node n {seconds 1}} {tardiness -1}}").ok());
 }
 
 // --- harmonyNode ----------------------------------------------------------------
